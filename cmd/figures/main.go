@@ -1,0 +1,52 @@
+// Command figures regenerates every figure and table of the paper's
+// evaluation as CSV/text files — the per-experiment harness DESIGN.md
+// indexes. It is cmd/pbslab restricted to artifact generation, with the
+// output directory required.
+//
+// Usage:
+//
+//	figures -out DIR [-days N] [-blocks-per-day N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/ethpbs/pbslab/internal/core"
+	"github.com/ethpbs/pbslab/internal/report"
+	"github.com/ethpbs/pbslab/internal/sim"
+)
+
+func main() {
+	out := flag.String("out", "", "output directory (required)")
+	days := flag.Int("days", 0, "window length in days (0 = full paper window)")
+	blocksPerDay := flag.Int("blocks-per-day", 24, "blocks simulated per day")
+	seed := flag.Uint64("seed", 1, "scenario seed")
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "figures: -out is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	sc := sim.DefaultScenario()
+	sc.Seed = *seed
+	sc.BlocksPerDay = *blocksPerDay
+	if *days > 0 {
+		sc.End = sc.Start.Add(time.Duration(*days) * 24 * time.Hour)
+	}
+
+	res, err := sim.Run(sc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+		os.Exit(1)
+	}
+	a := core.New(res.Dataset, core.WithBuilderLabels(res.World.BuilderLabels()))
+	if err := report.WriteAll(a, *out); err != nil {
+		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (blocks=%d, days=%d)\n", *out, len(res.Dataset.Blocks), res.Dataset.Days())
+}

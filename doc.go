@@ -1,0 +1,22 @@
+// Package pbslab is a from-scratch Go reproduction of "Ethereum's
+// Proposer-Builder Separation: Promises and Realities" (Heimbach, Kiffer,
+// Ferreira Torres, Wattenhofer — IMC 2023).
+//
+// The repository contains two halves:
+//
+//   - A calibrated simulator of the post-merge PBS ecosystem
+//     (internal/sim and the substrates underneath it: execution engine,
+//     DeFi venues, gossip network, consensus schedule, searchers, builders,
+//     relays, MEV-Boost), standing in for the mainnet data the paper
+//     measured.
+//   - The paper's measurement pipeline (internal/core), which consumes only
+//     the collected datasets — never simulator ground truth — and computes
+//     every figure and table of the evaluation.
+//
+// Entry points: cmd/pbslab runs the study end-to-end; cmd/figures emits
+// every figure as CSV; cmd/relaycrawl demonstrates the relay data-API crawl
+// over real HTTP. The examples directory holds runnable walkthroughs, and
+// bench_test.go regenerates each of the paper's tables and figures as a
+// benchmark target. See DESIGN.md for the full system inventory and
+// EXPERIMENTS.md for paper-vs-measured results.
+package pbslab

@@ -1,0 +1,3 @@
+module github.com/ethpbs/pbslab
+
+go 1.22

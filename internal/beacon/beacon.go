@@ -1,0 +1,165 @@
+// Package beacon models the consensus layer as the paper describes it:
+// 12-second slots grouped into 32-slot epochs, a validator registry, a
+// proposer schedule announced at least one epoch ahead, and the fixed Beacon
+// rewards (which the paper's profit analysis deliberately excludes, but
+// which the simulator still accrues for completeness).
+package beacon
+
+import (
+	"fmt"
+
+	"github.com/ethpbs/pbslab/internal/crypto"
+	"github.com/ethpbs/pbslab/internal/rng"
+	"github.com/ethpbs/pbslab/internal/types"
+)
+
+// Protocol constants.
+const (
+	// SlotsPerEpoch is the Beacon chain epoch length.
+	SlotsPerEpoch = 32
+	// StakeETH is the stake locked per validator.
+	StakeETH = 32
+)
+
+// Fixed rewards, in ETH, per the paper's Section 2.1.
+const (
+	// ProposerRewardETH is the consensus reward for proposing a block.
+	ProposerRewardETH = 0.034
+	// AttesterRewardETH is the committee member reward per attested block.
+	AttesterRewardETH = 0.0000125
+)
+
+// EpochOf returns the epoch containing slot.
+func EpochOf(slot uint64) uint64 { return slot / SlotsPerEpoch }
+
+// EpochStart returns the first slot of an epoch.
+func EpochStart(epoch uint64) uint64 { return epoch * SlotsPerEpoch }
+
+// Validator is one staked consensus participant.
+type Validator struct {
+	Index uint64
+	Key   *crypto.Key
+	// FeeRecipient is the execution-layer address receiving the validator's
+	// block value (set in the validator's client configuration).
+	FeeRecipient types.Address
+}
+
+// Pub returns the validator's consensus public key.
+func (v *Validator) Pub() types.PubKey { return v.Key.Pub() }
+
+// Registry is the validator set. The set is fixed at construction; the
+// paper's window is short enough that churn is irrelevant to its analyses.
+type Registry struct {
+	validators []*Validator
+	byPub      map[types.PubKey]*Validator
+}
+
+// NewRegistry creates n validators with deterministic keys derived from the
+// label. Fee recipients default to addresses derived from each key and can
+// be reassigned by the validator operator model.
+func NewRegistry(label string, n int) *Registry {
+	r := &Registry{byPub: make(map[types.PubKey]*Validator, n)}
+	for i := 0; i < n; i++ {
+		key := crypto.NewKey([]byte(fmt.Sprintf("%s/validator/%d", label, i)))
+		v := &Validator{
+			Index:        uint64(i),
+			Key:          key,
+			FeeRecipient: crypto.AddressFromPub(key.Pub()),
+		}
+		r.validators = append(r.validators, v)
+		r.byPub[v.Pub()] = v
+	}
+	return r
+}
+
+// Len returns the validator count.
+func (r *Registry) Len() int { return len(r.validators) }
+
+// ByIndex returns validator i.
+func (r *Registry) ByIndex(i uint64) *Validator { return r.validators[i] }
+
+// ByPub looks a validator up by public key.
+func (r *Registry) ByPub(p types.PubKey) (*Validator, bool) {
+	v, ok := r.byPub[p]
+	return v, ok
+}
+
+// All returns the validators in index order. Callers must not mutate the
+// slice.
+func (r *Registry) All() []*Validator { return r.validators }
+
+// Schedule assigns proposers to slots, RANDAO-style: a deterministic
+// per-epoch seed selects proposers, and assignments are computable one full
+// epoch ahead (the paper notes proposers are known >= 6.4 minutes early,
+// which is what lets builders and relays prepare for specific proposers).
+type Schedule struct {
+	registry *Registry
+	seed     uint64
+}
+
+// NewSchedule creates a proposer schedule over the registry.
+func NewSchedule(registry *Registry, seed uint64) *Schedule {
+	return &Schedule{registry: registry, seed: seed}
+}
+
+// ProposerIndex returns the index of the proposer for slot.
+func (s *Schedule) ProposerIndex(slot uint64) uint64 {
+	epoch := EpochOf(slot)
+	// Draw from an epoch-keyed stream; each slot takes one draw, so the
+	// whole epoch's assignment is fixed as soon as the epoch seed is.
+	r := rng.New(s.seed).Fork(fmt.Sprintf("epoch/%d", epoch))
+	idx := uint64(0)
+	for sl := EpochStart(epoch); sl <= slot; sl++ {
+		idx = r.Uint64n(uint64(s.registry.Len()))
+	}
+	return idx
+}
+
+// Proposer returns the validator proposing at slot.
+func (s *Schedule) Proposer(slot uint64) *Validator {
+	return s.registry.ByIndex(s.ProposerIndex(slot))
+}
+
+// AnnouncedAt returns the earliest slot at which the assignment for slot is
+// public: the start of the previous epoch's final slot, i.e. one full epoch
+// ahead.
+func AnnouncedAt(slot uint64) uint64 {
+	epoch := EpochOf(slot)
+	if epoch == 0 {
+		return 0
+	}
+	return EpochStart(epoch - 1)
+}
+
+// Ledger accrues the fixed consensus rewards. The measurement pipeline
+// ignores these (they are protocol constants, orthogonal to PBS) but the
+// simulation keeps the books.
+type Ledger struct {
+	proposerRewards map[uint64]types.Wei // validator index -> accrued
+	proposed        map[uint64]uint64    // validator index -> block count
+	totalProposed   uint64
+}
+
+// NewLedger returns an empty rewards ledger.
+func NewLedger() *Ledger {
+	return &Ledger{
+		proposerRewards: map[uint64]types.Wei{},
+		proposed:        map[uint64]uint64{},
+	}
+}
+
+// RecordProposal accrues the proposer reward for a successful proposal.
+func (l *Ledger) RecordProposal(v *Validator) {
+	l.proposerRewards[v.Index] = l.proposerRewards[v.Index].Add(types.Ether(ProposerRewardETH))
+	l.proposed[v.Index]++
+	l.totalProposed++
+}
+
+// Proposals returns how many blocks validator index proposed.
+func (l *Ledger) Proposals(index uint64) uint64 { return l.proposed[index] }
+
+// Accrued returns the consensus rewards accrued by validator index.
+func (l *Ledger) Accrued(index uint64) types.Wei { return l.proposerRewards[index] }
+
+// TotalProposals returns the number of proposals recorded.
+func (l *Ledger) TotalProposals() uint64 { return l.totalProposed }

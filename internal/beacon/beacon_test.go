@@ -1,0 +1,122 @@
+package beacon
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ethpbs/pbslab/internal/types"
+)
+
+func TestEpochMath(t *testing.T) {
+	if EpochOf(0) != 0 || EpochOf(31) != 0 || EpochOf(32) != 1 {
+		t.Error("EpochOf wrong")
+	}
+	if EpochStart(3) != 96 {
+		t.Error("EpochStart wrong")
+	}
+}
+
+func TestRegistryDeterministic(t *testing.T) {
+	a := NewRegistry("test", 10)
+	b := NewRegistry("test", 10)
+	if a.Len() != 10 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	for i := uint64(0); i < 10; i++ {
+		if a.ByIndex(i).Pub() != b.ByIndex(i).Pub() {
+			t.Fatal("registry not deterministic")
+		}
+	}
+	c := NewRegistry("other", 10)
+	if a.ByIndex(0).Pub() == c.ByIndex(0).Pub() {
+		t.Error("different labels share keys")
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	r := NewRegistry("test", 5)
+	v := r.ByIndex(3)
+	got, ok := r.ByPub(v.Pub())
+	if !ok || got.Index != 3 {
+		t.Error("ByPub lookup failed")
+	}
+	if len(r.All()) != 5 {
+		t.Error("All length wrong")
+	}
+	if v.FeeRecipient.IsZero() {
+		t.Error("default fee recipient unset")
+	}
+}
+
+func TestScheduleDeterministicAndStable(t *testing.T) {
+	r := NewRegistry("test", 100)
+	s1 := NewSchedule(r, 42)
+	s2 := NewSchedule(r, 42)
+	for slot := uint64(0); slot < 100; slot++ {
+		if s1.ProposerIndex(slot) != s2.ProposerIndex(slot) {
+			t.Fatal("schedule not deterministic")
+		}
+	}
+	// Same slot asked twice gives the same answer (lookahead property).
+	if s1.ProposerIndex(50) != s1.ProposerIndex(50) {
+		t.Error("schedule not stable")
+	}
+	s3 := NewSchedule(r, 43)
+	same := 0
+	for slot := uint64(0); slot < 100; slot++ {
+		if s1.ProposerIndex(slot) == s3.ProposerIndex(slot) {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+func TestScheduleRoughlyUniform(t *testing.T) {
+	r := NewRegistry("test", 10)
+	s := NewSchedule(r, 7)
+	counts := make([]int, 10)
+	const slots = 20_000
+	for slot := uint64(0); slot < slots; slot++ {
+		counts[s.ProposerIndex(slot)]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / slots
+		if math.Abs(frac-0.1) > 0.02 {
+			t.Errorf("validator %d selected %.3f of slots", i, frac)
+		}
+	}
+}
+
+func TestAnnouncedAt(t *testing.T) {
+	// Slot 70 is in epoch 2; announced at the start of epoch 1 (slot 32).
+	if got := AnnouncedAt(70); got != 32 {
+		t.Errorf("AnnouncedAt(70) = %d", got)
+	}
+	// Lookahead is at least one epoch: 70-32 = 38 slots > 32.
+	if 70-AnnouncedAt(70) < SlotsPerEpoch {
+		t.Error("less than one epoch of lookahead")
+	}
+	if AnnouncedAt(5) != 0 {
+		t.Error("epoch-0 slots should announce at 0")
+	}
+}
+
+func TestLedger(t *testing.T) {
+	r := NewRegistry("test", 3)
+	l := NewLedger()
+	v := r.ByIndex(1)
+	l.RecordProposal(v)
+	l.RecordProposal(v)
+	if l.Proposals(1) != 2 || l.Proposals(0) != 0 {
+		t.Error("proposal counts wrong")
+	}
+	want := types.Ether(2 * ProposerRewardETH)
+	if got := l.Accrued(1); got != want {
+		t.Errorf("accrued = %s, want %s", got, want)
+	}
+	if l.TotalProposals() != 2 {
+		t.Error("total wrong")
+	}
+}

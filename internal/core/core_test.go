@@ -1,0 +1,448 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/ethpbs/pbslab/internal/crypto"
+	"github.com/ethpbs/pbslab/internal/dataset"
+	"github.com/ethpbs/pbslab/internal/mev"
+	"github.com/ethpbs/pbslab/internal/ofac"
+	"github.com/ethpbs/pbslab/internal/p2p"
+	"github.com/ethpbs/pbslab/internal/pbs"
+	"github.com/ethpbs/pbslab/internal/types"
+	"github.com/ethpbs/pbslab/internal/u256"
+)
+
+var (
+	builderAddr = crypto.AddressFromSeed("builder/x")
+	builderPub  = crypto.NewKey([]byte("builderkey/x")).Pub()
+	propFee     = crypto.AddressFromSeed("proposer")
+	userA       = crypto.AddressFromSeed("a")
+	userB       = crypto.AddressFromSeed("b")
+	start       = time.Date(2022, 9, 15, 6, 42, 59, 0, time.UTC)
+)
+
+// makeBlock constructs a dataset block with the given shape.
+type blockSpec struct {
+	number  uint64
+	day     int
+	pbs     bool   // adds payment tx and a relay claim
+	relay   string // claiming relay (when pbs)
+	tipGwei uint64 // per-tx tip
+	txCount int
+	// promisedBonus inflates the relay's announced value over the payment.
+	promisedBonus float64
+	// sanctionedSender routes one tx from a sanctioned address.
+	sanctionedSender bool
+	// publicSeen controls whether arrivals exist for the txs.
+	publicSeen bool
+}
+
+type corpusBuilder struct {
+	blocks   []*dataset.Block
+	relays   map[string]*dataset.RelayData
+	arrivals map[types.Hash]p2p.Observation
+	labels   []mev.Label
+}
+
+func newCorpus() *corpusBuilder {
+	return &corpusBuilder{
+		relays:   map[string]*dataset.RelayData{},
+		arrivals: map[types.Hash]p2p.Observation{},
+	}
+}
+
+func (cb *corpusBuilder) add(spec blockSpec) *dataset.Block {
+	blockTime := start.AddDate(0, 0, spec.day).Add(3 * time.Hour)
+	feeRecipient := propFee
+	if spec.pbs {
+		feeRecipient = builderAddr
+	}
+	var txs []*types.Transaction
+	var receipts []*types.Receipt
+	tips := u256.Zero
+	gasUsed := uint64(0)
+	baseFee := types.Gwei(15)
+	for i := 0; i < spec.txCount; i++ {
+		sender := userA
+		if spec.sanctionedSender && i == 0 {
+			sender = crypto.AddressFromSeed("ofac/tornado/0")
+		}
+		tx := types.NewTransaction(uint64(spec.number*1000)+uint64(i), sender, userB,
+			types.Ether(0.1), 21_000, types.Gwei(200), types.Gwei(spec.tipGwei), nil)
+		txs = append(txs, tx)
+		receipts = append(receipts, &types.Receipt{
+			TxHash: tx.Hash(), Status: 1, GasUsed: 21_000,
+			EffectiveGasPrice: baseFee.Add(types.Gwei(spec.tipGwei)),
+		})
+		tips = tips.Add(types.Gwei(spec.tipGwei).Mul64(21_000))
+		gasUsed += 21_000
+		if spec.publicSeen {
+			cb.arrivals[tx.Hash()] = p2p.Observation{
+				TxHash: tx.Hash(),
+				Seen:   []time.Time{blockTime.Add(-5 * time.Second)},
+			}
+		}
+	}
+
+	payment := tips.Mul64(9).Div64(10) // builder keeps 10%
+	if spec.pbs {
+		payTx := types.NewTransaction(uint64(spec.number*1000)+900, builderAddr, propFee,
+			payment, 21_000, types.Gwei(200), u256.Zero, nil)
+		txs = append(txs, payTx)
+		receipts = append(receipts, &types.Receipt{
+			TxHash: payTx.Hash(), Status: 1, GasUsed: 21_000, EffectiveGasPrice: baseFee,
+		})
+		gasUsed += 21_000
+	}
+
+	b := &dataset.Block{
+		Number:       spec.number,
+		Hash:         crypto.Keccak256([]byte{byte(spec.number), byte(spec.number >> 8)}),
+		Slot:         spec.number,
+		Time:         blockTime,
+		FeeRecipient: feeRecipient,
+		GasUsed:      gasUsed,
+		GasLimit:     30_000_000,
+		BaseFee:      baseFee,
+		Txs:          txs,
+		Receipts:     receipts,
+		Burned:       baseFee.Mul64(gasUsed),
+		Tips:         tips,
+	}
+	cb.blocks = append(cb.blocks, b)
+
+	if spec.pbs && spec.relay != "" {
+		rd, ok := cb.relays[spec.relay]
+		if !ok {
+			rd = &dataset.RelayData{Name: spec.relay}
+			cb.relays[spec.relay] = rd
+		}
+		promised := payment.Add(types.Ether(spec.promisedBonus))
+		rd.Delivered = append(rd.Delivered, pbs.BidTrace{
+			Slot: spec.number, BlockHash: b.Hash, BuilderPubkey: builderPub,
+			ProposerFeeRecipient: propFee, Value: promised, BlockNumber: spec.number,
+		})
+		rd.Received = append(rd.Received, rd.Delivered[len(rd.Delivered)-1])
+	}
+	return b
+}
+
+func (cb *corpusBuilder) dataset() *dataset.Dataset {
+	d := &dataset.Dataset{
+		Start:       start,
+		End:         start.AddDate(0, 0, 7),
+		Blocks:      cb.blocks,
+		MEVLabels:   cb.labels,
+		MEVBySource: map[string][]mev.Label{},
+		Arrivals:    cb.arrivals,
+		Sanctions:   ofac.DefaultList(),
+	}
+	for _, rd := range cb.relays {
+		d.Relays = append(d.Relays, *rd)
+	}
+	return d
+}
+
+func TestClassifierPBSDetection(t *testing.T) {
+	cb := newCorpus()
+	cb.add(blockSpec{number: 1, day: 0, pbs: true, relay: "R1", tipGwei: 10, txCount: 3, publicSeen: true})
+	cb.add(blockSpec{number: 2, day: 0, pbs: false, tipGwei: 5, txCount: 2, publicSeen: true})
+	a := New(cb.dataset())
+
+	st1, _ := a.ByNumber(1)
+	if !st1.PBS || !st1.PaymentDetected || len(st1.RelayClaims) != 1 {
+		t.Errorf("block 1 classification: %+v", st1)
+	}
+	wantPayment := types.Gwei(10).Mul64(21_000).Mul64(3).Mul64(9).Div64(10)
+	if st1.Payment != wantPayment {
+		t.Errorf("payment = %s, want %s", st1.Payment, wantPayment)
+	}
+	st2, _ := a.ByNumber(2)
+	if st2.PBS {
+		t.Error("local block classified PBS")
+	}
+	// Proposer profit: PBS = payment; local = full value.
+	if st2.ProposerProfit() != st2.Value {
+		t.Error("local proposer profit != block value")
+	}
+	if st1.ProposerProfit() != st1.Payment {
+		t.Error("PBS proposer profit != payment")
+	}
+	// Builder profit: value - payment > 0 here.
+	if st1.BuilderProfitETH() <= 0 {
+		t.Error("builder profit should be positive")
+	}
+}
+
+func TestPaymentOnlyClassification(t *testing.T) {
+	// A PBS block with the payment convention but no relay claim (the 0.4%
+	// tail the paper mentions) must still classify as PBS.
+	cb := newCorpus()
+	cb.add(blockSpec{number: 1, day: 0, pbs: true, relay: "", tipGwei: 10, txCount: 2})
+	a := New(cb.dataset())
+	st, _ := a.ByNumber(1)
+	if !st.PBS || len(st.RelayClaims) != 0 {
+		t.Errorf("payment-only block: %+v", st)
+	}
+}
+
+func TestPrivateTxDetection(t *testing.T) {
+	cb := newCorpus()
+	cb.add(blockSpec{number: 1, day: 0, pbs: true, relay: "R1", tipGwei: 5, txCount: 4, publicSeen: false})
+	cb.add(blockSpec{number: 2, day: 0, pbs: false, tipGwei: 5, txCount: 4, publicSeen: true})
+	a := New(cb.dataset())
+
+	st1, _ := a.ByNumber(1)
+	// All 4 user txs unseen -> private; payment tx excluded from counts.
+	if st1.TotalTxs != 4 || st1.PrivateTxs != 4 {
+		t.Errorf("block1 private = %d/%d", st1.PrivateTxs, st1.TotalTxs)
+	}
+	st2, _ := a.ByNumber(2)
+	if st2.PrivateTxs != 0 {
+		t.Errorf("block2 private = %d", st2.PrivateTxs)
+	}
+
+	split := a.Figure14PrivateTxShare()
+	if got := split.PBS.Day(0); got != 1 {
+		t.Errorf("PBS private share = %g", got)
+	}
+	if got := split.Local.Day(0); got != 0 {
+		t.Errorf("local private share = %g", got)
+	}
+}
+
+func TestSanctionedDetection(t *testing.T) {
+	cb := newCorpus()
+	cb.add(blockSpec{number: 1, day: 0, pbs: false, tipGwei: 5, txCount: 2, sanctionedSender: true})
+	cb.add(blockSpec{number: 2, day: 0, pbs: false, tipGwei: 5, txCount: 2})
+	a := New(cb.dataset())
+	st1, _ := a.ByNumber(1)
+	if !st1.Sanctioned {
+		t.Error("sanctioned sender not detected")
+	}
+	st2, _ := a.ByNumber(2)
+	if st2.Sanctioned {
+		t.Error("clean block flagged")
+	}
+}
+
+func TestFigure4Share(t *testing.T) {
+	cb := newCorpus()
+	for i := uint64(0); i < 8; i++ {
+		cb.add(blockSpec{number: i + 1, day: int(i / 4), pbs: i%2 == 0, relay: "R1", tipGwei: 5, txCount: 1})
+	}
+	a := New(cb.dataset())
+	share := a.Figure4PBSShare()
+	if got := share.Day(0); got != 0.5 {
+		t.Errorf("day0 PBS share = %g", got)
+	}
+}
+
+func TestTable4Audit(t *testing.T) {
+	cb := newCorpus()
+	// Honest relay: promise == payment.
+	cb.add(blockSpec{number: 1, day: 0, pbs: true, relay: "Honest", tipGwei: 100, txCount: 5})
+	// Lying relay: promises 1 ETH extra.
+	cb.add(blockSpec{number: 2, day: 0, pbs: true, relay: "Liar", tipGwei: 100, txCount: 5, promisedBonus: 1})
+	a := New(cb.dataset())
+
+	rows, total := a.Table4RelayTrust()
+	byName := map[string]RelayTrustRow{}
+	for _, r := range rows {
+		byName[r.Relay] = r
+	}
+	if h := byName["Honest"]; math.Abs(h.ShareDelivered-1) > 1e-9 || h.OverPromisedBlockShare != 0 {
+		t.Errorf("honest relay: %+v", h)
+	}
+	l := byName["Liar"]
+	if l.ShareDelivered >= 1 || l.OverPromisedBlockShare != 1 {
+		t.Errorf("lying relay: %+v", l)
+	}
+	if total.Blocks != 2 || total.ShareDelivered >= 1 {
+		t.Errorf("total: %+v", total)
+	}
+}
+
+func TestBuilderClustering(t *testing.T) {
+	cb := newCorpus()
+	cb.add(blockSpec{number: 1, day: 0, pbs: true, relay: "R1", tipGwei: 10, txCount: 2})
+	cb.add(blockSpec{number: 2, day: 0, pbs: true, relay: "R1", tipGwei: 10, txCount: 2})
+	a := New(cb.dataset(), WithBuilderLabels(map[types.Address]string{builderAddr: "megabuilder"}))
+
+	clusters := a.Clusters()
+	if len(clusters) != 1 {
+		t.Fatalf("clusters = %d", len(clusters))
+	}
+	if clusters[0].Name != "megabuilder" || clusters[0].Blocks != 2 {
+		t.Errorf("cluster: %+v", clusters[0])
+	}
+	if len(clusters[0].Pubkeys) != 1 || clusters[0].Pubkeys[0] != builderPub {
+		t.Error("pubkeys not clustered")
+	}
+	st, _ := a.ByNumber(1)
+	if st.BuilderCluster != "megabuilder" {
+		t.Error("block not labeled with cluster")
+	}
+}
+
+func TestCoverageReport(t *testing.T) {
+	cb := newCorpus()
+	cb.add(blockSpec{number: 1, day: 0, pbs: true, relay: "R1", tipGwei: 10, txCount: 2})
+	cb.add(blockSpec{number: 2, day: 0, pbs: true, relay: "", tipGwei: 10, txCount: 2})
+	cb.add(blockSpec{number: 3, day: 0, pbs: false, tipGwei: 10, txCount: 2})
+	a := New(cb.dataset())
+	rep := a.ClassifierCoverage()
+	if rep.PBSBlocks != 2 {
+		t.Fatalf("PBS blocks = %d", rep.PBSBlocks)
+	}
+	if rep.RelayClaimedShare != 0.5 || rep.PaymentShare != 1 {
+		t.Errorf("coverage: %+v", rep)
+	}
+}
+
+func TestFigure3SharesSumToOne(t *testing.T) {
+	cb := newCorpus()
+	cb.add(blockSpec{number: 1, day: 0, pbs: true, relay: "R1", tipGwei: 10, txCount: 3})
+	cb.add(blockSpec{number: 2, day: 1, pbs: false, tipGwei: 4, txCount: 2})
+	a := New(cb.dataset())
+	ps := a.Figure3PaymentShares()
+	for day := 0; day <= 1; day++ {
+		sum := ps.BaseFee.Day(day) + ps.Priority.Day(day) + ps.Direct.Day(day)
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("day %d shares sum to %g", day, sum)
+		}
+	}
+	// Base fee dominates at these tips (15 gwei base vs 10 gwei tip).
+	if ps.BaseFee.Day(0) < ps.Priority.Day(0) {
+		t.Error("base fee share should dominate")
+	}
+}
+
+func TestMEVFigures(t *testing.T) {
+	cb := newCorpus()
+	b1 := cb.add(blockSpec{number: 1, day: 0, pbs: true, relay: "R1", tipGwei: 10, txCount: 3})
+	cb.add(blockSpec{number: 2, day: 0, pbs: false, tipGwei: 10, txCount: 3})
+	// Label the PBS block's first two txs as a sandwich.
+	cb.labels = append(cb.labels, mev.Label{
+		Block: 1, Kind: mev.KindSandwich,
+		Txs:   []types.Hash{b1.Txs[0].Hash(), b1.Txs[2].Hash()},
+		Actor: userA,
+	})
+	a := New(cb.dataset())
+
+	st, _ := a.ByNumber(1)
+	if st.Sandwiches != 1 || st.MEVTxs != 2 {
+		t.Errorf("mev stats: %+v", st)
+	}
+	if st.MEVValueShare <= 0 || st.MEVValueShare > 1 {
+		t.Errorf("mev value share = %g", st.MEVValueShare)
+	}
+	split := a.Figure15MEVPerBlock()
+	if split.PBS.Day(0) != 2 || split.Local.Day(0) != 0 {
+		t.Errorf("fig15: pbs=%g local=%g", split.PBS.Day(0), split.Local.Day(0))
+	}
+	kinds := a.Figure20To22MEVKind(mev.KindSandwich)
+	if kinds.PBS.Day(0) != 1 {
+		t.Errorf("fig20 sandwiches = %g", kinds.PBS.Day(0))
+	}
+	if a.MEVTotals()[mev.KindSandwich] != 1 {
+		t.Error("MEV totals wrong")
+	}
+}
+
+func TestFigure17And18(t *testing.T) {
+	cb := newCorpus()
+	cb.add(blockSpec{number: 1, day: 0, pbs: true, relay: "Censoring", tipGwei: 10, txCount: 2})
+	cb.add(blockSpec{number: 2, day: 0, pbs: true, relay: "Open", tipGwei: 10, txCount: 2})
+	cb.add(blockSpec{number: 3, day: 0, pbs: false, tipGwei: 10, txCount: 2, sanctionedSender: true})
+	d := cb.dataset()
+	for i := range d.Relays {
+		if d.Relays[i].Name == "Censoring" {
+			d.Relays[i].OFACCompliant = true
+		}
+	}
+	a := New(d)
+
+	censorShare := a.Figure17CensoringShare()
+	if got := censorShare.Day(0); got != 0.5 {
+		t.Errorf("censoring share = %g", got)
+	}
+	sanc := a.Figure18SanctionedShare()
+	if sanc.Local.Day(0) != 1 || sanc.PBS.Day(0) != 0 {
+		t.Errorf("sanctioned: pbs=%g local=%g", sanc.PBS.Day(0), sanc.Local.Day(0))
+	}
+}
+
+func TestEthicalFilterGap(t *testing.T) {
+	cb := newCorpus()
+	b1 := cb.add(blockSpec{number: 1, day: 0, pbs: true, relay: "Ethical", tipGwei: 10, txCount: 3})
+	cb.labels = append(cb.labels, mev.Label{
+		Block: 1, Kind: mev.KindSandwich,
+		Txs: []types.Hash{b1.Txs[0].Hash(), b1.Txs[2].Hash()},
+	})
+	d := cb.dataset()
+	d.Relays[0].MEVFilter = true
+	a := New(d)
+	gaps := a.EthicalFilterGap()
+	if gaps["Ethical"] != 1 {
+		t.Errorf("filter gap = %v", gaps)
+	}
+}
+
+func TestFigure19Split(t *testing.T) {
+	cb := newCorpus()
+	cb.add(blockSpec{number: 1, day: 0, pbs: true, relay: "R1", tipGwei: 100, txCount: 5})
+	a := New(cb.dataset())
+	split := a.Figure19ProfitSplit()
+	// Builder keeps 10% by construction.
+	if got := split.ProposerShare.Day(0); math.Abs(got-0.9) > 1e-9 {
+		t.Errorf("proposer share = %g", got)
+	}
+	if got := split.BuilderShare.Day(0); math.Abs(got-0.1) > 1e-9 {
+		t.Errorf("builder share = %g", got)
+	}
+}
+
+func TestEmptyDatasetDoesNotPanic(t *testing.T) {
+	d := &dataset.Dataset{
+		Start: start, End: start,
+		Sanctions: ofac.DefaultList(),
+		Arrivals:  map[types.Hash]p2p.Observation{},
+	}
+	a := New(d)
+	_ = a.Figure4PBSShare()
+	_ = a.Figure19ProfitSplit()
+	_, _ = a.Table4RelayTrust()
+	_ = a.ClassifierCoverage()
+	_ = a.Clusters()
+}
+
+func TestRelayConcentration(t *testing.T) {
+	cb := newCorpus()
+	// Day 0: monopoly. Among incumbents Gini is 0 (one player holds all of
+	// its own market), while HHI correctly flags the monopoly at 1.0 —
+	// the paper's reason for preferring HHI.
+	cb.add(blockSpec{number: 1, day: 0, pbs: true, relay: "R1", tipGwei: 10, txCount: 1})
+	cb.add(blockSpec{number: 2, day: 0, pbs: true, relay: "R1", tipGwei: 10, txCount: 1})
+	// Day 1: duopoly 1:1.
+	cb.add(blockSpec{number: 3, day: 1, pbs: true, relay: "R1", tipGwei: 10, txCount: 1})
+	cb.add(blockSpec{number: 4, day: 1, pbs: true, relay: "R2", tipGwei: 10, txCount: 1})
+	a := New(cb.dataset())
+	cmp := a.RelayConcentration()
+	if got := cmp.HHI.Day(0); got != 1 {
+		t.Errorf("monopoly HHI = %g", got)
+	}
+	if got := cmp.Gini.Day(0); got != 0 {
+		t.Errorf("monopoly Gini = %g (blind to player count)", got)
+	}
+	if got := cmp.HHI.Day(1); got != 0.5 {
+		t.Errorf("duopoly HHI = %g", got)
+	}
+	empty := New((&corpusBuilder{relays: map[string]*dataset.RelayData{}, arrivals: map[types.Hash]p2p.Observation{}}).dataset())
+	if empty.RelayConcentration().HHI.Len() != 0 {
+		t.Error("empty concentration should be empty")
+	}
+}

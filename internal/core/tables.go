@@ -1,0 +1,258 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"github.com/ethpbs/pbslab/internal/mev"
+	"github.com/ethpbs/pbslab/internal/types"
+)
+
+// RelayTrustRow is one relay's line in Table 4: delivered vs promised value
+// and sanctioned-block counts.
+type RelayTrustRow struct {
+	Relay string
+	// OFACCompliant marks the italicized rows.
+	OFACCompliant bool
+	// DeliveredETH is the on-chain value proposers actually received from
+	// the relay's blocks.
+	DeliveredETH float64
+	// PromisedETH is the value the relay's data API announced.
+	PromisedETH float64
+	// ShareDelivered is DeliveredETH / PromisedETH (1 for an honest relay).
+	ShareDelivered float64
+	// OverPromisedBlockShare is the fraction of the relay's blocks whose
+	// promise exceeded delivery.
+	OverPromisedBlockShare float64
+	// Blocks is the relay's delivered-block count (fractional attribution
+	// is NOT applied here; the paper's Table 4 counts full blocks).
+	Blocks int
+	// SanctionedBlocks contain non-OFAC-compliant transactions.
+	SanctionedBlocks int
+	// SanctionedShare is SanctionedBlocks / Blocks.
+	SanctionedShare float64
+}
+
+// Table4RelayTrust audits every relay: promised vs delivered value and
+// censorship gaps. Totals are returned as a synthetic "PBS" row, matching
+// the paper's last line.
+func (a *Analysis) Table4RelayTrust() ([]RelayTrustRow, RelayTrustRow) {
+	byHash := map[types.Hash]*BlockStat{}
+	for _, st := range a.stats {
+		byHash[st.Block.Hash] = st
+	}
+
+	rows := map[string]*RelayTrustRow{}
+	for _, r := range a.ds.Relays {
+		row := &RelayTrustRow{Relay: r.Name, OFACCompliant: r.OFACCompliant}
+		rows[r.Name] = row
+		for _, tr := range r.Delivered {
+			st, ok := byHash[tr.BlockHash]
+			if !ok {
+				continue // delivered but never landed on chain
+			}
+			promised := types.ToEther(tr.Value)
+			delivered := types.ToEther(st.Payment)
+			row.PromisedETH += promised
+			row.DeliveredETH += delivered
+			row.Blocks++
+			if promised > delivered+1e-12 {
+				row.OverPromisedBlockShare++ // count; normalized below
+			}
+			if st.Sanctioned {
+				row.SanctionedBlocks++
+			}
+		}
+	}
+
+	var total RelayTrustRow
+	total.Relay = "PBS"
+	// The total row counts each chain block once, not per claiming relay.
+	seen := map[types.Hash]bool{}
+	for _, st := range a.stats {
+		if !st.PBS || len(st.RelayClaims) == 0 || seen[st.Block.Hash] {
+			continue
+		}
+		seen[st.Block.Hash] = true
+		promised := types.ToEther(st.Promised)
+		delivered := types.ToEther(st.Payment)
+		total.PromisedETH += promised
+		total.DeliveredETH += delivered
+		total.Blocks++
+		if promised > delivered+1e-12 {
+			total.OverPromisedBlockShare++
+		}
+		if st.Sanctioned {
+			total.SanctionedBlocks++
+		}
+	}
+
+	finish := func(row *RelayTrustRow) {
+		if row.PromisedETH > 0 {
+			row.ShareDelivered = row.DeliveredETH / row.PromisedETH
+		} else {
+			row.ShareDelivered = 1
+		}
+		if row.Blocks > 0 {
+			row.OverPromisedBlockShare /= float64(row.Blocks)
+			row.SanctionedShare = float64(row.SanctionedBlocks) / float64(row.Blocks)
+		}
+	}
+
+	out := make([]RelayTrustRow, 0, len(rows))
+	for _, r := range a.ds.Relays {
+		row := rows[r.Name]
+		finish(row)
+		out = append(out, *row)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Relay < out[j].Relay })
+	finish(&total)
+	return out, total
+}
+
+// RelayPolicyRow is one line of Tables 2 and 3.
+type RelayPolicyRow struct {
+	Relay         string
+	Endpoint      string
+	Fork          string
+	BuilderAccess string
+	OFACCompliant bool
+	MEVFilter     bool
+	Validators    int
+}
+
+// Tables2And3Relays reproduces the relay registry and policy matrix.
+func (a *Analysis) Tables2And3Relays() []RelayPolicyRow {
+	out := make([]RelayPolicyRow, 0, len(a.ds.Relays))
+	for _, r := range a.ds.Relays {
+		out = append(out, RelayPolicyRow{
+			Relay:         r.Name,
+			Endpoint:      r.Endpoint,
+			Fork:          r.Fork,
+			BuilderAccess: r.BuilderAccess,
+			OFACCompliant: r.OFACCompliant,
+			MEVFilter:     r.MEVFilter,
+			Validators:    r.ValidatorCount,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Relay < out[j].Relay })
+	return out
+}
+
+// EthicalFilterGap counts sandwich attacks that landed in blocks delivered
+// by a relay that advertises front-running filtering (Section 5.4's 2,002
+// sandwiches through bloXroute Ethical).
+func (a *Analysis) EthicalFilterGap() map[string]int {
+	filtering := map[string]bool{}
+	for _, r := range a.ds.Relays {
+		if r.MEVFilter {
+			filtering[r.Name] = true
+		}
+	}
+	out := map[string]int{}
+	for _, st := range a.stats {
+		if st.Sandwiches == 0 {
+			continue
+		}
+		for _, name := range st.RelayClaims {
+			if filtering[name] {
+				out[name] += st.Sandwiches
+			}
+		}
+	}
+	return out
+}
+
+// LagGapRow summarizes censorship gaps around one OFAC list update for the
+// compliant relays (Section 6: gaps cluster after updates).
+type LagGapRow struct {
+	UpdateDate time.Time
+	// WindowDays is the post-update observation window.
+	WindowDays int
+	// SanctionedInWindow counts sanctioned blocks delivered by compliant
+	// relays within the window.
+	SanctionedInWindow int
+	// SanctionedOutside counts sanctioned compliant-relay blocks per day
+	// outside any update window (the baseline rate), normalized.
+	BaselinePerDay float64
+	// WindowPerDay is the in-window daily rate.
+	WindowPerDay float64
+}
+
+// OFACUpdateLag measures whether compliant-relay censorship gaps
+// concentrate after sanctions-list updates.
+func (a *Analysis) OFACUpdateLag(windowDays int) []LagGapRow {
+	compliant := map[string]bool{}
+	for _, r := range a.ds.Relays {
+		compliant[r.Name] = r.OFACCompliant
+	}
+	updates := a.ds.Sanctions.UpdateDates()
+
+	inWindow := func(t time.Time, update time.Time) bool {
+		return !t.Before(update) && t.Before(update.AddDate(0, 0, windowDays))
+	}
+	inAnyWindow := func(t time.Time) bool {
+		for _, u := range updates {
+			if inWindow(t, u) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Baseline: sanctioned compliant blocks per day outside windows.
+	outsideCount, outsideDays := 0, map[int]bool{}
+	for _, st := range a.stats {
+		fromCompliant := false
+		for _, name := range st.RelayClaims {
+			if compliant[name] {
+				fromCompliant = true
+			}
+		}
+		if !fromCompliant {
+			continue
+		}
+		if inAnyWindow(st.Block.Time) {
+			continue
+		}
+		outsideDays[st.Day] = true
+		if st.Sanctioned {
+			outsideCount++
+		}
+	}
+	baseline := 0.0
+	if len(outsideDays) > 0 {
+		baseline = float64(outsideCount) / float64(len(outsideDays))
+	}
+
+	var out []LagGapRow
+	for _, u := range updates {
+		if u.Before(a.ds.Start.AddDate(0, 0, -1)) {
+			continue // pre-window designations have no lag to observe
+		}
+		row := LagGapRow{UpdateDate: u, WindowDays: windowDays, BaselinePerDay: baseline}
+		for _, st := range a.stats {
+			if !st.Sanctioned || !inWindow(st.Block.Time, u) {
+				continue
+			}
+			for _, name := range st.RelayClaims {
+				if compliant[name] {
+					row.SanctionedInWindow++
+					break
+				}
+			}
+		}
+		row.WindowPerDay = float64(row.SanctionedInWindow) / float64(windowDays)
+		out = append(out, row)
+	}
+	return out
+}
+
+// MEVTotals counts union labels per kind (the Appendix D headline totals).
+func (a *Analysis) MEVTotals() map[mev.Kind]int {
+	out := map[mev.Kind]int{}
+	for _, l := range a.ds.MEVLabels {
+		out[l.Kind]++
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+// Package dataset defines the measurement corpus of Table 1: the artifacts
+// the paper's pipeline consumes, and nothing more. The analysis layer
+// (internal/core) reads only this package's types — it never sees simulator
+// ground truth — so PBS classification, builder clustering, private-tx
+// detection and every figure are genuinely re-derived from data.
+package dataset
+
+import (
+	"time"
+
+	"github.com/ethpbs/pbslab/internal/mev"
+	"github.com/ethpbs/pbslab/internal/ofac"
+	"github.com/ethpbs/pbslab/internal/p2p"
+	"github.com/ethpbs/pbslab/internal/pbs"
+	"github.com/ethpbs/pbslab/internal/types"
+)
+
+// Block is one canonical block with its execution artifacts, as an archive
+// node serves them.
+type Block struct {
+	Number       uint64
+	Hash         types.Hash
+	Slot         uint64
+	Time         time.Time
+	FeeRecipient types.Address
+	GasUsed      uint64
+	GasLimit     uint64
+	BaseFee      types.Wei
+	Txs          []*types.Transaction
+	Receipts     []*types.Receipt
+	Traces       []types.Trace
+	// Burned and Tips are derivable from receipts; precomputed because the
+	// extraction pass (the "Erigon node") has them anyway.
+	Burned types.Wei
+	Tips   types.Wei
+}
+
+// LogCount returns the number of event logs in the block.
+func (b *Block) LogCount() int {
+	n := 0
+	for _, r := range b.Receipts {
+		n += len(r.Logs)
+	}
+	return n
+}
+
+// RelayData is one relay's crawled data API content (Section 3.3).
+type RelayData struct {
+	Name string
+	// Policy metadata as published on the relay's website (Table 3).
+	Endpoint       string
+	Fork           string
+	BuilderAccess  string
+	OFACCompliant  bool
+	MEVFilter      bool
+	Delivered      []pbs.BidTrace
+	Received       []pbs.BidTrace
+	ValidatorCount int
+}
+
+// Dataset is the full corpus.
+type Dataset struct {
+	// Start anchors day indexing (the merge).
+	Start time.Time
+	// End is the last covered instant.
+	End time.Time
+
+	Blocks []*Block
+
+	// MEVLabels is the union label set; MEVBySource holds each provider's
+	// own report for Table 1's per-source counts.
+	MEVLabels   []mev.Label
+	MEVBySource map[string][]mev.Label
+
+	// Arrivals holds the observer first-seen times per transaction hash;
+	// transactions absent from the map were never seen publicly.
+	Arrivals map[types.Hash]p2p.Observation
+
+	Relays []RelayData
+
+	Sanctions *ofac.Registry
+}
+
+// Day returns the day index of t relative to Start (UTC midnights).
+func (d *Dataset) Day(t time.Time) int {
+	startDay := time.Date(d.Start.Year(), d.Start.Month(), d.Start.Day(), 0, 0, 0, 0, time.UTC)
+	return int(t.UTC().Sub(startDay) / (24 * time.Hour))
+}
+
+// Days returns the number of days covered.
+func (d *Dataset) Days() int {
+	if d.End.Before(d.Start) {
+		return 0
+	}
+	return d.Day(d.End) + 1
+}
+
+// BlockDay returns the day index of a block.
+func (d *Dataset) BlockDay(b *Block) int { return d.Day(b.Time) }
+
+// RelayByName finds a relay's crawl.
+func (d *Dataset) RelayByName(name string) (*RelayData, bool) {
+	for i := range d.Relays {
+		if d.Relays[i].Name == name {
+			return &d.Relays[i], true
+		}
+	}
+	return nil, false
+}
+
+// Counts is the Table 1 inventory.
+type Counts struct {
+	Blocks          int
+	Transactions    int
+	Logs            int
+	Traces          int
+	MEVLabelsUnion  int
+	MEVBySource     map[string]int
+	MempoolArrivals int
+	RelayDelivered  int
+	RelayReceived   int
+	OFACAddresses   int
+}
+
+// Count tallies the dataset for Table 1.
+func (d *Dataset) Count() Counts {
+	c := Counts{MEVBySource: map[string]int{}}
+	c.Blocks = len(d.Blocks)
+	for _, b := range d.Blocks {
+		c.Transactions += len(b.Txs)
+		c.Logs += b.LogCount()
+		c.Traces += len(b.Traces)
+	}
+	c.MEVLabelsUnion = len(d.MEVLabels)
+	for name, labels := range d.MEVBySource {
+		c.MEVBySource[name] = len(labels)
+	}
+	for _, obs := range d.Arrivals {
+		for _, t := range obs.Seen {
+			if !t.IsZero() {
+				c.MempoolArrivals++
+			}
+		}
+	}
+	for _, r := range d.Relays {
+		c.RelayDelivered += len(r.Delivered)
+		c.RelayReceived += len(r.Received)
+	}
+	if d.Sanctions != nil {
+		c.OFACAddresses = d.Sanctions.Len()
+	}
+	return c
+}

@@ -1,0 +1,106 @@
+package dataset
+
+import (
+	"testing"
+	"time"
+
+	"github.com/ethpbs/pbslab/internal/crypto"
+	"github.com/ethpbs/pbslab/internal/mev"
+	"github.com/ethpbs/pbslab/internal/ofac"
+	"github.com/ethpbs/pbslab/internal/p2p"
+	"github.com/ethpbs/pbslab/internal/pbs"
+	"github.com/ethpbs/pbslab/internal/types"
+	"github.com/ethpbs/pbslab/internal/u256"
+)
+
+func sampleDataset() *Dataset {
+	start := time.Date(2022, 9, 15, 6, 42, 59, 0, time.UTC)
+	tx := types.NewTransaction(0, crypto.AddressFromSeed("a"), crypto.AddressFromSeed("b"),
+		u256.Zero, 21_000, types.Gwei(10), types.Gwei(1), nil)
+	blk := &Block{
+		Number: 15_537_395, Slot: 4_700_014,
+		Time: start.Add(12 * time.Second),
+		Txs:  []*types.Transaction{tx},
+		Receipts: []*types.Receipt{{
+			TxHash: tx.Hash(), Status: 1, GasUsed: 21_000,
+			Logs: []types.Log{{}, {}},
+		}},
+		Traces: []types.Trace{{TxHash: tx.Hash()}},
+	}
+	obs := p2p.Observation{TxHash: tx.Hash(), Seen: []time.Time{start, {}, start.Add(time.Second)}}
+	return &Dataset{
+		Start:  start,
+		End:    start.Add(49 * time.Hour),
+		Blocks: []*Block{blk},
+		MEVLabels: []mev.Label{
+			{Kind: mev.KindArbitrage, Txs: []types.Hash{tx.Hash()}},
+		},
+		MEVBySource: map[string][]mev.Label{"zeromev": {{Kind: mev.KindArbitrage, Txs: []types.Hash{tx.Hash()}}}},
+		Arrivals:    map[types.Hash]p2p.Observation{tx.Hash(): obs},
+		Relays: []RelayData{{
+			Name:      "Flashbots",
+			Delivered: []pbs.BidTrace{{Slot: 1}},
+			Received:  []pbs.BidTrace{{Slot: 1}, {Slot: 1}},
+		}},
+		Sanctions: ofac.DefaultList(),
+	}
+}
+
+func TestDayIndexing(t *testing.T) {
+	d := sampleDataset()
+	if got := d.Day(d.Start); got != 0 {
+		t.Errorf("merge day = %d", got)
+	}
+	// Merge is 06:42 UTC; later the same calendar day is still day 0.
+	if got := d.Day(d.Start.Add(10 * time.Hour)); got != 0 {
+		t.Errorf("same-day = %d", got)
+	}
+	// Next UTC midnight starts day 1.
+	if got := d.Day(time.Date(2022, 9, 16, 0, 0, 1, 0, time.UTC)); got != 1 {
+		t.Errorf("next day = %d", got)
+	}
+	if got := d.Days(); got != 3 {
+		t.Errorf("Days = %d (start+49h spans 3 calendar days)", got)
+	}
+	if got := d.BlockDay(d.Blocks[0]); got != 0 {
+		t.Errorf("block day = %d", got)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	d := sampleDataset()
+	c := d.Count()
+	if c.Blocks != 1 || c.Transactions != 1 || c.Logs != 2 || c.Traces != 1 {
+		t.Errorf("chain counts: %+v", c)
+	}
+	if c.MEVLabelsUnion != 1 || c.MEVBySource["zeromev"] != 1 {
+		t.Errorf("mev counts: %+v", c)
+	}
+	// One zero entry in Seen does not count as an arrival.
+	if c.MempoolArrivals != 2 {
+		t.Errorf("arrivals = %d", c.MempoolArrivals)
+	}
+	if c.RelayDelivered != 1 || c.RelayReceived != 2 {
+		t.Errorf("relay counts: %+v", c)
+	}
+	if c.OFACAddresses != 134 {
+		t.Errorf("ofac = %d", c.OFACAddresses)
+	}
+}
+
+func TestRelayByName(t *testing.T) {
+	d := sampleDataset()
+	if _, ok := d.RelayByName("Flashbots"); !ok {
+		t.Error("Flashbots not found")
+	}
+	if _, ok := d.RelayByName("nope"); ok {
+		t.Error("phantom relay found")
+	}
+}
+
+func TestEmptyDatasetDays(t *testing.T) {
+	d := &Dataset{Start: time.Now(), End: time.Now().Add(-time.Hour)}
+	if d.Days() != 0 {
+		t.Error("inverted range should cover 0 days")
+	}
+}

@@ -1,0 +1,531 @@
+package defi
+
+import (
+	"testing"
+
+	"github.com/ethpbs/pbslab/internal/crypto"
+	"github.com/ethpbs/pbslab/internal/evm"
+	"github.com/ethpbs/pbslab/internal/state"
+	"github.com/ethpbs/pbslab/internal/types"
+	"github.com/ethpbs/pbslab/internal/u256"
+)
+
+var (
+	alice   = crypto.AddressFromSeed("alice")
+	bob     = crypto.AddressFromSeed("bob")
+	oracle  = crypto.AddressFromSeed("oracle")
+	builder = crypto.AddressFromSeed("builder")
+)
+
+type world struct {
+	engine  *evm.Engine
+	st      *state.State
+	weth    *Token
+	usd     *Token
+	pair    *Pair
+	lending *Lending
+	nonces  map[types.Address]uint64
+}
+
+func newWorld(t *testing.T) *world {
+	t.Helper()
+	w := &world{
+		engine: evm.NewEngine(),
+		st:     state.New(),
+		weth:   NewToken("WETH"),
+		usd:    NewToken("USDC"),
+		nonces: map[types.Address]uint64{},
+	}
+	w.pair = NewPair("uniswap", w.weth, w.usd)
+	w.lending = NewLending("aave", w.usd, oracle)
+	w.engine.Register(w.weth.Addr, w.weth)
+	w.engine.Register(w.usd.Addr, w.usd)
+	w.engine.Register(w.pair.Addr, w.pair)
+	w.engine.Register(w.lending.Addr, w.lending)
+
+	for _, a := range []types.Address{alice, bob, oracle} {
+		w.st.SetBalance(a, types.Ether(1000))
+	}
+	// 1000 WETH : 1,500,000 USD pool (price 1500).
+	w.pair.InitLiquidity(w.st, types.Ether(1000), types.Ether(1_500_000))
+	w.lending.SetPriceGenesis(w.st, types.Ether(1500))
+	return w
+}
+
+func (w *world) ctx() evm.BlockContext {
+	return evm.BlockContext{
+		Number: 1, Timestamp: 1_663_224_179,
+		BaseFee: types.Gwei(10), FeeRecipient: builder, GasLimit: 30_000_000,
+	}
+}
+
+// run executes a call transaction and requires validity (but not success).
+func (w *world) run(t *testing.T, from, to types.Address, value types.Wei, data []byte) *evm.Result {
+	t.Helper()
+	tx := types.NewTransaction(w.nonces[from], from, to, value, 1_000_000,
+		types.Gwei(100), types.Gwei(2), data)
+	w.nonces[from]++
+	res, err := w.engine.ApplyTx(w.st, w.ctx(), tx)
+	if err != nil {
+		t.Fatalf("ApplyTx: %v", err)
+	}
+	return res
+}
+
+func TestTokenTransfer(t *testing.T) {
+	w := newWorld(t)
+	w.usd.Mint(w.st, alice, types.Ether(100))
+
+	res := w.run(t, alice, w.usd.Addr, u256.Zero,
+		TokenTransferCalldata(bob, types.Ether(40)))
+	if !res.Receipt.Succeeded() {
+		t.Fatal("token transfer reverted")
+	}
+	if got := w.usd.BalanceOf(w.st, bob); got != types.Ether(40) {
+		t.Errorf("bob USD = %s", got)
+	}
+	if got := w.usd.BalanceOf(w.st, alice); got != types.Ether(60) {
+		t.Errorf("alice USD = %s", got)
+	}
+	if len(res.Receipt.Logs) != 1 {
+		t.Fatalf("logs = %d", len(res.Receipt.Logs))
+	}
+	ev, ok := ParseTransfer(res.Receipt.Logs[0])
+	if !ok || ev.From != alice || ev.To != bob || ev.Amount != types.Ether(40) {
+		t.Errorf("ParseTransfer = %+v ok=%v", ev, ok)
+	}
+}
+
+func TestTokenTransferInsufficientReverts(t *testing.T) {
+	w := newWorld(t)
+	res := w.run(t, alice, w.usd.Addr, u256.Zero,
+		TokenTransferCalldata(bob, types.Ether(1)))
+	if res.Receipt.Succeeded() {
+		t.Error("transfer of unowned tokens succeeded")
+	}
+}
+
+func TestQuoteOutFormula(t *testing.T) {
+	w := newWorld(t)
+	// 100 in, reserves 1000/1000, 30bps: out = 997*1000*100 / (1000*10000+99700).
+	p := NewPair("test", w.weth, w.usd)
+	p.InitLiquidity(w.st, u256.New(1000), u256.New(1000))
+	out, ok := p.QuoteOut(w.st, w.weth.Addr, u256.New(100))
+	if !ok || out != u256.New(90) {
+		t.Errorf("QuoteOut = %s ok=%v, want 90", out, ok)
+	}
+	if _, ok := p.QuoteOut(w.st, crypto.AddressFromSeed("other"), u256.New(1)); ok {
+		t.Error("quote for foreign token")
+	}
+	if _, ok := p.QuoteOut(w.st, w.weth.Addr, u256.Zero); ok {
+		t.Error("quote for zero input")
+	}
+}
+
+func TestSwap(t *testing.T) {
+	w := newWorld(t)
+	w.weth.Mint(w.st, alice, types.Ether(10))
+	quote, _ := w.pair.QuoteOut(w.st, w.weth.Addr, types.Ether(1))
+
+	res := w.run(t, alice, w.pair.Addr, u256.Zero,
+		SwapCalldata(w.weth.Addr, types.Ether(1), quote))
+	if !res.Receipt.Succeeded() {
+		t.Fatal("swap reverted")
+	}
+	if got := w.usd.BalanceOf(w.st, alice); got != quote {
+		t.Errorf("alice USD = %s, want %s", got, quote)
+	}
+	// 2 Transfer logs + 1 Swap log.
+	if len(res.Receipt.Logs) != 3 {
+		t.Fatalf("logs = %d", len(res.Receipt.Logs))
+	}
+	ev, ok := ParseSwap(res.Receipt.Logs[2])
+	if !ok || ev.Pool != w.pair.Addr || ev.Sender != alice ||
+		ev.TokenIn != w.weth.Addr || ev.TokenOut != w.usd.Addr ||
+		ev.AmountIn != types.Ether(1) || ev.AmountOut != quote {
+		t.Errorf("ParseSwap = %+v ok=%v", ev, ok)
+	}
+	// Reserves moved with the trade.
+	r0, r1 := w.pair.Reserves(w.st)
+	if r0 != types.Ether(1001) || r1 != types.Ether(1_500_000).Sub(quote) {
+		t.Errorf("reserves = %s / %s", r0, r1)
+	}
+}
+
+func TestSwapMinOutReverts(t *testing.T) {
+	w := newWorld(t)
+	w.weth.Mint(w.st, alice, types.Ether(10))
+	quote, _ := w.pair.QuoteOut(w.st, w.weth.Addr, types.Ether(1))
+	tooMuch := quote.Add(u256.One)
+
+	res := w.run(t, alice, w.pair.Addr, u256.Zero,
+		SwapCalldata(w.weth.Addr, types.Ether(1), tooMuch))
+	if res.Receipt.Succeeded() {
+		t.Error("swap beat its own quote")
+	}
+	// Nothing moved.
+	if !w.usd.BalanceOf(w.st, alice).IsZero() {
+		t.Error("revert leaked tokens")
+	}
+	r0, _ := w.pair.Reserves(w.st)
+	if r0 != types.Ether(1000) {
+		t.Error("revert moved reserves")
+	}
+}
+
+func TestSwapProductInvariant(t *testing.T) {
+	w := newWorld(t)
+	w.weth.Mint(w.st, alice, types.Ether(500))
+	w.usd.Mint(w.st, alice, types.Ether(500_000))
+	r0, r1 := w.pair.Reserves(w.st)
+	kBefore := r0.Mul(r1)
+
+	// A sequence of swaps in both directions must never decrease k
+	// (fees accrue to the pool).
+	swaps := []struct {
+		token  types.Address
+		amount types.Wei
+	}{
+		{w.weth.Addr, types.Ether(5)},
+		{w.usd.Addr, types.Ether(3_000)},
+		{w.weth.Addr, types.Ether(50)},
+		{w.usd.Addr, types.Ether(100_000)},
+	}
+	for _, s := range swaps {
+		res := w.run(t, alice, w.pair.Addr, u256.Zero, SwapCalldata(s.token, s.amount, u256.Zero))
+		if !res.Receipt.Succeeded() {
+			t.Fatal("swap reverted")
+		}
+		r0, r1 = w.pair.Reserves(w.st)
+		k := r0.Mul(r1)
+		if k.Lt(kBefore) {
+			t.Fatalf("constant product decreased: %s -> %s", kBefore, k)
+		}
+		kBefore = k
+	}
+}
+
+func TestSpotPrice(t *testing.T) {
+	w := newWorld(t)
+	// 1,500,000 USD / 1000 WETH = 1500 USD per WETH, scaled 1e18.
+	if got := w.pair.SpotPrice(w.st); got != types.Ether(1500) {
+		t.Errorf("SpotPrice = %s", got)
+	}
+	empty := NewPair("empty", w.weth, w.usd)
+	if !empty.SpotPrice(w.st).IsZero() {
+		t.Error("empty pool has a price")
+	}
+}
+
+func TestBorrowRepay(t *testing.T) {
+	w := newWorld(t)
+	// Price 1500, threshold 80%: 1 ETH supports up to 1200 USD debt.
+	res := w.run(t, alice, w.lending.Addr, types.Ether(1),
+		BorrowCalldata(types.Ether(1200)))
+	if !res.Receipt.Succeeded() {
+		t.Fatal("borrow at limit reverted")
+	}
+	coll, debt := w.lending.Position(w.st, alice)
+	if coll != types.Ether(1) || debt != types.Ether(1200) {
+		t.Errorf("position = %s / %s", coll, debt)
+	}
+	if got := w.usd.BalanceOf(w.st, alice); got != types.Ether(1200) {
+		t.Errorf("minted = %s", got)
+	}
+	ev, ok := ParseBorrow(res.Receipt.Logs[0])
+	if !ok || ev.User != alice || ev.Debt != types.Ether(1200) {
+		t.Errorf("ParseBorrow = %+v ok=%v", ev, ok)
+	}
+
+	// Over the threshold reverts.
+	res = w.run(t, bob, w.lending.Addr, types.Ether(1), BorrowCalldata(types.Ether(1201)))
+	if res.Receipt.Succeeded() {
+		t.Error("over-threshold borrow succeeded")
+	}
+
+	// Repay half.
+	res = w.run(t, alice, w.lending.Addr, u256.Zero, RepayCalldata(types.Ether(600)))
+	if !res.Receipt.Succeeded() {
+		t.Fatal("repay reverted")
+	}
+	_, debt = w.lending.Position(w.st, alice)
+	if debt != types.Ether(600) {
+		t.Errorf("debt after repay = %s", debt)
+	}
+}
+
+func TestOracleAuth(t *testing.T) {
+	w := newWorld(t)
+	res := w.run(t, alice, w.lending.Addr, u256.Zero, OracleSetCalldata(types.Ether(1400)))
+	if res.Receipt.Succeeded() {
+		t.Error("non-oracle set the price")
+	}
+	res = w.run(t, oracle, w.lending.Addr, u256.Zero, OracleSetCalldata(types.Ether(1400)))
+	if !res.Receipt.Succeeded() {
+		t.Fatal("oracle update reverted")
+	}
+	if got := w.lending.Price(w.st); got != types.Ether(1400) {
+		t.Errorf("price = %s", got)
+	}
+	ev, ok := ParseOracle(res.Receipt.Logs[0])
+	if !ok || ev.Price != types.Ether(1400) {
+		t.Errorf("ParseOracle = %+v ok=%v", ev, ok)
+	}
+}
+
+func TestLiquidationFlow(t *testing.T) {
+	w := newWorld(t)
+	// Alice borrows at the limit; a price drop makes her liquidatable.
+	w.run(t, alice, w.lending.Addr, types.Ether(10), BorrowCalldata(types.Ether(12_000)))
+	if w.lending.Liquidatable(w.st, alice) {
+		t.Fatal("fresh position liquidatable")
+	}
+
+	// Healthy-position liquidation must revert.
+	w.usd.Mint(w.st, bob, types.Ether(20_000))
+	res := w.run(t, bob, w.lending.Addr, u256.Zero, LiquidateCalldata(alice))
+	if res.Receipt.Succeeded() {
+		t.Error("liquidated a healthy position")
+	}
+
+	// Price falls 1500 -> 1200: debt 12000 > 10*1200*0.8 = 9600.
+	w.run(t, oracle, w.lending.Addr, u256.Zero, OracleSetCalldata(types.Ether(1200)))
+	if !w.lending.Liquidatable(w.st, alice) {
+		t.Fatal("underwater position not liquidatable")
+	}
+
+	ethBefore := w.st.Balance(bob)
+	res = w.run(t, bob, w.lending.Addr, u256.Zero, LiquidateCalldata(alice))
+	if !res.Receipt.Succeeded() {
+		t.Fatal("liquidation reverted")
+	}
+	// Seized = 12000/1200 * 1.05 = 10.5 ETH, capped at 10.
+	gained := w.st.Balance(bob).Sub(ethBefore)
+	// bob also paid gas; gained = seized - gasCost. Check via the event.
+	var ev LiquidationEvent
+	found := false
+	for _, lg := range res.Receipt.Logs {
+		if e, ok := ParseLiquidation(lg); ok {
+			ev, found = e, true
+		}
+	}
+	if !found {
+		t.Fatal("no LiquidationCall event")
+	}
+	if ev.Liquidator != bob || ev.Borrower != alice {
+		t.Errorf("event parties: %+v", ev)
+	}
+	if ev.Repaid != types.Ether(12_000) || ev.Seized != types.Ether(10) {
+		t.Errorf("event amounts: repaid %s seized %s", ev.Repaid, ev.Seized)
+	}
+	if gained.Gt(types.Ether(10)) {
+		t.Errorf("liquidator gained %s > seizable", gained)
+	}
+	// Position cleared.
+	coll, debt := w.lending.Position(w.st, alice)
+	if !debt.IsZero() || !coll.IsZero() {
+		t.Errorf("position after liquidation: %s / %s", coll, debt)
+	}
+	// Debt tokens burned.
+	if got := w.usd.BalanceOf(w.st, bob); got != types.Ether(8_000) {
+		t.Errorf("bob USD after repay = %s", got)
+	}
+}
+
+func TestLiquidateWithoutFundsReverts(t *testing.T) {
+	w := newWorld(t)
+	w.run(t, alice, w.lending.Addr, types.Ether(10), BorrowCalldata(types.Ether(12_000)))
+	w.run(t, oracle, w.lending.Addr, u256.Zero, OracleSetCalldata(types.Ether(1200)))
+	res := w.run(t, bob, w.lending.Addr, u256.Zero, LiquidateCalldata(alice))
+	if res.Receipt.Succeeded() {
+		t.Error("liquidation without debt tokens succeeded")
+	}
+}
+
+func TestParseRejectsForeignLogs(t *testing.T) {
+	foreign := types.Log{Topics: []types.Hash{crypto.Keccak256([]byte("Other()"))}}
+	if _, ok := ParseSwap(foreign); ok {
+		t.Error("ParseSwap accepted foreign log")
+	}
+	if _, ok := ParseTransfer(foreign); ok {
+		t.Error("ParseTransfer accepted foreign log")
+	}
+	if _, ok := ParseLiquidation(foreign); ok {
+		t.Error("ParseLiquidation accepted foreign log")
+	}
+	if _, ok := ParseBorrow(foreign); ok {
+		t.Error("ParseBorrow accepted foreign log")
+	}
+	if _, ok := ParseOracle(foreign); ok {
+		t.Error("ParseOracle accepted foreign log")
+	}
+	// Truncated data must also be rejected.
+	trunc := types.Log{Topics: []types.Hash{TopicSwap, AddrTopic(alice)}, Data: []byte{1, 2}}
+	if _, ok := ParseSwap(trunc); ok {
+		t.Error("ParseSwap accepted truncated data")
+	}
+}
+
+func TestAddrTopicRoundTrip(t *testing.T) {
+	if TopicAddr(AddrTopic(alice)) != alice {
+		t.Error("AddrTopic round trip failed")
+	}
+}
+
+func TestRouterMultiSwap(t *testing.T) {
+	w := newWorld(t)
+	sushi := NewPair("sushiswap", w.weth, w.usd)
+	sushi.InitLiquidity(w.st, types.Ether(1000), types.Ether(1_400_000)) // cheaper WETH
+	router := NewRouter("main", []*Pair{w.pair, sushi})
+	w.engine.Register(sushi.Addr, sushi)
+	w.engine.Register(router.Addr, router)
+	w.weth.Mint(w.st, alice, types.Ether(50))
+
+	// Cycle: sell WETH on the expensive pool, buy back on the cheap one.
+	res := w.run(t, alice, router.Addr, u256.Zero,
+		MultiSwapCalldata(w.pair.Addr, sushi.Addr, types.Ether(10), types.Ether(10)))
+	if !res.Receipt.Succeeded() {
+		t.Fatal("profitable cycle reverted")
+	}
+	if got := w.weth.BalanceOf(w.st, alice); !got.Gt(types.Ether(50)) {
+		t.Errorf("no profit: %s", got)
+	}
+	// Both swap events visible in one tx (the arbitrage detector's input).
+	swaps := 0
+	for _, lg := range res.Receipt.Logs {
+		if _, ok := ParseSwap(lg); ok {
+			swaps++
+		}
+	}
+	if swaps != 2 {
+		t.Errorf("swap events = %d, want 2", swaps)
+	}
+}
+
+func TestRouterRejections(t *testing.T) {
+	w := newWorld(t)
+	dai := NewToken("DAI")
+	otherPair := NewPair("uniswap", w.weth, dai) // different token pair
+	router := NewRouter("main", []*Pair{w.pair, otherPair})
+	w.engine.Register(router.Addr, router)
+	w.weth.Mint(w.st, alice, types.Ether(50))
+
+	// Mismatched token pairs.
+	res := w.run(t, alice, router.Addr, u256.Zero,
+		MultiSwapCalldata(w.pair.Addr, otherPair.Addr, types.Ether(1), u256.Zero))
+	if res.Receipt.Succeeded() {
+		t.Error("mismatched pools routed")
+	}
+	// Unknown pool.
+	res = w.run(t, alice, router.Addr, u256.Zero,
+		MultiSwapCalldata(crypto.AddressFromSeed("ghost"), w.pair.Addr, types.Ether(1), u256.Zero))
+	if res.Receipt.Succeeded() {
+		t.Error("unknown pool routed")
+	}
+	// Wrong op.
+	res = w.run(t, alice, router.Addr, u256.Zero, SwapCalldata(w.weth.Addr, types.Ether(1), u256.Zero))
+	if res.Receipt.Succeeded() {
+		t.Error("router accepted a plain swap op")
+	}
+	// Non-payable.
+	res = w.run(t, alice, router.Addr, types.Ether(1),
+		MultiSwapCalldata(w.pair.Addr, w.pair.Addr, types.Ether(1), u256.Zero))
+	if res.Receipt.Succeeded() {
+		t.Error("router accepted value")
+	}
+}
+
+func TestRouterLeg2RevertRollsBackLeg1(t *testing.T) {
+	w := newWorld(t)
+	sushi := NewPair("sushiswap", w.weth, w.usd)
+	sushi.InitLiquidity(w.st, types.Ether(1000), types.Ether(1_500_000))
+	router := NewRouter("main", []*Pair{w.pair, sushi})
+	w.engine.Register(sushi.Addr, sushi)
+	w.engine.Register(router.Addr, router)
+	w.weth.Mint(w.st, alice, types.Ether(50))
+
+	before0, before1 := w.pair.Reserves(w.st)
+	// Impossible minOut: leg 2 reverts; leg 1's reserve moves must unwind.
+	res := w.run(t, alice, router.Addr, u256.Zero,
+		MultiSwapCalldata(w.pair.Addr, sushi.Addr, types.Ether(1), types.Ether(1_000_000)))
+	if res.Receipt.Succeeded() {
+		t.Fatal("impossible cycle succeeded")
+	}
+	after0, after1 := w.pair.Reserves(w.st)
+	if before0 != after0 || before1 != after1 {
+		t.Error("leg 1 reserves not rolled back")
+	}
+	if got := w.weth.BalanceOf(w.st, alice); got != types.Ether(50) {
+		t.Errorf("alice lost tokens on revert: %s", got)
+	}
+}
+
+func TestContractWrongOpsRevert(t *testing.T) {
+	w := newWorld(t)
+	w.usd.Mint(w.st, alice, types.Ether(10))
+	// Token contract given a swap op.
+	res := w.run(t, alice, w.usd.Addr, u256.Zero, SwapCalldata(w.usd.Addr, types.Ether(1), u256.Zero))
+	if res.Receipt.Succeeded() {
+		t.Error("token accepted swap op")
+	}
+	// Token is non-payable.
+	res = w.run(t, alice, w.usd.Addr, types.Ether(1), TokenTransferCalldata(bob, types.Ether(1)))
+	if res.Receipt.Succeeded() {
+		t.Error("token accepted value")
+	}
+	// Pair given a token-transfer op.
+	res = w.run(t, alice, w.pair.Addr, u256.Zero, TokenTransferCalldata(bob, types.Ether(1)))
+	if res.Receipt.Succeeded() {
+		t.Error("pair accepted transfer op")
+	}
+	// Pair is non-payable.
+	res = w.run(t, alice, w.pair.Addr, types.Ether(1), SwapCalldata(w.weth.Addr, types.Ether(1), u256.Zero))
+	if res.Receipt.Succeeded() {
+		t.Error("pair accepted value")
+	}
+	// Lending given a swap op.
+	res = w.run(t, alice, w.lending.Addr, u256.Zero, SwapCalldata(w.weth.Addr, types.Ether(1), u256.Zero))
+	if res.Receipt.Succeeded() {
+		t.Error("lending accepted swap op")
+	}
+	// Repay with value attached.
+	res = w.run(t, alice, w.lending.Addr, types.Ether(1), RepayCalldata(types.Ether(1)))
+	if res.Receipt.Succeeded() {
+		t.Error("repay accepted value")
+	}
+	// Repay with no debt.
+	res = w.run(t, alice, w.lending.Addr, u256.Zero, RepayCalldata(types.Ether(1)))
+	if res.Receipt.Succeeded() {
+		t.Error("repay without debt succeeded")
+	}
+	// Liquidate a borrower with no position.
+	res = w.run(t, alice, w.lending.Addr, u256.Zero, LiquidateCalldata(bob))
+	if res.Receipt.Succeeded() {
+		t.Error("liquidated a non-position")
+	}
+	// Zero-price oracle update.
+	res = w.run(t, oracle, w.lending.Addr, u256.Zero, OracleSetCalldata(u256.Zero))
+	if res.Receipt.Succeeded() {
+		t.Error("zero price accepted")
+	}
+	// Borrow without collateral.
+	res = w.run(t, alice, w.lending.Addr, u256.Zero, BorrowCalldata(types.Ether(1)))
+	if res.Receipt.Succeeded() {
+		t.Error("collateral-free borrow succeeded")
+	}
+}
+
+func TestShiftReserves(t *testing.T) {
+	w := newWorld(t)
+	r0, r1 := w.pair.Reserves(w.st)
+	w.pair.ShiftReserves(w.st, w.weth.Addr, types.Ether(10), types.Ether(14_000))
+	n0, n1 := w.pair.Reserves(w.st)
+	if n0 != r0.Add(types.Ether(10)) || n1 != r1.Sub(types.Ether(14_000)) {
+		t.Error("token0-in shift wrong")
+	}
+	w.pair.ShiftReserves(w.st, w.usd.Addr, types.Ether(14_000), types.Ether(10))
+	b0, b1 := w.pair.Reserves(w.st)
+	if b0 != r0 || b1 != r1 {
+		t.Error("token1-in shift did not invert")
+	}
+}

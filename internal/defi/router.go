@@ -1,0 +1,85 @@
+package defi
+
+import (
+	"fmt"
+
+	"github.com/ethpbs/pbslab/internal/crypto"
+	"github.com/ethpbs/pbslab/internal/evm"
+	"github.com/ethpbs/pbslab/internal/types"
+	"github.com/ethpbs/pbslab/internal/u256"
+)
+
+// Router executes multi-hop swaps atomically within one transaction, the
+// way arbitrage bots route cycles through a contract so the whole trade
+// either lands or reverts. Because both Swap events then appear in a single
+// transaction, cyclic arbitrage is detectable per-transaction — the
+// heuristic the paper's MEV sources use.
+type Router struct {
+	Addr  types.Address
+	pairs map[types.Address]*Pair
+}
+
+// NewRouter creates a router over the given pairs.
+func NewRouter(name string, pairs []*Pair) *Router {
+	r := &Router{
+		Addr:  crypto.AddressFromSeed("router/" + name),
+		pairs: make(map[types.Address]*Pair, len(pairs)),
+	}
+	for _, p := range pairs {
+		r.pairs[p.Addr] = p
+	}
+	return r
+}
+
+// Call implements evm.Contract. OpMultiSwap routes call.Amount of the first
+// pool's Token0 through pools call.Addr then call.Addr2, requiring at least
+// call.Amount2 of the starting token back.
+func (r *Router) Call(env *evm.Env, from types.Address, value types.Wei, call evm.Call) error {
+	if call.Op != evm.OpMultiSwap {
+		return fmt.Errorf("router: unsupported op %s", call.Op)
+	}
+	if !value.IsZero() {
+		return fmt.Errorf("router: non-payable")
+	}
+	p1, ok := r.pairs[call.Addr]
+	if !ok {
+		return fmt.Errorf("router: unknown pool %s", call.Addr)
+	}
+	p2, ok := r.pairs[call.Addr2]
+	if !ok {
+		return fmt.Errorf("router: unknown pool %s", call.Addr2)
+	}
+	if p1.Token0.Addr != p2.Token0.Addr || p1.Token1.Addr != p2.Token1.Addr {
+		return fmt.Errorf("router: pools do not share a token pair")
+	}
+
+	// Leg 1: Token0 -> Token1 on p1. Leg 2: Token1 -> Token0 on p2.
+	// The snapshot makes the pair legs atomic even though each pair call is
+	// individually all-or-nothing.
+	snap := env.State.Snapshot()
+	mid, ok := p1.QuoteOut(env.State, p1.Token0.Addr, call.Amount)
+	if !ok || mid.IsZero() {
+		return fmt.Errorf("router: no liquidity on leg 1")
+	}
+	if err := p1.Call(env, from, u256.Zero, evm.Call{
+		Op: evm.OpSwap, Addr: p1.Token0.Addr, Amount: call.Amount, Amount2: mid,
+	}); err != nil {
+		env.State.RevertTo(snap)
+		return fmt.Errorf("router: leg 1: %w", err)
+	}
+	if err := p2.Call(env, from, u256.Zero, evm.Call{
+		Op: evm.OpSwap, Addr: p2.Token1.Addr, Amount: mid, Amount2: call.Amount2,
+	}); err != nil {
+		env.State.RevertTo(snap)
+		return fmt.Errorf("router: leg 2: %w", err)
+	}
+	return nil
+}
+
+// MultiSwapCalldata builds router calldata for the two-pool cycle.
+func MultiSwapCalldata(pool1, pool2 types.Address, amountIn, minOut u256.Int) []byte {
+	return evm.EncodeCall(evm.Call{
+		Op: evm.OpMultiSwap, Addr: pool1, Addr2: pool2,
+		Amount: amountIn, Amount2: minOut,
+	})
+}

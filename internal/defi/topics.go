@@ -1,0 +1,246 @@
+// Package defi implements the on-chain financial substrate MEV lives on:
+// ERC-20 style tokens, constant-product AMM pairs (Uniswap-v2 semantics,
+// 0.3% fee), and a collateralized lending market with a price oracle.
+//
+// Every state change emits event logs with stable topic signatures; the MEV
+// detectors in internal/mev reconstruct sandwiches, arbitrage cycles and
+// liquidations from those logs alone, exactly as the paper's scripts work
+// from mainnet receipts.
+package defi
+
+import (
+	"github.com/ethpbs/pbslab/internal/crypto"
+	"github.com/ethpbs/pbslab/internal/types"
+	"github.com/ethpbs/pbslab/internal/u256"
+)
+
+// Event topic signatures, hashed from the canonical event declarations.
+var (
+	// TopicTransfer is Transfer(address from, address to, uint256 value).
+	TopicTransfer = crypto.Keccak256([]byte("Transfer(address,address,uint256)"))
+	// TopicSwap is Swap(address sender, address tokenIn, address tokenOut,
+	// uint256 amountIn, uint256 amountOut).
+	TopicSwap = crypto.Keccak256([]byte("Swap(address,address,address,uint256,uint256)"))
+	// TopicBorrow is Borrow(address user, uint256 collateral, uint256 debt).
+	TopicBorrow = crypto.Keccak256([]byte("Borrow(address,uint256,uint256)"))
+	// TopicRepay is Repay(address user, uint256 amount).
+	TopicRepay = crypto.Keccak256([]byte("Repay(address,uint256)"))
+	// TopicLiquidation is LiquidationCall(address liquidator, address
+	// borrower, uint256 repaid, uint256 seized).
+	TopicLiquidation = crypto.Keccak256([]byte("LiquidationCall(address,address,uint256,uint256)"))
+	// TopicOracleUpdate is AnswerUpdated(uint256 price).
+	TopicOracleUpdate = crypto.Keccak256([]byte("AnswerUpdated(uint256)"))
+)
+
+// AddrTopic encodes an address as a 32-byte topic, left-padded as on
+// mainnet.
+func AddrTopic(a types.Address) types.Hash {
+	var h types.Hash
+	copy(h[12:], a[:])
+	return h
+}
+
+// TopicAddr recovers the address from an AddrTopic-encoded topic.
+func TopicAddr(h types.Hash) types.Address {
+	var a types.Address
+	copy(a[:], h[12:])
+	return a
+}
+
+// amountsData packs u256 amounts (and optional addresses) into log data.
+type dataWriter struct{ buf []byte }
+
+func (w *dataWriter) addr(a types.Address) *dataWriter {
+	w.buf = append(w.buf, a[:]...)
+	return w
+}
+
+func (w *dataWriter) amount(v u256.Int) *dataWriter {
+	b := v.Bytes32()
+	w.buf = append(w.buf, b[:]...)
+	return w
+}
+
+func (w *dataWriter) bytes() []byte { return w.buf }
+
+// dataReader unpacks log data written by dataWriter.
+type dataReader struct {
+	buf []byte
+	off int
+	err bool
+}
+
+func (r *dataReader) addr() types.Address {
+	var a types.Address
+	if r.off+20 > len(r.buf) {
+		r.err = true
+		return a
+	}
+	copy(a[:], r.buf[r.off:r.off+20])
+	r.off += 20
+	return a
+}
+
+func (r *dataReader) amount() u256.Int {
+	var b [32]byte
+	if r.off+32 > len(r.buf) {
+		r.err = true
+		return u256.Zero
+	}
+	copy(b[:], r.buf[r.off:r.off+32])
+	r.off += 32
+	return u256.FromBytes32(b)
+}
+
+func (r *dataReader) ok() bool { return !r.err && r.off == len(r.buf) }
+
+// SwapEvent is a decoded Swap log.
+type SwapEvent struct {
+	Pool      types.Address
+	Sender    types.Address
+	TokenIn   types.Address
+	TokenOut  types.Address
+	AmountIn  u256.Int
+	AmountOut u256.Int
+}
+
+// ParseSwap decodes a Swap log, reporting ok=false for non-swap logs.
+func ParseSwap(log types.Log) (SwapEvent, bool) {
+	if len(log.Topics) != 2 || log.Topics[0] != TopicSwap {
+		return SwapEvent{}, false
+	}
+	r := &dataReader{buf: log.Data}
+	ev := SwapEvent{
+		Pool:    log.Address,
+		Sender:  TopicAddr(log.Topics[1]),
+		TokenIn: r.addr(), TokenOut: r.addr(),
+		AmountIn: r.amount(), AmountOut: r.amount(),
+	}
+	if !r.ok() {
+		return SwapEvent{}, false
+	}
+	return ev, true
+}
+
+// EncodeSwapLog renders ev as the log a pair emits; the inverse of
+// ParseSwap. Detector tests and synthetic fixtures use it.
+func EncodeSwapLog(ev SwapEvent) types.Log {
+	w := &dataWriter{}
+	w.addr(ev.TokenIn).addr(ev.TokenOut).amount(ev.AmountIn).amount(ev.AmountOut)
+	return types.Log{
+		Address: ev.Pool,
+		Topics:  []types.Hash{TopicSwap, AddrTopic(ev.Sender)},
+		Data:    w.bytes(),
+	}
+}
+
+// EncodeLiquidationLog renders ev as a LiquidationCall log; the inverse of
+// ParseLiquidation.
+func EncodeLiquidationLog(ev LiquidationEvent) types.Log {
+	w := &dataWriter{}
+	w.amount(ev.Repaid).amount(ev.Seized)
+	return types.Log{
+		Address: ev.Market,
+		Topics:  []types.Hash{TopicLiquidation, AddrTopic(ev.Liquidator), AddrTopic(ev.Borrower)},
+		Data:    w.bytes(),
+	}
+}
+
+// TransferEvent is a decoded token Transfer log.
+type TransferEvent struct {
+	Token  types.Address
+	From   types.Address
+	To     types.Address
+	Amount u256.Int
+}
+
+// ParseTransfer decodes a Transfer log, reporting ok=false otherwise.
+func ParseTransfer(log types.Log) (TransferEvent, bool) {
+	if len(log.Topics) != 3 || log.Topics[0] != TopicTransfer {
+		return TransferEvent{}, false
+	}
+	r := &dataReader{buf: log.Data}
+	ev := TransferEvent{
+		Token: log.Address,
+		From:  TopicAddr(log.Topics[1]),
+		To:    TopicAddr(log.Topics[2]),
+	}
+	ev.Amount = r.amount()
+	if !r.ok() {
+		return TransferEvent{}, false
+	}
+	return ev, true
+}
+
+// LiquidationEvent is a decoded LiquidationCall log.
+type LiquidationEvent struct {
+	Market     types.Address
+	Liquidator types.Address
+	Borrower   types.Address
+	Repaid     u256.Int
+	Seized     u256.Int
+}
+
+// ParseLiquidation decodes a LiquidationCall log.
+func ParseLiquidation(log types.Log) (LiquidationEvent, bool) {
+	if len(log.Topics) != 3 || log.Topics[0] != TopicLiquidation {
+		return LiquidationEvent{}, false
+	}
+	r := &dataReader{buf: log.Data}
+	ev := LiquidationEvent{
+		Market:     log.Address,
+		Liquidator: TopicAddr(log.Topics[1]),
+		Borrower:   TopicAddr(log.Topics[2]),
+		Repaid:     r.amount(),
+		Seized:     r.amount(),
+	}
+	if !r.ok() {
+		return LiquidationEvent{}, false
+	}
+	return ev, true
+}
+
+// BorrowEvent is a decoded Borrow log.
+type BorrowEvent struct {
+	Market     types.Address
+	User       types.Address
+	Collateral u256.Int
+	Debt       u256.Int
+}
+
+// ParseBorrow decodes a Borrow log.
+func ParseBorrow(log types.Log) (BorrowEvent, bool) {
+	if len(log.Topics) != 2 || log.Topics[0] != TopicBorrow {
+		return BorrowEvent{}, false
+	}
+	r := &dataReader{buf: log.Data}
+	ev := BorrowEvent{
+		Market:     log.Address,
+		User:       TopicAddr(log.Topics[1]),
+		Collateral: r.amount(),
+		Debt:       r.amount(),
+	}
+	if !r.ok() {
+		return BorrowEvent{}, false
+	}
+	return ev, true
+}
+
+// OracleEvent is a decoded AnswerUpdated log.
+type OracleEvent struct {
+	Market types.Address
+	Price  u256.Int
+}
+
+// ParseOracle decodes an AnswerUpdated log.
+func ParseOracle(log types.Log) (OracleEvent, bool) {
+	if len(log.Topics) != 1 || log.Topics[0] != TopicOracleUpdate {
+		return OracleEvent{}, false
+	}
+	r := &dataReader{buf: log.Data}
+	ev := OracleEvent{Market: log.Address, Price: r.amount()}
+	if !r.ok() {
+		return OracleEvent{}, false
+	}
+	return ev, true
+}

@@ -1,0 +1,198 @@
+package epbs
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/ethpbs/pbslab/internal/crypto"
+	"github.com/ethpbs/pbslab/internal/types"
+)
+
+func newBuilder(t *testing.T, m *Market, seed string, depositETH float64) *crypto.Key {
+	t.Helper()
+	key := crypto.NewKey([]byte(seed))
+	var pub types.PubKey = key.Pub()
+	m.Deposit(pub, key.VerificationKey(), types.Ether(depositETH))
+	return key
+}
+
+func commit(t *testing.T, m *Market, key *crypto.Key, slot uint64, hash types.Hash, bidETH float64) *Commitment {
+	t.Helper()
+	c := &Commitment{
+		Slot: slot, BlockHash: hash,
+		BuilderPubkey: key.Pub(), Bid: types.Ether(bidETH),
+	}
+	c.Sign(key)
+	if err := m.Commit(c); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	return c
+}
+
+func blockWithHash(seed string) *types.Block {
+	header := &types.Header{Number: 1, Extra: []byte(seed)}
+	return types.NewBlock(header, nil)
+}
+
+func TestHonestFlow(t *testing.T) {
+	m := NewMarket()
+	key := newBuilder(t, m, "builder-a", 10)
+	blk := blockWithHash("payload")
+	c := commit(t, m, key, 100, blk.Hash(), 0.5)
+
+	best, err := m.Best(100)
+	if err != nil || best != c {
+		t.Fatalf("Best: %v", err)
+	}
+	s, err := m.Settle(best, blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Paid != s.Promised || s.Slashed {
+		t.Errorf("settlement: %+v", s)
+	}
+	if got := m.DepositOf(key.Pub()); got != types.Ether(9.5) {
+		t.Errorf("deposit after = %s", got)
+	}
+}
+
+func TestLyingBuilderStillPays(t *testing.T) {
+	// The Manifold/Eden failure mode: a builder claims value its block does
+	// not carry. Under enshrined PBS, the protocol pays the proposer from
+	// the deposit regardless — the proposer cannot be shortchanged.
+	m := NewMarket()
+	key := newBuilder(t, m, "liar", 10)
+	blk := blockWithHash("worthless-block")
+	c := commit(t, m, key, 100, blk.Hash(), 2.0) // claims 2 ETH of value
+
+	s, err := m.Settle(c, blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Paid != types.Ether(2) {
+		t.Errorf("proposer received %s, want the full promise", s.Paid)
+	}
+	_, _, share := Audit([]*Settlement{s})
+	if share != 1 {
+		t.Errorf("audit share = %f, want 1 (protocol-enforced)", share)
+	}
+}
+
+func TestMissingRevealSlashes(t *testing.T) {
+	m := NewMarket()
+	key := newBuilder(t, m, "ghost", 5)
+	blk := blockWithHash("never-revealed")
+	c := commit(t, m, key, 7, blk.Hash(), 1.0)
+
+	s, err := m.Settle(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Slashed || s.Paid != types.Ether(1) {
+		t.Errorf("settlement: %+v", s)
+	}
+	// Wrong payload is slashed too.
+	m2 := NewMarket()
+	key2 := newBuilder(t, m2, "swapper", 5)
+	c2 := commit(t, m2, key2, 7, blockWithHash("committed").Hash(), 1.0)
+	s2, err := m2.Settle(c2, blockWithHash("other"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Slashed {
+		t.Error("mismatched reveal not slashed")
+	}
+}
+
+func TestBidBoundedByDeposit(t *testing.T) {
+	m := NewMarket()
+	key := newBuilder(t, m, "thin", 0.5)
+	c := &Commitment{
+		Slot: 1, BlockHash: crypto.Keccak256([]byte("x")),
+		BuilderPubkey: key.Pub(), Bid: types.Ether(1),
+	}
+	c.Sign(key)
+	if err := m.Commit(c); !errors.Is(err, ErrBidExceedsBond) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestNoDepositNoBids(t *testing.T) {
+	m := NewMarket()
+	key := crypto.NewKey([]byte("stranger"))
+	c := &Commitment{Slot: 1, BuilderPubkey: key.Pub(), Bid: types.Ether(1)}
+	c.Sign(key)
+	if err := m.Commit(c); !errors.Is(err, ErrNoDeposit) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestTamperedCommitmentRejected(t *testing.T) {
+	m := NewMarket()
+	key := newBuilder(t, m, "tamper", 10)
+	c := &Commitment{
+		Slot: 1, BlockHash: crypto.Keccak256([]byte("x")),
+		BuilderPubkey: key.Pub(), Bid: types.Ether(0.1),
+	}
+	c.Sign(key)
+	c.Bid = types.Ether(0.2) // inflate after signing
+	if err := m.Commit(c); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestBestSelectsHighestBid(t *testing.T) {
+	m := NewMarket()
+	a := newBuilder(t, m, "a", 10)
+	b := newBuilder(t, m, "b", 10)
+	commit(t, m, a, 5, crypto.Keccak256([]byte("a")), 0.3)
+	big := commit(t, m, b, 5, crypto.Keccak256([]byte("b")), 0.7)
+	best, err := m.Best(5)
+	if err != nil || best != big {
+		t.Fatalf("Best picked %v", best)
+	}
+	if _, err := m.Best(999); !errors.Is(err, ErrNoCommitments) {
+		t.Errorf("empty slot: %v", err)
+	}
+	if got := m.Commitments(5); len(got) != 2 || got[0] != big {
+		t.Error("Commitments not sorted")
+	}
+}
+
+func TestDoubleSettleRejected(t *testing.T) {
+	m := NewMarket()
+	key := newBuilder(t, m, "once", 10)
+	blk := blockWithHash("p")
+	c := commit(t, m, key, 3, blk.Hash(), 0.1)
+	if _, err := m.Settle(c, blk); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Settle(c, blk); !errors.Is(err, ErrAlreadySettled) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSettleUnknownCommitment(t *testing.T) {
+	m := NewMarket()
+	key := newBuilder(t, m, "k", 10)
+	stray := &Commitment{Slot: 9, BuilderPubkey: key.Pub(), Bid: types.Ether(0.1)}
+	stray.Sign(key)
+	if _, err := m.Settle(stray, nil); !errors.Is(err, ErrUnknownSelection) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestAuditAggregates(t *testing.T) {
+	settlements := []*Settlement{
+		{Promised: types.Ether(1), Paid: types.Ether(1)},
+		{Promised: types.Ether(2), Paid: types.Ether(2)},
+	}
+	delivered, promised, share := Audit(settlements)
+	if delivered != types.Ether(3) || promised != types.Ether(3) || share != 1 {
+		t.Errorf("audit: %s %s %f", delivered, promised, share)
+	}
+	_, _, emptyShare := Audit(nil)
+	if emptyShare != 1 {
+		t.Errorf("empty audit share = %f", emptyShare)
+	}
+}

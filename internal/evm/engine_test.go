@@ -1,0 +1,298 @@
+package evm
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/ethpbs/pbslab/internal/crypto"
+	"github.com/ethpbs/pbslab/internal/state"
+	"github.com/ethpbs/pbslab/internal/types"
+	"github.com/ethpbs/pbslab/internal/u256"
+)
+
+var (
+	alice    = crypto.AddressFromSeed("alice")
+	bob      = crypto.AddressFromSeed("bob")
+	builder  = crypto.AddressFromSeed("builder")
+	contract = crypto.AddressFromSeed("contract")
+)
+
+func testCtx() BlockContext {
+	return BlockContext{
+		Number: 100, Timestamp: 1_663_224_179,
+		BaseFee: types.Gwei(10), FeeRecipient: builder, GasLimit: 30_000_000,
+	}
+}
+
+func fundedState() *state.State {
+	st := state.New()
+	st.SetBalance(alice, types.Ether(10))
+	st.SetBalance(bob, types.Ether(10))
+	return st
+}
+
+func TestEncodeDecodeCall(t *testing.T) {
+	c := Call{Op: OpSwap, Addr: alice, Amount: u256.New(123), Amount2: u256.New(456)}
+	back, err := DecodeCall(EncodeCall(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != c {
+		t.Errorf("round trip: %+v != %+v", back, c)
+	}
+	// Empty calldata decodes to OpNone.
+	none, err := DecodeCall(nil)
+	if err != nil || none.Op != OpNone {
+		t.Errorf("empty calldata: %+v, %v", none, err)
+	}
+}
+
+func TestDecodeCallErrors(t *testing.T) {
+	if _, err := DecodeCall([]byte{1, 2, 3}); err == nil {
+		t.Error("short calldata accepted")
+	}
+	bad := EncodeCall(Call{Op: OpSwap})
+	bad[0] = 200
+	if _, err := DecodeCall(bad); err == nil {
+		t.Error("unknown op accepted")
+	}
+}
+
+func TestPlainTransfer(t *testing.T) {
+	e := NewEngine()
+	st := fundedState()
+	tx := types.NewTransaction(0, alice, bob, types.Ether(1), 21_000,
+		types.Gwei(50), types.Gwei(2), nil)
+	res, err := e.ApplyTx(st, testCtx(), tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Receipt.Succeeded() {
+		t.Fatal("transfer reverted")
+	}
+	if res.Receipt.GasUsed != 21_000 {
+		t.Errorf("gas = %d", res.Receipt.GasUsed)
+	}
+	if st.Balance(bob) != types.Ether(11) {
+		t.Errorf("bob = %s", st.Balance(bob))
+	}
+	// Tip: 2 gwei * 21000 to the builder.
+	wantTip := types.Gwei(2).Mul64(21_000)
+	if res.Tip != wantTip || st.Balance(builder) != wantTip {
+		t.Errorf("tip = %s, builder bal %s, want %s", res.Tip, st.Balance(builder), wantTip)
+	}
+	// Burn: 10 gwei * 21000, destroyed.
+	if res.Burned != types.Gwei(10).Mul64(21_000) {
+		t.Errorf("burned = %s", res.Burned)
+	}
+	if st.Nonce(alice) != 1 {
+		t.Error("nonce not advanced")
+	}
+	// Trace recorded for the top-level value move.
+	if len(res.Traces) != 1 || res.Traces[0].To != bob {
+		t.Errorf("traces = %+v", res.Traces)
+	}
+}
+
+func TestSupplyConservationMinusBurn(t *testing.T) {
+	e := NewEngine()
+	st := fundedState()
+	before := st.TotalSupply()
+	tx := types.NewTransaction(0, alice, bob, types.Ether(1), 21_000,
+		types.Gwei(50), types.Gwei(2), nil)
+	res, err := e.ApplyTx(st, testCtx(), tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := st.TotalSupply()
+	if after.Add(res.Burned) != before {
+		t.Errorf("supply: before %s, after %s + burned %s", before, after, res.Burned)
+	}
+}
+
+func TestValidityErrors(t *testing.T) {
+	e := NewEngine()
+	st := fundedState()
+	ctx := testCtx()
+
+	badNonce := types.NewTransaction(5, alice, bob, u256.Zero, 21_000,
+		types.Gwei(50), types.Gwei(1), nil)
+	if _, err := e.ApplyTx(st, ctx, badNonce); !errors.Is(err, ErrNonce) {
+		t.Errorf("bad nonce: %v", err)
+	}
+
+	lowFee := types.NewTransaction(0, alice, bob, u256.Zero, 21_000,
+		types.Gwei(5), types.Gwei(1), nil) // maxFee 5 < baseFee 10
+	if _, err := e.ApplyTx(st, ctx, lowFee); !errors.Is(err, ErrFeeTooLow) {
+		t.Errorf("low fee: %v", err)
+	}
+
+	poor := crypto.AddressFromSeed("poor")
+	broke := types.NewTransaction(0, poor, bob, u256.Zero, 21_000,
+		types.Gwei(50), types.Gwei(1), nil)
+	if _, err := e.ApplyTx(st, ctx, broke); !errors.Is(err, ErrInsufficientFunds) {
+		t.Errorf("insufficient funds: %v", err)
+	}
+
+	lowGas := types.NewTransaction(0, alice, bob, u256.Zero, 20_000,
+		types.Gwei(50), types.Gwei(1), nil)
+	if _, err := e.ApplyTx(st, ctx, lowGas); !errors.Is(err, ErrGasLimitTooLow) {
+		t.Errorf("low gas limit: %v", err)
+	}
+
+	// None of the failures may mutate state.
+	if st.Nonce(alice) != 0 || st.Balance(alice) != types.Ether(10) {
+		t.Error("validity failure mutated state")
+	}
+}
+
+func TestUnknownContractReverts(t *testing.T) {
+	e := NewEngine()
+	st := fundedState()
+	data := EncodeCall(Call{Op: OpSwap, Addr: bob, Amount: u256.New(1)})
+	tx := types.NewTransaction(0, alice, contract, u256.Zero, 200_000,
+		types.Gwei(50), types.Gwei(1), data)
+	res, err := e.ApplyTx(st, testCtx(), tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Receipt.Succeeded() {
+		t.Error("swap against unregistered contract succeeded")
+	}
+	// Gas still charged on revert.
+	if st.Balance(builder).IsZero() {
+		t.Error("revert did not pay the tip")
+	}
+	if st.Nonce(alice) != 1 {
+		t.Error("revert did not advance nonce")
+	}
+}
+
+func TestCoinbaseTip(t *testing.T) {
+	e := NewEngine()
+	st := fundedState()
+	amount := types.Ether(0.05)
+	data := EncodeCall(Call{Op: OpCoinbaseTip, Amount: amount})
+	tx := types.NewTransaction(0, alice, bob, u256.Zero, 28_000,
+		types.Gwei(50), types.Gwei(1), data)
+	res, err := e.ApplyTx(st, testCtx(), tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Receipt.Succeeded() {
+		t.Fatal("coinbase tip reverted")
+	}
+	// The tip lands at the fee recipient and appears as a trace — that is
+	// how the measurement pipeline finds direct transfers.
+	if len(res.Traces) != 1 || res.Traces[0].To != builder || res.Traces[0].Value != amount {
+		t.Errorf("traces = %+v", res.Traces)
+	}
+	wantBuilder := amount.Add(types.Gwei(1).Mul64(28_000))
+	if st.Balance(builder) != wantBuilder {
+		t.Errorf("builder balance = %s, want %s", st.Balance(builder), wantBuilder)
+	}
+}
+
+func TestCoinbaseTipInsufficientReverts(t *testing.T) {
+	e := NewEngine()
+	st := fundedState()
+	data := EncodeCall(Call{Op: OpCoinbaseTip, Amount: types.Ether(100)})
+	tx := types.NewTransaction(0, alice, bob, u256.Zero, 28_000,
+		types.Gwei(50), types.Gwei(1), data)
+	res, err := e.ApplyTx(st, testCtx(), tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Receipt.Succeeded() {
+		t.Error("oversized coinbase tip succeeded")
+	}
+	if len(res.Traces) != 0 {
+		t.Error("reverted tx reported traces")
+	}
+}
+
+// flaky is a contract that reverts on demand, for revert-semantics tests.
+type flaky struct {
+	fail bool
+}
+
+func (f *flaky) Call(env *Env, from types.Address, value types.Wei, call Call) error {
+	if f.fail {
+		return errors.New("nope")
+	}
+	env.EmitLog(contract, []types.Hash{crypto.Keccak256([]byte("Ping"))}, nil)
+	return env.TransferETH(from, contract, value)
+}
+
+func TestContractDispatchAndRevert(t *testing.T) {
+	e := NewEngine()
+	f := &flaky{}
+	e.Register(contract, f)
+	if !e.IsContract(contract) || e.IsContract(bob) {
+		t.Error("IsContract wrong")
+	}
+	st := fundedState()
+
+	ok := types.NewTransaction(0, alice, contract, types.Ether(1), 21_000,
+		types.Gwei(50), types.Gwei(1), nil)
+	res, err := e.ApplyTx(st, testCtx(), ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Receipt.Succeeded() || len(res.Receipt.Logs) != 1 {
+		t.Fatalf("contract call: %+v", res.Receipt)
+	}
+	if st.Balance(contract) != types.Ether(1) {
+		t.Error("contract did not receive value")
+	}
+
+	f.fail = true
+	bad := types.NewTransaction(1, alice, contract, types.Ether(1), 21_000,
+		types.Gwei(50), types.Gwei(1), nil)
+	res, err = e.ApplyTx(st, testCtx(), bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Receipt.Succeeded() || len(res.Receipt.Logs) != 0 || len(res.Traces) != 0 {
+		t.Error("revert leaked logs or traces")
+	}
+	if st.Balance(contract) != types.Ether(1) {
+		t.Error("revert moved value")
+	}
+}
+
+func TestGasEstimate(t *testing.T) {
+	e := NewEngine()
+	tx := types.NewTransaction(0, alice, bob, u256.Zero, 1_000_000,
+		types.Gwei(50), types.Gwei(1), EncodeCall(Call{Op: OpSwap}))
+	g, err := e.GasEstimate(tx)
+	if err != nil || g != GasFor(OpSwap) {
+		t.Errorf("estimate = %d, %v", g, err)
+	}
+	badTx := types.NewTransaction(0, alice, bob, u256.Zero, 1_000_000,
+		types.Gwei(50), types.Gwei(1), []byte{9, 9})
+	if _, err := e.GasEstimate(badTx); err == nil {
+		t.Error("estimate accepted bad calldata")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpSwap.String() != "swap" || Op(99).String() == "" {
+		t.Error("Op.String broken")
+	}
+}
+
+func BenchmarkApplyTransfer(b *testing.B) {
+	e := NewEngine()
+	st := state.New()
+	st.SetBalance(alice, types.Ether(1e6))
+	ctx := testCtx()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tx := types.NewTransaction(uint64(i), alice, bob, u256.New(1), 21_000,
+			types.Gwei(50), types.Gwei(1), nil)
+		if _, err := e.ApplyTx(st, ctx, tx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

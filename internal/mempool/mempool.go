@@ -1,0 +1,184 @@
+// Package mempool implements the pending-transaction pool block producers
+// draw from. It is nonce-aware (a sender's transactions only become
+// executable in nonce order) and serves candidates ordered by effective tip,
+// which is both what mainnet clients do and the paper's description of
+// pre-MEV block building ("proposers have simply ordered transactions
+// according to their gas price").
+//
+// Everything returned is deterministic: ties are broken by transaction hash,
+// never by map iteration order.
+package mempool
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/ethpbs/pbslab/internal/state"
+	"github.com/ethpbs/pbslab/internal/types"
+)
+
+// Errors returned by Add.
+var (
+	ErrKnown        = errors.New("mempool: transaction already known")
+	ErrNonceReplace = errors.New("mempool: same-nonce transaction with lower fee")
+)
+
+// Pool is the pending pool. Not safe for concurrent use.
+type Pool struct {
+	byHash   map[types.Hash]*types.Transaction
+	bySender map[types.Address][]*types.Transaction // sorted by nonce
+}
+
+// New returns an empty pool.
+func New() *Pool {
+	return &Pool{
+		byHash:   map[types.Hash]*types.Transaction{},
+		bySender: map[types.Address][]*types.Transaction{},
+	}
+}
+
+// Len returns the number of pending transactions.
+func (p *Pool) Len() int { return len(p.byHash) }
+
+// Has reports whether the pool holds the transaction.
+func (p *Pool) Has(h types.Hash) bool {
+	_, ok := p.byHash[h]
+	return ok
+}
+
+// Add inserts a transaction. A same-sender same-nonce transaction replaces
+// the existing one only when it pays a strictly higher max fee (the standard
+// replacement rule); otherwise ErrNonceReplace is returned.
+func (p *Pool) Add(tx *types.Transaction) error {
+	if p.Has(tx.Hash()) {
+		return ErrKnown
+	}
+	list := p.bySender[tx.From]
+	idx := sort.Search(len(list), func(i int) bool { return list[i].Nonce >= tx.Nonce })
+	if idx < len(list) && list[idx].Nonce == tx.Nonce {
+		old := list[idx]
+		if !tx.MaxFee.Gt(old.MaxFee) {
+			return fmt.Errorf("%w: nonce %d", ErrNonceReplace, tx.Nonce)
+		}
+		delete(p.byHash, old.Hash())
+		list[idx] = tx
+	} else {
+		list = append(list, nil)
+		copy(list[idx+1:], list[idx:])
+		list[idx] = tx
+	}
+	p.bySender[tx.From] = list
+	p.byHash[tx.Hash()] = tx
+	return nil
+}
+
+// Remove drops one transaction by hash, if present.
+func (p *Pool) Remove(h types.Hash) {
+	tx, ok := p.byHash[h]
+	if !ok {
+		return
+	}
+	delete(p.byHash, h)
+	list := p.bySender[tx.From]
+	for i, cand := range list {
+		if cand.Hash() == h {
+			list = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(p.bySender, tx.From)
+	} else {
+		p.bySender[tx.From] = list
+	}
+}
+
+// RemoveIncluded drops every transaction of the block from the pool, plus
+// any now-stale same-sender transactions with lower nonces.
+func (p *Pool) RemoveIncluded(txs []*types.Transaction) {
+	for _, tx := range txs {
+		p.Remove(tx.Hash())
+		// Stale lower-nonce leftovers can never execute again.
+		list := p.bySender[tx.From]
+		for len(list) > 0 && list[0].Nonce <= tx.Nonce {
+			delete(p.byHash, list[0].Hash())
+			list = list[1:]
+		}
+		if len(list) == 0 {
+			delete(p.bySender, tx.From)
+		} else {
+			p.bySender[tx.From] = list
+		}
+	}
+}
+
+// Executable returns the transactions that could be included in the next
+// block: per sender, the gap-free nonce chain starting at the sender's state
+// nonce, restricted to transactions whose max fee covers baseFee. The result
+// is ordered by effective tip (descending), ties broken by hash, and capped
+// at max entries (0 = no cap).
+func (p *Pool) Executable(st *state.State, baseFee types.Wei, max int) []*types.Transaction {
+	var out []*types.Transaction
+	for sender, list := range p.bySender {
+		nonce := st.Nonce(sender)
+		for _, tx := range list {
+			if tx.Nonce < nonce {
+				continue
+			}
+			if tx.Nonce > nonce {
+				break // gap: later txs are not executable yet
+			}
+			if _, ok := tx.EffectiveTip(baseFee); !ok {
+				break // unpayable now; successors can't jump the chain
+			}
+			out = append(out, tx)
+			nonce++
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ti, _ := out[i].EffectiveTip(baseFee)
+		tj, _ := out[j].EffectiveTip(baseFee)
+		switch ti.Cmp(tj) {
+		case 1:
+			return true
+		case -1:
+			return false
+		}
+		hi, hj := out[i].Hash(), out[j].Hash()
+		for k := range hi {
+			if hi[k] != hj[k] {
+				return hi[k] < hj[k]
+			}
+		}
+		return false
+	})
+	if max > 0 && len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+// Prune drops transactions that can never execute against st (nonce already
+// used). Returns the number pruned.
+func (p *Pool) Prune(st *state.State) int {
+	pruned := 0
+	for sender, list := range p.bySender {
+		nonce := st.Nonce(sender)
+		keep := list[:0]
+		for _, tx := range list {
+			if tx.Nonce < nonce {
+				delete(p.byHash, tx.Hash())
+				pruned++
+				continue
+			}
+			keep = append(keep, tx)
+		}
+		if len(keep) == 0 {
+			delete(p.bySender, sender)
+		} else {
+			p.bySender[sender] = keep
+		}
+	}
+	return pruned
+}

@@ -1,0 +1,289 @@
+package mempool
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/ethpbs/pbslab/internal/crypto"
+	"github.com/ethpbs/pbslab/internal/state"
+	"github.com/ethpbs/pbslab/internal/types"
+	"github.com/ethpbs/pbslab/internal/u256"
+)
+
+var (
+	alice = crypto.AddressFromSeed("alice")
+	bob   = crypto.AddressFromSeed("bob")
+	carol = crypto.AddressFromSeed("carol")
+)
+
+func tx(from types.Address, nonce uint64, maxFeeGwei, tipGwei uint64) *types.Transaction {
+	return types.NewTransaction(nonce, from, carol, u256.Zero, 21_000,
+		types.Gwei(maxFeeGwei), types.Gwei(tipGwei), nil)
+}
+
+func TestAddAndHas(t *testing.T) {
+	p := New()
+	t1 := tx(alice, 0, 100, 2)
+	if err := p.Add(t1); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Has(t1.Hash()) || p.Len() != 1 {
+		t.Error("tx not stored")
+	}
+	if err := p.Add(t1); !errors.Is(err, ErrKnown) {
+		t.Errorf("duplicate add: %v", err)
+	}
+}
+
+func TestReplacement(t *testing.T) {
+	p := New()
+	low := tx(alice, 0, 100, 1)
+	equal := tx(alice, 0, 100, 2)
+	high := tx(alice, 0, 120, 2)
+	if err := p.Add(low); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(equal); !errors.Is(err, ErrNonceReplace) {
+		t.Errorf("equal-fee replacement: %v", err)
+	}
+	if err := p.Add(high); err != nil {
+		t.Fatal(err)
+	}
+	if p.Has(low.Hash()) || !p.Has(high.Hash()) || p.Len() != 1 {
+		t.Error("replacement bookkeeping wrong")
+	}
+}
+
+func TestExecutableNonceChain(t *testing.T) {
+	p := New()
+	st := state.New()
+	// Nonces 0,1,3 pending: only 0 and 1 are executable (gap at 2).
+	for _, n := range []uint64{0, 1, 3} {
+		if err := p.Add(tx(alice, n, 100, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := p.Executable(st, types.Gwei(10), 0)
+	if len(got) != 2 {
+		t.Fatalf("executable = %d, want 2", len(got))
+	}
+	if got[0].Nonce > got[1].Nonce {
+		// Equal tips: order by hash, but both nonces must be present.
+		if got[0].Nonce+got[1].Nonce != 1 {
+			t.Errorf("wrong nonces: %d, %d", got[0].Nonce, got[1].Nonce)
+		}
+	}
+}
+
+func TestExecutableRespectsStateNonce(t *testing.T) {
+	p := New()
+	st := state.New()
+	st.SetNonce(alice, 1)
+	if err := p.Add(tx(alice, 0, 100, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(tx(alice, 1, 100, 2)); err != nil {
+		t.Fatal(err)
+	}
+	got := p.Executable(st, types.Gwei(10), 0)
+	if len(got) != 1 || got[0].Nonce != 1 {
+		t.Errorf("executable = %+v", got)
+	}
+}
+
+func TestExecutableFeeFloor(t *testing.T) {
+	p := New()
+	st := state.New()
+	// First tx cannot pay the base fee, so the whole chain stalls.
+	if err := p.Add(tx(alice, 0, 5, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(tx(alice, 1, 100, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Executable(st, types.Gwei(10), 0); len(got) != 0 {
+		t.Errorf("executable = %d, want 0 (stalled chain)", len(got))
+	}
+}
+
+func TestExecutableTipOrdering(t *testing.T) {
+	p := New()
+	st := state.New()
+	small := tx(alice, 0, 100, 1)
+	big := tx(bob, 0, 100, 9)
+	if err := p.Add(small); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(big); err != nil {
+		t.Fatal(err)
+	}
+	got := p.Executable(st, types.Gwei(10), 0)
+	if len(got) != 2 || got[0] != big || got[1] != small {
+		t.Error("not ordered by tip")
+	}
+	// Cap respected.
+	if got := p.Executable(st, types.Gwei(10), 1); len(got) != 1 || got[0] != big {
+		t.Error("cap not respected or wrong winner")
+	}
+}
+
+func TestExecutableDeterministic(t *testing.T) {
+	build := func() *Pool {
+		p := New()
+		for i := 0; i < 50; i++ {
+			sender := crypto.AddressFromSeed(string(rune('a' + i%7)))
+			_ = p.Add(tx(sender, uint64(i/7), 100, uint64(1+i%3)))
+		}
+		return p
+	}
+	st := state.New()
+	a := build().Executable(st, types.Gwei(10), 0)
+	b := build().Executable(st, types.Gwei(10), 0)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i].Hash() != b[i].Hash() {
+			t.Fatal("ordering not deterministic")
+		}
+	}
+}
+
+func TestRemoveIncluded(t *testing.T) {
+	p := New()
+	t0 := tx(alice, 0, 100, 2)
+	t1 := tx(alice, 1, 100, 2)
+	t2 := tx(alice, 2, 100, 2)
+	for _, x := range []*types.Transaction{t0, t1, t2} {
+		if err := p.Add(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Including nonce 1 also clears the stale nonce 0.
+	p.RemoveIncluded([]*types.Transaction{t1})
+	if p.Has(t0.Hash()) || p.Has(t1.Hash()) {
+		t.Error("included/stale txs not removed")
+	}
+	if !p.Has(t2.Hash()) {
+		t.Error("future tx removed")
+	}
+}
+
+func TestRemoveUnknownNoop(t *testing.T) {
+	p := New()
+	p.Remove(crypto.Keccak256([]byte("missing")))
+	if p.Len() != 0 {
+		t.Error("phantom removal")
+	}
+}
+
+func TestPrune(t *testing.T) {
+	p := New()
+	st := state.New()
+	st.SetNonce(alice, 2)
+	for _, n := range []uint64{0, 1, 2} {
+		if err := p.Add(tx(alice, n, 100, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := p.Prune(st); got != 2 {
+		t.Errorf("pruned = %d", got)
+	}
+	if p.Len() != 1 {
+		t.Errorf("left = %d", p.Len())
+	}
+}
+
+// TestPoolInvariantsQuick drives the pool with random operation sequences
+// and checks structural invariants after every step: hash-index consistency,
+// per-sender nonce ordering, and Executable's gap-free chains.
+func TestPoolInvariantsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := New()
+		st := state.New()
+		senders := []types.Address{alice, bob, carol}
+		live := map[types.Hash]*types.Transaction{}
+
+		for step := 0; step < 200; step++ {
+			switch r.Intn(4) {
+			case 0, 1: // add
+				s := senders[r.Intn(len(senders))]
+				nonce := uint64(r.Intn(10))
+				feeG := uint64(50 + r.Intn(100))
+				cand := tx(s, nonce, feeG, uint64(1+r.Intn(5)))
+				err := p.Add(cand)
+				if err == nil {
+					// Replacement may have evicted an older same-nonce tx.
+					for h, old := range live {
+						if old.From == s && old.Nonce == nonce && h != cand.Hash() {
+							delete(live, h)
+						}
+					}
+					live[cand.Hash()] = cand
+				}
+			case 2: // remove a random live tx
+				for h := range live {
+					p.Remove(h)
+					delete(live, h)
+					break
+				}
+			case 3: // advance a sender's state nonce and prune
+				s := senders[r.Intn(len(senders))]
+				st.SetNonce(s, uint64(r.Intn(6)))
+				p.Prune(st)
+				for h, cand := range live {
+					if cand.Nonce < st.Nonce(cand.From) {
+						delete(live, h)
+					}
+				}
+			}
+
+			// Invariant 1: Len matches the live set, Has agrees.
+			if p.Len() != len(live) {
+				return false
+			}
+			for h := range live {
+				if !p.Has(h) {
+					return false
+				}
+			}
+
+			// Invariant 2: Executable returns gap-free per-sender chains.
+			exec := p.Executable(st, types.Gwei(10), 0)
+			next := map[types.Address]uint64{}
+			for _, s := range senders {
+				next[s] = st.Nonce(s)
+			}
+			perSender := map[types.Address][]uint64{}
+			for _, cand := range exec {
+				perSender[cand.From] = append(perSender[cand.From], cand.Nonce)
+			}
+			for s, nonces := range perSender {
+				want := next[s]
+				// Executable is tip-ordered globally, so sort per sender.
+				sortUint64(nonces)
+				for _, n := range nonces {
+					if n != want {
+						return false
+					}
+					want++
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sortUint64(v []uint64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

@@ -1,0 +1,275 @@
+package mev
+
+import (
+	"testing"
+
+	"github.com/ethpbs/pbslab/internal/crypto"
+	"github.com/ethpbs/pbslab/internal/defi"
+	"github.com/ethpbs/pbslab/internal/types"
+	"github.com/ethpbs/pbslab/internal/u256"
+)
+
+var (
+	attacker = crypto.AddressFromSeed("attacker")
+	victim   = crypto.AddressFromSeed("victim")
+	liq      = crypto.AddressFromSeed("liquidator")
+	poolA    = crypto.AddressFromSeed("poolA")
+	poolB    = crypto.AddressFromSeed("poolB")
+	weth     = crypto.AddressFromSeed("tok/weth")
+	usdc     = crypto.AddressFromSeed("tok/usdc")
+	dai      = crypto.AddressFromSeed("tok/dai")
+)
+
+// fixture builds a BlockView from per-transaction log lists.
+func fixture(number uint64, logsPerTx ...[]types.Log) BlockView {
+	b := BlockView{Number: number}
+	for i, logs := range logsPerTx {
+		tx := types.NewTransaction(uint64(i), crypto.AddressFromSeed("sender"),
+			crypto.AddressFromSeed("to"), u256.Zero, 21_000,
+			types.Gwei(100), types.Gwei(uint64(i+1)),
+			[]byte{byte(i), byte(number), byte(number >> 8), byte(number >> 16)})
+		b.Txs = append(b.Txs, tx)
+		b.Receipts = append(b.Receipts, &types.Receipt{
+			TxHash: tx.Hash(), Status: 1, GasUsed: 21_000, Logs: logs,
+		})
+	}
+	return b
+}
+
+func swapLog(pool, sender, in, out types.Address, amtIn, amtOut uint64) types.Log {
+	return defi.EncodeSwapLog(defi.SwapEvent{
+		Pool: pool, Sender: sender, TokenIn: in, TokenOut: out,
+		AmountIn: u256.New(amtIn), AmountOut: u256.New(amtOut),
+	})
+}
+
+func sandwichBlock() BlockView {
+	return fixture(100,
+		[]types.Log{swapLog(poolA, attacker, weth, usdc, 10, 15000)}, // front
+		[]types.Log{swapLog(poolA, victim, weth, usdc, 50, 70000)},   // victim
+		[]types.Log{swapLog(poolA, attacker, usdc, weth, 15000, 11)}, // back
+	)
+}
+
+func TestDetectSandwich(t *testing.T) {
+	b := sandwichBlock()
+	labels := DetectSandwiches(b)
+	if len(labels) != 1 {
+		t.Fatalf("labels = %d, want 1", len(labels))
+	}
+	l := labels[0]
+	if l.Kind != KindSandwich || l.Actor != attacker {
+		t.Errorf("label = %+v", l)
+	}
+	if len(l.Txs) != 2 || l.Txs[0] != b.Txs[0].Hash() || l.Txs[1] != b.Txs[2].Hash() {
+		t.Error("attacker txs wrong")
+	}
+	if l.Victim != b.Txs[1].Hash() {
+		t.Error("victim wrong")
+	}
+}
+
+func TestNoSandwichWithoutVictim(t *testing.T) {
+	// Front and back with no one in between: not a sandwich.
+	b := fixture(100,
+		[]types.Log{swapLog(poolA, attacker, weth, usdc, 10, 15000)},
+		[]types.Log{swapLog(poolA, attacker, usdc, weth, 15000, 11)},
+	)
+	if got := DetectSandwiches(b); len(got) != 0 {
+		t.Errorf("labels = %d, want 0", len(got))
+	}
+}
+
+func TestNoSandwichWrongDirectionVictim(t *testing.T) {
+	// The middle swap goes the other way: not sandwiched.
+	b := fixture(100,
+		[]types.Log{swapLog(poolA, attacker, weth, usdc, 10, 15000)},
+		[]types.Log{swapLog(poolA, victim, usdc, weth, 1000, 1)},
+		[]types.Log{swapLog(poolA, attacker, usdc, weth, 15000, 11)},
+	)
+	if got := DetectSandwiches(b); len(got) != 0 {
+		t.Errorf("labels = %d, want 0", len(got))
+	}
+}
+
+func TestNoSandwichAcrossPools(t *testing.T) {
+	b := fixture(100,
+		[]types.Log{swapLog(poolA, attacker, weth, usdc, 10, 15000)},
+		[]types.Log{swapLog(poolB, victim, weth, usdc, 50, 70000)},
+		[]types.Log{swapLog(poolA, attacker, usdc, weth, 15000, 11)},
+	)
+	if got := DetectSandwiches(b); len(got) != 0 {
+		t.Errorf("labels = %d, want 0", len(got))
+	}
+}
+
+func TestSandwichIgnoresRevertedTxs(t *testing.T) {
+	b := sandwichBlock()
+	b.Receipts[1].Status = 0 // victim reverted: swap never happened
+	if got := DetectSandwiches(b); len(got) != 0 {
+		t.Errorf("labels = %d, want 0", len(got))
+	}
+}
+
+func TestDetectArbitrage(t *testing.T) {
+	// weth -> usdc on poolA, usdc -> weth on poolB, ends above start.
+	b := fixture(200, []types.Log{
+		swapLog(poolA, attacker, weth, usdc, 100, 150_000),
+		swapLog(poolB, attacker, usdc, weth, 150_000, 104),
+	})
+	labels := DetectArbitrage(b)
+	if len(labels) != 1 {
+		t.Fatalf("labels = %d, want 1", len(labels))
+	}
+	if labels[0].Kind != KindArbitrage || labels[0].Actor != attacker {
+		t.Errorf("label = %+v", labels[0])
+	}
+}
+
+func TestArbitrageThreeLegCycle(t *testing.T) {
+	b := fixture(200, []types.Log{
+		swapLog(poolA, attacker, weth, usdc, 100, 150_000),
+		swapLog(poolB, attacker, usdc, dai, 150_000, 149_000),
+		swapLog(poolA, attacker, dai, weth, 149_000, 101),
+	})
+	if got := DetectArbitrage(b); len(got) != 1 {
+		t.Errorf("labels = %d, want 1", len(got))
+	}
+}
+
+func TestArbitrageRejectsLossAndNonCycle(t *testing.T) {
+	// Closes the cycle at a loss.
+	loss := fixture(200, []types.Log{
+		swapLog(poolA, attacker, weth, usdc, 100, 150_000),
+		swapLog(poolB, attacker, usdc, weth, 150_000, 99),
+	})
+	if got := DetectArbitrage(loss); len(got) != 0 {
+		t.Error("loss-making cycle labeled")
+	}
+	// Path does not return to start.
+	open := fixture(200, []types.Log{
+		swapLog(poolA, attacker, weth, usdc, 100, 150_000),
+		swapLog(poolB, attacker, usdc, dai, 150_000, 149_000),
+	})
+	if got := DetectArbitrage(open); len(got) != 0 {
+		t.Error("open path labeled")
+	}
+	// Unchained swaps (normal multi-trade tx).
+	unchained := fixture(200, []types.Log{
+		swapLog(poolA, attacker, weth, usdc, 100, 150_000),
+		swapLog(poolB, attacker, weth, usdc, 100, 150_000),
+	})
+	if got := DetectArbitrage(unchained); len(got) != 0 {
+		t.Error("unchained swaps labeled")
+	}
+	// A single swap is never arbitrage.
+	single := fixture(200, []types.Log{
+		swapLog(poolA, attacker, weth, usdc, 100, 150_000),
+	})
+	if got := DetectArbitrage(single); len(got) != 0 {
+		t.Error("single swap labeled")
+	}
+}
+
+func TestDetectLiquidations(t *testing.T) {
+	b := fixture(300, []types.Log{
+		defi.EncodeLiquidationLog(defi.LiquidationEvent{
+			Market:     crypto.AddressFromSeed("lending"),
+			Liquidator: liq, Borrower: victim,
+			Repaid: u256.New(1000), Seized: u256.New(1),
+		}),
+	})
+	labels := DetectLiquidations(b)
+	if len(labels) != 1 || labels[0].Kind != KindLiquidation || labels[0].Actor != liq {
+		t.Fatalf("labels = %+v", labels)
+	}
+}
+
+func TestDetectAllCombined(t *testing.T) {
+	b := sandwichBlock()
+	b.Txs = append(b.Txs, nil)
+	// Extend with an arbitrage tx.
+	arb := fixture(100, []types.Log{
+		swapLog(poolA, liq, weth, usdc, 100, 150_000),
+		swapLog(poolB, liq, usdc, weth, 150_000, 104),
+	})
+	b.Txs[3] = arb.Txs[0]
+	b.Receipts = append(b.Receipts, arb.Receipts[0])
+
+	labels := DetectAll(b)
+	kinds := map[Kind]int{}
+	for _, l := range labels {
+		kinds[l.Kind]++
+	}
+	if kinds[KindSandwich] != 1 || kinds[KindArbitrage] != 1 {
+		t.Errorf("kinds = %v", kinds)
+	}
+}
+
+func TestUnionDedups(t *testing.T) {
+	b := sandwichBlock()
+	ground := DetectAll(b)
+	merged := Union(ground, ground, ground)
+	if len(merged) != len(ground) {
+		t.Errorf("union = %d, want %d", len(merged), len(ground))
+	}
+}
+
+func TestSourcesPartialCoverageAndUnionRecovers(t *testing.T) {
+	// Build many distinct arbitrage blocks and check each source drops some
+	// labels while the union recovers (nearly) everything.
+	var ground, fromA, fromB, fromC []Label
+	sources := DefaultSources()
+	for i := uint64(0); i < 400; i++ {
+		b := fixture(1000+i, []types.Log{
+			swapLog(poolA, attacker, weth, usdc, 100, 150_000),
+			swapLog(poolB, attacker, usdc, weth, 150_000, 104),
+		})
+		ground = append(ground, DetectAll(b)...)
+		fromA = append(fromA, sources[0].Report(b)...)
+		fromB = append(fromB, sources[1].Report(b)...)
+		fromC = append(fromC, sources[2].Report(b)...)
+	}
+	if len(fromA) >= len(ground) && len(fromB) >= len(ground) && len(fromC) >= len(ground) {
+		t.Error("no source dropped anything; coverage model inert")
+	}
+	union := Union(fromA, fromB, fromC)
+	if len(union) <= len(fromB) {
+		t.Error("union did not improve over a single source")
+	}
+	if float64(len(union)) < 0.95*float64(len(ground)) {
+		t.Errorf("union recovered %d of %d", len(union), len(ground))
+	}
+}
+
+func TestSourceSkipsUncoveredKind(t *testing.T) {
+	s := Source{Name: "dex-only", Coverage: map[Kind]float64{KindSandwich: 1}}
+	b := fixture(300, []types.Log{
+		defi.EncodeLiquidationLog(defi.LiquidationEvent{
+			Market:     crypto.AddressFromSeed("lending"),
+			Liquidator: liq, Borrower: victim,
+			Repaid: u256.New(1000), Seized: u256.New(1),
+		}),
+	})
+	if got := s.Report(b); len(got) != 0 {
+		t.Error("source reported a kind it does not cover")
+	}
+}
+
+func TestTxSet(t *testing.T) {
+	b := sandwichBlock()
+	labels := DetectAll(b)
+	set := TxSet(labels)
+	if len(set) != 2 {
+		t.Fatalf("set = %d, want 2 (front+back)", len(set))
+	}
+	if _, ok := set[b.Txs[1].Hash()]; ok {
+		t.Error("victim counted as MEV tx")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindSandwich.String() != "sandwich" || Kind(9).String() != "unknown" {
+		t.Error("Kind.String wrong")
+	}
+}

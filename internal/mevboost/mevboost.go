@@ -1,0 +1,189 @@
+// Package mevboost implements the validator-side PBS sidecar: it registers
+// the validator with its configured relays, collects blinded bids each
+// slot, selects the most profitable one, signs the blinded header, and
+// retrieves the full payload — the flow Section 2.2 describes. When no
+// relay produces a usable bid (or the payload fails validation, as in the
+// 2022-11-10 timestamp incident), the proposer falls back to local block
+// production.
+package mevboost
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/ethpbs/pbslab/internal/crypto"
+	"github.com/ethpbs/pbslab/internal/pbs"
+	"github.com/ethpbs/pbslab/internal/relay"
+	"github.com/ethpbs/pbslab/internal/types"
+)
+
+// Endpoint abstracts a relay connection (direct in-process for the
+// simulator, HTTP via relayapi.Client for the networked demo).
+type Endpoint interface {
+	RelayName() string
+	GetHeader(slot uint64, proposer types.PubKey) (*pbs.Bid, error)
+	GetPayload(at time.Time, signed *pbs.SignedBlindedHeader) (*types.Block, error)
+	RegisterValidator(reg pbs.Registration)
+}
+
+// Direct adapts an in-process relay.
+type Direct struct{ R *relay.Relay }
+
+// RelayName implements Endpoint.
+func (d Direct) RelayName() string { return d.R.Name }
+
+// GetHeader implements Endpoint.
+func (d Direct) GetHeader(slot uint64, proposer types.PubKey) (*pbs.Bid, error) {
+	return d.R.GetHeader(slot, proposer)
+}
+
+// GetPayload implements Endpoint.
+func (d Direct) GetPayload(at time.Time, signed *pbs.SignedBlindedHeader) (*types.Block, error) {
+	return d.R.GetPayload(at, signed)
+}
+
+// RegisterValidator implements Endpoint.
+func (d Direct) RegisterValidator(reg pbs.Registration) { d.R.RegisterValidator(reg) }
+
+// ErrNoBids is returned when no connected relay can serve a header.
+var ErrNoBids = errors.New("mevboost: no bids available")
+
+// Sidecar is one validator's MEV-Boost instance.
+type Sidecar struct {
+	Key          *crypto.Key
+	FeeRecipient types.Address
+	Relays       []Endpoint
+	// MinBid ignores bids below this value, making local building
+	// preferable for dust blocks (a real MEV-Boost option).
+	MinBid types.Wei
+	// RedundancyProb is the chance the sidecar submits the signed header to
+	// every winning relay instead of just the first — the behaviour behind
+	// the paper's ~5% of blocks claimed by more than one relay. The draw is
+	// deterministic per block hash.
+	RedundancyProb float64
+}
+
+// New creates a sidecar for a validator key.
+func New(key *crypto.Key, feeRecipient types.Address, relays []Endpoint) *Sidecar {
+	return &Sidecar{Key: key, FeeRecipient: feeRecipient, Relays: relays}
+}
+
+// Register subscribes the validator to all configured relays.
+func (s *Sidecar) Register(at time.Time) {
+	reg := pbs.Registration{
+		Pubkey:       s.Key.Pub(),
+		FeeRecipient: s.FeeRecipient,
+		GasLimit:     30_000_000,
+		VerifyKey:    s.Key.VerificationKey(),
+		Timestamp:    at,
+	}
+	for _, r := range s.Relays {
+		r.RegisterValidator(reg)
+	}
+}
+
+// Auction is the outcome of one slot's header auction.
+type Auction struct {
+	Best *pbs.Bid
+	// Winners are every relay that offered the winning block hash; the
+	// paper attributes multi-relay blocks fractionally to each.
+	Winners []Endpoint
+	// WinnerNames are the relay names of Winners.
+	WinnerNames []string
+}
+
+// CollectBids queries every relay for the slot and selects the best bid by
+// claimed value (ties broken by configuration order, as MEV-Boost does).
+func (s *Sidecar) CollectBids(slot uint64) (*Auction, error) {
+	var auction Auction
+	for _, r := range s.Relays {
+		bid, err := r.GetHeader(slot, s.Key.Pub())
+		if err != nil || bid == nil {
+			continue
+		}
+		if !s.MinBid.IsZero() && bid.Value.Lt(s.MinBid) {
+			continue
+		}
+		if auction.Best == nil || bid.Value.Gt(auction.Best.Value) {
+			auction.Best = bid
+			auction.Winners = auction.Winners[:0]
+			auction.WinnerNames = auction.WinnerNames[:0]
+			auction.Winners = append(auction.Winners, r)
+			auction.WinnerNames = append(auction.WinnerNames, r.RelayName())
+		} else if bid.BlockHash == auction.Best.BlockHash {
+			auction.Winners = append(auction.Winners, r)
+			auction.WinnerNames = append(auction.WinnerNames, r.RelayName())
+		}
+	}
+	if auction.Best == nil {
+		return nil, ErrNoBids
+	}
+	return &auction, nil
+}
+
+// Proposal is the result of a PBS proposal attempt.
+type Proposal struct {
+	Block *types.Block
+	// PromisedValue is what the winning relay claimed the proposer earns.
+	PromisedValue types.Wei
+	// Relays are the names of all relays that offered the winning block.
+	Relays []string
+	// BuilderPubkey identifies the winning builder.
+	BuilderPubkey types.PubKey
+}
+
+// Propose runs the full blinded flow for the slot: best bid, signed header,
+// payload retrieval.
+func (s *Sidecar) Propose(at time.Time, slot uint64) (*Proposal, error) {
+	auction, err := s.CollectBids(slot)
+	if err != nil {
+		return nil, err
+	}
+	signed := &pbs.SignedBlindedHeader{
+		Slot:           slot,
+		BlockHash:      auction.Best.BlockHash,
+		ProposerPubkey: s.Key.Pub(),
+		Signature:      pbs.SignBlindedHeader(s.Key, slot, auction.Best.BlockHash),
+	}
+	// Usually the signed header goes to the first winning relay only; with
+	// RedundancyProb it goes to every winner, which is the behaviour behind
+	// the paper's ~5% of blocks claimed by more than one relay.
+	winners := auction.Winners
+	names := auction.WinnerNames
+	if len(winners) > 1 && !s.redundantFetch(auction.Best.BlockHash) {
+		winners = winners[:1]
+		names = names[:1]
+	}
+	var block *types.Block
+	var lastErr error
+	for _, r := range winners {
+		b, err := r.GetPayload(at, signed)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if block == nil {
+			block = b
+		}
+	}
+	if block == nil {
+		return nil, fmt.Errorf("mevboost: payload retrieval failed: %w", lastErr)
+	}
+	return &Proposal{
+		Block:         block,
+		PromisedValue: auction.Best.Value,
+		Relays:        names,
+		BuilderPubkey: auction.Best.BuilderPubkey,
+	}, nil
+}
+
+// redundantFetch draws deterministically from the block hash.
+func (s *Sidecar) redundantFetch(h types.Hash) bool {
+	if s.RedundancyProb <= 0 {
+		return false
+	}
+	digest := crypto.Keccak256([]byte("mevboost-redundancy"), h[:])
+	draw := float64(uint32(digest[0])<<8|uint32(digest[1])) / 65536
+	return draw < s.RedundancyProb
+}

@@ -1,0 +1,175 @@
+package mevboost
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/ethpbs/pbslab/internal/builder"
+	"github.com/ethpbs/pbslab/internal/chain"
+	"github.com/ethpbs/pbslab/internal/crypto"
+	"github.com/ethpbs/pbslab/internal/evm"
+	"github.com/ethpbs/pbslab/internal/ofac"
+	"github.com/ethpbs/pbslab/internal/pbs"
+	"github.com/ethpbs/pbslab/internal/relay"
+	"github.com/ethpbs/pbslab/internal/rng"
+	"github.com/ethpbs/pbslab/internal/state"
+	"github.com/ethpbs/pbslab/internal/types"
+)
+
+var (
+	alice       = crypto.AddressFromSeed("alice")
+	bob         = crypto.AddressFromSeed("bob")
+	proposerFee = crypto.AddressFromSeed("proposer-fee")
+)
+
+type env struct {
+	chain    *chain.Chain
+	builder  *builder.Builder
+	relayA   *relay.Relay
+	relayB   *relay.Relay
+	sidecar  *Sidecar
+	now      time.Time
+	valKey   *crypto.Key
+	slotUsed uint64
+}
+
+func newEnv(t *testing.T) *env {
+	t.Helper()
+	st := state.New()
+	st.SetBalance(alice, types.Ether(10_000))
+	st.SetBalance(crypto.AddressFromSeed("builder/boosttest"), types.Ether(100_000))
+	c := chain.New(chain.MainnetMergeConfig(), evm.NewEngine(), st)
+	b := builder.New(builder.Profile{
+		Name: "boosttest", Keys: 1, MarginETH: 0.0001, MempoolCoverage: 1,
+	}, rng.New(1))
+	sanctions := ofac.DefaultList()
+	rA := relay.New(relay.Policy{Name: "A", Access: relay.AccessPermissionless}, c, sanctions)
+	rB := relay.New(relay.Policy{Name: "B", Access: relay.AccessPermissionless}, c, sanctions)
+	for _, r := range []*relay.Relay{rA, rB} {
+		r.AllowBuilder(b.PubKeys()[0], b.VerificationKey(chain.MergeSlot+1))
+	}
+	valKey := crypto.NewKey([]byte("validator"))
+	sc := New(valKey, proposerFee, []Endpoint{Direct{rA}, Direct{rB}})
+	e := &env{
+		chain: c, builder: b, relayA: rA, relayB: rB,
+		sidecar: sc, valKey: valKey,
+		now:      time.Date(2023, 1, 10, 12, 0, 0, 0, time.UTC),
+		slotUsed: chain.MergeSlot + 1,
+	}
+	sc.Register(e.now)
+	return e
+}
+
+func (e *env) submit(t *testing.T, r *relay.Relay, tipGwei uint64) *pbs.Submission {
+	t.Helper()
+	tx := types.NewTransaction(0, alice, bob, types.Ether(1), 21_000,
+		types.Gwei(200), types.Gwei(tipGwei), nil)
+	args := builder.Args{
+		Chain: e.chain, Slot: e.slotUsed,
+		ProposerPubkey:       e.valKey.Pub(),
+		ProposerFeeRecipient: proposerFee,
+		Pending:              []*types.Transaction{tx},
+	}
+	res, ok := e.builder.Build(args)
+	if !ok {
+		t.Fatal("build failed")
+	}
+	sub := e.builder.Submission(args, res)
+	if err := r.SubmitBlock(e.now, sub); err != nil {
+		t.Fatalf("SubmitBlock: %v", err)
+	}
+	return sub
+}
+
+func TestRegisterReachesAllRelays(t *testing.T) {
+	e := newEnv(t)
+	if e.relayA.ValidatorCount() != 1 || e.relayB.ValidatorCount() != 1 {
+		t.Error("registration did not reach all relays")
+	}
+}
+
+func TestBestBidAcrossRelays(t *testing.T) {
+	e := newEnv(t)
+	e.submit(t, e.relayA, 10)
+	big := e.submit(t, e.relayB, 90)
+
+	auction, err := e.sidecar.CollectBids(e.slotUsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auction.Best.BlockHash != big.Trace.BlockHash {
+		t.Error("did not pick the higher bid")
+	}
+	if len(auction.WinnerNames) != 1 || auction.WinnerNames[0] != "B" {
+		t.Errorf("winners = %v", auction.WinnerNames)
+	}
+}
+
+func TestMultiRelaySameBlockAttribution(t *testing.T) {
+	e := newEnv(t)
+	// The same builder block submitted to both relays (common on mainnet;
+	// ~5% of PBS blocks were claimed by multiple relays).
+	tx := types.NewTransaction(0, alice, bob, types.Ether(1), 21_000,
+		types.Gwei(200), types.Gwei(50), nil)
+	args := builder.Args{
+		Chain: e.chain, Slot: e.slotUsed,
+		ProposerPubkey:       e.valKey.Pub(),
+		ProposerFeeRecipient: proposerFee,
+		Pending:              []*types.Transaction{tx},
+	}
+	res, _ := e.builder.Build(args)
+	sub := e.builder.Submission(args, res)
+	if err := e.relayA.SubmitBlock(e.now, sub); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.relayB.SubmitBlock(e.now, sub); err != nil {
+		t.Fatal(err)
+	}
+	auction, err := e.sidecar.CollectBids(e.slotUsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(auction.WinnerNames) != 2 {
+		t.Errorf("winners = %v, want both relays", auction.WinnerNames)
+	}
+}
+
+func TestProposeFullFlow(t *testing.T) {
+	e := newEnv(t)
+	sub := e.submit(t, e.relayA, 50)
+	prop, err := e.sidecar.Propose(e.now, e.slotUsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prop.Block.Hash() != sub.Trace.BlockHash {
+		t.Error("proposed block differs from winning bid")
+	}
+	if prop.PromisedValue != sub.Trace.Value {
+		t.Errorf("promised %s, want %s", prop.PromisedValue, sub.Trace.Value)
+	}
+	// The proposer can now publish it and the chain accepts.
+	if _, err := e.chain.Accept(prop.Block); err != nil {
+		t.Fatalf("Accept: %v", err)
+	}
+	// Relay recorded the delivery for its data API.
+	if len(e.relayA.Delivered()) != 1 {
+		t.Error("delivery not recorded")
+	}
+}
+
+func TestNoBidsFallThrough(t *testing.T) {
+	e := newEnv(t)
+	if _, err := e.sidecar.Propose(e.now, e.slotUsed); !errors.Is(err, ErrNoBids) {
+		t.Errorf("err = %v, want ErrNoBids", err)
+	}
+}
+
+func TestMinBidFiltersDust(t *testing.T) {
+	e := newEnv(t)
+	e.submit(t, e.relayA, 1) // tiny tip -> tiny payment
+	e.sidecar.MinBid = types.Ether(1)
+	if _, err := e.sidecar.CollectBids(e.slotUsed); !errors.Is(err, ErrNoBids) {
+		t.Errorf("dust bid not filtered: %v", err)
+	}
+}

@@ -1,0 +1,112 @@
+package ofac
+
+import (
+	"testing"
+	"time"
+
+	"github.com/ethpbs/pbslab/internal/crypto"
+)
+
+func TestDayAfterRule(t *testing.T) {
+	addr := crypto.AddressFromSeed("bad-actor")
+	designated := time.Date(2022, 11, 8, 15, 30, 0, 0, time.UTC)
+	r := NewRegistry([]Designation{{Address: addr, Designated: designated}})
+
+	// On the designation day itself, not yet sanctioned (the paper's rule).
+	if r.IsSanctioned(addr, time.Date(2022, 11, 8, 23, 59, 59, 0, time.UTC)) {
+		t.Error("sanctioned on designation day")
+	}
+	// From midnight the next day, sanctioned.
+	if !r.IsSanctioned(addr, time.Date(2022, 11, 9, 0, 0, 0, 0, time.UTC)) {
+		t.Error("not sanctioned the day after designation")
+	}
+}
+
+func TestUnknownAddress(t *testing.T) {
+	r := DefaultList()
+	if r.IsSanctioned(crypto.AddressFromSeed("innocent"), time.Date(2023, 3, 1, 0, 0, 0, 0, time.UTC)) {
+		t.Error("unlisted address reported sanctioned")
+	}
+	if _, ok := r.Lookup(crypto.AddressFromSeed("innocent")); ok {
+		t.Error("Lookup found unlisted address")
+	}
+}
+
+func TestDefaultListShape(t *testing.T) {
+	r := DefaultList()
+	if r.Len() != 134 {
+		t.Errorf("default list has %d addresses, want 134 (Table 1)", r.Len())
+	}
+	dates := r.UpdateDates()
+	if len(dates) != 3 {
+		t.Fatalf("update dates = %v, want 3 waves", dates)
+	}
+	if !dates[0].Equal(TornadoCashDate) || !dates[1].Equal(NovemberUpdateDate) || !dates[2].Equal(FebruaryUpdateDate) {
+		t.Errorf("unexpected wave dates: %v", dates)
+	}
+}
+
+func TestSnapshotGrowsAcrossUpdates(t *testing.T) {
+	r := DefaultList()
+	atMerge := time.Date(2022, 9, 15, 0, 0, 0, 0, time.UTC)
+	beforeNov := time.Date(2022, 11, 8, 12, 0, 0, 0, time.UTC)
+	afterNov := time.Date(2022, 11, 10, 0, 0, 0, 0, time.UTC)
+	afterFeb := time.Date(2023, 2, 2, 0, 0, 0, 0, time.UTC)
+
+	s1 := len(r.Snapshot(atMerge))
+	s2 := len(r.Snapshot(beforeNov))
+	s3 := len(r.Snapshot(afterNov))
+	s4 := len(r.Snapshot(afterFeb))
+	if s1 != tornadoWaveSize || s2 != s1 {
+		t.Errorf("pre-November snapshots: %d, %d, want %d", s1, s2, tornadoWaveSize)
+	}
+	if s3 != tornadoWaveSize+novemberWaveSize {
+		t.Errorf("post-November snapshot = %d", s3)
+	}
+	if s4 != 134 {
+		t.Errorf("post-February snapshot = %d, want 134", s4)
+	}
+}
+
+func TestDuplicateKeepsEarliest(t *testing.T) {
+	addr := crypto.AddressFromSeed("dup")
+	early := time.Date(2022, 8, 1, 0, 0, 0, 0, time.UTC)
+	late := time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC)
+	r := NewRegistry([]Designation{
+		{Address: addr, Designated: late},
+		{Address: addr, Designated: early},
+	})
+	d, ok := r.Lookup(addr)
+	if !ok || !d.Designated.Equal(early) {
+		t.Errorf("duplicate resolution kept %v, want earliest", d.Designated)
+	}
+	r2 := NewRegistry([]Designation{
+		{Address: addr, Designated: early},
+		{Address: addr, Designated: late},
+	})
+	d2, _ := r2.Lookup(addr)
+	if !d2.Designated.Equal(early) {
+		t.Error("order dependence in duplicate resolution")
+	}
+}
+
+func TestAllSorted(t *testing.T) {
+	r := DefaultList()
+	all := r.All()
+	if len(all) != 134 {
+		t.Fatalf("All returned %d", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Designated.Before(all[i-1].Designated) {
+			t.Fatal("All not sorted by date")
+		}
+	}
+}
+
+func TestEffective(t *testing.T) {
+	d := Designation{Designated: time.Date(2023, 2, 1, 18, 45, 0, 0, time.UTC)}
+	want := time.Date(2023, 2, 2, 0, 0, 0, 0, time.UTC)
+	if !d.Effective().Equal(want) {
+		t.Errorf("Effective = %v, want %v", d.Effective(), want)
+	}
+}

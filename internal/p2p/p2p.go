@@ -1,0 +1,225 @@
+// Package p2p simulates the Ethereum transaction gossip overlay and the
+// observer infrastructure the paper's mempool dataset comes from: the
+// Mempool Guru project ran seven full nodes and recorded, for every
+// transaction, the timestamp at which each node first observed it.
+//
+// The network is a random K-regular-ish undirected graph with log-normally
+// distributed per-link latencies. Propagation from an origin node follows
+// shortest-latency paths (transactions flood, so the first copy wins);
+// observer arrival times are therefore Dijkstra distances plus per-message
+// jitter. Distances from each observer are precomputed once, making
+// per-transaction broadcasts O(observers).
+//
+// Private order flow never touches the network: the simulator simply does
+// not broadcast those transactions, and the classifier in the measurement
+// pipeline marks a transaction private when no observer saw it before
+// inclusion — the same rule the paper applies.
+package p2p
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/ethpbs/pbslab/internal/rng"
+	"github.com/ethpbs/pbslab/internal/types"
+)
+
+// DefaultObservers is the number of vantage points Mempool Guru operated.
+const DefaultObservers = 7
+
+// Config shapes the simulated overlay.
+type Config struct {
+	// Nodes is the overlay size.
+	Nodes int
+	// Degree is the target peer count per node.
+	Degree int
+	// Observers is the number of vantage points recording arrivals.
+	Observers int
+	// MedianLinkLatency is the median one-hop latency.
+	MedianLinkLatency time.Duration
+	// LatencySigma is the log-normal sigma of link latencies.
+	LatencySigma float64
+	// JitterSigma scales per-message arrival jitter.
+	JitterSigma float64
+}
+
+// DefaultConfig returns an overlay shaped like a modest public network
+// sample: 200 nodes, degree 8, 7 observers, ~50ms median links.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:             200,
+		Degree:            8,
+		Observers:         DefaultObservers,
+		MedianLinkLatency: 50 * time.Millisecond,
+		LatencySigma:      0.6,
+		JitterSigma:       0.15,
+	}
+}
+
+// Observation is the per-observer first-seen record for one transaction.
+type Observation struct {
+	TxHash types.Hash
+	// Seen holds one arrival time per observer. A nil entry means that
+	// observer never saw the transaction (partitioned vantage).
+	Seen []time.Time
+}
+
+// FirstSeen returns the earliest observer arrival, ok=false when no
+// observer saw the transaction.
+func (o Observation) FirstSeen() (time.Time, bool) {
+	var best time.Time
+	found := false
+	for _, t := range o.Seen {
+		if t.IsZero() {
+			continue
+		}
+		if !found || t.Before(best) {
+			best = t
+			found = true
+		}
+	}
+	return best, found
+}
+
+// Network is the gossip overlay.
+type Network struct {
+	cfg       Config
+	r         *rng.RNG
+	adj       [][]edge // adjacency with latencies
+	observers []int
+	// distToObserver[i][n] is the propagation latency from node n to
+	// observer i along shortest paths.
+	distToObserver [][]float64
+}
+
+type edge struct {
+	to      int
+	latency float64 // seconds
+}
+
+// NewNetwork builds the overlay graph and precomputes observer distances.
+func NewNetwork(cfg Config, r *rng.RNG) (*Network, error) {
+	if cfg.Nodes < 2 || cfg.Degree < 1 || cfg.Observers < 1 || cfg.Observers > cfg.Nodes {
+		return nil, fmt.Errorf("p2p: invalid config %+v", cfg)
+	}
+	n := &Network{cfg: cfg, r: r.Fork("p2p"), adj: make([][]edge, cfg.Nodes)}
+
+	// Ring + random chords: guarantees connectivity, approximates the
+	// degree target, and produces realistic small-world path lengths.
+	mu := math.Log(cfg.MedianLinkLatency.Seconds())
+	link := func(a, b int) {
+		lat := n.r.LogNormal(mu, cfg.LatencySigma)
+		n.adj[a] = append(n.adj[a], edge{to: b, latency: lat})
+		n.adj[b] = append(n.adj[b], edge{to: a, latency: lat})
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		link(i, (i+1)%cfg.Nodes)
+	}
+	extra := (cfg.Degree - 2) / 2
+	for i := 0; i < cfg.Nodes; i++ {
+		for k := 0; k < extra; k++ {
+			j := n.r.Intn(cfg.Nodes)
+			if j != i {
+				link(i, j)
+			}
+		}
+	}
+
+	// Observers are spread across the ring, as real vantage points are
+	// geographically dispersed.
+	stride := cfg.Nodes / cfg.Observers
+	for i := 0; i < cfg.Observers; i++ {
+		n.observers = append(n.observers, i*stride)
+	}
+
+	n.distToObserver = make([][]float64, cfg.Observers)
+	for i, obs := range n.observers {
+		n.distToObserver[i] = n.dijkstra(obs)
+	}
+	return n, nil
+}
+
+// dijkstra computes shortest-latency distances from src to every node.
+func (n *Network) dijkstra(src int) []float64 {
+	dist := make([]float64, n.cfg.Nodes)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	pq := &distHeap{{node: src, dist: 0}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(distItem)
+		if item.dist > dist[item.node] {
+			continue
+		}
+		for _, e := range n.adj[item.node] {
+			if d := item.dist + e.latency; d < dist[e.to] {
+				dist[e.to] = d
+				heap.Push(pq, distItem{node: e.to, dist: d})
+			}
+		}
+	}
+	return dist
+}
+
+// Observers returns the observer node ids.
+func (n *Network) Observers() []int { return n.observers }
+
+// Nodes returns the overlay size.
+func (n *Network) Nodes() int { return n.cfg.Nodes }
+
+// RandomOrigin picks a broadcast origin node.
+func (n *Network) RandomOrigin() int { return n.r.Intn(n.cfg.Nodes) }
+
+// Broadcast floods tx from origin at time at and returns when each observer
+// first sees it. Per-message jitter models queueing and batching noise.
+func (n *Network) Broadcast(txHash types.Hash, origin int, at time.Time) Observation {
+	obs := Observation{TxHash: txHash, Seen: make([]time.Time, len(n.observers))}
+	for i := range n.observers {
+		base := n.distToObserver[i][origin]
+		if math.IsInf(base, 1) {
+			continue // unreachable observer
+		}
+		jitter := math.Abs(n.r.Normal(0, n.cfg.JitterSigma*base+0.001))
+		obs.Seen[i] = at.Add(time.Duration((base + jitter) * float64(time.Second)))
+	}
+	return obs
+}
+
+// MeanObserverLatency reports the average origin-to-first-observer latency
+// across all origins; used in tests and docs to sanity-check the overlay.
+func (n *Network) MeanObserverLatency() time.Duration {
+	var total float64
+	for node := 0; node < n.cfg.Nodes; node++ {
+		best := math.Inf(1)
+		for i := range n.observers {
+			if d := n.distToObserver[i][node]; d < best {
+				best = d
+			}
+		}
+		total += best
+	}
+	return time.Duration(total / float64(n.cfg.Nodes) * float64(time.Second))
+}
+
+// distHeap is a min-heap for Dijkstra.
+type distItem struct {
+	node int
+	dist float64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}

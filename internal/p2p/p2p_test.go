@@ -1,0 +1,124 @@
+package p2p
+
+import (
+	"testing"
+	"time"
+
+	"github.com/ethpbs/pbslab/internal/crypto"
+	"github.com/ethpbs/pbslab/internal/rng"
+)
+
+func testNet(t *testing.T) *Network {
+	t.Helper()
+	n, err := NewNetwork(DefaultConfig(), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Nodes: 1, Degree: 2, Observers: 1},
+		{Nodes: 10, Degree: 0, Observers: 1},
+		{Nodes: 10, Degree: 2, Observers: 0},
+		{Nodes: 10, Degree: 2, Observers: 11},
+	}
+	for i, cfg := range bad {
+		if _, err := NewNetwork(cfg, rng.New(1)); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestObserverCount(t *testing.T) {
+	n := testNet(t)
+	if got := len(n.Observers()); got != DefaultObservers {
+		t.Errorf("observers = %d, want %d", got, DefaultObservers)
+	}
+	if n.Nodes() != 200 {
+		t.Errorf("nodes = %d", n.Nodes())
+	}
+}
+
+func TestBroadcastReachesAllObservers(t *testing.T) {
+	n := testNet(t)
+	at := time.Date(2022, 10, 1, 0, 0, 0, 0, time.UTC)
+	h := crypto.Keccak256([]byte("tx"))
+	obs := n.Broadcast(h, 0, at)
+	if obs.TxHash != h {
+		t.Error("hash not carried")
+	}
+	for i, seen := range obs.Seen {
+		if seen.IsZero() {
+			t.Fatalf("observer %d never saw the tx (connected ring)", i)
+		}
+		if !seen.After(at) && seen != at {
+			t.Fatalf("observer %d saw the tx before broadcast", i)
+		}
+	}
+	first, ok := obs.FirstSeen()
+	if !ok {
+		t.Fatal("FirstSeen found nothing")
+	}
+	if first.Before(at) {
+		t.Error("first seen before broadcast")
+	}
+}
+
+func TestLatenciesAreReasonable(t *testing.T) {
+	n := testNet(t)
+	mean := n.MeanObserverLatency()
+	// With 200 nodes, degree ~8 and 50ms links, first-observer latency
+	// should be well under a slot (12s) and over zero.
+	if mean <= 0 || mean > 3*time.Second {
+		t.Errorf("mean observer latency = %v", mean)
+	}
+}
+
+func TestObserversDisagreeOnArrival(t *testing.T) {
+	n := testNet(t)
+	at := time.Unix(0, 0).UTC()
+	obs := n.Broadcast(crypto.Keccak256([]byte("x")), n.RandomOrigin(), at)
+	distinct := map[time.Time]bool{}
+	for _, s := range obs.Seen {
+		distinct[s] = true
+	}
+	if len(distinct) < 2 {
+		t.Error("all observers saw the tx at the same instant")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	n1, _ := NewNetwork(DefaultConfig(), rng.New(9))
+	n2, _ := NewNetwork(DefaultConfig(), rng.New(9))
+	at := time.Unix(1000, 0)
+	h := crypto.Keccak256([]byte("d"))
+	o1 := n1.Broadcast(h, 5, at)
+	o2 := n2.Broadcast(h, 5, at)
+	for i := range o1.Seen {
+		if !o1.Seen[i].Equal(o2.Seen[i]) {
+			t.Fatal("same seed produced different observations")
+		}
+	}
+}
+
+func TestFirstSeenEmpty(t *testing.T) {
+	var obs Observation
+	if _, ok := obs.FirstSeen(); ok {
+		t.Error("empty observation has a first-seen")
+	}
+}
+
+func BenchmarkBroadcast(b *testing.B) {
+	n, err := NewNetwork(DefaultConfig(), rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := crypto.Keccak256([]byte("bench"))
+	at := time.Unix(0, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n.Broadcast(h, i%n.Nodes(), at)
+	}
+}

@@ -1,0 +1,143 @@
+package relay
+
+import "time"
+
+// neverApplied marks an OFAC wave a relay never enforced during the
+// measurement window.
+var neverApplied = time.Date(9999, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// Incident timestamps from the paper.
+var (
+	// ManifoldIncident is 2022-10-15, when a builder noticed Manifold was
+	// not checking block rewards and submitted mispriced blocks (184 made
+	// it on chain; proposers got nothing).
+	ManifoldIncident = time.Date(2022, 10, 15, 0, 0, 0, 0, time.UTC)
+	// EdenIncidentDay covers block 15,703,347 (announced 278.29 ETH,
+	// delivered 0.16 ETH).
+	EdenIncidentDay = time.Date(2022, 10, 8, 0, 0, 0, 0, time.UTC)
+	// FlashbotsNovApplied is when Flashbots' blacklist caught up with the
+	// 2022-11-08 OFAC update.
+	FlashbotsNovApplied = time.Date(2022, 11, 10, 0, 0, 0, 0, time.UTC)
+)
+
+// DefaultPolicies returns the eleven relays of Table 2 with the policy
+// matrix of Table 3 and the faults Sections 5.2 and 6 document.
+func DefaultPolicies() []Policy {
+	day := 24 * time.Hour
+	return []Policy{
+		{
+			Name: "Aestus", Endpoint: "https://aestus.live", Fork: "MEV Boost",
+			Access: AccessPermissionless,
+			// The only relay Table 4 shows delivering 100.000000% of the
+			// promised value — tiny over-promise share, zero size.
+			Faults: Faults{OverPromiseProb: 0.0001, OverPromiseFrac: 0},
+		},
+		{
+			Name: "Blocknative", Endpoint: "https://builder-relay-mainnet.blocknative.com",
+			Fork: "Dreamboat", Access: AccessInternal, OFACCompliant: true,
+			Faults: Faults{
+				OverPromiseProb: 0.007, OverPromiseFrac: 0.005,
+				BlacklistApplied: map[string]time.Time{
+					"2022-11-08": ofacWavePlus("2022-11-08", 2*day),
+					"2023-02-01": ofacWavePlus("2023-02-01", 3*day),
+				},
+			},
+		},
+		{
+			Name: "bloXroute (Ethical)", Endpoint: "https://bloxroute.ethical.blxrbdn.com",
+			Fork: "MEV Boost", Access: AccessInternalExternal, MEVFilter: true,
+			Faults: Faults{
+				SandwichFilterCoverage: 0.85, // the paper's "significant gaps"
+				OverPromiseProb:        0.009, OverPromiseFrac: 0.025,
+			},
+		},
+		{
+			Name: "bloXroute (MaxProfit)", Endpoint: "https://bloxroute.max-profit.blxrbdn.com",
+			Fork: "MEV Boost", Access: AccessInternalExternal,
+			Faults: Faults{OverPromiseProb: 0.0055, OverPromiseFrac: 0.004},
+		},
+		{
+			Name: "bloXroute (Regulated)", Endpoint: "https://bloxroute.regulated.blxrbdn.com",
+			Fork: "MEV Boost", Access: AccessInternalExternal, OFACCompliant: true,
+			Faults: Faults{
+				OverPromiseProb: 0.0003, OverPromiseFrac: 0.01,
+				BlacklistApplied: map[string]time.Time{
+					"2022-11-08": ofacWavePlus("2022-11-08", 1*day),
+					"2023-02-01": ofacWavePlus("2023-02-01", 2*day),
+				},
+			},
+		},
+		{
+			Name: "Eden", Endpoint: "https://relay.edennetwork.io",
+			Fork: "MEV Boost", Access: AccessInternal, OFACCompliant: true,
+			Faults: Faults{
+				// The single-day value-check outage behind the 278 ETH
+				// shortfall.
+				NoValueCheck:    []Window{{From: EdenIncidentDay, To: EdenIncidentDay.Add(day)}},
+				OverPromiseProb: 0.0001, OverPromiseFrac: 0.002,
+				BlacklistApplied: map[string]time.Time{
+					"2022-11-08": ofacWavePlus("2022-11-08", 2*day),
+					"2023-02-01": ofacWavePlus("2023-02-01", 4*day),
+				},
+			},
+		},
+		{
+			Name: "Flashbots", Endpoint: "https://boost-relay.flashbots.net",
+			Fork: "MEV Boost", Access: AccessInternalPermissionless, OFACCompliant: true,
+			Faults: Faults{
+				OverPromiseProb: 0.0001, OverPromiseFrac: 0.002,
+				BlacklistApplied: map[string]time.Time{
+					"2022-11-08": FlashbotsNovApplied, // applied 2 days late
+					"2023-02-01": neverApplied,        // still missing on 2023-05-01
+				},
+			},
+		},
+		{
+			Name: "GnosisDAO", Endpoint: "https://agnostic-relay.net",
+			Fork: "MEV Boost", Access: AccessPermissionless,
+			Faults: Faults{OverPromiseProb: 0.0018, OverPromiseFrac: 0.0007},
+		},
+		{
+			Name: "Manifold", Endpoint: "https://mainnet-relay.securerpc.com",
+			Fork: "MEV Boost", Access: AccessPermissionless,
+			Faults: Faults{
+				// No reward checking until the 2022-10-15 post-mortem.
+				NoValueCheck: []Window{{
+					From: time.Date(2022, 9, 15, 0, 0, 0, 0, time.UTC),
+					To:   ManifoldIncident.Add(day),
+				}},
+				OverPromiseProb: 0.014, OverPromiseFrac: 0.02,
+			},
+		},
+		{
+			Name: "Relayooor", Endpoint: "https://relayooor.wtf",
+			Fork: "MEV Boost", Access: AccessPermissionless,
+			Faults: Faults{OverPromiseProb: 0.0042, OverPromiseFrac: 0.0016},
+		},
+		{
+			Name: "UltraSound", Endpoint: "https://relay.ultrasound.money",
+			Fork: "MEV Boost", Access: AccessPermissionless,
+			Faults: Faults{OverPromiseProb: 0.0019, OverPromiseFrac: 0.0011},
+		},
+	}
+}
+
+// ofacWavePlus returns the effective enforcement time for a wave with an
+// extra lag on top of the day-after rule.
+func ofacWavePlus(wave string, lag time.Duration) time.Time {
+	t, err := time.Parse("2006-01-02", wave)
+	if err != nil {
+		panic(err)
+	}
+	return t.Add(24 * time.Hour).Add(lag)
+}
+
+// PolicyByName finds a policy in a list.
+func PolicyByName(policies []Policy, name string) (Policy, bool) {
+	for _, p := range policies {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Policy{}, false
+}

@@ -1,0 +1,284 @@
+package relayapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"github.com/ethpbs/pbslab/internal/crypto"
+	"github.com/ethpbs/pbslab/internal/pbs"
+	"github.com/ethpbs/pbslab/internal/types"
+)
+
+// Client talks to one relay's HTTP API.
+type Client struct {
+	// Name labels the relay in crawler output.
+	Name string
+	// BaseURL is the relay endpoint (no trailing slash).
+	BaseURL string
+	// HTTP is the underlying client; defaults to a 10s-timeout client.
+	HTTP *http.Client
+}
+
+// NewClient builds a client for a relay endpoint.
+func NewClient(name, baseURL string) *Client {
+	return &Client{
+		Name:    name,
+		BaseURL: baseURL,
+		HTTP:    &http.Client{Timeout: 10 * time.Second},
+	}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) getJSON(path string, out interface{}) error {
+	resp, err := c.httpClient().Get(c.BaseURL + path)
+	if err != nil {
+		return fmt.Errorf("relayapi: GET %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNoContent {
+		return errNoContent
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return fmt.Errorf("relayapi: GET %s: status %d: %s", path, resp.StatusCode, body)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (c *Client) postJSON(path string, in, out interface{}) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Post(c.BaseURL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("relayapi: POST %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return fmt.Errorf("relayapi: POST %s: status %d: %s", path, resp.StatusCode, msg)
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+var errNoContent = fmt.Errorf("relayapi: no content")
+
+// SubmitBlock posts a builder submission.
+func (c *Client) SubmitBlock(sub *pbs.Submission) error {
+	return c.postJSON(PathSubmitBlock, EncodeSubmission(sub), nil)
+}
+
+// GetHeader fetches the blinded bid for a slot. ok=false when the relay has
+// no bid.
+func (c *Client) GetHeader(slot uint64, parent types.Hash, pub types.PubKey) (*pbs.Bid, bool, error) {
+	path := fmt.Sprintf("%s%d/%s/%s", PathGetHeader, slot, parent.Hex(), pub.Hex())
+	var j BidJSON
+	if err := c.getJSON(path, &j); err != nil {
+		if err == errNoContent {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	bid, err := DecodeBid(j)
+	if err != nil {
+		return nil, false, err
+	}
+	return bid, true, nil
+}
+
+// GetPayload exchanges a signed blinded header for the full payload.
+func (c *Client) GetPayload(signed *pbs.SignedBlindedHeader) (*types.Block, error) {
+	var resp struct {
+		Header       HeaderJSON        `json:"header"`
+		Transactions []TransactionJSON `json:"transactions"`
+	}
+	if err := c.postJSON(PathGetPayload, EncodeSignedBlindedHeader(signed), &resp); err != nil {
+		return nil, err
+	}
+	header, err := DecodeHeader(resp.Header)
+	if err != nil {
+		return nil, err
+	}
+	txs := make([]*types.Transaction, 0, len(resp.Transactions))
+	for i, tj := range resp.Transactions {
+		tx, err := DecodeTransaction(tj)
+		if err != nil {
+			return nil, fmt.Errorf("relayapi: payload tx %d: %w", i, err)
+		}
+		txs = append(txs, tx)
+	}
+	return types.NewBlock(header, txs), nil
+}
+
+// RegisterValidators posts validator registrations.
+func (c *Client) RegisterValidators(regs []pbs.Registration) error {
+	payload := make([]registrationJSON, 0, len(regs))
+	for _, r := range regs {
+		payload = append(payload, registrationJSON{
+			Pubkey:       r.Pubkey.Hex(),
+			FeeRecipient: r.FeeRecipient.Hex(),
+			GasLimit:     strconv.FormatUint(r.GasLimit, 10),
+			VerifyKey:    r.VerifyKey.Hex(),
+		})
+	}
+	return c.postJSON(PathRegisterVal, payload, nil)
+}
+
+// Validators fetches the relay's current proposer registrations.
+func (c *Client) Validators() ([]pbs.Registration, error) {
+	var page []registrationJSON
+	if err := c.getJSON(PathValidators, &page); err != nil {
+		return nil, err
+	}
+	out := make([]pbs.Registration, 0, len(page))
+	for _, j := range page {
+		pub, err := crypto.ParsePubKey(j.Pubkey)
+		if err != nil {
+			return nil, fmt.Errorf("relayapi: pubkey: %w", err)
+		}
+		fee, err := crypto.ParseAddress(j.FeeRecipient)
+		if err != nil {
+			return nil, fmt.Errorf("relayapi: fee recipient: %w", err)
+		}
+		gasLimit, err := strconv.ParseUint(j.GasLimit, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("relayapi: gas limit: %w", err)
+		}
+		vk, err := crypto.ParseHash(j.VerifyKey)
+		if err != nil {
+			return nil, fmt.Errorf("relayapi: verify key: %w", err)
+		}
+		out = append(out, pbs.Registration{
+			Pubkey: pub, FeeRecipient: fee, GasLimit: gasLimit, VerifyKey: vk,
+		})
+	}
+	return out, nil
+}
+
+// DeliveredPage fetches one page of proposer_payload_delivered.
+func (c *Client) DeliveredPage(cursor uint64, limit int) ([]pbs.BidTrace, error) {
+	return c.tracePage(PathDelivered, cursor, limit)
+}
+
+// ReceivedPage fetches one page of builder_blocks_received.
+func (c *Client) ReceivedPage(cursor uint64, limit int) ([]pbs.BidTrace, error) {
+	return c.tracePage(PathReceived, cursor, limit)
+}
+
+func (c *Client) tracePage(path string, cursor uint64, limit int) ([]pbs.BidTrace, error) {
+	v := url.Values{}
+	v.Set(queryParamLimit, strconv.Itoa(limit))
+	if cursor != ^uint64(0) {
+		v.Set(queryParamCursor, strconv.FormatUint(cursor, 10))
+	}
+	var page []BidTraceJSON
+	if err := c.getJSON(path+"?"+v.Encode(), &page); err != nil {
+		return nil, err
+	}
+	out := make([]pbs.BidTrace, 0, len(page))
+	for _, j := range page {
+		tr, err := DecodeBidTrace(j)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tr)
+	}
+	return out, nil
+}
+
+// CrawlDelivered walks the delivered endpoint to exhaustion, following the
+// descending-slot cursor exactly as the paper's crawler did.
+func (c *Client) CrawlDelivered(pageSize int) ([]pbs.BidTrace, error) {
+	return c.crawl(PathDelivered, pageSize)
+}
+
+// CrawlReceived walks the received endpoint to exhaustion.
+func (c *Client) CrawlReceived(pageSize int) ([]pbs.BidTrace, error) {
+	return c.crawl(PathReceived, pageSize)
+}
+
+func (c *Client) crawl(path string, pageSize int) ([]pbs.BidTrace, error) {
+	var all []pbs.BidTrace
+	seen := map[types.Hash]bool{}
+	cursor := ^uint64(0)
+	for {
+		page, err := c.tracePage(path, cursor, pageSize)
+		if err != nil {
+			return nil, err
+		}
+		progressed := false
+		for _, tr := range page {
+			if seen[tr.BlockHash] {
+				continue
+			}
+			seen[tr.BlockHash] = true
+			all = append(all, tr)
+			progressed = true
+		}
+		if len(page) < pageSize {
+			return all, nil
+		}
+		last := page[len(page)-1].Slot
+		if progressed {
+			// Re-anchor at the last slot: same-slot ties that straddled the
+			// page boundary are re-served and deduplicated.
+			cursor = last
+			continue
+		}
+		// A full page of already-seen traces: the whole slot group has been
+		// consumed; step past it.
+		if last == 0 {
+			return all, nil
+		}
+		cursor = last - 1
+	}
+}
+
+// Crawler harvests every relay's data API, as Section 3.3 describes.
+type Crawler struct {
+	Clients []*Client
+	// PageSize bounds each request.
+	PageSize int
+}
+
+// Harvest is a crawl result for one relay.
+type Harvest struct {
+	Relay     string
+	Delivered []pbs.BidTrace
+	Received  []pbs.BidTrace
+	Err       error
+}
+
+// Run crawls all relays sequentially (deterministic order).
+func (cr *Crawler) Run() []Harvest {
+	size := cr.PageSize
+	if size <= 0 {
+		size = defaultPageLimit
+	}
+	out := make([]Harvest, 0, len(cr.Clients))
+	for _, cl := range cr.Clients {
+		h := Harvest{Relay: cl.Name}
+		h.Delivered, h.Err = cl.CrawlDelivered(size)
+		if h.Err == nil {
+			h.Received, h.Err = cl.CrawlReceived(size)
+		}
+		out = append(out, h)
+	}
+	return out
+}

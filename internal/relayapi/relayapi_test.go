@@ -1,0 +1,406 @@
+package relayapi
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ethpbs/pbslab/internal/builder"
+	"github.com/ethpbs/pbslab/internal/chain"
+	"github.com/ethpbs/pbslab/internal/crypto"
+	"github.com/ethpbs/pbslab/internal/evm"
+	"github.com/ethpbs/pbslab/internal/ofac"
+	"github.com/ethpbs/pbslab/internal/pbs"
+	"github.com/ethpbs/pbslab/internal/relay"
+	"github.com/ethpbs/pbslab/internal/rng"
+	"github.com/ethpbs/pbslab/internal/state"
+	"github.com/ethpbs/pbslab/internal/types"
+)
+
+var (
+	alice       = crypto.AddressFromSeed("alice")
+	bob         = crypto.AddressFromSeed("bob")
+	proposerFee = crypto.AddressFromSeed("proposer-fee")
+)
+
+type env struct {
+	chain   *chain.Chain
+	builder *builder.Builder
+	relay   *relay.Relay
+	valKey  *crypto.Key
+	server  *httptest.Server
+	client  *Client
+	now     time.Time
+}
+
+func newEnv(t *testing.T) *env {
+	t.Helper()
+	st := state.New()
+	st.SetBalance(alice, types.Ether(10_000))
+	st.SetBalance(crypto.AddressFromSeed("builder/httptest"), types.Ether(100_000))
+	c := chain.New(chain.MainnetMergeConfig(), evm.NewEngine(), st)
+	b := builder.New(builder.Profile{
+		Name: "httptest", Keys: 1, MarginETH: 0.0001, MempoolCoverage: 1,
+	}, rng.New(1))
+
+	e := &env{
+		chain: c, builder: b,
+		valKey: crypto.NewKey([]byte("validator")),
+		now:    time.Date(2023, 1, 10, 12, 0, 0, 0, time.UTC),
+	}
+	r := relay.New(relay.Policy{Name: "HTTPRelay", Access: relay.AccessPermissionless},
+		c, ofac.DefaultList())
+	r.AllowBuilder(b.PubKeys()[0], b.VerificationKey(chain.MergeSlot+1))
+	e.relay = r
+
+	srv := NewServer(r, func() time.Time { return e.now })
+	e.server = httptest.NewServer(srv)
+	t.Cleanup(e.server.Close)
+	e.client = NewClient("HTTPRelay", e.server.URL)
+	return e
+}
+
+func (e *env) registerValidator(t *testing.T) {
+	t.Helper()
+	err := e.client.RegisterValidators([]pbs.Registration{{
+		Pubkey:       e.valKey.Pub(),
+		FeeRecipient: proposerFee,
+		GasLimit:     30_000_000,
+		VerifyKey:    e.valKey.VerificationKey(),
+	}})
+	if err != nil {
+		t.Fatalf("RegisterValidators: %v", err)
+	}
+}
+
+func (e *env) submission(t *testing.T, tipGwei uint64, slot uint64) *pbs.Submission {
+	t.Helper()
+	tx := types.NewTransaction(0, alice, bob, types.Ether(1), 21_000,
+		types.Gwei(200), types.Gwei(tipGwei), nil)
+	args := builder.Args{
+		Chain: e.chain, Slot: slot,
+		ProposerPubkey:       e.valKey.Pub(),
+		ProposerFeeRecipient: proposerFee,
+		Pending:              []*types.Transaction{tx},
+	}
+	res, ok := e.builder.Build(args)
+	if !ok {
+		t.Fatal("build failed")
+	}
+	return e.builder.Submission(args, res)
+}
+
+func TestRoundTripCodecs(t *testing.T) {
+	e := newEnv(t)
+	sub := e.submission(t, 50, chain.MergeSlot+1)
+
+	tr2, err := DecodeBidTrace(EncodeBidTrace(sub.Trace))
+	if err != nil || tr2 != sub.Trace {
+		t.Errorf("bid trace round trip: %v", err)
+	}
+	sj := EncodeSubmission(sub)
+	sub2, err := DecodeSubmission(sj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub2.Block.Hash() != sub.Block.Hash() {
+		t.Error("block hash changed over the wire")
+	}
+	if sub2.Signature != sub.Signature {
+		t.Error("signature changed over the wire")
+	}
+	if len(sub2.Block.Txs) != len(sub.Block.Txs) {
+		t.Error("tx count changed")
+	}
+	for i := range sub.Block.Txs {
+		if sub2.Block.Txs[i].Hash() != sub.Block.Txs[i].Hash() {
+			t.Errorf("tx %d hash changed", i)
+		}
+	}
+}
+
+func TestHTTPFullFlow(t *testing.T) {
+	e := newEnv(t)
+	e.registerValidator(t)
+	sub := e.submission(t, 50, chain.MergeSlot+1)
+
+	if err := e.client.SubmitBlock(sub); err != nil {
+		t.Fatalf("SubmitBlock over HTTP: %v", err)
+	}
+
+	parent := e.chain.Head().Block.Hash()
+	bid, ok, err := e.client.GetHeader(chain.MergeSlot+1, parent, e.valKey.Pub())
+	if err != nil || !ok {
+		t.Fatalf("GetHeader: ok=%v err=%v", ok, err)
+	}
+	if bid.Value != sub.Trace.Value {
+		t.Errorf("bid value = %s, want %s", bid.Value, sub.Trace.Value)
+	}
+
+	signed := &pbs.SignedBlindedHeader{
+		Slot: bid.Slot, BlockHash: bid.BlockHash,
+		ProposerPubkey: e.valKey.Pub(),
+		Signature:      pbs.SignBlindedHeader(e.valKey, bid.Slot, bid.BlockHash),
+	}
+	block, err := e.client.GetPayload(signed)
+	if err != nil {
+		t.Fatalf("GetPayload: %v", err)
+	}
+	if block.Hash() != sub.Block.Hash() {
+		t.Error("payload block hash mismatch")
+	}
+	// The revealed block is fully valid: the chain accepts it.
+	if _, err := e.chain.Accept(block); err != nil {
+		t.Fatalf("Accept: %v", err)
+	}
+}
+
+func TestHTTPNoBid(t *testing.T) {
+	e := newEnv(t)
+	e.registerValidator(t)
+	_, ok, err := e.client.GetHeader(12345, crypto.Keccak256([]byte("x")), e.valKey.Pub())
+	if err != nil || ok {
+		t.Errorf("expected empty bid, got ok=%v err=%v", ok, err)
+	}
+}
+
+func TestHTTPSubmitRejection(t *testing.T) {
+	e := newEnv(t)
+	e.registerValidator(t)
+	sub := e.submission(t, 50, chain.MergeSlot+1)
+	sub.Trace.Value = sub.Trace.Value.Add(types.Ether(5)) // break the signature
+	if err := e.client.SubmitBlock(sub); err == nil {
+		t.Error("tampered submission accepted over HTTP")
+	}
+}
+
+func TestDataAPIPagination(t *testing.T) {
+	e := newEnv(t)
+	e.registerValidator(t)
+
+	// Fill several slots' worth of received traces (one accepted block per
+	// slot keeps the chain consistent).
+	const slots = 7
+	for i := uint64(1); i <= slots; i++ {
+		sub := e.submission(t, 50, chain.MergeSlot+i)
+		if err := e.client.SubmitBlock(sub); err != nil {
+			t.Fatalf("slot %d: %v", i, err)
+		}
+		if _, err := e.chain.Accept(sub.Block); err != nil {
+			t.Fatalf("accept %d: %v", i, err)
+		}
+		// Record a delivery for the data API.
+		bid, ok, err := e.client.GetHeader(chain.MergeSlot+i, sub.Block.Header.ParentHash, e.valKey.Pub())
+		if err != nil || !ok {
+			t.Fatalf("GetHeader %d: %v", i, err)
+		}
+		signed := &pbs.SignedBlindedHeader{
+			Slot: bid.Slot, BlockHash: bid.BlockHash,
+			ProposerPubkey: e.valKey.Pub(),
+			Signature:      pbs.SignBlindedHeader(e.valKey, bid.Slot, bid.BlockHash),
+		}
+		if _, err := e.client.GetPayload(signed); err != nil {
+			t.Fatalf("GetPayload %d: %v", i, err)
+		}
+	}
+
+	// Crawl with a page size smaller than the record count.
+	got, err := e.client.CrawlDelivered(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != slots {
+		t.Fatalf("crawled %d delivered, want %d", len(got), slots)
+	}
+	// Descending slots, no duplicates.
+	seen := map[uint64]bool{}
+	for _, tr := range got {
+		if seen[tr.Slot] {
+			t.Fatal("duplicate slot in crawl")
+		}
+		seen[tr.Slot] = true
+	}
+
+	rec, err := e.client.CrawlReceived(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec) != slots {
+		t.Fatalf("crawled %d received, want %d", len(rec), slots)
+	}
+
+	// Single-slot filter on the received endpoint.
+	page, err := e.client.ReceivedPage(chain.MergeSlot+3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page) == 0 {
+		t.Error("cursor page empty")
+	}
+}
+
+func TestCrawlerMultiRelay(t *testing.T) {
+	e1 := newEnv(t)
+	e1.registerValidator(t)
+	sub := e1.submission(t, 50, chain.MergeSlot+1)
+	if err := e1.client.SubmitBlock(sub); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := newEnv(t) // independent relay with no data
+
+	cr := &Crawler{Clients: []*Client{e1.client, e2.client}, PageSize: 10}
+	harvests := cr.Run()
+	if len(harvests) != 2 {
+		t.Fatalf("harvests = %d", len(harvests))
+	}
+	if harvests[0].Err != nil || harvests[1].Err != nil {
+		t.Fatalf("errs: %v, %v", harvests[0].Err, harvests[1].Err)
+	}
+	if len(harvests[0].Received) != 1 {
+		t.Errorf("relay1 received = %d", len(harvests[0].Received))
+	}
+	if len(harvests[1].Received) != 0 {
+		t.Errorf("relay2 received = %d", len(harvests[1].Received))
+	}
+}
+
+func TestHexHelpers(t *testing.T) {
+	b, err := parseHexBytes("0xdeadBEEF")
+	if err != nil || hexBytes(b) != "deadbeef" {
+		t.Errorf("hex round trip: %x, %v", b, err)
+	}
+	if _, err := parseHexBytes("0xabc"); err == nil {
+		t.Error("odd-length hex accepted")
+	}
+	if _, err := parseHexBytes("zz"); err == nil {
+		t.Error("invalid hex accepted")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := DecodeBidTrace(BidTraceJSON{Slot: "x"}); err == nil {
+		t.Error("bad slot accepted")
+	}
+	if _, err := DecodeHeader(HeaderJSON{ParentHash: "0x12"}); err == nil {
+		t.Error("bad parent hash accepted")
+	}
+	if _, err := DecodeTransaction(TransactionJSON{Nonce: "y"}); err == nil {
+		t.Error("bad nonce accepted")
+	}
+	if _, err := DecodeSignedBlindedHeader(SignedBlindedHeaderJSON{Slot: "1", BlockHash: "0x", ProposerPubkey: "0x", Signature: "0x"}); err == nil {
+		t.Error("bad blinded header accepted")
+	}
+}
+
+func TestValidatorsEndpoint(t *testing.T) {
+	e := newEnv(t)
+	e.registerValidator(t)
+	regs, err := e.client.Validators()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 {
+		t.Fatalf("validators = %d", len(regs))
+	}
+	if regs[0].Pubkey != e.valKey.Pub() || regs[0].FeeRecipient != proposerFee {
+		t.Errorf("registration round trip: %+v", regs[0])
+	}
+	// And the verification key survives the wire, so header signatures can
+	// be checked by the crawler's consumers.
+	if regs[0].VerifyKey != e.valKey.VerificationKey() {
+		t.Error("verify key mangled")
+	}
+}
+
+func TestHTTPErrorPaths(t *testing.T) {
+	e := newEnv(t)
+
+	get := func(path string) int {
+		resp, err := http.Get(e.server.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	post := func(path, body string) int {
+		resp, err := http.Post(e.server.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	// Wrong methods.
+	if got := get(PathSubmitBlock); got != http.StatusMethodNotAllowed {
+		t.Errorf("GET submit = %d", got)
+	}
+	if got := post(PathDelivered, "{}"); got != http.StatusMethodNotAllowed {
+		t.Errorf("POST delivered = %d", got)
+	}
+	if got := post(PathReceived, "{}"); got != http.StatusMethodNotAllowed {
+		t.Errorf("POST received = %d", got)
+	}
+	if got := post(PathValidators, "[]"); got != http.StatusMethodNotAllowed {
+		t.Errorf("POST validators(list) = %d", got)
+	}
+	if got := get(PathGetPayload); got != http.StatusMethodNotAllowed {
+		t.Errorf("GET payload = %d", got)
+	}
+	if got := post(PathGetHeader+"1/0xabc/0xdef", "{}"); got != http.StatusMethodNotAllowed {
+		t.Errorf("POST header = %d", got)
+	}
+
+	// Malformed bodies and parameters.
+	if got := post(PathSubmitBlock, "{not json"); got != http.StatusBadRequest {
+		t.Errorf("bad submit body = %d", got)
+	}
+	if got := post(PathGetPayload, "{not json"); got != http.StatusBadRequest {
+		t.Errorf("bad payload body = %d", got)
+	}
+	if got := post(PathRegisterVal, `[{"pubkey":"0xzz"}]`); got != http.StatusBadRequest {
+		t.Errorf("bad registration = %d", got)
+	}
+	if got := get(PathGetHeader + "notanumber/0xabc/0xdef"); got != http.StatusBadRequest {
+		t.Errorf("bad slot = %d", got)
+	}
+	if got := get(PathGetHeader + "1/onlyone"); got != http.StatusBadRequest {
+		t.Errorf("bad header path = %d", got)
+	}
+	if got := get(PathDelivered + "?limit=-5"); got != http.StatusBadRequest {
+		t.Errorf("bad limit = %d", got)
+	}
+	if got := get(PathDelivered + "?cursor=abc"); got != http.StatusBadRequest {
+		t.Errorf("bad cursor = %d", got)
+	}
+	if got := get(PathReceived + "?slot=xyz"); got != http.StatusBadRequest {
+		t.Errorf("bad slot filter = %d", got)
+	}
+}
+
+func TestRelayNameHeader(t *testing.T) {
+	e := newEnv(t)
+	resp, err := http.Get(e.server.URL + PathDelivered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Relay-Name"); got != "HTTPRelay" {
+		t.Errorf("relay name header = %q", got)
+	}
+}
+
+func TestClientDefaultHTTP(t *testing.T) {
+	c := &Client{Name: "x", BaseURL: "http://127.0.0.1:1"}
+	if c.httpClient() != http.DefaultClient {
+		t.Error("nil HTTP should fall back to default client")
+	}
+	// And an unreachable endpoint surfaces an error.
+	if _, err := c.DeliveredPage(^uint64(0), 5); err == nil {
+		t.Error("unreachable endpoint succeeded")
+	}
+}

@@ -1,0 +1,343 @@
+package relayapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/ethpbs/pbslab/internal/crypto"
+	"github.com/ethpbs/pbslab/internal/pbs"
+	"github.com/ethpbs/pbslab/internal/relay"
+)
+
+// API paths, following the Flashbots relay specification's layout.
+const (
+	PathSubmitBlock   = "/relay/v1/builder/blocks"
+	PathGetHeader     = "/eth/v1/builder/header/" // + {slot}/{parent_hash}/{pubkey}
+	PathGetPayload    = "/eth/v1/builder/blinded_blocks"
+	PathDelivered     = "/relay/v1/data/bidtraces/proposer_payload_delivered"
+	PathReceived      = "/relay/v1/data/bidtraces/builder_blocks_received"
+	PathRegisterVal   = "/eth/v1/builder/validators"
+	PathValidators    = "/relay/v1/data/validator_registration"
+	defaultPageLimit  = 100
+	maxPageLimit      = 500
+	errorContentType  = "application/json"
+	headerRelayName   = "X-Relay-Name"
+	queryParamSlot    = "slot"
+	queryParamCursor  = "cursor"
+	queryParamLimit   = "limit"
+	queryParamBuilder = "builder_pubkey"
+)
+
+// Clock supplies the server's notion of now; the simulator injects virtual
+// time so HTTP flows stay deterministic.
+type Clock func() time.Time
+
+// Server exposes one relay over HTTP. The relay itself is single-threaded;
+// the server serializes access with a mutex, which is exactly what a relay's
+// storage layer does.
+type Server struct {
+	mu    sync.Mutex
+	relay *relay.Relay
+	clock Clock
+	mux   *http.ServeMux
+}
+
+// NewServer wraps a relay.
+func NewServer(r *relay.Relay, clock Clock) *Server {
+	s := &Server{relay: r, clock: clock, mux: http.NewServeMux()}
+	s.mux.HandleFunc(PathSubmitBlock, s.handleSubmitBlock)
+	s.mux.HandleFunc(PathGetHeader, s.handleGetHeader)
+	s.mux.HandleFunc(PathGetPayload, s.handleGetPayload)
+	s.mux.HandleFunc(PathDelivered, s.handleDelivered)
+	s.mux.HandleFunc(PathReceived, s.handleReceived)
+	s.mux.HandleFunc(PathRegisterVal, s.handleRegisterValidator)
+	s.mux.HandleFunc(PathValidators, s.handleValidators)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set(headerRelayName, s.relay.Name)
+	s.mux.ServeHTTP(w, r)
+}
+
+type errorJSON struct {
+	Code    int    `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", errorContentType)
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(errorJSON{Code: code, Message: msg})
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleSubmitBlock(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var j SubmissionJSON
+	if err := json.NewDecoder(r.Body).Decode(&j); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	sub, err := DecodeSubmission(j)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.mu.Lock()
+	err = s.relay.SubmitBlock(s.clock(), sub)
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+func (s *Server) handleGetHeader(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, PathGetHeader)
+	parts := strings.Split(rest, "/")
+	if len(parts) != 3 {
+		writeError(w, http.StatusBadRequest, "want /header/{slot}/{parent_hash}/{pubkey}")
+		return
+	}
+	slot, err := strconv.ParseUint(parts[0], 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad slot")
+		return
+	}
+	pub, err := crypto.ParsePubKey(parts[2])
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad pubkey")
+		return
+	}
+	s.mu.Lock()
+	bid, err := s.relay.GetHeader(slot, pub)
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusNoContent, err.Error())
+		return
+	}
+	writeJSON(w, EncodeBid(bid))
+}
+
+func (s *Server) handleGetPayload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var j SignedBlindedHeaderJSON
+	if err := json.NewDecoder(r.Body).Decode(&j); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	signed, err := DecodeSignedBlindedHeader(j)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.mu.Lock()
+	block, err := s.relay.GetPayload(s.clock(), signed)
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	resp := struct {
+		Header       HeaderJSON        `json:"header"`
+		Transactions []TransactionJSON `json:"transactions"`
+	}{Header: EncodeHeader(block.Header)}
+	for _, tx := range block.Txs {
+		resp.Transactions = append(resp.Transactions, EncodeTransaction(tx))
+	}
+	writeJSON(w, resp)
+}
+
+type registrationJSON struct {
+	Pubkey       string `json:"pubkey"`
+	FeeRecipient string `json:"fee_recipient"`
+	GasLimit     string `json:"gas_limit"`
+	VerifyKey    string `json:"verify_key"`
+}
+
+func (s *Server) handleRegisterValidator(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var regs []registrationJSON
+	if err := json.NewDecoder(r.Body).Decode(&regs); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	for _, rj := range regs {
+		pub, err := crypto.ParsePubKey(rj.Pubkey)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad pubkey")
+			return
+		}
+		fee, err := crypto.ParseAddress(rj.FeeRecipient)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad fee recipient")
+			return
+		}
+		gasLimit, err := strconv.ParseUint(rj.GasLimit, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad gas limit")
+			return
+		}
+		vk, err := crypto.ParseHash(rj.VerifyKey)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad verify key")
+			return
+		}
+		s.mu.Lock()
+		s.relay.RegisterValidator(pbs.Registration{
+			Pubkey: pub, FeeRecipient: fee, GasLimit: gasLimit,
+			VerifyKey: vk, Timestamp: s.clock(),
+		})
+		s.mu.Unlock()
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// handleValidators lists the proposers currently registered with the relay
+// (the third dataset the paper's crawler collected per relay).
+func (s *Server) handleValidators(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	s.mu.Lock()
+	regs := s.relay.Registrations()
+	s.mu.Unlock()
+	out := make([]registrationJSON, 0, len(regs))
+	for _, reg := range regs {
+		out = append(out, registrationJSON{
+			Pubkey:       reg.Pubkey.Hex(),
+			FeeRecipient: reg.FeeRecipient.Hex(),
+			GasLimit:     strconv.FormatUint(reg.GasLimit, 10),
+			VerifyKey:    reg.VerifyKey.Hex(),
+		})
+	}
+	writeJSON(w, out)
+}
+
+// handleDelivered serves proposer_payload_delivered with descending-slot
+// cursor pagination, the scheme the paper's crawler walks.
+func (s *Server) handleDelivered(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	limit, cursor, err := pageParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.mu.Lock()
+	entries := s.relay.Delivered()
+	traces := make([]pbs.BidTrace, len(entries))
+	for i, e := range entries {
+		traces[i] = e.Trace
+	}
+	s.mu.Unlock()
+	writeJSON(w, pageTraces(traces, limit, cursor))
+}
+
+func (s *Server) handleReceived(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	q := r.URL.Query()
+	if slotStr := q.Get(queryParamSlot); slotStr != "" {
+		slot, err := strconv.ParseUint(slotStr, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad slot")
+			return
+		}
+		s.mu.Lock()
+		all := s.relay.Received()
+		s.mu.Unlock()
+		var out []BidTraceJSON
+		for _, tr := range all {
+			if tr.Slot == slot {
+				out = append(out, EncodeBidTrace(tr))
+			}
+		}
+		if out == nil {
+			out = []BidTraceJSON{}
+		}
+		writeJSON(w, out)
+		return
+	}
+	limit, cursor, err := pageParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.mu.Lock()
+	all := append([]pbs.BidTrace(nil), s.relay.Received()...)
+	s.mu.Unlock()
+	writeJSON(w, pageTraces(all, limit, cursor))
+}
+
+// pageParams parses limit and cursor query parameters.
+func pageParams(r *http.Request) (limit int, cursor uint64, err error) {
+	q := r.URL.Query()
+	limit = defaultPageLimit
+	if ls := q.Get(queryParamLimit); ls != "" {
+		limit, err = strconv.Atoi(ls)
+		if err != nil || limit <= 0 {
+			return 0, 0, fmt.Errorf("bad limit %q", ls)
+		}
+		if limit > maxPageLimit {
+			limit = maxPageLimit
+		}
+	}
+	cursor = ^uint64(0)
+	if cs := q.Get(queryParamCursor); cs != "" {
+		cursor, err = strconv.ParseUint(cs, 10, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad cursor %q", cs)
+		}
+	}
+	return limit, cursor, nil
+}
+
+// pageTraces returns up to limit traces with slot <= cursor, sorted by slot
+// descending (the spec's pagination contract).
+func pageTraces(traces []pbs.BidTrace, limit int, cursor uint64) []BidTraceJSON {
+	sorted := append([]pbs.BidTrace(nil), traces...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Slot > sorted[j].Slot })
+	out := []BidTraceJSON{}
+	for _, tr := range sorted {
+		if tr.Slot > cursor {
+			continue
+		}
+		out = append(out, EncodeBidTrace(tr))
+		if len(out) >= limit {
+			break
+		}
+	}
+	return out
+}

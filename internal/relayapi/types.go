@@ -1,0 +1,407 @@
+// Package relayapi implements the Flashbots relay API over HTTP: the
+// builder submission endpoint, the proposer (MEV-Boost) header/payload
+// endpoints, and the data API the paper's relay crawler harvested
+// (proposer_payload_delivered, builder_blocks_received). It ships both the
+// server (wrapping internal/relay) and the client/crawler.
+//
+// Wire format follows the spec's conventions: JSON with 0x-prefixed hex for
+// hashes/addresses/pubkeys and decimal strings for numbers.
+package relayapi
+
+import (
+	"fmt"
+	"strconv"
+
+	"github.com/ethpbs/pbslab/internal/crypto"
+	"github.com/ethpbs/pbslab/internal/pbs"
+	"github.com/ethpbs/pbslab/internal/types"
+	"github.com/ethpbs/pbslab/internal/u256"
+)
+
+// BidTraceJSON is the wire form of pbs.BidTrace.
+type BidTraceJSON struct {
+	Slot                 string `json:"slot"`
+	ParentHash           string `json:"parent_hash"`
+	BlockHash            string `json:"block_hash"`
+	BuilderPubkey        string `json:"builder_pubkey"`
+	ProposerPubkey       string `json:"proposer_pubkey"`
+	ProposerFeeRecipient string `json:"proposer_fee_recipient"`
+	GasLimit             string `json:"gas_limit"`
+	GasUsed              string `json:"gas_used"`
+	Value                string `json:"value"`
+	NumTx                string `json:"num_tx"`
+	BlockNumber          string `json:"block_number"`
+}
+
+// EncodeBidTrace converts a trace to its wire form.
+func EncodeBidTrace(t pbs.BidTrace) BidTraceJSON {
+	return BidTraceJSON{
+		Slot:                 strconv.FormatUint(t.Slot, 10),
+		ParentHash:           t.ParentHash.Hex(),
+		BlockHash:            t.BlockHash.Hex(),
+		BuilderPubkey:        t.BuilderPubkey.Hex(),
+		ProposerPubkey:       t.ProposerPubkey.Hex(),
+		ProposerFeeRecipient: t.ProposerFeeRecipient.Hex(),
+		GasLimit:             strconv.FormatUint(t.GasLimit, 10),
+		GasUsed:              strconv.FormatUint(t.GasUsed, 10),
+		Value:                t.Value.String(),
+		NumTx:                strconv.Itoa(t.NumTx),
+		BlockNumber:          strconv.FormatUint(t.BlockNumber, 10),
+	}
+}
+
+// DecodeBidTrace parses the wire form.
+func DecodeBidTrace(j BidTraceJSON) (pbs.BidTrace, error) {
+	var t pbs.BidTrace
+	var err error
+	if t.Slot, err = strconv.ParseUint(j.Slot, 10, 64); err != nil {
+		return t, fmt.Errorf("relayapi: slot: %w", err)
+	}
+	if t.ParentHash, err = crypto.ParseHash(j.ParentHash); err != nil {
+		return t, fmt.Errorf("relayapi: parent_hash: %w", err)
+	}
+	if t.BlockHash, err = crypto.ParseHash(j.BlockHash); err != nil {
+		return t, fmt.Errorf("relayapi: block_hash: %w", err)
+	}
+	if t.BuilderPubkey, err = crypto.ParsePubKey(j.BuilderPubkey); err != nil {
+		return t, fmt.Errorf("relayapi: builder_pubkey: %w", err)
+	}
+	if t.ProposerPubkey, err = crypto.ParsePubKey(j.ProposerPubkey); err != nil {
+		return t, fmt.Errorf("relayapi: proposer_pubkey: %w", err)
+	}
+	if t.ProposerFeeRecipient, err = crypto.ParseAddress(j.ProposerFeeRecipient); err != nil {
+		return t, fmt.Errorf("relayapi: proposer_fee_recipient: %w", err)
+	}
+	if t.GasLimit, err = strconv.ParseUint(j.GasLimit, 10, 64); err != nil {
+		return t, fmt.Errorf("relayapi: gas_limit: %w", err)
+	}
+	if t.GasUsed, err = strconv.ParseUint(j.GasUsed, 10, 64); err != nil {
+		return t, fmt.Errorf("relayapi: gas_used: %w", err)
+	}
+	if t.Value, err = u256.FromDecimal(j.Value); err != nil {
+		return t, fmt.Errorf("relayapi: value: %w", err)
+	}
+	if t.NumTx, err = strconv.Atoi(j.NumTx); err != nil {
+		return t, fmt.Errorf("relayapi: num_tx: %w", err)
+	}
+	if t.BlockNumber, err = strconv.ParseUint(j.BlockNumber, 10, 64); err != nil {
+		return t, fmt.Errorf("relayapi: block_number: %w", err)
+	}
+	return t, nil
+}
+
+// TransactionJSON is the wire form of a transaction.
+type TransactionJSON struct {
+	Nonce  string `json:"nonce"`
+	From   string `json:"from"`
+	To     string `json:"to"`
+	Value  string `json:"value"`
+	Gas    string `json:"gas"`
+	MaxFee string `json:"max_fee_per_gas"`
+	MaxTip string `json:"max_priority_fee_per_gas"`
+	Input  string `json:"input"`
+}
+
+// EncodeTransaction converts a transaction to wire form.
+func EncodeTransaction(tx *types.Transaction) TransactionJSON {
+	return TransactionJSON{
+		Nonce:  strconv.FormatUint(tx.Nonce, 10),
+		From:   tx.From.Hex(),
+		To:     tx.To.Hex(),
+		Value:  tx.Value.String(),
+		Gas:    strconv.FormatUint(tx.Gas, 10),
+		MaxFee: tx.MaxFee.String(),
+		MaxTip: tx.MaxTip.String(),
+		Input:  "0x" + hexBytes(tx.Data),
+	}
+}
+
+// DecodeTransaction parses the wire form, rebuilding the hashed object.
+func DecodeTransaction(j TransactionJSON) (*types.Transaction, error) {
+	nonce, err := strconv.ParseUint(j.Nonce, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("relayapi: nonce: %w", err)
+	}
+	from, err := crypto.ParseAddress(j.From)
+	if err != nil {
+		return nil, fmt.Errorf("relayapi: from: %w", err)
+	}
+	to, err := crypto.ParseAddress(j.To)
+	if err != nil {
+		return nil, fmt.Errorf("relayapi: to: %w", err)
+	}
+	value, err := u256.FromDecimal(j.Value)
+	if err != nil {
+		return nil, fmt.Errorf("relayapi: value: %w", err)
+	}
+	gas, err := strconv.ParseUint(j.Gas, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("relayapi: gas: %w", err)
+	}
+	maxFee, err := u256.FromDecimal(j.MaxFee)
+	if err != nil {
+		return nil, fmt.Errorf("relayapi: max_fee: %w", err)
+	}
+	maxTip, err := u256.FromDecimal(j.MaxTip)
+	if err != nil {
+		return nil, fmt.Errorf("relayapi: max_tip: %w", err)
+	}
+	data, err := parseHexBytes(j.Input)
+	if err != nil {
+		return nil, fmt.Errorf("relayapi: input: %w", err)
+	}
+	return types.NewTransaction(nonce, from, to, value, gas, maxFee, maxTip, data), nil
+}
+
+// HeaderJSON is the wire form of a block header.
+type HeaderJSON struct {
+	ParentHash   string `json:"parent_hash"`
+	Number       string `json:"block_number"`
+	Slot         string `json:"slot"`
+	Timestamp    string `json:"timestamp"`
+	FeeRecipient string `json:"fee_recipient"`
+	GasLimit     string `json:"gas_limit"`
+	GasUsed      string `json:"gas_used"`
+	BaseFee      string `json:"base_fee_per_gas"`
+	TxRoot       string `json:"transactions_root"`
+	Extra        string `json:"extra_data"`
+}
+
+// EncodeHeader converts a header to wire form.
+func EncodeHeader(h *types.Header) HeaderJSON {
+	return HeaderJSON{
+		ParentHash:   h.ParentHash.Hex(),
+		Number:       strconv.FormatUint(h.Number, 10),
+		Slot:         strconv.FormatUint(h.Slot, 10),
+		Timestamp:    strconv.FormatUint(h.Timestamp, 10),
+		FeeRecipient: h.FeeRecipient.Hex(),
+		GasLimit:     strconv.FormatUint(h.GasLimit, 10),
+		GasUsed:      strconv.FormatUint(h.GasUsed, 10),
+		BaseFee:      h.BaseFee.String(),
+		TxRoot:       h.TxRoot.Hex(),
+		Extra:        "0x" + hexBytes(h.Extra),
+	}
+}
+
+// DecodeHeader parses the wire form.
+func DecodeHeader(j HeaderJSON) (*types.Header, error) {
+	h := &types.Header{}
+	var err error
+	if h.ParentHash, err = crypto.ParseHash(j.ParentHash); err != nil {
+		return nil, fmt.Errorf("relayapi: parent_hash: %w", err)
+	}
+	if h.Number, err = strconv.ParseUint(j.Number, 10, 64); err != nil {
+		return nil, fmt.Errorf("relayapi: block_number: %w", err)
+	}
+	if h.Slot, err = strconv.ParseUint(j.Slot, 10, 64); err != nil {
+		return nil, fmt.Errorf("relayapi: slot: %w", err)
+	}
+	if h.Timestamp, err = strconv.ParseUint(j.Timestamp, 10, 64); err != nil {
+		return nil, fmt.Errorf("relayapi: timestamp: %w", err)
+	}
+	if h.FeeRecipient, err = crypto.ParseAddress(j.FeeRecipient); err != nil {
+		return nil, fmt.Errorf("relayapi: fee_recipient: %w", err)
+	}
+	if h.GasLimit, err = strconv.ParseUint(j.GasLimit, 10, 64); err != nil {
+		return nil, fmt.Errorf("relayapi: gas_limit: %w", err)
+	}
+	if h.GasUsed, err = strconv.ParseUint(j.GasUsed, 10, 64); err != nil {
+		return nil, fmt.Errorf("relayapi: gas_used: %w", err)
+	}
+	if h.BaseFee, err = u256.FromDecimal(j.BaseFee); err != nil {
+		return nil, fmt.Errorf("relayapi: base_fee: %w", err)
+	}
+	if h.TxRoot, err = crypto.ParseHash(j.TxRoot); err != nil {
+		return nil, fmt.Errorf("relayapi: transactions_root: %w", err)
+	}
+	if h.Extra, err = parseHexBytes(j.Extra); err != nil {
+		return nil, fmt.Errorf("relayapi: extra_data: %w", err)
+	}
+	return h, nil
+}
+
+// SubmissionJSON is the wire form of a builder block submission.
+type SubmissionJSON struct {
+	Message      BidTraceJSON      `json:"message"`
+	Header       HeaderJSON        `json:"execution_payload_header"`
+	Transactions []TransactionJSON `json:"transactions"`
+	Signature    string            `json:"signature"`
+}
+
+// EncodeSubmission converts a submission to wire form.
+func EncodeSubmission(sub *pbs.Submission) SubmissionJSON {
+	out := SubmissionJSON{
+		Message:   EncodeBidTrace(sub.Trace),
+		Header:    EncodeHeader(sub.Block.Header),
+		Signature: "0x" + hexBytes(sub.Signature[:]),
+	}
+	for _, tx := range sub.Block.Txs {
+		out.Transactions = append(out.Transactions, EncodeTransaction(tx))
+	}
+	return out
+}
+
+// DecodeSubmission parses the wire form and reconstructs the block.
+func DecodeSubmission(j SubmissionJSON) (*pbs.Submission, error) {
+	trace, err := DecodeBidTrace(j.Message)
+	if err != nil {
+		return nil, err
+	}
+	header, err := DecodeHeader(j.Header)
+	if err != nil {
+		return nil, err
+	}
+	txs := make([]*types.Transaction, 0, len(j.Transactions))
+	for i, tj := range j.Transactions {
+		tx, err := DecodeTransaction(tj)
+		if err != nil {
+			return nil, fmt.Errorf("relayapi: tx %d: %w", i, err)
+		}
+		txs = append(txs, tx)
+	}
+	sigBytes, err := parseHexBytes(j.Signature)
+	if err != nil || len(sigBytes) != crypto.SignatureSize {
+		return nil, fmt.Errorf("relayapi: signature: bad length or hex")
+	}
+	var sig types.Signature
+	copy(sig[:], sigBytes)
+	// NewBlock recomputes the tx root; a tampered root surfaces as a
+	// different block hash and fails signature/validation downstream.
+	block := types.NewBlock(header, txs)
+	return &pbs.Submission{Trace: trace, Block: block, Signature: sig}, nil
+}
+
+// BidJSON is the wire form of a blinded builder bid (getHeader response).
+type BidJSON struct {
+	Relay         string     `json:"relay"`
+	Slot          string     `json:"slot"`
+	Header        HeaderJSON `json:"header"`
+	Value         string     `json:"value"`
+	BlockHash     string     `json:"block_hash"`
+	BuilderPubkey string     `json:"builder_pubkey"`
+}
+
+// EncodeBid converts a bid to wire form.
+func EncodeBid(b *pbs.Bid) BidJSON {
+	return BidJSON{
+		Relay:         b.Relay,
+		Slot:          strconv.FormatUint(b.Slot, 10),
+		Header:        EncodeHeader(b.Header),
+		Value:         b.Value.String(),
+		BlockHash:     b.BlockHash.Hex(),
+		BuilderPubkey: b.BuilderPubkey.Hex(),
+	}
+}
+
+// DecodeBid parses the wire form.
+func DecodeBid(j BidJSON) (*pbs.Bid, error) {
+	slot, err := strconv.ParseUint(j.Slot, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("relayapi: slot: %w", err)
+	}
+	header, err := DecodeHeader(j.Header)
+	if err != nil {
+		return nil, err
+	}
+	value, err := u256.FromDecimal(j.Value)
+	if err != nil {
+		return nil, fmt.Errorf("relayapi: value: %w", err)
+	}
+	blockHash, err := crypto.ParseHash(j.BlockHash)
+	if err != nil {
+		return nil, fmt.Errorf("relayapi: block_hash: %w", err)
+	}
+	pub, err := crypto.ParsePubKey(j.BuilderPubkey)
+	if err != nil {
+		return nil, fmt.Errorf("relayapi: builder_pubkey: %w", err)
+	}
+	return &pbs.Bid{
+		Relay: j.Relay, Slot: slot, Header: header,
+		Value: value, BlockHash: blockHash, BuilderPubkey: pub,
+	}, nil
+}
+
+// SignedBlindedHeaderJSON is the wire form of the proposer's commitment.
+type SignedBlindedHeaderJSON struct {
+	Slot           string `json:"slot"`
+	BlockHash      string `json:"block_hash"`
+	ProposerPubkey string `json:"proposer_pubkey"`
+	Signature      string `json:"signature"`
+}
+
+// EncodeSignedBlindedHeader converts a commitment to wire form.
+func EncodeSignedBlindedHeader(h *pbs.SignedBlindedHeader) SignedBlindedHeaderJSON {
+	return SignedBlindedHeaderJSON{
+		Slot:           strconv.FormatUint(h.Slot, 10),
+		BlockHash:      h.BlockHash.Hex(),
+		ProposerPubkey: h.ProposerPubkey.Hex(),
+		Signature:      "0x" + hexBytes(h.Signature[:]),
+	}
+}
+
+// DecodeSignedBlindedHeader parses the wire form.
+func DecodeSignedBlindedHeader(j SignedBlindedHeaderJSON) (*pbs.SignedBlindedHeader, error) {
+	slot, err := strconv.ParseUint(j.Slot, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("relayapi: slot: %w", err)
+	}
+	blockHash, err := crypto.ParseHash(j.BlockHash)
+	if err != nil {
+		return nil, fmt.Errorf("relayapi: block_hash: %w", err)
+	}
+	pub, err := crypto.ParsePubKey(j.ProposerPubkey)
+	if err != nil {
+		return nil, fmt.Errorf("relayapi: proposer_pubkey: %w", err)
+	}
+	sigBytes, err := parseHexBytes(j.Signature)
+	if err != nil || len(sigBytes) != crypto.SignatureSize {
+		return nil, fmt.Errorf("relayapi: signature: bad length or hex")
+	}
+	var sig types.Signature
+	copy(sig[:], sigBytes)
+	return &pbs.SignedBlindedHeader{
+		Slot: slot, BlockHash: blockHash, ProposerPubkey: pub, Signature: sig,
+	}, nil
+}
+
+const hexDigits = "0123456789abcdef"
+
+func hexBytes(b []byte) string {
+	out := make([]byte, 2*len(b))
+	for i, c := range b {
+		out[2*i] = hexDigits[c>>4]
+		out[2*i+1] = hexDigits[c&0x0f]
+	}
+	return string(out)
+}
+
+func parseHexBytes(s string) ([]byte, error) {
+	if len(s) >= 2 && (s[:2] == "0x" || s[:2] == "0X") {
+		s = s[2:]
+	}
+	if len(s)%2 != 0 {
+		return nil, fmt.Errorf("relayapi: odd hex length %d", len(s))
+	}
+	out := make([]byte, len(s)/2)
+	for i := 0; i < len(out); i++ {
+		hi, ok1 := hexVal(s[2*i])
+		lo, ok2 := hexVal(s[2*i+1])
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("relayapi: invalid hex digit")
+		}
+		out[i] = hi<<4 | lo
+	}
+	return out, nil
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}

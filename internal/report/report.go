@@ -1,0 +1,141 @@
+// Package report renders a finished analysis as the paper's artifacts: a
+// terminal digest and one CSV per figure plus text tables, ready for
+// side-by-side comparison with the published plots.
+package report
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/ethpbs/pbslab/internal/core"
+	"github.com/ethpbs/pbslab/internal/mev"
+	"github.com/ethpbs/pbslab/internal/stats"
+)
+
+// PrintAll writes the full text report: summary, tables and coverage.
+func PrintAll(w io.Writer, a *core.Analysis) {
+	a.Summary(w)
+	fmt.Fprintln(w)
+	core.RenderTables2And3(w, a.Tables2And3Relays())
+	fmt.Fprintln(w)
+	rows, total := a.Table4RelayTrust()
+	core.RenderTable4(w, rows, total)
+	fmt.Fprintln(w)
+	core.RenderBuilderBoxes(w, a.Figures11And12BuilderBoxes(11))
+	fmt.Fprintln(w)
+	core.RenderTable5(w, a.Clusters(), 17)
+	fmt.Fprintln(w)
+	core.RenderCoverage(w, a.ClassifierCoverage())
+
+	gaps := a.OFACUpdateLag(4)
+	if len(gaps) > 0 {
+		fmt.Fprintln(w, "\n# OFAC update lag (Section 6)")
+		for _, g := range gaps {
+			fmt.Fprintf(w, "update %s: %.2f sanctioned compliant-relay blocks/day in window vs %.2f baseline\n",
+				g.UpdateDate.Format("2006-01-02"), g.WindowPerDay, g.BaselinePerDay)
+		}
+	}
+
+	delay := a.InclusionDelay()
+	fmt.Fprintf(w, "\n# Inclusion delay (related-work extension)\n")
+	fmt.Fprintf(w, "regular txs:    mean %.0fs median %.0fs (n=%d)\n",
+		delay.Regular.Mean, delay.Regular.Median, delay.Regular.N)
+	fmt.Fprintf(w, "sanctioned txs: mean %.0fs median %.0fs (n=%d) — %.2fx the regular wait\n",
+		delay.Sanctioned.Mean, delay.Sanctioned.Median, delay.Sanctioned.N, delay.MeanRatio)
+}
+
+// WriteAll writes every figure as CSV into dir, one file per figure.
+func WriteAll(a *core.Analysis, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, fn func(w io.Writer)) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		fn(f)
+		return nil
+	}
+
+	split := func(title string, v core.ValueSplit) func(io.Writer) {
+		return func(w io.Writer) {
+			core.RenderMultiSeries(w, title, map[string]stats.Series{
+				"pbs": v.PBS, "local": v.Local,
+			}, 1)
+		}
+	}
+
+	steps := []struct {
+		file string
+		fn   func(io.Writer)
+	}{
+		{"fig03_payment_shares.csv", func(w io.Writer) {
+			ps := a.Figure3PaymentShares()
+			core.RenderMultiSeries(w, "Figure 3: share of user payments", map[string]stats.Series{
+				"base_fee": ps.BaseFee, "priority_fee": ps.Priority, "direct_transfers": ps.Direct,
+			}, 1)
+		}},
+		{"fig04_pbs_share.csv", func(w io.Writer) {
+			core.RenderSeries(w, "Figure 4: daily PBS share", a.Figure4PBSShare(), 1)
+		}},
+		{"fig05_relay_shares.csv", func(w io.Writer) {
+			core.RenderMultiSeries(w, "Figure 5: daily relay shares", a.Figure5RelayShares(), 1)
+		}},
+		{"fig06_hhi.csv", func(w io.Writer) {
+			h := a.Figure6HHI()
+			core.RenderMultiSeries(w, "Figure 6: relay and builder HHI", map[string]stats.Series{
+				"relays": h.Relays, "builders": h.Builders,
+			}, 1)
+		}},
+		{"fig07_builders_per_relay.csv", func(w io.Writer) {
+			core.RenderMultiSeries(w, "Figure 7: builders per relay", a.Figure7BuildersPerRelay(), 1)
+		}},
+		{"fig08_builder_shares.csv", func(w io.Writer) {
+			core.RenderMultiSeries(w, "Figure 8: daily builder shares", a.Figure8BuilderShares(), 1)
+		}},
+		{"fig09_block_value.csv", split("Figure 9: mean daily block value [ETH]", a.Figure9BlockValue())},
+		{"fig10_proposer_profit.csv", func(w io.Writer) {
+			p := a.Figure10ProposerProfit()
+			core.RenderMultiSeries(w, "Figure 10: daily proposer profit [ETH]", map[string]stats.Series{
+				"pbs_median": p.PBSMedian, "pbs_q1": p.PBSQ1, "pbs_q3": p.PBSQ3,
+				"local_median": p.LocalMedian, "local_q1": p.LocalQ1, "local_q3": p.LocalQ3,
+			}, 1)
+		}},
+		{"fig13_block_size.csv", func(w io.Writer) {
+			s := a.Figure13BlockSize()
+			fmt.Fprintf(w, "# target gas = %.0f\n", s.Target)
+			core.RenderMultiSeries(w, "Figure 13: mean daily gas used", map[string]stats.Series{
+				"pbs_mean": s.PBSMean, "pbs_std": s.PBSStd,
+				"local_mean": s.LocalMean, "local_std": s.LocalStd,
+			}, 1)
+		}},
+		{"fig14_private_txs.csv", split("Figure 14: daily private tx share", a.Figure14PrivateTxShare())},
+		{"fig15_mev_per_block.csv", split("Figure 15: mean MEV txs per block", a.Figure15MEVPerBlock())},
+		{"fig16_mev_value_share.csv", split("Figure 16: MEV share of block value", a.Figure16MEVValueShare())},
+		{"fig17_censoring_share.csv", func(w io.Writer) {
+			core.RenderSeries(w, "Figure 17: share of PBS blocks via OFAC-compliant relays",
+				a.Figure17CensoringShare(), 1)
+		}},
+		{"fig18_sanctioned_share.csv", split("Figure 18: share of blocks with sanctioned txs", a.Figure18SanctionedShare())},
+		{"fig19_profit_split.csv", func(w io.Writer) {
+			p := a.Figure19ProfitSplit()
+			core.RenderMultiSeries(w, "Figure 19: builder/proposer profit split", map[string]stats.Series{
+				"builder": p.BuilderShare, "proposer": p.ProposerShare,
+			}, 1)
+		}},
+		{"fig20_sandwiches.csv", split("Figure 20: sandwiches per block", a.Figure20To22MEVKind(mev.KindSandwich))},
+		{"fig21_arbitrage.csv", split("Figure 21: cyclic arbitrage per block", a.Figure20To22MEVKind(mev.KindArbitrage))},
+		{"fig22_liquidations.csv", split("Figure 22: liquidations per block", a.Figure20To22MEVKind(mev.KindLiquidation))},
+		{"tables.txt", func(w io.Writer) { PrintAll(w, a) }},
+	}
+	for _, s := range steps {
+		if err := write(s.file, s.fn); err != nil {
+			return fmt.Errorf("report: %s: %w", s.file, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,317 @@
+// Package rlp implements Recursive Length Prefix serialization, Ethereum's
+// canonical wire encoding for transactions and block headers.
+//
+// RLP knows exactly two kinds of items: byte strings and lists of items.
+// This package exposes that model directly through the Item type rather than
+// through reflection: callers assemble Items and encode them, or decode bytes
+// back into an Item tree. The explicit model keeps encoding deterministic —
+// a requirement for hashing — and keeps the package free of reflect.
+//
+// Reference: Ethereum yellow paper, appendix B.
+package rlp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind discriminates the two RLP item kinds.
+type Kind uint8
+
+const (
+	// KindString is a byte-string item (possibly empty).
+	KindString Kind = iota
+	// KindList is a list item (possibly empty).
+	KindList
+)
+
+// Item is a node in an RLP tree: either a byte string or a list of items.
+type Item struct {
+	kind Kind
+	str  []byte
+	list []Item
+}
+
+// Decoding errors.
+var (
+	ErrTrailingBytes  = errors.New("rlp: trailing bytes after item")
+	ErrTruncated      = errors.New("rlp: input truncated")
+	ErrNonCanonical   = errors.New("rlp: non-canonical encoding")
+	ErrExpectedString = errors.New("rlp: expected string item")
+	ErrExpectedList   = errors.New("rlp: expected list item")
+)
+
+// String returns a byte-string item. The slice is not copied; callers must
+// not mutate it afterwards.
+func String(b []byte) Item {
+	return Item{kind: KindString, str: b}
+}
+
+// Text returns a byte-string item holding s.
+func Text(s string) Item {
+	return Item{kind: KindString, str: []byte(s)}
+}
+
+// Uint returns the canonical RLP integer item for v: big-endian with no
+// leading zero bytes, the empty string for zero.
+func Uint(v uint64) Item {
+	if v == 0 {
+		return Item{kind: KindString}
+	}
+	var buf [8]byte
+	n := 0
+	for shift := 56; shift >= 0; shift -= 8 {
+		b := byte(v >> shift)
+		if n == 0 && b == 0 {
+			continue
+		}
+		buf[n] = b
+		n++
+	}
+	return Item{kind: KindString, str: append([]byte(nil), buf[:n]...)}
+}
+
+// List returns a list item over the given children.
+func List(items ...Item) Item {
+	if items == nil {
+		items = []Item{}
+	}
+	return Item{kind: KindList, list: items}
+}
+
+// Kind reports whether the item is a string or a list.
+func (it Item) Kind() Kind { return it.kind }
+
+// Bytes returns the payload of a string item.
+func (it Item) Bytes() ([]byte, error) {
+	if it.kind != KindString {
+		return nil, ErrExpectedString
+	}
+	return it.str, nil
+}
+
+// AsUint decodes a canonical RLP integer from a string item.
+func (it Item) AsUint() (uint64, error) {
+	b, err := it.Bytes()
+	if err != nil {
+		return 0, err
+	}
+	if len(b) > 8 {
+		return 0, fmt.Errorf("rlp: integer larger than 64 bits (%d bytes)", len(b))
+	}
+	if len(b) > 0 && b[0] == 0 {
+		return 0, ErrNonCanonical
+	}
+	var v uint64
+	for _, c := range b {
+		v = v<<8 | uint64(c)
+	}
+	return v, nil
+}
+
+// Items returns the children of a list item.
+func (it Item) Items() ([]Item, error) {
+	if it.kind != KindList {
+		return nil, ErrExpectedList
+	}
+	return it.list, nil
+}
+
+// Len returns the number of children for a list, or the byte length for a
+// string.
+func (it Item) Len() int {
+	if it.kind == KindList {
+		return len(it.list)
+	}
+	return len(it.str)
+}
+
+// Encode renders the item in canonical RLP.
+func Encode(it Item) []byte {
+	out := make([]byte, 0, encodedLen(it))
+	return appendItem(out, it)
+}
+
+// encodedLen computes the exact encoded size so Encode allocates once.
+func encodedLen(it Item) int {
+	if it.kind == KindString {
+		n := len(it.str)
+		switch {
+		case n == 1 && it.str[0] < 0x80:
+			return 1
+		case n <= 55:
+			return 1 + n
+		default:
+			return 1 + lenOfLen(n) + n
+		}
+	}
+	payload := 0
+	for _, child := range it.list {
+		payload += encodedLen(child)
+	}
+	if payload <= 55 {
+		return 1 + payload
+	}
+	return 1 + lenOfLen(payload) + payload
+}
+
+func lenOfLen(n int) int {
+	size := 0
+	for n > 0 {
+		size++
+		n >>= 8
+	}
+	return size
+}
+
+func appendLength(out []byte, n int) []byte {
+	size := lenOfLen(n)
+	for i := size - 1; i >= 0; i-- {
+		out = append(out, byte(n>>(8*i)))
+	}
+	return out
+}
+
+func appendItem(out []byte, it Item) []byte {
+	if it.kind == KindString {
+		n := len(it.str)
+		switch {
+		case n == 1 && it.str[0] < 0x80:
+			return append(out, it.str[0])
+		case n <= 55:
+			out = append(out, byte(0x80+n))
+			return append(out, it.str...)
+		default:
+			out = append(out, byte(0xb7+lenOfLen(n)))
+			out = appendLength(out, n)
+			return append(out, it.str...)
+		}
+	}
+	payload := 0
+	for _, child := range it.list {
+		payload += encodedLen(child)
+	}
+	if payload <= 55 {
+		out = append(out, byte(0xc0+payload))
+	} else {
+		out = append(out, byte(0xf7+lenOfLen(payload)))
+		out = appendLength(out, payload)
+	}
+	for _, child := range it.list {
+		out = appendItem(out, child)
+	}
+	return out
+}
+
+// Decode parses exactly one item from data, rejecting trailing bytes.
+func Decode(data []byte) (Item, error) {
+	it, rest, err := decodeItem(data)
+	if err != nil {
+		return Item{}, err
+	}
+	if len(rest) != 0 {
+		return Item{}, ErrTrailingBytes
+	}
+	return it, nil
+}
+
+func decodeItem(data []byte) (Item, []byte, error) {
+	if len(data) == 0 {
+		return Item{}, nil, ErrTruncated
+	}
+	prefix := data[0]
+	switch {
+	case prefix < 0x80:
+		// Single byte, its own encoding.
+		return Item{kind: KindString, str: data[:1]}, data[1:], nil
+
+	case prefix <= 0xb7:
+		// Short string.
+		n := int(prefix - 0x80)
+		if len(data) < 1+n {
+			return Item{}, nil, ErrTruncated
+		}
+		payload := data[1 : 1+n]
+		if n == 1 && payload[0] < 0x80 {
+			return Item{}, nil, ErrNonCanonical
+		}
+		return Item{kind: KindString, str: payload}, data[1+n:], nil
+
+	case prefix <= 0xbf:
+		// Long string.
+		n, rest, err := decodeLength(data[1:], int(prefix-0xb7))
+		if err != nil {
+			return Item{}, nil, err
+		}
+		if n <= 55 {
+			return Item{}, nil, ErrNonCanonical
+		}
+		if len(rest) < n {
+			return Item{}, nil, ErrTruncated
+		}
+		return Item{kind: KindString, str: rest[:n]}, rest[n:], nil
+
+	case prefix <= 0xf7:
+		// Short list.
+		n := int(prefix - 0xc0)
+		if len(data) < 1+n {
+			return Item{}, nil, ErrTruncated
+		}
+		children, err := decodeList(data[1 : 1+n])
+		if err != nil {
+			return Item{}, nil, err
+		}
+		return Item{kind: KindList, list: children}, data[1+n:], nil
+
+	default:
+		// Long list.
+		n, rest, err := decodeLength(data[1:], int(prefix-0xf7))
+		if err != nil {
+			return Item{}, nil, err
+		}
+		if n <= 55 {
+			return Item{}, nil, ErrNonCanonical
+		}
+		if len(rest) < n {
+			return Item{}, nil, ErrTruncated
+		}
+		children, err := decodeList(rest[:n])
+		if err != nil {
+			return Item{}, nil, err
+		}
+		return Item{kind: KindList, list: children}, rest[n:], nil
+	}
+}
+
+// decodeLength reads a size-byte big-endian length, enforcing the canonical
+// form (no leading zero, minimal width).
+func decodeLength(data []byte, size int) (int, []byte, error) {
+	if len(data) < size {
+		return 0, nil, ErrTruncated
+	}
+	if size == 0 || data[0] == 0 {
+		return 0, nil, ErrNonCanonical
+	}
+	if size > 4 {
+		return 0, nil, fmt.Errorf("rlp: length of %d bytes exceeds supported size", size)
+	}
+	n := 0
+	for i := 0; i < size; i++ {
+		n = n<<8 | int(data[i])
+	}
+	return n, data[size:], nil
+}
+
+func decodeList(payload []byte) ([]Item, error) {
+	items := []Item{}
+	for len(payload) > 0 {
+		var it Item
+		var err error
+		it, payload, err = decodeItem(payload)
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, it)
+	}
+	return items, nil
+}

@@ -1,0 +1,231 @@
+package rlp
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Known-answer vectors from the Ethereum wiki / yellow paper appendix B.
+func TestKnownVectors(t *testing.T) {
+	cases := []struct {
+		name string
+		item Item
+		want []byte
+	}{
+		{"empty string", String(nil), []byte{0x80}},
+		{"zero uint", Uint(0), []byte{0x80}},
+		{"single low byte", String([]byte{0x0f}), []byte{0x0f}},
+		{"single zero byte", String([]byte{0x00}), []byte{0x00}},
+		{"byte 0x80", String([]byte{0x80}), []byte{0x81, 0x80}},
+		{"dog", Text("dog"), []byte{0x83, 'd', 'o', 'g'}},
+		{"cat dog list", List(Text("cat"), Text("dog")),
+			[]byte{0xc8, 0x83, 'c', 'a', 't', 0x83, 'd', 'o', 'g'}},
+		{"empty list", List(), []byte{0xc0}},
+		{"uint 15", Uint(15), []byte{0x0f}},
+		{"uint 1024", Uint(1024), []byte{0x82, 0x04, 0x00}},
+		{"set of three", List(List(), List(List()), List(List(), List(List()))),
+			[]byte{0xc7, 0xc0, 0xc1, 0xc0, 0xc3, 0xc0, 0xc1, 0xc0}},
+		{"lorem 56 bytes", Text("Lorem ipsum dolor sit amet, consectetur adipisicing elit"),
+			append([]byte{0xb8, 0x38}, []byte("Lorem ipsum dolor sit amet, consectetur adipisicing elit")...)},
+	}
+	for _, c := range cases {
+		got := Encode(c.item)
+		if !bytes.Equal(got, c.want) {
+			t.Errorf("%s: Encode = %x, want %x", c.name, got, c.want)
+		}
+		back, err := Decode(got)
+		if err != nil {
+			t.Errorf("%s: Decode: %v", c.name, err)
+			continue
+		}
+		if !itemsEqual(back, c.item) {
+			t.Errorf("%s: round trip mismatch: %#v vs %#v", c.name, back, c.item)
+		}
+	}
+}
+
+func itemsEqual(a, b Item) bool {
+	if a.kind != b.kind {
+		return false
+	}
+	if a.kind == KindString {
+		return bytes.Equal(a.str, b.str)
+	}
+	if len(a.list) != len(b.list) {
+		return false
+	}
+	for i := range a.list {
+		if !itemsEqual(a.list[i], b.list[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func randItem(r *rand.Rand, depth int) Item {
+	if depth <= 0 || r.Intn(3) > 0 {
+		n := r.Intn(70)
+		b := make([]byte, n)
+		r.Read(b)
+		return String(b)
+	}
+	n := r.Intn(5)
+	children := make([]Item, n)
+	for i := range children {
+		children[i] = randItem(r, depth-1)
+	}
+	return List(children...)
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	f := func(it Item) bool {
+		enc := Encode(it)
+		back, err := Decode(enc)
+		if err != nil {
+			return false
+		}
+		return itemsEqual(it, back) && bytes.Equal(Encode(back), enc)
+	}
+	vals := func(args []reflect.Value, r *rand.Rand) {
+		args[0] = reflect.ValueOf(randItem(r, 4))
+	}
+	if err := quick.Check(f, &quick.Config{Values: vals, MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUintRoundTripQuick(t *testing.T) {
+	f := func(v uint64) bool {
+		it, err := Decode(Encode(Uint(v)))
+		if err != nil {
+			return false
+		}
+		got, err := it.AsUint()
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodedLenMatches(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		it := randItem(r, 4)
+		if got, want := encodedLen(it), len(Encode(it)); got != want {
+			t.Fatalf("encodedLen = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []byte
+	}{
+		{"empty input", nil},
+		{"truncated short string", []byte{0x83, 'd', 'o'}},
+		{"truncated long string header", []byte{0xb8}},
+		{"truncated list", []byte{0xc8, 0x83, 'c'}},
+		{"trailing bytes", []byte{0x0f, 0x0f}},
+		{"non-canonical single byte", []byte{0x81, 0x01}},
+		{"non-canonical long string", []byte{0xb8, 0x01, 0xff}},
+		{"non-canonical length leading zero", []byte{0xb9, 0x00, 0x40}},
+		{"non-canonical long list", []byte{0xf8, 0x01, 0x0f}},
+		{"oversized length", []byte{0xbf, 1, 2, 3, 4, 5, 6, 7, 8}},
+	}
+	for _, c := range cases {
+		if _, err := Decode(c.in); err == nil {
+			t.Errorf("%s: Decode(%x) succeeded, want error", c.name, c.in)
+		}
+	}
+}
+
+func TestKindAccessors(t *testing.T) {
+	s := Text("hi")
+	if _, err := s.Items(); err != ErrExpectedList {
+		t.Errorf("Items on string: err = %v, want ErrExpectedList", err)
+	}
+	l := List(s)
+	if _, err := l.Bytes(); err != ErrExpectedString {
+		t.Errorf("Bytes on list: err = %v, want ErrExpectedString", err)
+	}
+	if l.Len() != 1 || s.Len() != 2 {
+		t.Errorf("Len mismatch: list %d string %d", l.Len(), s.Len())
+	}
+	items, err := l.Items()
+	if err != nil || len(items) != 1 {
+		t.Fatalf("Items: %v, %v", items, err)
+	}
+	b, err := items[0].Bytes()
+	if err != nil || string(b) != "hi" {
+		t.Errorf("Bytes = %q, %v", b, err)
+	}
+}
+
+func TestAsUintErrors(t *testing.T) {
+	if _, err := String([]byte{0x00, 0x01}).AsUint(); err == nil {
+		t.Error("AsUint accepted leading zero")
+	}
+	if _, err := String(make([]byte, 9)).AsUint(); err == nil {
+		t.Error("AsUint accepted 9-byte integer")
+	}
+	if _, err := List().AsUint(); err == nil {
+		t.Error("AsUint accepted a list")
+	}
+}
+
+func TestLongList(t *testing.T) {
+	var children []Item
+	for i := 0; i < 60; i++ {
+		children = append(children, Uint(uint64(i)))
+	}
+	it := List(children...)
+	enc := Encode(it)
+	if enc[0] < 0xf8 {
+		t.Fatalf("expected long-list prefix, got %#x", enc[0])
+	}
+	back, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.Items()
+	if err != nil || len(got) != 60 {
+		t.Fatalf("Items: n=%d err=%v", len(got), err)
+	}
+	for i, child := range got {
+		v, err := child.AsUint()
+		if err != nil || v != uint64(i) {
+			t.Fatalf("child %d = %d, %v", i, v, err)
+		}
+	}
+}
+
+func BenchmarkEncodeHeaderLike(b *testing.B) {
+	it := List(
+		String(make([]byte, 32)), String(make([]byte, 20)), String(make([]byte, 32)),
+		Uint(15537394), Uint(30_000_000), Uint(14_356_221), Uint(1663224162),
+		String(make([]byte, 32)), Uint(12_000_000_000),
+	)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Encode(it)
+	}
+}
+
+func BenchmarkDecodeHeaderLike(b *testing.B) {
+	enc := Encode(List(
+		String(make([]byte, 32)), String(make([]byte, 20)), String(make([]byte, 32)),
+		Uint(15537394), Uint(30_000_000), Uint(14_356_221), Uint(1663224162),
+		String(make([]byte, 32)), Uint(12_000_000_000),
+	))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := New(43)
+	if New(42).Uint64() == c.Uint64() {
+		t.Error("different seeds produced identical first draw")
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Fork("mempool")
+	c2 := parent.Fork("builders")
+	if c1.Uint64() == c2.Uint64() {
+		t.Error("distinct labels produced identical streams")
+	}
+	// Forking must be reproducible and unaffected by parent consumption
+	// ordering between identical parents.
+	p1, p2 := New(7), New(7)
+	f1 := p1.Fork("x")
+	f2 := p2.Fork("x")
+	for i := 0; i < 10; i++ {
+		if f1.Uint64() != f2.Uint64() {
+			t.Fatal("fork not reproducible")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 10_000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %g", f)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(2)
+	counts := make([]int, 10)
+	for i := 0; i < 100_000; i++ {
+		counts[r.Intn(10)]++
+	}
+	for i, c := range counts {
+		if c < 8_000 || c > 12_000 {
+			t.Errorf("bucket %d count %d far from uniform", i, c)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(3)
+	const n = 200_000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Normal(5, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-5) > 0.05 {
+		t.Errorf("normal mean = %g, want ~5", mean)
+	}
+	if math.Abs(variance-4) > 0.15 {
+		t.Errorf("normal variance = %g, want ~4", variance)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := New(4)
+	const n = 200_000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Exponential(3)
+	}
+	if mean := sum / n; math.Abs(mean-3) > 0.1 {
+		t.Errorf("exponential mean = %g, want ~3", mean)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := New(5)
+	for _, lambda := range []float64{0.5, 4, 60} {
+		const n = 50_000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += float64(r.Poisson(lambda))
+		}
+		mean := sum / n
+		if math.Abs(mean-lambda) > lambda*0.05+0.05 {
+			t.Errorf("poisson(%g) mean = %g", lambda, mean)
+		}
+	}
+	if New(1).Poisson(0) != 0 || New(1).Poisson(-2) != 0 {
+		t.Error("non-positive mean must yield 0")
+	}
+}
+
+func TestParetoTail(t *testing.T) {
+	r := New(6)
+	const n = 100_000
+	below := 0
+	for i := 0; i < n; i++ {
+		v := r.Pareto(1, 2)
+		if v < 1 {
+			t.Fatalf("pareto draw below xm: %g", v)
+		}
+		if v < 2 {
+			below++
+		}
+	}
+	// P(X < 2) = 1 - (1/2)^2 = 0.75 for alpha=2.
+	frac := float64(below) / n
+	if math.Abs(frac-0.75) > 0.01 {
+		t.Errorf("pareto CDF at 2 = %g, want ~0.75", frac)
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10_000; i++ {
+		if r.LogNormal(0, 1) <= 0 {
+			t.Fatal("log-normal draw not positive")
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(8)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatal("not a permutation")
+		}
+		seen[v] = true
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	r := New(9)
+	vals := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	orig := append([]int(nil), vals...)
+	r.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	sum := 0
+	for _, v := range vals {
+		sum += v
+	}
+	if sum != 45 {
+		t.Error("shuffle lost elements")
+	}
+	same := true
+	for i := range vals {
+		if vals[i] != orig[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("shuffle left order unchanged (astronomically unlikely)")
+	}
+}
+
+func TestPickWeighted(t *testing.T) {
+	r := New(10)
+	weights := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	for i := 0; i < 100_000; i++ {
+		counts[r.Pick(weights)]++
+	}
+	if counts[1] != 0 {
+		t.Error("zero-weight bucket selected")
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if math.Abs(ratio-3) > 0.2 {
+		t.Errorf("weight ratio = %g, want ~3", ratio)
+	}
+	if r.Pick([]float64{0, 0}) != 0 {
+		t.Error("all-zero weights should return 0")
+	}
+}
+
+func TestBool(t *testing.T) {
+	r := New(11)
+	hits := 0
+	for i := 0; i < 100_000; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / 100_000
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) rate = %g", frac)
+	}
+}
+
+func TestRangeBounds(t *testing.T) {
+	r := New(12)
+	for i := 0; i < 10_000; i++ {
+		v := r.Range(2, 5)
+		if v < 2 || v >= 5 {
+			t.Fatalf("Range out of bounds: %g", v)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var x uint64
+	for i := 0; i < b.N; i++ {
+		x = r.Uint64()
+	}
+	_ = x
+}

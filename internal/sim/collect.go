@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"time"
+
+	"github.com/ethpbs/pbslab/internal/dataset"
+	"github.com/ethpbs/pbslab/internal/mev"
+	"github.com/ethpbs/pbslab/internal/p2p"
+	"github.com/ethpbs/pbslab/internal/types"
+)
+
+// collect assembles the Table 1 datasets from the finished world: the chain
+// extraction pass (blocks, receipts, traces), the three MEV label sources
+// and their union, the mempool observations, and a crawl of every relay's
+// data API.
+func (w *World) collect(arrivals map[types.Hash]p2p.Observation) *dataset.Dataset {
+	d := &dataset.Dataset{
+		Start:       w.Scenario.Start,
+		End:         w.Scenario.End,
+		MEVBySource: map[string][]mev.Label{},
+		Arrivals:    arrivals,
+		Sanctions:   w.Sanctions,
+	}
+
+	sources := mev.DefaultSources()
+	perSource := make([][]mev.Label, len(sources))
+
+	for _, stored := range w.Chain.Blocks()[1:] { // skip genesis
+		h := stored.Block.Header
+		d.Blocks = append(d.Blocks, &dataset.Block{
+			Number:       h.Number,
+			Hash:         stored.Block.Hash(),
+			Slot:         h.Slot,
+			Time:         time.Unix(int64(h.Timestamp), 0).UTC(),
+			FeeRecipient: h.FeeRecipient,
+			GasUsed:      h.GasUsed,
+			GasLimit:     h.GasLimit,
+			BaseFee:      h.BaseFee,
+			Txs:          stored.Block.Txs,
+			Receipts:     stored.Receipts,
+			Traces:       stored.Traces,
+			Burned:       stored.Burned,
+			Tips:         stored.Tips,
+		})
+		view := mev.BlockView{
+			Number: h.Number, Txs: stored.Block.Txs, Receipts: stored.Receipts,
+		}
+		for i, src := range sources {
+			perSource[i] = append(perSource[i], src.Report(view)...)
+		}
+	}
+
+	for i, src := range sources {
+		d.MEVBySource[src.Name] = perSource[i]
+	}
+	d.MEVLabels = mev.Union(perSource...)
+
+	for _, name := range w.RelayOrder {
+		r := w.Relays[name]
+		rd := dataset.RelayData{
+			Name:           r.Name,
+			Endpoint:       r.Endpoint,
+			Fork:           r.Fork,
+			BuilderAccess:  r.Access.String(),
+			OFACCompliant:  r.OFACCompliant,
+			MEVFilter:      r.MEVFilter,
+			Received:       r.Received(),
+			ValidatorCount: r.ValidatorCount(),
+		}
+		for _, e := range r.Delivered() {
+			rd.Delivered = append(rd.Delivered, e.Trace)
+		}
+		d.Relays = append(d.Relays, rd)
+	}
+
+	return d
+}

@@ -1,0 +1,263 @@
+package sim
+
+import (
+	"math"
+	"time"
+
+	"github.com/ethpbs/pbslab/internal/defi"
+	"github.com/ethpbs/pbslab/internal/rng"
+	"github.com/ethpbs/pbslab/internal/state"
+	"github.com/ethpbs/pbslab/internal/types"
+	"github.com/ethpbs/pbslab/internal/u256"
+)
+
+// traffic is the transaction flow generated for one slot.
+type traffic struct {
+	// public transactions are broadcast on the gossip network and enter
+	// the mempool.
+	public []*types.Transaction
+	// protected transactions go to builders through private services and
+	// never touch the network.
+	protected []*types.Transaction
+	// binance transactions go privately to AnkrPool proposers only (the
+	// December episode).
+	binance []*types.Transaction
+}
+
+// demandState carries the demand model's evolving state.
+type demandState struct {
+	r *rng.RNG
+	// nonces tracks the next nonce per generated sender, pending-aware.
+	nonces map[types.Address]uint64
+	// ethPrice is the oracle's current price in USD per ETH.
+	ethPrice float64
+	// userCursor rotates through the user population.
+	userCursor int
+	// borrowersCreated counts opened lending positions.
+	borrowersCreated int
+}
+
+func newDemandState(w *World) *demandState {
+	return &demandState{
+		r:        w.R.Fork("demand"),
+		nonces:   map[types.Address]uint64{},
+		ethPrice: 1500,
+	}
+}
+
+// nextNonce returns and advances the tracked nonce for addr, seeding from
+// chain state the first time.
+func (ds *demandState) nextNonce(st *state.State, addr types.Address) uint64 {
+	if _, ok := ds.nonces[addr]; !ok {
+		ds.nonces[addr] = st.Nonce(addr)
+	}
+	n := ds.nonces[addr]
+	ds.nonces[addr]++
+	return n
+}
+
+// resyncNonce drops the tracked nonce so it reseeds from state; used when a
+// sender's chain may have stalled.
+func (ds *demandState) resyncNonce(addr types.Address) {
+	delete(ds.nonces, addr)
+}
+
+// feeFor draws EIP-1559 fee fields: a log-normal priority fee and a
+// log-normal willingness-to-pay cap as the max fee. ok is false when the
+// user's cap cannot cover the prevailing base fee with headroom — the user
+// defers, which is the demand elasticity that keeps the base fee pinned to
+// the gas target.
+func (ds *demandState) feeFor(cfg DemandConfig, baseFee types.Wei) (maxFee, maxTip types.Wei, ok bool) {
+	tipGwei := ds.r.LogNormal(cfg.TipGweiMu, cfg.TipGweiSigma)
+	if tipGwei > 500 {
+		tipGwei = 500
+	}
+	maxTip = types.Ether(tipGwei / 1e9) // gwei expressed via Ether(1e-9 ETH)
+	if cfg.WTPGweiMedian <= 0 {
+		// No cap model configured: generous headroom (tests, ablations).
+		return baseFee.Mul64(4).Add(maxTip), maxTip, true
+	}
+	capGwei := cfg.WTPGweiMedian * ds.r.LogNormal(0, cfg.WTPGweiSigma)
+	maxFee = types.Ether(capGwei / 1e9).Add(maxTip)
+	headroom := baseFee.Mul64(115).Div64(100)
+	if maxFee.Lt(headroom) {
+		return maxFee, maxTip, false
+	}
+	return maxFee, maxTip, true
+}
+
+// generate produces the slot's transaction flow.
+func (w *World) generate(ds *demandState, slot uint64, now time.Time, baseFee types.Wei) traffic {
+	cfg := w.Scenario.Demand
+	st := w.Chain.State()
+	var out traffic
+
+	mean := cfg.TxPerBlock.At(now)
+	boost := cfg.VolatilityBoost.At(now)
+	n := ds.r.Poisson(mean)
+
+	for i := 0; i < n; i++ {
+		user := w.Users[ds.userCursor%len(w.Users)]
+		ds.userCursor++
+		maxFee, maxTip, affordable := ds.feeFor(cfg, baseFee)
+		if !affordable {
+			continue // the user waits for cheaper blockspace
+		}
+		draw := ds.r.Float64()
+		var tx *types.Transaction
+		switch {
+		case draw < cfg.SwapFraction:
+			tx = w.genSwap(ds, st, user, maxFee, maxTip, boost)
+		case draw < cfg.SwapFraction+cfg.TokenFraction:
+			tx = w.genTokenTransfer(ds, st, user, maxFee, maxTip)
+		case draw < cfg.SwapFraction+cfg.TokenFraction+cfg.BorrowFraction:
+			tx = w.genBorrow(ds, st, user, maxFee, maxTip)
+		default:
+			tx = w.genTransfer(ds, st, user, maxFee, maxTip)
+		}
+		if tx == nil {
+			continue
+		}
+		if ds.r.Bool(cfg.PrivateUserFraction) {
+			out.protected = append(out.protected, tx)
+		} else {
+			out.public = append(out.public, tx)
+		}
+	}
+
+	// Oracle updates: a drifting price with volatility spikes. The FTX and
+	// USDC windows push prices down sharply, creating liquidations.
+	if cfg.OracleEveryNBlocks > 0 && slot%uint64(cfg.OracleEveryNBlocks) == 0 {
+		drift := ds.r.Normal(0, 0.0045*boost)
+		if boost > 2 {
+			drift -= 0.01 // crisis days trend down
+		}
+		ds.ethPrice *= math.Exp(drift)
+		if ds.ethPrice < 400 {
+			ds.ethPrice = 400
+		}
+		// The oracle operator always pays up (its feed must not stall).
+		maxTip := types.Gwei(3)
+		maxFee := baseFee.Mul64(4).Add(maxTip)
+		nonce := ds.nextNonce(st, w.OracleAddr)
+		tx := types.NewTransaction(nonce, w.OracleAddr, w.Lending.Addr, u256.Zero,
+			60_000, maxFee, maxTip, defi.OracleSetCalldata(types.Ether(ds.ethPrice)))
+		out.public = append(out.public, tx)
+	}
+
+	// Sanctioned flow: simple transfers from designated addresses.
+	if ds.r.Bool(cfg.SanctionedTxProb) {
+		sender := w.SanctionedUsers[ds.r.Intn(len(w.SanctionedUsers))]
+		maxFee, maxTip, affordable := ds.feeFor(cfg, baseFee)
+		if !affordable {
+			maxFee = baseFee.Mul64(4).Add(maxTip) // moving funds is urgent
+		}
+		nonce := ds.nextNonce(st, sender)
+		tx := types.NewTransaction(nonce, sender, w.Users[ds.r.Intn(len(w.Users))],
+			types.Ether(0.2+ds.r.Float64()), 21_000, maxFee, maxTip, nil)
+		out.public = append(out.public, tx)
+	}
+
+	// The December Binance → AnkrPool private episode: bursts of plain
+	// transfers that only AnkrPool proposers see.
+	if now.After(BinanceFlowStart) && now.Before(BinanceFlowEnd) {
+		// Nonces chain from state: these transactions are never pooled, so
+		// bursts that miss their proposer simply vanish and the next burst
+		// restarts from the confirmed nonce.
+		base := st.Nonce(w.BinanceSender)
+		burst := ds.r.Poisson(3)
+		for i := 0; i < burst; i++ {
+			tip := types.Gwei(2)
+			tx := types.NewTransaction(base+uint64(i), w.BinanceSender, w.BinanceReceiver,
+				types.Ether(5+ds.r.Float64()*20), 21_000, baseFee.Mul64(4).Add(tip), tip, nil)
+			out.binance = append(out.binance, tx)
+		}
+	}
+
+	return out
+}
+
+func (w *World) genTransfer(ds *demandState, st *state.State, user types.Address, maxFee, maxTip types.Wei) *types.Transaction {
+	amount := types.Ether(0.05 + ds.r.Float64()*0.5)
+	if st.Balance(user).Lt(types.Ether(5)) {
+		return nil
+	}
+	to := w.Users[ds.r.Intn(len(w.Users))]
+	nonce := ds.nextNonce(st, user)
+	return types.NewTransaction(nonce, user, to, amount, 21_000, maxFee, maxTip, nil)
+}
+
+func (w *World) genTokenTransfer(ds *demandState, st *state.State, user types.Address, maxFee, maxTip types.Wei) *types.Transaction {
+	tok := w.USDC
+	if ds.r.Bool(0.4) {
+		tok = w.DAI
+	}
+	amount := types.Ether(10 + ds.r.Float64()*200)
+	if tok.BalanceOf(st, user).Lt(amount) {
+		return nil
+	}
+	to := w.Users[ds.r.Intn(len(w.Users))]
+	nonce := ds.nextNonce(st, user)
+	return types.NewTransaction(nonce, user, tok.Addr, u256.Zero, 52_000,
+		maxFee, maxTip, defi.TokenTransferCalldata(to, amount))
+}
+
+// genSwap produces a DEX trade, sometimes with sloppy slippage tolerance
+// (the sandwichable victims) and sized up on volatile days (the arbitrage
+// fuel).
+func (w *World) genSwap(ds *demandState, st *state.State, user types.Address, maxFee, maxTip types.Wei, boost float64) *types.Transaction {
+	pair := w.Pairs[ds.r.Intn(len(w.Pairs))]
+	sellWETH := ds.r.Bool(0.5)
+	var tokenIn types.Address
+	var amountIn types.Wei
+	if sellWETH {
+		tokenIn = pair.Token0.Addr
+		amountIn = types.Ether((0.5 + ds.r.Float64()*4.5) * boost)
+		if pair.Token0.BalanceOf(st, user).Lt(amountIn) {
+			return nil
+		}
+	} else {
+		tokenIn = pair.Token1.Addr
+		amountIn = types.Ether((750 + ds.r.Float64()*6_750) * boost)
+		if pair.Token1.BalanceOf(st, user).Lt(amountIn) {
+			return nil
+		}
+	}
+	quote, ok := pair.QuoteOut(st, tokenIn, amountIn)
+	if !ok || quote.IsZero() {
+		return nil
+	}
+	tol := 0.003
+	if ds.r.Bool(w.Scenario.Demand.SloppySlippageProb) {
+		tol = 0.006 + ds.r.Float64()*0.016
+	}
+	minOut := quote.Mul64(uint64((1 - tol) * 1e6)).Div64(1e6)
+	nonce := ds.nextNonce(st, user)
+	return types.NewTransaction(nonce, user, pair.Addr, u256.Zero, 130_000,
+		maxFee, maxTip, defi.SwapCalldata(tokenIn, amountIn, minOut))
+}
+
+// genBorrow opens a lending position near the limit — tomorrow's
+// liquidation candidates.
+func (w *World) genBorrow(ds *demandState, st *state.State, user types.Address, maxFee, maxTip types.Wei) *types.Transaction {
+	coll := types.Ether(2 + ds.r.Float64()*8)
+	if st.Balance(user).Lt(coll.Add(types.Ether(10))) {
+		return nil
+	}
+	price := w.Lending.Price(st)
+	if price.IsZero() {
+		return nil
+	}
+	// Borrow 75-96% of the maximum the threshold allows; only the most
+	// aggressive tail is liquidated on ordinary drawdowns.
+	limit := coll.MulDiv(price, types.OneEther).Mul64(w.Lending.LiqThresholdBps).Div64(10_000)
+	frac := 0.75 + ds.r.Float64()*0.21
+	debt := limit.Mul64(uint64(frac * 1e6)).Div64(1e6)
+	if debt.IsZero() {
+		return nil
+	}
+	nonce := ds.nextNonce(st, user)
+	ds.borrowersCreated++
+	return types.NewTransaction(nonce, user, w.Lending.Addr, coll, 180_000,
+		maxFee, maxTip, defi.BorrowCalldata(debt))
+}

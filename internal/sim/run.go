@@ -1,0 +1,466 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/ethpbs/pbslab/internal/builder"
+	"github.com/ethpbs/pbslab/internal/chain"
+	"github.com/ethpbs/pbslab/internal/crypto"
+	"github.com/ethpbs/pbslab/internal/dataset"
+	"github.com/ethpbs/pbslab/internal/evm"
+	"github.com/ethpbs/pbslab/internal/mempool"
+	"github.com/ethpbs/pbslab/internal/mevboost"
+	"github.com/ethpbs/pbslab/internal/p2p"
+	"github.com/ethpbs/pbslab/internal/relay"
+	"github.com/ethpbs/pbslab/internal/searcher"
+	"github.com/ethpbs/pbslab/internal/state"
+	"github.com/ethpbs/pbslab/internal/types"
+	"github.com/ethpbs/pbslab/internal/validator"
+)
+
+// GroundTruth records what the simulator knows but the analysis must
+// re-derive from data; validation tests compare the two.
+type GroundTruth struct {
+	// PBS maps block number to whether the block came through a relay.
+	PBS map[uint64]bool
+	// BuilderName maps PBS block numbers to the winning builder.
+	BuilderName map[uint64]string
+	// Operator maps block numbers to the proposer's operator name.
+	Operator map[uint64]string
+	// Promised maps PBS block numbers to the relay-announced value.
+	Promised map[uint64]types.Wei
+	// Fallbacks counts PBS attempts that fell back to local building.
+	Fallbacks int
+	// MissedSlots counts slots with no block.
+	MissedSlots int
+}
+
+// Result is a finished simulation.
+type Result struct {
+	Dataset *dataset.Dataset
+	Truth   *GroundTruth
+	World   *World
+}
+
+// cachingView validates each distinct block once per slot round, sharing
+// the result across relays.
+type cachingView struct {
+	c     *chain.Chain
+	cache map[types.Hash]cachedValidation
+}
+
+type cachedValidation struct {
+	res *chain.ProcessResult
+	st  *state.State
+	err error
+}
+
+func (v *cachingView) Validate(block *types.Block) (*chain.ProcessResult, *state.State, error) {
+	if hit, ok := v.cache[block.Hash()]; ok {
+		return hit.res, hit.st, hit.err
+	}
+	res, st, err := v.c.Validate(block)
+	v.cache[block.Hash()] = cachedValidation{res: res, st: st, err: err}
+	return res, st, err
+}
+
+func (v *cachingView) reset() {
+	v.cache = map[types.Hash]cachedValidation{}
+}
+
+// Run executes the scenario and collects the Table 1 datasets.
+func Run(sc Scenario) (*Result, error) {
+	w, err := NewWorld(sc)
+	if err != nil {
+		return nil, err
+	}
+
+	// Swap every relay's chain view for the shared caching validator.
+	view := &cachingView{c: w.Chain}
+	view.reset()
+	rebuilt := map[string]*relay.Relay{}
+	for _, name := range w.RelayOrder {
+		old := w.Relays[name]
+		nr := relay.New(old.Policy, view, w.Sanctions)
+		rebuilt[name] = nr
+	}
+	w.Relays = rebuilt
+	w.registerBuilders()
+
+	ds := newDemandState(w)
+	truth := &GroundTruth{
+		PBS:         map[uint64]bool{},
+		BuilderName: map[uint64]string{},
+		Operator:    map[uint64]string{},
+		Promised:    map[uint64]types.Wei{},
+	}
+	arrivals := map[types.Hash]p2p.Observation{}
+	relayChoices := map[string][]string{} // operator+era -> relay names
+	slotRng := w.R.Fork("slots")
+	localRng := w.R.Fork("local-build")
+	flowRng := w.R.Fork("flow")
+
+	slot := w.Chain.Config().GenesisSlot
+	endUnix := uint64(sc.End.Unix())
+	slotsSinceChurn := 0
+	// privatePool holds protected (never-broadcast) user transactions until
+	// a builder lands them — protection services retry across slots.
+	var privatePool []*types.Transaction
+
+	for {
+		slot++
+		ts := w.Chain.SlotTime(slot)
+		if ts > endUnix {
+			break
+		}
+		now := time.Unix(int64(ts), 0).UTC()
+		if slotRng.Bool(sc.MissedSlotProb) {
+			truth.MissedSlots++
+			continue
+		}
+		view.reset()
+		baseFee := w.Chain.NextBaseFee()
+		headNumber := w.Chain.Head().Block.Number()
+
+		// 1. Demand: generate, broadcast, pool.
+		tr := w.generate(ds, slot, now, baseFee)
+		for _, tx := range tr.public {
+			// Broadcast happened sometime since the previous slot.
+			sent := now.Add(-time.Duration(slotRng.Range(1, float64(w.Chain.Config().SlotSeconds))) * time.Second)
+			arrivals[tx.Hash()] = w.Network.Broadcast(tx.Hash(), w.Network.RandomOrigin(), sent)
+			_ = w.Mempool.Add(tx)
+		}
+
+		// 2. Proposer for the slot.
+		proposer := w.Schedule.Proposer(slot)
+		op := w.Population.OperatorOf(proposer.Index)
+
+		// 3. Candidate transactions and bundles.
+		pending := w.Mempool.Executable(w.Chain.State(), baseFee, 400)
+		sctx := &searcher.Context{
+			State:       w.Chain.StateCopy(),
+			Engine:      w.Engine,
+			BaseFee:     baseFee,
+			TargetBlock: headNumber + 1,
+			BlockCtx: evm.BlockContext{
+				Number: headNumber + 1, Timestamp: ts, BaseFee: baseFee,
+				FeeRecipient: simFeeRecipient, GasLimit: w.Chain.Config().GasLimit,
+			},
+			Pending: pending,
+		}
+		privatePool = append(privatePool, tr.protected...)
+		privatePool = pruneStale(privatePool, w)
+
+		var sharedBundles []*types.Bundle
+		for _, s := range w.SharedSearchers {
+			sharedBundles = append(sharedBundles, s.FindBundles(sctx)...)
+		}
+		// The public arbitrageur races through the mempool instead of
+		// bundling: its router transaction is broadcast like any user tx
+		// (dropping the coinbase-tip leg it never sends).
+		for _, bundle := range w.PublicArb.FindBundles(sctx) {
+			if len(bundle.Txs) == 0 {
+				continue
+			}
+			tx := bundle.Txs[0]
+			sent := now.Add(-time.Duration(slotRng.Range(1, float64(w.Chain.Config().SlotSeconds))) * time.Second)
+			arrivals[tx.Hash()] = w.Network.Broadcast(tx.Hash(), w.Network.RandomOrigin(), sent)
+			if err := w.Mempool.Add(tx); err == nil {
+				pending = append(pending, tx)
+			}
+		}
+
+		// 4. Propose: PBS when adopted, local otherwise or on failure.
+		var newBlock *types.Block
+		usePBS := op.UsesPBS(now)
+		if usePBS {
+			relays := w.relaysFor(op, now, relayChoices)
+			sidecar := mevboost.New(proposer.Key, op.FeeRecipient, relays)
+			sidecar.RedundancyProb = 0.05
+			sidecar.Register(now)
+
+			w.runBuilders(now, slot, proposer.Pub(), op.FeeRecipient,
+				sharedBundles, privatePool, pending, sctx, flowRng)
+
+			prop, err := sidecar.Propose(now, slot)
+			if err == nil && !slotRng.Bool(sc.LocalFallbackProb.At(now)) {
+				newBlock = prop.Block
+				truth.PBS[newBlock.Number()] = true
+				truth.Promised[newBlock.Number()] = prop.PromisedValue
+				truth.BuilderName[newBlock.Number()] = w.builderNameOf(prop.BuilderPubkey)
+			} else {
+				truth.Fallbacks++
+			}
+		}
+		if newBlock == nil {
+			localPending := pending
+			if op.Name == "AnkrPool" && len(tr.binance) > 0 {
+				localPending = append(append([]*types.Transaction{}, tr.binance...), pending...)
+			}
+			newBlock = builder.BuildLocal(w.Chain, slot, op.FeeRecipient,
+				localPending, op.LocalCoverage, localRng)
+			truth.PBS[newBlock.Number()] = false
+		}
+		truth.Operator[newBlock.Number()] = op.Name
+
+		stored, err := w.Chain.Accept(newBlock)
+		if err != nil {
+			return nil, fmt.Errorf("sim: slot %d: accept: %w", slot, err)
+		}
+		w.Chain.State().ClearJournal()
+		w.Ledger.RecordProposal(proposer)
+
+		// 5. Post-block housekeeping.
+		w.Mempool.RemoveIncluded(stored.Block.Txs)
+		w.Mempool.Prune(w.Chain.State())
+		for _, rcpt := range stored.Receipts {
+			w.Liquidator.ObserveLogs(rcpt.Logs)
+		}
+		for _, r := range w.Relays {
+			r.PruneSlot(slot - 2)
+		}
+		slotsSinceChurn++
+		if slotsSinceChurn >= 200 {
+			// Mempool churn: expire stale flow and resync demand nonces, the
+			// way real pools time out transactions; this prevents permanently
+			// stalled sender chains from accumulating.
+			w.Mempool = mempool.New()
+			privatePool = privatePool[:0]
+			for addr := range ds.nonces {
+				ds.resyncNonce(addr)
+			}
+			slotsSinceChurn = 0
+		}
+	}
+
+	return &Result{
+		Dataset: w.collect(arrivals),
+		Truth:   truth,
+		World:   w,
+	}, nil
+}
+
+// pruneStale drops private-pool transactions whose nonce has been consumed
+// on chain (included or replaced).
+func pruneStale(pool []*types.Transaction, w *World) []*types.Transaction {
+	st := w.Chain.State()
+	keep := pool[:0]
+	for _, tx := range pool {
+		if tx.Nonce >= st.Nonce(tx.From) {
+			keep = append(keep, tx)
+		}
+	}
+	return keep
+}
+
+// simFeeRecipient is the placeholder coinbase searchers simulate against
+// before the actual builder is known.
+var simFeeRecipient = crypto.AddressFromSeed("sim/fee-recipient-placeholder")
+
+// registerBuilders re-wires builder registrations after the relay rebuild.
+func (w *World) registerBuilders() {
+	for _, e := range w.Builders {
+		pubs, vks := e.B.PubKeys(), e.B.VerificationKeys()
+		for _, name := range e.Spec.Profile.Relays {
+			r, ok := w.Relays[name]
+			if !ok {
+				continue
+			}
+			for i := range pubs {
+				if r.Access.Permissionless() {
+					_ = r.RegisterBuilder(pubs[i], vks[i])
+				} else {
+					r.AllowBuilder(pubs[i], vks[i])
+				}
+			}
+		}
+	}
+	for _, e := range w.SmallBuilders {
+		pubs, vks := e.B.PubKeys(), e.B.VerificationKeys()
+		for _, name := range e.Spec.Profile.Relays {
+			r := w.Relays[name]
+			if r == nil || !r.Access.Permissionless() {
+				continue
+			}
+			for i := range pubs {
+				_ = r.RegisterBuilder(pubs[i], vks[i])
+			}
+		}
+	}
+	// The exploiter is vetted wherever an exploit targets (the Eden case is
+	// the relay's own builder misreporting).
+	for _, ex := range w.Scenario.Exploits {
+		if r, ok := w.Relays[ex.Relay]; ok {
+			r.AllowBuilder(w.Exploiter.PubKeys()[0], w.Exploiter.VerificationKeys()[0])
+		}
+	}
+}
+
+// relaysFor picks (and caches) the operator's relay set for the current
+// era, weighted by era popularity.
+func (w *World) relaysFor(op *validator.Operator, now time.Time, cache map[string][]string) []mevboost.Endpoint {
+	eraIdx := 0
+	for i, era := range w.Scenario.RelayEras {
+		if !now.Before(era.From) {
+			eraIdx = i
+		}
+	}
+	key := fmt.Sprintf("%s/%d", op.Name, eraIdx)
+	names, ok := cache[key]
+	if !ok {
+		era := w.Scenario.RelayEras[eraIdx]
+		names = sampleRelays(era, w.R.Fork("relay-choice/"+key))
+		cache[key] = names
+	}
+	var eps []mevboost.Endpoint
+	for _, n := range names {
+		if r, ok := w.Relays[n]; ok {
+			eps = append(eps, mevboost.Direct{R: r})
+		}
+	}
+	return eps
+}
+
+// sampleRelays draws k distinct relays by weight.
+func sampleRelays(era RelayEra, r interface{ Pick([]float64) int }) []string {
+	names := make([]string, 0, len(era.Weights))
+	for n := range era.Weights {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	weights := make([]float64, len(names))
+	for i, n := range names {
+		weights[i] = era.Weights[n]
+	}
+	k := era.RelaysPerValidator
+	if k > len(names) {
+		k = len(names)
+	}
+	var out []string
+	for len(out) < k {
+		idx := r.Pick(weights)
+		if weights[idx] <= 0 {
+			break
+		}
+		out = append(out, names[idx])
+		weights[idx] = 0
+	}
+	return out
+}
+
+// runBuilders has every active builder construct and submit a block for the
+// slot.
+func (w *World) runBuilders(now time.Time, slot uint64, proposerPub types.PubKey,
+	proposerFee types.Address, shared []*types.Bundle, protected []*types.Transaction,
+	pending []*types.Transaction, sctx *searcher.Context, flowRng interface {
+		Bool(float64) bool
+		Float64() float64
+	}) {
+
+	runOne := func(e *builderEntry) {
+		if !e.Spec.Active.Contains(now) {
+			return
+		}
+		// Bundle flow: probabilistic subscription per bundle.
+		var bundles []*types.Bundle
+		flow := e.Spec.Flow.At(now)
+		for _, b := range shared {
+			if flowRng.Bool(flow) {
+				bundles = append(bundles, b)
+			}
+		}
+		for _, ex := range e.Exclusive {
+			bundles = append(bundles, ex.FindBundles(sctx)...)
+		}
+
+		// Pending view: protected flow plus the public pool, minus anything
+		// the builder's own OFAC filter drops.
+		blacklist := w.builderBlacklist(e, now)
+		candidate := make([]*types.Transaction, 0, len(protected)+len(pending))
+		for _, tx := range protected {
+			if blacklist != nil && (blacklist[tx.From] || blacklist[tx.To]) {
+				continue
+			}
+			candidate = append(candidate, tx)
+		}
+		for _, tx := range pending {
+			if blacklist != nil && (blacklist[tx.From] || blacklist[tx.To]) {
+				continue
+			}
+			candidate = append(candidate, tx)
+		}
+
+		// Subsidy override (beaverbuild's loss window).
+		if len(e.Spec.SubsidyOverride.Points) > 0 {
+			e.B.SubsidyProb = e.Spec.SubsidyOverride.At(now)
+		}
+
+		args := builder.Args{
+			Chain: w.Chain, Slot: slot,
+			ProposerPubkey:       proposerPub,
+			ProposerFeeRecipient: proposerFee,
+			Bundles:              bundles,
+			Pending:              candidate,
+		}
+		res, ok := e.B.Build(args)
+		if !ok {
+			return
+		}
+		sub := e.B.Submission(args, res)
+		for _, name := range e.Spec.Profile.Relays {
+			if r, ok := w.Relays[name]; ok {
+				_ = r.SubmitBlock(now, sub)
+			}
+		}
+	}
+
+	for _, e := range w.Builders {
+		runOne(e)
+	}
+	for _, e := range w.SmallBuilders {
+		if flowRng.Float64() < w.Scenario.SmallBuilderSampleProb {
+			runOne(e)
+		}
+	}
+
+	// Value-misreporting exploits: build an honest block that pays the
+	// proposer nothing, then claim ClaimETH. Relays with their value check
+	// down accept and out-promise every honest bid.
+	for _, ex := range w.Scenario.Exploits {
+		if !ex.Window.Contains(now) {
+			continue
+		}
+		r, ok := w.Relays[ex.Relay]
+		if !ok {
+			continue
+		}
+		args := builder.Args{
+			Chain: w.Chain, Slot: slot,
+			ProposerPubkey:       proposerPub,
+			ProposerFeeRecipient: proposerFee,
+			Pending:              pending,
+		}
+		res, okB := w.Exploiter.Build(args)
+		if !okB {
+			continue
+		}
+		res.Payment = types.Ether(ex.ClaimETH) // the lie
+		sub := w.Exploiter.Submission(args, res)
+		_ = r.SubmitBlock(now, sub)
+	}
+}
+
+// builderNameOf maps a winning pubkey back to a builder name (ground truth
+// bookkeeping only; the analysis clusters from data).
+func (w *World) builderNameOf(pub types.PubKey) string {
+	for _, e := range append(append([]*builderEntry{}, w.Builders...), w.SmallBuilders...) {
+		for _, p := range e.B.PubKeys() {
+			if p == pub {
+				return e.Spec.Profile.Name
+			}
+		}
+	}
+	return "unknown"
+}

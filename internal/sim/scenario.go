@@ -1,0 +1,514 @@
+// Package sim runs the full PBS ecosystem over the paper's measurement
+// window (the merge, 2022-09-15, through 2023-03-31): a demand model feeds
+// user transactions through the gossip network into the mempool, searchers
+// hunt MEV and ship private bundles to builders, builders bid through
+// relays, proposers pick the best bid via MEV-Boost (or build locally), and
+// the chain, relays and observers accumulate exactly the datasets of
+// Table 1.
+//
+// All of the paper's incident calendar is wired in: the FTX collapse and
+// USDC depeg MEV spikes, the 2022-11-10 timestamp bug forcing local
+// fallback, the Manifold 2022-10-15 exploitation, the Eden mispriced block,
+// the December Binance→AnkrPool private flow, and the OFAC list updates
+// with per-relay enforcement lag.
+package sim
+
+import (
+	"time"
+
+	"github.com/ethpbs/pbslab/internal/builder"
+	"github.com/ethpbs/pbslab/internal/p2p"
+	"github.com/ethpbs/pbslab/internal/relay"
+	"github.com/ethpbs/pbslab/internal/validator"
+)
+
+// Curve is a piecewise-linear time function for calibrated quantities
+// (builder flow weights, demand multipliers).
+type Curve struct {
+	Points []CurvePoint
+}
+
+// CurvePoint is one knot.
+type CurvePoint struct {
+	Date  time.Time
+	Value float64
+}
+
+// At evaluates the curve at t: linear between knots, clamped outside.
+func (c Curve) At(t time.Time) float64 {
+	if len(c.Points) == 0 {
+		return 0
+	}
+	if !t.After(c.Points[0].Date) {
+		return c.Points[0].Value
+	}
+	for i := 1; i < len(c.Points); i++ {
+		prev, cur := c.Points[i-1], c.Points[i]
+		if !t.After(cur.Date) {
+			span := cur.Date.Sub(prev.Date)
+			if span <= 0 {
+				return cur.Value
+			}
+			frac := float64(t.Sub(prev.Date)) / float64(span)
+			return prev.Value + frac*(cur.Value-prev.Value)
+		}
+	}
+	return c.Points[len(c.Points)-1].Value
+}
+
+// Flat returns a constant curve.
+func Flat(v float64) Curve {
+	return Curve{Points: []CurvePoint{{Date: time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC), Value: v}}}
+}
+
+func d(y int, m time.Month, day int) time.Time {
+	return time.Date(y, m, day, 0, 0, 0, 0, time.UTC)
+}
+
+// Milestone dates of the measurement window.
+var (
+	// MergeDate starts the window.
+	MergeDate = time.Date(2022, 9, 15, 6, 42, 59, 0, time.UTC)
+	// EndDate closes the window (last block of 2023-03-31).
+	EndDate = time.Date(2023, 3, 31, 23, 59, 59, 0, time.UTC)
+	// FTXCollapse is the bankruptcy week's peak MEV day.
+	FTXCollapse = d(2022, 11, 9)
+	// USDCDepeg is the March 2023 depeg.
+	USDCDepeg = d(2023, 3, 11)
+	// TimestampBugDay is the 2022-11-10 incident that pushed proposers to
+	// local block production.
+	TimestampBugDay = d(2022, 11, 10)
+	// BinanceFlowStart and BinanceFlowEnd bound the December private
+	// transfer episode (Binance → AnkrPool proposers).
+	BinanceFlowStart = d(2022, 12, 7)
+	BinanceFlowEnd   = d(2022, 12, 21)
+	// BeaverLossStart begins beaverbuild's heavy-subsidy period (App. C).
+	BeaverLossStart = d(2023, 2, 15)
+)
+
+// BuilderSpec wires one builder into the scenario.
+type BuilderSpec struct {
+	Profile builder.Profile
+	// Flow is the probability over time that any given searcher bundle
+	// reaches this builder — the private-order-flow advantage that drives
+	// Figure 8's market shares.
+	Flow Curve
+	// Active bounds the builder's operation.
+	Active Window
+	// OFACFiltering builders drop sanctioned transactions (with the lag of
+	// their aligned relay's blacklist).
+	OFACFiltering bool
+	// AlignedRelay names the relay whose blacklist schedule the builder's
+	// own filter follows ("" = the global registry, on time).
+	AlignedRelay string
+	// ExclusiveSearcher attaches a private in-house searcher whose bundles
+	// only this builder sees (the integrated high-margin builders).
+	ExclusiveSearcher bool
+	// SubsidyOverride, when non-empty, scales SubsidyProb over time
+	// (beaverbuild's February-March loss period).
+	SubsidyOverride Curve
+}
+
+// Window is a half-open [From, To) time span.
+type Window struct{ From, To time.Time }
+
+// Contains reports whether t is inside the window. A zero window contains
+// everything.
+func (w Window) Contains(t time.Time) bool {
+	if w.From.IsZero() && w.To.IsZero() {
+		return true
+	}
+	return !t.Before(w.From) && t.Before(w.To)
+}
+
+// RelayEra describes relay popularity among newly-(re)configured
+// validators during a period; Figure 5's market-share drift comes from
+// these weights.
+type RelayEra struct {
+	From time.Time
+	// Weights maps relay name to selection weight.
+	Weights map[string]float64
+	// RelaysPerValidator is how many relays an operator configures.
+	RelaysPerValidator int
+}
+
+// Scenario is the full run configuration.
+type Scenario struct {
+	Seed uint64
+
+	Start time.Time
+	End   time.Time
+	// BlocksPerDay scales the slot cadence (mainnet: 7200). Analyses
+	// bucket per day, so shapes are scale-invariant.
+	BlocksPerDay int
+	// GasLimit scales the block gas limit to the simulated demand so the
+	// EIP-1559 base fee equilibrates around the target (mainnet: 30M; the
+	// default demand model fills ~half of 6M, mirroring mainnet's ~15M
+	// used of 30M).
+	GasLimit uint64
+	// MissedSlotProb is the chance a slot produces no block at all.
+	MissedSlotProb float64
+
+	// Validators is the consensus set size.
+	Validators int
+	Operators  []validator.Spec
+	// AdoptionCurve drives PBS opt-in over time (Figure 4).
+	AdoptionCurve validator.AdoptionCurve
+	// RelayEras drive relay selection drift (Figure 5).
+	RelayEras []RelayEra
+
+	Builders []BuilderSpec
+	// SmallBuilderCount adds long-tail builders (the paper saw 133 unique
+	// builders in total); they compete rarely and win dust blocks.
+	SmallBuilderCount int
+	// SmallBuilderSampleProb is the chance a given small builder competes
+	// in a slot.
+	SmallBuilderSampleProb float64
+
+	Relays []relay.Policy
+
+	Network p2p.Config
+
+	Demand DemandConfig
+
+	// LocalFallbackProb is the per-proposal probability, per day, that a
+	// PBS proposal fails after commitment and the proposer must build
+	// locally (the 2022-11-10 timestamp bug is a spike here).
+	LocalFallbackProb Curve
+
+	// Exploits are the value-misreporting incidents: a dishonest builder
+	// claims ClaimETH while paying the proposer nothing, against a relay
+	// whose value check is down (Manifold 2022-10-15, Eden's mispriced
+	// block).
+	Exploits []Exploit
+}
+
+// Exploit is one value-misreporting incident.
+type Exploit struct {
+	Relay    string
+	Window   Window
+	ClaimETH float64
+}
+
+// DemandConfig shapes user transaction generation.
+type DemandConfig struct {
+	// TxPerBlock is the mean public transaction count per block over time.
+	TxPerBlock Curve
+	// TipGweiMu / TipGweiSigma parameterize the log-normal priority fee.
+	TipGweiMu    float64
+	TipGweiSigma float64
+	// WTPGweiMedian / WTPGweiSigma parameterize the log-normal
+	// willingness-to-pay cap (the max fee). Users whose cap falls below
+	// the prevailing base fee defer their transaction — the demand
+	// elasticity that lets the EIP-1559 base fee equilibrate.
+	WTPGweiMedian float64
+	WTPGweiSigma  float64
+	// SwapFraction of user txs are DEX swaps; TokenFraction are token
+	// transfers; BorrowFraction open lending positions; the rest are plain
+	// transfers.
+	SwapFraction   float64
+	TokenFraction  float64
+	BorrowFraction float64
+	// SloppySlippageProb is the chance a swap uses a loose (sandwichable)
+	// slippage tolerance.
+	SloppySlippageProb float64
+	// PrivateUserFraction of plain user transactions go through private
+	// channels to builders (front-running protection services).
+	PrivateUserFraction float64
+	// SanctionedTxProb is the per-block probability of a transaction
+	// involving a sanctioned address entering the public mempool.
+	SanctionedTxProb float64
+	// OracleEveryNBlocks schedules price oracle updates.
+	OracleEveryNBlocks int
+	// VolatilityBoost multiplies oracle volatility and swap sizes over
+	// time (FTX / USDC spikes).
+	VolatilityBoost Curve
+	// Users is the size of the funded user population.
+	Users int
+}
+
+// DefaultScenario returns the calibrated configuration reproducing the
+// paper's figures at a laptop-friendly scale.
+func DefaultScenario() Scenario {
+	return Scenario{
+		Seed:           1,
+		Start:          MergeDate,
+		End:            EndDate,
+		BlocksPerDay:   24,
+		GasLimit:       5_000_000,
+		MissedSlotProb: 0.005,
+
+		Validators:    600,
+		Operators:     DefaultOperators(),
+		AdoptionCurve: validator.DefaultAdoptionCurve(),
+		RelayEras:     DefaultRelayEras(),
+
+		Builders:               DefaultBuilders(),
+		SmallBuilderCount:      122, // 11 named + 122 = the paper's 133
+		SmallBuilderSampleProb: 0.02,
+
+		Relays: relay.DefaultPolicies(),
+
+		Network: p2p.DefaultConfig(),
+
+		Demand: DemandConfig{
+			TxPerBlock: Curve{Points: []CurvePoint{
+				{d(2022, 9, 15), 84}, {d(2022, 11, 9), 119}, {d(2022, 12, 15), 77},
+				{d(2023, 2, 1), 91}, {d(2023, 3, 11), 119}, {d(2023, 3, 31), 98},
+			}},
+			TipGweiMu:           1.9, // exp(1.9) ≈ 6.7 gwei median tip
+			TipGweiSigma:        1.0,
+			WTPGweiMedian:       25, // willingness-to-pay cap (max fee)
+			WTPGweiSigma:        0.9,
+			SwapFraction:        0.22,
+			TokenFraction:       0.18,
+			BorrowFraction:      0.02,
+			SloppySlippageProb:  0.25,
+			PrivateUserFraction: 0.06,
+			SanctionedTxProb:    0.05,
+			OracleEveryNBlocks:  6,
+			VolatilityBoost: Curve{Points: []CurvePoint{
+				{d(2022, 9, 15), 1}, {d(2022, 11, 7), 1}, {d(2022, 11, 9), 3.5},
+				{d(2022, 11, 12), 1.4}, {d(2022, 11, 20), 1}, {d(2023, 3, 9), 1},
+				{d(2023, 3, 11), 3.0}, {d(2023, 3, 14), 1.2}, {d(2023, 3, 31), 1},
+			}},
+			Users: 300,
+		},
+
+		LocalFallbackProb: Curve{Points: []CurvePoint{
+			{d(2022, 9, 15), 0.01},
+			{d(2022, 11, 9), 0.01}, {TimestampBugDay, 0.55},
+			{d(2022, 11, 11), 0.01}, {d(2023, 3, 31), 0.01},
+		}},
+
+		Exploits: []Exploit{
+			// The Manifold incident: blocks with wrongly declared rewards
+			// rode the missing reward check; proposers were left with
+			// nothing (184 such blocks on mainnet, sinking Manifold's
+			// delivered share to 19.9%). Claim sizes are scaled to the
+			// simulated corpus value so the *share* shapes match Table 4.
+			{Relay: "Manifold", Window: Window{From: d(2022, 10, 12), To: d(2022, 10, 16)}, ClaimETH: 1.0},
+			// The Eden incident: one block announced far above its payment
+			// (mainnet: block 15,703,347 announced 278.29 ETH, delivering
+			// 0.16 — 93.8% of the promised value delivered overall).
+			{Relay: "Eden", Window: Window{From: d(2022, 10, 8), To: d(2022, 10, 9)}, ClaimETH: 0.05},
+		},
+	}
+}
+
+// DefaultOperators mirrors the post-merge staking landscape: a few large
+// pools plus a long hobbyist tail. AnkrPool is the operator the December
+// Binance private flow targets.
+func DefaultOperators() []validator.Spec {
+	specs := []validator.Spec{
+		{Name: "Lido", Kind: validator.Institutional, Weight: 0.29, LocalCoverage: 0.96},
+		{Name: "Coinbase", Kind: validator.Institutional, Weight: 0.13, LocalCoverage: 0.95},
+		{Name: "Kraken", Kind: validator.Institutional, Weight: 0.08, LocalCoverage: 0.95},
+		{Name: "Binance", Kind: validator.Institutional, Weight: 0.06, LocalCoverage: 0.94},
+		{Name: "Staked.us", Kind: validator.Institutional, Weight: 0.04, LocalCoverage: 0.92},
+		{Name: "AnkrPool", Kind: validator.Institutional, Weight: 0.03, LocalCoverage: 0.92},
+		{Name: "RocketPool", Kind: validator.Institutional, Weight: 0.04, LocalCoverage: 0.9},
+	}
+	// Hobbyist tail: 33% across many small operators with weaker nodes.
+	for i := 0; i < 40; i++ {
+		specs = append(specs, validator.Spec{
+			Name: "solo-" + itoa(i), Kind: validator.Hobbyist,
+			Weight: 0.33 / 40, LocalCoverage: 0.82,
+		})
+	}
+	return specs
+}
+
+// DefaultRelayEras drives Figure 5: Flashbots dominant at the merge,
+// bloXroute (M) growing, UltraSound and GnosisDAO surging in 2023.
+func DefaultRelayEras() []RelayEra {
+	return []RelayEra{
+		{From: d(2022, 9, 1), RelaysPerValidator: 2, Weights: map[string]float64{
+			"Flashbots": 0.66, "bloXroute (MaxProfit)": 0.12, "Eden": 0.05,
+			"Blocknative": 0.05, "bloXroute (Regulated)": 0.03, "bloXroute (Ethical)": 0.03,
+			"Manifold": 0.06,
+		}},
+		{From: d(2022, 11, 1), RelaysPerValidator: 3, Weights: map[string]float64{
+			"Flashbots": 0.52, "bloXroute (MaxProfit)": 0.18, "UltraSound": 0.08,
+			"GnosisDAO": 0.06, "Blocknative": 0.06, "bloXroute (Regulated)": 0.04,
+			"Eden": 0.03, "bloXroute (Ethical)": 0.015, "Manifold": 0.01,
+			"Relayooor": 0.005, "Aestus": 0.005,
+		}},
+		{From: d(2023, 1, 15), RelaysPerValidator: 4, Weights: map[string]float64{
+			"Flashbots": 0.30, "bloXroute (MaxProfit)": 0.20, "UltraSound": 0.20,
+			"GnosisDAO": 0.12, "Blocknative": 0.06, "bloXroute (Regulated)": 0.04,
+			"Eden": 0.02, "bloXroute (Ethical)": 0.02, "Manifold": 0.01,
+			"Relayooor": 0.015, "Aestus": 0.015,
+		}},
+		{From: d(2023, 3, 1), RelaysPerValidator: 4, Weights: map[string]float64{
+			"Flashbots": 0.23, "bloXroute (MaxProfit)": 0.20, "UltraSound": 0.24,
+			"GnosisDAO": 0.15, "Blocknative": 0.05, "bloXroute (Regulated)": 0.04,
+			"Eden": 0.02, "bloXroute (Ethical)": 0.02, "Manifold": 0.01,
+			"Relayooor": 0.02, "Aestus": 0.02,
+		}},
+	}
+}
+
+// DefaultBuilders calibrates the eleven named builders of Figures 8/11/12
+// plus their economics.
+func DefaultBuilders() []BuilderSpec {
+	all := openRelayNames()
+	return []BuilderSpec{
+		{
+			Profile: builder.Profile{
+				Name: "Flashbots", Keys: 3,
+				MarginETH: 0.0006, MarginSigmaETH: 0.0002,
+				MempoolCoverage: 0.97, Relays: []string{"Flashbots"},
+			},
+			Flow: Curve{Points: []CurvePoint{
+				{d(2022, 9, 15), 0.9}, {d(2022, 12, 1), 0.75}, {d(2023, 3, 31), 0.55},
+			}},
+			OFACFiltering: true, AlignedRelay: "Flashbots",
+		},
+		{
+			Profile: builder.Profile{
+				Name: "builder0x69", Keys: 5,
+				MarginETH: 0.004, MarginSigmaETH: 0.004,
+				SubsidyProb: 0.25, SubsidyETH: 0.004,
+				MempoolCoverage: 0.95, Relays: all,
+			},
+			Flow: Curve{Points: []CurvePoint{
+				{d(2022, 9, 15), 0.15}, {d(2022, 10, 20), 0.6}, {d(2023, 3, 31), 0.75},
+			}},
+		},
+		{
+			Profile: builder.Profile{
+				Name: "beaverbuild", Keys: 4,
+				MarginETH: 0.005, MarginSigmaETH: 0.005,
+				SubsidyProb: 0.3, SubsidyETH: 0.003,
+				MempoolCoverage: 0.95, Relays: all,
+			},
+			Flow: Curve{Points: []CurvePoint{
+				{d(2022, 9, 15), 0.1}, {d(2022, 11, 1), 0.5}, {d(2023, 3, 31), 0.8},
+			}},
+			ExclusiveSearcher: true,
+			OFACFiltering:     true,
+			SubsidyOverride: Curve{Points: []CurvePoint{
+				{d(2022, 9, 15), 0.3}, {BeaverLossStart.Add(-24 * time.Hour), 0.3},
+				{BeaverLossStart, 0.9}, {d(2023, 3, 31), 0.9},
+			}},
+		},
+		{
+			Profile: builder.Profile{
+				Name: "bloXroute (MaxProfit)", Keys: 4,
+				MarginETH: -0.001, MarginSigmaETH: 0.002, // negative mean: Figure 11
+				SubsidyProb: 0.45, SubsidyETH: 0.003,
+				MempoolCoverage: 0.93,
+				Relays:          []string{"bloXroute (MaxProfit)", "bloXroute (Regulated)", "bloXroute (Ethical)"},
+			},
+			Flow: Curve{Points: []CurvePoint{
+				{d(2022, 9, 15), 0.3}, {d(2023, 3, 31), 0.45},
+			}},
+		},
+		{
+			Profile: builder.Profile{
+				Name: "blocknative", Keys: 4,
+				MarginETH: 0.0008, MarginSigmaETH: 0.0002,
+				MempoolCoverage: 0.92, Relays: []string{"Blocknative"},
+			},
+			Flow:          Flat(0.25),
+			OFACFiltering: true, AlignedRelay: "Blocknative",
+		},
+		{
+			Profile: builder.Profile{
+				Name: "rsync-builder", Keys: 3,
+				MarginETH: 0.009, MarginSigmaETH: 0.004,
+				MempoolCoverage: 0.94, Relays: all,
+			},
+			Flow:              Curve{Points: []CurvePoint{{d(2022, 10, 15), 0}, {d(2022, 11, 15), 0.3}, {d(2023, 3, 31), 0.45}}},
+			Active:            Window{From: d(2022, 10, 15), To: EndDate},
+			ExclusiveSearcher: true,
+		},
+		{
+			Profile: builder.Profile{
+				Name: "eth-builder", Keys: 2,
+				MarginETH: 0.002, MarginSigmaETH: 0.003,
+				SubsidyProb: 0.2, SubsidyETH: 0.002,
+				MempoolCoverage: 0.9, Relays: all,
+			},
+			Flow: Flat(0.2),
+		},
+		{
+			Profile: builder.Profile{
+				Name: "bloXroute (Regulated)", Keys: 3,
+				MarginETH: -0.0005, MarginSigmaETH: 0.001,
+				SubsidyProb: 0.4, SubsidyETH: 0.002,
+				MempoolCoverage: 0.9,
+				Relays:          []string{"bloXroute (Regulated)", "bloXroute (MaxProfit)"},
+			},
+			Flow:          Flat(0.18),
+			OFACFiltering: true, AlignedRelay: "bloXroute (Regulated)",
+		},
+		{
+			Profile: builder.Profile{
+				Name: "Builder 1", Keys: 2,
+				MarginETH: 0.01, MarginSigmaETH: 0.005,
+				MempoolCoverage: 0.92, Relays: all,
+			},
+			Flow:              Flat(0.15),
+			ExclusiveSearcher: true,
+		},
+		{
+			Profile: builder.Profile{
+				Name: "Eden", Keys: 4,
+				MarginETH: 0.0009, MarginSigmaETH: 0.0003,
+				MempoolCoverage: 0.9, Relays: []string{"Eden"},
+			},
+			Flow:          Flat(0.12),
+			OFACFiltering: true, AlignedRelay: "Eden",
+		},
+		{
+			Profile: builder.Profile{
+				Name: "Manta-builder", Keys: 3,
+				MarginETH: 0.008, MarginSigmaETH: 0.004,
+				MempoolCoverage: 0.9, Relays: all,
+			},
+			Flow:              Flat(0.1),
+			Active:            Window{From: d(2022, 11, 1), To: EndDate},
+			ExclusiveSearcher: true,
+		},
+	}
+}
+
+// relayNames lists all default relay names.
+func relayNames() []string {
+	ps := relay.DefaultPolicies()
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// openRelayNames lists the relays an outside builder can actually reach:
+// everything except the internal-only relays (Blocknative, Eden), which
+// carry exclusively their operators' own blocks (Table 3).
+func openRelayNames() []string {
+	var out []string
+	for _, p := range relay.DefaultPolicies() {
+		if p.Access == relay.AccessInternal {
+			continue
+		}
+		out = append(out, p.Name)
+	}
+	return out
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

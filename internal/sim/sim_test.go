@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"github.com/ethpbs/pbslab/internal/types"
+)
+
+// shortScenario runs a reduced but fully wired world.
+func shortScenario(days int) Scenario {
+	sc := DefaultScenario()
+	sc.End = sc.Start.Add(time.Duration(days) * 24 * time.Hour)
+	sc.BlocksPerDay = 12
+	sc.Validators = 200
+	sc.Demand.Users = 120
+	sc.Demand.TxPerBlock = Flat(30)
+	sc.SmallBuilderCount = 20
+	return sc
+}
+
+func TestCurveAt(t *testing.T) {
+	c := Curve{Points: []CurvePoint{
+		{d(2022, 10, 1), 1}, {d(2022, 10, 11), 11},
+	}}
+	if got := c.At(d(2022, 9, 1)); got != 1 {
+		t.Errorf("before first knot: %g", got)
+	}
+	if got := c.At(d(2022, 10, 6)); got != 6 {
+		t.Errorf("midpoint: %g", got)
+	}
+	if got := c.At(d(2023, 1, 1)); got != 11 {
+		t.Errorf("after last knot: %g", got)
+	}
+	if got := Flat(3).At(d(2023, 1, 1)); got != 3 {
+		t.Errorf("flat: %g", got)
+	}
+	var empty Curve
+	if got := empty.At(d(2023, 1, 1)); got != 0 {
+		t.Errorf("empty: %g", got)
+	}
+}
+
+func TestWindowContains(t *testing.T) {
+	var zero Window
+	if !zero.Contains(d(2024, 1, 1)) {
+		t.Error("zero window should contain everything")
+	}
+	w := Window{From: d(2022, 10, 1), To: d(2022, 10, 2)}
+	if !w.Contains(d(2022, 10, 1)) || w.Contains(d(2022, 10, 2)) {
+		t.Error("window bounds wrong")
+	}
+}
+
+func TestRunShortWindow(t *testing.T) {
+	res, err := Run(shortScenario(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := res.Dataset
+
+	wantBlocks := 5 * 12
+	if len(ds.Blocks) < wantBlocks*8/10 {
+		t.Fatalf("blocks = %d, want >= %d", len(ds.Blocks), wantBlocks*8/10)
+	}
+
+	// There must be both PBS and non-PBS blocks in the opt-in phase.
+	pbsCount, localCount := 0, 0
+	for _, b := range ds.Blocks {
+		if res.Truth.PBS[b.Number] {
+			pbsCount++
+		} else {
+			localCount++
+		}
+	}
+	if pbsCount == 0 || localCount == 0 {
+		t.Fatalf("pbs=%d local=%d: need both at the merge (~20%% adoption)", pbsCount, localCount)
+	}
+
+	// Relays accumulated data API records consistent with PBS blocks.
+	totalDelivered := 0
+	for _, r := range ds.Relays {
+		totalDelivered += len(r.Delivered)
+	}
+	if totalDelivered < pbsCount {
+		t.Errorf("delivered records %d < PBS blocks %d", totalDelivered, pbsCount)
+	}
+
+	// Mempool observations exist and cover most public transactions.
+	if len(ds.Arrivals) == 0 {
+		t.Error("no mempool observations")
+	}
+
+	// Blocks are non-trivial.
+	totalTxs := 0
+	for _, b := range ds.Blocks {
+		totalTxs += len(b.Txs)
+	}
+	if totalTxs < len(ds.Blocks)*5 {
+		t.Errorf("suspiciously few transactions: %d in %d blocks", totalTxs, len(ds.Blocks))
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	run := func() types.Hash {
+		res, err := Run(shortScenario(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocks := res.Dataset.Blocks
+		last := blocks[len(blocks)-1]
+		return types.ComputeTxRoot(last.Txs)
+	}
+	if run() != run() {
+		t.Error("same scenario produced different chains")
+	}
+}
+
+func TestPBSBlocksPayProposers(t *testing.T) {
+	res, err := Run(shortScenario(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, b := range res.Dataset.Blocks {
+		if !res.Truth.PBS[b.Number] || len(b.Txs) == 0 {
+			continue
+		}
+		last := b.Txs[len(b.Txs)-1]
+		// PBS convention: last tx from the builder (fee recipient) pays the
+		// proposer — unless the payment clamped to zero.
+		if last.From == b.FeeRecipient && !last.Value.IsZero() {
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Error("no PBS block carries the payment convention")
+	}
+}
+
+func TestMEVHappens(t *testing.T) {
+	res, err := Run(shortScenario(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Dataset.MEVLabels) == 0 {
+		t.Error("no MEV detected in 6 simulated days")
+	}
+	if len(res.Dataset.MEVBySource) != 3 {
+		t.Errorf("sources = %d", len(res.Dataset.MEVBySource))
+	}
+}
+
+func TestSanctionedFlowAppears(t *testing.T) {
+	res, err := Run(shortScenario(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	blacklist := res.Dataset.Sanctions.Snapshot(res.Dataset.End)
+	for _, b := range res.Dataset.Blocks {
+		for _, tx := range b.Txs {
+			if blacklist[tx.From] || blacklist[tx.To] {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no sanctioned transactions landed on chain")
+	}
+}
+
+func TestGroundTruthConsistency(t *testing.T) {
+	res, err := Run(shortScenario(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range res.Dataset.Blocks {
+		if _, ok := res.Truth.PBS[b.Number]; !ok {
+			t.Fatalf("block %d missing from ground truth", b.Number)
+		}
+		if res.Truth.Operator[b.Number] == "" {
+			t.Fatalf("block %d has no operator", b.Number)
+		}
+		if res.Truth.PBS[b.Number] {
+			if res.Truth.BuilderName[b.Number] == "" {
+				t.Fatalf("PBS block %d has no builder", b.Number)
+			}
+			if _, ok := res.Truth.Promised[b.Number]; !ok {
+				t.Fatalf("PBS block %d has no promised value", b.Number)
+			}
+		}
+	}
+}

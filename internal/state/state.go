@@ -1,0 +1,246 @@
+// Package state holds the execution-layer world state: native ETH balances,
+// account nonces, and per-contract storage slots (token balances, AMM
+// reserves, lending positions, oracle prices all live here).
+//
+// Keeping *all* mutable chain state in one copyable structure is what makes
+// speculative execution work: builders simulate candidate blocks and bundles
+// against a Copy of the canonical state and only the canonical chain applies
+// the winner, exactly as real block builders run simulations against a
+// forked StateDB.
+package state
+
+import (
+	"fmt"
+
+	"github.com/ethpbs/pbslab/internal/types"
+	"github.com/ethpbs/pbslab/internal/u256"
+)
+
+// Slot identifies one storage cell within a contract. Slots are small
+// strings ("r0", "bal:0xabc…"), chosen for debuggability over hashing.
+type Slot struct {
+	Contract types.Address
+	Key      string
+}
+
+// State is the mutable world state. It is not safe for concurrent use; each
+// goroutine works on its own Copy.
+//
+// State supports cheap speculative execution through an undo journal:
+// Snapshot marks a point, RevertTo unwinds every mutation since. Builders
+// lean on this when trying bundles — a failing bundle is rolled back in
+// O(mutations) instead of re-copying the world.
+type State struct {
+	balances map[types.Address]types.Wei
+	nonces   map[types.Address]uint64
+	storage  map[Slot]u256.Int
+	journal  []undo
+}
+
+// undo is one reversible mutation.
+type undo struct {
+	kind    uint8 // 0 balance, 1 nonce, 2 storage
+	addr    types.Address
+	slot    Slot
+	prevWei types.Wei
+	prevN   uint64
+	present bool // previous key existed
+}
+
+const (
+	undoBalance = iota
+	undoNonce
+	undoStorage
+)
+
+// New returns an empty state.
+func New() *State {
+	return &State{
+		balances: map[types.Address]types.Wei{},
+		nonces:   map[types.Address]uint64{},
+		storage:  map[Slot]u256.Int{},
+	}
+}
+
+// Snapshot marks the current mutation point for RevertTo.
+func (s *State) Snapshot() int { return len(s.journal) }
+
+// RevertTo unwinds every mutation made after the given snapshot.
+func (s *State) RevertTo(snap int) {
+	for i := len(s.journal) - 1; i >= snap; i-- {
+		u := s.journal[i]
+		switch u.kind {
+		case undoBalance:
+			if u.present {
+				s.balances[u.addr] = u.prevWei
+			} else {
+				delete(s.balances, u.addr)
+			}
+		case undoNonce:
+			if u.present {
+				s.nonces[u.addr] = u.prevN
+			} else {
+				delete(s.nonces, u.addr)
+			}
+		case undoStorage:
+			if u.present {
+				s.storage[u.slot] = u.prevWei
+			} else {
+				delete(s.storage, u.slot)
+			}
+		}
+	}
+	s.journal = s.journal[:snap]
+}
+
+// ClearJournal drops undo history (mutations become permanent). Callers do
+// this after committing a block so journals do not grow without bound.
+func (s *State) ClearJournal() { s.journal = s.journal[:0] }
+
+func (s *State) noteBalance(addr types.Address) {
+	prev, ok := s.balances[addr]
+	s.journal = append(s.journal, undo{kind: undoBalance, addr: addr, prevWei: prev, present: ok})
+}
+
+func (s *State) noteNonce(addr types.Address) {
+	prev, ok := s.nonces[addr]
+	s.journal = append(s.journal, undo{kind: undoNonce, addr: addr, prevN: prev, present: ok})
+}
+
+func (s *State) noteStorage(sl Slot) {
+	prev, ok := s.storage[sl]
+	s.journal = append(s.journal, undo{kind: undoStorage, slot: sl, prevWei: prev, present: ok})
+}
+
+// Copy returns a deep copy sharing nothing with the receiver.
+func (s *State) Copy() *State {
+	c := &State{
+		balances: make(map[types.Address]types.Wei, len(s.balances)),
+		nonces:   make(map[types.Address]uint64, len(s.nonces)),
+		storage:  make(map[Slot]u256.Int, len(s.storage)),
+	}
+	for a, v := range s.balances {
+		c.balances[a] = v
+	}
+	for a, v := range s.nonces {
+		c.nonces[a] = v
+	}
+	for k, v := range s.storage {
+		c.storage[k] = v
+	}
+	return c
+}
+
+// Balance returns the native balance of addr (zero for unknown accounts).
+func (s *State) Balance(addr types.Address) types.Wei {
+	return s.balances[addr]
+}
+
+// SetBalance overwrites the native balance of addr. Genesis funding only;
+// transaction execution must use Credit/Transfer for conservation.
+func (s *State) SetBalance(addr types.Address, v types.Wei) {
+	s.noteBalance(addr)
+	s.balances[addr] = v
+}
+
+// Credit adds v to addr's balance.
+func (s *State) Credit(addr types.Address, v types.Wei) {
+	s.noteBalance(addr)
+	s.balances[addr] = s.balances[addr].Add(v)
+}
+
+// Debit subtracts v from addr's balance, failing without mutation when the
+// balance is insufficient.
+func (s *State) Debit(addr types.Address, v types.Wei) error {
+	bal := s.balances[addr]
+	if bal.Lt(v) {
+		return fmt.Errorf("state: insufficient balance at %s: have %s, need %s", addr, bal, v)
+	}
+	s.noteBalance(addr)
+	s.balances[addr] = bal.Sub(v)
+	return nil
+}
+
+// Transfer moves v from one account to another atomically.
+func (s *State) Transfer(from, to types.Address, v types.Wei) error {
+	if err := s.Debit(from, v); err != nil {
+		return err
+	}
+	s.Credit(to, v)
+	return nil
+}
+
+// Nonce returns the next expected nonce for addr.
+func (s *State) Nonce(addr types.Address) uint64 {
+	return s.nonces[addr]
+}
+
+// SetNonce overwrites the nonce; for genesis/test setup.
+func (s *State) SetNonce(addr types.Address, n uint64) {
+	s.noteNonce(addr)
+	s.nonces[addr] = n
+}
+
+// IncNonce advances addr's nonce by one.
+func (s *State) IncNonce(addr types.Address) {
+	s.noteNonce(addr)
+	s.nonces[addr]++
+}
+
+// Get reads a storage slot (zero when unset).
+func (s *State) Get(contract types.Address, key string) u256.Int {
+	return s.storage[Slot{contract, key}]
+}
+
+// Set writes a storage slot. Writing zero deletes the slot, keeping Copy
+// costs proportional to live state.
+func (s *State) Set(contract types.Address, key string, v u256.Int) {
+	sl := Slot{contract, key}
+	s.noteStorage(sl)
+	if v.IsZero() {
+		delete(s.storage, sl)
+		return
+	}
+	s.storage[sl] = v
+}
+
+// AddTo adds v to a storage slot interpreted as an amount.
+func (s *State) AddTo(contract types.Address, key string, v u256.Int) {
+	s.Set(contract, key, s.Get(contract, key).Add(v))
+}
+
+// SubFrom subtracts v from a storage slot, failing without mutation when the
+// stored amount is insufficient.
+func (s *State) SubFrom(contract types.Address, key string, v u256.Int) error {
+	cur := s.Get(contract, key)
+	if cur.Lt(v) {
+		return fmt.Errorf("state: slot %s/%s underflow: have %s, need %s", contract, key, cur, v)
+	}
+	s.Set(contract, key, cur.Sub(v))
+	return nil
+}
+
+// TotalSupply sums all native balances; conservation checks in tests use it.
+func (s *State) TotalSupply() types.Wei {
+	total := u256.Zero
+	for _, v := range s.balances {
+		total = total.Add(v)
+	}
+	return total
+}
+
+// Accounts returns the number of accounts with non-zero balance or nonce.
+func (s *State) Accounts() int {
+	seen := map[types.Address]bool{}
+	for a, v := range s.balances {
+		if !v.IsZero() {
+			seen[a] = true
+		}
+	}
+	for a, n := range s.nonces {
+		if n > 0 {
+			seen[a] = true
+		}
+	}
+	return len(seen)
+}

@@ -1,0 +1,244 @@
+package state
+
+import (
+	"testing"
+
+	"github.com/ethpbs/pbslab/internal/crypto"
+	"github.com/ethpbs/pbslab/internal/types"
+	"github.com/ethpbs/pbslab/internal/u256"
+)
+
+var (
+	alice = crypto.AddressFromSeed("alice")
+	bob   = crypto.AddressFromSeed("bob")
+	pool  = crypto.AddressFromSeed("pool")
+)
+
+func TestBalances(t *testing.T) {
+	s := New()
+	if !s.Balance(alice).IsZero() {
+		t.Error("fresh account has balance")
+	}
+	s.Credit(alice, types.Ether(2))
+	if got := s.Balance(alice); got != types.Ether(2) {
+		t.Errorf("balance = %s", got)
+	}
+	if err := s.Debit(alice, types.Ether(3)); err == nil {
+		t.Error("overdraft allowed")
+	}
+	if got := s.Balance(alice); got != types.Ether(2) {
+		t.Error("failed debit mutated balance")
+	}
+	if err := s.Debit(alice, types.Ether(1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Balance(alice); got != types.Ether(1) {
+		t.Errorf("after debit: %s", got)
+	}
+}
+
+func TestTransferConservation(t *testing.T) {
+	s := New()
+	s.SetBalance(alice, types.Ether(10))
+	before := s.TotalSupply()
+	if err := s.Transfer(alice, bob, types.Ether(4)); err != nil {
+		t.Fatal(err)
+	}
+	if s.TotalSupply() != before {
+		t.Error("transfer changed total supply")
+	}
+	if s.Balance(bob) != types.Ether(4) {
+		t.Error("recipient not credited")
+	}
+	if err := s.Transfer(bob, alice, types.Ether(5)); err == nil {
+		t.Error("transfer exceeding balance allowed")
+	}
+	if s.TotalSupply() != before {
+		t.Error("failed transfer changed supply")
+	}
+}
+
+func TestNonces(t *testing.T) {
+	s := New()
+	if s.Nonce(alice) != 0 {
+		t.Error("fresh nonce not zero")
+	}
+	s.IncNonce(alice)
+	s.IncNonce(alice)
+	if s.Nonce(alice) != 2 {
+		t.Errorf("nonce = %d", s.Nonce(alice))
+	}
+	s.SetNonce(alice, 10)
+	if s.Nonce(alice) != 10 {
+		t.Error("SetNonce ignored")
+	}
+}
+
+func TestStorage(t *testing.T) {
+	s := New()
+	if !s.Get(pool, "r0").IsZero() {
+		t.Error("unset slot not zero")
+	}
+	s.Set(pool, "r0", u256.New(1000))
+	if got := s.Get(pool, "r0"); got != u256.New(1000) {
+		t.Errorf("slot = %s", got)
+	}
+	s.AddTo(pool, "r0", u256.New(500))
+	if got := s.Get(pool, "r0"); got != u256.New(1500) {
+		t.Errorf("AddTo = %s", got)
+	}
+	if err := s.SubFrom(pool, "r0", u256.New(2000)); err == nil {
+		t.Error("slot underflow allowed")
+	}
+	if err := s.SubFrom(pool, "r0", u256.New(1500)); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Get(pool, "r0").IsZero() {
+		t.Error("slot not zeroed")
+	}
+}
+
+func TestZeroSlotDeleted(t *testing.T) {
+	s := New()
+	s.Set(pool, "x", u256.New(1))
+	s.Set(pool, "x", u256.Zero)
+	if len(s.storage) != 0 {
+		t.Error("zero write left a live slot")
+	}
+}
+
+func TestCopyIsolation(t *testing.T) {
+	s := New()
+	s.SetBalance(alice, types.Ether(1))
+	s.SetNonce(alice, 5)
+	s.Set(pool, "r0", u256.New(42))
+
+	c := s.Copy()
+	c.Credit(alice, types.Ether(1))
+	c.IncNonce(alice)
+	c.Set(pool, "r0", u256.New(99))
+	c.Set(pool, "r1", u256.New(7))
+
+	if s.Balance(alice) != types.Ether(1) {
+		t.Error("copy mutation leaked into balance")
+	}
+	if s.Nonce(alice) != 5 {
+		t.Error("copy mutation leaked into nonce")
+	}
+	if s.Get(pool, "r0") != u256.New(42) {
+		t.Error("copy mutation leaked into storage")
+	}
+	if !s.Get(pool, "r1").IsZero() {
+		t.Error("copy addition leaked into storage")
+	}
+	// And the original keeps serving the copy's pre-mutation values.
+	if c.Balance(alice) != types.Ether(2) || c.Nonce(alice) != 6 {
+		t.Error("copy lost its own mutations")
+	}
+}
+
+func TestAccounts(t *testing.T) {
+	s := New()
+	if s.Accounts() != 0 {
+		t.Error("fresh state has accounts")
+	}
+	s.SetBalance(alice, types.Ether(1))
+	s.IncNonce(bob)
+	if got := s.Accounts(); got != 2 {
+		t.Errorf("Accounts = %d", got)
+	}
+	// An account that is both funded and used counts once.
+	s.IncNonce(alice)
+	if got := s.Accounts(); got != 2 {
+		t.Errorf("Accounts after overlap = %d", got)
+	}
+}
+
+func BenchmarkCopy(b *testing.B) {
+	s := New()
+	for i := 0; i < 1000; i++ {
+		s.SetBalance(crypto.AddressFromSeed(string(rune(i))), types.Ether(1))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Copy()
+	}
+}
+
+func TestSnapshotRevert(t *testing.T) {
+	s := New()
+	s.SetBalance(alice, types.Ether(5))
+	s.SetNonce(alice, 1)
+	s.Set(pool, "r0", u256.New(100))
+	s.ClearJournal()
+
+	snap := s.Snapshot()
+	s.Credit(alice, types.Ether(3))
+	s.IncNonce(alice)
+	s.Set(pool, "r0", u256.New(999))
+	s.Set(pool, "r1", u256.New(7))
+	s.SetBalance(bob, types.Ether(1))
+
+	s.RevertTo(snap)
+	if s.Balance(alice) != types.Ether(5) {
+		t.Errorf("balance after revert = %s", s.Balance(alice))
+	}
+	if s.Nonce(alice) != 1 {
+		t.Errorf("nonce after revert = %d", s.Nonce(alice))
+	}
+	if s.Get(pool, "r0") != u256.New(100) {
+		t.Errorf("slot after revert = %s", s.Get(pool, "r0"))
+	}
+	if !s.Get(pool, "r1").IsZero() {
+		t.Error("new slot survived revert")
+	}
+	if !s.Balance(bob).IsZero() {
+		t.Error("new account survived revert")
+	}
+}
+
+func TestNestedSnapshots(t *testing.T) {
+	s := New()
+	s.SetBalance(alice, types.Ether(1))
+	snap1 := s.Snapshot()
+	s.Credit(alice, types.Ether(1)) // 2
+	snap2 := s.Snapshot()
+	s.Credit(alice, types.Ether(1)) // 3
+
+	s.RevertTo(snap2)
+	if s.Balance(alice) != types.Ether(2) {
+		t.Errorf("after inner revert: %s", s.Balance(alice))
+	}
+	s.RevertTo(snap1)
+	if s.Balance(alice) != types.Ether(1) {
+		t.Errorf("after outer revert: %s", s.Balance(alice))
+	}
+}
+
+func TestRevertAfterDelete(t *testing.T) {
+	s := New()
+	s.Set(pool, "x", u256.New(5))
+	snap := s.Snapshot()
+	s.Set(pool, "x", u256.Zero) // deletes the slot
+	s.RevertTo(snap)
+	if s.Get(pool, "x") != u256.New(5) {
+		t.Error("deleted slot not restored")
+	}
+}
+
+func TestCopyDropsJournal(t *testing.T) {
+	s := New()
+	snapBefore := s.Snapshot()
+	s.SetBalance(alice, types.Ether(1))
+	c := s.Copy()
+	if c.Snapshot() != 0 {
+		t.Error("copy inherited journal")
+	}
+	// Reverting the copy to 0 must not undo inherited state.
+	c.Credit(alice, types.Ether(1))
+	c.RevertTo(0)
+	if c.Balance(alice) != types.Ether(1) {
+		t.Errorf("copy revert corrupted inherited state: %s", c.Balance(alice))
+	}
+	_ = snapBefore
+}

@@ -1,0 +1,250 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestHHI(t *testing.T) {
+	cases := []struct {
+		name  string
+		sizes []float64
+		want  float64
+	}{
+		{"monopoly", []float64{10}, 1},
+		{"duopoly equal", []float64{5, 5}, 0.5},
+		{"four equal", []float64{1, 1, 1, 1}, 0.25},
+		{"zero players ignored", []float64{5, 5, 0, 0}, 0.5},
+		{"empty", nil, 0},
+		{"all zero", []float64{0, 0}, 0},
+		{"skewed", []float64{9, 1}, 0.81 + 0.01},
+	}
+	for _, c := range cases {
+		if got := HHI(c.sizes); !almost(got, c.want) {
+			t.Errorf("%s: HHI = %g, want %g", c.name, got, c.want)
+		}
+	}
+}
+
+func TestHHIBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		h := HHI(raw)
+		anyPositive := false
+		for _, v := range raw {
+			if v > 0 && !math.IsInf(v, 1) && !math.IsNaN(v) {
+				anyPositive = true
+			}
+		}
+		if !anyPositive {
+			return h == 0
+		}
+		return h > 0 && h <= 1+1e-12
+	}
+	vals := func(args []reflect.Value, r *rand.Rand) {
+		n := r.Intn(20)
+		sizes := make([]float64, n)
+		for i := range sizes {
+			sizes[i] = r.Float64() * 100
+		}
+		args[0] = reflect.ValueOf(sizes)
+	}
+	if err := quick.Check(f, &quick.Config{Values: vals}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHHIMap(t *testing.T) {
+	m := map[string]float64{"a": 5, "b": 5}
+	if got := HHIMap(m); !almost(got, 0.5) {
+		t.Errorf("HHIMap = %g", got)
+	}
+}
+
+func TestGini(t *testing.T) {
+	if got := Gini([]float64{1, 1, 1, 1}); !almost(got, 0) {
+		t.Errorf("equal Gini = %g, want 0", got)
+	}
+	// One player holds everything among n=4: Gini = (n-1)/n = 0.75.
+	if got := Gini([]float64{0, 0, 0, 8}); !almost(got, 0.75) {
+		t.Errorf("monopoly Gini = %g, want 0.75", got)
+	}
+	if got := Gini(nil); got != 0 {
+		t.Errorf("empty Gini = %g", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	vals := []float64{4, 1, 3, 2} // unsorted on purpose
+	if got := Quantile(vals, 0); got != 1 {
+		t.Errorf("q0 = %g", got)
+	}
+	if got := Quantile(vals, 1); got != 4 {
+		t.Errorf("q1 = %g", got)
+	}
+	if got := Median(vals); !almost(got, 2.5) {
+		t.Errorf("median = %g", got)
+	}
+	if got := Quantile(vals, 0.25); !almost(got, 1.75) {
+		t.Errorf("q25 = %g", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+	// Input must not be mutated.
+	if vals[0] != 4 {
+		t.Error("Quantile sorted its input in place")
+	}
+}
+
+func TestQuantileMonotonic(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		vals := make([]float64, 1+r.Intn(50))
+		for i := range vals {
+			vals[i] = r.NormFloat64()
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(vals, q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanStdSum(t *testing.T) {
+	vals := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(vals); !almost(got, 5) {
+		t.Errorf("mean = %g", got)
+	}
+	if got := Std(vals); !almost(got, 2) {
+		t.Errorf("std = %g", got)
+	}
+	if got := Sum(vals); !almost(got, 40) {
+		t.Errorf("sum = %g", got)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Std(nil)) {
+		t.Error("empty mean/std should be NaN")
+	}
+}
+
+func TestBoxOf(t *testing.T) {
+	b := BoxOf([]float64{1, 2, 3, 4, 5})
+	if b.N != 5 || b.Min != 1 || b.Max != 5 || !almost(b.Median, 3) ||
+		!almost(b.Q1, 2) || !almost(b.Q3, 4) || !almost(b.Mean, 3) {
+		t.Errorf("BoxOf = %+v", b)
+	}
+	if !almost(b.IQR(), 2) {
+		t.Errorf("IQR = %g", b.IQR())
+	}
+	empty := BoxOf(nil)
+	if empty.N != 0 {
+		t.Error("empty box should have N=0")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := Series{Start: 10, Values: []float64{1, 2, math.NaN(), 4}}
+	if s.Day(10) != 1 || s.Day(13) != 4 {
+		t.Error("Day lookup wrong")
+	}
+	if !math.IsNaN(s.Day(9)) || !math.IsNaN(s.Day(14)) {
+		t.Error("out-of-range should be NaN")
+	}
+	if s.Len() != 4 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if got := s.MeanValue(); !almost(got, 7.0/3) {
+		t.Errorf("MeanValue = %g", got)
+	}
+	min, max := s.MinMax()
+	if min != 1 || max != 4 {
+		t.Errorf("MinMax = %g, %g", min, max)
+	}
+	var emptySeries Series
+	if !math.IsNaN(emptySeries.MeanValue()) {
+		t.Error("empty series mean should be NaN")
+	}
+}
+
+func TestGroupedShare(t *testing.T) {
+	g := NewGrouped()
+	// Day 0: A=3 blocks, B=1 block. Day 2: only B.
+	for i := 0; i < 3; i++ {
+		g.Add(0, "A", 1)
+	}
+	g.Add(0, "B", 1)
+	g.Add(2, "B", 1)
+
+	shareA := g.ShareOfDay("A")
+	if shareA.Start != 0 || shareA.Len() != 3 {
+		t.Fatalf("series shape: %+v", shareA)
+	}
+	if !almost(shareA.Day(0), 0.75) {
+		t.Errorf("day0 share A = %g", shareA.Day(0))
+	}
+	if !math.IsNaN(shareA.Day(1)) {
+		t.Error("gap day should be NaN")
+	}
+	if !almost(shareA.Day(2), 0) {
+		t.Errorf("day2 share A = %g", shareA.Day(2))
+	}
+
+	groups := g.Groups()
+	if len(groups) != 2 || groups[0] != "A" || groups[1] != "B" {
+		t.Errorf("Groups = %v", groups)
+	}
+	lo, hi, ok := g.DayRange()
+	if !ok || lo != 0 || hi != 2 {
+		t.Errorf("DayRange = %d..%d ok=%v", lo, hi, ok)
+	}
+}
+
+func TestGroupedReduce(t *testing.T) {
+	g := NewGrouped()
+	g.Add(5, "x", 1)
+	g.Add(5, "x", 3)
+	s := g.Reduce("x", Mean)
+	if !almost(s.Day(5), 2) {
+		t.Errorf("reduced mean = %g", s.Day(5))
+	}
+	s2 := g.Reduce("missing", Mean)
+	if !math.IsNaN(s2.Day(5)) {
+		t.Error("missing group should reduce to NaN")
+	}
+}
+
+func TestGroupedDailyHHI(t *testing.T) {
+	g := NewGrouped()
+	g.Add(0, "A", 1)
+	g.Add(0, "B", 1)
+	g.Add(1, "A", 1)
+	hhi := g.DailyHHI()
+	if !almost(hhi.Day(0), 0.5) {
+		t.Errorf("day0 HHI = %g", hhi.Day(0))
+	}
+	if !almost(hhi.Day(1), 1) {
+		t.Errorf("day1 HHI = %g", hhi.Day(1))
+	}
+}
+
+func TestGroupedEmpty(t *testing.T) {
+	g := NewGrouped()
+	if _, _, ok := g.DayRange(); ok {
+		t.Error("empty grouped reports a day range")
+	}
+	if g.ShareOfDay("x").Len() != 0 || g.DailyHHI().Len() != 0 {
+		t.Error("empty grouped should render empty series")
+	}
+}

@@ -1,0 +1,423 @@
+package u256
+
+import (
+	"math/big"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+var two256 = new(big.Int).Lsh(big.NewInt(1), 256)
+
+func toBigMod(b *big.Int) *big.Int {
+	return new(big.Int).Mod(b, two256)
+}
+
+func randInt(r *rand.Rand) Int {
+	// Bias toward interesting shapes: small values, single-limb values and
+	// full-width values all appear.
+	switch r.Intn(4) {
+	case 0:
+		return New(r.Uint64() % 1000)
+	case 1:
+		return New(r.Uint64())
+	case 2:
+		return Int{r.Uint64(), r.Uint64(), 0, 0}
+	default:
+		return Int{r.Uint64(), r.Uint64(), r.Uint64(), r.Uint64()}
+	}
+}
+
+func TestNewAndUint64(t *testing.T) {
+	for _, v := range []uint64{0, 1, 42, 1 << 63, ^uint64(0)} {
+		x := New(v)
+		if !x.IsUint64() || x.Uint64() != v {
+			t.Errorf("New(%d) round trip failed: %v", v, x)
+		}
+	}
+}
+
+func TestAddSubIdentity(t *testing.T) {
+	f := func(a, b Int) bool {
+		return a.Add(b).Sub(b) == a
+	}
+	cfg := &quick.Config{Values: randValues}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// randValues fills args with random Ints for testing/quick.
+func randValues(args []reflect.Value, r *rand.Rand) {
+	for i := range args {
+		args[i] = reflect.ValueOf(randInt(r))
+	}
+}
+
+func TestAddMatchesBig(t *testing.T) {
+	f := func(a, b Int) bool {
+		got := a.Add(b)
+		want := toBigMod(new(big.Int).Add(a.ToBig(), b.ToBig()))
+		return got.ToBig().Cmp(want) == 0
+	}
+	if err := quick.Check(f, &quick.Config{Values: randValues}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubMatchesBig(t *testing.T) {
+	f := func(a, b Int) bool {
+		got := a.Sub(b)
+		want := toBigMod(new(big.Int).Sub(a.ToBig(), b.ToBig()))
+		return got.ToBig().Cmp(want) == 0
+	}
+	if err := quick.Check(f, &quick.Config{Values: randValues}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulMatchesBig(t *testing.T) {
+	f := func(a, b Int) bool {
+		got := a.Mul(b)
+		want := toBigMod(new(big.Int).Mul(a.ToBig(), b.ToBig()))
+		return got.ToBig().Cmp(want) == 0
+	}
+	if err := quick.Check(f, &quick.Config{Values: randValues, MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulOverflowFlagMatchesBig(t *testing.T) {
+	f := func(a, b Int) bool {
+		_, over := a.MulOverflow(b)
+		exact := new(big.Int).Mul(a.ToBig(), b.ToBig())
+		return over == (exact.BitLen() > 256)
+	}
+	if err := quick.Check(f, &quick.Config{Values: randValues, MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMul64MatchesMul(t *testing.T) {
+	f := func(a Int, v uint64) bool {
+		return a.Mul64(v) == a.Mul(New(v))
+	}
+	vals := func(args []reflect.Value, r *rand.Rand) {
+		args[0] = reflect.ValueOf(randInt(r))
+		args[1] = reflect.ValueOf(r.Uint64())
+	}
+	if err := quick.Check(f, &quick.Config{Values: vals}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivModMatchesBig(t *testing.T) {
+	f := func(a, b Int) bool {
+		if b.IsZero() {
+			q, r := a.DivMod(b)
+			return q.IsZero() && r.IsZero()
+		}
+		q, r := a.DivMod(b)
+		wantQ := new(big.Int).Quo(a.ToBig(), b.ToBig())
+		wantR := new(big.Int).Rem(a.ToBig(), b.ToBig())
+		return q.ToBig().Cmp(wantQ) == 0 && r.ToBig().Cmp(wantR) == 0
+	}
+	if err := quick.Check(f, &quick.Config{Values: randValues, MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivModReconstruct(t *testing.T) {
+	f := func(a, b Int) bool {
+		if b.IsZero() {
+			return true
+		}
+		q, r := a.DivMod(b)
+		if r.Cmp(b) >= 0 {
+			return false
+		}
+		back, over := q.MulOverflow(b)
+		if over {
+			return false
+		}
+		back, carry := back.AddOverflow(r)
+		return !carry && back == a
+	}
+	if err := quick.Check(f, &quick.Config{Values: randValues, MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShiftsMatchBig(t *testing.T) {
+	f := func(a Int, n uint) bool {
+		n %= 300
+		wantL := toBigMod(new(big.Int).Lsh(a.ToBig(), n))
+		wantR := new(big.Int).Rsh(a.ToBig(), n)
+		return a.Lsh(n).ToBig().Cmp(wantL) == 0 && a.Rsh(n).ToBig().Cmp(wantR) == 0
+	}
+	vals := func(args []reflect.Value, r *rand.Rand) {
+		args[0] = reflect.ValueOf(randInt(r))
+		args[1] = reflect.ValueOf(uint(r.Intn(300)))
+	}
+	if err := quick.Check(f, &quick.Config{Values: vals}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCmpMatchesBig(t *testing.T) {
+	f := func(a, b Int) bool {
+		return a.Cmp(b) == a.ToBig().Cmp(b.ToBig())
+	}
+	if err := quick.Check(f, &quick.Config{Values: randValues}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	f := func(a Int) bool {
+		parsed, err := FromDecimal(a.String())
+		return err == nil && parsed == a
+	}
+	if err := quick.Check(f, &quick.Config{Values: randValues}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHexRoundTrip(t *testing.T) {
+	f := func(a Int) bool {
+		parsed, err := FromHex(a.Hex())
+		return err == nil && parsed == a
+	}
+	if err := quick.Check(f, &quick.Config{Values: randValues}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytes32RoundTrip(t *testing.T) {
+	f := func(a Int) bool {
+		return FromBytes32(a.Bytes32()) == a
+	}
+	if err := quick.Check(f, &quick.Config{Values: randValues}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBigRoundTrip(t *testing.T) {
+	f := func(a Int) bool {
+		back, err := FromBig(a.ToBig())
+		return err == nil && back == a
+	}
+	if err := quick.Check(f, &quick.Config{Values: randValues}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromBigRejects(t *testing.T) {
+	if _, err := FromBig(big.NewInt(-1)); err == nil {
+		t.Error("FromBig accepted a negative value")
+	}
+	if _, err := FromBig(two256); err == nil {
+		t.Error("FromBig accepted 2^256")
+	}
+}
+
+func TestMulDiv(t *testing.T) {
+	cases := []struct {
+		x, m, d, want Int
+	}{
+		{New(100), New(3), New(2), New(150)},
+		{New(7), New(7), New(7), New(7)},
+		{New(1), New(1), Zero, Zero},
+		{Max, New(2), New(4), Max.Rsh(1)},
+	}
+	for i, c := range cases {
+		if got := c.x.MulDiv(c.m, c.d); got != c.want {
+			t.Errorf("case %d: MulDiv = %s, want %s", i, got, c.want)
+		}
+	}
+}
+
+func TestMulDivMatchesBig(t *testing.T) {
+	f := func(x, m, d Int) bool {
+		if d.IsZero() {
+			return x.MulDiv(m, d).IsZero()
+		}
+		want := new(big.Int).Mul(x.ToBig(), m.ToBig())
+		want.Quo(want, d.ToBig())
+		got := x.MulDiv(m, d)
+		if want.BitLen() > 256 {
+			return got == Max
+		}
+		return got.ToBig().Cmp(want) == 0
+	}
+	if err := quick.Check(f, &quick.Config{Values: randValues, MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSatSub(t *testing.T) {
+	if got := New(5).SatSub(New(7)); !got.IsZero() {
+		t.Errorf("SatSub(5,7) = %s, want 0", got)
+	}
+	if got := New(7).SatSub(New(5)); got != New(2) {
+		t.Errorf("SatSub(7,5) = %s, want 2", got)
+	}
+}
+
+func TestBitLen(t *testing.T) {
+	cases := []struct {
+		x    Int
+		want int
+	}{
+		{Zero, 0},
+		{One, 1},
+		{New(255), 8},
+		{Int{0, 1, 0, 0}, 65},
+		{Max, 256},
+	}
+	for _, c := range cases {
+		if got := c.x.BitLen(); got != c.want {
+			t.Errorf("BitLen(%s) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestFloat64(t *testing.T) {
+	if got := New(1_000_000).Float64(); got != 1e6 {
+		t.Errorf("Float64 = %g, want 1e6", got)
+	}
+	one := One.Lsh(128)
+	want := 340282366920938463463374607431768211456.0 // 2^128
+	if got := one.Float64(); got != want {
+		t.Errorf("Float64(2^128) = %g, want %g", got, want)
+	}
+}
+
+func TestDecimalErrors(t *testing.T) {
+	for _, s := range []string{"", "12a", "-5", " 1"} {
+		if _, err := FromDecimal(s); err == nil {
+			t.Errorf("FromDecimal(%q) succeeded, want error", s)
+		}
+	}
+	// 2^256 exactly must overflow.
+	if _, err := FromDecimal(two256.String()); err == nil {
+		t.Error("FromDecimal(2^256) succeeded, want overflow")
+	}
+}
+
+func TestHexErrors(t *testing.T) {
+	for _, s := range []string{"", "0x", "0xzz", "0x" + string(make([]byte, 65))} {
+		if _, err := FromHex(s); err == nil {
+			t.Errorf("FromHex(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	x := MustFromDecimal("123456789012345678901234567890123456789")
+	y := MustFromDecimal("987654321098765432109876543210987654321")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x = x.Add(y)
+	}
+	_ = x
+}
+
+func BenchmarkMul(b *testing.B) {
+	x := MustFromDecimal("123456789012345678901234567890123456789")
+	y := New(1_000_000_007)
+	b.ReportAllocs()
+	var z Int
+	for i := 0; i < b.N; i++ {
+		z = x.Mul(y)
+	}
+	_ = z
+}
+
+func BenchmarkDivMod64(b *testing.B) {
+	x := MustFromDecimal("340282366920938463463374607431768211455")
+	b.ReportAllocs()
+	var q Int
+	for i := 0; i < b.N; i++ {
+		q = x.Div64(1_000_000_000)
+	}
+	_ = q
+}
+
+// TestDivModKnuthStress drives the multi-limb Knuth path with shapes that
+// exercise digit-estimation corner cases (top limbs equal, add-back).
+func TestDivModKnuthStress(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	shapes := []func() (Int, Int){
+		// Dividend top limb equals divisor top limb.
+		func() (Int, Int) {
+			top := r.Uint64() | 1<<63
+			return Int{r.Uint64(), r.Uint64(), r.Uint64(), top},
+				Int{r.Uint64(), r.Uint64(), 0, top}
+		},
+		// Two-limb divisor, four-limb dividend.
+		func() (Int, Int) {
+			return Int{r.Uint64(), r.Uint64(), r.Uint64(), r.Uint64()},
+				Int{r.Uint64(), r.Uint64() | 1, 0, 0}
+		},
+		// Divisor just below the dividend.
+		func() (Int, Int) {
+			x := Int{r.Uint64(), r.Uint64(), r.Uint64(), r.Uint64()}
+			return x, x.Sub(One)
+		},
+		// Three-limb divisor with low bits clear (normalization shifts).
+		func() (Int, Int) {
+			return Int{r.Uint64(), r.Uint64(), r.Uint64(), r.Uint64()},
+				Int{0, r.Uint64(), r.Uint64() | 1<<62, 0}
+		},
+	}
+	for i := 0; i < 20000; i++ {
+		x, y := shapes[i%len(shapes)]()
+		if y.IsZero() {
+			continue
+		}
+		q, rem := x.DivMod(y)
+		wantQ := new(big.Int).Quo(x.ToBig(), y.ToBig())
+		wantR := new(big.Int).Rem(x.ToBig(), y.ToBig())
+		if q.ToBig().Cmp(wantQ) != 0 || rem.ToBig().Cmp(wantR) != 0 {
+			t.Fatalf("DivMod(%s, %s) = (%s, %s), want (%s, %s)",
+				x.Hex(), y.Hex(), q, rem, wantQ, wantR)
+		}
+	}
+}
+
+func TestMustConstructorsPanic(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("MustFromBig", func() { MustFromBig(big.NewInt(-1)) })
+	assertPanics("MustFromDecimal", func() { MustFromDecimal("nope") })
+}
+
+func TestDivModWrappers(t *testing.T) {
+	x, y := New(17), New(5)
+	if x.Div(y) != New(3) || x.Mod(y) != New(2) {
+		t.Error("Div/Mod wrappers wrong")
+	}
+	if !x.Div(Zero).IsZero() || !x.Mod(Zero).IsZero() {
+		t.Error("EVM zero-division semantics violated")
+	}
+	if New(100).Div64(0) != Zero {
+		t.Error("Div64 by zero should be zero")
+	}
+}
+
+func TestComparisonHelpers(t *testing.T) {
+	if !New(1).Lt(New(2)) || !New(2).Gt(New(1)) || !New(2).Eq(New(2)) {
+		t.Error("comparison helpers wrong")
+	}
+	if FromLimbs(1, 2, 3, 4) != (Int{1, 2, 3, 4}) {
+		t.Error("FromLimbs wrong")
+	}
+}

@@ -1,0 +1,267 @@
+// Package validator models the validator population behind the proposers:
+// staking operators ranging from institutional pools running thousands of
+// validators to hobbyists running one. Operators decide whether (and when)
+// to opt into PBS, which relays to trust, and how well they build blocks
+// locally when not using PBS — the axis the paper's Figures 9/10 compare.
+package validator
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/ethpbs/pbslab/internal/beacon"
+	"github.com/ethpbs/pbslab/internal/crypto"
+	"github.com/ethpbs/pbslab/internal/rng"
+	"github.com/ethpbs/pbslab/internal/types"
+)
+
+// Kind classifies operators.
+type Kind uint8
+
+// Operator kinds.
+const (
+	// Hobbyist operators run a handful of validators on home hardware.
+	Hobbyist Kind = iota
+	// Institutional operators run staking services at scale.
+	Institutional
+)
+
+var kindNames = [...]string{"hobbyist", "institutional"}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Never is an adoption date meaning the operator never opts into PBS.
+var Never = time.Date(9999, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// Operator is one staking operation controlling a set of validators.
+type Operator struct {
+	Name string
+	Kind Kind
+	// FeeRecipient receives the operator's block value. Pools use one
+	// address for all their validators; hobbyists have their own.
+	FeeRecipient types.Address
+	// AdoptedPBS is when the operator connected MEV-Boost; Never = opted
+	// out for the whole window.
+	AdoptedPBS time.Time
+	// Relays lists relay names the operator subscribes to once adopted.
+	Relays []string
+	// LocalCoverage is the operator's mempool visibility when building
+	// locally; institutional operators run better-connected nodes.
+	LocalCoverage float64
+	// Validators are the operator's consensus validators.
+	Validators []*beacon.Validator
+}
+
+// UsesPBS reports whether the operator proposes through MEV-Boost at time t.
+func (o *Operator) UsesPBS(t time.Time) bool {
+	return !t.Before(o.AdoptedPBS)
+}
+
+// Spec declares one operator for population construction.
+type Spec struct {
+	Name string
+	Kind Kind
+	// Weight is the share of the validator set the operator controls.
+	Weight float64
+	// Relays and LocalCoverage configure behaviour; AdoptedPBS is set by
+	// the scenario's adoption model.
+	Relays        []string
+	LocalCoverage float64
+	AdoptedPBS    time.Time
+}
+
+// Population maps validators to their operators.
+type Population struct {
+	Operators []*Operator
+	byIndex   map[uint64]*Operator
+}
+
+// Build distributes the registry's validators across the specs
+// proportionally to weight (every operator gets at least one when weights
+// allow), assigning the remainder round-robin for determinism.
+func Build(registry *beacon.Registry, specs []Spec) (*Population, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("validator: no operator specs")
+	}
+	var totalWeight float64
+	for _, s := range specs {
+		if s.Weight < 0 {
+			return nil, fmt.Errorf("validator: negative weight for %s", s.Name)
+		}
+		totalWeight += s.Weight
+	}
+	if totalWeight <= 0 {
+		return nil, fmt.Errorf("validator: zero total weight")
+	}
+
+	n := registry.Len()
+	pop := &Population{byIndex: make(map[uint64]*Operator, n)}
+	counts := make([]int, len(specs))
+	assigned := 0
+	for i, s := range specs {
+		counts[i] = int(float64(n) * s.Weight / totalWeight)
+		assigned += counts[i]
+	}
+	for i := 0; assigned < n; i = (i + 1) % len(specs) {
+		counts[i]++
+		assigned++
+	}
+
+	idx := uint64(0)
+	for i, s := range specs {
+		op := &Operator{
+			Name:          s.Name,
+			Kind:          s.Kind,
+			FeeRecipient:  crypto.AddressFromSeed("operator/" + s.Name),
+			AdoptedPBS:    s.AdoptedPBS,
+			Relays:        s.Relays,
+			LocalCoverage: s.LocalCoverage,
+		}
+		for v := 0; v < counts[i] && idx < uint64(n); v++ {
+			val := registry.ByIndex(idx)
+			val.FeeRecipient = op.FeeRecipient
+			op.Validators = append(op.Validators, val)
+			pop.byIndex[idx] = op
+			idx++
+		}
+		pop.Operators = append(pop.Operators, op)
+	}
+	return pop, nil
+}
+
+// OperatorOf returns the operator controlling validator index.
+func (p *Population) OperatorOf(index uint64) *Operator {
+	return p.byIndex[index]
+}
+
+// PBSShareAt returns the validator-weighted share of the population that
+// has adopted PBS by time t; scenario calibration checks this against the
+// paper's Figure 4 curve.
+func (p *Population) PBSShareAt(t time.Time) float64 {
+	total, adopted := 0, 0
+	for _, op := range p.Operators {
+		total += len(op.Validators)
+		if op.UsesPBS(t) {
+			adopted += len(op.Validators)
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(adopted) / float64(total)
+}
+
+// AdoptionCurve maps a uniform draw to a PBS adoption date so that the
+// population's adoption share tracks the paper's Figure 4: ~20% at the
+// merge, rising to ~85% by 2022-11-03, then drifting to ~92%; the rest
+// never adopt during the window.
+type AdoptionCurve struct {
+	// Points are (date, cumulative share) knots, increasing in both.
+	Points []AdoptionPoint
+}
+
+// AdoptionPoint is one knot of the curve.
+type AdoptionPoint struct {
+	Date  time.Time
+	Share float64
+}
+
+// DefaultAdoptionCurve reproduces Figure 4's shape.
+func DefaultAdoptionCurve() AdoptionCurve {
+	d := func(y int, m time.Month, day int) time.Time {
+		return time.Date(y, m, day, 0, 0, 0, 0, time.UTC)
+	}
+	return AdoptionCurve{Points: []AdoptionPoint{
+		{d(2022, 9, 15), 0.20},
+		{d(2022, 9, 25), 0.45},
+		{d(2022, 10, 10), 0.65},
+		{d(2022, 10, 25), 0.78},
+		{d(2022, 11, 3), 0.85},
+		{d(2022, 12, 15), 0.88},
+		{d(2023, 2, 1), 0.90},
+		{d(2023, 3, 31), 0.92},
+	}}
+}
+
+// DateFor inverts the curve: given a uniform draw u, returns the date by
+// which the operator adopts, or Never when u exceeds the final share.
+func (c AdoptionCurve) DateFor(u float64) time.Time {
+	if len(c.Points) == 0 {
+		return Never
+	}
+	if u < c.Points[0].Share {
+		return c.Points[0].Date
+	}
+	for i := 1; i < len(c.Points); i++ {
+		prev, cur := c.Points[i-1], c.Points[i]
+		if u < cur.Share {
+			// Linear interpolation between knots.
+			frac := (u - prev.Share) / (cur.Share - prev.Share)
+			span := cur.Date.Sub(prev.Date)
+			return prev.Date.Add(time.Duration(frac * float64(span)))
+		}
+	}
+	return Never
+}
+
+// AssignAdoption draws adoption dates for operators that do not have one
+// yet (AdoptedPBS zero). Assignment is stratified by stake: operators are
+// shuffled, laid out over [0,1) proportionally to their validator count,
+// and mapped through the curve at their interval midpoint (plus jitter).
+// This keeps the stake-weighted adoption share tracking the curve even
+// though a single large pool controls a big stake block — a plain uniform
+// draw per operator would let one pool's coin flip swing the whole share.
+func AssignAdoption(ops []*Operator, curve AdoptionCurve, r *rng.RNG) {
+	stream := r.Fork("adoption")
+	var pending []*Operator
+	total := 0
+	for _, op := range ops {
+		if !op.AdoptedPBS.IsZero() {
+			continue
+		}
+		pending = append(pending, op)
+		total += len(op.Validators)
+	}
+	if len(pending) == 0 {
+		return
+	}
+	denom := float64(total)
+	weightOf := func(op *Operator) float64 { return float64(len(op.Validators)) }
+	if total == 0 {
+		// Degenerate: no validators wired yet; treat operators equally.
+		denom = float64(len(pending))
+		weightOf = func(*Operator) float64 { return 1 }
+	}
+	perm := stream.Perm(len(pending))
+	cum := 0.0
+	for _, idx := range perm {
+		op := pending[idx]
+		w := weightOf(op)
+		u := (cum + w/2) / denom
+		u += stream.Normal(0, 0.02)
+		if u < 0 {
+			u = 0
+		}
+		if u >= 1 {
+			u = 0.999999
+		}
+		op.AdoptedPBS = curve.DateFor(u)
+		cum += w
+	}
+}
+
+// SortedBySize returns operators largest-first; reports use it.
+func SortedBySize(ops []*Operator) []*Operator {
+	out := append([]*Operator(nil), ops...)
+	sort.SliceStable(out, func(i, j int) bool {
+		return len(out[i].Validators) > len(out[j].Validators)
+	})
+	return out
+}

@@ -1,0 +1,151 @@
+package validator
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/ethpbs/pbslab/internal/beacon"
+	"github.com/ethpbs/pbslab/internal/rng"
+)
+
+func specs() []Spec {
+	return []Spec{
+		{Name: "bigpool", Kind: Institutional, Weight: 0.6, LocalCoverage: 0.9},
+		{Name: "midpool", Kind: Institutional, Weight: 0.3, LocalCoverage: 0.8},
+		{Name: "solo-1", Kind: Hobbyist, Weight: 0.1, LocalCoverage: 0.5},
+	}
+}
+
+func TestBuildDistribution(t *testing.T) {
+	reg := beacon.NewRegistry("test", 100)
+	pop, err := Build(reg, specs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pop.Operators) != 3 {
+		t.Fatalf("operators = %d", len(pop.Operators))
+	}
+	total := 0
+	for _, op := range pop.Operators {
+		total += len(op.Validators)
+	}
+	if total != 100 {
+		t.Errorf("assigned %d validators", total)
+	}
+	if got := len(pop.Operators[0].Validators); got < 55 || got > 65 {
+		t.Errorf("bigpool got %d validators", got)
+	}
+	// Validators carry their operator's fee recipient.
+	op := pop.Operators[1]
+	for _, v := range op.Validators {
+		if v.FeeRecipient != op.FeeRecipient {
+			t.Fatal("validator fee recipient not rewired to operator")
+		}
+	}
+	// Index lookup agrees.
+	if pop.OperatorOf(op.Validators[0].Index) != op {
+		t.Error("OperatorOf wrong")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	reg := beacon.NewRegistry("test", 10)
+	if _, err := Build(reg, nil); err == nil {
+		t.Error("empty specs accepted")
+	}
+	if _, err := Build(reg, []Spec{{Name: "x", Weight: -1}}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := Build(reg, []Spec{{Name: "x", Weight: 0}}); err == nil {
+		t.Error("zero total weight accepted")
+	}
+}
+
+func TestUsesPBS(t *testing.T) {
+	op := &Operator{AdoptedPBS: time.Date(2022, 10, 1, 0, 0, 0, 0, time.UTC)}
+	if op.UsesPBS(time.Date(2022, 9, 30, 0, 0, 0, 0, time.UTC)) {
+		t.Error("PBS before adoption")
+	}
+	if !op.UsesPBS(time.Date(2022, 10, 1, 0, 0, 0, 0, time.UTC)) {
+		t.Error("no PBS at adoption")
+	}
+	never := &Operator{AdoptedPBS: Never}
+	if never.UsesPBS(time.Date(2023, 3, 31, 0, 0, 0, 0, time.UTC)) {
+		t.Error("never-adopter uses PBS")
+	}
+}
+
+func TestAdoptionCurveInversion(t *testing.T) {
+	curve := DefaultAdoptionCurve()
+	// u below the merge share adopts at the merge.
+	if got := curve.DateFor(0.1); !got.Equal(curve.Points[0].Date) {
+		t.Errorf("early adopter date = %v", got)
+	}
+	// u beyond the final share never adopts.
+	if got := curve.DateFor(0.95); !got.Equal(Never) {
+		t.Errorf("non-adopter date = %v", got)
+	}
+	// Monotonic: larger u adopts later (or equal).
+	prev := time.Time{}
+	for u := 0.0; u < 1.0; u += 0.01 {
+		d := curve.DateFor(u)
+		if d.Before(prev) {
+			t.Fatalf("curve not monotonic at u=%.2f", u)
+		}
+		prev = d
+	}
+}
+
+func TestAssignAdoptionTracksCurve(t *testing.T) {
+	reg := beacon.NewRegistry("test", 2000)
+	// 200 equal hobbyist operators for statistical coverage.
+	var ss []Spec
+	for i := 0; i < 200; i++ {
+		ss = append(ss, Spec{Name: "solo-" + string(rune('a'+i%26)) + string(rune('0'+i%10)) + string(rune('0'+(i/10)%10)), Kind: Hobbyist, Weight: 1})
+	}
+	pop, err := Build(reg, ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	AssignAdoption(pop.Operators, DefaultAdoptionCurve(), rng.New(3))
+
+	check := func(date time.Time, want float64) {
+		got := pop.PBSShareAt(date)
+		if math.Abs(got-want) > 0.08 {
+			t.Errorf("share at %v = %.2f, want ~%.2f", date.Format("2006-01-02"), got, want)
+		}
+	}
+	check(time.Date(2022, 9, 15, 0, 0, 0, 0, time.UTC), 0.20)
+	check(time.Date(2022, 11, 3, 0, 0, 0, 0, time.UTC), 0.85)
+	check(time.Date(2023, 3, 31, 0, 0, 0, 0, time.UTC), 0.92)
+}
+
+func TestAssignAdoptionRespectsPresets(t *testing.T) {
+	preset := time.Date(2022, 9, 20, 0, 0, 0, 0, time.UTC)
+	ops := []*Operator{{Name: "preset", AdoptedPBS: preset}, {Name: "blank"}}
+	AssignAdoption(ops, DefaultAdoptionCurve(), rng.New(1))
+	if !ops[0].AdoptedPBS.Equal(preset) {
+		t.Error("preset adoption overwritten")
+	}
+	if ops[1].AdoptedPBS.IsZero() {
+		t.Error("blank adoption not assigned")
+	}
+}
+
+func TestSortedBySize(t *testing.T) {
+	reg := beacon.NewRegistry("test", 100)
+	pop, _ := Build(reg, specs())
+	sorted := SortedBySize(pop.Operators)
+	for i := 1; i < len(sorted); i++ {
+		if len(sorted[i].Validators) > len(sorted[i-1].Validators) {
+			t.Fatal("not sorted by size")
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Hobbyist.String() != "hobbyist" || Kind(7).String() != "unknown" {
+		t.Error("Kind.String wrong")
+	}
+}

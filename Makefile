@@ -1,0 +1,33 @@
+# pbslab build targets. `make check` is the tier-1 gate (ROADMAP.md).
+
+GO ?= go
+
+.PHONY: all build vet test race check crawl clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Tier-1 gate: everything must build, vet clean, and pass under the race
+# detector.
+check:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# The fault-injected crawl demo (byte-identical stdout per -seed).
+crawl:
+	$(GO) run ./cmd/relaycrawl
+
+clean:
+	$(GO) clean ./...

@@ -1,15 +1,24 @@
 // Command relaycrawl demonstrates the paper's Section 3.3 methodology at
-// the wire level: it simulates a short PBS window, exposes every relay's
-// data API over real HTTP servers (Flashbots relay-spec shapes), crawls
-// them all with the cursor-paginated client, and prints per-relay harvest
-// statistics.
+// the wire level, under fire: it simulates a short PBS window, exposes
+// every relay's data API over real HTTP servers (Flashbots relay-spec
+// shapes), injects deterministic faults into some of them — drops, delays,
+// 5xx, 429 rate limits, truncated bodies, and hard outages — and crawls
+// them all with the retrying, resuming client. Healthy relays harvest
+// fully; flaky ones harvest through retries and resumes; relays in outage
+// come back partial or empty, with the failure classified.
+//
+// The fault decisions are drawn from a seeded rng, so the same -seed
+// yields byte-identical harvest output across runs.
 //
 // Usage:
 //
-//	relaycrawl [-days N] [-page N]
+//	relaycrawl [-days N] [-page N] [-seed N] [-flaky N] [-outages N]
+//	           [-drop P] [-fail P] [-ratelimit P] [-truncate P] [-parallel N]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -17,6 +26,7 @@ import (
 	"os"
 	"time"
 
+	"github.com/ethpbs/pbslab/internal/faults"
 	"github.com/ethpbs/pbslab/internal/relayapi"
 	"github.com/ethpbs/pbslab/internal/sim"
 )
@@ -24,6 +34,14 @@ import (
 func main() {
 	days := flag.Int("days", 5, "simulated window length in days")
 	page := flag.Int("page", 50, "crawler page size")
+	seed := flag.Uint64("seed", 7, "fault-injection seed")
+	flaky := flag.Int("flaky", 2, "number of relays given probabilistic faults")
+	outages := flag.Int("outages", 1, "number of relays taken hard-down for the whole crawl")
+	drop := flag.Float64("drop", 0.15, "per-request connection-drop probability on flaky relays")
+	failP := flag.Float64("fail", 0.15, "per-request 503 probability on flaky relays")
+	rateLimit := flag.Float64("ratelimit", 0.05, "per-request 429 probability on flaky relays")
+	truncate := flag.Float64("truncate", 0.10, "per-request body-truncation probability on flaky relays")
+	parallel := flag.Int("parallel", 4, "concurrent relay crawls")
 	flag.Parse()
 
 	sc := sim.DefaultScenario()
@@ -36,22 +54,78 @@ func main() {
 		os.Exit(1)
 	}
 
-	// Expose each relay over HTTP on an ephemeral port.
+	order := res.World.RelayOrder
+	if *flaky > len(order) {
+		*flaky = len(order)
+	}
+	if *outages > len(order)-*flaky {
+		*outages = len(order) - *flaky
+	}
 	clock := func() time.Time { return sc.End }
+
+	// Fault plan: the busiest relays go flaky (so the probabilistic faults
+	// actually see traffic), and -outages relays from the tail of the
+	// roster are hard-down for the whole crawl.
+	inj := faults.NewInjector(*seed)
+	kind := map[string]string{}
+	for _, name := range order {
+		kind[name] = "healthy"
+	}
+	preferred := []string{"Flashbots", "bloXroute (MaxProfit)", "Manifold", "Blocknative", "Eden"}
+	for _, name := range pickRelays(order, preferred, *flaky, kind) {
+		kind[name] = "flaky"
+		inj.SetConfig(name, faults.Config{
+			DropProb:      *drop,
+			DelayProb:     0.10,
+			Delay:         20 * time.Millisecond,
+			ErrorProb:     *failP,
+			RateLimitProb: *rateLimit,
+			RetryAfter:    time.Second,
+			TruncateProb:  *truncate,
+		})
+	}
+	reversed := make([]string, len(order))
+	for i, name := range order {
+		reversed[len(order)-1-i] = name
+	}
+	for _, name := range pickRelays(reversed, nil, *outages, kind) {
+		kind[name] = "down"
+		inj.SetConfig(name, faults.Config{
+			Outages: []faults.Window{{From: sc.Start, To: sc.End.Add(24 * time.Hour)}},
+		})
+	}
+
+	// Expose each relay over HTTP on an ephemeral port, behind the fault
+	// middleware where the plan says so.
 	var clients []*relayapi.Client
 	var servers []*http.Server
-	for _, name := range res.World.RelayOrder {
+	for _, name := range order {
 		r := res.World.Relays[name]
+		handler := http.Handler(relayapi.NewServer(r, clock))
+		if kind[name] != "healthy" {
+			handler = faults.Middleware(handler, inj, name, clock)
+		}
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "relaycrawl: listen: %v\n", err)
 			os.Exit(1)
 		}
-		srv := &http.Server{Handler: relayapi.NewServer(r, clock)}
+		srv := &http.Server{Handler: handler}
 		go func() { _ = srv.Serve(ln) }()
 		servers = append(servers, srv)
-		clients = append(clients, relayapi.NewClient(name, "http://"+ln.Addr().String()))
-		fmt.Fprintf(os.Stderr, "relay %-24s listening on %s\n", name, ln.Addr())
+
+		cl := relayapi.NewClient(name, "http://"+ln.Addr().String())
+		// Fresh connections only: the transport's transparent retry on
+		// reused conns would absorb drops nondeterministically.
+		cl.HTTP = &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+		cl.Retry = relayapi.RetryPolicy{
+			MaxAttempts: 4,
+			BaseDelay:   5 * time.Millisecond,
+			MaxDelay:    100 * time.Millisecond,
+			Seed:        *seed,
+		}
+		clients = append(clients, cl)
+		fmt.Fprintf(os.Stderr, "relay %-24s %-8s listening on %s\n", name, kind[name], ln.Addr())
 	}
 	defer func() {
 		for _, srv := range servers {
@@ -59,20 +133,82 @@ func main() {
 		}
 	}()
 
-	crawler := &relayapi.Crawler{Clients: clients, PageSize: *page}
+	crawler := &relayapi.Crawler{
+		Clients:     clients,
+		PageSize:    *page,
+		Parallelism: *parallel,
+		Resumes:     4,
+	}
 	start := time.Now()
-	harvests := crawler.Run()
-	fmt.Printf("\ncrawled %d relays in %v\n", len(harvests), time.Since(start).Round(time.Millisecond))
-	fmt.Printf("%-24s %10s %10s %s\n", "relay", "delivered", "received", "err")
-	totalDelivered, totalReceived := 0, 0
+	harvests := crawler.Run(context.Background())
+	fmt.Fprintf(os.Stderr, "crawl finished in %v\n", time.Since(start).Round(time.Millisecond))
+
+	// Everything below goes to stdout and must be a pure function of the
+	// seeds: counts and classifications only, never raw errors (they carry
+	// ephemeral port numbers).
+	fmt.Printf("crawled %d relays (%d flaky, %d down, page size %d, fault seed %d)\n\n",
+		len(harvests), *flaky, *outages, *page, *seed)
+	fmt.Printf("%-24s %-8s %10s %10s %8s %8s  %s\n",
+		"relay", "plan", "delivered", "received", "retries", "resumes", "status")
+	totalDelivered, totalReceived, totalRetries := 0, 0, 0
 	for _, h := range harvests {
-		errStr := ""
-		if h.Err != nil {
-			errStr = h.Err.Error()
-		}
-		fmt.Printf("%-24s %10d %10d %s\n", h.Relay, len(h.Delivered), len(h.Received), errStr)
+		fmt.Printf("%-24s %-8s %10d %10d %8d %8d  %s\n",
+			h.Relay, kind[h.Relay], len(h.Delivered), len(h.Received),
+			h.Retries, h.Resumes, statusOf(h))
 		totalDelivered += len(h.Delivered)
 		totalReceived += len(h.Received)
+		totalRetries += h.Retries
 	}
-	fmt.Printf("%-24s %10d %10d\n", "TOTAL", totalDelivered, totalReceived)
+	fmt.Printf("%-24s %-8s %10d %10d %8d\n", "TOTAL", "", totalDelivered, totalReceived, totalRetries)
+
+	fmt.Printf("\ninjected faults per relay:\n")
+	fmt.Printf("%-24s %8s %6s %7s %7s %7s %7s %7s\n",
+		"relay", "requests", "drops", "delays", "errors", "429s", "truncs", "outage")
+	for _, name := range order {
+		if kind[name] == "healthy" {
+			continue
+		}
+		c := inj.Stats().For(name)
+		fmt.Printf("%-24s %8d %6d %7d %7d %7d %7d %7d\n",
+			name, c.Requests, c.Drops, c.Delays, c.Errors, c.RateLimits, c.Truncates, c.OutageHits)
+	}
+}
+
+// pickRelays selects n relays still marked healthy, preferring the given
+// names in order and then falling back to roster order.
+func pickRelays(order, preferred []string, n int, kind map[string]string) []string {
+	var out []string
+	take := func(name string) {
+		if len(out) < n && kind[name] == "healthy" {
+			for _, got := range out {
+				if got == name {
+					return
+				}
+			}
+			out = append(out, name)
+		}
+	}
+	for _, name := range preferred {
+		if kind[name] != "" {
+			take(name)
+		}
+	}
+	for _, name := range order {
+		take(name)
+	}
+	return out
+}
+
+// statusOf classifies a harvest without leaking raw error text.
+func statusOf(h relayapi.Harvest) string {
+	switch {
+	case h.Err == nil:
+		return "ok"
+	case errors.Is(h.Err, relayapi.ErrCrawlStalled):
+		return "partial: stalled"
+	case errors.Is(h.Err, relayapi.ErrTooManyPages):
+		return "partial: page-cap"
+	default:
+		return "partial: unreachable"
+	}
 }

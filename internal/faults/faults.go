@@ -1,0 +1,337 @@
+// Package faults injects deterministic HTTP failures into the relay plane.
+//
+// The paper's "realities" half is a catalogue of relay failures: the
+// 2022-11-10 bad-timestamp incident, data APIs that stall or vanish
+// mid-crawl, and relays that promise what they never deliver. This package
+// makes those failure modes first-class and reproducible: an Injector draws
+// per-relay fault decisions from a seeded rng stream, so the same seed
+// yields the same sequence of drops, delays, errors and truncations — and
+// therefore the same retry counters and the same final harvest.
+//
+// The injector plugs in at either end of a connection: Transport wraps an
+// http.RoundTripper on the client side, Middleware wraps a relay's
+// http.Handler on the server side. Both consult the same Decide method, so
+// tests and demos can pick whichever end is convenient.
+package faults
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/ethpbs/pbslab/internal/rng"
+)
+
+// Window is a half-open [From, To) outage span.
+type Window struct{ From, To time.Time }
+
+// Contains reports whether t falls inside the window.
+func (w Window) Contains(t time.Time) bool {
+	return !t.Before(w.From) && t.Before(w.To)
+}
+
+// Config declares the fault mix for one relay. Probabilities are drawn
+// independently per request; zero values inject nothing.
+type Config struct {
+	// DropProb is the chance the connection is severed before any response.
+	DropProb float64
+	// DelayProb is the chance the response is held for Delay.
+	DelayProb float64
+	Delay     time.Duration
+	// ErrorProb is the chance of a 503 instead of a real response.
+	ErrorProb float64
+	// RateLimitProb is the chance of a 429 carrying Retry-After.
+	RateLimitProb float64
+	RetryAfter    time.Duration
+	// TruncateProb is the chance the response body is cut in half
+	// mid-stream.
+	TruncateProb float64
+	// Outages are hard downtime windows: every request inside one is
+	// dropped, regardless of the probabilistic faults.
+	Outages []Window
+}
+
+// Counters tallies injected faults for one relay.
+type Counters struct {
+	Requests   int
+	Drops      int
+	Delays     int
+	Errors     int
+	RateLimits int
+	Truncates  int
+	OutageHits int
+}
+
+// Injected sums every injected fault.
+func (c Counters) Injected() int {
+	return c.Drops + c.Delays + c.Errors + c.RateLimits + c.Truncates + c.OutageHits
+}
+
+// Stats aggregates fault counters per relay; safe for concurrent use.
+type Stats struct {
+	mu     sync.Mutex
+	counts map[string]*Counters
+}
+
+func (s *Stats) bump(relay string, f func(*Counters)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.counts == nil {
+		s.counts = map[string]*Counters{}
+	}
+	c := s.counts[relay]
+	if c == nil {
+		c = &Counters{}
+		s.counts[relay] = c
+	}
+	f(c)
+}
+
+// For returns a copy of the counters for one relay.
+func (s *Stats) For(relay string) Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.counts[relay]; ok {
+		return *c
+	}
+	return Counters{}
+}
+
+// Relays lists every relay with recorded counters, sorted.
+func (s *Stats) Relays() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.counts))
+	for name := range s.counts {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Action is one request's fault decision. The zero Action passes the
+// request through untouched.
+type Action struct {
+	Drop       bool
+	Delay      time.Duration
+	Status     int // 0 = no synthetic status; otherwise 503 or 429
+	RetryAfter time.Duration
+	Truncate   bool
+}
+
+// Injector makes deterministic per-relay fault decisions. Each relay gets
+// its own forked rng stream, so one relay's request count never perturbs
+// another's draws; within a relay, decisions depend only on the request
+// ordinal. Concurrent crawls stay deterministic as long as each relay's
+// requests are issued sequentially (one crawler goroutine per relay).
+type Injector struct {
+	mu      sync.Mutex
+	root    *rng.RNG
+	streams map[string]*rng.RNG
+	configs map[string]Config
+	stats   Stats
+}
+
+// NewInjector seeds an injector.
+func NewInjector(seed uint64) *Injector {
+	return &Injector{
+		root:    rng.New(seed),
+		streams: map[string]*rng.RNG{},
+		configs: map[string]Config{},
+	}
+}
+
+// SetConfig declares the fault mix for a relay. Relays without a config
+// pass through untouched.
+func (inj *Injector) SetConfig(relay string, cfg Config) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.configs[relay] = cfg
+}
+
+// Stats exposes the injection counters.
+func (inj *Injector) Stats() *Stats { return &inj.stats }
+
+// Decide draws the fault action for one request against relay at the given
+// time. Every configured fault kind consumes exactly one draw per request,
+// so the decision sequence is a pure function of (seed, relay, ordinal).
+func (inj *Injector) Decide(relay string, at time.Time) Action {
+	inj.mu.Lock()
+	cfg, configured := inj.configs[relay]
+	var stream *rng.RNG
+	if configured {
+		stream = inj.streams[relay]
+		if stream == nil {
+			stream = inj.root.Fork("faults/" + relay)
+			inj.streams[relay] = stream
+		}
+	}
+	inj.mu.Unlock()
+
+	inj.stats.bump(relay, func(c *Counters) { c.Requests++ })
+	if !configured {
+		return Action{}
+	}
+
+	for _, w := range cfg.Outages {
+		if w.Contains(at) {
+			inj.stats.bump(relay, func(c *Counters) { c.OutageHits++ })
+			return Action{Drop: true}
+		}
+	}
+
+	// Fixed draw order, one draw per kind, so the stream advances
+	// identically whatever the outcome.
+	inj.mu.Lock()
+	drop := stream.Bool(cfg.DropProb)
+	delay := stream.Bool(cfg.DelayProb)
+	fail := stream.Bool(cfg.ErrorProb)
+	limit := stream.Bool(cfg.RateLimitProb)
+	trunc := stream.Bool(cfg.TruncateProb)
+	inj.mu.Unlock()
+
+	switch {
+	case drop:
+		inj.stats.bump(relay, func(c *Counters) { c.Drops++ })
+		return Action{Drop: true}
+	case fail:
+		inj.stats.bump(relay, func(c *Counters) { c.Errors++ })
+		return Action{Status: http.StatusServiceUnavailable}
+	case limit:
+		inj.stats.bump(relay, func(c *Counters) { c.RateLimits++ })
+		return Action{Status: http.StatusTooManyRequests, RetryAfter: cfg.RetryAfter}
+	}
+	var act Action
+	if delay {
+		inj.stats.bump(relay, func(c *Counters) { c.Delays++ })
+		act.Delay = cfg.Delay
+	}
+	if trunc {
+		inj.stats.bump(relay, func(c *Counters) { c.Truncates++ })
+		act.Truncate = true
+	}
+	return act
+}
+
+// Transport wraps an http.RoundTripper with fault injection on the client
+// side. Dropped requests never reach Base; synthetic statuses are answered
+// locally; truncation halves the real response body.
+type Transport struct {
+	Base  http.RoundTripper
+	Inj   *Injector
+	Relay string
+	// Clock supplies now for outage windows; defaults to time.Now.
+	Clock func() time.Time
+	// Sleep implements injected delays; defaults to time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	now := time.Now
+	if t.Clock != nil {
+		now = t.Clock
+	}
+	act := t.Inj.Decide(t.Relay, now())
+	if act.Drop {
+		return nil, fmt.Errorf("faults: %s: connection dropped", t.Relay)
+	}
+	if act.Delay > 0 {
+		sleep := time.Sleep
+		if t.Sleep != nil {
+			sleep = t.Sleep
+		}
+		sleep(act.Delay)
+	}
+	if act.Status != 0 {
+		return syntheticResponse(req, act), nil
+	}
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil || !act.Truncate {
+		return resp, err
+	}
+	body, readErr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if readErr != nil {
+		return nil, readErr
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(body[:len(body)/2]))
+	return resp, nil
+}
+
+func syntheticResponse(req *http.Request, act Action) *http.Response {
+	header := http.Header{}
+	if act.RetryAfter > 0 {
+		header.Set("Retry-After", strconv.Itoa(int(act.RetryAfter/time.Second)))
+	}
+	return &http.Response{
+		StatusCode: act.Status,
+		Status:     http.StatusText(act.Status),
+		Header:     header,
+		Body:       io.NopCloser(bytes.NewReader(nil)),
+		Request:    req,
+	}
+}
+
+// Middleware wraps a relay's handler with server-side fault injection.
+// Drops abort the connection (the client sees EOF); truncation declares the
+// full Content-Length but writes only half the body, which the client
+// observes as an unexpected EOF mid-decode.
+func Middleware(next http.Handler, inj *Injector, relay string, clock func() time.Time) http.Handler {
+	if clock == nil {
+		clock = time.Now
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		act := inj.Decide(relay, clock())
+		if act.Drop {
+			panic(http.ErrAbortHandler)
+		}
+		if act.Delay > 0 {
+			time.Sleep(act.Delay)
+		}
+		if act.Status != 0 {
+			if act.RetryAfter > 0 {
+				w.Header().Set("Retry-After", strconv.Itoa(int(act.RetryAfter/time.Second)))
+			}
+			http.Error(w, http.StatusText(act.Status), act.Status)
+			return
+		}
+		if !act.Truncate {
+			next.ServeHTTP(w, r)
+			return
+		}
+		rec := &captureWriter{header: http.Header{}, code: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		for k, vs := range rec.header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.Header().Set("Content-Length", strconv.Itoa(rec.buf.Len()))
+		w.WriteHeader(rec.code)
+		_, _ = w.Write(rec.buf.Bytes()[:rec.buf.Len()/2])
+	})
+}
+
+// captureWriter buffers a handler's full response so Middleware can replay
+// a truncated copy.
+type captureWriter struct {
+	header http.Header
+	code   int
+	buf    bytes.Buffer
+}
+
+func (c *captureWriter) Header() http.Header { return c.header }
+
+func (c *captureWriter) WriteHeader(code int) { c.code = code }
+
+func (c *captureWriter) Write(p []byte) (int, error) { return c.buf.Write(p) }

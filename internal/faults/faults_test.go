@@ -1,0 +1,236 @@
+package faults
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+var at = time.Date(2022, 10, 1, 0, 0, 0, 0, time.UTC)
+
+func allFaults() Config {
+	return Config{
+		DropProb:      0.2,
+		DelayProb:     0.2,
+		Delay:         time.Millisecond,
+		ErrorProb:     0.2,
+		RateLimitProb: 0.2,
+		RetryAfter:    2 * time.Second,
+		TruncateProb:  0.2,
+	}
+}
+
+func TestDecideIsDeterministic(t *testing.T) {
+	mk := func() *Injector {
+		inj := NewInjector(42)
+		inj.SetConfig("A", allFaults())
+		inj.SetConfig("B", allFaults())
+		return inj
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 200; i++ {
+		for _, relay := range []string{"A", "B"} {
+			if got, want := a.Decide(relay, at), b.Decide(relay, at); got != want {
+				t.Fatalf("request %d relay %s: %+v != %+v", i, relay, got, want)
+			}
+		}
+	}
+	if a.Stats().For("A") != b.Stats().For("A") {
+		t.Error("same seed should yield identical counters")
+	}
+}
+
+func TestRelayStreamsAreIndependent(t *testing.T) {
+	// Relay A's decisions must not shift when another relay takes traffic.
+	solo := NewInjector(7)
+	solo.SetConfig("A", allFaults())
+	var want []Action
+	for i := 0; i < 100; i++ {
+		want = append(want, solo.Decide("A", at))
+	}
+
+	mixed := NewInjector(7)
+	mixed.SetConfig("A", allFaults())
+	mixed.SetConfig("B", allFaults())
+	for i := 0; i < 100; i++ {
+		mixed.Decide("B", at) // interleaved traffic on another relay
+		if got := mixed.Decide("A", at); got != want[i] {
+			t.Fatalf("request %d: %+v != %+v", i, got, want[i])
+		}
+	}
+}
+
+func TestUnconfiguredRelayPassesThrough(t *testing.T) {
+	inj := NewInjector(1)
+	for i := 0; i < 50; i++ {
+		if act := inj.Decide("healthy", at); act != (Action{}) {
+			t.Fatalf("unconfigured relay got %+v", act)
+		}
+	}
+	if c := inj.Stats().For("healthy"); c.Requests != 50 || c.Injected() != 0 {
+		t.Errorf("counters = %+v", c)
+	}
+}
+
+func TestOutageWindowDropsEverything(t *testing.T) {
+	inj := NewInjector(1)
+	inj.SetConfig("R", Config{
+		Outages: []Window{{From: at, To: at.Add(time.Hour)}},
+	})
+	if act := inj.Decide("R", at.Add(30*time.Minute)); !act.Drop {
+		t.Error("request inside the outage should drop")
+	}
+	if act := inj.Decide("R", at.Add(2*time.Hour)); act.Drop {
+		t.Error("request after the outage should pass")
+	}
+	if c := inj.Stats().For("R"); c.OutageHits != 1 {
+		t.Errorf("outage hits = %d, want 1", c.OutageHits)
+	}
+}
+
+func newJSONServer(t *testing.T, body string) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = io.WriteString(w, body)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func clientWith(srv *httptest.Server, inj *Injector, relay string) *http.Client {
+	return &http.Client{Transport: &Transport{
+		Base:  http.DefaultTransport,
+		Inj:   inj,
+		Relay: relay,
+		Clock: func() time.Time { return at },
+		Sleep: func(time.Duration) {},
+	}}
+}
+
+func TestTransportDrop(t *testing.T) {
+	srv := newJSONServer(t, `[]`)
+	inj := NewInjector(1)
+	inj.SetConfig("R", Config{DropProb: 1})
+	if _, err := clientWith(srv, inj, "R").Get(srv.URL); err == nil {
+		t.Fatal("dropped request should error")
+	}
+	if c := inj.Stats().For("R"); c.Drops != 1 {
+		t.Errorf("drops = %d, want 1", c.Drops)
+	}
+}
+
+func TestTransportSyntheticStatuses(t *testing.T) {
+	srv := newJSONServer(t, `[]`)
+	inj := NewInjector(1)
+	inj.SetConfig("R", Config{ErrorProb: 1})
+	resp, err := clientWith(srv, inj, "R").Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status = %d, want 503", resp.StatusCode)
+	}
+
+	inj2 := NewInjector(1)
+	inj2.SetConfig("R", Config{RateLimitProb: 1, RetryAfter: 3 * time.Second})
+	resp, err = clientWith(srv, inj2, "R").Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("status = %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "3" {
+		t.Errorf("Retry-After = %q, want \"3\"", got)
+	}
+}
+
+func TestTransportTruncation(t *testing.T) {
+	full := `[{"slot":"1"},{"slot":"2"}]`
+	srv := newJSONServer(t, full)
+	inj := NewInjector(1)
+	inj.SetConfig("R", Config{TruncateProb: 1})
+	resp, err := clientWith(srv, inj, "R").Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if len(body) != len(full)/2 {
+		t.Errorf("body length = %d, want %d (half of %d)", len(body), len(full)/2, len(full))
+	}
+	if !strings.HasPrefix(full, string(body)) {
+		t.Error("truncated body should be a prefix of the original")
+	}
+}
+
+func TestMiddlewareDropAndOutage(t *testing.T) {
+	inj := NewInjector(1)
+	inj.SetConfig("R", Config{Outages: []Window{{From: at, To: at.Add(time.Hour)}}})
+	next := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.WriteString(w, "ok")
+	})
+	srv := httptest.NewServer(Middleware(next, inj, "R", func() time.Time { return at }))
+	defer srv.Close()
+
+	cl := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	if _, err := cl.Get(srv.URL); err == nil {
+		t.Fatal("request during the outage should see a severed connection")
+	}
+	if c := inj.Stats().For("R"); c.OutageHits != 1 {
+		t.Errorf("outage hits = %d, want 1", c.OutageHits)
+	}
+}
+
+func TestMiddlewareTruncation(t *testing.T) {
+	full := strings.Repeat("x", 1024)
+	inj := NewInjector(1)
+	inj.SetConfig("R", Config{TruncateProb: 1})
+	next := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.WriteString(w, full)
+	})
+	srv := httptest.NewServer(Middleware(next, inj, "R", func() time.Time { return at }))
+	defer srv.Close()
+
+	cl := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	resp, err := cl.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, readErr := io.ReadAll(resp.Body)
+	// The middleware declares the full Content-Length but writes half, so
+	// the read must either error (unexpected EOF) or come up short.
+	if readErr == nil && len(body) >= len(full) {
+		t.Fatalf("read %d bytes without error, want a truncated response", len(body))
+	}
+	if len(body) > len(full)/2 {
+		t.Errorf("received %d bytes, want at most %d", len(body), len(full)/2)
+	}
+}
+
+func TestMiddlewareRetryAfter(t *testing.T) {
+	inj := NewInjector(1)
+	inj.SetConfig("R", Config{RateLimitProb: 1, RetryAfter: 5 * time.Second})
+	next := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})
+	srv := httptest.NewServer(Middleware(next, inj, "R", func() time.Time { return at }))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("status = %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "5" {
+		t.Errorf("Retry-After = %q, want \"5\"", got)
+	}
+}

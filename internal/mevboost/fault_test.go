@@ -1,0 +1,240 @@
+package mevboost
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/ethpbs/pbslab/internal/crypto"
+	"github.com/ethpbs/pbslab/internal/pbs"
+	"github.com/ethpbs/pbslab/internal/types"
+)
+
+// fakeEndpoint scripts an endpoint's failure behaviour.
+type fakeEndpoint struct {
+	name string
+	// headerErrs is how many GetHeader calls fail before bids flow.
+	headerErrs int
+	// payloadErrs is how many GetPayload calls fail before payloads flow.
+	payloadErrs int
+	bid         *pbs.Bid
+	block       *types.Block
+	down        bool
+	// onHeader runs before each GetHeader (budget tests advance a fake
+	// clock here).
+	onHeader func()
+
+	headerCalls  int
+	payloadCalls int
+}
+
+func (f *fakeEndpoint) RelayName() string { return f.name }
+
+func (f *fakeEndpoint) GetHeader(slot uint64, proposer types.PubKey) (*pbs.Bid, error) {
+	if f.onHeader != nil {
+		f.onHeader()
+	}
+	f.headerCalls++
+	if f.headerCalls <= f.headerErrs {
+		return nil, errors.New("fake: header failure")
+	}
+	return f.bid, nil
+}
+
+func (f *fakeEndpoint) GetPayload(at time.Time, signed *pbs.SignedBlindedHeader) (*types.Block, error) {
+	f.payloadCalls++
+	if f.payloadCalls <= f.payloadErrs {
+		return nil, errors.New("fake: payload failure")
+	}
+	return f.block, nil
+}
+
+func (f *fakeEndpoint) RegisterValidator(reg pbs.Registration) {}
+
+func (f *fakeEndpoint) Available(at time.Time) bool { return !f.down }
+
+func fakeBid(value types.Wei) (*pbs.Bid, *types.Block) {
+	header := &types.Header{Number: 1, Slot: 1}
+	block := types.NewBlock(header, nil)
+	bid := &pbs.Bid{Slot: 1, Value: value, BlockHash: block.Hash()}
+	return bid, block
+}
+
+func faultSidecar(relays ...Endpoint) *Sidecar {
+	key := crypto.NewKey([]byte("fault-validator"))
+	s := New(key, crypto.AddressFromSeed("fault-fee"), relays)
+	s.Stats = &Stats{}
+	return s
+}
+
+func TestBreakerOpensAndCools(t *testing.T) {
+	b := NewBreaker(2, time.Minute)
+	t0 := time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC)
+	if !b.Allow("R", t0) {
+		t.Fatal("fresh breaker should allow")
+	}
+	b.Failure("R", t0)
+	if !b.Allow("R", t0) {
+		t.Fatal("one failure under threshold should allow")
+	}
+	b.Failure("R", t0)
+	if b.Allow("R", t0) {
+		t.Fatal("threshold failures should open the circuit")
+	}
+	if b.Allow("R", t0.Add(30*time.Second)) {
+		t.Fatal("circuit should stay open inside the cooldown")
+	}
+	if !b.Allow("R", t0.Add(2*time.Minute)) {
+		t.Fatal("cooldown elapsed: probe should be allowed")
+	}
+	// A failing probe re-opens from the probe's time.
+	b.Failure("R", t0.Add(2*time.Minute))
+	if b.Allow("R", t0.Add(2*time.Minute+30*time.Second)) {
+		t.Fatal("failed probe should re-open the circuit")
+	}
+	// A successful probe closes it.
+	b.Success("R")
+	if !b.Allow("R", t0.Add(2*time.Minute+30*time.Second)) {
+		t.Fatal("success should close the circuit")
+	}
+}
+
+func TestCircuitBreakerSkipsDeadRelays(t *testing.T) {
+	dead := &fakeEndpoint{name: "dead", headerErrs: 1 << 30}
+	s := faultSidecar(dead)
+	s.Breaker = NewBreaker(2, time.Hour)
+	at := time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC)
+
+	// Two failing slots open the circuit.
+	for i := 0; i < 2; i++ {
+		if _, err := s.CollectBids(at, 1); !errors.Is(err, ErrNoBids) {
+			t.Fatalf("err = %v, want ErrNoBids", err)
+		}
+	}
+	calls := dead.headerCalls
+	// Circuit open: further slots skip the relay entirely and the proposer
+	// is told there are no bids — run.go falls back to local building.
+	if _, err := s.CollectBids(at.Add(time.Minute), 2); !errors.Is(err, ErrNoBids) {
+		t.Fatalf("err = %v, want ErrNoBids", err)
+	}
+	if dead.headerCalls != calls {
+		t.Error("circuit-broken relay was still queried")
+	}
+	if got := s.Stats.Snapshot(); got.CircuitSkips == 0 || got.HeaderErrors != 2 {
+		t.Errorf("stats = %+v, want circuit skips and 2 header errors", got)
+	}
+	// After the cooldown the relay is probed again.
+	if _, err := s.CollectBids(at.Add(2*time.Hour), 3); !errors.Is(err, ErrNoBids) {
+		t.Fatalf("err = %v, want ErrNoBids", err)
+	}
+	if dead.headerCalls != calls+1 {
+		t.Error("cooldown elapsed but relay not probed")
+	}
+}
+
+func TestBreakerRecoversToHealthyRelay(t *testing.T) {
+	bid, block := fakeBid(types.Ether(1))
+	flaky := &fakeEndpoint{name: "flaky", headerErrs: 2, bid: bid, block: block}
+	s := faultSidecar(flaky)
+	s.Breaker = NewBreaker(2, time.Minute)
+	at := time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC)
+
+	for i := 0; i < 2; i++ {
+		if _, err := s.CollectBids(at, 1); !errors.Is(err, ErrNoBids) {
+			t.Fatalf("err = %v, want ErrNoBids", err)
+		}
+	}
+	// Cooldown passes; the probe succeeds and bids flow again.
+	auction, err := s.CollectBids(at.Add(2*time.Minute), 1)
+	if err != nil {
+		t.Fatalf("recovered relay: %v", err)
+	}
+	if auction.Best.Value != bid.Value {
+		t.Error("wrong bid after recovery")
+	}
+}
+
+func TestOutageWindowSkipsRelay(t *testing.T) {
+	bid, block := fakeBid(types.Ether(1))
+	down := &fakeEndpoint{name: "down", down: true, bid: bid, block: block}
+	up := &fakeEndpoint{name: "up", bid: bid, block: block}
+	s := faultSidecar(down, up)
+	at := time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC)
+
+	auction, err := s.CollectBids(at, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if down.headerCalls != 0 {
+		t.Error("relay in outage was queried")
+	}
+	if len(auction.WinnerNames) != 1 || auction.WinnerNames[0] != "up" {
+		t.Errorf("winners = %v", auction.WinnerNames)
+	}
+	if got := s.Stats.Snapshot(); got.OutageSkips != 1 {
+		t.Errorf("outage skips = %d, want 1", got.OutageSkips)
+	}
+}
+
+func TestPayloadRetrySecondPassSucceeds(t *testing.T) {
+	bid, block := fakeBid(types.Ether(1))
+	flaky := &fakeEndpoint{name: "flaky", payloadErrs: 1, bid: bid, block: block}
+	s := faultSidecar(flaky)
+	at := time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC)
+
+	prop, err := s.Propose(at, 1)
+	if err != nil {
+		t.Fatalf("Propose: %v", err)
+	}
+	if prop.Block.Hash() != block.Hash() {
+		t.Error("wrong block after payload retry")
+	}
+	got := s.Stats.Snapshot()
+	if got.PayloadRetries != 1 || got.PayloadErrors != 1 {
+		t.Errorf("stats = %+v, want 1 retry and 1 payload error", got)
+	}
+}
+
+func TestPayloadRetryExhausted(t *testing.T) {
+	bid, block := fakeBid(types.Ether(1))
+	dead := &fakeEndpoint{name: "dead", payloadErrs: 1 << 30, bid: bid, block: block}
+	s := faultSidecar(dead)
+	s.PayloadAttempts = 3
+	at := time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC)
+
+	if _, err := s.Propose(at, 1); err == nil {
+		t.Fatal("exhausted payload retrieval should fail")
+	}
+	got := s.Stats.Snapshot()
+	if got.PayloadRetries != 2 || got.PayloadErrors != 3 {
+		t.Errorf("stats = %+v, want 2 retries and 3 payload errors", got)
+	}
+}
+
+func TestHeaderBudgetSkipsTail(t *testing.T) {
+	bid, block := fakeBid(types.Ether(1))
+	now := time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC)
+	// Each queried relay costs 400ms of the 300ms budget, so the first
+	// call alone exhausts it and the remaining relays are skipped.
+	slow := func() { now = now.Add(400 * time.Millisecond) }
+	first := &fakeEndpoint{name: "first", bid: bid, block: block, onHeader: slow}
+	second := &fakeEndpoint{name: "second", bid: bid, block: block, onHeader: slow}
+	third := &fakeEndpoint{name: "third", bid: bid, block: block, onHeader: slow}
+	s := faultSidecar(first, second, third)
+	s.HeaderBudget = 300 * time.Millisecond
+	s.Clock = func() time.Time { return now }
+
+	auction, err := s.CollectBids(now, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auction.Best == nil || first.headerCalls != 1 {
+		t.Fatal("first relay should have answered")
+	}
+	if second.headerCalls != 0 || third.headerCalls != 0 {
+		t.Error("relays beyond the budget were queried")
+	}
+	if got := s.Stats.Snapshot(); got.BudgetSkips != 2 {
+		t.Errorf("budget skips = %d, want 2", got.BudgetSkips)
+	}
+}

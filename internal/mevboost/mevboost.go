@@ -5,11 +5,19 @@
 // relay produces a usable bid (or the payload fails validation, as in the
 // 2022-11-10 timestamp incident), the proposer falls back to local block
 // production.
+//
+// The sidecar degrades gracefully when relays misbehave: declared outages
+// are skipped, repeatedly-failing relays are circuit-broken for a cooldown,
+// the per-slot header collection respects a wall-clock budget, and payload
+// retrieval retries every winning relay before giving up. All of it is
+// counted in Stats so simulations can surface how often PBS survived on its
+// fallbacks.
 package mevboost
 
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/ethpbs/pbslab/internal/crypto"
@@ -27,15 +35,28 @@ type Endpoint interface {
 	RegisterValidator(reg pbs.Registration)
 }
 
+// Availability is an optional Endpoint extension: relays with declared
+// outage windows report themselves down, and the sidecar skips them
+// without burning a request (or a circuit-breaker failure).
+type Availability interface {
+	Available(at time.Time) bool
+}
+
 // Direct adapts an in-process relay.
 type Direct struct{ R *relay.Relay }
 
 // RelayName implements Endpoint.
 func (d Direct) RelayName() string { return d.R.Name }
 
-// GetHeader implements Endpoint.
+// GetHeader implements Endpoint. A relay with no bid for the slot is a
+// normal auction outcome, not a fault: it maps to a nil bid so the
+// sidecar's circuit breaker only sees real failures.
 func (d Direct) GetHeader(slot uint64, proposer types.PubKey) (*pbs.Bid, error) {
-	return d.R.GetHeader(slot, proposer)
+	bid, err := d.R.GetHeader(slot, proposer)
+	if errors.Is(err, relay.ErrNoBid) {
+		return nil, nil
+	}
+	return bid, err
 }
 
 // GetPayload implements Endpoint.
@@ -48,6 +69,129 @@ func (d Direct) RegisterValidator(reg pbs.Registration) { d.R.RegisterValidator(
 
 // ErrNoBids is returned when no connected relay can serve a header.
 var ErrNoBids = errors.New("mevboost: no bids available")
+
+// Breaker is a per-relay circuit breaker. After Threshold consecutive
+// failures a relay is skipped until Cooldown elapses; the first success
+// after the cooldown probe closes the circuit again. One Breaker is meant
+// to be shared across every sidecar instance of a run (sidecars are cheap
+// per-slot objects; the failure memory must not be).
+type Breaker struct {
+	// Threshold is how many consecutive failures open the circuit.
+	Threshold int
+	// Cooldown is how long an open circuit rejects the relay.
+	Cooldown time.Duration
+
+	mu     sync.Mutex
+	states map[string]*breakerState
+}
+
+type breakerState struct {
+	fails     int
+	openUntil time.Time
+}
+
+// NewBreaker builds a breaker.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	return &Breaker{Threshold: threshold, Cooldown: cooldown}
+}
+
+// Allow reports whether the relay may be queried at the given time. A nil
+// breaker allows everything. An open circuit whose cooldown has elapsed
+// allows a single probe; the probe's outcome re-opens or closes it.
+func (b *Breaker) Allow(relayName string, at time.Time) bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st, ok := b.states[relayName]
+	if !ok || st.fails < b.Threshold {
+		return true
+	}
+	return !at.Before(st.openUntil)
+}
+
+// Failure records a failed call; at Threshold consecutive failures the
+// circuit opens for Cooldown.
+func (b *Breaker) Failure(relayName string, at time.Time) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.states == nil {
+		b.states = map[string]*breakerState{}
+	}
+	st := b.states[relayName]
+	if st == nil {
+		st = &breakerState{}
+		b.states[relayName] = st
+	}
+	st.fails++
+	if st.fails >= b.Threshold {
+		st.openUntil = at.Add(b.Cooldown)
+	}
+}
+
+// Success closes the relay's circuit.
+func (b *Breaker) Success(relayName string) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if st, ok := b.states[relayName]; ok {
+		st.fails = 0
+	}
+}
+
+// Open reports whether the relay's circuit is currently open.
+func (b *Breaker) Open(relayName string, at time.Time) bool {
+	return !b.Allow(relayName, at)
+}
+
+// StatsSnapshot is a point-in-time copy of the sidecar fault counters.
+type StatsSnapshot struct {
+	// HeaderErrors counts failed GetHeader calls; PayloadErrors counts
+	// failed GetPayload calls.
+	HeaderErrors  int
+	PayloadErrors int
+	// PayloadRetries counts extra passes over the winning relays after the
+	// first pass returned no payload.
+	PayloadRetries int
+	// CircuitSkips counts relays skipped on an open circuit, OutageSkips
+	// relays skipped in a declared outage window, BudgetSkips relays never
+	// queried because the per-slot header budget ran out.
+	CircuitSkips int
+	OutageSkips  int
+	BudgetSkips  int
+}
+
+// Stats accumulates sidecar fault counters; share one instance across the
+// per-slot sidecars of a run. All methods are safe on a nil receiver.
+type Stats struct {
+	mu sync.Mutex
+	v  StatsSnapshot
+}
+
+func (s *Stats) add(f func(*StatsSnapshot)) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f(&s.v)
+}
+
+// Snapshot copies the counters.
+func (s *Stats) Snapshot() StatsSnapshot {
+	if s == nil {
+		return StatsSnapshot{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.v
+}
 
 // Sidecar is one validator's MEV-Boost instance.
 type Sidecar struct {
@@ -62,11 +206,35 @@ type Sidecar struct {
 	// the paper's ~5% of blocks claimed by more than one relay. The draw is
 	// deterministic per block hash.
 	RedundancyProb float64
+	// Breaker, when set, skips circuit-broken relays. Share one across
+	// slots.
+	Breaker *Breaker
+	// Stats, when set, accumulates fault counters. Share one across slots.
+	Stats *Stats
+	// HeaderBudget bounds the wall-clock time spent collecting headers per
+	// slot; relays beyond the budget are skipped (0 = unbounded). Real
+	// sidecars must commit well before the slot's attestation deadline.
+	HeaderBudget time.Duration
+	// PayloadAttempts is how many passes over the winning relays payload
+	// retrieval makes before giving up (default 2).
+	PayloadAttempts int
+	// Clock supplies wall time for the header budget; defaults to
+	// time.Now. The simulator's virtual `at` time is not used here because
+	// in-process calls are instant — the budget exists for real HTTP
+	// relays.
+	Clock func() time.Time
 }
 
 // New creates a sidecar for a validator key.
 func New(key *crypto.Key, feeRecipient types.Address, relays []Endpoint) *Sidecar {
 	return &Sidecar{Key: key, FeeRecipient: feeRecipient, Relays: relays}
+}
+
+func (s *Sidecar) now() time.Time {
+	if s.Clock != nil {
+		return s.Clock()
+	}
+	return time.Now()
 }
 
 // Register subscribes the validator to all configured relays.
@@ -79,6 +247,9 @@ func (s *Sidecar) Register(at time.Time) {
 		Timestamp:    at,
 	}
 	for _, r := range s.Relays {
+		if av, ok := r.(Availability); ok && !av.Available(at) {
+			continue
+		}
 		r.RegisterValidator(reg)
 	}
 }
@@ -95,11 +266,36 @@ type Auction struct {
 
 // CollectBids queries every relay for the slot and selects the best bid by
 // claimed value (ties broken by configuration order, as MEV-Boost does).
-func (s *Sidecar) CollectBids(slot uint64) (*Auction, error) {
+// Relays in a declared outage or with an open circuit are skipped, and the
+// collection stops early once the header budget is exhausted.
+func (s *Sidecar) CollectBids(at time.Time, slot uint64) (*Auction, error) {
 	var auction Auction
-	for _, r := range s.Relays {
+	var deadline time.Time
+	if s.HeaderBudget > 0 {
+		deadline = s.now().Add(s.HeaderBudget)
+	}
+	for i, r := range s.Relays {
+		if !deadline.IsZero() && s.now().After(deadline) {
+			s.Stats.add(func(v *StatsSnapshot) { v.BudgetSkips += len(s.Relays) - i })
+			break
+		}
+		if av, ok := r.(Availability); ok && !av.Available(at) {
+			s.Stats.add(func(v *StatsSnapshot) { v.OutageSkips++ })
+			continue
+		}
+		name := r.RelayName()
+		if !s.Breaker.Allow(name, at) {
+			s.Stats.add(func(v *StatsSnapshot) { v.CircuitSkips++ })
+			continue
+		}
 		bid, err := r.GetHeader(slot, s.Key.Pub())
-		if err != nil || bid == nil {
+		if err != nil {
+			s.Stats.add(func(v *StatsSnapshot) { v.HeaderErrors++ })
+			s.Breaker.Failure(name, at)
+			continue
+		}
+		s.Breaker.Success(name)
+		if bid == nil {
 			continue
 		}
 		if !s.MinBid.IsZero() && bid.Value.Lt(s.MinBid) {
@@ -110,10 +306,10 @@ func (s *Sidecar) CollectBids(slot uint64) (*Auction, error) {
 			auction.Winners = auction.Winners[:0]
 			auction.WinnerNames = auction.WinnerNames[:0]
 			auction.Winners = append(auction.Winners, r)
-			auction.WinnerNames = append(auction.WinnerNames, r.RelayName())
+			auction.WinnerNames = append(auction.WinnerNames, name)
 		} else if bid.BlockHash == auction.Best.BlockHash {
 			auction.Winners = append(auction.Winners, r)
-			auction.WinnerNames = append(auction.WinnerNames, r.RelayName())
+			auction.WinnerNames = append(auction.WinnerNames, name)
 		}
 	}
 	if auction.Best == nil {
@@ -134,9 +330,9 @@ type Proposal struct {
 }
 
 // Propose runs the full blinded flow for the slot: best bid, signed header,
-// payload retrieval.
+// payload retrieval with retry against every winning relay.
 func (s *Sidecar) Propose(at time.Time, slot uint64) (*Proposal, error) {
-	auction, err := s.CollectBids(slot)
+	auction, err := s.CollectBids(at, slot)
 	if err != nil {
 		return nil, err
 	}
@@ -155,16 +351,29 @@ func (s *Sidecar) Propose(at time.Time, slot uint64) (*Proposal, error) {
 		winners = winners[:1]
 		names = names[:1]
 	}
+	attempts := s.PayloadAttempts
+	if attempts <= 0 {
+		attempts = 2
+	}
 	var block *types.Block
 	var lastErr error
-	for _, r := range winners {
-		b, err := r.GetPayload(at, signed)
-		if err != nil {
-			lastErr = err
-			continue
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			s.Stats.add(func(v *StatsSnapshot) { v.PayloadRetries++ })
 		}
-		if block == nil {
-			block = b
+		for _, r := range winners {
+			b, err := r.GetPayload(at, signed)
+			if err != nil {
+				lastErr = err
+				s.Stats.add(func(v *StatsSnapshot) { v.PayloadErrors++ })
+				continue
+			}
+			if block == nil {
+				block = b
+			}
+		}
+		if block != nil {
+			break
 		}
 	}
 	if block == nil {

@@ -94,7 +94,7 @@ func TestBestBidAcrossRelays(t *testing.T) {
 	e.submit(t, e.relayA, 10)
 	big := e.submit(t, e.relayB, 90)
 
-	auction, err := e.sidecar.CollectBids(e.slotUsed)
+	auction, err := e.sidecar.CollectBids(e.now, e.slotUsed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +126,7 @@ func TestMultiRelaySameBlockAttribution(t *testing.T) {
 	if err := e.relayB.SubmitBlock(e.now, sub); err != nil {
 		t.Fatal(err)
 	}
-	auction, err := e.sidecar.CollectBids(e.slotUsed)
+	auction, err := e.sidecar.CollectBids(e.now, e.slotUsed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +169,7 @@ func TestMinBidFiltersDust(t *testing.T) {
 	e := newEnv(t)
 	e.submit(t, e.relayA, 1) // tiny tip -> tiny payment
 	e.sidecar.MinBid = types.Ether(1)
-	if _, err := e.sidecar.CollectBids(e.slotUsed); !errors.Is(err, ErrNoBids) {
+	if _, err := e.sidecar.CollectBids(e.now, e.slotUsed); !errors.Is(err, ErrNoBids) {
 		t.Errorf("dust bid not filtered: %v", err)
 	}
 }

@@ -1,0 +1,322 @@
+package relayapi
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/ethpbs/pbslab/internal/crypto"
+	"github.com/ethpbs/pbslab/internal/pbs"
+	"github.com/ethpbs/pbslab/internal/types"
+)
+
+// syntheticTraces builds n distinct bid traces across n slots.
+func syntheticTraces(n int) []pbs.BidTrace {
+	out := make([]pbs.BidTrace, n)
+	for i := 0; i < n; i++ {
+		out[i] = pbs.BidTrace{
+			Slot:      uint64(1000 + i),
+			BlockHash: crypto.Keccak256([]byte("trace/" + strconv.Itoa(i))),
+			Value:     types.Ether(float64(i) + 1),
+		}
+	}
+	return out
+}
+
+// traceServer serves paginated bidtraces on both data endpoints, letting
+// tests script per-request faults. fault returns the action for the 1-based
+// request ordinal: 0 = serve normally, -1 = drop the connection, otherwise
+// an HTTP status to answer with.
+type traceServer struct {
+	traces []pbs.BidTrace
+	fault  func(req int) int
+	// retryAfter is attached to 429 responses.
+	retryAfter string
+
+	mu   sync.Mutex
+	reqs int
+	srv  *httptest.Server
+}
+
+func newTraceServer(t *testing.T, traces []pbs.BidTrace, fault func(req int) int) *traceServer {
+	t.Helper()
+	ts := &traceServer{traces: traces, fault: fault}
+	ts.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ts.mu.Lock()
+		ts.reqs++
+		req := ts.reqs
+		ts.mu.Unlock()
+		if ts.fault != nil {
+			switch act := ts.fault(req); {
+			case act == -1:
+				panic(http.ErrAbortHandler)
+			case act != 0:
+				if act == http.StatusTooManyRequests && ts.retryAfter != "" {
+					w.Header().Set("Retry-After", ts.retryAfter)
+				}
+				http.Error(w, http.StatusText(act), act)
+				return
+			}
+		}
+		limit, cursor, err := pageParams(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		writeJSON(w, pageTraces(ts.traces, limit, cursor))
+	}))
+	t.Cleanup(ts.srv.Close)
+	return ts
+}
+
+func (ts *traceServer) requests() int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.reqs
+}
+
+// fastClient builds a client whose backoff sleeps are recorded, not slept.
+// Keep-alives are off so severed connections surface as errors instead of
+// being absorbed by the transport's transparent retry on reused conns.
+func fastClient(name, url string, sleeps *[]time.Duration) *Client {
+	c := NewClient(name, url)
+	c.HTTP = &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	c.Sleep = func(d time.Duration) {
+		if sleeps != nil {
+			*sleeps = append(*sleeps, d)
+		}
+	}
+	return c
+}
+
+func TestRetryOn5xx(t *testing.T) {
+	ts := newTraceServer(t, syntheticTraces(4), func(req int) int {
+		if req <= 2 {
+			return http.StatusServiceUnavailable
+		}
+		return 0
+	})
+	var sleeps []time.Duration
+	c := fastClient("flaky", ts.srv.URL, &sleeps)
+
+	got, err := c.DeliveredPage(bg, ^uint64(0), 10)
+	if err != nil {
+		t.Fatalf("DeliveredPage: %v", err)
+	}
+	if len(got) != 4 {
+		t.Errorf("traces = %d, want 4", len(got))
+	}
+	if c.Retries() != 2 {
+		t.Errorf("retries = %d, want 2", c.Retries())
+	}
+	if len(sleeps) != 2 {
+		t.Fatalf("backoff sleeps = %d, want 2", len(sleeps))
+	}
+	// Exponential shape with jitter in [0.5, 1): the second wait's range
+	// floor is the first wait's ceiling.
+	if sleeps[0] < 25*time.Millisecond || sleeps[0] >= 50*time.Millisecond {
+		t.Errorf("first backoff %v outside [25ms, 50ms)", sleeps[0])
+	}
+	if sleeps[1] < 50*time.Millisecond || sleeps[1] >= 100*time.Millisecond {
+		t.Errorf("second backoff %v outside [50ms, 100ms)", sleeps[1])
+	}
+}
+
+func TestRetryOn429HonoursRetryAfter(t *testing.T) {
+	ts := newTraceServer(t, syntheticTraces(2), func(req int) int {
+		if req == 1 {
+			return http.StatusTooManyRequests
+		}
+		return 0
+	})
+	ts.retryAfter = "2"
+	var sleeps []time.Duration
+	c := fastClient("limited", ts.srv.URL, &sleeps)
+
+	if _, err := c.DeliveredPage(bg, ^uint64(0), 10); err != nil {
+		t.Fatalf("DeliveredPage: %v", err)
+	}
+	if c.Retries() != 1 {
+		t.Errorf("retries = %d, want 1", c.Retries())
+	}
+	if len(sleeps) != 1 || sleeps[0] < 2*time.Second {
+		t.Errorf("sleeps = %v, want one wait >= Retry-After (2s)", sleeps)
+	}
+}
+
+func TestRetryExhausted(t *testing.T) {
+	ts := newTraceServer(t, nil, func(req int) int { return http.StatusServiceUnavailable })
+	c := fastClient("dead", ts.srv.URL, nil)
+	c.Retry.MaxAttempts = 3
+
+	_, err := c.DeliveredPage(bg, ^uint64(0), 10)
+	if err == nil {
+		t.Fatal("permanently failing relay should error")
+	}
+	if ts.requests() != 3 {
+		t.Errorf("requests = %d, want 3 attempts", ts.requests())
+	}
+}
+
+func TestNonJSONContentTypeRejected(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		_, _ = w.Write([]byte("<html>not a data api</html>"))
+	}))
+	defer srv.Close()
+	c := fastClient("html", srv.URL, nil)
+
+	_, err := c.DeliveredPage(bg, ^uint64(0), 10)
+	if !errors.Is(err, ErrBadContentType) {
+		t.Fatalf("err = %v, want ErrBadContentType", err)
+	}
+	if c.Retries() != 0 {
+		t.Error("content-type rejection is final, not retryable")
+	}
+}
+
+func TestBodyLimitStopsHugeResponses(t *testing.T) {
+	ts := newTraceServer(t, syntheticTraces(50), nil)
+	c := fastClient("huge", ts.srv.URL, nil)
+	c.MaxBodyBytes = 64 // far below one page of traces
+	c.Retry.MaxAttempts = 2
+
+	if _, err := c.DeliveredPage(bg, ^uint64(0), 50); err == nil {
+		t.Fatal("oversized body should fail decoding under the limit")
+	}
+	if ts.requests() != 2 {
+		t.Errorf("requests = %d, want the limit hit to be retried once", ts.requests())
+	}
+}
+
+func TestCrawlResumeAfterDrop(t *testing.T) {
+	traces := syntheticTraces(10)
+	// The third page request has its connection severed.
+	ts := newTraceServer(t, traces, func(req int) int {
+		if req == 3 {
+			return -1
+		}
+		return 0
+	})
+	c := fastClient("dropper", ts.srv.URL, nil)
+	c.Retry.MaxAttempts = 1 // surface the drop instead of absorbing it
+
+	st := NewCrawlState()
+	err := c.ResumeDelivered(bg, 3, st)
+	if err == nil {
+		t.Fatal("dropped connection should surface")
+	}
+	if st.Done || len(st.Traces) == 0 {
+		t.Fatalf("checkpoint should hold a partial harvest, got %d traces done=%v", len(st.Traces), st.Done)
+	}
+	partial := len(st.Traces)
+
+	// Resuming completes the crawl without refetching from the top.
+	if err := c.ResumeDelivered(bg, 3, st); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if !st.Done || len(st.Traces) != len(traces) {
+		t.Fatalf("resumed harvest = %d traces, want %d", len(st.Traces), len(traces))
+	}
+	if partial >= len(traces) {
+		t.Error("first pass should have been partial")
+	}
+	seen := map[uint64]bool{}
+	for _, tr := range st.Traces {
+		if seen[tr.Slot] {
+			t.Fatal("duplicate slot after resume")
+		}
+		seen[tr.Slot] = true
+	}
+}
+
+func TestCrawlerResumesFlakyRelay(t *testing.T) {
+	traces := syntheticTraces(9)
+	ts := newTraceServer(t, traces, func(req int) int {
+		if req == 2 || req == 7 {
+			return -1
+		}
+		return 0
+	})
+	c := fastClient("flaky", ts.srv.URL, nil)
+	c.Retry.MaxAttempts = 1
+
+	cr := &Crawler{Clients: []*Client{c}, PageSize: 3, Resumes: 3}
+	harvests := cr.Run(bg)
+	h := harvests[0]
+	if h.Err != nil || h.Partial {
+		t.Fatalf("harvest should complete after resumes: %v", h.Err)
+	}
+	if len(h.Delivered) != len(traces) || len(h.Received) != len(traces) {
+		t.Errorf("harvest = %d/%d, want %d/%d", len(h.Delivered), len(h.Received), len(traces), len(traces))
+	}
+	if h.Resumes == 0 {
+		t.Error("resume counter should be nonzero")
+	}
+}
+
+func TestCrawlStallWatchdog(t *testing.T) {
+	// A misbehaving relay that re-serves the same full page whatever the
+	// cursor says: without the watchdog this loops forever.
+	page := syntheticTraces(3)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, pageTraces(page, 3, ^uint64(0)))
+	}))
+	defer srv.Close()
+	c := fastClient("stuck", srv.URL, nil)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.CrawlDelivered(bg, 3)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrCrawlStalled) {
+			t.Fatalf("err = %v, want ErrCrawlStalled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("crawl did not terminate: unbounded loop")
+	}
+}
+
+func TestCrawlPageCap(t *testing.T) {
+	ts := newTraceServer(t, syntheticTraces(40), nil)
+	c := fastClient("capped", ts.srv.URL, nil)
+	c.MaxPages = 2
+
+	_, err := c.CrawlDelivered(bg, 3)
+	if !errors.Is(err, ErrTooManyPages) {
+		t.Fatalf("err = %v, want ErrTooManyPages", err)
+	}
+}
+
+func TestCrawlerPartialHarvestOnPersistentFailure(t *testing.T) {
+	traces := syntheticTraces(10)
+	// Everything from the third request on is severed: retries and resumes
+	// are exhausted and the harvest comes back partial.
+	ts := newTraceServer(t, traces, func(req int) int {
+		if req >= 3 {
+			return -1
+		}
+		return 0
+	})
+	c := fastClient("dying", ts.srv.URL, nil)
+	c.Retry.MaxAttempts = 2
+
+	cr := &Crawler{Clients: []*Client{c}, PageSize: 3, Resumes: 2}
+	h := cr.Run(bg)[0]
+	if h.Err == nil || !h.Partial {
+		t.Fatal("persistently failing relay should yield a partial harvest with error detail")
+	}
+	if len(h.Delivered) == 0 {
+		t.Error("partial harvest should keep what was fetched before the failure")
+	}
+	if h.Retries == 0 || h.Resumes == 0 {
+		t.Errorf("retries = %d resumes = %d, want both nonzero", h.Retries, h.Resumes)
+	}
+}

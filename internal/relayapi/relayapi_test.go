@@ -1,6 +1,7 @@
 package relayapi
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -18,6 +19,8 @@ import (
 	"github.com/ethpbs/pbslab/internal/state"
 	"github.com/ethpbs/pbslab/internal/types"
 )
+
+var bg = context.Background()
 
 var (
 	alice       = crypto.AddressFromSeed("alice")
@@ -64,7 +67,7 @@ func newEnv(t *testing.T) *env {
 
 func (e *env) registerValidator(t *testing.T) {
 	t.Helper()
-	err := e.client.RegisterValidators([]pbs.Registration{{
+	err := e.client.RegisterValidators(bg, []pbs.Registration{{
 		Pubkey:       e.valKey.Pub(),
 		FeeRecipient: proposerFee,
 		GasLimit:     30_000_000,
@@ -126,12 +129,12 @@ func TestHTTPFullFlow(t *testing.T) {
 	e.registerValidator(t)
 	sub := e.submission(t, 50, chain.MergeSlot+1)
 
-	if err := e.client.SubmitBlock(sub); err != nil {
+	if err := e.client.SubmitBlock(bg, sub); err != nil {
 		t.Fatalf("SubmitBlock over HTTP: %v", err)
 	}
 
 	parent := e.chain.Head().Block.Hash()
-	bid, ok, err := e.client.GetHeader(chain.MergeSlot+1, parent, e.valKey.Pub())
+	bid, ok, err := e.client.GetHeader(bg, chain.MergeSlot+1, parent, e.valKey.Pub())
 	if err != nil || !ok {
 		t.Fatalf("GetHeader: ok=%v err=%v", ok, err)
 	}
@@ -144,7 +147,7 @@ func TestHTTPFullFlow(t *testing.T) {
 		ProposerPubkey: e.valKey.Pub(),
 		Signature:      pbs.SignBlindedHeader(e.valKey, bid.Slot, bid.BlockHash),
 	}
-	block, err := e.client.GetPayload(signed)
+	block, err := e.client.GetPayload(bg, signed)
 	if err != nil {
 		t.Fatalf("GetPayload: %v", err)
 	}
@@ -160,7 +163,7 @@ func TestHTTPFullFlow(t *testing.T) {
 func TestHTTPNoBid(t *testing.T) {
 	e := newEnv(t)
 	e.registerValidator(t)
-	_, ok, err := e.client.GetHeader(12345, crypto.Keccak256([]byte("x")), e.valKey.Pub())
+	_, ok, err := e.client.GetHeader(bg, 12345, crypto.Keccak256([]byte("x")), e.valKey.Pub())
 	if err != nil || ok {
 		t.Errorf("expected empty bid, got ok=%v err=%v", ok, err)
 	}
@@ -171,7 +174,7 @@ func TestHTTPSubmitRejection(t *testing.T) {
 	e.registerValidator(t)
 	sub := e.submission(t, 50, chain.MergeSlot+1)
 	sub.Trace.Value = sub.Trace.Value.Add(types.Ether(5)) // break the signature
-	if err := e.client.SubmitBlock(sub); err == nil {
+	if err := e.client.SubmitBlock(bg, sub); err == nil {
 		t.Error("tampered submission accepted over HTTP")
 	}
 }
@@ -185,14 +188,14 @@ func TestDataAPIPagination(t *testing.T) {
 	const slots = 7
 	for i := uint64(1); i <= slots; i++ {
 		sub := e.submission(t, 50, chain.MergeSlot+i)
-		if err := e.client.SubmitBlock(sub); err != nil {
+		if err := e.client.SubmitBlock(bg, sub); err != nil {
 			t.Fatalf("slot %d: %v", i, err)
 		}
 		if _, err := e.chain.Accept(sub.Block); err != nil {
 			t.Fatalf("accept %d: %v", i, err)
 		}
 		// Record a delivery for the data API.
-		bid, ok, err := e.client.GetHeader(chain.MergeSlot+i, sub.Block.Header.ParentHash, e.valKey.Pub())
+		bid, ok, err := e.client.GetHeader(bg, chain.MergeSlot+i, sub.Block.Header.ParentHash, e.valKey.Pub())
 		if err != nil || !ok {
 			t.Fatalf("GetHeader %d: %v", i, err)
 		}
@@ -201,13 +204,13 @@ func TestDataAPIPagination(t *testing.T) {
 			ProposerPubkey: e.valKey.Pub(),
 			Signature:      pbs.SignBlindedHeader(e.valKey, bid.Slot, bid.BlockHash),
 		}
-		if _, err := e.client.GetPayload(signed); err != nil {
+		if _, err := e.client.GetPayload(bg, signed); err != nil {
 			t.Fatalf("GetPayload %d: %v", i, err)
 		}
 	}
 
 	// Crawl with a page size smaller than the record count.
-	got, err := e.client.CrawlDelivered(3)
+	got, err := e.client.CrawlDelivered(bg, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +226,7 @@ func TestDataAPIPagination(t *testing.T) {
 		seen[tr.Slot] = true
 	}
 
-	rec, err := e.client.CrawlReceived(3)
+	rec, err := e.client.CrawlReceived(bg, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +235,7 @@ func TestDataAPIPagination(t *testing.T) {
 	}
 
 	// Single-slot filter on the received endpoint.
-	page, err := e.client.ReceivedPage(chain.MergeSlot+3, 10)
+	page, err := e.client.ReceivedPage(bg, chain.MergeSlot+3, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,14 +248,14 @@ func TestCrawlerMultiRelay(t *testing.T) {
 	e1 := newEnv(t)
 	e1.registerValidator(t)
 	sub := e1.submission(t, 50, chain.MergeSlot+1)
-	if err := e1.client.SubmitBlock(sub); err != nil {
+	if err := e1.client.SubmitBlock(bg, sub); err != nil {
 		t.Fatal(err)
 	}
 
 	e2 := newEnv(t) // independent relay with no data
 
 	cr := &Crawler{Clients: []*Client{e1.client, e2.client}, PageSize: 10}
-	harvests := cr.Run()
+	harvests := cr.Run(bg)
 	if len(harvests) != 2 {
 		t.Fatalf("harvests = %d", len(harvests))
 	}
@@ -298,7 +301,7 @@ func TestDecodeErrors(t *testing.T) {
 func TestValidatorsEndpoint(t *testing.T) {
 	e := newEnv(t)
 	e.registerValidator(t)
-	regs, err := e.client.Validators()
+	regs, err := e.client.Validators(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -395,12 +398,12 @@ func TestRelayNameHeader(t *testing.T) {
 }
 
 func TestClientDefaultHTTP(t *testing.T) {
-	c := &Client{Name: "x", BaseURL: "http://127.0.0.1:1"}
+	c := &Client{Name: "x", BaseURL: "http://127.0.0.1:1", Retry: RetryPolicy{MaxAttempts: 1}}
 	if c.httpClient() != http.DefaultClient {
 		t.Error("nil HTTP should fall back to default client")
 	}
 	// And an unreachable endpoint surfaces an error.
-	if _, err := c.DeliveredPage(^uint64(0), 5); err == nil {
+	if _, err := c.DeliveredPage(bg, ^uint64(0), 5); err == nil {
 		t.Error("unreachable endpoint succeeded")
 	}
 }

@@ -147,11 +147,26 @@ func (w *World) generate(ds *demandState, slot uint64, now time.Time, baseFee ty
 
 	// Sanctioned flow: simple transfers from designated addresses.
 	if ds.r.Bool(cfg.SanctionedTxProb) {
-		sender := w.SanctionedUsers[ds.r.Intn(len(w.SanctionedUsers))]
-		maxFee, maxTip, affordable := ds.feeFor(cfg, baseFee)
-		if !affordable {
-			maxFee = baseFee.Mul64(4).Add(maxTip) // moving funds is urgent
+		// Sanctioned flow is dominated by already-designated addresses
+		// (Tornado Cash stayed active long after its August 2022 listing);
+		// future designees contribute the rest, which is what creates the
+		// pre/post-designation contrast around the list updates. Fees follow
+		// the common model: the censorship signal the analysis measures is
+		// filtering delay, not fee urgency.
+		pool := w.SanctionedUsers
+		if ds.r.Bool(0.75) {
+			var designated []types.Address
+			for _, addr := range w.SanctionedUsers {
+				if w.Sanctions.IsSanctioned(addr, now) {
+					designated = append(designated, addr)
+				}
+			}
+			if len(designated) > 0 {
+				pool = designated
+			}
 		}
+		sender := pool[ds.r.Intn(len(pool))]
+		maxFee, maxTip, _ := ds.feeFor(cfg, baseFee)
 		nonce := ds.nextNonce(st, sender)
 		tx := types.NewTransaction(nonce, sender, w.Users[ds.r.Intn(len(w.Users))],
 			types.Ether(0.2+ds.r.Float64()), 21_000, maxFee, maxTip, nil)

@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestAllRelaysDownForcesLocalFallback blacks out every relay for the whole
+// window: every PBS attempt must degrade gracefully to local building, with
+// the failure classified as "no bids" and the outage skips surfaced.
+func TestAllRelaysDownForcesLocalFallback(t *testing.T) {
+	sc := DefaultScenario()
+	sc.End = sc.Start.Add(2 * 24 * time.Hour)
+	window := Window{From: sc.Start.Add(-time.Hour), To: sc.End.Add(time.Hour)}
+	for _, name := range relayNames() {
+		sc.RelayOutages = append(sc.RelayOutages, RelayOutage{Relay: name, Window: window})
+	}
+
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := res.Truth
+	for num, pbs := range truth.PBS {
+		if pbs {
+			t.Fatalf("block %d went through a relay during a total outage", num)
+		}
+	}
+	if truth.Fallbacks == 0 {
+		t.Fatal("no fallbacks recorded despite total relay outage")
+	}
+	if truth.FallbackNoBids != truth.Fallbacks {
+		t.Errorf("fallbacks = %d but no-bids = %d; total outage should classify every fallback as no-bids",
+			truth.Fallbacks, truth.FallbackNoBids)
+	}
+	if truth.Boost.OutageSkips == 0 {
+		t.Error("outage skips not surfaced in ground truth")
+	}
+}
+
+// TestSingleRelayOutageDegradesGracefully takes one relay down; proposers
+// multi-home, so PBS keeps working through the others.
+func TestSingleRelayOutageDegradesGracefully(t *testing.T) {
+	sc := DefaultScenario()
+	sc.End = sc.Start.Add(2 * 24 * time.Hour)
+	sc.RelayOutages = []RelayOutage{
+		{Relay: "Flashbots", Window: Window{From: sc.Start.Add(-time.Hour), To: sc.End.Add(time.Hour)}},
+	}
+
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := res.Truth
+	pbsBlocks := 0
+	for _, pbs := range truth.PBS {
+		if pbs {
+			pbsBlocks++
+		}
+	}
+	if pbsBlocks == 0 {
+		t.Error("losing one relay should not kill PBS: proposers multi-home")
+	}
+	if truth.Boost.OutageSkips == 0 {
+		t.Error("sidecars should have skipped the dead relay")
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"github.com/ethpbs/pbslab/internal/mempool"
 	"github.com/ethpbs/pbslab/internal/mevboost"
 	"github.com/ethpbs/pbslab/internal/p2p"
+	"github.com/ethpbs/pbslab/internal/pbs"
 	"github.com/ethpbs/pbslab/internal/relay"
 	"github.com/ethpbs/pbslab/internal/searcher"
 	"github.com/ethpbs/pbslab/internal/state"
@@ -33,8 +35,20 @@ type GroundTruth struct {
 	Promised map[uint64]types.Wei
 	// Fallbacks counts PBS attempts that fell back to local building.
 	Fallbacks int
+	// FallbackNoBids counts fallbacks where no relay produced a bid
+	// (outages, circuit-broken relays, or genuinely empty auctions).
+	FallbackNoBids int
+	// FallbackPayload counts fallbacks where a bid won but every payload
+	// fetch failed.
+	FallbackPayload int
+	// FallbackCommit counts post-commitment failures (the LocalFallbackProb
+	// draw: the 2022-11-10 timestamp-bug class).
+	FallbackCommit int
 	// MissedSlots counts slots with no block.
 	MissedSlots int
+	// Boost aggregates the MEV-Boost degradation counters across every
+	// sidecar of the run.
+	Boost mevboost.StatsSnapshot
 }
 
 // Result is a finished simulation.
@@ -98,6 +112,10 @@ func Run(sc Scenario) (*Result, error) {
 	}
 	arrivals := map[types.Hash]p2p.Observation{}
 	relayChoices := map[string][]string{} // operator+era -> relay names
+	// The breaker and boost stats outlive the per-slot sidecars: failure
+	// memory has to persist across slots for circuits to ever open.
+	boostStats := &mevboost.Stats{}
+	breaker := mevboost.NewBreaker(3, 10*time.Minute)
 	slotRng := w.R.Fork("slots")
 	localRng := w.R.Fork("local-build")
 	flowRng := w.R.Fork("flow")
@@ -179,6 +197,8 @@ func Run(sc Scenario) (*Result, error) {
 			relays := w.relaysFor(op, now, relayChoices)
 			sidecar := mevboost.New(proposer.Key, op.FeeRecipient, relays)
 			sidecar.RedundancyProb = 0.05
+			sidecar.Breaker = breaker
+			sidecar.Stats = boostStats
 			sidecar.Register(now)
 
 			w.runBuilders(now, slot, proposer.Pub(), op.FeeRecipient,
@@ -192,6 +212,14 @@ func Run(sc Scenario) (*Result, error) {
 				truth.BuilderName[newBlock.Number()] = w.builderNameOf(prop.BuilderPubkey)
 			} else {
 				truth.Fallbacks++
+				switch {
+				case err == nil:
+					truth.FallbackCommit++
+				case errors.Is(err, mevboost.ErrNoBids):
+					truth.FallbackNoBids++
+				default:
+					truth.FallbackPayload++
+				}
 			}
 		}
 		if newBlock == nil {
@@ -235,6 +263,7 @@ func Run(sc Scenario) (*Result, error) {
 		}
 	}
 
+	truth.Boost = boostStats.Snapshot()
 	return &Result{
 		Dataset: w.collect(arrivals),
 		Truth:   truth,
@@ -317,10 +346,53 @@ func (w *World) relaysFor(op *validator.Operator, now time.Time, cache map[strin
 	var eps []mevboost.Endpoint
 	for _, n := range names {
 		if r, ok := w.Relays[n]; ok {
-			eps = append(eps, mevboost.Direct{R: r})
+			ep := mevboost.Endpoint(mevboost.Direct{R: r})
+			if windows := w.outageWindows(n); len(windows) > 0 {
+				ep = gatedEndpoint{Endpoint: ep, windows: windows}
+			}
+			eps = append(eps, ep)
 		}
 	}
 	return eps
+}
+
+// outageWindows collects the declared downtime windows for one relay.
+func (w *World) outageWindows(name string) []Window {
+	var out []Window
+	for _, o := range w.Scenario.RelayOutages {
+		if o.Relay == name {
+			out = append(out, o.Window)
+		}
+	}
+	return out
+}
+
+// gatedEndpoint makes a relay unreachable during its declared outages: the
+// sidecar's availability check skips it for headers, and payload fetches
+// against it fail outright (a relay dying between commitment and delivery).
+type gatedEndpoint struct {
+	mevboost.Endpoint
+	windows []Window
+}
+
+// Available implements mevboost.Availability.
+func (g gatedEndpoint) Available(at time.Time) bool {
+	for _, win := range g.windows {
+		if win.From.IsZero() && win.To.IsZero() {
+			continue
+		}
+		if win.Contains(at) {
+			return false
+		}
+	}
+	return true
+}
+
+func (g gatedEndpoint) GetPayload(at time.Time, signed *pbs.SignedBlindedHeader) (*types.Block, error) {
+	if !g.Available(at) {
+		return nil, fmt.Errorf("sim: relay %s: outage", g.Endpoint.RelayName())
+	}
+	return g.Endpoint.GetPayload(at, signed)
 }
 
 // sampleRelays draws k distinct relays by weight.

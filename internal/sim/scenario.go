@@ -181,6 +181,18 @@ type Scenario struct {
 	// whose value check is down (Manifold 2022-10-15, Eden's mispriced
 	// block).
 	Exploits []Exploit
+
+	// RelayOutages declare hard downtime windows per relay. During an
+	// outage the relay is unreachable from MEV-Boost: sidecars skip it for
+	// headers and payload fetches against it fail, exercising the
+	// fallback paths the paper's incident calendar documents.
+	RelayOutages []RelayOutage
+}
+
+// RelayOutage is one relay's downtime window.
+type RelayOutage struct {
+	Relay  string
+	Window Window
 }
 
 // Exploit is one value-misreporting incident.
@@ -265,7 +277,7 @@ func DefaultScenario() Scenario {
 			BorrowFraction:      0.02,
 			SloppySlippageProb:  0.25,
 			PrivateUserFraction: 0.06,
-			SanctionedTxProb:    0.05,
+			SanctionedTxProb:    0.12,
 			OracleEveryNBlocks:  6,
 			VolatilityBoost: Curve{Points: []CurvePoint{
 				{d(2022, 9, 15), 1}, {d(2022, 11, 7), 1}, {d(2022, 11, 9), 3.5},
@@ -292,6 +304,15 @@ func DefaultScenario() Scenario {
 			// (mainnet: block 15,703,347 announced 278.29 ETH, delivering
 			// 0.16 — 93.8% of the promised value delivered overall).
 			{Relay: "Eden", Window: Window{From: d(2022, 10, 8), To: d(2022, 10, 9)}, ClaimETH: 0.05},
+		},
+
+		RelayOutages: []RelayOutage{
+			// Manifold scaled back right after its misreporting incident;
+			// model the aftermath as a short hard outage.
+			{Relay: "Manifold", Window: Window{From: d(2022, 11, 16), To: d(2022, 11, 19)}},
+			// A small relay's week-long disappearance late in the window —
+			// the kind of silent downtime the paper's crawl had to survive.
+			{Relay: "Relayooor", Window: Window{From: d(2023, 2, 10), To: d(2023, 2, 17)}},
 		},
 	}
 }

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check crawl clean
+.PHONY: all build vet test race check crawl bench clean
 
 all: check
 
@@ -18,16 +18,27 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Tier-1 gate: everything must build, vet clean, and pass under the race
-# detector.
+# Tier-1 gate: everything builds and vets clean, the analysis-engine and
+# stats worker pools pass under the race detector, and the full suite
+# (including the golden parallel-vs-sequential byte-identity test) passes.
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
-	$(GO) test -race ./...
+	$(GO) test -race ./internal/core/... ./internal/stats/...
+	$(GO) test ./...
 
 # The fault-injected crawl demo (byte-identical stdout per -seed).
 crawl:
 	$(GO) run ./cmd/relaycrawl
+
+# DESIGN.md §3 benchmark set over the full paper window, recorded as a
+# committed machine-readable baseline. EngineRegenScan vs EngineRegenIndexed
+# yields derived.figure_regen_speedup in BENCH_pr2.json.
+BENCH_OUT ?= BENCH_pr2.json
+bench:
+	mkdir -p out
+	$(GO) test -run '^$$' -bench . -benchtime 3x -timeout 1800s . | tee out/bench_pr2.txt
+	$(GO) run ./cmd/benchjson -o $(BENCH_OUT) out/bench_pr2.txt
 
 clean:
 	$(GO) clean ./...

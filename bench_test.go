@@ -11,6 +11,7 @@
 //
 //	PBSLAB_BENCH_DAYS            window length (default 0 = full window)
 //	PBSLAB_BENCH_BLOCKS_PER_DAY  slot density  (default 6)
+//	PBSLAB_BENCH_SEQUENTIAL      1 = legacy full-scan analysis baseline
 package pbslab_test
 
 import (
@@ -25,6 +26,7 @@ import (
 	"github.com/ethpbs/pbslab/internal/crypto"
 	"github.com/ethpbs/pbslab/internal/epbs"
 	"github.com/ethpbs/pbslab/internal/mev"
+	artifacts "github.com/ethpbs/pbslab/internal/report"
 	"github.com/ethpbs/pbslab/internal/sim"
 	"github.com/ethpbs/pbslab/internal/types"
 )
@@ -58,8 +60,18 @@ func fixture(b *testing.B) (*core.Analysis, *sim.Result) {
 		if fixtureErr != nil {
 			return
 		}
-		fixtureA = core.New(fixtureRes.Dataset,
-			core.WithBuilderLabels(fixtureRes.World.BuilderLabels()))
+		// WithoutMemo: per-figure benchmarks loop b.N times and must
+		// measure the computation, not a cached-result lookup.
+		// PBSLAB_BENCH_SEQUENTIAL=1 pins the legacy full-scan path so the
+		// same suite yields the per-artifact baseline column.
+		opts := []core.Option{
+			core.WithBuilderLabels(fixtureRes.World.BuilderLabels()),
+			core.WithoutMemo(),
+		}
+		if os.Getenv("PBSLAB_BENCH_SEQUENTIAL") == "1" {
+			opts = append(opts, core.WithSequential())
+		}
+		fixtureA = core.New(fixtureRes.Dataset, opts...)
 	})
 	if fixtureErr != nil {
 		b.Fatal(fixtureErr)
@@ -611,4 +623,66 @@ func BenchmarkExtensionInclusionDelay(b *testing.B) {
 	report(b, "regular_mean_s", rep.Regular.Mean)
 	report(b, "sanctioned_mean_s", rep.Sanctioned.Mean)
 	report(b, "ratio", rep.MeanRatio) // > 1: sanctioned txs wait longer
+}
+
+// --- Engine (DESIGN.md §6: parallel single-pass analysis) ---------------
+//
+// The engine splits analysis into a build stage (classify every block, then
+// one fused index pass — EngineIndexBuild) and a render stage (regenerate
+// all 19 artifacts from the built analysis — EngineRegen*). The regen pair
+// compares the render stage only, with construction excluded from the
+// timer in both cases: the legacy path pays a full corpus scan per figure
+// on every render, the indexed path answers from the single-pass index.
+// The golden test guarantees both produce byte-identical artifacts;
+// derived.figure_regen_speedup in BENCH_pr2.json is scan ns/op ÷ indexed
+// ns/op, and EngineIndexBuild reports the one-time cost the index path
+// pays up front.
+
+// BenchmarkEngineRegenScan renders every artifact (19 figure CSVs plus
+// tables.txt) through the legacy path: repeated full scans per figure, no
+// index, no memoization, one render worker. This is what every render cost
+// before the engine existed.
+func BenchmarkEngineRegenScan(b *testing.B) {
+	_, res := fixture(b)
+	a := core.New(res.Dataset,
+		core.WithBuilderLabels(res.World.BuilderLabels()),
+		core.WithSequential(), core.WithoutMemo())
+	b.ResetTimer()
+	var arts []artifacts.Artifact
+	for i := 0; i < b.N; i++ {
+		arts = artifacts.RenderAll(a, 1)
+	}
+	report(b, "artifacts", float64(len(arts)))
+}
+
+// BenchmarkEngineRegenIndexed renders the same artifact set from the
+// single-pass index through the bounded worker pool. WithoutMemo keeps the
+// per-iteration work honest: every iteration recomputes each artifact from
+// the index rather than returning a cached result.
+func BenchmarkEngineRegenIndexed(b *testing.B) {
+	_, res := fixture(b)
+	a := core.New(res.Dataset,
+		core.WithBuilderLabels(res.World.BuilderLabels()),
+		core.WithoutMemo())
+	b.ResetTimer()
+	var arts []artifacts.Artifact
+	for i := 0; i < b.N; i++ {
+		arts = artifacts.RenderAll(a, a.Workers())
+	}
+	report(b, "artifacts", float64(len(arts)))
+}
+
+// BenchmarkEngineIndexBuild measures analysis construction — parallel
+// block classification plus the fused single-pass index build (which now
+// also absorbs the transaction-level inclusion-delay walk) — so the
+// up-front cost the indexed render path amortizes is visible next to it.
+func BenchmarkEngineIndexBuild(b *testing.B) {
+	_, res := fixture(b)
+	labels := res.World.BuilderLabels()
+	b.ResetTimer()
+	var a *core.Analysis
+	for i := 0; i < b.N; i++ {
+		a = core.New(res.Dataset, core.WithBuilderLabels(labels))
+	}
+	report(b, "blocks", float64(len(a.Blocks())))
 }

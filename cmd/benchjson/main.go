@@ -1,0 +1,160 @@
+// Command benchjson converts `go test -bench` output into a machine-readable
+// JSON record, so benchmark baselines can be committed and diffed across PRs.
+// It parses the standard benchmark line format — name, iteration count,
+// ns/op, then any custom b.ReportMetric pairs — plus the goos/goarch/cpu
+// header, and derives the headline ratio DESIGN.md §6 tracks:
+// figure_regen_speedup = EngineRegenScan ns/op ÷ EngineRegenIndexed ns/op.
+//
+// Usage:
+//
+//	go test -bench . -benchtime 1x . | go run ./cmd/benchjson -o BENCH_pr2.json
+//	go run ./cmd/benchjson -o BENCH_pr2.json bench-output.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Record is the full JSON document written to -o.
+type Record struct {
+	Goos       string                `json:"goos,omitempty"`
+	Goarch     string                `json:"goarch,omitempty"`
+	CPU        string                `json:"cpu,omitempty"`
+	Pkg        string                `json:"pkg,omitempty"`
+	Benchmarks map[string]*Benchmark `json:"benchmarks"`
+	Derived    map[string]float64    `json:"derived,omitempty"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkEngineRegenScan-8   3   412ms ns/op   19.00 artifacts
+//
+// The -8 GOMAXPROCS suffix is optional (absent on single-CPU runs).
+var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+func parse(r io.Reader) (*Record, error) {
+	rec := &Record{Benchmarks: map[string]*Benchmark{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rec.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rec.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rec.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			rec.Pkg = strings.TrimPrefix(line, "pkg: ")
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		b := &Benchmark{}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		b.Iterations = iters
+		// The tail is whitespace-separated <value> <unit> pairs.
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			unit := fields[i+1]
+			if unit == "ns/op" {
+				b.NsPerOp = v
+				continue
+			}
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = v
+		}
+		rec.Benchmarks[m[1]] = b
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// derive fills rec.Derived with ratios of interest where both sides exist.
+func derive(rec *Record) {
+	scan, okS := rec.Benchmarks["EngineRegenScan"]
+	idx, okI := rec.Benchmarks["EngineRegenIndexed"]
+	if okS && okI && idx.NsPerOp > 0 {
+		if rec.Derived == nil {
+			rec.Derived = map[string]float64{}
+		}
+		rec.Derived["figure_regen_speedup"] = scan.NsPerOp / idx.NsPerOp
+	}
+	if build, ok := rec.Benchmarks["EngineIndexBuild"]; ok && okI && idx.NsPerOp > 0 {
+		if rec.Derived == nil {
+			rec.Derived = map[string]float64{}
+		}
+		rec.Derived["index_build_share_of_regen"] = build.NsPerOp / idx.NsPerOp
+	}
+}
+
+func main() {
+	out := flag.String("o", "", "output JSON file (default stdout)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	rec, err := parse(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(rec.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found in input")
+		os.Exit(1)
+	}
+	derive(rec)
+
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", *out, len(rec.Benchmarks))
+}

@@ -1,49 +1,44 @@
 // Command figures regenerates every figure and table of the paper's
 // evaluation as CSV/text files — the per-experiment harness DESIGN.md
 // indexes. It is cmd/pbslab restricted to artifact generation, with the
-// output directory required.
+// output directory required and validated before the simulation starts.
 //
 // Usage:
 //
 //	figures -out DIR [-days N] [-blocks-per-day N] [-seed N]
+//	        [-workers N] [-sequential]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
-	"github.com/ethpbs/pbslab/internal/core"
+	"github.com/ethpbs/pbslab/internal/cli"
 	"github.com/ethpbs/pbslab/internal/report"
 	"github.com/ethpbs/pbslab/internal/sim"
 )
 
 func main() {
+	cfg := cli.Register(flag.CommandLine)
 	out := flag.String("out", "", "output directory (required)")
-	days := flag.Int("days", 0, "window length in days (0 = full paper window)")
-	blocksPerDay := flag.Int("blocks-per-day", 24, "blocks simulated per day")
-	seed := flag.Uint64("seed", 1, "scenario seed")
 	flag.Parse()
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "figures: -out is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-
-	sc := sim.DefaultScenario()
-	sc.Seed = *seed
-	sc.BlocksPerDay = *blocksPerDay
-	if *days > 0 {
-		sc.End = sc.Start.Add(time.Duration(*days) * 24 * time.Hour)
+	if err := cli.EnsureOutDir(*out); err != nil {
+		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+		os.Exit(1)
 	}
 
-	res, err := sim.Run(sc)
+	res, err := sim.Run(cfg.Scenario())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
 		os.Exit(1)
 	}
-	a := core.New(res.Dataset, core.WithBuilderLabels(res.World.BuilderLabels()))
+	a := cfg.Analyze(res)
 	if err := report.WriteAll(a, *out); err != nil {
 		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
 		os.Exit(1)

@@ -1,14 +1,17 @@
 // Command pbslab runs the full PBS measurement study end to end: it
-// simulates the merge→March window, runs the analysis pipeline over the
-// collected datasets, and prints the paper's tables plus a summary. With
-// -figures it also writes one CSV per figure.
+// simulates the merge→March window, runs the parallel analysis engine over
+// the collected datasets, and prints the paper's tables plus a summary.
+// With -figures it also writes one CSV per figure.
 //
 // Usage:
 //
-//	pbslab [-days N] [-blocks-per-day N] [-seed N] [-figures DIR] [-quiet]
+//	pbslab [-days N] [-blocks-per-day N] [-seed N] [-workers N]
+//	       [-sequential] [-figures DIR] [-quiet]
 //
 // The default -days 0 runs the paper's full window (2022-09-15 through
 // 2023-03-31, 198 days); smaller values truncate it for quick runs.
+// -sequential selects the legacy full-scan analysis baseline; output is
+// byte-identical either way.
 package main
 
 import (
@@ -17,26 +20,25 @@ import (
 	"os"
 	"time"
 
-	"github.com/ethpbs/pbslab/internal/core"
+	"github.com/ethpbs/pbslab/internal/cli"
 	"github.com/ethpbs/pbslab/internal/report"
 	"github.com/ethpbs/pbslab/internal/sim"
 )
 
 func main() {
-	days := flag.Int("days", 0, "window length in days (0 = full paper window)")
-	blocksPerDay := flag.Int("blocks-per-day", 24, "blocks simulated per day (mainnet: 7200)")
-	seed := flag.Uint64("seed", 1, "scenario seed")
+	cfg := cli.Register(flag.CommandLine)
 	figuresDir := flag.String("figures", "", "write per-figure CSVs into this directory")
 	quiet := flag.Bool("quiet", false, "suppress the text report")
 	flag.Parse()
 
-	sc := sim.DefaultScenario()
-	sc.Seed = *seed
-	sc.BlocksPerDay = *blocksPerDay
-	if *days > 0 {
-		sc.End = sc.Start.Add(time.Duration(*days) * 24 * time.Hour)
+	if *figuresDir != "" {
+		if err := cli.EnsureOutDir(*figuresDir); err != nil {
+			fmt.Fprintf(os.Stderr, "pbslab: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
+	sc := cfg.Scenario()
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "simulating %s → %s at %d blocks/day (seed %d)...\n",
 		sc.Start.Format("2006-01-02"), sc.End.Format("2006-01-02"), sc.BlocksPerDay, sc.Seed)
@@ -48,7 +50,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "simulated %d blocks in %v; analyzing...\n",
 		len(res.Dataset.Blocks), time.Since(start).Round(time.Millisecond))
 
-	a := core.New(res.Dataset, core.WithBuilderLabels(res.World.BuilderLabels()))
+	a := cfg.Analyze(res)
 
 	if !*quiet {
 		report.PrintAll(os.Stdout, a)

@@ -9,14 +9,19 @@
 //     DeFi venues, gossip network, consensus schedule, searchers, builders,
 //     relays, MEV-Boost), standing in for the mainnet data the paper
 //     measured.
-//   - The paper's measurement pipeline (internal/core), which consumes only
-//     the collected datasets — never simulator ground truth — and computes
-//     every figure and table of the evaluation.
+//   - The paper's measurement pipeline (internal/core), a parallel,
+//     single-pass analysis engine that consumes only the collected
+//     datasets — never simulator ground truth — and computes every figure
+//     and table of the evaluation. Blocks are classified in parallel, one
+//     fused pass builds a per-day index, and all artifacts render from it
+//     byte-identically to the legacy sequential scans (golden-tested).
 //
 // Entry points: cmd/pbslab runs the study end-to-end; cmd/figures emits
 // every figure as CSV; cmd/relaycrawl demonstrates the relay data-API crawl
-// over real HTTP. The examples directory holds runnable walkthroughs, and
+// over real HTTP. The examples directory holds runnable walkthroughs,
 // bench_test.go regenerates each of the paper's tables and figures as a
-// benchmark target. See DESIGN.md for the full system inventory and
-// EXPERIMENTS.md for paper-vs-measured results.
+// benchmark target, and `make bench` records the engine's performance
+// baseline as BENCH_pr2.json. See DESIGN.md for the full system inventory
+// (§6 for the engine) and EXPERIMENTS.md for paper-vs-measured results and
+// the performance tables.
 package pbslab

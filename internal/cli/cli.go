@@ -1,0 +1,92 @@
+// Package cli holds the scenario and flag wiring shared by cmd/pbslab and
+// cmd/figures, which previously duplicated it. It also validates output
+// directories up front: a figure run simulates for minutes before writing
+// anything, so an unwritable -figures/-out path must fail before the
+// simulation starts, not after.
+package cli
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/ethpbs/pbslab/internal/core"
+	"github.com/ethpbs/pbslab/internal/sim"
+)
+
+// Config is the common scenario/engine configuration behind both CLIs.
+type Config struct {
+	// Days truncates the paper window (0 = full window).
+	Days int
+	// BlocksPerDay scales the slot cadence.
+	BlocksPerDay int
+	// Seed selects the scenario seed.
+	Seed uint64
+	// Workers bounds the analysis/collection worker pools (0 = all CPUs).
+	Workers int
+	// Sequential forces the legacy full-scan analysis path (the baseline
+	// the parallel engine is measured against).
+	Sequential bool
+}
+
+// Register declares the shared flags on fs and returns the bound Config.
+func Register(fs *flag.FlagSet) *Config {
+	c := &Config{}
+	fs.IntVar(&c.Days, "days", 0, "window length in days (0 = full paper window)")
+	fs.IntVar(&c.BlocksPerDay, "blocks-per-day", 24, "blocks simulated per day (mainnet: 7200)")
+	fs.Uint64Var(&c.Seed, "seed", 1, "scenario seed")
+	fs.IntVar(&c.Workers, "workers", 0, "analysis worker pool size (0 = all CPUs)")
+	fs.BoolVar(&c.Sequential, "sequential", false, "use the sequential full-scan analysis path (baseline)")
+	return c
+}
+
+// Scenario builds the simulation scenario from the config.
+func (c *Config) Scenario() sim.Scenario {
+	sc := sim.DefaultScenario()
+	sc.Seed = c.Seed
+	sc.BlocksPerDay = c.BlocksPerDay
+	sc.CollectWorkers = c.Workers
+	if c.Sequential {
+		sc.CollectWorkers = 1
+	}
+	if c.Days > 0 {
+		sc.End = sc.Start.Add(time.Duration(c.Days) * 24 * time.Hour)
+	}
+	return sc
+}
+
+// Analyze runs the analysis engine over a finished simulation with the
+// configured worker pool and engine path.
+func (c *Config) Analyze(res *sim.Result) *core.Analysis {
+	opts := []core.Option{core.WithBuilderLabels(res.World.BuilderLabels())}
+	if c.Workers > 0 {
+		opts = append(opts, core.WithWorkers(c.Workers))
+	}
+	if c.Sequential {
+		opts = append(opts, core.WithSequential())
+	}
+	return core.New(res.Dataset, opts...)
+}
+
+// EnsureOutDir creates dir if needed and verifies it is writable by
+// creating and removing a probe file. Called before the simulation so a bad
+// output path fails in milliseconds instead of after a multi-minute run.
+func EnsureOutDir(dir string) error {
+	if dir == "" {
+		return errors.New("output directory is empty")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("create output dir %s: %w", dir, err)
+	}
+	probe := filepath.Join(dir, ".pbslab-write-probe")
+	f, err := os.Create(probe)
+	if err != nil {
+		return fmt.Errorf("output dir %s is not writable: %w", dir, err)
+	}
+	f.Close()
+	os.Remove(probe)
+	return nil
+}

@@ -7,15 +7,31 @@
 // MEV labels, mempool observations, relay crawls and the sanctions list.
 // It never reads simulator ground truth; classifier quality is itself a
 // measured quantity (the paper's 99.6% / 92% coverage figures).
+//
+// Structurally the package is a parallel, single-pass analysis engine
+// (DESIGN.md §6). New runs two sharded stages: block classification into
+// chain-ordered BlockStats, then one fused pass that fills a per-day Index
+// (stats.DayAgg aggregates, per-cluster samples, coverage counters, the
+// inclusion-delay report). Every public figure/table method answers from
+// the index and memoizes its result, so PrintAll + WriteAll compute each
+// artifact exactly once. The legacy scan-per-figure path is kept behind
+// WithSequential as the baseline the engine is measured against; for a
+// fixed dataset both paths produce byte-identical artifacts for any worker
+// count — shards cut at day boundaries and merge in chain order, so every
+// floating-point reduction associates exactly as a sequential pass. The
+// golden test (TestParallelMatchesSequentialGolden) enforces this, and
+// WithoutMemo/WithWorkers tune benchmarking and pool width.
 package core
 
 import (
+	"runtime"
 	"sort"
 	"time"
 
 	"github.com/ethpbs/pbslab/internal/crypto"
 	"github.com/ethpbs/pbslab/internal/dataset"
 	"github.com/ethpbs/pbslab/internal/mev"
+	"github.com/ethpbs/pbslab/internal/stats"
 	"github.com/ethpbs/pbslab/internal/types"
 	"github.com/ethpbs/pbslab/internal/u256"
 )
@@ -99,13 +115,24 @@ type Cluster struct {
 }
 
 // Analysis is the classified dataset with precomputed per-block statistics.
+// All public figure/table methods are safe for concurrent use: they read the
+// immutable classification and the single-pass Index built by New, and
+// results are memoized behind sync.Once (unless WithoutMemo is set).
 type Analysis struct {
 	ds     *dataset.Dataset
 	stats  []*BlockStat
 	byNum  map[uint64]*BlockStat
+	byHash map[types.Hash]*BlockStat
 	labels map[types.Address]string
 
 	clusters map[types.Address]*Cluster
+
+	workers    int
+	sequential bool
+	noMemo     bool
+
+	idx  *Index
+	memo figMemo
 }
 
 // Option configures an Analysis.
@@ -121,25 +148,68 @@ func WithBuilderLabels(labels map[types.Address]string) Option {
 	}
 }
 
-// New runs the classification pass over the dataset.
+// WithWorkers bounds the worker pool used for classification, the index
+// build, and per-day reductions. Values below 1 are clamped to 1. The
+// default is runtime.GOMAXPROCS(0).
+func WithWorkers(n int) Option {
+	return func(a *Analysis) {
+		if n < 1 {
+			n = 1
+		}
+		a.workers = n
+	}
+}
+
+// WithSequential selects the legacy full-scan analysis path: no index, no
+// worker pool — every figure re-scans the corpus exactly as the original
+// sequential implementation did. It is the reference the parallel engine is
+// tested against (byte-identical output) and the baseline the benchmarks
+// compare with.
+func WithSequential() Option {
+	return func(a *Analysis) { a.sequential = true }
+}
+
+// WithoutMemo disables result memoization, so every figure/table call
+// recomputes from scratch. Benchmarks use this to measure steady-state cost
+// rather than a single cached lookup.
+func WithoutMemo() Option {
+	return func(a *Analysis) { a.noMemo = true }
+}
+
+// New runs the classification pass over the dataset. Blocks are classified
+// in parallel (each slot of the stats slice is owned by one worker), then
+// the single-pass Index is built over day-aligned shards and merged in
+// shard order, which keeps every float accumulation in chain order.
 func New(ds *dataset.Dataset, opts ...Option) *Analysis {
 	a := &Analysis{
 		ds:       ds,
 		byNum:    map[uint64]*BlockStat{},
+		byHash:   map[types.Hash]*BlockStat{},
 		labels:   map[types.Address]string{},
 		clusters: map[types.Address]*Cluster{},
+		workers:  runtime.GOMAXPROCS(0),
 	}
 	for _, opt := range opts {
 		opt(a)
+	}
+	if a.sequential {
+		a.workers = 1
 	}
 
 	claims := indexRelayClaims(ds)
 	mevByBlock := indexMEV(ds)
 
-	for _, b := range ds.Blocks {
-		st := a.classify(b, claims[b.Hash], mevByBlock[b.Number])
-		a.stats = append(a.stats, st)
-		a.byNum[b.Number] = st
+	a.stats = make([]*BlockStat, len(ds.Blocks))
+	shards := shardRanges(len(ds.Blocks), a.workers)
+	stats.ParallelDays(len(shards), a.workers, func(s int) {
+		for i := shards[s][0]; i < shards[s][1]; i++ {
+			b := ds.Blocks[i]
+			a.stats[i] = a.classify(b, claims[b.Hash], mevByBlock[b.Number])
+		}
+	})
+	for _, st := range a.stats {
+		a.byNum[st.Block.Number] = st
+		a.byHash[st.Block.Hash] = st
 	}
 	a.buildClusters()
 	for _, st := range a.stats {
@@ -150,7 +220,34 @@ func New(ds *dataset.Dataset, opts ...Option) *Analysis {
 			}
 		}
 	}
+	if !a.sequential {
+		a.idx = buildIndex(a)
+	}
 	return a
+}
+
+// Workers returns the analysis worker-pool size (1 when sequential).
+func (a *Analysis) Workers() int { return a.workers }
+
+// shardRanges splits [0, n) into at most k contiguous half-open ranges.
+func shardRanges(n, k int) [][2]int {
+	if k > n {
+		k = n
+	}
+	if k <= 1 {
+		return [][2]int{{0, n}}
+	}
+	out := make([][2]int, 0, k)
+	start := 0
+	for s := 1; s <= k && start < n; s++ {
+		end := s * n / k
+		if end <= start {
+			continue
+		}
+		out = append(out, [2]int{start, end})
+		start = end
+	}
+	return out
 }
 
 // Dataset returns the underlying corpus.
@@ -389,8 +486,8 @@ func (a *Analysis) buildClusters() {
 	}
 }
 
-// Clusters returns the builder identity clusters, largest first.
-func (a *Analysis) Clusters() []*Cluster {
+// sortedClusters orders the builder identity clusters, largest first.
+func (a *Analysis) sortedClusters() []*Cluster {
 	out := make([]*Cluster, 0, len(a.clusters))
 	for _, c := range a.clusters {
 		out = append(out, c)

@@ -21,7 +21,7 @@ type DelayReport struct {
 // InclusionDelay measures waiting times for every publicly observed
 // transaction. Transactions never seen by an observer (private flow) have
 // no public waiting time and are excluded, as in the paper's methodology.
-func (a *Analysis) InclusionDelay() DelayReport {
+func (a *Analysis) scanInclusionDelay() DelayReport {
 	var regular, sanctioned []float64
 	for _, st := range a.stats {
 		b := st.Block

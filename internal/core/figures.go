@@ -17,8 +17,8 @@ type PaymentShares struct {
 	Direct   stats.Series
 }
 
-// Figure3PaymentShares computes the daily payment decomposition.
-func (a *Analysis) Figure3PaymentShares() PaymentShares {
+// scanFigure3PaymentShares is the sequential full-scan path for Figure 3.
+func (a *Analysis) scanFigure3PaymentShares() PaymentShares {
 	g := stats.NewGrouped()
 	for _, st := range a.stats {
 		g.Add(st.Day, "base", types.ToEther(st.Burned))
@@ -33,8 +33,8 @@ func (a *Analysis) Figure3PaymentShares() PaymentShares {
 	}
 }
 
-// Figure4PBSShare computes the daily share of blocks classified as PBS.
-func (a *Analysis) Figure4PBSShare() stats.Series {
+// scanFigure4PBSShare is the sequential full-scan path for Figure 4.
+func (a *Analysis) scanFigure4PBSShare() stats.Series {
 	g := stats.NewGrouped()
 	for _, st := range a.stats {
 		label := "local"
@@ -48,7 +48,7 @@ func (a *Analysis) Figure4PBSShare() stats.Series {
 
 // Figure5RelayShares computes each relay's daily share of all blocks, with
 // multi-relay blocks attributed fractionally.
-func (a *Analysis) Figure5RelayShares() map[string]stats.Series {
+func (a *Analysis) scanFigure5RelayShares() map[string]stats.Series {
 	g := stats.NewGrouped()
 	for _, st := range a.stats {
 		if len(st.RelayClaims) == 0 {
@@ -76,8 +76,8 @@ type HHISeries struct {
 	Builders stats.Series
 }
 
-// Figure6HHI computes the concentration series.
-func (a *Analysis) Figure6HHI() HHISeries {
+// scanFigure6HHI is the sequential full-scan path for Figure 6.
+func (a *Analysis) scanFigure6HHI() HHISeries {
 	relays := stats.NewGrouped()
 	builders := stats.NewGrouped()
 	for _, st := range a.stats {
@@ -96,7 +96,7 @@ func (a *Analysis) Figure6HHI() HHISeries {
 
 // Figure7BuildersPerRelay counts, per relay and day, the distinct builder
 // pubkeys that submitted blocks (from builder_blocks_received).
-func (a *Analysis) Figure7BuildersPerRelay() map[string]stats.Series {
+func (a *Analysis) scanFigure7BuildersPerRelay() map[string]stats.Series {
 	out := map[string]stats.Series{}
 	slotDays := a.slotDayIndex()
 	for _, r := range a.ds.Relays {
@@ -131,7 +131,7 @@ func (a *Analysis) slotDayIndex() map[uint64]int {
 
 // Figure8BuilderShares computes each builder cluster's daily share of all
 // blocks.
-func (a *Analysis) Figure8BuilderShares() map[string]stats.Series {
+func (a *Analysis) scanFigure8BuilderShares() map[string]stats.Series {
 	g := stats.NewGrouped()
 	for _, st := range a.stats {
 		label := "(local)"
@@ -161,7 +161,7 @@ type ValueSplit struct {
 
 // Figure9BlockValue computes daily mean block value (ETH) for PBS and
 // non-PBS blocks (the scatter's central tendency).
-func (a *Analysis) Figure9BlockValue() ValueSplit {
+func (a *Analysis) scanFigure9BlockValue() ValueSplit {
 	g := stats.NewGrouped()
 	for _, st := range a.stats {
 		label := "local"
@@ -182,8 +182,8 @@ type ProfitBands struct {
 	LocalMedian, LocalQ1, LocalQ3 stats.Series
 }
 
-// Figure10ProposerProfit computes the daily proposer-profit distribution.
-func (a *Analysis) Figure10ProposerProfit() ProfitBands {
+// scanFigure10ProposerProfit is the sequential full-scan path for Figure 10.
+func (a *Analysis) scanFigure10ProposerProfit() ProfitBands {
 	g := stats.NewGrouped()
 	for _, st := range a.stats {
 		label := "local"
@@ -216,7 +216,7 @@ type BuilderBox struct {
 
 // Figures11And12BuilderBoxes computes per-cluster profit distributions for
 // the top n builders by block count.
-func (a *Analysis) Figures11And12BuilderBoxes(n int) []BuilderBox {
+func (a *Analysis) scanFigures11And12BuilderBoxes(n int) []BuilderBox {
 	builderSamples := map[string][]float64{}
 	proposerSamples := map[string][]float64{}
 	blocks := map[string]int{}
@@ -261,8 +261,8 @@ type SizeBands struct {
 	Target              float64
 }
 
-// Figure13BlockSize computes the block-size series.
-func (a *Analysis) Figure13BlockSize() SizeBands {
+// scanFigure13BlockSize is the sequential full-scan path for Figure 13.
+func (a *Analysis) scanFigure13BlockSize() SizeBands {
 	g := stats.NewGrouped()
 	var target float64
 	for _, st := range a.stats {
@@ -284,7 +284,7 @@ func (a *Analysis) Figure13BlockSize() SizeBands {
 
 // Figure14PrivateTxShare computes the daily share of included transactions
 // that never appeared in the public mempool, split by PBS class.
-func (a *Analysis) Figure14PrivateTxShare() ValueSplit {
+func (a *Analysis) scanFigure14PrivateTxShare() ValueSplit {
 	g := stats.NewGrouped()
 	for _, st := range a.stats {
 		if st.TotalTxs == 0 {
@@ -304,18 +304,18 @@ func (a *Analysis) Figure14PrivateTxShare() ValueSplit {
 
 // Figure15MEVPerBlock computes the daily mean count of MEV transactions per
 // block, split by PBS class.
-func (a *Analysis) Figure15MEVPerBlock() ValueSplit {
+func (a *Analysis) scanFigure15MEVPerBlock() ValueSplit {
 	return a.mevCountSplit(func(st *BlockStat) float64 { return float64(st.MEVTxs) })
 }
 
 // Figure16MEVValueShare computes the daily mean share of block value
 // attributable to MEV transactions.
-func (a *Analysis) Figure16MEVValueShare() ValueSplit {
+func (a *Analysis) scanFigure16MEVValueShare() ValueSplit {
 	return a.mevCountSplit(func(st *BlockStat) float64 { return st.MEVValueShare })
 }
 
 // Figure20To22MEVKind computes the per-kind daily mean counts (Appendix D).
-func (a *Analysis) Figure20To22MEVKind(kind mev.Kind) ValueSplit {
+func (a *Analysis) scanFigure20To22MEVKind(kind mev.Kind) ValueSplit {
 	return a.mevCountSplit(func(st *BlockStat) float64 {
 		switch kind {
 		case mev.KindSandwich:
@@ -346,7 +346,7 @@ func (a *Analysis) mevCountSplit(metric func(*BlockStat) float64) ValueSplit {
 // Figure17CensoringShare computes the daily share of PBS blocks delivered
 // by relays that announce OFAC compliance. Fractional attribution follows
 // Figure 5's rule.
-func (a *Analysis) Figure17CensoringShare() stats.Series {
+func (a *Analysis) scanFigure17CensoringShare() stats.Series {
 	compliant := map[string]bool{}
 	for _, r := range a.ds.Relays {
 		compliant[r.Name] = r.OFACCompliant
@@ -370,7 +370,7 @@ func (a *Analysis) Figure17CensoringShare() stats.Series {
 
 // Figure18SanctionedShare computes the daily share of blocks containing
 // non-OFAC-compliant transactions, split by PBS class.
-func (a *Analysis) Figure18SanctionedShare() ValueSplit {
+func (a *Analysis) scanFigure18SanctionedShare() ValueSplit {
 	g := stats.NewGrouped()
 	for _, st := range a.stats {
 		label := "local"
@@ -397,8 +397,8 @@ type ProfitSplit struct {
 	ProposerShare stats.Series
 }
 
-// Figure19ProfitSplit computes the daily profit split.
-func (a *Analysis) Figure19ProfitSplit() ProfitSplit {
+// scanFigure19ProfitSplit is the sequential full-scan path for Figure 19.
+func (a *Analysis) scanFigure19ProfitSplit() ProfitSplit {
 	type agg struct{ value, payment float64 }
 	days := map[int]*agg{}
 	minDay, maxDay := math.MaxInt32, -1
@@ -449,8 +449,8 @@ type CoverageReport struct {
 	MultiRelayClaimsShare float64
 }
 
-// ClassifierCoverage measures the classifier's own coverage.
-func (a *Analysis) ClassifierCoverage() CoverageReport {
+// scanClassifierCoverage is the sequential full-scan coverage measurement.
+func (a *Analysis) scanClassifierCoverage() CoverageReport {
 	var rep CoverageReport
 	noPayment, selfBuilt, multi := 0, 0, 0
 	claimed, paid := 0, 0
@@ -493,8 +493,10 @@ type ConcentrationComparison struct {
 	Gini stats.Series
 }
 
-// RelayConcentration computes both daily measures over relay block counts.
-func (a *Analysis) RelayConcentration() ConcentrationComparison {
+// scanRelayConcentration computes both daily measures over relay block
+// counts. It stays a chain-order scan on both paths: the per-day relay map
+// accumulation is the definition of the measure.
+func (a *Analysis) scanRelayConcentration() ConcentrationComparison {
 	perDay := map[int]map[string]float64{}
 	minDay, maxDay := math.MaxInt32, -1
 	for _, st := range a.stats {

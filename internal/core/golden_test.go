@@ -1,0 +1,160 @@
+package core_test
+
+// Golden byte-identity test for the parallel analysis engine: the indexed,
+// memoized, worker-pooled path must render every artifact byte-for-byte
+// identically to the legacy sequential full-scan path. This is the
+// engine's central contract (DESIGN.md §6) — any float reassociation,
+// shard-boundary mistake, or map-order leak shows up here as a diff.
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/ethpbs/pbslab/internal/core"
+	"github.com/ethpbs/pbslab/internal/mev"
+	"github.com/ethpbs/pbslab/internal/report"
+	"github.com/ethpbs/pbslab/internal/sim"
+)
+
+// goldenDataset simulates a short window for one seed.
+func goldenDataset(t testing.TB, seed uint64, days int) *sim.Result {
+	t.Helper()
+	sc := sim.DefaultScenario()
+	sc.Seed = seed
+	sc.End = sc.Start.Add(time.Duration(days) * 24 * time.Hour)
+	sc.BlocksPerDay = 12
+	sc.Validators = 200
+	sc.Demand.Users = 120
+	sc.Demand.TxPerBlock = sim.Flat(30)
+	sc.SmallBuilderCount = 20
+	res, err := sim.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestParallelMatchesSequentialGolden(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			res := goldenDataset(t, seed, 4)
+			labels := res.World.BuilderLabels()
+
+			seq := core.New(res.Dataset, core.WithBuilderLabels(labels), core.WithSequential())
+			par := core.New(res.Dataset, core.WithBuilderLabels(labels), core.WithWorkers(8))
+
+			want := report.RenderAll(seq, 1)
+			got := report.RenderAll(par, 8)
+
+			if len(want) != len(got) {
+				t.Fatalf("artifact count: sequential %d, parallel %d", len(want), len(got))
+			}
+			for i := range want {
+				if want[i].Name != got[i].Name {
+					t.Fatalf("artifact %d: name %q vs %q", i, want[i].Name, got[i].Name)
+				}
+				if !bytes.Equal(want[i].Data, got[i].Data) {
+					t.Errorf("%s: parallel render differs from sequential (%d vs %d bytes)\n--- sequential ---\n%s\n--- parallel ---\n%s",
+						want[i].Name, len(want[i].Data), len(got[i].Data),
+						firstDiffContext(want[i].Data, got[i].Data), firstDiffContext(got[i].Data, want[i].Data))
+				}
+			}
+		})
+	}
+}
+
+// firstDiffContext returns a small window around the first differing byte.
+func firstDiffContext(a, b []byte) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	lo := i - 80
+	if lo < 0 {
+		lo = 0
+	}
+	hi := i + 80
+	if hi > len(a) {
+		hi = len(a)
+	}
+	return fmt.Sprintf("...%s...", a[lo:hi])
+}
+
+// TestEngineRace hammers the memoized engine from many goroutines while the
+// render worker pool runs, so `go test -race` exercises every concurrency
+// seam: parallel classification, the sharded index build, sync.Once memos,
+// keyed memos, and per-day reductions.
+func TestEngineRace(t *testing.T) {
+	res := goldenDataset(t, 1, 3)
+	a := core.New(res.Dataset,
+		core.WithBuilderLabels(res.World.BuilderLabels()),
+		core.WithWorkers(8))
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a.Figure3PaymentShares()
+			a.Figure4PBSShare()
+			a.Figure5RelayShares()
+			a.Figure6HHI()
+			a.Figure7BuildersPerRelay()
+			a.Figure8BuilderShares()
+			a.Figure9BlockValue()
+			a.Figure10ProposerProfit()
+			a.Figures11And12BuilderBoxes(11)
+			a.Figure13BlockSize()
+			a.Figure14PrivateTxShare()
+			a.Figure15MEVPerBlock()
+			a.Figure16MEVValueShare()
+			a.Figure17CensoringShare()
+			a.Figure18SanctionedShare()
+			a.Figure19ProfitSplit()
+			a.Figure20To22MEVKind(mev.KindSandwich)
+			a.ClassifierCoverage()
+			a.Table4RelayTrust()
+			a.OFACUpdateLag(4)
+			a.InclusionDelay()
+			a.Clusters()
+		}()
+	}
+	// Render concurrently with the direct calls above.
+	arts := report.RenderAll(a, 8)
+	wg.Wait()
+
+	if len(arts) == 0 {
+		t.Fatal("no artifacts rendered")
+	}
+	// A second render must reproduce the first bytes exactly (memo or not).
+	again := report.RenderAll(a, 3)
+	for i := range arts {
+		if !bytes.Equal(arts[i].Data, again[i].Data) {
+			t.Errorf("%s: repeated render differs", arts[i].Name)
+		}
+	}
+}
+
+// TestWithoutMemoMatchesMemoized checks the memo layer is transparent.
+func TestWithoutMemoMatchesMemoized(t *testing.T) {
+	res := goldenDataset(t, 2, 3)
+	labels := res.World.BuilderLabels()
+	memoized := core.New(res.Dataset, core.WithBuilderLabels(labels))
+	fresh := core.New(res.Dataset, core.WithBuilderLabels(labels), core.WithoutMemo())
+
+	w := report.RenderAll(memoized, 4)
+	g := report.RenderAll(fresh, 4)
+	for i := range w {
+		if !bytes.Equal(w[i].Data, g[i].Data) {
+			t.Errorf("%s: WithoutMemo render differs", w[i].Name)
+		}
+	}
+}

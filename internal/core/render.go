@@ -200,7 +200,12 @@ func (a *Analysis) Summary(w io.Writer) {
 		totals[mev.KindSandwich], totals[mev.KindArbitrage], totals[mev.KindLiquidation])
 
 	gaps := a.EthicalFilterGap()
-	for name, n := range gaps {
-		fmt.Fprintf(w, "MEV-filter gap: %d sandwiches through %s\n", n, name)
+	names := make([]string, 0, len(gaps))
+	for name := range gaps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "MEV-filter gap: %d sandwiches through %s\n", gaps[name], name)
 	}
 }

@@ -36,11 +36,8 @@ type RelayTrustRow struct {
 // Table4RelayTrust audits every relay: promised vs delivered value and
 // censorship gaps. Totals are returned as a synthetic "PBS" row, matching
 // the paper's last line.
-func (a *Analysis) Table4RelayTrust() ([]RelayTrustRow, RelayTrustRow) {
-	byHash := map[types.Hash]*BlockStat{}
-	for _, st := range a.stats {
-		byHash[st.Block.Hash] = st
-	}
+func (a *Analysis) scanTable4RelayTrust() ([]RelayTrustRow, RelayTrustRow) {
+	byHash := a.byHash
 
 	rows := map[string]*RelayTrustRow{}
 	for _, r := range a.ds.Relays {
@@ -122,7 +119,7 @@ type RelayPolicyRow struct {
 }
 
 // Tables2And3Relays reproduces the relay registry and policy matrix.
-func (a *Analysis) Tables2And3Relays() []RelayPolicyRow {
+func (a *Analysis) scanTables2And3Relays() []RelayPolicyRow {
 	out := make([]RelayPolicyRow, 0, len(a.ds.Relays))
 	for _, r := range a.ds.Relays {
 		out = append(out, RelayPolicyRow{
@@ -142,7 +139,7 @@ func (a *Analysis) Tables2And3Relays() []RelayPolicyRow {
 // EthicalFilterGap counts sandwich attacks that landed in blocks delivered
 // by a relay that advertises front-running filtering (Section 5.4's 2,002
 // sandwiches through bloXroute Ethical).
-func (a *Analysis) EthicalFilterGap() map[string]int {
+func (a *Analysis) scanEthicalFilterGap() map[string]int {
 	filtering := map[string]bool{}
 	for _, r := range a.ds.Relays {
 		if r.MEVFilter {
@@ -181,7 +178,7 @@ type LagGapRow struct {
 
 // OFACUpdateLag measures whether compliant-relay censorship gaps
 // concentrate after sanctions-list updates.
-func (a *Analysis) OFACUpdateLag(windowDays int) []LagGapRow {
+func (a *Analysis) scanOFACUpdateLag(windowDays int) []LagGapRow {
 	compliant := map[string]bool{}
 	for _, r := range a.ds.Relays {
 		compliant[r.Name] = r.OFACCompliant
@@ -249,7 +246,7 @@ func (a *Analysis) OFACUpdateLag(windowDays int) []LagGapRow {
 }
 
 // MEVTotals counts union labels per kind (the Appendix D headline totals).
-func (a *Analysis) MEVTotals() map[mev.Kind]int {
+func (a *Analysis) scanMEVTotals() map[mev.Kind]int {
 	out := map[mev.Kind]int{}
 	for _, l := range a.ds.MEVLabels {
 		out[l.Kind]++

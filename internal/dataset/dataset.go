@@ -2,10 +2,18 @@
 // the paper's pipeline consumes, and nothing more. The analysis layer
 // (internal/core) reads only this package's types — it never sees simulator
 // ground truth — so PBS classification, builder clustering, private-tx
-// detection and every figure are genuinely re-derived from data.
+// detection and every figure are genuinely re-derived from data. (The
+// simulator's own operational tallies, such as the sim.GroundTruth
+// degradation counters, live on the simulation side of that boundary and
+// never appear here.)
+//
+// A Dataset is immutable once the simulator's collection pass hands it
+// over; the analysis engine exploits that by sharding reads across workers
+// without synchronization and by memoizing the Table 1 Count tallies.
 package dataset
 
 import (
+	"sync"
 	"time"
 
 	"github.com/ethpbs/pbslab/internal/mev"
@@ -79,6 +87,12 @@ type Dataset struct {
 	Relays []RelayData
 
 	Sanctions *ofac.Registry
+
+	// Count() tallies are memoized: the dataset is immutable once the
+	// simulation hands it over, and the transaction-level walk is one of
+	// the few remaining full-corpus passes at report time.
+	countOnce sync.Once
+	counts    Counts
 }
 
 // Day returns the day index of t relative to Start (UTC midnights).
@@ -124,6 +138,17 @@ type Counts struct {
 
 // Count tallies the dataset for Table 1.
 func (d *Dataset) Count() Counts {
+	d.countOnce.Do(func() { d.counts = d.count() })
+	// Return a copy so callers cannot mutate the cached per-source map.
+	c := d.counts
+	c.MEVBySource = make(map[string]int, len(d.counts.MEVBySource))
+	for name, n := range d.counts.MEVBySource {
+		c.MEVBySource[name] = n
+	}
+	return c
+}
+
+func (d *Dataset) count() Counts {
 	c := Counts{MEVBySource: map[string]int{}}
 	c.Blocks = len(d.Blocks)
 	for _, b := range d.Blocks {

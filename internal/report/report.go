@@ -1,13 +1,20 @@
 // Package report renders a finished analysis as the paper's artifacts: a
 // terminal digest and one CSV per figure plus text tables, ready for
 // side-by-side comparison with the published plots.
+//
+// RenderAll produces every artifact concurrently on a bounded worker pool;
+// results are collected in a fixed slice order and each artifact's bytes
+// are a deterministic function of the analysis, so the output is identical
+// however the pool schedules the work.
 package report
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"github.com/ethpbs/pbslab/internal/core"
 	"github.com/ethpbs/pbslab/internal/mev"
@@ -46,33 +53,32 @@ func PrintAll(w io.Writer, a *core.Analysis) {
 		delay.Sanctioned.Mean, delay.Sanctioned.Median, delay.Sanctioned.N, delay.MeanRatio)
 }
 
-// WriteAll writes every figure as CSV into dir, one file per figure.
-func WriteAll(a *core.Analysis, dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	write := func(name string, fn func(w io.Writer)) error {
-		f, err := os.Create(filepath.Join(dir, name))
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		fn(f)
-		return nil
-	}
+// Artifact is one rendered output file.
+type Artifact struct {
+	Name string
+	Data []byte
+}
 
-	split := func(title string, v core.ValueSplit) func(io.Writer) {
+// step is one artifact job: a file name and a lazy render.
+type step struct {
+	file string
+	fn   func(io.Writer)
+}
+
+// artifactSteps lists every output artifact. All closures are lazy — no
+// figure is computed until a worker runs the step — so the pool, not the
+// listing, decides concurrency.
+func artifactSteps(a *core.Analysis) []step {
+	split := func(title string, get func() core.ValueSplit) func(io.Writer) {
 		return func(w io.Writer) {
+			v := get()
 			core.RenderMultiSeries(w, title, map[string]stats.Series{
 				"pbs": v.PBS, "local": v.Local,
 			}, 1)
 		}
 	}
 
-	steps := []struct {
-		file string
-		fn   func(io.Writer)
-	}{
+	return []step{
 		{"fig03_payment_shares.csv", func(w io.Writer) {
 			ps := a.Figure3PaymentShares()
 			core.RenderMultiSeries(w, "Figure 3: share of user payments", map[string]stats.Series{
@@ -97,7 +103,7 @@ func WriteAll(a *core.Analysis, dir string) error {
 		{"fig08_builder_shares.csv", func(w io.Writer) {
 			core.RenderMultiSeries(w, "Figure 8: daily builder shares", a.Figure8BuilderShares(), 1)
 		}},
-		{"fig09_block_value.csv", split("Figure 9: mean daily block value [ETH]", a.Figure9BlockValue())},
+		{"fig09_block_value.csv", split("Figure 9: mean daily block value [ETH]", func() core.ValueSplit { return a.Figure9BlockValue() })},
 		{"fig10_proposer_profit.csv", func(w io.Writer) {
 			p := a.Figure10ProposerProfit()
 			core.RenderMultiSeries(w, "Figure 10: daily proposer profit [ETH]", map[string]stats.Series{
@@ -113,28 +119,70 @@ func WriteAll(a *core.Analysis, dir string) error {
 				"local_mean": s.LocalMean, "local_std": s.LocalStd,
 			}, 1)
 		}},
-		{"fig14_private_txs.csv", split("Figure 14: daily private tx share", a.Figure14PrivateTxShare())},
-		{"fig15_mev_per_block.csv", split("Figure 15: mean MEV txs per block", a.Figure15MEVPerBlock())},
-		{"fig16_mev_value_share.csv", split("Figure 16: MEV share of block value", a.Figure16MEVValueShare())},
+		{"fig14_private_txs.csv", split("Figure 14: daily private tx share", func() core.ValueSplit { return a.Figure14PrivateTxShare() })},
+		{"fig15_mev_per_block.csv", split("Figure 15: mean MEV txs per block", func() core.ValueSplit { return a.Figure15MEVPerBlock() })},
+		{"fig16_mev_value_share.csv", split("Figure 16: MEV share of block value", func() core.ValueSplit { return a.Figure16MEVValueShare() })},
 		{"fig17_censoring_share.csv", func(w io.Writer) {
 			core.RenderSeries(w, "Figure 17: share of PBS blocks via OFAC-compliant relays",
 				a.Figure17CensoringShare(), 1)
 		}},
-		{"fig18_sanctioned_share.csv", split("Figure 18: share of blocks with sanctioned txs", a.Figure18SanctionedShare())},
+		{"fig18_sanctioned_share.csv", split("Figure 18: share of blocks with sanctioned txs", func() core.ValueSplit { return a.Figure18SanctionedShare() })},
 		{"fig19_profit_split.csv", func(w io.Writer) {
 			p := a.Figure19ProfitSplit()
 			core.RenderMultiSeries(w, "Figure 19: builder/proposer profit split", map[string]stats.Series{
 				"builder": p.BuilderShare, "proposer": p.ProposerShare,
 			}, 1)
 		}},
-		{"fig20_sandwiches.csv", split("Figure 20: sandwiches per block", a.Figure20To22MEVKind(mev.KindSandwich))},
-		{"fig21_arbitrage.csv", split("Figure 21: cyclic arbitrage per block", a.Figure20To22MEVKind(mev.KindArbitrage))},
-		{"fig22_liquidations.csv", split("Figure 22: liquidations per block", a.Figure20To22MEVKind(mev.KindLiquidation))},
+		{"fig20_sandwiches.csv", split("Figure 20: sandwiches per block", func() core.ValueSplit { return a.Figure20To22MEVKind(mev.KindSandwich) })},
+		{"fig21_arbitrage.csv", split("Figure 21: cyclic arbitrage per block", func() core.ValueSplit { return a.Figure20To22MEVKind(mev.KindArbitrage) })},
+		{"fig22_liquidations.csv", split("Figure 22: liquidations per block", func() core.ValueSplit { return a.Figure20To22MEVKind(mev.KindLiquidation) })},
 		{"tables.txt", func(w io.Writer) { PrintAll(w, a) }},
 	}
-	for _, s := range steps {
-		if err := write(s.file, s.fn); err != nil {
-			return fmt.Errorf("report: %s: %w", s.file, err)
+}
+
+// RenderAll renders every artifact into memory using at most workers
+// concurrent renderers. The returned slice is always in the fixed artifact
+// order regardless of scheduling; Analysis methods are memoized and safe
+// for concurrent use, so overlapping jobs share rather than repeat work.
+func RenderAll(a *core.Analysis, workers int) []Artifact {
+	steps := artifactSteps(a)
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(steps) {
+		workers = len(steps)
+	}
+	out := make([]Artifact, len(steps))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				var buf bytes.Buffer
+				steps[i].fn(&buf)
+				out[i] = Artifact{Name: steps[i].file, Data: buf.Bytes()}
+			}
+		}()
+	}
+	for i := range steps {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// WriteAll renders all artifacts (concurrently, see RenderAll) and writes
+// them into dir, one file per figure plus the text tables.
+func WriteAll(a *core.Analysis, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, art := range RenderAll(a, a.Workers()) {
+		if err := os.WriteFile(filepath.Join(dir, art.Name), art.Data, 0o644); err != nil {
+			return fmt.Errorf("report: %s: %w", art.Name, err)
 		}
 	}
 	return nil

@@ -1,11 +1,13 @@
 package sim
 
 import (
+	"runtime"
 	"time"
 
 	"github.com/ethpbs/pbslab/internal/dataset"
 	"github.com/ethpbs/pbslab/internal/mev"
 	"github.com/ethpbs/pbslab/internal/p2p"
+	"github.com/ethpbs/pbslab/internal/stats"
 	"github.com/ethpbs/pbslab/internal/types"
 )
 
@@ -13,6 +15,10 @@ import (
 // extraction pass (blocks, receipts, traces), the three MEV label sources
 // and their union, the mempool observations, and a crawl of every relay's
 // data API.
+//
+// The extraction pass is sharded over contiguous block ranges; shard
+// results are concatenated in shard order, so the dataset is identical to a
+// sequential build (mev.Source.Report is a pure function of the block).
 func (w *World) collect(arrivals map[types.Hash]p2p.Observation) *dataset.Dataset {
 	d := &dataset.Dataset{
 		Start:       w.Scenario.Start,
@@ -23,30 +29,54 @@ func (w *World) collect(arrivals map[types.Hash]p2p.Observation) *dataset.Datase
 	}
 
 	sources := mev.DefaultSources()
-	perSource := make([][]mev.Label, len(sources))
+	blocks := w.Chain.Blocks()[1:] // skip genesis
 
-	for _, stored := range w.Chain.Blocks()[1:] { // skip genesis
-		h := stored.Block.Header
-		d.Blocks = append(d.Blocks, &dataset.Block{
-			Number:       h.Number,
-			Hash:         stored.Block.Hash(),
-			Slot:         h.Slot,
-			Time:         time.Unix(int64(h.Timestamp), 0).UTC(),
-			FeeRecipient: h.FeeRecipient,
-			GasUsed:      h.GasUsed,
-			GasLimit:     h.GasLimit,
-			BaseFee:      h.BaseFee,
-			Txs:          stored.Block.Txs,
-			Receipts:     stored.Receipts,
-			Traces:       stored.Traces,
-			Burned:       stored.Burned,
-			Tips:         stored.Tips,
-		})
-		view := mev.BlockView{
-			Number: h.Number, Txs: stored.Block.Txs, Receipts: stored.Receipts,
+	workers := w.Scenario.CollectWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	type shardOut struct {
+		blocks    []*dataset.Block
+		perSource [][]mev.Label
+	}
+	shards := collectShards(len(blocks), workers)
+	outs := make([]shardOut, len(shards))
+	stats.ParallelDays(len(shards), workers, func(s int) {
+		out := &outs[s]
+		out.perSource = make([][]mev.Label, len(sources))
+		for bi := shards[s][0]; bi < shards[s][1]; bi++ {
+			stored := blocks[bi]
+			h := stored.Block.Header
+			out.blocks = append(out.blocks, &dataset.Block{
+				Number:       h.Number,
+				Hash:         stored.Block.Hash(),
+				Slot:         h.Slot,
+				Time:         time.Unix(int64(h.Timestamp), 0).UTC(),
+				FeeRecipient: h.FeeRecipient,
+				GasUsed:      h.GasUsed,
+				GasLimit:     h.GasLimit,
+				BaseFee:      h.BaseFee,
+				Txs:          stored.Block.Txs,
+				Receipts:     stored.Receipts,
+				Traces:       stored.Traces,
+				Burned:       stored.Burned,
+				Tips:         stored.Tips,
+			})
+			view := mev.BlockView{
+				Number: h.Number, Txs: stored.Block.Txs, Receipts: stored.Receipts,
+			}
+			for i, src := range sources {
+				out.perSource[i] = append(out.perSource[i], src.Report(view)...)
+			}
 		}
-		for i, src := range sources {
-			perSource[i] = append(perSource[i], src.Report(view)...)
+	})
+
+	perSource := make([][]mev.Label, len(sources))
+	for _, out := range outs {
+		d.Blocks = append(d.Blocks, out.blocks...)
+		for i := range sources {
+			perSource[i] = append(perSource[i], out.perSource[i]...)
 		}
 	}
 
@@ -74,4 +104,25 @@ func (w *World) collect(arrivals map[types.Hash]p2p.Observation) *dataset.Datase
 	}
 
 	return d
+}
+
+// collectShards splits [0, n) into at most k contiguous ranges.
+func collectShards(n, k int) [][2]int {
+	if k > n {
+		k = n
+	}
+	if k <= 1 {
+		return [][2]int{{0, n}}
+	}
+	out := make([][2]int, 0, k)
+	start := 0
+	for s := 1; s <= k && start < n; s++ {
+		end := s * n / k
+		if end <= start {
+			continue
+		}
+		out = append(out, [2]int{start, end})
+		start = end
+	}
+	return out
 }

@@ -182,6 +182,11 @@ type Scenario struct {
 	// block).
 	Exploits []Exploit
 
+	// CollectWorkers bounds the parallel dataset-extraction pass at the
+	// end of a run (0 = runtime.GOMAXPROCS). The assembled dataset is
+	// identical for any worker count; see collect.
+	CollectWorkers int
+
 	// RelayOutages declare hard downtime windows per relay. During an
 	// outage the relay is unreachable from MEV-Boost: sidecars skip it for
 	// headers and payload fetches against it fail, exercising the

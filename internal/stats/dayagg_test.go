@@ -1,0 +1,203 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// sample is one (day, group, value) addition, the shared input shape for
+// the Grouped-vs-DayAgg equivalence checks.
+type sample struct {
+	day   int
+	group string
+	v     float64
+}
+
+// deterministic pseudo-random stream (SplitMix64-style) so the tests need
+// no seed plumbing.
+type testRNG struct{ s uint64 }
+
+func (r *testRNG) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *testRNG) float() float64 { return float64(r.next()%1_000_000) / 1000 }
+
+func randomSamples(n, days int, groups []string) []sample {
+	rng := &testRNG{s: 42}
+	out := make([]sample, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, sample{
+			day:   int(rng.next() % uint64(days)),
+			group: groups[rng.next()%uint64(len(groups))],
+			v:     rng.float(),
+		})
+	}
+	return out
+}
+
+func fillBoth(samples []sample, days int, keep bool, groups ...string) (*Grouped, *DayAgg) {
+	gr := NewGrouped()
+	da := NewDayAgg(0, days-1, keep, groups...)
+	idx := map[string]int{}
+	for _, g := range groups {
+		idx[g] = da.GroupIndex(g)
+	}
+	for _, s := range samples {
+		gr.Add(s.day, s.group, s.v)
+		da.Add(s.day, idx[s.group], s.v)
+	}
+	return gr, da
+}
+
+// identical demands bit-level equality, treating NaN == NaN.
+func identical(t *testing.T, name string, a, b Series) {
+	t.Helper()
+	if a.Start != b.Start || a.Len() != b.Len() {
+		t.Fatalf("%s: span mismatch: [%d,+%d) vs [%d,+%d)", name, a.Start, a.Len(), b.Start, b.Len())
+	}
+	for i := range a.Values {
+		x, y := a.Values[i], b.Values[i]
+		if math.IsNaN(x) && math.IsNaN(y) {
+			continue
+		}
+		if math.Float64bits(x) != math.Float64bits(y) {
+			t.Fatalf("%s: day %d: %v != %v", name, a.Start+i, x, y)
+		}
+	}
+}
+
+func TestDayAggMatchesGrouped(t *testing.T) {
+	groups := []string{"pbs", "local", "(none)"}
+	samples := randomSamples(500, 9, groups)
+	gr, da := fillBoth(samples, 9, true, groups...)
+
+	for _, g := range groups {
+		identical(t, "mean/"+g, gr.Reduce(g, Mean), da.SeriesMean(g))
+		identical(t, "sum/"+g, gr.Reduce(g, Sum), da.SeriesSum(g))
+		identical(t, "median/"+g, gr.Reduce(g, Median), da.SeriesReduce(g, Median))
+		identical(t, "share/"+g, gr.ShareOfDay(g), da.Share(g))
+	}
+	identical(t, "hhi", gr.DailyHHI(), da.HHI())
+}
+
+// TestDayAggSparseDays checks NaN placement and span clipping when whole
+// days and groups go unobserved.
+func TestDayAggSparseDays(t *testing.T) {
+	samples := []sample{
+		{day: 3, group: "a", v: 1},
+		{day: 3, group: "b", v: 2},
+		{day: 6, group: "a", v: 5},
+	}
+	gr, da := fillBoth(samples, 10, true, "a", "b", "c")
+	identical(t, "mean/a", gr.Reduce("a", Mean), da.SeriesMean("a"))
+	identical(t, "mean/b", gr.Reduce("b", Mean), da.SeriesMean("b"))
+	identical(t, "share/a", gr.ShareOfDay("a"), da.Share("a"))
+	identical(t, "hhi", gr.DailyHHI(), da.HHI())
+
+	if da.Observed("c") {
+		t.Error("group c should be unobserved")
+	}
+	if !da.Observed("a") {
+		t.Error("group a should be observed")
+	}
+	if got := da.Count("a"); got != 2 {
+		t.Errorf("count(a) = %d", got)
+	}
+	s := da.SeriesMean("a")
+	if s.Start != 3 || s.Len() != 4 {
+		t.Errorf("span = [%d, +%d), want [3, +4)", s.Start, s.Len())
+	}
+}
+
+// TestDayAggShardedMergeIsSequential splits the day range into shards,
+// fills partials, merges, and demands bit-identity with the sequential
+// fill — the contract the parallel index build in internal/core relies on.
+func TestDayAggShardedMergeIsSequential(t *testing.T) {
+	groups := []string{"r1", "r2", "r3", "r4"}
+	days := 12
+	samples := randomSamples(800, days, groups)
+
+	_, seq := fillBoth(samples, days, true, groups...)
+
+	merged := NewDayAgg(0, days-1, true, groups...)
+	for _, shard := range [][2]int{{0, 4}, {4, 8}, {8, 12}} {
+		part := NewDayAgg(0, days-1, true, groups...)
+		for _, s := range samples { // sequential order within the shard's days
+			if s.day >= shard[0] && s.day < shard[1] {
+				part.Add(s.day, part.GroupIndex(s.group), s.v)
+			}
+		}
+		merged.Merge(part)
+	}
+
+	for _, g := range groups {
+		identical(t, "mean/"+g, seq.SeriesMean(g), merged.SeriesMean(g))
+		identical(t, "share/"+g, seq.Share(g), merged.Share(g))
+		identical(t, "q3/"+g, seq.SeriesReduce(g, func(v []float64) float64 { return Quantile(v, 0.75) }),
+			merged.SeriesReduce(g, func(v []float64) float64 { return Quantile(v, 0.75) }))
+	}
+	identical(t, "hhi", seq.HHI(), merged.HHI())
+}
+
+func TestGroupedMerge(t *testing.T) {
+	groups := []string{"x", "y"}
+	samples := randomSamples(200, 6, groups)
+	seq := NewGrouped()
+	for _, s := range samples {
+		seq.Add(s.day, s.group, s.v)
+	}
+
+	merged := NewGrouped()
+	for _, shard := range [][2]int{{0, 3}, {3, 6}} {
+		part := NewGrouped()
+		for _, s := range samples {
+			if s.day >= shard[0] && s.day < shard[1] {
+				part.Add(s.day, s.group, s.v)
+			}
+		}
+		merged.Merge(part)
+	}
+	for _, g := range groups {
+		identical(t, "mean/"+g, seq.Reduce(g, Mean), merged.Reduce(g, Mean))
+		identical(t, "share/"+g, seq.ShareOfDay(g), merged.ShareOfDay(g))
+	}
+	identical(t, "hhi", seq.DailyHHI(), merged.DailyHHI())
+
+	empty := NewGrouped()
+	empty.Merge(nil)
+	empty.Merge(NewGrouped())
+	if _, _, ok := empty.DayRange(); ok {
+		t.Error("merging empties should stay empty")
+	}
+}
+
+func TestParallelDays(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		n := 57
+		out := make([]int, n)
+		ParallelDays(n, workers, func(i int) { out[i] = i * i })
+		for i := range out {
+			if out[i] != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, out[i])
+			}
+		}
+	}
+	ParallelDays(0, 4, func(int) { t.Fatal("fn called for n=0") })
+}
+
+// TestDayAggParallelReduceDeterministic runs the same quantile reduction
+// serially and with day-level workers and demands identical bytes.
+func TestDayAggParallelReduceDeterministic(t *testing.T) {
+	groups := []string{"pbs", "local"}
+	_, da := fillBoth(randomSamples(600, 20, groups), 20, true, groups...)
+	q3 := func(v []float64) float64 { return Quantile(v, 0.75) }
+	serial := da.SeriesReduce("pbs", q3)
+	da.Workers = 7
+	parallel := da.SeriesReduce("pbs", q3)
+	identical(t, "q3 parallel", serial, parallel)
+}

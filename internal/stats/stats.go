@@ -3,6 +3,15 @@
 // quantiles and box-plot summaries (Figures 10-12), the Gini coefficient the
 // paper contrasts HHI against, and small time-series helpers for the daily
 // aggregations that drive every figure.
+//
+// Two aggregation layers coexist. Grouped is the incremental map-based
+// accumulator the figure scans feed block by block; DayAgg is the
+// fixed-group, fixed-span array form the analysis engine's single-pass
+// index uses, built per shard and merged across disjoint day ranges with
+// bit-identical results (see DayAgg.Merge). ParallelDays is the shared
+// contiguous-chunk parallel-for that runs the sharded passes and the
+// per-day reductions. All reductions iterate groups in sorted-name order
+// so output bytes never depend on map iteration order or worker count.
 package stats
 
 import (
@@ -304,7 +313,8 @@ func (gr *Grouped) Reduce(group string, reduce func([]float64) float64) Series {
 
 // ShareOfDay renders the daily share of group within the sum over all
 // groups, treating each sample as a count/weight. Days without samples
-// yield NaN.
+// yield NaN. Groups are totalled in sorted-name order, so the result is a
+// deterministic function of the added samples.
 func (gr *Grouped) ShareOfDay(group string) Series {
 	if !gr.any {
 		return Series{}
@@ -313,8 +323,8 @@ func (gr *Grouped) ShareOfDay(group string) Series {
 	for i := range out.Values {
 		day := gr.days[gr.minDay+i]
 		var total, mine float64
-		for g, samples := range day {
-			s := Sum(samples)
+		for _, g := range sortedKeys(day) {
+			s := Sum(day[g])
 			total += s
 			if g == group {
 				mine = s
@@ -330,7 +340,8 @@ func (gr *Grouped) ShareOfDay(group string) Series {
 }
 
 // DailyHHI renders the concentration of the groups day by day, weighting
-// each group by the sum of its samples (typically counts).
+// each group by the sum of its samples (typically counts). Group sizes are
+// accumulated in sorted-name order for determinism.
 func (gr *Grouped) DailyHHI() Series {
 	if !gr.any {
 		return Series{}
@@ -343,10 +354,46 @@ func (gr *Grouped) DailyHHI() Series {
 			continue
 		}
 		sizes := make([]float64, 0, len(day))
-		for _, samples := range day {
-			sizes = append(sizes, Sum(samples))
+		for _, g := range sortedKeys(day) {
+			sizes = append(sizes, Sum(day[g]))
 		}
 		out.Values[i] = HHI(sizes)
 	}
 	return out
+}
+
+func sortedKeys(m map[string][]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Merge appends every sample of other into gr, preserving other's per-day
+// sample order. When gr and other cover disjoint day ranges (the sharded
+// single-pass build in internal/core), the merged accumulator is
+// indistinguishable from one filled sequentially in day order.
+func (gr *Grouped) Merge(other *Grouped) {
+	if other == nil || !other.any {
+		return
+	}
+	for d, groups := range other.days {
+		m, ok := gr.days[d]
+		if !ok {
+			m = map[string][]float64{}
+			gr.days[d] = m
+		}
+		for g, samples := range groups {
+			m[g] = append(m[g], samples...)
+		}
+	}
+	if !gr.any || other.minDay < gr.minDay {
+		gr.minDay = other.minDay
+	}
+	if !gr.any || other.maxDay > gr.maxDay {
+		gr.maxDay = other.maxDay
+	}
+	gr.any = true
 }

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check crawl bench clean
+.PHONY: all build vet test race check chaos crawl bench clean
 
 all: check
 
@@ -19,13 +19,26 @@ race:
 	$(GO) test -race ./...
 
 # Tier-1 gate: everything builds and vets clean, the analysis-engine and
-# stats worker pools pass under the race detector, and the full suite
-# (including the golden parallel-vs-sequential byte-identity test) passes.
+# stats worker pools pass under the race detector, the full suite
+# (including the golden parallel-vs-sequential byte-identity test) passes,
+# and the chaos suite proves the pipeline is crash-safe.
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./internal/core/... ./internal/stats/...
 	$(GO) test ./...
+	$(MAKE) chaos
+
+# Crash-safety suite under the race detector: kill-and-resume goldens
+# (simulation checkpoints and byte-identical artifacts), corruption
+# injection against the dataset validator and the manifest verifier, and
+# crawler checkpoint persistence.
+chaos:
+	$(GO) test -race -count=1 \
+		-run 'KillAndResume|Resume|Checkpoint|Corrupt|Verify|Validate|Panic|Cancel' \
+		./internal/sim/... ./internal/report/... ./internal/core/... \
+		./internal/faults/... ./internal/relayapi/... ./internal/stats/... \
+		./internal/cli/...
 
 # The fault-injected crawl demo (byte-identical stdout per -seed).
 crawl:

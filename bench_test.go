@@ -15,6 +15,7 @@
 package pbslab_test
 
 import (
+	"context"
 	"math"
 	"os"
 	"strconv"
@@ -56,7 +57,7 @@ func fixture(b *testing.B) (*core.Analysis, *sim.Result) {
 		if days := envInt("PBSLAB_BENCH_DAYS", 0); days > 0 {
 			sc.End = sc.Start.Add(time.Duration(days) * 24 * time.Hour)
 		}
-		fixtureRes, fixtureErr = sim.Run(sc)
+		fixtureRes, fixtureErr = sim.Run(context.Background(), sc)
 		if fixtureErr != nil {
 			return
 		}
@@ -485,7 +486,7 @@ func runAblation(b *testing.B, mutate func(*sim.Scenario)) *core.Analysis {
 	if mutate != nil {
 		mutate(&sc)
 	}
-	res, err := sim.Run(sc)
+	res, err := sim.Run(context.Background(), sc)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -3,20 +3,27 @@
 // indexes. It is cmd/pbslab restricted to artifact generation, with the
 // output directory required and validated before the simulation starts.
 //
+// Like cmd/pbslab it is crash-safe: -checkpoint-dir/-resume make the
+// simulation survive kills, SIGINT checkpoints and flushes every completed
+// artifact (the manifest keeps the partial directory verifiable), and
+// -timeout bounds the whole run.
+//
 // Usage:
 //
 //	figures -out DIR [-days N] [-blocks-per-day N] [-seed N]
 //	        [-workers N] [-sequential]
+//	        [-checkpoint-dir DIR] [-resume] [-timeout D]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"github.com/ethpbs/pbslab/internal/cli"
 	"github.com/ethpbs/pbslab/internal/report"
-	"github.com/ethpbs/pbslab/internal/sim"
 )
 
 func main() {
@@ -28,20 +35,38 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := cli.EnsureOutDir(*out); err != nil {
-		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
-		os.Exit(1)
-	}
+	os.Exit(run(cfg, *out))
+}
 
-	res, err := sim.Run(cfg.Scenario())
+func run(cfg *cli.Config, out string) int {
+	if err := cli.EnsureOutDir(out); err != nil {
+		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+		return 1
+	}
+	ctx, stop := cfg.Context()
+	defer stop()
+
+	res, err := cfg.Simulate(ctx, func(day int) {
+		fmt.Fprintf(os.Stderr, "figures: day %d simulated\n", day)
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
-		os.Exit(1)
+		if (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) &&
+			cfg.CheckpointDir != "" {
+			fmt.Fprintf(os.Stderr, "figures: checkpoint saved; rerun with -resume to continue\n")
+			return 130
+		}
+		return 1
 	}
-	a := cfg.Analyze(res)
-	if err := report.WriteAll(a, *out); err != nil {
+	a, err := cfg.AnalyzeContext(ctx, res)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
-	fmt.Printf("wrote %s (blocks=%d, days=%d)\n", *out, len(res.Dataset.Blocks), res.Dataset.Days())
+	if err := report.WriteAllContext(ctx, a, out); err != nil {
+		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+		return 1
+	}
+	fmt.Printf("wrote %s (blocks=%d, days=%d)\n", out, len(res.Dataset.Blocks), res.Dataset.Days())
+	return 0
 }

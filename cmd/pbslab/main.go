@@ -7,14 +7,25 @@
 //
 //	pbslab [-days N] [-blocks-per-day N] [-seed N] [-workers N]
 //	       [-sequential] [-figures DIR] [-quiet]
+//	       [-checkpoint-dir DIR] [-resume] [-timeout D]
+//	pbslab -verify DIR
 //
 // The default -days 0 runs the paper's full window (2022-09-15 through
 // 2023-03-31, 198 days); smaller values truncate it for quick runs.
 // -sequential selects the legacy full-scan analysis baseline; output is
 // byte-identical either way.
+//
+// The run is crash-safe: with -checkpoint-dir the simulation checkpoints at
+// every simulated day boundary and again on SIGINT/SIGTERM or -timeout
+// expiry, and -resume continues a killed run to byte-identical output. Any
+// figure directory carries a manifest of sizes and SHA-256 digests;
+// -verify checks a directory against its manifest and reports corrupt,
+// missing, and stale files.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -22,44 +33,87 @@ import (
 
 	"github.com/ethpbs/pbslab/internal/cli"
 	"github.com/ethpbs/pbslab/internal/report"
-	"github.com/ethpbs/pbslab/internal/sim"
 )
 
 func main() {
 	cfg := cli.Register(flag.CommandLine)
 	figuresDir := flag.String("figures", "", "write per-figure CSVs into this directory")
 	quiet := flag.Bool("quiet", false, "suppress the text report")
+	verifyDir := flag.String("verify", "", "verify an output directory against its manifest and exit")
 	flag.Parse()
 
-	if *figuresDir != "" {
-		if err := cli.EnsureOutDir(*figuresDir); err != nil {
+	if *verifyDir != "" {
+		os.Exit(verify(*verifyDir))
+	}
+	os.Exit(run(cfg, *figuresDir, *quiet))
+}
+
+// verify checks dir against its manifest: 0 = clean, 1 = problems found or
+// the manifest itself is unreadable.
+func verify(dir string) int {
+	problems, err := report.VerifyDir(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pbslab: verify: %v\n", err)
+		return 1
+	}
+	if len(problems) == 0 {
+		fmt.Printf("%s: verified, every artifact matches the manifest\n", dir)
+		return 0
+	}
+	for _, p := range problems {
+		fmt.Println(p)
+	}
+	fmt.Fprintf(os.Stderr, "pbslab: %s: %d problem(s)\n", dir, len(problems))
+	return 1
+}
+
+func run(cfg *cli.Config, figuresDir string, quiet bool) int {
+	if figuresDir != "" {
+		if err := cli.EnsureOutDir(figuresDir); err != nil {
 			fmt.Fprintf(os.Stderr, "pbslab: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	ctx, stop := cfg.Context()
+	defer stop()
 
 	sc := cfg.Scenario()
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "simulating %s → %s at %d blocks/day (seed %d)...\n",
 		sc.Start.Format("2006-01-02"), sc.End.Format("2006-01-02"), sc.BlocksPerDay, sc.Seed)
-	res, err := sim.Run(sc)
+	res, err := cfg.Simulate(ctx, nil)
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "pbslab: %v\n", err)
+			if cfg.CheckpointDir != "" {
+				fmt.Fprintf(os.Stderr, "pbslab: checkpoint saved; rerun with -resume to continue\n")
+			}
+			return 130
+		}
 		fmt.Fprintf(os.Stderr, "pbslab: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Fprintf(os.Stderr, "simulated %d blocks in %v; analyzing...\n",
 		len(res.Dataset.Blocks), time.Since(start).Round(time.Millisecond))
 
-	a := cfg.Analyze(res)
+	a, err := cfg.AnalyzeContext(ctx, res)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pbslab: %v\n", err)
+		return 1
+	}
 
-	if !*quiet {
+	if !quiet {
 		report.PrintAll(os.Stdout, a)
 	}
-	if *figuresDir != "" {
-		if err := report.WriteAll(a, *figuresDir); err != nil {
+	if figuresDir != "" {
+		// Even on cancellation mid-render, every completed artifact is
+		// flushed and covered by the manifest: the directory stays
+		// verifiable, merely incomplete.
+		if err := report.WriteAllContext(ctx, a, figuresDir); err != nil {
 			fmt.Fprintf(os.Stderr, "pbslab: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		fmt.Fprintf(os.Stderr, "figures written to %s\n", *figuresDir)
+		fmt.Fprintf(os.Stderr, "figures written to %s\n", figuresDir)
 	}
+	return 0
 }

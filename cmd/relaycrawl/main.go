@@ -14,6 +14,7 @@
 //
 //	relaycrawl [-days N] [-page N] [-seed N] [-flaky N] [-outages N]
 //	           [-drop P] [-fail P] [-ratelimit P] [-truncate P] [-parallel N]
+//	           [-checkpoints DIR]
 package main
 
 import (
@@ -42,13 +43,14 @@ func main() {
 	rateLimit := flag.Float64("ratelimit", 0.05, "per-request 429 probability on flaky relays")
 	truncate := flag.Float64("truncate", 0.10, "per-request body-truncation probability on flaky relays")
 	parallel := flag.Int("parallel", 4, "concurrent relay crawls")
+	checkpoints := flag.String("checkpoints", "", "persist per-relay crawl checkpoints into this directory")
 	flag.Parse()
 
 	sc := sim.DefaultScenario()
 	sc.End = sc.Start.Add(time.Duration(*days) * 24 * time.Hour)
 	sc.BlocksPerDay = 24
 	fmt.Fprintf(os.Stderr, "simulating %d days...\n", *days)
-	res, err := sim.Run(sc)
+	res, err := sim.Run(context.Background(), sc)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "relaycrawl: %v\n", err)
 		os.Exit(1)
@@ -134,10 +136,11 @@ func main() {
 	}()
 
 	crawler := &relayapi.Crawler{
-		Clients:     clients,
-		PageSize:    *page,
-		Parallelism: *parallel,
-		Resumes:     4,
+		Clients:       clients,
+		PageSize:      *page,
+		Parallelism:   *parallel,
+		Resumes:       4,
+		CheckpointDir: *checkpoints,
 	}
 	start := time.Now()
 	harvests := crawler.Run(context.Background())

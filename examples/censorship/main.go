@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
@@ -24,7 +25,7 @@ func main() {
 	// at example scale.
 	sc.End = time.Date(2022, 11, 20, 0, 0, 0, 0, time.UTC)
 	sc.Demand.SanctionedTxProb = 0.12
-	res, err := sim.Run(sc)
+	res, err := sim.Run(context.Background(), sc)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "censorship:", err)
 		os.Exit(1)

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
@@ -20,7 +21,7 @@ import (
 func main() {
 	sc := sim.DefaultScenario()
 	sc.End = time.Date(2022, 11, 20, 0, 0, 0, 0, time.UTC)
-	res, err := sim.Run(sc)
+	res, err := sim.Run(context.Background(), sc)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mevstudy:", err)
 		os.Exit(1)

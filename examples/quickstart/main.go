@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
@@ -21,7 +22,7 @@ func main() {
 
 	// 2. Simulate: demand → mempool/gossip → searchers → builders → relays
 	// → proposers → chain, collecting the Table 1 datasets along the way.
-	res, err := sim.Run(sc)
+	res, err := sim.Run(context.Background(), sc)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "quickstart:", err)
 		os.Exit(1)

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
@@ -18,7 +19,7 @@ import (
 func main() {
 	sc := sim.DefaultScenario()
 	sc.End = time.Date(2022, 11, 15, 0, 0, 0, 0, time.UTC) // covers the incident
-	res, err := sim.Run(sc)
+	res, err := sim.Run(context.Background(), sc)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "relaymarket:", err)
 		os.Exit(1)

@@ -1,0 +1,66 @@
+// Package atomicio provides crash-safe file writes. Every durable artifact
+// of the pipeline — figure CSVs, the artifact manifest, simulation
+// checkpoints, crawler resume state — goes through WriteFile, so a crash or
+// kill mid-write can never leave a truncated file that looks finished: the
+// data lands in a temp file in the target directory and only a successful
+// rename (atomic on POSIX within one filesystem) publishes it under the
+// final name.
+package atomicio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// TempPrefix marks in-flight temp files; verification treats leftovers as
+// stale debris from a crashed writer.
+const TempPrefix = ".tmp-"
+
+// WriteFile writes data to path atomically: temp file in the same
+// directory, write, sync, close, rename. On any failure the temp file is
+// removed and path is left untouched (either absent or holding its previous
+// complete content).
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, TempPrefix+base+"-*")
+	if err != nil {
+		return fmt.Errorf("atomicio: create temp for %s: %w", path, err)
+	}
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return cleanup(fmt.Errorf("atomicio: write %s: %w", path, err))
+	}
+	// Sync before rename: otherwise a power loss can publish an empty file
+	// under the final name on some filesystems.
+	if err := f.Sync(); err != nil {
+		return cleanup(fmt.Errorf("atomicio: sync %s: %w", path, err))
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("atomicio: close %s: %w", path, err)
+	}
+	if err := os.Chmod(tmp, perm); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("atomicio: chmod %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("atomicio: rename to %s: %w", path, err)
+	}
+	return nil
+}
+
+// IsTemp reports whether a file name is an in-flight temp file left behind
+// by a crashed WriteFile.
+func IsTemp(name string) bool {
+	return len(name) >= len(TempPrefix) && name[:len(TempPrefix)] == TempPrefix
+}

@@ -163,3 +163,39 @@ func (l *Ledger) Accrued(index uint64) types.Wei { return l.proposerRewards[inde
 
 // TotalProposals returns the number of proposals recorded.
 func (l *Ledger) TotalProposals() uint64 { return l.totalProposed }
+
+// LedgerSnapshot is the Ledger's serializable state for checkpointing.
+type LedgerSnapshot struct {
+	ProposerRewards map[uint64]types.Wei
+	Proposed        map[uint64]uint64
+	TotalProposed   uint64
+}
+
+// Export snapshots the ledger.
+func (l *Ledger) Export() LedgerSnapshot {
+	sn := LedgerSnapshot{
+		ProposerRewards: make(map[uint64]types.Wei, len(l.proposerRewards)),
+		Proposed:        make(map[uint64]uint64, len(l.proposed)),
+		TotalProposed:   l.totalProposed,
+	}
+	for k, v := range l.proposerRewards {
+		sn.ProposerRewards[k] = v
+	}
+	for k, v := range l.proposed {
+		sn.Proposed[k] = v
+	}
+	return sn
+}
+
+// Restore replaces the ledger's books from a snapshot.
+func (l *Ledger) Restore(sn LedgerSnapshot) {
+	l.proposerRewards = make(map[uint64]types.Wei, len(sn.ProposerRewards))
+	l.proposed = make(map[uint64]uint64, len(sn.Proposed))
+	for k, v := range sn.ProposerRewards {
+		l.proposerRewards[k] = v
+	}
+	for k, v := range sn.Proposed {
+		l.proposed[k] = v
+	}
+	l.totalProposed = sn.TotalProposed
+}

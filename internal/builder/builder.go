@@ -124,6 +124,13 @@ func (b *Builder) VerificationKeys() []crypto.Hash {
 	return out
 }
 
+// RNGState returns the builder's private draw-stream position (coverage
+// sampling, margin and subsidy draws) for checkpointing.
+func (b *Builder) RNGState() uint64 { return b.r.State() }
+
+// SetRNGState repositions the builder's draw stream (checkpoint restore).
+func (b *Builder) SetRNGState(s uint64) { b.r.SetState(s) }
+
 // keyFor selects the submission key for a slot (round-robin rotation).
 func (b *Builder) keyFor(slot uint64) *crypto.Key {
 	return b.keys[int(slot%uint64(len(b.keys)))]

@@ -145,6 +145,21 @@ func New(cfg Config, engine *evm.Engine, genesisState *state.State) *Chain {
 // Config returns the chain configuration.
 func (c *Chain) Config() Config { return c.cfg }
 
+// Restore replaces the chain's post-genesis history and canonical state in
+// one step; simulation checkpoints use it to rebuild a chain to an exact
+// mid-run position. The genesis block is kept, blocks are appended in
+// order, and the hash index is rebuilt from scratch.
+func (c *Chain) Restore(blocks []*StoredBlock, st *state.State) {
+	genesis := c.blocks[0]
+	c.blocks = append(c.blocks[:0:0], genesis)
+	c.byHash = map[types.Hash]*StoredBlock{genesis.Block.Hash(): genesis}
+	for _, b := range blocks {
+		c.blocks = append(c.blocks, b)
+		c.byHash[b.Block.Hash()] = b
+	}
+	c.st = st
+}
+
 // Engine returns the execution engine (shared with builders).
 func (c *Chain) Engine() *evm.Engine { return c.engine }
 

@@ -6,11 +6,13 @@
 package cli
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/ethpbs/pbslab/internal/core"
@@ -30,6 +32,15 @@ type Config struct {
 	// Sequential forces the legacy full-scan analysis path (the baseline
 	// the parallel engine is measured against).
 	Sequential bool
+	// CheckpointDir makes the simulation write a resumable checkpoint at
+	// every day boundary and on interruption ("" = no checkpoints).
+	CheckpointDir string
+	// Resume continues a killed run from the newest matching checkpoint in
+	// CheckpointDir instead of starting over.
+	Resume bool
+	// Timeout bounds the whole run (0 = no deadline). On expiry the run is
+	// cancelled exactly like a SIGINT: checkpoint, flush, exit.
+	Timeout time.Duration
 }
 
 // Register declares the shared flags on fs and returns the bound Config.
@@ -40,7 +51,23 @@ func Register(fs *flag.FlagSet) *Config {
 	fs.Uint64Var(&c.Seed, "seed", 1, "scenario seed")
 	fs.IntVar(&c.Workers, "workers", 0, "analysis worker pool size (0 = all CPUs)")
 	fs.BoolVar(&c.Sequential, "sequential", false, "use the sequential full-scan analysis path (baseline)")
+	fs.StringVar(&c.CheckpointDir, "checkpoint-dir", "", "write per-day simulation checkpoints into this directory")
+	fs.BoolVar(&c.Resume, "resume", false, "resume from the newest checkpoint in -checkpoint-dir")
+	fs.DurationVar(&c.Timeout, "timeout", 0, "abort (with checkpoint) after this duration, e.g. 10m (0 = none)")
 	return c
+}
+
+// Context returns a run context cancelled by SIGINT/SIGTERM and, when
+// -timeout is set, by the deadline. The returned stop function releases the
+// signal handler; a second signal after cancellation kills the process the
+// default way, so a stuck run can always be interrupted twice.
+func (c *Config) Context() (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	if c.Timeout <= 0 {
+		return ctx, stop
+	}
+	tctx, cancel := context.WithTimeout(ctx, c.Timeout)
+	return tctx, func() { cancel(); stop() }
 }
 
 // Scenario builds the simulation scenario from the config.
@@ -58,9 +85,37 @@ func (c *Config) Scenario() sim.Scenario {
 	return sc
 }
 
+// Simulate runs the scenario under ctx with the configured durability
+// options: day-boundary checkpoints when -checkpoint-dir is set, continuing
+// from the newest one when -resume is also given. onDay, when non-nil, is
+// called at each simulated day boundary (for progress output).
+func (c *Config) Simulate(ctx context.Context, onDay func(day int)) (*sim.Result, error) {
+	if c.Resume && c.CheckpointDir == "" {
+		return nil, errors.New("-resume requires -checkpoint-dir")
+	}
+	return sim.RunOpts(ctx, c.Scenario(), sim.RunOptions{
+		CheckpointDir: c.CheckpointDir,
+		Resume:        c.Resume,
+		OnDay:         onDay,
+	})
+}
+
 // Analyze runs the analysis engine over a finished simulation with the
 // configured worker pool and engine path.
 func (c *Config) Analyze(res *sim.Result) *core.Analysis {
+	a, err := c.AnalyzeContext(context.Background(), res)
+	if err != nil {
+		// Only reachable through a worker panic, which NewWithContext has
+		// already converted to an error naming the shard.
+		panic(err)
+	}
+	return a
+}
+
+// AnalyzeContext is Analyze under a context: cancellation stops the
+// analysis pools early and a worker panic comes back as an error instead of
+// killing the process.
+func (c *Config) AnalyzeContext(ctx context.Context, res *sim.Result) (*core.Analysis, error) {
 	opts := []core.Option{core.WithBuilderLabels(res.World.BuilderLabels())}
 	if c.Workers > 0 {
 		opts = append(opts, core.WithWorkers(c.Workers))
@@ -68,12 +123,15 @@ func (c *Config) Analyze(res *sim.Result) *core.Analysis {
 	if c.Sequential {
 		opts = append(opts, core.WithSequential())
 	}
-	return core.New(res.Dataset, opts...)
+	return core.NewWithContext(ctx, res.Dataset, opts...)
 }
 
 // EnsureOutDir creates dir if needed and verifies it is writable by
-// creating and removing a probe file. Called before the simulation so a bad
-// output path fails in milliseconds instead of after a multi-minute run.
+// creating and removing a uniquely named probe file. Called before the
+// simulation so a bad output path fails in milliseconds instead of after a
+// multi-minute run. The probe name is randomized (os.CreateTemp), so
+// concurrent runs sharing an output directory cannot race on it, and a
+// failed cleanup is reported rather than silently leaving debris behind.
 func EnsureOutDir(dir string) error {
 	if dir == "" {
 		return errors.New("output directory is empty")
@@ -81,12 +139,16 @@ func EnsureOutDir(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("create output dir %s: %w", dir, err)
 	}
-	probe := filepath.Join(dir, ".pbslab-write-probe")
-	f, err := os.Create(probe)
+	f, err := os.CreateTemp(dir, ".pbslab-write-probe-*")
 	if err != nil {
 		return fmt.Errorf("output dir %s is not writable: %w", dir, err)
 	}
-	f.Close()
-	os.Remove(probe)
+	probe := f.Name()
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("close probe in %s: %w", dir, err)
+	}
+	if err := os.Remove(probe); err != nil {
+		return fmt.Errorf("remove probe in %s: %w", dir, err)
+	}
 	return nil
 }

@@ -1,0 +1,116 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestEnsureOutDirCreatesAndProbes(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "out")
+	if err := EnsureOutDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Errorf("probe left debris: %v", ents)
+	}
+}
+
+func TestEnsureOutDirEmptyPath(t *testing.T) {
+	if err := EnsureOutDir(""); err == nil {
+		t.Fatal("empty path accepted")
+	}
+}
+
+func TestEnsureOutDirConcurrentProbesDoNotCollide(t *testing.T) {
+	// The probe name is randomized, so many simultaneous probes of one
+	// directory never race on a shared file.
+	dir := t.TempDir()
+	errs := make(chan error, 16)
+	for i := 0; i < cap(errs); i++ {
+		go func() { errs <- EnsureOutDir(dir) }()
+	}
+	for i := 0; i < cap(errs); i++ {
+		if err := <-errs; err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestRegisterBindsDurabilityFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := Register(fs)
+	err := fs.Parse([]string{
+		"-days", "3", "-checkpoint-dir", "/tmp/ck", "-resume", "-timeout", "90s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Days != 3 || c.CheckpointDir != "/tmp/ck" || !c.Resume || c.Timeout != 90*time.Second {
+		t.Errorf("parsed config = %+v", c)
+	}
+}
+
+func TestSimulateResumeRequiresCheckpointDir(t *testing.T) {
+	c := &Config{Resume: true}
+	if _, err := c.Simulate(context.Background(), nil); err == nil ||
+		!strings.Contains(err.Error(), "-checkpoint-dir") {
+		t.Fatalf("err = %v, want -resume guidance", err)
+	}
+}
+
+func TestContextTimeoutExpires(t *testing.T) {
+	c := &Config{Timeout: 10 * time.Millisecond}
+	ctx, stop := c.Context()
+	defer stop()
+	select {
+	case <-ctx.Done():
+		if !errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			t.Fatalf("ctx.Err() = %v, want DeadlineExceeded", ctx.Err())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("-timeout context never expired")
+	}
+}
+
+func TestSimulateCancelledRunCheckpointsAndResumes(t *testing.T) {
+	dir := t.TempDir()
+	base := &Config{Days: 2, BlocksPerDay: 12, Seed: 1}
+
+	interrupted := *base
+	interrupted.CheckpointDir = dir
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err := interrupted.Simulate(ctx, func(day int) {
+		if day >= 1 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run: err = %v, want context.Canceled", err)
+	}
+
+	resumed := interrupted
+	resumed.Resume = true
+	res, err := resumed.Simulate(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := base.Simulate(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Dataset.Blocks) != len(clean.Dataset.Blocks) {
+		t.Errorf("resumed run collected %d blocks, clean run %d",
+			len(res.Dataset.Blocks), len(clean.Dataset.Blocks))
+	}
+}

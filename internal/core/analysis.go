@@ -24,6 +24,8 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sort"
 	"time"
@@ -180,7 +182,24 @@ func WithoutMemo() Option {
 // in parallel (each slot of the stats slice is owned by one worker), then
 // the single-pass Index is built over day-aligned shards and merged in
 // shard order, which keeps every float accumulation in chain order.
+//
+// A worker panic surfaces as a panic on the caller's goroutine (wrapped in
+// *stats.WorkerPanicError) rather than crashing the process from a pool
+// goroutine; use NewWithContext to receive it as an error instead.
 func New(ds *dataset.Dataset, opts ...Option) *Analysis {
+	a, err := NewWithContext(context.Background(), ds, opts...)
+	if err != nil {
+		// Background contexts never cancel, so the only possible error is a
+		// recovered worker panic: re-raise it to keep New's contract.
+		panic(err)
+	}
+	return a
+}
+
+// NewWithContext is New under a context: the classification and index
+// passes stop early when ctx is cancelled, and a panic inside a worker
+// comes back as a *stats.WorkerPanicError instead of killing the process.
+func NewWithContext(ctx context.Context, ds *dataset.Dataset, opts ...Option) (*Analysis, error) {
 	a := &Analysis{
 		ds:       ds,
 		byNum:    map[uint64]*BlockStat{},
@@ -201,12 +220,16 @@ func New(ds *dataset.Dataset, opts ...Option) *Analysis {
 
 	a.stats = make([]*BlockStat, len(ds.Blocks))
 	shards := shardRanges(len(ds.Blocks), a.workers)
-	stats.ParallelDays(len(shards), a.workers, func(s int) {
+	err := stats.ParallelDaysErr(ctx, len(shards), a.workers, func(s int) error {
 		for i := shards[s][0]; i < shards[s][1]; i++ {
 			b := ds.Blocks[i]
 			a.stats[i] = a.classify(b, claims[b.Hash], mevByBlock[b.Number])
 		}
+		return nil
 	})
+	if err != nil {
+		return nil, fmt.Errorf("core: classify: %w", err)
+	}
 	for _, st := range a.stats {
 		a.byNum[st.Block.Number] = st
 		a.byHash[st.Block.Hash] = st
@@ -221,9 +244,13 @@ func New(ds *dataset.Dataset, opts ...Option) *Analysis {
 		}
 	}
 	if !a.sequential {
-		a.idx = buildIndex(a)
+		idx, err := buildIndex(ctx, a)
+		if err != nil {
+			return nil, fmt.Errorf("core: index: %w", err)
+		}
+		a.idx = idx
 	}
-	return a
+	return a, nil
 }
 
 // Workers returns the analysis worker-pool size (1 when sequential).

@@ -8,6 +8,7 @@ package core_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -30,7 +31,7 @@ func goldenDataset(t testing.TB, seed uint64, days int) *sim.Result {
 	sc.Demand.Users = 120
 	sc.Demand.TxPerBlock = sim.Flat(30)
 	sc.SmallBuilderCount = 20
-	res, err := sim.Run(sc)
+	res, err := sim.Run(context.Background(), sc)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -270,7 +271,7 @@ func (ix *Index) merge(o *Index) {
 // so each partial owns its days exclusively; if block days are ever
 // non-monotonic (they are not, in chain order), it falls back to one shard
 // rather than risk interleaving float additions.
-func buildIndex(a *Analysis) *Index {
+func buildIndex(ctx context.Context, a *Analysis) (*Index, error) {
 	lo, hi := 0, 0
 	monotonic := true
 	if len(a.stats) > 0 {
@@ -305,21 +306,29 @@ func buildIndex(a *Analysis) *Index {
 		shards = [][2]int{{0, len(a.stats)}}
 	}
 	parts := make([]*Index, len(shards))
-	stats.ParallelDays(len(shards), a.workers, func(s int) {
+	err := stats.ParallelDaysErr(ctx, len(shards), a.workers, func(s int) error {
 		ix := newIndexShell(lo, hi, relayNames, clusterNames)
 		for i := shards[s][0]; i < shards[s][1]; i++ {
 			ix.addBlock(a.stats[i], compliant)
 		}
 		parts[s] = ix
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	dst := parts[0]
 	for _, p := range parts[1:] {
 		dst.merge(p)
 	}
 	dst.profit.Workers = a.workers
 	dst.gas.Workers = a.workers
-	dst.delay = a.idxInclusionDelay()
-	return dst
+	delay, err := a.idxInclusionDelay(ctx)
+	if err != nil {
+		return nil, err
+	}
+	dst.delay = delay
+	return dst, nil
 }
 
 // shardRangesByDay splits the corpus into at most k contiguous ranges whose
@@ -502,11 +511,11 @@ func (a *Analysis) idxFigure7() map[string]stats.Series {
 
 // idxInclusionDelay shards the delay scan; per-shard sample slices
 // concatenate in shard (= chain) order.
-func (a *Analysis) idxInclusionDelay() DelayReport {
+func (a *Analysis) idxInclusionDelay(ctx context.Context) (DelayReport, error) {
 	shards := shardRanges(len(a.stats), a.workers)
 	type part struct{ regular, sanctioned []float64 }
 	parts := make([]part, len(shards))
-	stats.ParallelDays(len(shards), a.workers, func(s int) {
+	err := stats.ParallelDaysErr(ctx, len(shards), a.workers, func(s int) error {
 		p := &parts[s]
 		for i := shards[s][0]; i < shards[s][1]; i++ {
 			st := a.stats[i]
@@ -529,7 +538,11 @@ func (a *Analysis) idxInclusionDelay() DelayReport {
 				}
 			}
 		}
+		return nil
 	})
+	if err != nil {
+		return DelayReport{}, err
+	}
 	var regular, sanctioned []float64
 	for _, p := range parts {
 		regular = append(regular, p.regular...)
@@ -542,5 +555,5 @@ func (a *Analysis) idxInclusionDelay() DelayReport {
 	if rep.Regular.Mean > 0 {
 		rep.MeanRatio = rep.Sanctioned.Mean / rep.Regular.Mean
 	}
-	return rep
+	return rep, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -18,7 +19,7 @@ func runAnalysis(t *testing.T, days int) (*Analysis, *sim.Result) {
 	sc.Demand.Users = 120
 	sc.Demand.TxPerBlock = sim.Flat(30)
 	sc.SmallBuilderCount = 20
-	res, err := sim.Run(sc)
+	res, err := sim.Run(context.Background(), sc)
 	if err != nil {
 		t.Fatal(err)
 	}

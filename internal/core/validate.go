@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/ethpbs/pbslab/internal/dataset"
+	"github.com/ethpbs/pbslab/internal/types"
+	"github.com/ethpbs/pbslab/internal/u256"
+)
+
+// Violation kinds reported by Validate.
+const (
+	// VioOrder: block numbers, slots or timestamps are not strictly
+	// increasing and contiguous in chain order.
+	VioOrder = "order"
+	// VioWindow: a block's timestamp falls outside the dataset's declared
+	// [Start, End] window (day-boundary misalignment).
+	VioWindow = "window"
+	// VioConservation: a block's fee accounting disagrees with its
+	// receipts — recomputed tips, burn, or gas do not match the stored
+	// values, or a receipt's effective price is below the base fee.
+	VioConservation = "conservation"
+	// VioLabel: an MEV label points at a block or transaction the corpus
+	// does not contain.
+	VioLabel = "label"
+	// VioRelay: a relay's delivered trace references a block that is not
+	// on the canonical chain or disagrees with it.
+	VioRelay = "relay"
+)
+
+// Violation is one dataset invariant failure.
+type Violation struct {
+	Kind string
+	// Block is the implicated block number (0 when the violation is not
+	// attributable to one block).
+	Block  uint64
+	Detail string
+}
+
+func (v Violation) String() string {
+	if v.Block != 0 {
+		return fmt.Sprintf("[%s] block %d: %s", v.Kind, v.Block, v.Detail)
+	}
+	return fmt.Sprintf("[%s] %s", v.Kind, v.Detail)
+}
+
+// ValidationReport is the outcome of Validate: every violation found, and
+// the quarantine set — block numbers implicated in at least one violation,
+// which a cautious pipeline should exclude before analysis.
+type ValidationReport struct {
+	Violations []Violation
+	// Quarantined lists implicated block numbers, sorted ascending.
+	Quarantined []uint64
+}
+
+// OK reports whether the dataset passed every invariant.
+func (r ValidationReport) OK() bool { return len(r.Violations) == 0 }
+
+// Render writes the human-readable quarantine report.
+func (r ValidationReport) Render(w io.Writer) {
+	if r.OK() {
+		fmt.Fprintln(w, "# dataset validation: all invariants hold")
+		return
+	}
+	fmt.Fprintf(w, "# dataset validation: %d violation(s), %d block(s) quarantined\n",
+		len(r.Violations), len(r.Quarantined))
+	for _, v := range r.Violations {
+		fmt.Fprintln(w, v)
+	}
+}
+
+// Validate checks the corpus invariants the analysis relies on: chain
+// order, window alignment, per-block fee conservation against receipts,
+// MEV-label referential integrity, and relay delivered-trace consistency.
+// It reads only dataset types — like the rest of the pipeline it never
+// sees simulator ground truth — so it applies equally to a crawled corpus.
+func Validate(ds *dataset.Dataset) ValidationReport {
+	var rep ValidationReport
+	quarantine := map[uint64]bool{}
+	flag := func(kind string, block uint64, format string, args ...any) {
+		rep.Violations = append(rep.Violations, Violation{
+			Kind: kind, Block: block, Detail: fmt.Sprintf(format, args...),
+		})
+		if block != 0 {
+			quarantine[block] = true
+		}
+	}
+
+	byNum := make(map[uint64]*dataset.Block, len(ds.Blocks))
+	byHash := make(map[types.Hash]*dataset.Block, len(ds.Blocks))
+	txBlock := map[types.Hash]uint64{}
+	for i, b := range ds.Blocks {
+		byNum[b.Number] = b
+		byHash[b.Hash] = b
+		for _, tx := range b.Txs {
+			txBlock[tx.Hash()] = b.Number
+		}
+
+		// Chain order: contiguous numbers, strictly increasing slots and
+		// timestamps.
+		if i > 0 {
+			prev := ds.Blocks[i-1]
+			if b.Number != prev.Number+1 {
+				flag(VioOrder, b.Number, "number %d follows %d (want %d)", b.Number, prev.Number, prev.Number+1)
+			}
+			if b.Slot <= prev.Slot {
+				flag(VioOrder, b.Number, "slot %d not after %d", b.Slot, prev.Slot)
+			}
+			if !b.Time.After(prev.Time) {
+				flag(VioOrder, b.Number, "timestamp %s not after %s", b.Time, prev.Time)
+			}
+		}
+
+		// Window alignment: every block lies inside [Start, End] and on a
+		// non-negative day index.
+		if b.Time.Before(ds.Start) || b.Time.After(ds.End) {
+			flag(VioWindow, b.Number, "timestamp %s outside window [%s, %s]",
+				b.Time, ds.Start, ds.End)
+		}
+
+		validateConservation(b, flag)
+	}
+
+	// MEV labels must reference existing blocks and transactions within
+	// them.
+	for _, l := range ds.MEVLabels {
+		if _, ok := byNum[l.Block]; !ok {
+			flag(VioLabel, l.Block, "%s label references unknown block", l.Kind)
+			continue
+		}
+		for _, h := range l.Txs {
+			if got, ok := txBlock[h]; !ok {
+				flag(VioLabel, l.Block, "%s label tx %s not in corpus", l.Kind, h)
+			} else if got != l.Block {
+				flag(VioLabel, l.Block, "%s label tx %s is in block %d", l.Kind, h, got)
+			}
+		}
+	}
+
+	// Relay delivered traces must agree with the canonical chain: the
+	// delivered block exists, and its number matches the trace.
+	for _, r := range ds.Relays {
+		for _, tr := range r.Delivered {
+			b, ok := byHash[tr.BlockHash]
+			if !ok {
+				flag(VioRelay, tr.BlockNumber, "relay %s delivered unknown block %s", r.Name, tr.BlockHash)
+				continue
+			}
+			if tr.BlockNumber != 0 && tr.BlockNumber != b.Number {
+				flag(VioRelay, b.Number, "relay %s trace says number %d", r.Name, tr.BlockNumber)
+			}
+		}
+	}
+
+	rep.Quarantined = make([]uint64, 0, len(quarantine))
+	for n := range quarantine {
+		rep.Quarantined = append(rep.Quarantined, n)
+	}
+	sort.Slice(rep.Quarantined, func(i, j int) bool { return rep.Quarantined[i] < rep.Quarantined[j] })
+	return rep
+}
+
+// validateConservation recomputes a block's fee totals from its receipts
+// and checks them against the stored values.
+func validateConservation(b *dataset.Block, flag func(kind string, block uint64, format string, args ...any)) {
+	if len(b.Receipts) != len(b.Txs) {
+		flag(VioConservation, b.Number, "%d receipts for %d txs", len(b.Receipts), len(b.Txs))
+		return
+	}
+	gas := uint64(0)
+	burned, tips := u256.Zero, u256.Zero
+	for i, rcpt := range b.Receipts {
+		if rcpt.TxHash != b.Txs[i].Hash() {
+			flag(VioConservation, b.Number, "receipt %d hash %s, tx hash %s", i, rcpt.TxHash, b.Txs[i].Hash())
+			return
+		}
+		if rcpt.EffectiveGasPrice.Lt(b.BaseFee) {
+			flag(VioConservation, b.Number, "receipt %d effective price %s below base fee %s",
+				i, rcpt.EffectiveGasPrice, b.BaseFee)
+			return
+		}
+		gas += rcpt.GasUsed
+		burned = burned.Add(b.BaseFee.Mul64(rcpt.GasUsed))
+		tips = tips.Add(rcpt.EffectiveGasPrice.SatSub(b.BaseFee).Mul64(rcpt.GasUsed))
+	}
+	if gas != b.GasUsed {
+		flag(VioConservation, b.Number, "receipts burn %d gas, header says %d", gas, b.GasUsed)
+	}
+	if b.GasUsed > b.GasLimit {
+		flag(VioConservation, b.Number, "gas used %d above limit %d", b.GasUsed, b.GasLimit)
+	}
+	if !burned.Eq(b.Burned) {
+		flag(VioConservation, b.Number, "recomputed burn %s, stored %s", burned, b.Burned)
+	}
+	if !tips.Eq(b.Tips) {
+		flag(VioConservation, b.Number, "recomputed tips %s, stored %s", tips, b.Tips)
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ethpbs/pbslab/internal/faults"
+	"github.com/ethpbs/pbslab/internal/sim"
+)
+
+// validateDataset simulates a short window and returns its dataset.
+func validateDataset(t *testing.T, seed uint64) *sim.Result {
+	t.Helper()
+	sc := sim.DefaultScenario()
+	sc.Seed = seed
+	sc.End = sc.Start.Add(2 * 24 * time.Hour)
+	sc.BlocksPerDay = 12
+	sc.Validators = 200
+	sc.Demand.Users = 120
+	sc.Demand.TxPerBlock = sim.Flat(30)
+	sc.SmallBuilderCount = 20
+	res, err := sim.Run(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestValidateCleanDataset(t *testing.T) {
+	res := validateDataset(t, 1)
+	rep := Validate(res.Dataset)
+	if !rep.OK() {
+		for _, v := range rep.Violations {
+			t.Errorf("unexpected violation: %s", v)
+		}
+	}
+	if len(rep.Quarantined) != 0 {
+		t.Errorf("clean dataset quarantined blocks %v", rep.Quarantined)
+	}
+	var sb strings.Builder
+	rep.Render(&sb)
+	if !strings.Contains(sb.String(), "all invariants hold") {
+		t.Errorf("clean render = %q", sb.String())
+	}
+}
+
+func TestValidateDetectsEveryInjectedCorruption(t *testing.T) {
+	res := validateDataset(t, 2)
+	injected := faults.CorruptDataset(7, res.Dataset)
+	if len(injected) != 5 {
+		t.Fatalf("injector planted %d corruptions, want 5", len(injected))
+	}
+	rep := Validate(res.Dataset)
+	if rep.OK() {
+		t.Fatal("validator passed a corrupted dataset")
+	}
+	found := map[string]bool{}
+	for _, v := range rep.Violations {
+		found[v.Kind] = true
+	}
+	for _, c := range injected {
+		if !found[c.Kind] {
+			t.Errorf("injected %s but no %s violation reported", c, c.Kind)
+		}
+	}
+	if len(rep.Quarantined) == 0 {
+		t.Error("no blocks quarantined despite violations")
+	}
+	var sb strings.Builder
+	rep.Render(&sb)
+	if !strings.Contains(sb.String(), "quarantined") {
+		t.Errorf("corrupt render = %q", sb.String())
+	}
+}
+
+func TestValidateQuarantineSortedAndDeduplicated(t *testing.T) {
+	res := validateDataset(t, 3)
+	faults.CorruptDataset(11, res.Dataset)
+	rep := Validate(res.Dataset)
+	seen := map[uint64]bool{}
+	for i, n := range rep.Quarantined {
+		if seen[n] {
+			t.Errorf("block %d quarantined twice", n)
+		}
+		seen[n] = true
+		if i > 0 && rep.Quarantined[i-1] >= n {
+			t.Errorf("quarantine list unsorted at %d: %v", i, rep.Quarantined)
+		}
+	}
+}

@@ -159,6 +159,33 @@ func (p *Pool) Executable(st *state.State, baseFee types.Wei, max int) []*types.
 	return out
 }
 
+// All returns every pending transaction ordered by (sender, nonce), senders
+// sorted lexicographically. The order is deterministic, so checkpoints that
+// serialize the pool and rebuild it via Add reproduce identical pools.
+func (p *Pool) All() []*types.Transaction {
+	senders := make([]types.Address, 0, len(p.bySender))
+	for s := range p.bySender {
+		senders = append(senders, s)
+	}
+	sort.Slice(senders, func(i, j int) bool {
+		return bytesLess(senders[i][:], senders[j][:])
+	})
+	out := make([]*types.Transaction, 0, len(p.byHash))
+	for _, s := range senders {
+		out = append(out, p.bySender[s]...)
+	}
+	return out
+}
+
+func bytesLess(a, b []byte) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
 // Prune drops transactions that can never execute against st (nonce already
 // used). Returns the number pruned.
 func (p *Pool) Prune(st *state.State) int {

@@ -150,6 +150,39 @@ func (b *Breaker) Open(relayName string, at time.Time) bool {
 	return !b.Allow(relayName, at)
 }
 
+// BreakerState is one relay's serializable circuit state.
+type BreakerState struct {
+	Fails     int
+	OpenUntil time.Time
+}
+
+// Export snapshots every relay's circuit state for checkpointing.
+func (b *Breaker) Export() map[string]BreakerState {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]BreakerState, len(b.states))
+	for name, st := range b.states {
+		out[name] = BreakerState{Fails: st.fails, OpenUntil: st.openUntil}
+	}
+	return out
+}
+
+// Restore replaces the breaker's circuit states from a checkpoint.
+func (b *Breaker) Restore(states map[string]BreakerState) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.states = make(map[string]*breakerState, len(states))
+	for name, st := range states {
+		b.states[name] = &breakerState{fails: st.Fails, openUntil: st.OpenUntil}
+	}
+}
+
 // StatsSnapshot is a point-in-time copy of the sidecar fault counters.
 type StatsSnapshot struct {
 	// HeaderErrors counts failed GetHeader calls; PayloadErrors counts
@@ -181,6 +214,16 @@ func (s *Stats) add(f func(*StatsSnapshot)) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	f(&s.v)
+}
+
+// Restore overwrites the counters from a snapshot (checkpoint resume).
+func (s *Stats) Restore(v StatsSnapshot) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.v = v
 }
 
 // Snapshot copies the counters.

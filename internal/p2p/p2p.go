@@ -173,6 +173,14 @@ func (n *Network) Nodes() int { return n.cfg.Nodes }
 // RandomOrigin picks a broadcast origin node.
 func (n *Network) RandomOrigin() int { return n.r.Intn(n.cfg.Nodes) }
 
+// RNGState returns the network's jitter-stream position for checkpointing.
+// The graph itself is deterministic from the construction seed, so the
+// stream position is the only mutable state a resume has to restore.
+func (n *Network) RNGState() uint64 { return n.r.State() }
+
+// SetRNGState repositions the jitter stream (checkpoint restore).
+func (n *Network) SetRNGState(s uint64) { n.r.SetState(s) }
+
 // Broadcast floods tx from origin at time at and returns when each observer
 // first sees it. Per-message jitter models queueing and batching noise.
 func (n *Network) Broadcast(txHash types.Hash, origin int, at time.Time) Observation {

@@ -453,6 +453,40 @@ func (r *Relay) BuildersSeen(fromSlot, toSlot uint64) []types.PubKey {
 	return out
 }
 
+// Records is the serializable durable state of a relay: proposer
+// registrations plus the data-API ledgers. Per-slot escrow is deliberately
+// absent — it only lives for two slots (PruneSlot) and checkpoints are
+// taken at day boundaries, where auctions of past slots can never be read
+// again. Builder keys are not captured either; they are re-derived from the
+// scenario on restore.
+type Records struct {
+	Validators []pbs.Registration
+	Received   []pbs.BidTrace
+	Delivered  []DeliveredEntry
+	Rejected   int
+}
+
+// ExportRecords snapshots the relay's durable state for a checkpoint.
+func (r *Relay) ExportRecords() Records {
+	return Records{
+		Validators: r.Registrations(),
+		Received:   append([]pbs.BidTrace(nil), r.received...),
+		Delivered:  append([]DeliveredEntry(nil), r.delivered...),
+		Rejected:   r.rejected,
+	}
+}
+
+// RestoreRecords replaces the relay's durable state from a checkpoint.
+func (r *Relay) RestoreRecords(rec Records) {
+	r.validators = make(map[types.PubKey]pbs.Registration, len(rec.Validators))
+	for _, reg := range rec.Validators {
+		r.validators[reg.Pubkey] = reg
+	}
+	r.received = append([]pbs.BidTrace(nil), rec.Received...)
+	r.delivered = append([]DeliveredEntry(nil), rec.Delivered...)
+	r.rejected = rec.Rejected
+}
+
 // PruneSlot drops per-slot escrow older than the given slot, bounding
 // memory across long simulations. API records are retained.
 func (r *Relay) PruneSlot(olderThan uint64) {

@@ -10,6 +10,8 @@ import (
 	"mime"
 	"net/http"
 	"net/url"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -545,6 +547,11 @@ type Crawler struct {
 	// Resumes is how many times a failed crawl is resumed from its
 	// checkpoint before the harvest is returned partial (default 2).
 	Resumes int
+	// CheckpointDir, when set, persists each relay/endpoint crawl state to
+	// disk (atomic writes) after every attempt. A later Run with the same
+	// directory resumes partial harvests from their last page and skips
+	// completed ones entirely.
+	CheckpointDir string
 }
 
 // Harvest is a crawl result for one relay.
@@ -583,6 +590,15 @@ func (cr *Crawler) Run(ctx context.Context) []Harvest {
 	if size <= 0 {
 		size = defaultPageLimit
 	}
+	if cr.CheckpointDir != "" {
+		if err := os.MkdirAll(cr.CheckpointDir, 0o755); err != nil {
+			out := make([]Harvest, len(cr.Clients))
+			for i, cl := range cr.Clients {
+				out[i] = Harvest{Relay: cl.Name, Err: err, Partial: true}
+			}
+			return out
+		}
+	}
 	out := make([]Harvest, len(cr.Clients))
 	sem := make(chan struct{}, cr.parallelism())
 	var wg sync.WaitGroup
@@ -619,12 +635,26 @@ func (cr *Crawler) harvestOne(ctx context.Context, cl *Client, size int) Harvest
 // relay is misbehaving, not flaking.
 func (cr *Crawler) crawlResumed(ctx context.Context, cl *Client, path string, size int, resumes *int) (*CrawlState, error) {
 	st := NewCrawlState()
+	ckpt := ""
+	if cr.CheckpointDir != "" {
+		ckpt = filepath.Join(cr.CheckpointDir, checkpointFileName(cl.Name, path))
+		if loaded, err := LoadCrawlState(ckpt); err == nil {
+			// A missing or undecodable checkpoint simply starts fresh.
+			st = loaded
+		}
+	}
+	save := func() {
+		if ckpt != "" {
+			_ = st.Save(ckpt)
+		}
+	}
 	var err error
 	for attempt := 0; attempt <= cr.maxResumes(); attempt++ {
 		if attempt > 0 {
 			*resumes++
 		}
 		err = cl.crawlFrom(ctx, path, size, st)
+		save()
 		if err == nil {
 			return st, nil
 		}

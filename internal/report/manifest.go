@@ -1,0 +1,164 @@
+// Artifact durability: every report file is written atomically and
+// recorded in a manifest of sizes and SHA-256 digests, so a consumer (or
+// `pbslab -verify`) can prove a directory is exactly what some run wrote —
+// no torn files, no stale leftovers from an earlier scenario.
+package report
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/ethpbs/pbslab/internal/atomicio"
+)
+
+// ManifestName is the manifest file written beside the artifacts.
+const ManifestName = "manifest.json"
+
+// ManifestEntry describes one artifact file.
+type ManifestEntry struct {
+	Name   string `json:"name"`
+	Size   int64  `json:"size"`
+	SHA256 string `json:"sha256"`
+}
+
+// Manifest is the artifact inventory of an output directory. It carries no
+// timestamps: the same analysis always produces byte-identical artifacts
+// and therefore a byte-identical manifest, which is what lets the
+// kill-and-resume golden test compare whole directories.
+type Manifest struct {
+	Artifacts []ManifestEntry `json:"artifacts"`
+}
+
+// buildManifest computes the inventory for a set of artifacts, sorted by
+// name for deterministic encoding.
+func buildManifest(arts []Artifact) Manifest {
+	m := Manifest{Artifacts: make([]ManifestEntry, 0, len(arts))}
+	for _, a := range arts {
+		sum := sha256.Sum256(a.Data)
+		m.Artifacts = append(m.Artifacts, ManifestEntry{
+			Name:   a.Name,
+			Size:   int64(len(a.Data)),
+			SHA256: hex.EncodeToString(sum[:]),
+		})
+	}
+	sort.Slice(m.Artifacts, func(i, j int) bool { return m.Artifacts[i].Name < m.Artifacts[j].Name })
+	return m
+}
+
+// writeArtifacts lands every artifact and the covering manifest in dir,
+// each file via atomic temp + rename. The manifest goes last: its presence
+// certifies the files it lists.
+func writeArtifacts(dir string, arts []Artifact) error {
+	for _, art := range arts {
+		if err := atomicio.WriteFile(filepath.Join(dir, art.Name), art.Data, 0o644); err != nil {
+			return fmt.Errorf("report: %s: %w", art.Name, err)
+		}
+	}
+	data, err := json.MarshalIndent(buildManifest(arts), "", "  ")
+	if err != nil {
+		return fmt.Errorf("report: manifest: %w", err)
+	}
+	data = append(data, '\n')
+	if err := atomicio.WriteFile(filepath.Join(dir, ManifestName), data, 0o644); err != nil {
+		return fmt.Errorf("report: manifest: %w", err)
+	}
+	return nil
+}
+
+// ReadManifest loads and decodes dir's manifest.
+func ReadManifest(dir string) (Manifest, error) {
+	var m Manifest
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return m, fmt.Errorf("report: read manifest: %w", err)
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return m, fmt.Errorf("report: parse manifest: %w", err)
+	}
+	return m, nil
+}
+
+// Problem kinds reported by VerifyDir.
+const (
+	// ProblemMissing: the manifest lists the file but it is absent.
+	ProblemMissing = "missing"
+	// ProblemCorrupt: the file's size or SHA-256 disagrees with the
+	// manifest — a torn write, truncation, or bit rot.
+	ProblemCorrupt = "corrupt"
+	// ProblemStale: the file sits in the directory but the manifest does
+	// not cover it — debris from an interrupted write or an older run.
+	ProblemStale = "stale"
+)
+
+// Problem is one verification finding.
+type Problem struct {
+	Name   string
+	Kind   string
+	Detail string
+}
+
+func (p Problem) String() string {
+	return fmt.Sprintf("%s: %s (%s)", p.Name, p.Kind, p.Detail)
+}
+
+// VerifyDir checks an output directory against its manifest and returns
+// every discrepancy: listed-but-missing files, size or checksum mismatches,
+// and unlisted (stale) files including temp debris. An empty slice means
+// the directory is exactly what the manifest certifies.
+func VerifyDir(dir string) ([]Problem, error) {
+	m, err := ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	var problems []Problem
+	listed := make(map[string]bool, len(m.Artifacts))
+	for _, e := range m.Artifacts {
+		listed[e.Name] = true
+		data, err := os.ReadFile(filepath.Join(dir, e.Name))
+		if err != nil {
+			if os.IsNotExist(err) {
+				problems = append(problems, Problem{Name: e.Name, Kind: ProblemMissing, Detail: "listed in manifest, not on disk"})
+			} else {
+				problems = append(problems, Problem{Name: e.Name, Kind: ProblemCorrupt, Detail: err.Error()})
+			}
+			continue
+		}
+		if int64(len(data)) != e.Size {
+			problems = append(problems, Problem{Name: e.Name, Kind: ProblemCorrupt,
+				Detail: fmt.Sprintf("size %d, manifest says %d", len(data), e.Size)})
+			continue
+		}
+		sum := sha256.Sum256(data)
+		if got := hex.EncodeToString(sum[:]); got != e.SHA256 {
+			problems = append(problems, Problem{Name: e.Name, Kind: ProblemCorrupt,
+				Detail: fmt.Sprintf("sha256 %.12s.., manifest says %.12s..", got, e.SHA256)})
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("report: verify: %w", err)
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		if name == ManifestName || listed[name] || ent.IsDir() {
+			continue
+		}
+		detail := "not covered by manifest"
+		if atomicio.IsTemp(name) {
+			detail = "temp debris from an interrupted write"
+		}
+		problems = append(problems, Problem{Name: name, Kind: ProblemStale, Detail: detail})
+	}
+	sort.Slice(problems, func(i, j int) bool {
+		if problems[i].Name != problems[j].Name {
+			return problems[i].Name < problems[j].Name
+		}
+		return problems[i].Kind < problems[j].Kind
+	})
+	return problems, nil
+}

@@ -10,10 +10,12 @@ package report
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
+	"runtime/debug"
 	"sync"
 
 	"github.com/ethpbs/pbslab/internal/core"
@@ -53,10 +55,13 @@ func PrintAll(w io.Writer, a *core.Analysis) {
 		delay.Sanctioned.Mean, delay.Sanctioned.Median, delay.Sanctioned.N, delay.MeanRatio)
 }
 
-// Artifact is one rendered output file.
+// Artifact is one rendered output file. A non-nil Err marks a renderer
+// that panicked or was cancelled; its Data is empty and WriteAll skips it
+// while still flushing every completed artifact.
 type Artifact struct {
 	Name string
 	Data []byte
+	Err  error
 }
 
 // step is one artifact job: a file name and a lazy render.
@@ -145,7 +150,21 @@ func artifactSteps(a *core.Analysis) []step {
 // order regardless of scheduling; Analysis methods are memoized and safe
 // for concurrent use, so overlapping jobs share rather than repeat work.
 func RenderAll(a *core.Analysis, workers int) []Artifact {
-	steps := artifactSteps(a)
+	return RenderAllContext(context.Background(), a, workers)
+}
+
+// RenderAllContext is RenderAll with cancellation and panic isolation: a
+// renderer that panics poisons only its own artifact (Err carries the panic
+// and stack), and once ctx is cancelled the remaining un-rendered artifacts
+// are marked with ctx's error instead of being computed. Completed
+// artifacts are always returned, so callers can flush partial output.
+func RenderAllContext(ctx context.Context, a *core.Analysis, workers int) []Artifact {
+	return renderSteps(ctx, artifactSteps(a), workers)
+}
+
+// renderSteps runs the artifact pool; split out so tests can exercise panic
+// isolation and cancellation with synthetic steps.
+func renderSteps(ctx context.Context, steps []step, workers int) []Artifact {
 	if workers < 1 {
 		workers = 1
 	}
@@ -160,9 +179,12 @@ func RenderAll(a *core.Analysis, workers int) []Artifact {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				var buf bytes.Buffer
-				steps[i].fn(&buf)
-				out[i] = Artifact{Name: steps[i].file, Data: buf.Bytes()}
+				if err := ctx.Err(); err != nil {
+					out[i] = Artifact{Name: steps[i].file, Err: err}
+					continue
+				}
+				data, err := renderOne(steps[i])
+				out[i] = Artifact{Name: steps[i].file, Data: data, Err: err}
 			}
 		}()
 	}
@@ -174,16 +196,49 @@ func RenderAll(a *core.Analysis, workers int) []Artifact {
 	return out
 }
 
+// renderOne runs a single render step, converting a panic into an error
+// that names the artifact and keeps the worker (and the process) alive.
+func renderOne(s step) (data []byte, err error) {
+	var buf bytes.Buffer
+	defer func() {
+		if r := recover(); r != nil {
+			data = nil
+			err = fmt.Errorf("report: render %s: panic: %v\n%s", s.file, r, debug.Stack())
+		}
+	}()
+	s.fn(&buf)
+	return buf.Bytes(), nil
+}
+
 // WriteAll renders all artifacts (concurrently, see RenderAll) and writes
-// them into dir, one file per figure plus the text tables.
+// them into dir, one file per figure plus the text tables and a manifest.
+// Every file lands atomically (temp + rename), so a crash mid-write never
+// leaves a half-written artifact under its final name.
 func WriteAll(a *core.Analysis, dir string) error {
+	return WriteAllContext(context.Background(), a, dir)
+}
+
+// WriteAllContext is WriteAll under a context: on cancellation (or a
+// renderer failure) every artifact that did complete is still flushed to
+// disk and covered by the manifest, then the error is reported. A partial
+// directory therefore always verifies clean against its manifest — it is
+// merely incomplete, never corrupt.
+func WriteAllContext(ctx context.Context, a *core.Analysis, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	for _, art := range RenderAll(a, a.Workers()) {
-		if err := os.WriteFile(filepath.Join(dir, art.Name), art.Data, 0o644); err != nil {
-			return fmt.Errorf("report: %s: %w", art.Name, err)
+	arts := RenderAllContext(ctx, a, a.Workers())
+	var errs []error
+	var done []Artifact
+	for _, art := range arts {
+		if art.Err != nil {
+			errs = append(errs, fmt.Errorf("report: %s: %w", art.Name, art.Err))
+			continue
 		}
+		done = append(done, art)
 	}
-	return nil
+	if err := writeArtifacts(dir, done); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
 }

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -19,7 +20,7 @@ func smallAnalysis(t *testing.T) *core.Analysis {
 	sc.Demand.Users = 100
 	sc.Demand.TxPerBlock = sim.Flat(25)
 	sc.SmallBuilderCount = 10
-	res, err := sim.Run(sc)
+	res, err := sim.Run(context.Background(), sc)
 	if err != nil {
 		t.Fatal(err)
 	}

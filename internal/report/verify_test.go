@@ -1,0 +1,92 @@
+package report
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/ethpbs/pbslab/internal/faults"
+)
+
+// writeSyntheticDir lands a small artifact set plus manifest in a fresh dir.
+func writeSyntheticDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	arts := []Artifact{
+		{Name: "fig01_alpha.csv", Data: bytes.Repeat([]byte("day,value\n1,2\n"), 8)},
+		{Name: "fig02_beta.csv", Data: bytes.Repeat([]byte("day,value\n3,4\n"), 16)},
+		{Name: "fig03_gamma.csv", Data: bytes.Repeat([]byte("day,value\n5,6\n"), 32)},
+		{Name: "tables.txt", Data: []byte("# tables\nrows\n")},
+	}
+	if err := writeArtifacts(dir, arts); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestVerifyDirCleanPasses(t *testing.T) {
+	dir := writeSyntheticDir(t)
+	problems, err := VerifyDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("clean dir reported problems: %v", problems)
+	}
+}
+
+func TestVerifyDirDetectsEveryInjectedCorruption(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			dir := writeSyntheticDir(t)
+			injected, err := faults.CorruptDir(seed, dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			problems, err := VerifyDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			byName := map[string][]Problem{}
+			for _, p := range problems {
+				byName[p.Name] = append(byName[p.Name], p)
+			}
+			for _, c := range injected {
+				match := false
+				for _, p := range byName[c.Target] {
+					if p.Kind == c.Kind {
+						match = true
+					}
+				}
+				if !match {
+					t.Errorf("injected %s; problems for %s: %v", c, c.Target, byName[c.Target])
+				}
+			}
+		})
+	}
+}
+
+func TestVerifyDirMissingManifest(t *testing.T) {
+	if _, err := VerifyDir(t.TempDir()); err == nil {
+		t.Fatal("expected error for directory without a manifest")
+	}
+}
+
+func TestVerifyDirFlagsTempDebrisDistinctly(t *testing.T) {
+	dir := writeSyntheticDir(t)
+	if err := os.WriteFile(filepath.Join(dir, ".tmp-fig01_alpha.csv123"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	problems, err := VerifyDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 || problems[0].Kind != ProblemStale {
+		t.Fatalf("problems = %v, want one stale finding", problems)
+	}
+	if problems[0].Detail != "temp debris from an interrupted write" {
+		t.Errorf("detail = %q", problems[0].Detail)
+	}
+}

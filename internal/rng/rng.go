@@ -38,6 +38,14 @@ func (r *RNG) Fork(label string) *RNG {
 	return child
 }
 
+// State returns the generator's current position. Together with SetState it
+// lets checkpoints capture and replay a stream exactly: a generator restored
+// to a saved state produces the same draw sequence the original would have.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState repositions the generator to a previously captured State.
+func (r *RNG) SetState(s uint64) { r.state = s }
+
 // Uint64 returns the next 64 uniformly distributed bits.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

@@ -393,6 +393,21 @@ func (l *Liquidator) ObserveLogs(logs []types.Log) {
 // Borrowers returns the number of positions watched.
 func (l *Liquidator) Borrowers() int { return len(l.borrowers) }
 
+// Watchlist returns the watched borrowers in observation order; checkpoints
+// persist it so resumed runs scan positions in the original order.
+func (l *Liquidator) Watchlist() []types.Address {
+	return append([]types.Address(nil), l.order...)
+}
+
+// RestoreWatchlist replaces the watchlist, preserving the given order.
+func (l *Liquidator) RestoreWatchlist(borrowers []types.Address) {
+	l.borrowers = make(map[types.Address]bool, len(borrowers))
+	l.order = append(l.order[:0:0], borrowers...)
+	for _, b := range borrowers {
+		l.borrowers[b] = true
+	}
+}
+
 // FindBundles implements Searcher.
 func (l *Liquidator) FindBundles(ctx *Context) []*types.Bundle {
 	// Collect pending oracle updates targeting the market.

@@ -1,0 +1,388 @@
+package sim
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/ethpbs/pbslab/internal/atomicio"
+	"github.com/ethpbs/pbslab/internal/beacon"
+	"github.com/ethpbs/pbslab/internal/chain"
+	"github.com/ethpbs/pbslab/internal/mempool"
+	"github.com/ethpbs/pbslab/internal/mevboost"
+	"github.com/ethpbs/pbslab/internal/p2p"
+	"github.com/ethpbs/pbslab/internal/relay"
+	"github.com/ethpbs/pbslab/internal/state"
+	"github.com/ethpbs/pbslab/internal/types"
+)
+
+// checkpointVersion gates the on-disk format; bump it on any change to the
+// checkpoint struct so stale files are skipped rather than misdecoded.
+const checkpointVersion = 1
+
+// defaultCheckpointKeep bounds retained checkpoint files per directory.
+const defaultCheckpointKeep = 3
+
+// txDTO is a Transaction stripped of its unexported hash cache; rebuild
+// goes through types.NewTransaction so the cache is recomputed.
+type txDTO struct {
+	Nonce          uint64
+	From, To       types.Address
+	Value          types.Wei
+	Gas            uint64
+	MaxFee, MaxTip types.Wei
+	Data           []byte
+}
+
+func toTxDTO(tx *types.Transaction) txDTO {
+	return txDTO{
+		Nonce: tx.Nonce, From: tx.From, To: tx.To, Value: tx.Value,
+		Gas: tx.Gas, MaxFee: tx.MaxFee, MaxTip: tx.MaxTip, Data: tx.Data,
+	}
+}
+
+func (d txDTO) tx() *types.Transaction {
+	return types.NewTransaction(d.Nonce, d.From, d.To, d.Value, d.Gas, d.MaxFee, d.MaxTip, d.Data)
+}
+
+func toTxDTOs(txs []*types.Transaction) []txDTO {
+	out := make([]txDTO, len(txs))
+	for i, tx := range txs {
+		out[i] = toTxDTO(tx)
+	}
+	return out
+}
+
+func fromTxDTOs(ds []txDTO) []*types.Transaction {
+	out := make([]*types.Transaction, len(ds))
+	for i, d := range ds {
+		out[i] = d.tx()
+	}
+	return out
+}
+
+// blockDTO carries one stored block; the block itself is rebuilt through
+// types.NewBlock so transaction hashes, the tx root and the seal hash are
+// recomputed rather than trusted from disk.
+type blockDTO struct {
+	Header   types.Header
+	Txs      []txDTO
+	Receipts []*types.Receipt
+	Traces   []types.Trace
+	Burned   types.Wei
+	Tips     types.Wei
+}
+
+func toBlockDTO(b *chain.StoredBlock) blockDTO {
+	return blockDTO{
+		Header:   *b.Block.Header,
+		Txs:      toTxDTOs(b.Block.Txs),
+		Receipts: b.Receipts,
+		Traces:   b.Traces,
+		Burned:   b.Burned,
+		Tips:     b.Tips,
+	}
+}
+
+func (d blockDTO) stored() *chain.StoredBlock {
+	header := d.Header
+	return &chain.StoredBlock{
+		Block:    types.NewBlock(&header, fromTxDTOs(d.Txs)),
+		Receipts: d.Receipts,
+		Traces:   d.Traces,
+		Burned:   d.Burned,
+		Tips:     d.Tips,
+	}
+}
+
+// checkpoint is the full serialized run position: everything the slot loop
+// mutates between day boundaries. Structure that NewWorld rebuilds
+// deterministically (keys, contracts, topology, relay wiring) is absent on
+// purpose; so is per-slot relay escrow, which never outlives the slot that
+// created it.
+type checkpoint struct {
+	Version     int
+	Fingerprint string
+
+	// Slot is the last fully processed slot; resume continues at Slot+1.
+	Slot uint64
+	// Day is the UTC day number of the next slot, informational.
+	Day             int
+	SlotsSinceChurn int
+
+	Blocks []blockDTO
+	State  state.Snapshot
+
+	MempoolTxs  []txDTO
+	PrivatePool []txDTO
+
+	DemandNonces     map[types.Address]uint64
+	EthPrice         float64
+	UserCursor       int
+	BorrowersCreated int
+	DemandRNG        uint64
+
+	SlotRNG    uint64
+	LocalRNG   uint64
+	FlowRNG    uint64
+	NetworkRNG uint64
+
+	BuilderRNGs         []uint64
+	BuilderSubsidy      []float64
+	SmallBuilderRNGs    []uint64
+	SmallBuilderSubsidy []float64
+	ExploiterRNG        uint64
+
+	Relays  map[string]relay.Records
+	Breaker map[string]mevboost.BreakerState
+	Boost   mevboost.StatsSnapshot
+
+	Ledger    beacon.LedgerSnapshot
+	Watchlist []types.Address
+
+	Arrivals map[types.Hash]p2p.Observation
+	Truth    *GroundTruth
+}
+
+// scenarioFingerprint binds checkpoints to the exact scenario (and format
+// version) that produced them; resuming under a different scenario must
+// start over, not silently continue into divergence. fmt prints maps in
+// sorted key order, so the rendering is deterministic.
+func scenarioFingerprint(sc Scenario) string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("pbslab/checkpoint/v%d|%+v", checkpointVersion, sc)))
+	return hex.EncodeToString(h[:])
+}
+
+// capture snapshots the world and loop state at a slot boundary.
+func capture(w *World, rs *runState) *checkpoint {
+	cp := &checkpoint{
+		Version:     checkpointVersion,
+		Fingerprint: scenarioFingerprint(w.Scenario),
+		Slot:        rs.slot,
+		Day:         int(w.Chain.SlotTime(rs.slot+1) / 86_400),
+
+		SlotsSinceChurn: rs.slotsSinceChurn,
+		State:           w.Chain.State().Export(),
+		MempoolTxs:      toTxDTOs(w.Mempool.All()),
+		PrivatePool:     toTxDTOs(rs.privatePool),
+
+		DemandNonces:     make(map[types.Address]uint64, len(rs.ds.nonces)),
+		EthPrice:         rs.ds.ethPrice,
+		UserCursor:       rs.ds.userCursor,
+		BorrowersCreated: rs.ds.borrowersCreated,
+		DemandRNG:        rs.ds.r.State(),
+
+		SlotRNG:      rs.slotRng.State(),
+		LocalRNG:     rs.localRng.State(),
+		FlowRNG:      rs.flowRng.State(),
+		NetworkRNG:   w.Network.RNGState(),
+		ExploiterRNG: w.Exploiter.RNGState(),
+
+		Relays:  make(map[string]relay.Records, len(w.Relays)),
+		Breaker: rs.breaker.Export(),
+		Boost:   rs.boostStats.Snapshot(),
+
+		Ledger:    w.Ledger.Export(),
+		Watchlist: w.Liquidator.Watchlist(),
+
+		Arrivals: rs.arrivals,
+		Truth:    rs.truth,
+	}
+	for _, b := range w.Chain.Blocks()[1:] {
+		cp.Blocks = append(cp.Blocks, toBlockDTO(b))
+	}
+	for addr, n := range rs.ds.nonces {
+		cp.DemandNonces[addr] = n
+	}
+	for _, e := range w.Builders {
+		cp.BuilderRNGs = append(cp.BuilderRNGs, e.B.RNGState())
+		cp.BuilderSubsidy = append(cp.BuilderSubsidy, e.B.SubsidyProb)
+	}
+	for _, e := range w.SmallBuilders {
+		cp.SmallBuilderRNGs = append(cp.SmallBuilderRNGs, e.B.RNGState())
+		cp.SmallBuilderSubsidy = append(cp.SmallBuilderSubsidy, e.B.SubsidyProb)
+	}
+	for name, r := range w.Relays {
+		cp.Relays[name] = r.ExportRecords()
+	}
+	return cp
+}
+
+// restore rewinds a freshly built world and loop state to the checkpointed
+// position. The world must already have gone through the Run-start relay
+// rebuild and builder registration.
+func restore(w *World, rs *runState, cp *checkpoint) error {
+	if cp.Version != checkpointVersion {
+		return fmt.Errorf("sim: checkpoint version %d, want %d", cp.Version, checkpointVersion)
+	}
+	if fp := scenarioFingerprint(w.Scenario); cp.Fingerprint != fp {
+		return fmt.Errorf("sim: checkpoint is from a different scenario (fingerprint %.12s, want %.12s)", cp.Fingerprint, fp)
+	}
+	if len(cp.BuilderRNGs) != len(w.Builders) || len(cp.SmallBuilderRNGs) != len(w.SmallBuilders) {
+		return fmt.Errorf("sim: checkpoint builder count mismatch")
+	}
+
+	blocks := make([]*chain.StoredBlock, len(cp.Blocks))
+	for i, d := range cp.Blocks {
+		blocks[i] = d.stored()
+	}
+	w.Chain.Restore(blocks, state.FromSnapshot(cp.State))
+
+	w.Mempool = mempool.New()
+	for _, d := range cp.MempoolTxs {
+		if err := w.Mempool.Add(d.tx()); err != nil {
+			return fmt.Errorf("sim: checkpoint mempool rebuild: %w", err)
+		}
+	}
+	rs.privatePool = fromTxDTOs(cp.PrivatePool)
+
+	rs.ds.nonces = make(map[types.Address]uint64, len(cp.DemandNonces))
+	for addr, n := range cp.DemandNonces {
+		rs.ds.nonces[addr] = n
+	}
+	rs.ds.ethPrice = cp.EthPrice
+	rs.ds.userCursor = cp.UserCursor
+	rs.ds.borrowersCreated = cp.BorrowersCreated
+	rs.ds.r.SetState(cp.DemandRNG)
+
+	rs.slotRng.SetState(cp.SlotRNG)
+	rs.localRng.SetState(cp.LocalRNG)
+	rs.flowRng.SetState(cp.FlowRNG)
+	w.Network.SetRNGState(cp.NetworkRNG)
+	w.Exploiter.SetRNGState(cp.ExploiterRNG)
+	for i, e := range w.Builders {
+		e.B.SetRNGState(cp.BuilderRNGs[i])
+		e.B.SubsidyProb = cp.BuilderSubsidy[i]
+	}
+	for i, e := range w.SmallBuilders {
+		e.B.SetRNGState(cp.SmallBuilderRNGs[i])
+		e.B.SubsidyProb = cp.SmallBuilderSubsidy[i]
+	}
+
+	for name, rec := range cp.Relays {
+		r, ok := w.Relays[name]
+		if !ok {
+			return fmt.Errorf("sim: checkpoint references unknown relay %q", name)
+		}
+		r.RestoreRecords(rec)
+	}
+	rs.breaker.Restore(cp.Breaker)
+	rs.boostStats.Restore(cp.Boost)
+	w.Ledger.Restore(cp.Ledger)
+	w.Liquidator.RestoreWatchlist(cp.Watchlist)
+
+	rs.arrivals = cp.Arrivals
+	if rs.arrivals == nil {
+		rs.arrivals = map[types.Hash]p2p.Observation{}
+	}
+	rs.truth = cp.Truth
+	rs.slot = cp.Slot
+	rs.slotsSinceChurn = cp.SlotsSinceChurn
+	return nil
+}
+
+// checkpointName renders the file name for a checkpoint taken after slot.
+func checkpointName(slot uint64) string {
+	return fmt.Sprintf("ckpt-%012d.gob", slot)
+}
+
+// saveCheckpoint encodes and atomically writes cp into dir, then prunes old
+// files beyond keep. A crash mid-write leaves the previous checkpoint
+// intact and at worst a .tmp- fragment beside it.
+func saveCheckpoint(dir string, cp *checkpoint, keep int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("sim: checkpoint dir: %w", err)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(cp); err != nil {
+		return fmt.Errorf("sim: encode checkpoint: %w", err)
+	}
+	path := filepath.Join(dir, checkpointName(cp.Slot))
+	if err := atomicio.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("sim: write checkpoint: %w", err)
+	}
+	if keep <= 0 {
+		keep = defaultCheckpointKeep
+	}
+	return pruneCheckpoints(dir, keep)
+}
+
+// checkpointFiles lists checkpoint files in dir, newest (highest slot)
+// first. The zero-padded naming makes lexical and slot order agree.
+func checkpointFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.Type().IsRegular() && filepath.Ext(name) == ".gob" && len(name) == len(checkpointName(0)) {
+			names = append(names, name)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(names)))
+	return names, nil
+}
+
+// pruneCheckpoints removes all but the newest keep checkpoint files, plus
+// any temp debris from interrupted writes.
+func pruneCheckpoints(dir string, keep int) error {
+	names, err := checkpointFiles(dir)
+	if err != nil {
+		return err
+	}
+	for i, name := range names {
+		if i < keep {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			return fmt.Errorf("sim: prune checkpoint: %w", err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if atomicio.IsTemp(e.Name()) {
+			_ = os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+	return nil
+}
+
+// loadLatestCheckpoint scans dir newest-first for a checkpoint that decodes
+// cleanly and matches the scenario fingerprint. Corrupt or mismatched files
+// are skipped — a truncated newest file falls back to the one before it.
+// Returns (nil, nil) when nothing usable exists.
+func loadLatestCheckpoint(dir string, sc Scenario) (*checkpoint, error) {
+	names, err := checkpointFiles(dir)
+	if err != nil {
+		return nil, fmt.Errorf("sim: scan checkpoints: %w", err)
+	}
+	fp := scenarioFingerprint(sc)
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			continue
+		}
+		cp := &checkpoint{}
+		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(cp); err != nil {
+			continue
+		}
+		if cp.Version != checkpointVersion || cp.Fingerprint != fp {
+			continue
+		}
+		return cp, nil
+	}
+	return nil, nil
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -16,7 +17,7 @@ func TestAllRelaysDownForcesLocalFallback(t *testing.T) {
 		sc.RelayOutages = append(sc.RelayOutages, RelayOutage{Relay: name, Window: window})
 	}
 
-	res, err := Run(sc)
+	res, err := Run(context.Background(), sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestSingleRelayOutageDegradesGracefully(t *testing.T) {
 		{Relay: "Flashbots", Window: Window{From: sc.Start.Add(-time.Hour), To: sc.End.Add(time.Hour)}},
 	}
 
-	res, err := Run(sc)
+	res, err := Run(context.Background(), sc)
 	if err != nil {
 		t.Fatal(err)
 	}

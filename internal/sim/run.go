@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -16,6 +17,7 @@ import (
 	"github.com/ethpbs/pbslab/internal/p2p"
 	"github.com/ethpbs/pbslab/internal/pbs"
 	"github.com/ethpbs/pbslab/internal/relay"
+	"github.com/ethpbs/pbslab/internal/rng"
 	"github.com/ethpbs/pbslab/internal/searcher"
 	"github.com/ethpbs/pbslab/internal/state"
 	"github.com/ethpbs/pbslab/internal/types"
@@ -84,8 +86,54 @@ func (v *cachingView) reset() {
 	v.cache = map[types.Hash]cachedValidation{}
 }
 
-// Run executes the scenario and collects the Table 1 datasets.
-func Run(sc Scenario) (*Result, error) {
+// RunOptions configures durability features of a simulation run.
+type RunOptions struct {
+	// CheckpointDir, when non-empty, enables per-day checkpointing: a full
+	// run snapshot is written atomically into the directory at every UTC
+	// day boundary, and on context cancellation.
+	CheckpointDir string
+	// Resume loads the newest valid checkpoint from CheckpointDir and
+	// continues from it instead of starting over. The continued run is
+	// bit-identical to an uninterrupted one.
+	Resume bool
+	// Keep bounds retained checkpoint files (0 means a small default).
+	Keep int
+	// OnDay, when set, is called at every UTC day boundary — after that
+	// boundary's checkpoint is written — with the zero-based day index
+	// being entered. Tests use it to interrupt at exact positions.
+	OnDay func(day int)
+}
+
+// runState is the mutable loop state of a run: exactly what a checkpoint
+// must capture beyond the chain and world accessors.
+type runState struct {
+	ds       *demandState
+	truth    *GroundTruth
+	arrivals map[types.Hash]p2p.Observation
+	// boostStats and breaker outlive the per-slot sidecars: failure memory
+	// has to persist across slots for circuits to ever open.
+	boostStats *mevboost.Stats
+	breaker    *mevboost.Breaker
+	slotRng    *rng.RNG
+	localRng   *rng.RNG
+	flowRng    *rng.RNG
+	slot       uint64
+	// slotsSinceChurn counts slots since the last mempool churn sweep.
+	slotsSinceChurn int
+	// privatePool holds protected (never-broadcast) user transactions until
+	// a builder lands them — protection services retry across slots.
+	privatePool []*types.Transaction
+}
+
+// Run executes the scenario and collects the Table 1 datasets. The context
+// cancels the run between slots; a cancelled run returns ctx's error.
+func Run(ctx context.Context, sc Scenario) (*Result, error) {
+	return RunOpts(ctx, sc, RunOptions{})
+}
+
+// RunOpts is Run with durability options: checkpointing, resume, and the
+// day-boundary hook.
+func RunOpts(ctx context.Context, sc Scenario, opts RunOptions) (*Result, error) {
 	w, err := NewWorld(sc)
 	if err != nil {
 		return nil, err
@@ -103,39 +151,75 @@ func Run(sc Scenario) (*Result, error) {
 	w.Relays = rebuilt
 	w.registerBuilders()
 
-	ds := newDemandState(w)
-	truth := &GroundTruth{
-		PBS:         map[uint64]bool{},
-		BuilderName: map[uint64]string{},
-		Operator:    map[uint64]string{},
-		Promised:    map[uint64]types.Wei{},
+	rs := &runState{
+		ds: newDemandState(w),
+		truth: &GroundTruth{
+			PBS:         map[uint64]bool{},
+			BuilderName: map[uint64]string{},
+			Operator:    map[uint64]string{},
+			Promised:    map[uint64]types.Wei{},
+		},
+		arrivals:   map[types.Hash]p2p.Observation{},
+		boostStats: &mevboost.Stats{},
+		breaker:    mevboost.NewBreaker(3, 10*time.Minute),
+		slotRng:    w.R.Fork("slots"),
+		localRng:   w.R.Fork("local-build"),
+		flowRng:    w.R.Fork("flow"),
+		slot:       w.Chain.Config().GenesisSlot,
 	}
-	arrivals := map[types.Hash]p2p.Observation{}
+	if opts.Resume && opts.CheckpointDir != "" {
+		cp, err := loadLatestCheckpoint(opts.CheckpointDir, sc)
+		if err != nil {
+			return nil, err
+		}
+		if cp != nil {
+			if err := restore(w, rs, cp); err != nil {
+				return nil, err
+			}
+		}
+	}
 	relayChoices := map[string][]string{} // operator+era -> relay names
-	// The breaker and boost stats outlive the per-slot sidecars: failure
-	// memory has to persist across slots for circuits to ever open.
-	boostStats := &mevboost.Stats{}
-	breaker := mevboost.NewBreaker(3, 10*time.Minute)
-	slotRng := w.R.Fork("slots")
-	localRng := w.R.Fork("local-build")
-	flowRng := w.R.Fork("flow")
 
-	slot := w.Chain.Config().GenesisSlot
 	endUnix := uint64(sc.End.Unix())
-	slotsSinceChurn := 0
-	// privatePool holds protected (never-broadcast) user transactions until
-	// a builder lands them — protection services retry across slots.
-	var privatePool []*types.Transaction
+	// curDay tracks the UTC day of the next slot to process, so a resumed
+	// run does not re-fire the boundary it was checkpointed on.
+	curDay := int(w.Chain.SlotTime(rs.slot+1) / 86_400)
+	startDay := int(uint64(sc.Start.Unix()) / 86_400)
 
 	for {
-		slot++
-		ts := w.Chain.SlotTime(slot)
+		rs.slot++
+		ts := w.Chain.SlotTime(rs.slot)
 		if ts > endUnix {
 			break
 		}
+		if day := int(ts / 86_400); day != curDay {
+			curDay = day
+			if opts.CheckpointDir != "" {
+				// rs.slot is not yet processed: the checkpoint records the
+				// previous slot as the last completed one.
+				cp := capture(w, rs)
+				cp.Slot = rs.slot - 1
+				if err := saveCheckpoint(opts.CheckpointDir, cp, opts.Keep); err != nil {
+					return nil, err
+				}
+			}
+			if opts.OnDay != nil {
+				opts.OnDay(day - startDay)
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			if opts.CheckpointDir != "" {
+				cp := capture(w, rs)
+				cp.Slot = rs.slot - 1
+				if saveErr := saveCheckpoint(opts.CheckpointDir, cp, opts.Keep); saveErr != nil {
+					return nil, fmt.Errorf("sim: interrupted at slot %d and checkpoint failed: %v: %w", rs.slot, saveErr, err)
+				}
+			}
+			return nil, fmt.Errorf("sim: interrupted at slot %d: %w", rs.slot, err)
+		}
 		now := time.Unix(int64(ts), 0).UTC()
-		if slotRng.Bool(sc.MissedSlotProb) {
-			truth.MissedSlots++
+		if rs.slotRng.Bool(sc.MissedSlotProb) {
+			rs.truth.MissedSlots++
 			continue
 		}
 		view.reset()
@@ -143,16 +227,16 @@ func Run(sc Scenario) (*Result, error) {
 		headNumber := w.Chain.Head().Block.Number()
 
 		// 1. Demand: generate, broadcast, pool.
-		tr := w.generate(ds, slot, now, baseFee)
+		tr := w.generate(rs.ds, rs.slot, now, baseFee)
 		for _, tx := range tr.public {
 			// Broadcast happened sometime since the previous slot.
-			sent := now.Add(-time.Duration(slotRng.Range(1, float64(w.Chain.Config().SlotSeconds))) * time.Second)
-			arrivals[tx.Hash()] = w.Network.Broadcast(tx.Hash(), w.Network.RandomOrigin(), sent)
+			sent := now.Add(-time.Duration(rs.slotRng.Range(1, float64(w.Chain.Config().SlotSeconds))) * time.Second)
+			rs.arrivals[tx.Hash()] = w.Network.Broadcast(tx.Hash(), w.Network.RandomOrigin(), sent)
 			_ = w.Mempool.Add(tx)
 		}
 
 		// 2. Proposer for the slot.
-		proposer := w.Schedule.Proposer(slot)
+		proposer := w.Schedule.Proposer(rs.slot)
 		op := w.Population.OperatorOf(proposer.Index)
 
 		// 3. Candidate transactions and bundles.
@@ -168,8 +252,8 @@ func Run(sc Scenario) (*Result, error) {
 			},
 			Pending: pending,
 		}
-		privatePool = append(privatePool, tr.protected...)
-		privatePool = pruneStale(privatePool, w)
+		rs.privatePool = append(rs.privatePool, tr.protected...)
+		rs.privatePool = pruneStale(rs.privatePool, w)
 
 		var sharedBundles []*types.Bundle
 		for _, s := range w.SharedSearchers {
@@ -183,8 +267,8 @@ func Run(sc Scenario) (*Result, error) {
 				continue
 			}
 			tx := bundle.Txs[0]
-			sent := now.Add(-time.Duration(slotRng.Range(1, float64(w.Chain.Config().SlotSeconds))) * time.Second)
-			arrivals[tx.Hash()] = w.Network.Broadcast(tx.Hash(), w.Network.RandomOrigin(), sent)
+			sent := now.Add(-time.Duration(rs.slotRng.Range(1, float64(w.Chain.Config().SlotSeconds))) * time.Second)
+			rs.arrivals[tx.Hash()] = w.Network.Broadcast(tx.Hash(), w.Network.RandomOrigin(), sent)
 			if err := w.Mempool.Add(tx); err == nil {
 				pending = append(pending, tx)
 			}
@@ -197,28 +281,28 @@ func Run(sc Scenario) (*Result, error) {
 			relays := w.relaysFor(op, now, relayChoices)
 			sidecar := mevboost.New(proposer.Key, op.FeeRecipient, relays)
 			sidecar.RedundancyProb = 0.05
-			sidecar.Breaker = breaker
-			sidecar.Stats = boostStats
+			sidecar.Breaker = rs.breaker
+			sidecar.Stats = rs.boostStats
 			sidecar.Register(now)
 
-			w.runBuilders(now, slot, proposer.Pub(), op.FeeRecipient,
-				sharedBundles, privatePool, pending, sctx, flowRng)
+			w.runBuilders(now, rs.slot, proposer.Pub(), op.FeeRecipient,
+				sharedBundles, rs.privatePool, pending, sctx, rs.flowRng)
 
-			prop, err := sidecar.Propose(now, slot)
-			if err == nil && !slotRng.Bool(sc.LocalFallbackProb.At(now)) {
+			prop, err := sidecar.Propose(now, rs.slot)
+			if err == nil && !rs.slotRng.Bool(sc.LocalFallbackProb.At(now)) {
 				newBlock = prop.Block
-				truth.PBS[newBlock.Number()] = true
-				truth.Promised[newBlock.Number()] = prop.PromisedValue
-				truth.BuilderName[newBlock.Number()] = w.builderNameOf(prop.BuilderPubkey)
+				rs.truth.PBS[newBlock.Number()] = true
+				rs.truth.Promised[newBlock.Number()] = prop.PromisedValue
+				rs.truth.BuilderName[newBlock.Number()] = w.builderNameOf(prop.BuilderPubkey)
 			} else {
-				truth.Fallbacks++
+				rs.truth.Fallbacks++
 				switch {
 				case err == nil:
-					truth.FallbackCommit++
+					rs.truth.FallbackCommit++
 				case errors.Is(err, mevboost.ErrNoBids):
-					truth.FallbackNoBids++
+					rs.truth.FallbackNoBids++
 				default:
-					truth.FallbackPayload++
+					rs.truth.FallbackPayload++
 				}
 			}
 		}
@@ -227,15 +311,15 @@ func Run(sc Scenario) (*Result, error) {
 			if op.Name == "AnkrPool" && len(tr.binance) > 0 {
 				localPending = append(append([]*types.Transaction{}, tr.binance...), pending...)
 			}
-			newBlock = builder.BuildLocal(w.Chain, slot, op.FeeRecipient,
-				localPending, op.LocalCoverage, localRng)
-			truth.PBS[newBlock.Number()] = false
+			newBlock = builder.BuildLocal(w.Chain, rs.slot, op.FeeRecipient,
+				localPending, op.LocalCoverage, rs.localRng)
+			rs.truth.PBS[newBlock.Number()] = false
 		}
-		truth.Operator[newBlock.Number()] = op.Name
+		rs.truth.Operator[newBlock.Number()] = op.Name
 
 		stored, err := w.Chain.Accept(newBlock)
 		if err != nil {
-			return nil, fmt.Errorf("sim: slot %d: accept: %w", slot, err)
+			return nil, fmt.Errorf("sim: slot %d: accept: %w", rs.slot, err)
 		}
 		w.Chain.State().ClearJournal()
 		w.Ledger.RecordProposal(proposer)
@@ -247,26 +331,26 @@ func Run(sc Scenario) (*Result, error) {
 			w.Liquidator.ObserveLogs(rcpt.Logs)
 		}
 		for _, r := range w.Relays {
-			r.PruneSlot(slot - 2)
+			r.PruneSlot(rs.slot - 2)
 		}
-		slotsSinceChurn++
-		if slotsSinceChurn >= 200 {
+		rs.slotsSinceChurn++
+		if rs.slotsSinceChurn >= 200 {
 			// Mempool churn: expire stale flow and resync demand nonces, the
 			// way real pools time out transactions; this prevents permanently
 			// stalled sender chains from accumulating.
 			w.Mempool = mempool.New()
-			privatePool = privatePool[:0]
-			for addr := range ds.nonces {
-				ds.resyncNonce(addr)
+			rs.privatePool = rs.privatePool[:0]
+			for addr := range rs.ds.nonces {
+				rs.ds.resyncNonce(addr)
 			}
-			slotsSinceChurn = 0
+			rs.slotsSinceChurn = 0
 		}
 	}
 
-	truth.Boost = boostStats.Snapshot()
+	rs.truth.Boost = rs.boostStats.Snapshot()
 	return &Result{
-		Dataset: w.collect(arrivals),
-		Truth:   truth,
+		Dataset: w.collect(rs.arrivals),
+		Truth:   rs.truth,
 		World:   w,
 	}, nil
 }

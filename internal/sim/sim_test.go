@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -53,7 +54,7 @@ func TestWindowContains(t *testing.T) {
 }
 
 func TestRunShortWindow(t *testing.T) {
-	res, err := Run(shortScenario(5))
+	res, err := Run(context.Background(), shortScenario(5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestRunShortWindow(t *testing.T) {
 
 func TestRunDeterministic(t *testing.T) {
 	run := func() types.Hash {
-		res, err := Run(shortScenario(2))
+		res, err := Run(context.Background(), shortScenario(2))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -117,7 +118,7 @@ func TestRunDeterministic(t *testing.T) {
 }
 
 func TestPBSBlocksPayProposers(t *testing.T) {
-	res, err := Run(shortScenario(4))
+	res, err := Run(context.Background(), shortScenario(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestPBSBlocksPayProposers(t *testing.T) {
 }
 
 func TestMEVHappens(t *testing.T) {
-	res, err := Run(shortScenario(6))
+	res, err := Run(context.Background(), shortScenario(6))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestMEVHappens(t *testing.T) {
 }
 
 func TestSanctionedFlowAppears(t *testing.T) {
-	res, err := Run(shortScenario(5))
+	res, err := Run(context.Background(), shortScenario(5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +172,7 @@ func TestSanctionedFlowAppears(t *testing.T) {
 }
 
 func TestGroundTruthConsistency(t *testing.T) {
-	res, err := Run(shortScenario(3))
+	res, err := Run(context.Background(), shortScenario(3))
 	if err != nil {
 		t.Fatal(err)
 	}

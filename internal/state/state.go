@@ -131,6 +131,50 @@ func (s *State) Copy() *State {
 	return c
 }
 
+// Export returns a deep snapshot of the state for checkpointing. The
+// journal is not captured: checkpoints are taken at block boundaries where
+// it is empty (ClearJournal runs after every Accept).
+func (s *State) Export() Snapshot {
+	sn := Snapshot{
+		Balances: make(map[types.Address]types.Wei, len(s.balances)),
+		Nonces:   make(map[types.Address]uint64, len(s.nonces)),
+		Storage:  make(map[Slot]u256.Int, len(s.storage)),
+	}
+	for a, v := range s.balances {
+		sn.Balances[a] = v
+	}
+	for a, v := range s.nonces {
+		sn.Nonces[a] = v
+	}
+	for k, v := range s.storage {
+		sn.Storage[k] = v
+	}
+	return sn
+}
+
+// FromSnapshot reconstructs a state from an exported snapshot.
+func FromSnapshot(sn Snapshot) *State {
+	s := New()
+	for a, v := range sn.Balances {
+		s.balances[a] = v
+	}
+	for a, v := range sn.Nonces {
+		s.nonces[a] = v
+	}
+	for k, v := range sn.Storage {
+		s.storage[k] = v
+	}
+	return s
+}
+
+// Snapshot is a serializable deep copy of a State, used by simulation
+// checkpoints. All fields are exported so encoding/gob can round-trip it.
+type Snapshot struct {
+	Balances map[types.Address]types.Wei
+	Nonces   map[types.Address]uint64
+	Storage  map[Slot]u256.Int
+}
+
 // Balance returns the native balance of addr (zero for unknown accounts).
 func (s *State) Balance(addr types.Address) types.Wei {
 	return s.balances[addr]

@@ -1,9 +1,13 @@
 package stats
 
 import (
+	"context"
+	"fmt"
 	"math"
+	"runtime/debug"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // DayAgg is a fixed-group, fixed-span daily accumulator: the array-backed
@@ -299,18 +303,85 @@ func (d *DayAgg) Count(name string) int {
 // goroutines, splitting the range into contiguous chunks. fn must write
 // only state owned by index i; under that contract the result is
 // independent of scheduling. workers <= 1 runs inline.
+//
+// A panic in fn no longer kills the process from a worker goroutine: it is
+// recovered, carried back, and re-raised on the calling goroutine as a
+// *WorkerPanicError so callers up the stack can still recover it.
 func ParallelDays(n, workers int, fn func(i int)) {
+	err := ParallelDaysErr(context.Background(), n, workers, func(i int) error {
+		fn(i)
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+}
+
+// WorkerPanicError wraps a panic recovered inside a ParallelDaysErr worker,
+// preserving the failing index, the panic value and the worker's stack.
+type WorkerPanicError struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+// Error implements error.
+func (e *WorkerPanicError) Error() string {
+	return fmt.Sprintf("stats: worker panic at index %d: %v", e.Index, e.Value)
+}
+
+// ParallelDaysErr is the fault-aware ParallelDays: fn may fail, panics in
+// fn are recovered into *WorkerPanicError values, and ctx cancellation
+// stops the sweep between indices. The first failure wins (remaining
+// workers drain without calling fn again) and is returned after every
+// worker has exited, so no goroutine outlives the call. Chunking is
+// identical to ParallelDays, preserving the determinism contract for
+// successful sweeps.
+func ParallelDaysErr(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	if workers > n {
 		workers = n
 	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
+	var (
+		stop     atomic.Bool
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		stop.Store(true)
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
 		}
-		return
+		mu.Unlock()
+	}
+	runOne := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				fail(&WorkerPanicError{Index: i, Value: r, Stack: debug.Stack()})
+			}
+		}()
+		if err := fn(i); err != nil {
+			fail(err)
+		}
+	}
+	runRange := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if stop.Load() {
+				return
+			}
+			if err := ctx.Err(); err != nil {
+				fail(err)
+				return
+			}
+			runOne(i)
+		}
+	}
+	if workers <= 1 {
+		runRange(0, n)
+		return firstErr
 	}
 	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers
@@ -325,10 +396,9 @@ func ParallelDays(n, workers int, fn func(i int)) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				fn(i)
-			}
+			runRange(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
+	return firstErr
 }

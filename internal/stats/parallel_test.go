@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelDaysErrRecoversPanic(t *testing.T) {
+	err := ParallelDaysErr(context.Background(), 64, 8, func(i int) error {
+		if i == 17 {
+			panic("worker exploded")
+		}
+		return nil
+	})
+	var wp *WorkerPanicError
+	if !errors.As(err, &wp) {
+		t.Fatalf("err = %v, want *WorkerPanicError", err)
+	}
+	if wp.Index != 17 {
+		t.Errorf("panic index = %d, want 17", wp.Index)
+	}
+	if !strings.Contains(wp.Error(), "worker exploded") {
+		t.Errorf("error text %q does not carry the panic value", wp.Error())
+	}
+	if len(wp.Stack) == 0 {
+		t.Error("no stack captured")
+	}
+}
+
+func TestParallelDaysErrSequentialPathRecoversToo(t *testing.T) {
+	err := ParallelDaysErr(context.Background(), 8, 1, func(i int) error {
+		if i == 3 {
+			panic(fmt.Sprintf("boom at %d", i))
+		}
+		return nil
+	})
+	var wp *WorkerPanicError
+	if !errors.As(err, &wp) || wp.Index != 3 {
+		t.Fatalf("err = %v, want panic at index 3", err)
+	}
+}
+
+func TestParallelDaysErrReturnsFirstError(t *testing.T) {
+	sentinel := errors.New("shard failed")
+	err := ParallelDaysErr(context.Background(), 32, 4, func(i int) error {
+		if i%5 == 0 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+}
+
+func TestParallelDaysErrStopsAfterFailure(t *testing.T) {
+	var ran atomic.Int64
+	_ = ParallelDaysErr(context.Background(), 10_000, 2, func(i int) error {
+		ran.Add(1)
+		return errors.New("fail fast")
+	})
+	// Each worker stops at its first post-failure stop-flag check, so only
+	// a tiny fraction of the 10k tasks may run.
+	if n := ran.Load(); n > 100 {
+		t.Errorf("%d tasks ran after the first failure", n)
+	}
+}
+
+func TestParallelDaysErrHonoursCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := ParallelDaysErr(ctx, 128, 4, func(i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Errorf("%d tasks ran under a pre-cancelled context", ran.Load())
+	}
+}
+
+func TestParallelDaysErrZeroTasks(t *testing.T) {
+	if err := ParallelDaysErr(context.Background(), 0, 4, func(i int) error {
+		t.Error("fn called for empty range")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelDaysErrCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 64} {
+		hits := make([]atomic.Int32, 53)
+		if err := ParallelDaysErr(context.Background(), len(hits), workers, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestParallelDaysRepanicsOnCaller(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("ParallelDays swallowed the worker panic")
+		}
+		var wp *WorkerPanicError
+		if err, ok := r.(error); !ok || !errors.As(err, &wp) {
+			t.Fatalf("recovered %v, want *WorkerPanicError", r)
+		}
+	}()
+	ParallelDays(16, 4, func(i int) {
+		if i == 9 {
+			panic("legacy path panic")
+		}
+	})
+}

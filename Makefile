@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check chaos crawl bench clean
+.PHONY: all build vet test race check chaos crawl bench bench-sim clean
 
 all: check
 
@@ -30,12 +30,13 @@ check:
 	$(MAKE) chaos
 
 # Crash-safety suite under the race detector: kill-and-resume goldens
-# (simulation checkpoints and byte-identical artifacts), corruption
-# injection against the dataset validator and the manifest verifier, and
-# crawler checkpoint persistence.
+# (simulation checkpoints and byte-identical artifacts, on both the
+# sequential and parallel slot-engine paths), worker-count byte-identity
+# goldens, corruption injection against the dataset validator and the
+# manifest verifier, and crawler checkpoint persistence.
 chaos:
 	$(GO) test -race -count=1 \
-		-run 'KillAndResume|Resume|Checkpoint|Corrupt|Verify|Validate|Panic|Cancel' \
+		-run 'KillAndResume|Resume|Checkpoint|Corrupt|Verify|Validate|Panic|Cancel|Workers' \
 		./internal/sim/... ./internal/report/... ./internal/core/... \
 		./internal/faults/... ./internal/relayapi/... ./internal/stats/... \
 		./internal/cli/...
@@ -52,6 +53,16 @@ bench:
 	mkdir -p out
 	$(GO) test -run '^$$' -bench . -benchtime 3x -timeout 1800s . | tee out/bench_pr2.txt
 	$(GO) run ./cmd/benchjson -o $(BENCH_OUT) out/bench_pr2.txt
+
+# DESIGN.md §8 benchmark: the full-window simulation on the sequential path
+# (workers=1) vs the parallel slot engine (workers=4), recorded as
+# derived.sim_speedup in BENCH_pr4.json. Both rows produce byte-identical
+# output (the worker-count goldens in `make chaos` enforce it).
+SIM_BENCH_OUT ?= BENCH_pr4.json
+bench-sim:
+	mkdir -p out
+	$(GO) test -run '^$$' -bench 'SimFullWindow' -benchtime 1x -timeout 3000s . | tee out/bench_pr4.txt
+	$(GO) run ./cmd/benchjson -o $(SIM_BENCH_OUT) out/bench_pr4.txt
 
 clean:
 	$(GO) clean ./...

@@ -114,6 +114,16 @@ func derive(rec *Record) {
 		}
 		rec.Derived["index_build_share_of_regen"] = build.NsPerOp / idx.NsPerOp
 	}
+	// DESIGN.md §8: sequential slot round ÷ parallel slot engine, both
+	// producing byte-identical output (the sim golden tests enforce it).
+	legacy, okL := rec.Benchmarks["SimFullWindow/workers=1"]
+	engine, okE := rec.Benchmarks["SimFullWindow/workers=4"]
+	if okL && okE && engine.NsPerOp > 0 {
+		if rec.Derived == nil {
+			rec.Derived = map[string]float64{}
+		}
+		rec.Derived["sim_speedup"] = legacy.NsPerOp / engine.NsPerOp
+	}
 }
 
 func main() {

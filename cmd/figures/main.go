@@ -11,7 +11,7 @@
 // Usage:
 //
 //	figures -out DIR [-days N] [-blocks-per-day N] [-seed N]
-//	        [-workers N] [-sequential]
+//	        [-workers N] [-sim-workers N] [-sequential]
 //	        [-checkpoint-dir DIR] [-resume] [-timeout D]
 package main
 

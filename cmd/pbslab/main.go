@@ -6,14 +6,16 @@
 // Usage:
 //
 //	pbslab [-days N] [-blocks-per-day N] [-seed N] [-workers N]
-//	       [-sequential] [-figures DIR] [-quiet]
+//	       [-sim-workers N] [-sequential] [-figures DIR] [-quiet]
 //	       [-checkpoint-dir DIR] [-resume] [-timeout D]
 //	pbslab -verify DIR
 //
 // The default -days 0 runs the paper's full window (2022-09-15 through
 // 2023-03-31, 198 days); smaller values truncate it for quick runs.
-// -sequential selects the legacy full-scan analysis baseline; output is
-// byte-identical either way.
+// -sequential selects the legacy full-scan analysis baseline, and
+// -sim-workers sets the simulation slot engine's parallelism (0 = all
+// CPUs, 1 = the sequential legacy slot path); output is byte-identical
+// at every setting.
 //
 // The run is crash-safe: with -checkpoint-dir the simulation checkpoints at
 // every simulated day boundary and again on SIGINT/SIGTERM or -timeout

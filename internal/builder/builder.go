@@ -56,6 +56,10 @@ type Args struct {
 	// Pending is the builder's view of the public mempool (already filtered
 	// by the builder's own policy, e.g. OFAC).
 	Pending []*types.Transaction
+	// State, when non-nil, is the speculative state the build executes
+	// against (the parallel slot engine passes each builder a copy-on-write
+	// fork). When nil, Build takes a deep copy of the canonical state.
+	State *state.State
 }
 
 // Result is a sealed block plus the payment the builder claims for it.
@@ -151,7 +155,10 @@ func (b *Builder) Build(args Args) (*Result, bool) {
 		return nil, false
 	}
 	header := args.Chain.HeaderTemplate(args.Slot, b.Addr)
-	st := args.Chain.StateCopy()
+	st := args.State
+	if st == nil {
+		st = args.Chain.StateCopy()
+	}
 	engine := args.Chain.Engine()
 	ctx := evm.BlockContext{
 		Number: header.Number, Timestamp: header.Timestamp,
@@ -330,6 +337,55 @@ func BuildLocal(c *chain.Chain, slot uint64, feeRecipient types.Address,
 	}
 	header.GasUsed = gasUsed
 	return types.NewBlock(header, txs)
+}
+
+// BuildLocalExec is BuildLocal against a caller-supplied state (typically a
+// copy-on-write fork of the canonical state), additionally returning the
+// execution artifacts accumulated while packing. The inclusion decisions,
+// coverage draws, and per-transaction execution are identical to BuildLocal;
+// the returned ProcessResult matches what chain.Process would produce for
+// the finished block — rejected transactions are fully reverted before the
+// next candidate runs — so the caller can commit through AcceptValidated
+// without executing the block a second time.
+func BuildLocalExec(c *chain.Chain, st *state.State, slot uint64, feeRecipient types.Address,
+	pending []*types.Transaction, coverage float64, r *rng.RNG) (*types.Block, *chain.ProcessResult) {
+
+	header := c.HeaderTemplate(slot, feeRecipient)
+	ctx := evm.BlockContext{
+		Number: header.Number, Timestamp: header.Timestamp,
+		BaseFee: header.BaseFee, FeeRecipient: feeRecipient, GasLimit: header.GasLimit,
+	}
+
+	res := &chain.ProcessResult{Burned: u256.Zero, Tips: u256.Zero}
+	var txs []*types.Transaction
+	logIndex := uint(0)
+	for _, tx := range pending {
+		if !r.Bool(coverage) {
+			continue
+		}
+		snap := st.Snapshot()
+		out, err := c.Engine().ApplyTx(st, ctx, tx)
+		if err != nil {
+			st.RevertTo(snap)
+			continue
+		}
+		if res.GasUsed+out.Receipt.GasUsed > header.GasLimit {
+			st.RevertTo(snap)
+			continue
+		}
+		res.GasUsed += out.Receipt.GasUsed
+		for j := range out.Receipt.Logs {
+			out.Receipt.Logs[j].Index = logIndex
+			logIndex++
+		}
+		res.Receipts = append(res.Receipts, out.Receipt)
+		res.Traces = append(res.Traces, out.Traces...)
+		res.Burned = res.Burned.Add(out.Burned)
+		res.Tips = res.Tips.Add(out.Tip)
+		txs = append(txs, tx)
+	}
+	header.GasUsed = res.GasUsed
+	return types.NewBlock(header, txs), res
 }
 
 // applyOne applies tx if it is valid and fits the remaining gas, reverting

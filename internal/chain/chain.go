@@ -182,6 +182,12 @@ func (c *Chain) ByHash(h types.Hash) (*StoredBlock, bool) {
 // execution by builders and validators.
 func (c *Chain) StateCopy() *state.State { return c.st.Copy() }
 
+// StateFork returns an O(1) copy-on-write fork of the canonical head state.
+// Forks read through to the canonical state, so they must be dropped before
+// the next Accept; several forks may be used from different goroutines as
+// long as the canonical state stays unmutated.
+func (c *Chain) StateFork() *state.State { return c.st.Fork() }
+
 // State returns the canonical state. Callers other than Accept must not
 // mutate it; use StateCopy for simulation.
 func (c *Chain) State() *state.State { return c.st }
@@ -253,6 +259,22 @@ func Process(engine *evm.Engine, st *state.State, ctx evm.BlockContext, txs []*t
 // Relays run exactly this check before escrow (except where the paper
 // documents they did not).
 func (c *Chain) Validate(block *types.Block) (*ProcessResult, *state.State, error) {
+	return c.validate(block, c.st.Copy())
+}
+
+// ValidateFork is Validate served from an O(1) copy-on-write fork of the
+// canonical state instead of a deep copy. The returned post-state reads
+// through to the canonical state, so it is only safe while the canonical
+// state stays unmutated — i.e. within one slot round, before Accept. The
+// parallel slot engine uses it for the per-relay speculative validations
+// whose post-states are discarded at commit time.
+func (c *Chain) ValidateFork(block *types.Block) (*ProcessResult, *state.State, error) {
+	return c.validate(block, c.st.Fork())
+}
+
+// validate runs the header checks and executes block against postState,
+// mutating it.
+func (c *Chain) validate(block *types.Block, postState *state.State) (*ProcessResult, *state.State, error) {
 	head := c.Head().Block
 	h := block.Header
 	if h.ParentHash != head.Hash() {
@@ -281,7 +303,6 @@ func (c *Chain) Validate(block *types.Block) (*ProcessResult, *state.State, erro
 		Number: h.Number, Timestamp: h.Timestamp,
 		BaseFee: h.BaseFee, FeeRecipient: h.FeeRecipient, GasLimit: h.GasLimit,
 	}
-	postState := c.st.Copy()
 	res, err := Process(c.engine, postState, ctx, block.Txs)
 	if err != nil {
 		return nil, nil, err
@@ -290,6 +311,33 @@ func (c *Chain) Validate(block *types.Block) (*ProcessResult, *state.State, erro
 		return nil, nil, fmt.Errorf("%w: executed %d, declared %d", ErrBadGasUsed, res.GasUsed, h.GasUsed)
 	}
 	return res, postState, nil
+}
+
+// AcceptValidated commits a block whose validation artifacts were already
+// produced this slot round: res and postState must come from ValidateFork
+// (or an equivalent fork execution) of exactly this block against the
+// current head. The fork is folded into the canonical state in place, so the
+// block is not re-executed and no deep copy is taken — but every other fork
+// of the canonical state taken this round is invalidated. The parallel slot
+// engine uses it to commit winners it has already validated.
+func (c *Chain) AcceptValidated(block *types.Block, res *ProcessResult, postState *state.State) (*StoredBlock, error) {
+	head := c.Head().Block
+	if block.Header.ParentHash != head.Hash() {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownParent, block.Header.ParentHash)
+	}
+	if err := c.st.AbsorbFork(postState); err != nil {
+		return nil, err
+	}
+	stored := &StoredBlock{
+		Block:    block,
+		Receipts: res.Receipts,
+		Traces:   res.Traces,
+		Burned:   res.Burned,
+		Tips:     res.Tips,
+	}
+	c.blocks = append(c.blocks, stored)
+	c.byHash[block.Hash()] = stored
+	return stored, nil
 }
 
 // Accept validates block against the head and, when valid, executes it,

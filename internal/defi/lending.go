@@ -33,8 +33,8 @@ const (
 	slotPrice = "price" // debt-token wei per 1 ETH (1e18 collateral wei)
 )
 
-func collKey(user types.Address) string { return "coll:" + user.Hex() }
-func debtKey(user types.Address) string { return "debt:" + user.Hex() }
+func collKey(user types.Address) string { return keysFor(user).coll }
+func debtKey(user types.Address) string { return keysFor(user).debt }
 
 // oneEther is the price scale: prices are debt-wei per 1e18 collateral wei.
 var oneEther = u256.New(1_000_000_000_000_000_000)

@@ -287,3 +287,103 @@ func sortUint64(v []uint64) {
 		}
 	}
 }
+
+// TestExecutableOrderedMatchesExecutable drives a pool through a randomized
+// sequence of adds, removals, inclusions, prunes, and base-fee changes and
+// asserts ExecutableOrdered is element-for-element identical to the legacy
+// from-scratch Executable at every step.
+func TestExecutableOrderedMatchesExecutable(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	senders := make([]types.Address, 12)
+	for i := range senders {
+		senders[i] = crypto.AddressFromSeed("ord-sender-" + string(rune('a'+i)))
+	}
+	st := state.New()
+	p := New()
+	var live []*types.Transaction
+
+	check := func(step int, baseFee types.Wei, max int) {
+		t.Helper()
+		want := p.Executable(st, baseFee, max)
+		got := p.ExecutableOrdered(st, baseFee, max)
+		if len(want) != len(got) {
+			t.Fatalf("step %d baseFee=%s max=%d: len %d != %d", step, baseFee, max, len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("step %d baseFee=%s max=%d: position %d differs: %s != %s",
+					step, baseFee, max, i, got[i].Hash(), want[i].Hash())
+			}
+		}
+	}
+
+	for step := 0; step < 400; step++ {
+		switch op := rng.Intn(10); {
+		case op < 5: // add, fee caps chosen so some bind at higher base fees
+			s := senders[rng.Intn(len(senders))]
+			nonce := st.Nonce(s) + uint64(rng.Intn(4))
+			cand := tx(s, nonce, 8+uint64(rng.Intn(30)), 1+uint64(rng.Intn(12)))
+			if err := p.Add(cand); err == nil {
+				live = append(live, cand)
+			}
+		case op < 6 && len(live) > 0: // remove one
+			i := rng.Intn(len(live))
+			p.Remove(live[i].Hash())
+			live = append(live[:i], live[i+1:]...)
+		case op < 7 && len(live) > 0: // simulate inclusion of a few
+			n := 1 + rng.Intn(3)
+			if n > len(live) {
+				n = len(live)
+			}
+			incl := make([]*types.Transaction, n)
+			copy(incl, live[:n])
+			for _, cand := range incl {
+				if st.Nonce(cand.From) <= cand.Nonce {
+					st.SetNonce(cand.From, cand.Nonce+1)
+				}
+			}
+			p.RemoveIncluded(incl)
+			live = live[n:]
+		case op < 8: // advance a nonce out from under the pool, then prune
+			s := senders[rng.Intn(len(senders))]
+			st.SetNonce(s, st.Nonce(s)+1)
+			p.Prune(st)
+			kept := live[:0]
+			for _, cand := range live {
+				if p.Has(cand.Hash()) {
+					kept = append(kept, cand)
+				}
+			}
+			live = kept
+		}
+		baseFee := types.Gwei(1 + uint64(rng.Intn(25)))
+		max := 0
+		if rng.Intn(3) == 0 {
+			max = 1 + rng.Intn(8)
+		}
+		check(step, baseFee, max)
+	}
+}
+
+func BenchmarkExecutableOrdered(b *testing.B) {
+	st := state.New()
+	p := New()
+	for i := 0; i < 400; i++ {
+		s := crypto.AddressFromSeed("bench-sender-" + string(rune('A'+i%64)))
+		cand := tx(s, st.Nonce(s)+uint64(i/64), 20+uint64(i%30), 1+uint64(i%12))
+		_ = p.Add(cand)
+	}
+	baseFee := types.Gwei(12)
+	b.Run("legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p.Executable(st, baseFee, 400)
+		}
+	})
+	b.Run("ordered", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p.ExecutableOrdered(st, baseFee, 400)
+		}
+	})
+}

@@ -95,6 +95,72 @@ func (r *Registry) All() []Designation {
 // Len returns the number of designated addresses.
 func (r *Registry) Len() int { return len(r.byAddr) }
 
+// Schedule is a precomputed, time-indexed view of a registry's blacklist:
+// one cumulative address set per distinct application boundary. Enforcers
+// that would otherwise rebuild their sanction set per lookup (relays and
+// filtering builders do one per block submission) resolve it with a binary
+// search instead. The maps returned by At are shared — callers must treat
+// them as read-only — which also makes a Schedule safe for concurrent
+// readers once built.
+type Schedule struct {
+	boundaries []time.Time
+	sets       []map[types.Address]bool
+}
+
+// NewSchedule precomputes the blacklist at every distinct application
+// boundary. applied maps a designation to the instant the enforcer actually
+// starts filtering it (relay lag schedules); nil applies the registry's
+// day-after rule. The schedule reproduces exactly the membership of a
+// per-lookup rebuild: an address is blacklisted at t iff t is not before
+// its applied instant.
+func NewSchedule(reg *Registry, applied func(Designation) time.Time) *Schedule {
+	type entry struct {
+		at   time.Time
+		addr types.Address
+	}
+	entries := make([]entry, 0, reg.Len())
+	for _, d := range reg.All() {
+		at := d.Effective()
+		if applied != nil {
+			at = applied(d)
+		}
+		entries = append(entries, entry{at: at, addr: d.Address})
+	}
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].at.Before(entries[j].at) })
+
+	s := &Schedule{}
+	for i := 0; i < len(entries); {
+		j := i
+		for j < len(entries) && entries[j].at.Equal(entries[i].at) {
+			j++
+		}
+		set := make(map[types.Address]bool, j)
+		if n := len(s.sets); n > 0 {
+			for a := range s.sets[n-1] {
+				set[a] = true
+			}
+		}
+		for _, e := range entries[i:j] {
+			set[e.addr] = true
+		}
+		s.boundaries = append(s.boundaries, entries[i].at)
+		s.sets = append(s.sets, set)
+		i = j
+	}
+	return s
+}
+
+// At returns the blacklist in force at t: nil before the first boundary,
+// otherwise the cumulative set of the latest boundary not after t. The
+// returned map is shared and read-only.
+func (s *Schedule) At(t time.Time) map[types.Address]bool {
+	idx := sort.Search(len(s.boundaries), func(i int) bool { return s.boundaries[i].After(t) }) - 1
+	if idx < 0 {
+		return nil
+	}
+	return s.sets[idx]
+}
+
 // UpdateDates returns the distinct designation dates in order; the censorship
 // analysis correlates relay filtering gaps with these.
 func (r *Registry) UpdateDates() []time.Time {

@@ -110,3 +110,63 @@ func TestEffective(t *testing.T) {
 		t.Errorf("Effective = %v, want %v", d.Effective(), want)
 	}
 }
+
+// TestScheduleMatchesSnapshot checks the precomputed schedule agrees with a
+// per-lookup Snapshot rebuild at every designation boundary and in between.
+func TestScheduleMatchesSnapshot(t *testing.T) {
+	reg := DefaultList()
+	s := NewSchedule(reg, nil)
+	probes := []time.Time{
+		TornadoCashDate.Add(-24 * time.Hour),
+		TornadoCashDate,
+		TornadoCashDate.Add(24 * time.Hour),
+		TornadoCashDate.Add(25 * time.Hour),
+		NovemberUpdateDate.Add(24 * time.Hour),
+		FebruaryUpdateDate.Add(23 * time.Hour),
+		FebruaryUpdateDate.Add(24 * time.Hour),
+		FebruaryUpdateDate.Add(24 * 365 * time.Hour),
+	}
+	for _, at := range probes {
+		want := reg.Snapshot(at)
+		got := s.At(at)
+		if len(got) != len(want) {
+			t.Fatalf("at %s: schedule %d addrs, snapshot %d", at, len(got), len(want))
+		}
+		for a := range want {
+			if !got[a] {
+				t.Fatalf("at %s: schedule missing %s", at, a)
+			}
+		}
+	}
+}
+
+// TestScheduleHonoursOverrides checks per-wave application overrides (relay
+// blacklist lag) shift exactly that wave's boundary.
+func TestScheduleHonoursOverrides(t *testing.T) {
+	reg := DefaultList()
+	lag := NovemberUpdateDate.Add(3 * 24 * time.Hour)
+	never := time.Date(2100, 1, 1, 0, 0, 0, 0, time.UTC)
+	s := NewSchedule(reg, func(d Designation) time.Time {
+		switch {
+		case d.Designated.Equal(NovemberUpdateDate):
+			return lag
+		case d.Designated.Equal(FebruaryUpdateDate):
+			return never
+		}
+		return d.Effective()
+	})
+	probe := NovemberUpdateDate.Add(2 * 24 * time.Hour)
+	if got := s.At(probe); len(got) != tornadoWaveSize {
+		t.Fatalf("lagged wave already applied: %d addrs", len(got))
+	}
+	if got := s.At(lag); len(got) != tornadoWaveSize+novemberWaveSize {
+		t.Fatalf("lagged wave missing at its override: %d addrs", len(got))
+	}
+	// The never-applied wave stays out arbitrarily far in the future.
+	if got := s.At(FebruaryUpdateDate.AddDate(5, 0, 0)); len(got) != tornadoWaveSize+novemberWaveSize {
+		t.Fatalf("never-applied wave leaked in: %d addrs", len(got))
+	}
+	if s.At(TornadoCashDate) != nil {
+		t.Error("blacklist non-nil before any wave applied")
+	}
+}

@@ -152,6 +152,11 @@ type Relay struct {
 	Policy
 	chain     ChainView
 	sanctions *ofac.Registry
+	// blSchedule, when non-nil, replaces the per-submission blacklist
+	// rebuild with a precomputed boundary schedule (same membership, served
+	// as shared read-only maps). The simulator's parallel slot engine
+	// enables it; the legacy path keeps the per-lookup rebuild.
+	blSchedule *ofac.Schedule
 
 	builderVKs map[types.PubKey]crypto.Hash
 	internal   map[types.PubKey]bool
@@ -216,6 +221,20 @@ func (r *Relay) RegisterValidator(reg pbs.Registration) {
 // ValidatorCount returns the number of registered proposers.
 func (r *Relay) ValidatorCount() int { return len(r.validators) }
 
+// ValidatorRegistration returns the proposer's registration, if any.
+func (r *Relay) ValidatorRegistration(pub types.PubKey) (pbs.Registration, bool) {
+	reg, ok := r.validators[pub]
+	return reg, ok
+}
+
+// ValidatesAt reports whether the relay runs execution validation at time t
+// (i.e. t is outside its NoBlockValidation fault windows). The simulator's
+// parallel slot engine uses it to pre-validate exactly the blocks a
+// sequential submission pass would validate.
+func (r *Relay) ValidatesAt(t time.Time) bool {
+	return !inWindows(r.Faults.NoBlockValidation, t)
+}
+
 // Registrations returns the registered proposers sorted by pubkey — the
 // "proposers currently connected to the relay" listing the paper's crawler
 // requested from each relay.
@@ -230,17 +249,34 @@ func (r *Relay) Registrations() []pbs.Registration {
 	return out
 }
 
+// appliedAt resolves when the relay actually starts enforcing a
+// designation: the day-after rule, unless the wave has a lag override.
+func (r *Relay) appliedAt(d ofac.Designation) time.Time {
+	applied := d.Effective()
+	waveKey := d.Designated.UTC().Format("2006-01-02")
+	if override, ok := r.Faults.BlacklistApplied[waveKey]; ok {
+		applied = override
+	}
+	return applied
+}
+
+// EnableBlacklistSchedule precomputes the relay's wave-lagged blacklist as
+// an ofac.Schedule, so SubmitBlock resolves its sanction set with a binary
+// search instead of rebuilding a map per submission. Membership is
+// identical to the per-lookup rebuild.
+func (r *Relay) EnableBlacklistSchedule() {
+	r.blSchedule = ofac.NewSchedule(r.sanctions, r.appliedAt)
+}
+
 // blacklistAt builds the relay's enforced sanction set at time t, honoring
 // per-wave application lag.
 func (r *Relay) blacklistAt(t time.Time) map[types.Address]bool {
+	if r.blSchedule != nil {
+		return r.blSchedule.At(t)
+	}
 	out := map[types.Address]bool{}
 	for _, d := range r.sanctions.All() {
-		applied := d.Effective()
-		waveKey := d.Designated.UTC().Format("2006-01-02")
-		if override, ok := r.Faults.BlacklistApplied[waveKey]; ok {
-			applied = override
-		}
-		if !t.Before(applied) {
+		if !t.Before(r.appliedAt(d)) {
 			out[d.Address] = true
 		}
 	}

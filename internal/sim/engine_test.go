@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/ethpbs/pbslab/internal/core"
+	"github.com/ethpbs/pbslab/internal/report"
+)
+
+// runWorkers runs the scenario with a fixed slot-engine worker count.
+func runWorkers(t *testing.T, sc Scenario, workers int) *Result {
+	t.Helper()
+	res, err := RunOpts(context.Background(), sc, RunOptions{Workers: workers})
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	return res
+}
+
+// TestRunWorkersGolden proves the tentpole invariant: the parallel slot
+// engine produces byte-identical datasets and ground truth to the
+// sequential legacy path at every worker count, across seeds.
+func TestRunWorkersGolden(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		sc := shortScenario(3)
+		sc.Seed = seed
+		baseline := runWorkers(t, sc, 1)
+		for _, workers := range []int{2, 8} {
+			sameResult(t, baseline, runWorkers(t, sc, workers))
+		}
+	}
+}
+
+// TestRunWorkersGoldenArtifacts extends the equivalence to the rendered
+// artifact bytes: every report emitted from a parallel-engine run must be
+// byte-for-byte the file the legacy path emits.
+func TestRunWorkersGoldenArtifacts(t *testing.T) {
+	render := func(res *Result) []report.Artifact {
+		a, err := core.NewWithContext(context.Background(), res.Dataset,
+			core.WithBuilderLabels(res.World.BuilderLabels()))
+		if err != nil {
+			t.Fatalf("analysis: %v", err)
+		}
+		return report.RenderAll(a, 1)
+	}
+	sc := shortScenario(3)
+	sc.Seed = 1
+	want := render(runWorkers(t, sc, 1))
+	got := render(runWorkers(t, sc, 8))
+	if len(want) != len(got) {
+		t.Fatalf("artifact count: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i].Name != got[i].Name {
+			t.Fatalf("artifact %d name: %s vs %s", i, got[i].Name, want[i].Name)
+		}
+		if !bytes.Equal(want[i].Data, got[i].Data) {
+			t.Errorf("artifact %s differs between worker counts", want[i].Name)
+		}
+	}
+}
+
+// TestParallelKillAndResumeGolden is the kill-and-resume golden on the
+// parallel path: a run interrupted at a day boundary and resumed — all with
+// the parallel engine — must match an uninterrupted sequential run.
+func TestParallelKillAndResumeGolden(t *testing.T) {
+	sc := shortScenario(4)
+	sc.Seed = 2
+	baseline := runWorkers(t, sc, 1)
+
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err := RunOpts(ctx, sc, RunOptions{
+		Workers:       4,
+		CheckpointDir: dir,
+		OnDay: func(day int) {
+			if day == 2 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run: want context.Canceled, got %v", err)
+	}
+	resumed, err := RunOpts(context.Background(), sc, RunOptions{
+		Workers:       4,
+		CheckpointDir: dir,
+		Resume:        true,
+	})
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	sameResult(t, baseline, resumed)
+}

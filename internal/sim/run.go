@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"time"
 
@@ -65,6 +66,10 @@ type Result struct {
 type cachingView struct {
 	c     *chain.Chain
 	cache map[types.Hash]cachedValidation
+	// fork switches cache misses to copy-on-write fork validation. The
+	// parallel slot engine sets it; relays discard the post-state, and the
+	// cache is cleared every slot, so a fork never outlives its base.
+	fork bool
 }
 
 type cachedValidation struct {
@@ -77,13 +82,33 @@ func (v *cachingView) Validate(block *types.Block) (*chain.ProcessResult, *state
 	if hit, ok := v.cache[block.Hash()]; ok {
 		return hit.res, hit.st, hit.err
 	}
-	res, st, err := v.c.Validate(block)
+	var (
+		res *chain.ProcessResult
+		st  *state.State
+		err error
+	)
+	if v.fork {
+		res, st, err = v.c.ValidateFork(block)
+	} else {
+		res, st, err = v.c.Validate(block)
+	}
 	v.cache[block.Hash()] = cachedValidation{res: res, st: st, err: err}
 	return res, st, err
 }
 
+// prime installs a precomputed validation result (the parallel engine's
+// phase C) so later relay lookups are cache hits.
+func (v *cachingView) prime(h types.Hash, cv cachedValidation) {
+	v.cache[h] = cv
+}
+
+// reset clears the cache in place, reusing the map across slots.
 func (v *cachingView) reset() {
-	v.cache = map[types.Hash]cachedValidation{}
+	if v.cache == nil {
+		v.cache = map[types.Hash]cachedValidation{}
+		return
+	}
+	clear(v.cache)
 }
 
 // RunOptions configures durability features of a simulation run.
@@ -102,6 +127,11 @@ type RunOptions struct {
 	// boundary's checkpoint is written — with the zero-based day index
 	// being entered. Tests use it to interrupt at exact positions.
 	OnDay func(day int)
+	// Workers sets the slot-engine parallelism: builder block construction
+	// and relay block validations fan out over a bounded worker pool.
+	// 0 means GOMAXPROCS; 1 selects the sequential legacy path. Results are
+	// byte-identical at every setting (golden tests enforce it).
+	Workers int
 }
 
 // runState is the mutable loop state of a run: exactly what a checkpoint
@@ -150,6 +180,15 @@ func RunOpts(ctx context.Context, sc Scenario, opts RunOptions) (*Result, error)
 	}
 	w.Relays = rebuilt
 	w.registerBuilders()
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var eng *slotEngine
+	if workers != 1 {
+		eng = newSlotEngine(w, view, workers)
+	}
 
 	rs := &runState{
 		ds: newDemandState(w),
@@ -239,10 +278,21 @@ func RunOpts(ctx context.Context, sc Scenario, opts RunOptions) (*Result, error)
 		proposer := w.Schedule.Proposer(rs.slot)
 		op := w.Population.OperatorOf(proposer.Index)
 
-		// 3. Candidate transactions and bundles.
-		pending := w.Mempool.Executable(w.Chain.State(), baseFee, 400)
+		// 3. Candidate transactions and bundles. The parallel engine serves
+		// pending from the pool's incrementally ordered index and runs the
+		// searchers against an O(1) state fork; both are read-for-read
+		// identical to the legacy full sort and deep copy.
+		var pending []*types.Transaction
+		var sctxState *state.State
+		if eng != nil {
+			pending = w.Mempool.ExecutableOrdered(w.Chain.State(), baseFee, 400)
+			sctxState = w.Chain.StateFork()
+		} else {
+			pending = w.Mempool.Executable(w.Chain.State(), baseFee, 400)
+			sctxState = w.Chain.StateCopy()
+		}
 		sctx := &searcher.Context{
-			State:       w.Chain.StateCopy(),
+			State:       sctxState,
 			Engine:      w.Engine,
 			BaseFee:     baseFee,
 			TargetBlock: headNumber + 1,
@@ -285,8 +335,15 @@ func RunOpts(ctx context.Context, sc Scenario, opts RunOptions) (*Result, error)
 			sidecar.Stats = rs.boostStats
 			sidecar.Register(now)
 
-			w.runBuilders(now, rs.slot, proposer.Pub(), op.FeeRecipient,
-				sharedBundles, rs.privatePool, pending, sctx, rs.flowRng)
+			if eng != nil {
+				if err := eng.runSlot(now, rs.slot, proposer.Pub(), op.FeeRecipient,
+					sharedBundles, rs.privatePool, pending, sctx, rs.flowRng); err != nil {
+					return nil, err
+				}
+			} else {
+				w.runBuilders(now, rs.slot, proposer.Pub(), op.FeeRecipient,
+					sharedBundles, rs.privatePool, pending, sctx, rs.flowRng)
+			}
 
 			prop, err := sidecar.Propose(now, rs.slot)
 			if err == nil && !rs.slotRng.Bool(sc.LocalFallbackProb.At(now)) {
@@ -306,18 +363,35 @@ func RunOpts(ctx context.Context, sc Scenario, opts RunOptions) (*Result, error)
 				}
 			}
 		}
+		var localArt cachedValidation
 		if newBlock == nil {
 			localPending := pending
 			if op.Name == "AnkrPool" && len(tr.binance) > 0 {
 				localPending = append(append([]*types.Transaction{}, tr.binance...), pending...)
 			}
-			newBlock = builder.BuildLocal(w.Chain, rs.slot, op.FeeRecipient,
-				localPending, op.LocalCoverage, rs.localRng)
+			if eng != nil {
+				// Engine path: pack on a fork and keep the execution
+				// artifacts, so the commit below absorbs the fork instead of
+				// re-executing the block.
+				st := w.Chain.StateFork()
+				newBlock, localArt.res = builder.BuildLocalExec(w.Chain, st, rs.slot,
+					op.FeeRecipient, localPending, op.LocalCoverage, rs.localRng)
+				localArt.st = st
+			} else {
+				newBlock = builder.BuildLocal(w.Chain, rs.slot, op.FeeRecipient,
+					localPending, op.LocalCoverage, rs.localRng)
+			}
 			rs.truth.PBS[newBlock.Number()] = false
 		}
 		rs.truth.Operator[newBlock.Number()] = op.Name
 
-		stored, err := w.Chain.Accept(newBlock)
+		var stored *chain.StoredBlock
+		var err error
+		if eng != nil {
+			stored, err = eng.accept(newBlock, localArt)
+		} else {
+			stored, err = w.Chain.Accept(newBlock)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("sim: slot %d: accept: %w", rs.slot, err)
 		}
@@ -609,14 +683,25 @@ func (w *World) runBuilders(now time.Time, slot uint64, proposerPub types.PubKey
 }
 
 // builderNameOf maps a winning pubkey back to a builder name (ground truth
-// bookkeeping only; the analysis clusters from data).
+// bookkeeping only; the analysis clusters from data). The lookup index is
+// built once per run instead of re-concatenating the builder slices and
+// re-deriving every pubkey per winning block.
 func (w *World) builderNameOf(pub types.PubKey) string {
-	for _, e := range append(append([]*builderEntry{}, w.Builders...), w.SmallBuilders...) {
-		for _, p := range e.B.PubKeys() {
-			if p == pub {
-				return e.Spec.Profile.Name
+	if w.namesByPub == nil {
+		w.namesByPub = map[types.PubKey]string{}
+		for _, e := range w.Builders {
+			for _, p := range e.B.PubKeys() {
+				w.namesByPub[p] = e.Spec.Profile.Name
 			}
 		}
+		for _, e := range w.SmallBuilders {
+			for _, p := range e.B.PubKeys() {
+				w.namesByPub[p] = e.Spec.Profile.Name
+			}
+		}
+	}
+	if name, ok := w.namesByPub[pub]; ok {
+		return name
 	}
 	return "unknown"
 }

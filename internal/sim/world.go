@@ -67,6 +67,10 @@ type World struct {
 	// BinanceSender / BinanceReceiver are the December private-flow pair.
 	BinanceSender   types.Address
 	BinanceReceiver types.Address
+
+	// namesByPub is the lazily built pubkey → builder-name index behind
+	// builderNameOf.
+	namesByPub map[types.PubKey]string
 }
 
 // builderEntry pairs a builder with its scenario wiring.

@@ -35,6 +35,12 @@ type State struct {
 	nonces   map[types.Address]uint64
 	storage  map[Slot]u256.Int
 	journal  []undo
+	// base, when non-nil, makes this state a copy-on-write fork: reads fall
+	// through to base for keys the fork has not written, and all mutations
+	// land in the fork's own maps (zero storage writes become tombstones so
+	// deletions shadow the base). The base must not be mutated while forks
+	// of it are alive; concurrent forks may then read it safely.
+	base *State
 }
 
 // undo is one reversible mutation.
@@ -112,12 +118,22 @@ func (s *State) noteStorage(sl Slot) {
 	s.journal = append(s.journal, undo{kind: undoStorage, slot: sl, prevWei: prev, present: ok})
 }
 
-// Copy returns a deep copy sharing nothing with the receiver.
+// Copy returns a deep copy sharing nothing with the receiver. Copying a
+// fork flattens it: the result is a plain state holding the merged view.
 func (s *State) Copy() *State {
 	c := &State{
 		balances: make(map[types.Address]types.Wei, len(s.balances)),
 		nonces:   make(map[types.Address]uint64, len(s.nonces)),
 		storage:  make(map[Slot]u256.Int, len(s.storage)),
+	}
+	s.flattenInto(c)
+	return c
+}
+
+// flattenInto layers s (base first, then the fork's writes) into c.
+func (s *State) flattenInto(c *State) {
+	if s.base != nil {
+		s.base.flattenInto(c)
 	}
 	for a, v := range s.balances {
 		c.balances[a] = v
@@ -126,27 +142,78 @@ func (s *State) Copy() *State {
 		c.nonces[a] = v
 	}
 	for k, v := range s.storage {
-		c.storage[k] = v
+		if v.IsZero() {
+			delete(c.storage, k) // tombstone: the fork deleted a base slot
+		} else {
+			c.storage[k] = v
+		}
 	}
-	return c
+}
+
+// AbsorbFork folds a fork's writes back into its base in place: the commit
+// half of the fork workflow. ValidateFork executes a block against an O(1)
+// fork; absorbing the fork afterwards yields the post-block canonical state
+// in O(touched keys) instead of the O(accounts) deep copy a Copy-based
+// commit pays. f must be a direct fork of s. Absorbing invalidates every
+// other live fork of s — their reads would now see post-block values — so
+// callers only absorb at the end of a slot round, after all speculative
+// forks are dead. The absorbed writes are not journalled; callers commit at
+// block boundaries where the journal is cleared anyway.
+func (s *State) AbsorbFork(f *State) error {
+	if f.base != s {
+		return fmt.Errorf("state: AbsorbFork of a state that is not a direct fork of the receiver")
+	}
+	for a, v := range f.balances {
+		s.balances[a] = v
+	}
+	for a, v := range f.nonces {
+		s.nonces[a] = v
+	}
+	for k, v := range f.storage {
+		if v.IsZero() {
+			delete(s.storage, k) // tombstone: the fork deleted a base slot
+		} else {
+			s.storage[k] = v
+		}
+	}
+	return nil
+}
+
+// Fork returns a copy-on-write view of s in O(1): reads fall through to s
+// until the fork writes a key, and every mutation stays in the fork. The
+// parallel slot engine hands each speculative execution (builder blocks,
+// relay validations, searcher probes) its own fork of the canonical state;
+// s must stay unmutated while the fork is alive, which also makes several
+// forks of one base safe to use from different goroutines.
+func (s *State) Fork() *State {
+	return &State{
+		balances: map[types.Address]types.Wei{},
+		nonces:   map[types.Address]uint64{},
+		storage:  map[Slot]u256.Int{},
+		base:     s,
+	}
 }
 
 // Export returns a deep snapshot of the state for checkpointing. The
 // journal is not captured: checkpoints are taken at block boundaries where
-// it is empty (ClearJournal runs after every Accept).
+// it is empty (ClearJournal runs after every Accept). Forks are flattened.
 func (s *State) Export() Snapshot {
-	sn := Snapshot{
-		Balances: make(map[types.Address]types.Wei, len(s.balances)),
-		Nonces:   make(map[types.Address]uint64, len(s.nonces)),
-		Storage:  make(map[Slot]u256.Int, len(s.storage)),
+	flat := s
+	if s.base != nil {
+		flat = s.Copy()
 	}
-	for a, v := range s.balances {
+	sn := Snapshot{
+		Balances: make(map[types.Address]types.Wei, len(flat.balances)),
+		Nonces:   make(map[types.Address]uint64, len(flat.nonces)),
+		Storage:  make(map[Slot]u256.Int, len(flat.storage)),
+	}
+	for a, v := range flat.balances {
 		sn.Balances[a] = v
 	}
-	for a, v := range s.nonces {
+	for a, v := range flat.nonces {
 		sn.Nonces[a] = v
 	}
-	for k, v := range s.storage {
+	for k, v := range flat.storage {
 		sn.Storage[k] = v
 	}
 	return sn
@@ -176,8 +243,19 @@ type Snapshot struct {
 }
 
 // Balance returns the native balance of addr (zero for unknown accounts).
+// The len guards skip hashing the key against empty fork maps: speculative
+// probes revert their writes, so a fork's own maps are empty most of the
+// time while its base holds the whole world.
 func (s *State) Balance(addr types.Address) types.Wei {
-	return s.balances[addr]
+	if len(s.balances) > 0 {
+		if v, ok := s.balances[addr]; ok {
+			return v
+		}
+	}
+	if s.base != nil {
+		return s.base.Balance(addr)
+	}
+	return types.Wei{}
 }
 
 // SetBalance overwrites the native balance of addr. Genesis funding only;
@@ -189,14 +267,15 @@ func (s *State) SetBalance(addr types.Address, v types.Wei) {
 
 // Credit adds v to addr's balance.
 func (s *State) Credit(addr types.Address, v types.Wei) {
+	cur := s.Balance(addr)
 	s.noteBalance(addr)
-	s.balances[addr] = s.balances[addr].Add(v)
+	s.balances[addr] = cur.Add(v)
 }
 
 // Debit subtracts v from addr's balance, failing without mutation when the
 // balance is insufficient.
 func (s *State) Debit(addr types.Address, v types.Wei) error {
-	bal := s.balances[addr]
+	bal := s.Balance(addr)
 	if bal.Lt(v) {
 		return fmt.Errorf("state: insufficient balance at %s: have %s, need %s", addr, bal, v)
 	}
@@ -216,7 +295,15 @@ func (s *State) Transfer(from, to types.Address, v types.Wei) error {
 
 // Nonce returns the next expected nonce for addr.
 func (s *State) Nonce(addr types.Address) uint64 {
-	return s.nonces[addr]
+	if len(s.nonces) > 0 {
+		if n, ok := s.nonces[addr]; ok {
+			return n
+		}
+	}
+	if s.base != nil {
+		return s.base.Nonce(addr)
+	}
+	return 0
 }
 
 // SetNonce overwrites the nonce; for genesis/test setup.
@@ -227,21 +314,31 @@ func (s *State) SetNonce(addr types.Address, n uint64) {
 
 // IncNonce advances addr's nonce by one.
 func (s *State) IncNonce(addr types.Address) {
+	cur := s.Nonce(addr)
 	s.noteNonce(addr)
-	s.nonces[addr]++
+	s.nonces[addr] = cur + 1
 }
 
 // Get reads a storage slot (zero when unset).
 func (s *State) Get(contract types.Address, key string) u256.Int {
-	return s.storage[Slot{contract, key}]
+	if len(s.storage) > 0 {
+		if v, ok := s.storage[Slot{contract, key}]; ok {
+			return v
+		}
+	}
+	if s.base != nil {
+		return s.base.Get(contract, key)
+	}
+	return u256.Int{}
 }
 
 // Set writes a storage slot. Writing zero deletes the slot, keeping Copy
-// costs proportional to live state.
+// costs proportional to live state; in a fork the zero is stored as a
+// tombstone instead so the deletion shadows the base.
 func (s *State) Set(contract types.Address, key string, v u256.Int) {
 	sl := Slot{contract, key}
 	s.noteStorage(sl)
-	if v.IsZero() {
+	if v.IsZero() && s.base == nil {
 		delete(s.storage, sl)
 		return
 	}
@@ -266,6 +363,9 @@ func (s *State) SubFrom(contract types.Address, key string, v u256.Int) error {
 
 // TotalSupply sums all native balances; conservation checks in tests use it.
 func (s *State) TotalSupply() types.Wei {
+	if s.base != nil {
+		return s.Copy().TotalSupply()
+	}
 	total := u256.Zero
 	for _, v := range s.balances {
 		total = total.Add(v)
@@ -275,6 +375,9 @@ func (s *State) TotalSupply() types.Wei {
 
 // Accounts returns the number of accounts with non-zero balance or nonce.
 func (s *State) Accounts() int {
+	if s.base != nil {
+		return s.Copy().Accounts()
+	}
 	seen := map[types.Address]bool{}
 	for a, v := range s.balances {
 		if !v.IsZero() {

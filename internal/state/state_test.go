@@ -1,6 +1,7 @@
 package state
 
 import (
+	"fmt"
 	"testing"
 
 	"github.com/ethpbs/pbslab/internal/crypto"
@@ -241,4 +242,233 @@ func TestCopyDropsJournal(t *testing.T) {
 		t.Errorf("copy revert corrupted inherited state: %s", c.Balance(alice))
 	}
 	_ = snapBefore
+}
+
+func TestForkReadsFallThrough(t *testing.T) {
+	s := New()
+	s.SetBalance(alice, types.Ether(5))
+	s.SetNonce(alice, 3)
+	s.Set(pool, "r0", u256.New(100))
+
+	f := s.Fork()
+	if f.Balance(alice) != types.Ether(5) {
+		t.Errorf("fork balance = %s", f.Balance(alice))
+	}
+	if f.Nonce(alice) != 3 {
+		t.Errorf("fork nonce = %d", f.Nonce(alice))
+	}
+	if f.Get(pool, "r0") != u256.New(100) {
+		t.Errorf("fork slot = %s", f.Get(pool, "r0"))
+	}
+}
+
+func TestForkWritesIsolated(t *testing.T) {
+	s := New()
+	s.SetBalance(alice, types.Ether(5))
+	s.SetNonce(alice, 1)
+	s.Set(pool, "r0", u256.New(100))
+
+	f := s.Fork()
+	f.Credit(alice, types.Ether(1))
+	f.IncNonce(alice)
+	f.Set(pool, "r0", u256.New(999))
+	f.Set(pool, "r1", u256.New(7))
+	if err := f.Debit(bob, types.Ether(1)); err == nil {
+		t.Error("fork overdraft allowed")
+	}
+
+	if s.Balance(alice) != types.Ether(5) || s.Nonce(alice) != 1 {
+		t.Error("fork mutation leaked into base account")
+	}
+	if s.Get(pool, "r0") != u256.New(100) || !s.Get(pool, "r1").IsZero() {
+		t.Error("fork mutation leaked into base storage")
+	}
+	if f.Balance(alice) != types.Ether(6) || f.Nonce(alice) != 2 {
+		t.Error("fork lost its own mutations")
+	}
+}
+
+func TestForkDeleteShadowsBase(t *testing.T) {
+	s := New()
+	s.Set(pool, "x", u256.New(5))
+	f := s.Fork()
+	f.Set(pool, "x", u256.Zero)
+	if !f.Get(pool, "x").IsZero() {
+		t.Error("fork delete fell through to base")
+	}
+	if s.Get(pool, "x") != u256.New(5) {
+		t.Error("fork delete mutated base")
+	}
+	// Flattening honours the tombstone.
+	if !f.Copy().Get(pool, "x").IsZero() {
+		t.Error("flattened copy resurrected deleted slot")
+	}
+}
+
+func TestForkSnapshotRevert(t *testing.T) {
+	s := New()
+	s.SetBalance(alice, types.Ether(5))
+	s.Set(pool, "r0", u256.New(100))
+
+	f := s.Fork()
+	f.Credit(alice, types.Ether(1))
+	snap := f.Snapshot()
+	f.Credit(alice, types.Ether(1))
+	f.Set(pool, "r0", u256.Zero)
+	f.Set(pool, "r1", u256.New(9))
+	f.IncNonce(bob)
+
+	f.RevertTo(snap)
+	if f.Balance(alice) != types.Ether(6) {
+		t.Errorf("fork balance after revert = %s", f.Balance(alice))
+	}
+	if f.Get(pool, "r0") != u256.New(100) {
+		t.Errorf("fork slot after revert = %s", f.Get(pool, "r0"))
+	}
+	if !f.Get(pool, "r1").IsZero() || f.Nonce(bob) != 0 {
+		t.Error("fork revert left stray writes")
+	}
+}
+
+// TestForkMatchesCopy drives an identical mutation sequence through a deep
+// copy and a fork and checks the flattened views agree — the equivalence
+// the parallel slot engine relies on.
+func TestForkMatchesCopy(t *testing.T) {
+	s := New()
+	s.SetBalance(alice, types.Ether(10))
+	s.SetBalance(bob, types.Ether(3))
+	s.Set(pool, "r0", u256.New(1000))
+	s.Set(pool, "r1", u256.New(2000))
+
+	mutate := func(st *State) {
+		if err := st.Transfer(alice, bob, types.Ether(2)); err != nil {
+			t.Fatal(err)
+		}
+		st.IncNonce(alice)
+		st.AddTo(pool, "r0", u256.New(77))
+		if err := st.SubFrom(pool, "r1", u256.New(2000)); err != nil {
+			t.Fatal(err)
+		}
+		st.Set(pool, "r2", u256.New(5))
+	}
+	c, f := s.Copy(), s.Fork()
+	mutate(c)
+	mutate(f)
+
+	ff := f.Copy() // flatten
+	for _, a := range []types.Address{alice, bob, pool} {
+		if c.Balance(a) != ff.Balance(a) {
+			t.Errorf("balance %s: copy %s, fork %s", a, c.Balance(a), ff.Balance(a))
+		}
+		if c.Nonce(a) != ff.Nonce(a) {
+			t.Errorf("nonce %s differs", a)
+		}
+	}
+	for _, k := range []string{"r0", "r1", "r2"} {
+		if c.Get(pool, k) != ff.Get(pool, k) {
+			t.Errorf("slot %s: copy %s, fork %s", k, c.Get(pool, k), ff.Get(pool, k))
+		}
+	}
+	if c.TotalSupply() != f.TotalSupply() {
+		t.Error("supply differs between copy and fork")
+	}
+	if c.Accounts() != f.Accounts() {
+		t.Error("accounts differ between copy and fork")
+	}
+}
+
+// TestAbsorbFork proves the commit half of the fork workflow: absorbing a
+// mutated fork into its base yields exactly the state a Copy-flatten of
+// the fork would, including tombstoned deletions, and a fork of a
+// different base is rejected.
+func TestAbsorbFork(t *testing.T) {
+	s := New()
+	s.SetBalance(alice, types.Ether(10))
+	s.SetBalance(bob, types.Ether(3))
+	s.Set(pool, "r0", u256.New(1000))
+	s.Set(pool, "r1", u256.New(2000))
+
+	f := s.Fork()
+	if err := f.Transfer(alice, bob, types.Ether(2)); err != nil {
+		t.Fatal(err)
+	}
+	f.IncNonce(alice)
+	f.AddTo(pool, "r0", u256.New(77))
+	if err := f.SubFrom(pool, "r1", u256.New(2000)); err != nil { // tombstone
+		t.Fatal(err)
+	}
+	f.Set(pool, "r2", u256.New(5))
+
+	want := f.Copy() // flatten before absorbing mutates the base
+	if err := s.AbsorbFork(s.Fork()); err != nil {
+		t.Fatalf("absorb of empty fork: %v", err)
+	}
+	if err := s.AbsorbFork(f); err != nil {
+		t.Fatalf("absorb: %v", err)
+	}
+	for _, a := range []types.Address{alice, bob} {
+		if s.Balance(a) != want.Balance(a) {
+			t.Errorf("balance %s: absorbed %s, want %s", a, s.Balance(a), want.Balance(a))
+		}
+		if s.Nonce(a) != want.Nonce(a) {
+			t.Errorf("nonce %s differs", a)
+		}
+	}
+	for _, k := range []string{"r0", "r1", "r2"} {
+		if s.Get(pool, k) != want.Get(pool, k) {
+			t.Errorf("slot %s: absorbed %s, want %s", k, s.Get(pool, k), want.Get(pool, k))
+		}
+	}
+	if _, ok := s.storage[Slot{pool, "r1"}]; ok {
+		t.Error("tombstoned slot survived absorb as a live entry")
+	}
+	if err := New().AbsorbFork(s.Fork()); err == nil {
+		t.Error("absorbing a fork of a different base must fail")
+	}
+}
+
+// TestConcurrentForksShareBase races several forks of one base under the
+// race detector: reads fall through to shared maps, writes stay private.
+func TestConcurrentForksShareBase(t *testing.T) {
+	s := New()
+	for i := 0; i < 64; i++ {
+		s.SetBalance(crypto.AddressFromSeed("acct/"+string(rune('a'+i))), types.Ether(1))
+	}
+	s.Set(pool, "r0", u256.New(500))
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			f := s.Fork()
+			for i := 0; i < 100; i++ {
+				f.Credit(alice, types.Ether(1))
+				f.AddTo(pool, "r0", u256.New(1))
+				_ = f.Balance(crypto.AddressFromSeed("acct/b"))
+			}
+			if f.Get(pool, "r0") != u256.New(600) {
+				done <- fmt.Errorf("goroutine %d: fork state corrupted", g)
+				return
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Error(err)
+		}
+	}
+	if s.Get(pool, "r0") != u256.New(500) {
+		t.Error("base mutated by forks")
+	}
+}
+
+func BenchmarkFork(b *testing.B) {
+	s := New()
+	for i := 0; i < 1000; i++ {
+		s.SetBalance(crypto.AddressFromSeed(string(rune(i))), types.Ether(1))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f := s.Fork()
+		f.Credit(alice, types.Ether(1))
+	}
 }

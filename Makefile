@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check chaos crawl bench bench-sim clean
+.PHONY: all build vet test race check chaos soak crawl bench bench-sim bench-serve clean
 
 all: check
 
@@ -28,6 +28,7 @@ check:
 	$(GO) test -race ./internal/core/... ./internal/stats/...
 	$(GO) test ./...
 	$(MAKE) chaos
+	$(MAKE) soak
 
 # Crash-safety suite under the race detector: kill-and-resume goldens
 # (simulation checkpoints and byte-identical artifacts, on both the
@@ -40,6 +41,16 @@ chaos:
 		./internal/sim/... ./internal/report/... ./internal/core/... \
 		./internal/faults/... ./internal/relayapi/... ./internal/stats/... \
 		./internal/cli/...
+
+# Serving-plane soak under the race detector: overload shedding with a
+# balanced admission ledger, zero-loss graceful drain, verified hot-swap
+# reloads (corrupt directory and corrupt dataset both rejected while the
+# old snapshot keeps serving), panic isolation, slow-loris bounding, seeded
+# server-side fault injection, and kill-and-restart byte-identity.
+soak:
+	$(GO) test -race -count=1 \
+		-run 'Admission|ServeOverload|Drain|Reload|ServePanic|SlowLoris|FaultInjection|Poller|KillAndRestart|WriteFile|Decode' \
+		./internal/serve/... ./internal/atomicio/... ./internal/dsio/...
 
 # The fault-injected crawl demo (byte-identical stdout per -seed).
 crawl:
@@ -63,6 +74,17 @@ bench-sim:
 	mkdir -p out
 	$(GO) test -run '^$$' -bench 'SimFullWindow' -benchtime 1x -timeout 3000s . | tee out/bench_pr4.txt
 	$(GO) run ./cmd/benchjson -o $(SIM_BENCH_OUT) out/bench_pr4.txt
+
+# DESIGN.md §9 benchmark: the pbslabd serving plane under synchronized
+# bursts at 1×/4×/16× admission capacity — p50/p99 latency of served
+# responses, throughput, and shed rate, recorded as
+# derived.serve_shed_rate_16x and derived.serve_p99_ratio_16x_vs_1x in
+# BENCH_pr5.json.
+SERVE_BENCH_OUT ?= BENCH_pr5.json
+bench-serve:
+	mkdir -p out
+	$(GO) test -run '^$$' -bench 'ServeLoad' -benchtime 200x -timeout 1800s ./internal/serve | tee out/bench_pr5.txt
+	$(GO) run ./cmd/benchjson -o $(SERVE_BENCH_OUT) out/bench_pr5.txt
 
 clean:
 	$(GO) clean ./...

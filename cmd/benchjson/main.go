@@ -2,8 +2,9 @@
 // JSON record, so benchmark baselines can be committed and diffed across PRs.
 // It parses the standard benchmark line format — name, iteration count,
 // ns/op, then any custom b.ReportMetric pairs — plus the goos/goarch/cpu
-// header, and derives the headline ratio DESIGN.md §6 tracks:
-// figure_regen_speedup = EngineRegenScan ns/op ÷ EngineRegenIndexed ns/op.
+// header, and derives the headline ratios the DESIGN.md experiments track:
+// figure_regen_speedup (§6), sim_speedup (§8), and the serving plane's
+// overload contract serve_shed_rate_16x / serve_p99_ratio_16x_vs_1x (§9).
 //
 // Usage:
 //
@@ -123,6 +124,25 @@ func derive(rec *Record) {
 			rec.Derived = map[string]float64{}
 		}
 		rec.Derived["sim_speedup"] = legacy.NsPerOp / engine.NsPerOp
+	}
+	// DESIGN.md §9: the serving plane's load-shedding contract. The shed
+	// rate at 16× capacity shows overload is turned away explicitly, and
+	// the p99 ratio shows the latency of what IS served stays bounded
+	// rather than collapsing with offered load.
+	base, okB := rec.Benchmarks["ServeLoad/load=1x"]
+	hot, okH := rec.Benchmarks["ServeLoad/load=16x"]
+	if okB && okH {
+		if rec.Derived == nil {
+			rec.Derived = map[string]float64{}
+		}
+		if v, ok := hot.Metrics["shed_rate"]; ok {
+			rec.Derived["serve_shed_rate_16x"] = v
+		}
+		if p1, ok1 := base.Metrics["p99_ms"]; ok1 && p1 > 0 {
+			if p16, ok16 := hot.Metrics["p99_ms"]; ok16 {
+				rec.Derived["serve_p99_ratio_16x_vs_1x"] = p16 / p1
+			}
+		}
 	}
 }
 

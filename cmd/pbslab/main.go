@@ -6,8 +6,8 @@
 // Usage:
 //
 //	pbslab [-days N] [-blocks-per-day N] [-seed N] [-workers N]
-//	       [-sim-workers N] [-sequential] [-figures DIR] [-quiet]
-//	       [-checkpoint-dir DIR] [-resume] [-timeout D]
+//	       [-sim-workers N] [-sequential] [-figures DIR] [-dump-dataset]
+//	       [-quiet] [-checkpoint-dir DIR] [-resume] [-timeout D]
 //	pbslab -verify DIR
 //
 // The default -days 0 runs the paper's full window (2022-09-15 through
@@ -23,6 +23,10 @@
 // figure directory carries a manifest of sizes and SHA-256 digests;
 // -verify checks a directory against its manifest and reports corrupt,
 // missing, and stale files.
+//
+// -dump-dataset additionally serializes the collected corpus into the
+// figures directory (dataset.gob, covered by the same manifest), which lets
+// the pbslabd daemon re-validate the data and answer per-day index queries.
 package main
 
 import (
@@ -34,12 +38,14 @@ import (
 	"time"
 
 	"github.com/ethpbs/pbslab/internal/cli"
+	"github.com/ethpbs/pbslab/internal/dsio"
 	"github.com/ethpbs/pbslab/internal/report"
 )
 
 func main() {
 	cfg := cli.Register(flag.CommandLine)
 	figuresDir := flag.String("figures", "", "write per-figure CSVs into this directory")
+	dumpDataset := flag.Bool("dump-dataset", false, "also write the serialized corpus (dataset.gob) into the -figures directory, enabling pbslabd index queries")
 	quiet := flag.Bool("quiet", false, "suppress the text report")
 	verifyDir := flag.String("verify", "", "verify an output directory against its manifest and exit")
 	flag.Parse()
@@ -47,7 +53,11 @@ func main() {
 	if *verifyDir != "" {
 		os.Exit(verify(*verifyDir))
 	}
-	os.Exit(run(cfg, *figuresDir, *quiet))
+	if *dumpDataset && *figuresDir == "" {
+		fmt.Fprintln(os.Stderr, "pbslab: -dump-dataset requires -figures DIR")
+		os.Exit(2)
+	}
+	os.Exit(run(cfg, *figuresDir, *dumpDataset, *quiet))
 }
 
 // verify checks dir against its manifest: 0 = clean, 1 = problems found or
@@ -69,7 +79,7 @@ func verify(dir string) int {
 	return 1
 }
 
-func run(cfg *cli.Config, figuresDir string, quiet bool) int {
+func run(cfg *cli.Config, figuresDir string, dumpDataset, quiet bool) int {
 	if figuresDir != "" {
 		if err := cli.EnsureOutDir(figuresDir); err != nil {
 			fmt.Fprintf(os.Stderr, "pbslab: %v\n", err)
@@ -108,10 +118,22 @@ func run(cfg *cli.Config, figuresDir string, quiet bool) int {
 		report.PrintAll(os.Stdout, a)
 	}
 	if figuresDir != "" {
+		var extra []report.Artifact
+		if dumpDataset {
+			// Ship the corpus under the same manifest as the figures, so a
+			// serving daemon can re-verify and re-validate everything it
+			// loads (and answer per-day index queries).
+			data, err := dsio.Encode(res.Dataset, res.World.BuilderLabels())
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pbslab: encode dataset: %v\n", err)
+				return 1
+			}
+			extra = append(extra, report.Artifact{Name: dsio.DatasetName, Data: data})
+		}
 		// Even on cancellation mid-render, every completed artifact is
 		// flushed and covered by the manifest: the directory stays
 		// verifiable, merely incomplete.
-		if err := report.WriteAllContext(ctx, a, figuresDir); err != nil {
+		if err := report.WriteAllExtraContext(ctx, a, figuresDir, extra...); err != nil {
 			fmt.Fprintf(os.Stderr, "pbslab: %v\n", err)
 			return 1
 		}

@@ -17,10 +17,26 @@ import (
 // stale debris from a crashed writer.
 const TempPrefix = ".tmp-"
 
-// WriteFile writes data to path atomically: temp file in the same
-// directory, write, sync, close, rename. On any failure the temp file is
-// removed and path is left untouched (either absent or holding its previous
-// complete content).
+// syncDir flushes a directory's entries to stable storage. The rename that
+// publishes an atomic write is itself a directory mutation: without this
+// fsync a power failure can roll the directory back to the pre-rename
+// state even though the file's own data was synced, silently unpublishing
+// a "durable" artifact. Hookable so tests can observe (and fail) the sync
+// without pulling power.
+var syncDir = func(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// WriteFile writes data to path atomically and durably: temp file in the
+// same directory, write, sync, close, rename, then fsync of the parent
+// directory so the rename survives power loss. On any failure the temp
+// file is removed and path is left untouched (either absent or holding its
+// previous complete content).
 func WriteFile(path string, data []byte, perm os.FileMode) error {
 	dir, base := filepath.Split(path)
 	if dir == "" {
@@ -55,6 +71,11 @@ func WriteFile(path string, data []byte, perm os.FileMode) error {
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("atomicio: rename to %s: %w", path, err)
+	}
+	// The file is in place either way; a failed directory sync means its
+	// publication is not yet crash-durable, which callers must hear about.
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("atomicio: sync dir %s: %w", dir, err)
 	}
 	return nil
 }

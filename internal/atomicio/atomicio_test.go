@@ -1,0 +1,127 @@
+package atomicio
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "artifact.csv")
+	want := []byte("day,value\n0,1\n")
+	if err := WriteFile(path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("read back %q, want %q", got, want)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if IsTemp(e.Name()) {
+			t.Errorf("temp debris left behind: %s", e.Name())
+		}
+	}
+}
+
+func TestWriteFileReplacesExistingAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	if err := WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, []byte("new"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "new" {
+		t.Fatalf("content = %q", got)
+	}
+}
+
+// TestWriteFileSyncsParentDir asserts the rename is made durable: the
+// parent directory handle must be opened and fsynced after the rename, not
+// just the file's own data. The hook records the directory it is asked to
+// sync and verifies the published file is already visible under its final
+// name at sync time (sync-after-rename, never before).
+func TestWriteFileSyncsParentDir(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "published")
+
+	orig := syncDir
+	defer func() { syncDir = orig }()
+
+	var synced []string
+	syncDir = func(d string) error {
+		if _, err := os.Stat(path); err != nil {
+			t.Errorf("dir sync ran before the rename published %s: %v", path, err)
+		}
+		synced = append(synced, filepath.Clean(d))
+		return orig(d)
+	}
+
+	if err := WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if len(synced) != 1 || synced[0] != filepath.Clean(dir) {
+		t.Fatalf("synced dirs = %v, want exactly [%s]", synced, dir)
+	}
+}
+
+// A failing directory sync must surface: the write is published but not yet
+// crash-durable, and silent success here would undermine the durability
+// model's claim that a returned nil means "survives power loss".
+func TestWriteFileReportsDirSyncFailure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+
+	orig := syncDir
+	defer func() { syncDir = orig }()
+	boom := errors.New("dir sync failed")
+	syncDir = func(string) error { return boom }
+
+	err := WriteFile(path, []byte("x"), 0o644)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped dir-sync failure", err)
+	}
+	if !strings.Contains(err.Error(), "sync dir") {
+		t.Errorf("error %q does not name the failing step", err)
+	}
+	// The file itself is still in place — only durability is in doubt.
+	if _, statErr := os.Stat(path); statErr != nil {
+		t.Errorf("published file missing after dir-sync failure: %v", statErr)
+	}
+}
+
+// WriteFile with a bare file name (no directory component) must sync ".".
+func TestWriteFileBareNameSyncsDot(t *testing.T) {
+	orig := syncDir
+	defer func() { syncDir = orig }()
+	var got string
+	syncDir = func(d string) error { got = d; return orig(d) }
+
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(old)
+
+	if err := WriteFile("bare", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got != "." {
+		t.Fatalf("synced %q, want %q", got, ".")
+	}
+}

@@ -1,0 +1,203 @@
+// Package dsio serializes a measurement corpus so a finished run can ship
+// its dataset alongside the rendered artifacts. The serving plane
+// (internal/serve) loads the file back, re-validates every corpus invariant
+// with core.Validate, and answers per-day index queries from the same data
+// the figures were rendered from — without re-running the simulation.
+//
+// The encoding is deterministic: maps are flattened into sorted slices
+// before gob sees them, so the same corpus always encodes to the same bytes
+// and the enclosing manifest digest is stable. Transactions travel as DTOs
+// without their cached hash; decoding rebuilds them through
+// types.NewTransaction, so hashes are recomputed rather than trusted from
+// disk (the same rule the simulation checkpoints follow).
+//
+// Builder labels ride in the same envelope. They are deliberately not part
+// of dataset.Dataset — the dataset package holds only what a real crawl
+// could produce — but the CLIs analyze with sim-provided labels, and a
+// server answering the same queries needs the same attribution.
+package dsio
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/ethpbs/pbslab/internal/dataset"
+	"github.com/ethpbs/pbslab/internal/mev"
+	"github.com/ethpbs/pbslab/internal/ofac"
+	"github.com/ethpbs/pbslab/internal/p2p"
+	"github.com/ethpbs/pbslab/internal/types"
+)
+
+// DatasetName is the file name the encoded corpus is stored under inside an
+// output directory, beside the figure CSVs and covered by the same manifest.
+const DatasetName = "dataset.gob"
+
+// version gates the on-disk format; bump on any change to the DTOs below so
+// stale files are rejected rather than misdecoded.
+const version = 1
+
+// txDTO is a Transaction stripped of its unexported hash cache.
+type txDTO struct {
+	Nonce          uint64
+	From, To       types.Address
+	Value          types.Wei
+	Gas            uint64
+	MaxFee, MaxTip types.Wei
+	Data           []byte
+}
+
+func toTxDTO(tx *types.Transaction) txDTO {
+	return txDTO{
+		Nonce: tx.Nonce, From: tx.From, To: tx.To, Value: tx.Value,
+		Gas: tx.Gas, MaxFee: tx.MaxFee, MaxTip: tx.MaxTip, Data: tx.Data,
+	}
+}
+
+func (d txDTO) tx() *types.Transaction {
+	return types.NewTransaction(d.Nonce, d.From, d.To, d.Value, d.Gas, d.MaxFee, d.MaxTip, d.Data)
+}
+
+// blockDTO mirrors dataset.Block with DTO transactions. The stored hash is
+// kept verbatim: dataset blocks carry the hash the collector observed, and
+// relay-trace consistency checks compare against exactly that value.
+type blockDTO struct {
+	Number       uint64
+	Hash         types.Hash
+	Slot         uint64
+	Time         time.Time
+	FeeRecipient types.Address
+	GasUsed      uint64
+	GasLimit     uint64
+	BaseFee      types.Wei
+	Txs          []txDTO
+	Receipts     []*types.Receipt
+	Traces       []types.Trace
+	Burned       types.Wei
+	Tips         types.Wei
+}
+
+// sourceDTO is one MEV provider's label set, sorted by source name so the
+// MEVBySource map encodes deterministically.
+type sourceDTO struct {
+	Source string
+	Labels []mev.Label
+}
+
+// labelDTO is one builder-address attribution, sorted by address.
+type labelDTO struct {
+	Addr types.Address
+	Name string
+}
+
+// envelope is the full serialized corpus.
+type envelope struct {
+	Version    int
+	Start, End time.Time
+
+	Blocks      []blockDTO
+	MEVLabels   []mev.Label
+	MEVBySource []sourceDTO
+	Arrivals    []p2p.Observation
+	Relays      []dataset.RelayData
+	Sanctions   []ofac.Designation
+
+	BuilderLabels []labelDTO
+}
+
+// Encode serializes ds plus the builder attribution labels into a
+// deterministic byte stream.
+func Encode(ds *dataset.Dataset, labels map[types.Address]string) ([]byte, error) {
+	env := envelope{
+		Version: version,
+		Start:   ds.Start,
+		End:     ds.End,
+
+		MEVLabels: ds.MEVLabels,
+		Relays:    ds.Relays,
+	}
+	env.Blocks = make([]blockDTO, len(ds.Blocks))
+	for i, b := range ds.Blocks {
+		env.Blocks[i] = blockDTO{
+			Number: b.Number, Hash: b.Hash, Slot: b.Slot, Time: b.Time,
+			FeeRecipient: b.FeeRecipient, GasUsed: b.GasUsed, GasLimit: b.GasLimit,
+			BaseFee: b.BaseFee, Txs: make([]txDTO, len(b.Txs)),
+			Receipts: b.Receipts, Traces: b.Traces, Burned: b.Burned, Tips: b.Tips,
+		}
+		for j, tx := range b.Txs {
+			env.Blocks[i].Txs[j] = toTxDTO(tx)
+		}
+	}
+	for source, ls := range ds.MEVBySource {
+		env.MEVBySource = append(env.MEVBySource, sourceDTO{Source: source, Labels: ls})
+	}
+	sort.Slice(env.MEVBySource, func(i, j int) bool { return env.MEVBySource[i].Source < env.MEVBySource[j].Source })
+	for _, obs := range ds.Arrivals {
+		env.Arrivals = append(env.Arrivals, obs)
+	}
+	sort.Slice(env.Arrivals, func(i, j int) bool {
+		return bytes.Compare(env.Arrivals[i].TxHash[:], env.Arrivals[j].TxHash[:]) < 0
+	})
+	if ds.Sanctions != nil {
+		env.Sanctions = ds.Sanctions.All()
+	}
+	for addr, name := range labels {
+		env.BuilderLabels = append(env.BuilderLabels, labelDTO{Addr: addr, Name: name})
+	}
+	sort.Slice(env.BuilderLabels, func(i, j int) bool {
+		return bytes.Compare(env.BuilderLabels[i].Addr[:], env.BuilderLabels[j].Addr[:]) < 0
+	})
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
+		return nil, fmt.Errorf("dsio: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode rebuilds a dataset (and the builder labels it was saved with) from
+// an Encode stream. Transaction hashes are recomputed, never read from disk.
+func Decode(data []byte) (*dataset.Dataset, map[types.Address]string, error) {
+	var env envelope
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env); err != nil {
+		return nil, nil, fmt.Errorf("dsio: decode: %w", err)
+	}
+	if env.Version != version {
+		return nil, nil, fmt.Errorf("dsio: dataset format version %d, want %d", env.Version, version)
+	}
+	ds := &dataset.Dataset{
+		Start:       env.Start,
+		End:         env.End,
+		MEVLabels:   env.MEVLabels,
+		MEVBySource: make(map[string][]mev.Label, len(env.MEVBySource)),
+		Arrivals:    make(map[types.Hash]p2p.Observation, len(env.Arrivals)),
+		Relays:      env.Relays,
+		Sanctions:   ofac.NewRegistry(env.Sanctions),
+	}
+	ds.Blocks = make([]*dataset.Block, len(env.Blocks))
+	for i, d := range env.Blocks {
+		b := &dataset.Block{
+			Number: d.Number, Hash: d.Hash, Slot: d.Slot, Time: d.Time,
+			FeeRecipient: d.FeeRecipient, GasUsed: d.GasUsed, GasLimit: d.GasLimit,
+			BaseFee: d.BaseFee, Txs: make([]*types.Transaction, len(d.Txs)),
+			Receipts: d.Receipts, Traces: d.Traces, Burned: d.Burned, Tips: d.Tips,
+		}
+		for j, t := range d.Txs {
+			b.Txs[j] = t.tx()
+		}
+		ds.Blocks[i] = b
+	}
+	for _, s := range env.MEVBySource {
+		ds.MEVBySource[s.Source] = s.Labels
+	}
+	for _, obs := range env.Arrivals {
+		ds.Arrivals[obs.TxHash] = obs
+	}
+	labels := make(map[types.Address]string, len(env.BuilderLabels))
+	for _, l := range env.BuilderLabels {
+		labels[l.Addr] = l.Name
+	}
+	return ds, labels, nil
+}

@@ -1,0 +1,142 @@
+package dsio
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/ethpbs/pbslab/internal/core"
+	"github.com/ethpbs/pbslab/internal/report"
+	"github.com/ethpbs/pbslab/internal/sim"
+)
+
+// smallRun simulates a few days at low cadence — the same fixture shape the
+// report tests use — and returns the collected corpus plus builder labels.
+func smallRun(t *testing.T) *sim.Result {
+	t.Helper()
+	sc := sim.DefaultScenario()
+	sc.End = sc.Start.Add(3 * 24 * time.Hour)
+	sc.BlocksPerDay = 12
+	sc.Demand.Users = 80
+	sc.Demand.TxPerBlock = sim.Flat(20)
+	sc.SmallBuilderCount = 8
+	res, err := sim.Run(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	res := smallRun(t)
+	labels := res.World.BuilderLabels()
+
+	data, err := Encode(res.Dataset, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, gotLabels, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(labels, gotLabels) {
+		t.Error("builder labels did not round-trip")
+	}
+	if got, want := ds.Count(), res.Dataset.Count(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Table 1 counts drifted: got %+v want %+v", got, want)
+	}
+	for i, b := range ds.Blocks {
+		orig := res.Dataset.Blocks[i]
+		if b.Hash != orig.Hash {
+			t.Fatalf("block %d: stored hash drifted", b.Number)
+		}
+		for j, tx := range b.Txs {
+			if tx.Hash() != orig.Txs[j].Hash() {
+				t.Fatalf("block %d tx %d: recomputed hash drifted", b.Number, j)
+			}
+		}
+	}
+
+	// The decoded corpus must satisfy every invariant the original does.
+	if rep := core.Validate(ds); !rep.OK() {
+		t.Fatalf("decoded dataset fails validation: %v", rep.Violations)
+	}
+}
+
+func TestEncodeIsDeterministic(t *testing.T) {
+	res := smallRun(t)
+	labels := res.World.BuilderLabels()
+	a, err := Encode(res.Dataset, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Encode(res.Dataset, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two encodings of the same corpus differ")
+	}
+	// And a decode→re-encode cycle is stable too.
+	ds, lab, err := Decode(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Encode(ds, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, c) {
+		t.Fatal("re-encoding a decoded corpus differs")
+	}
+}
+
+// TestDecodedAnalysisMatchesOriginal proves the serving plane's guarantee:
+// an analysis built from the decoded corpus renders byte-identical
+// artifacts to one built from the live simulation result.
+func TestDecodedAnalysisMatchesOriginal(t *testing.T) {
+	res := smallRun(t)
+	labels := res.World.BuilderLabels()
+	data, err := Encode(res.Dataset, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, lab, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	orig := core.New(res.Dataset, core.WithBuilderLabels(labels))
+	decoded := core.New(ds, core.WithBuilderLabels(lab))
+	origArts := report.RenderAll(orig, 2)
+	decArts := report.RenderAll(decoded, 2)
+	if len(origArts) != len(decArts) {
+		t.Fatalf("artifact count drifted: %d vs %d", len(origArts), len(decArts))
+	}
+	for i := range origArts {
+		if origArts[i].Err != nil || decArts[i].Err != nil {
+			t.Fatalf("%s: render error: %v / %v", origArts[i].Name, origArts[i].Err, decArts[i].Err)
+		}
+		if !bytes.Equal(origArts[i].Data, decArts[i].Data) {
+			t.Errorf("%s: artifact bytes differ between live and decoded corpus", origArts[i].Name)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbageAndWrongVersion(t *testing.T) {
+	if _, _, err := Decode([]byte("not a gob stream")); err == nil {
+		t.Fatal("garbage decoded without error")
+	}
+	res := smallRun(t)
+	data, err := Encode(res.Dataset, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncation must fail loudly, never yield a short corpus.
+	if _, _, err := Decode(data[:len(data)/2]); err == nil {
+		t.Fatal("truncated stream decoded without error")
+	}
+}

@@ -51,25 +51,57 @@ type Config struct {
 	// TruncateProb is the chance the response body is cut in half
 	// mid-stream.
 	TruncateProb float64
+
+	// The three server-plane modes below are drawn only when at least one
+	// of them is configured, so legacy configs keep their exact historical
+	// draw sequences (and their golden outputs). They only take effect in
+	// Middleware; Transport ignores them.
+
+	// SlowBodyProb is the chance the request body is drip-fed to the
+	// handler — a seeded slow-loris client. The handler sees SlowBodyChunk
+	// bytes (default 1) per read with SlowBodyDelay between chunks, so a
+	// body-reading endpoint without its own deadline stalls indefinitely.
+	SlowBodyProb  float64
+	SlowBodyChunk int
+	SlowBodyDelay time.Duration
+	// PartialWriteProb is the chance only the first half of the response
+	// body is written, with framing that terminates cleanly: no transport
+	// error, just silently short payload bytes — exactly the damage only a
+	// content checksum (the artifact manifest) can catch.
+	PartialWriteProb float64
+	// ResetProb is the chance the connection is torn down after half the
+	// response body is on the wire; the client observes a mid-response
+	// reset/EOF rather than a status.
+	ResetProb float64
+
 	// Outages are hard downtime windows: every request inside one is
 	// dropped, regardless of the probabilistic faults.
 	Outages []Window
 }
 
+// hasServerModes reports whether any Middleware-only fault is configured.
+func (c Config) hasServerModes() bool {
+	return c.SlowBodyProb > 0 || c.PartialWriteProb > 0 || c.ResetProb > 0
+}
+
 // Counters tallies injected faults for one relay.
 type Counters struct {
-	Requests   int
-	Drops      int
-	Delays     int
-	Errors     int
-	RateLimits int
-	Truncates  int
-	OutageHits int
+	Requests      int
+	Drops         int
+	Delays        int
+	Errors        int
+	RateLimits    int
+	Truncates     int
+	OutageHits    int
+	SlowBodies    int
+	PartialWrites int
+	Resets        int
 }
 
 // Injected sums every injected fault.
 func (c Counters) Injected() int {
-	return c.Drops + c.Delays + c.Errors + c.RateLimits + c.Truncates + c.OutageHits
+	return c.Drops + c.Delays + c.Errors + c.RateLimits + c.Truncates + c.OutageHits +
+		c.SlowBodies + c.PartialWrites + c.Resets
 }
 
 // Stats aggregates fault counters per relay; safe for concurrent use.
@@ -122,6 +154,13 @@ type Action struct {
 	Status     int // 0 = no synthetic status; otherwise 503 or 429
 	RetryAfter time.Duration
 	Truncate   bool
+
+	// Middleware-only modes (Transport never sets them).
+	SlowBody      bool
+	SlowBodyChunk int
+	SlowBodyDelay time.Duration
+	PartialWrite  bool
+	Reset         bool
 }
 
 // Injector makes deterministic per-relay fault decisions. Each relay gets
@@ -186,13 +225,21 @@ func (inj *Injector) Decide(relay string, at time.Time) Action {
 	}
 
 	// Fixed draw order, one draw per kind, so the stream advances
-	// identically whatever the outcome.
+	// identically whatever the outcome. The server-plane kinds draw only
+	// when configured, which keeps every pre-existing config's stream —
+	// and therefore its goldens — byte-identical.
 	inj.mu.Lock()
 	drop := stream.Bool(cfg.DropProb)
 	delay := stream.Bool(cfg.DelayProb)
 	fail := stream.Bool(cfg.ErrorProb)
 	limit := stream.Bool(cfg.RateLimitProb)
 	trunc := stream.Bool(cfg.TruncateProb)
+	var slow, partial, reset bool
+	if cfg.hasServerModes() {
+		slow = stream.Bool(cfg.SlowBodyProb)
+		partial = stream.Bool(cfg.PartialWriteProb)
+		reset = stream.Bool(cfg.ResetProb)
+	}
 	inj.mu.Unlock()
 
 	switch {
@@ -214,6 +261,25 @@ func (inj *Injector) Decide(relay string, at time.Time) Action {
 	if trunc {
 		inj.stats.bump(relay, func(c *Counters) { c.Truncates++ })
 		act.Truncate = true
+	}
+	if slow {
+		inj.stats.bump(relay, func(c *Counters) { c.SlowBodies++ })
+		act.SlowBody = true
+		act.SlowBodyChunk = cfg.SlowBodyChunk
+		if act.SlowBodyChunk <= 0 {
+			act.SlowBodyChunk = 1
+		}
+		act.SlowBodyDelay = cfg.SlowBodyDelay
+	}
+	// Reset wins over partial-write when both fire: a torn connection
+	// subsumes a short body.
+	switch {
+	case reset:
+		inj.stats.bump(relay, func(c *Counters) { c.Resets++ })
+		act.Reset = true
+	case partial:
+		inj.stats.bump(relay, func(c *Counters) { c.PartialWrites++ })
+		act.PartialWrite = true
 	}
 	return act
 }
@@ -285,7 +351,10 @@ func syntheticResponse(req *http.Request, act Action) *http.Response {
 // Middleware wraps a relay's handler with server-side fault injection.
 // Drops abort the connection (the client sees EOF); truncation declares the
 // full Content-Length but writes only half the body, which the client
-// observes as an unexpected EOF mid-decode.
+// observes as an unexpected EOF mid-decode. SlowBody drips the request body
+// into the handler like a slow-loris client; PartialWrite delivers only the
+// first half of the response with clean framing (detectable only by
+// checksum); Reset tears the connection down after half the response.
 func Middleware(next http.Handler, inj *Injector, relay string, clock func() time.Time) http.Handler {
 	if clock == nil {
 		clock = time.Now
@@ -305,7 +374,15 @@ func Middleware(next http.Handler, inj *Injector, relay string, clock func() tim
 			http.Error(w, http.StatusText(act.Status), act.Status)
 			return
 		}
-		if !act.Truncate {
+		if act.SlowBody && r.Body != nil {
+			r.Body = &dripReader{
+				src:   r.Body,
+				chunk: act.SlowBodyChunk,
+				delay: act.SlowBodyDelay,
+				done:  r.Context().Done(),
+			}
+		}
+		if !act.Truncate && !act.PartialWrite && !act.Reset {
 			next.ServeHTTP(w, r)
 			return
 		}
@@ -316,11 +393,56 @@ func Middleware(next http.Handler, inj *Injector, relay string, clock func() tim
 				w.Header().Add(k, v)
 			}
 		}
-		w.Header().Set("Content-Length", strconv.Itoa(rec.buf.Len()))
-		w.WriteHeader(rec.code)
-		_, _ = w.Write(rec.buf.Bytes()[:rec.buf.Len()/2])
+		half := rec.buf.Bytes()[:rec.buf.Len()/2]
+		switch {
+		case act.Truncate:
+			// Promise the full length, deliver half: unexpected EOF.
+			w.Header().Set("Content-Length", strconv.Itoa(rec.buf.Len()))
+			w.WriteHeader(rec.code)
+			_, _ = w.Write(half)
+		case act.Reset:
+			// Half the body on the wire, then a torn connection.
+			w.WriteHeader(rec.code)
+			_, _ = w.Write(half)
+			if f, ok := w.(http.Flusher); ok {
+				f.Flush()
+			}
+			panic(http.ErrAbortHandler)
+		default: // PartialWrite
+			// Half the body with honest framing: the transfer ends
+			// cleanly and only a content checksum can tell.
+			w.Header().Del("Content-Length")
+			w.WriteHeader(rec.code)
+			_, _ = w.Write(half)
+		}
 	})
 }
+
+// dripReader delivers the wrapped body chunk bytes at a time with a delay
+// before each chunk, aborting early when the request context ends so an
+// injected stall cannot outlive its request.
+type dripReader struct {
+	src   io.ReadCloser
+	chunk int
+	delay time.Duration
+	done  <-chan struct{}
+}
+
+func (d *dripReader) Read(p []byte) (int, error) {
+	if d.delay > 0 {
+		select {
+		case <-time.After(d.delay):
+		case <-d.done:
+			return 0, fmt.Errorf("faults: slow-loris drip aborted: request context done")
+		}
+	}
+	if len(p) > d.chunk {
+		p = p[:d.chunk]
+	}
+	return d.src.Read(p)
+}
+
+func (d *dripReader) Close() error { return d.src.Close() }
 
 // captureWriter buffers a handler's full response so Middleware can replay
 // a truncated copy.

@@ -234,3 +234,133 @@ func TestMiddlewareRetryAfter(t *testing.T) {
 		t.Errorf("Retry-After = %q, want \"5\"", got)
 	}
 }
+
+// --- server-plane modes (slow-loris, partial-write, mid-response reset) ---
+
+func TestLegacyStreamsUnchangedByServerModeAddition(t *testing.T) {
+	// A config with the server-plane probabilities at zero must draw the
+	// exact sequence it always drew: the extra draws are config-gated, so
+	// pre-existing goldens stay byte-identical.
+	legacy := NewInjector(7)
+	legacy.SetConfig("R", allFaults())
+	gated := NewInjector(7)
+	cfg := allFaults() // server probs zero -> no extra draws
+	gated.SetConfig("R", cfg)
+	for i := 0; i < 200; i++ {
+		a, b := legacy.Decide("R", at), gated.Decide("R", at)
+		if a != b {
+			t.Fatalf("request %d: action diverged: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestServerModesAreDeterministic(t *testing.T) {
+	mk := func() *Injector {
+		inj := NewInjector(99)
+		inj.SetConfig("S", Config{SlowBodyProb: 0.3, PartialWriteProb: 0.3, ResetProb: 0.3})
+		return inj
+	}
+	x, y := mk(), mk()
+	for i := 0; i < 300; i++ {
+		if a, b := x.Decide("S", at), y.Decide("S", at); a != b {
+			t.Fatalf("request %d: %+v vs %+v", i, a, b)
+		}
+	}
+	c := x.Stats().For("S")
+	if c.SlowBodies == 0 || c.PartialWrites == 0 || c.Resets == 0 {
+		t.Fatalf("expected every server mode to fire over 300 requests: %+v", c)
+	}
+	if c.Injected() == 0 {
+		t.Error("Injected() does not count server-plane modes")
+	}
+}
+
+func TestMiddlewareSlowBodyDripsRequest(t *testing.T) {
+	inj := NewInjector(1)
+	inj.SetConfig("S", Config{SlowBodyProb: 1, SlowBodyChunk: 1, SlowBodyDelay: 2 * time.Millisecond})
+
+	var got []byte
+	var reads int
+	next := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		buf := make([]byte, 64)
+		for {
+			n, err := r.Body.Read(buf)
+			if n > 0 {
+				reads++
+				got = append(got, buf[:n]...)
+			}
+			if err != nil {
+				break
+			}
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	srv := httptest.NewServer(Middleware(next, inj, "S", func() time.Time { return at }))
+	defer srv.Close()
+
+	body := "0123456789"
+	start := time.Now()
+	resp, err := http.Post(srv.URL, "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if string(got) != body {
+		t.Errorf("handler read %q, want %q", got, body)
+	}
+	if reads < len(body) {
+		t.Errorf("handler completed in %d reads, want >= %d one-byte drips", reads, len(body))
+	}
+	if elapsed := time.Since(start); elapsed < 10*2*time.Millisecond {
+		t.Errorf("request completed in %v, faster than the configured drip", elapsed)
+	}
+}
+
+func TestMiddlewarePartialWriteEndsCleanlyButShort(t *testing.T) {
+	inj := NewInjector(1)
+	inj.SetConfig("S", Config{PartialWriteProb: 1})
+	full := strings.Repeat("payload-", 64)
+	next := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, full)
+	})
+	srv := httptest.NewServer(Middleware(next, inj, "S", func() time.Time { return at }))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, readErr := io.ReadAll(resp.Body)
+	// Partial-write is the silent failure: no transport error, clean
+	// termination, but only half the payload arrived.
+	if readErr != nil {
+		t.Fatalf("read error %v, want a cleanly terminated short body", readErr)
+	}
+	if len(body) != len(full)/2 {
+		t.Errorf("received %d bytes, want exactly %d", len(body), len(full)/2)
+	}
+}
+
+func TestMiddlewareResetTearsConnectionMidResponse(t *testing.T) {
+	inj := NewInjector(1)
+	inj.SetConfig("S", Config{ResetProb: 1})
+	full := strings.Repeat("payload-", 512)
+	next := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, full)
+	})
+	srv := httptest.NewServer(Middleware(next, inj, "S", func() time.Time { return at }))
+	defer srv.Close()
+
+	cl := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	resp, err := cl.Get(srv.URL)
+	if err != nil {
+		// Torn before the header finished — also a legal observation.
+		return
+	}
+	defer resp.Body.Close()
+	body, readErr := io.ReadAll(resp.Body)
+	if readErr == nil && len(body) >= len(full) {
+		t.Fatalf("read full %d-byte body without error, want a mid-response reset", len(body))
+	}
+}

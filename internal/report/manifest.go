@@ -8,6 +8,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -15,6 +16,12 @@ import (
 
 	"github.com/ethpbs/pbslab/internal/atomicio"
 )
+
+// ErrNoManifest marks a directory with no manifest at all — an empty dir, a
+// dir holding only temp debris, or one that predates manifests. Callers can
+// classify it (errors.Is) instead of treating it like a read failure: such a
+// directory is unverifiable, not provably corrupt.
+var ErrNoManifest = errors.New("report: no manifest")
 
 // ManifestName is the manifest file written beside the artifacts.
 const ManifestName = "manifest.json"
@@ -75,6 +82,9 @@ func ReadManifest(dir string) (Manifest, error) {
 	var m Manifest
 	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
 	if err != nil {
+		if os.IsNotExist(err) {
+			return m, fmt.Errorf("%w in %s", ErrNoManifest, dir)
+		}
 		return m, fmt.Errorf("report: read manifest: %w", err)
 	}
 	if err := json.Unmarshal(data, &m); err != nil {

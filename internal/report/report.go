@@ -224,10 +224,19 @@ func WriteAll(a *core.Analysis, dir string) error {
 // directory therefore always verifies clean against its manifest — it is
 // merely incomplete, never corrupt.
 func WriteAllContext(ctx context.Context, a *core.Analysis, dir string) error {
+	return WriteAllExtraContext(ctx, a, dir)
+}
+
+// WriteAllExtraContext is WriteAllContext with additional caller-supplied
+// artifacts (e.g. the serialized dataset a serving daemon reloads from)
+// landed in the same directory and covered by the same manifest, so
+// VerifyDir certifies them exactly like the rendered figures.
+func WriteAllExtraContext(ctx context.Context, a *core.Analysis, dir string, extra ...Artifact) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	arts := RenderAllContext(ctx, a, a.Workers())
+	arts = append(arts, extra...)
 	var errs []error
 	var done []Artifact
 	for _, art := range arts {

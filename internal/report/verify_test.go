@@ -2,6 +2,7 @@ package report
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -88,5 +89,71 @@ func TestVerifyDirFlagsTempDebrisDistinctly(t *testing.T) {
 	}
 	if problems[0].Detail != "temp debris from an interrupted write" {
 		t.Errorf("detail = %q", problems[0].Detail)
+	}
+}
+
+// The three directory shapes a serving daemon must classify cleanly rather
+// than treat as a generic read failure: empty, manifest-only, and
+// temp-debris-only (the wreckage of a writer killed before its first
+// rename landed).
+
+func TestVerifyDirEmptyClassifiesAsNoManifest(t *testing.T) {
+	_, err := VerifyDir(t.TempDir())
+	if !errors.Is(err, ErrNoManifest) {
+		t.Fatalf("err = %v, want ErrNoManifest", err)
+	}
+}
+
+func TestVerifyDirManifestOnlyIsClean(t *testing.T) {
+	// A manifest certifying zero artifacts is a legal (if useless)
+	// directory: nothing promised, nothing missing, nothing stale.
+	dir := t.TempDir()
+	if err := writeArtifacts(dir, nil); err != nil {
+		t.Fatal(err)
+	}
+	problems, err := VerifyDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("manifest-only dir reported problems: %v", problems)
+	}
+}
+
+func TestVerifyDirTempDebrisOnlyClassifiesAsNoManifest(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{".tmp-fig01.csv-123", ".tmp-manifest.json-9"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := VerifyDir(dir)
+	if !errors.Is(err, ErrNoManifest) {
+		t.Fatalf("err = %v, want ErrNoManifest (unverifiable, not corrupt)", err)
+	}
+}
+
+func TestWriteAllExtraCoversExtraArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	arts := []Artifact{
+		{Name: "fig01_alpha.csv", Data: []byte("day,value\n1,2\n")},
+		{Name: "extra.bin", Data: []byte{0x01, 0x02, 0x03}},
+	}
+	if err := writeArtifacts(dir, arts); err != nil {
+		t.Fatal(err)
+	}
+	problems, err := VerifyDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("extra artifact not covered by manifest: %v", problems)
+	}
+	m, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Artifacts) != 2 {
+		t.Fatalf("manifest lists %d artifacts, want 2", len(m.Artifacts))
 	}
 }

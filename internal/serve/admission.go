@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// admission is the first rung of the degradation ladder: a bounded
+// in-flight semaphore with a bounded, deadline-aware wait queue in front of
+// it. Load beyond capacity+queue is shed immediately with 429; a queued
+// request that cannot get a slot before its wait budget (or its own
+// deadline) expires is shed with 503. Every shed response carries
+// Retry-After, mirroring the backoff contract relayapi.Client honours when
+// it is the one being shed.
+type admission struct {
+	maxInflight int
+	queueCap    int
+	queueWait   time.Duration
+	retryAfter  time.Duration
+
+	slots  chan struct{}
+	queued atomic.Int64
+
+	// wg tracks admitted requests so drain can prove none were abandoned.
+	wg sync.WaitGroup
+
+	total    atomic.Uint64 // every request that reached admission
+	accepted atomic.Uint64
+	shed429  atomic.Uint64 // queue overflow
+	shed503  atomic.Uint64 // queue-wait deadline or client abandonment
+	inflight atomic.Int64
+}
+
+func newAdmission(maxInflight, queueCap int, queueWait, retryAfter time.Duration) *admission {
+	if maxInflight < 1 {
+		maxInflight = 1
+	}
+	if queueCap < 0 {
+		queueCap = 0
+	}
+	if queueWait <= 0 {
+		queueWait = time.Second
+	}
+	if retryAfter <= 0 {
+		retryAfter = time.Second
+	}
+	return &admission{
+		maxInflight: maxInflight,
+		queueCap:    queueCap,
+		queueWait:   queueWait,
+		retryAfter:  retryAfter,
+		slots:       make(chan struct{}, maxInflight),
+	}
+}
+
+// AdmissionStats is a point-in-time counter snapshot. The ledger balances:
+// Total = Accepted + Shed429 + Shed503 once traffic quiesces.
+type AdmissionStats struct {
+	Total    uint64 `json:"total"`
+	Accepted uint64 `json:"accepted"`
+	Shed429  uint64 `json:"shed_429"`
+	Shed503  uint64 `json:"shed_503"`
+	Inflight int64  `json:"inflight"`
+	Queued   int64  `json:"queued"`
+}
+
+func (ad *admission) stats() AdmissionStats {
+	return AdmissionStats{
+		Total:    ad.total.Load(),
+		Accepted: ad.accepted.Load(),
+		Shed429:  ad.shed429.Load(),
+		Shed503:  ad.shed503.Load(),
+		Inflight: ad.inflight.Load(),
+		Queued:   ad.queued.Load(),
+	}
+}
+
+// shed writes a load-shedding response with the Retry-After hint.
+func (ad *admission) shed(w http.ResponseWriter, status int, reason string) {
+	secs := int(ad.retryAfter / time.Second)
+	if ad.retryAfter%time.Second != 0 {
+		secs++ // round up: never invite an earlier retry than intended
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{
+		"error":  http.StatusText(status),
+		"reason": reason,
+	})
+}
+
+// Wrap gates next behind the admission controller.
+func (ad *admission) Wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ad.total.Add(1)
+		select {
+		case ad.slots <- struct{}{}:
+			// Fast path: capacity available.
+		default:
+			// Saturated: queue if there is room, shed otherwise.
+			if ad.queued.Add(1) > int64(ad.queueCap) {
+				ad.queued.Add(-1)
+				ad.shed429.Add(1)
+				ad.shed(w, http.StatusTooManyRequests, "in-flight capacity and wait queue are full")
+				return
+			}
+			wait := ad.queueWait
+			if dl, ok := r.Context().Deadline(); ok {
+				if rem := time.Until(dl); rem < wait {
+					wait = rem
+				}
+			}
+			timer := time.NewTimer(wait)
+			select {
+			case ad.slots <- struct{}{}:
+				timer.Stop()
+				ad.queued.Add(-1)
+			case <-timer.C:
+				ad.queued.Add(-1)
+				ad.shed503.Add(1)
+				ad.shed(w, http.StatusServiceUnavailable, "queue wait budget exhausted")
+				return
+			case <-r.Context().Done():
+				timer.Stop()
+				ad.queued.Add(-1)
+				ad.shed503.Add(1)
+				// The client is gone; the status is for the log line.
+				ad.shed(w, http.StatusServiceUnavailable, "client left the queue")
+				return
+			}
+		}
+		ad.accepted.Add(1)
+		ad.inflight.Add(1)
+		ad.wg.Add(1)
+		defer func() {
+			<-ad.slots
+			ad.inflight.Add(-1)
+			ad.wg.Done()
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// drainWait blocks until every admitted request has finished, or the
+// timeout elapses; it reports whether the drain was clean.
+func (ad *admission) drainWait(timeout time.Duration) bool {
+	done := make(chan struct{})
+	go func() {
+		ad.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}

@@ -1,0 +1,512 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"path"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes the daemon. The zero value is usable: every limit falls back
+// to the default documented on its field.
+type Config struct {
+	// DataDir is the verified output directory to serve (and the default
+	// reload candidate).
+	DataDir string
+	// MaxInflight bounds concurrently executing requests (default 64).
+	MaxInflight int
+	// Queue bounds requests waiting for an execution slot (default 64).
+	Queue int
+	// QueueWait bounds how long a queued request may wait (default 1s).
+	QueueWait time.Duration
+	// RequestTimeout bounds one admitted request end to end (default 10s).
+	RequestTimeout time.Duration
+	// RetryAfter is the backoff hint attached to shed responses
+	// (default 1s).
+	RetryAfter time.Duration
+	// MaxBodyBytes caps request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// ReloadPoll makes the daemon watch DataDir's manifest and hot-swap
+	// when it changes (0 = manual reloads only). No fsnotify: a plain
+	// fingerprint poll works on every filesystem a run can write to.
+	ReloadPoll time.Duration
+	// Workers bounds the analysis pool used when loading snapshots
+	// (0 = all CPUs).
+	Workers int
+	// DrainTimeout bounds graceful shutdown (default 10s).
+	DrainTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 64
+	}
+	if c.Queue < 0 {
+		c.Queue = 0
+	} else if c.Queue == 0 {
+		c.Queue = 64
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// Server is the pbslabd serving plane: snapshot store, admission
+// controller, handler set, and lifecycle (poller + drain).
+type Server struct {
+	cfg     Config
+	store   *Store
+	adm     *admission
+	handler http.Handler
+
+	httpSrv  *http.Server
+	listener net.Listener
+
+	panics atomic.Uint64
+
+	pollOnce sync.Once
+	pollStop chan struct{}
+	pollDone chan struct{}
+
+	drainMu  sync.Mutex
+	draining bool
+}
+
+// NewServer builds a server for cfg. No snapshot is loaded and no socket is
+// opened yet; call Init, then Serve (or use Handler in tests).
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		store:    NewStore(LoadOptions{Workers: cfg.Workers}),
+		adm:      newAdmission(cfg.MaxInflight, cfg.Queue, cfg.QueueWait, cfg.RetryAfter),
+		pollStop: make(chan struct{}),
+		pollDone: make(chan struct{}),
+	}
+	s.handler = s.buildHandler()
+	return s
+}
+
+// Store exposes the snapshot store (reload triggers, status).
+func (s *Server) Store() *Store { return s.store }
+
+// Init loads the initial snapshot from DataDir. The daemon refuses to start
+// on an unverifiable directory: serving nothing beats serving garbage.
+func (s *Server) Init(ctx context.Context) error {
+	_, err := s.store.Reload(ctx, s.cfg.DataDir)
+	return err
+}
+
+// Handler returns the full middleware chain, for tests and embedding.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// buildHandler assembles the ladder. Order, outermost first:
+//
+//	recover -> (health bypass | admission -> timeout -> mux)
+//
+// Health probes bypass admission on purpose: an overloaded daemon must
+// still answer its orchestrator, and the probes do constant work.
+func (s *Server) buildHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/v1/meta", s.handleMeta)
+	mux.HandleFunc("GET /api/v1/stats", s.handleStats)
+	mux.HandleFunc("GET /api/v1/artifacts", s.handleArtifactList)
+	mux.HandleFunc("GET /artifacts/{name}", s.handleArtifact)
+	mux.HandleFunc("GET /api/v1/figures", s.handleFigureList)
+	mux.HandleFunc("GET /api/v1/figure/{key}", s.handleFigure)
+	mux.HandleFunc("GET /api/v1/day/{day}", s.handleDay)
+	mux.HandleFunc("POST /admin/reload", s.handleReload)
+
+	admitted := s.adm.Wrap(http.TimeoutHandler(mux, s.cfg.RequestTimeout,
+		`{"error":"Service Unavailable","reason":"request timeout"}`))
+
+	outer := http.NewServeMux()
+	outer.HandleFunc("GET /healthz", s.handleHealthz)
+	outer.HandleFunc("GET /readyz", s.handleReadyz)
+	outer.Handle("/", admitted)
+
+	return s.recoverWrap(outer)
+}
+
+// recoverWrap converts a handler panic into that request's 500 and a
+// counter bump, keeping the process (and every other in-flight request)
+// alive. http.ErrAbortHandler passes through: it is the sanctioned way to
+// abort a connection and net/http handles it quietly.
+func (s *Server) recoverWrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if err, ok := rec.(error); ok && errors.Is(err, http.ErrAbortHandler) {
+				panic(rec)
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			s.panics.Add(1)
+			// Headers may already be out; this is best-effort.
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusInternalServerError)
+			fmt.Fprintf(w, `{"error":"Internal Server Error","reason":%q}`+"\n", fmt.Sprint(rec))
+			_ = debug.Stack // keep the import honest if the log line below changes
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// --- handlers ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"admission": s.adm.stats(),
+		"panics":    s.panics.Load(),
+	})
+}
+
+// handleReadyz reports readiness. Degraded-but-serving (a rejected reload
+// with an older snapshot still installed) answers 503 so an orchestrator
+// can rotate traffic away, while the body makes clear the daemon is still
+// answering from the last good snapshot.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	st := s.store.Status()
+	status := http.StatusOK
+	if !st.Serving || st.Degraded {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{
+		"ready": status == http.StatusOK,
+		"store": st,
+	})
+}
+
+func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
+	snap := s.store.Current()
+	if snap == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": "no snapshot loaded"})
+		return
+	}
+	meta := map[string]any{
+		"dir":          snap.Dir,
+		"generation":   snap.Generation,
+		"manifest_sum": snap.ManifestSum,
+		"artifacts":    len(snap.Manifest.Artifacts),
+		"has_dataset":  snap.HasDataset(),
+		"store":        s.store.Status(),
+	}
+	if snap.HasDataset() {
+		start, days := snap.Analysis.Window()
+		meta["window_start"] = start.UTC().Format("2006-01-02")
+		meta["window_days"] = days
+		meta["counts"] = snap.Counts
+	}
+	writeJSON(w, http.StatusOK, meta)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"admission": s.adm.stats(),
+		"panics":    s.panics.Load(),
+		"store":     s.store.Status(),
+	})
+}
+
+func (s *Server) handleArtifactList(w http.ResponseWriter, r *http.Request) {
+	snap := s.store.Current()
+	if snap == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": "no snapshot loaded"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"generation": snap.Generation,
+		"artifacts":  snap.Manifest.Artifacts,
+	})
+}
+
+// handleArtifact serves raw artifact bytes, byte-identical to disk, with
+// the manifest digest as a strong ETag.
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	snap := s.store.Current()
+	if snap == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": "no snapshot loaded"})
+		return
+	}
+	name := r.PathValue("name")
+	data, entry, ok := snap.Artifact(name)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]any{"error": "unknown artifact", "name": name})
+		return
+	}
+	etag := `"` + entry.SHA256 + `"`
+	w.Header().Set("ETag", etag)
+	if match := r.Header.Get("If-None-Match"); match != "" && strings.Contains(match, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	switch path.Ext(name) {
+	case ".csv":
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	case ".gob":
+		w.Header().Set("Content-Type", "application/octet-stream")
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+// datasetSnap returns the snapshot if it can answer index queries, or
+// writes the appropriate error.
+func (s *Server) datasetSnap(w http.ResponseWriter) *Snapshot {
+	snap := s.store.Current()
+	if snap == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": "no snapshot loaded"})
+		return nil
+	}
+	if !snap.HasDataset() {
+		writeJSON(w, http.StatusNotFound, map[string]any{
+			"error": "snapshot has no dataset; regenerate the directory with pbslab -figures DIR -dump-dataset",
+		})
+		return nil
+	}
+	return snap
+}
+
+func (s *Server) handleFigureList(w http.ResponseWriter, r *http.Request) {
+	snap := s.store.Current()
+	if snap == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": "no snapshot loaded"})
+		return
+	}
+	type item struct {
+		Key   string `json:"key"`
+		Title string `json:"title"`
+	}
+	items := make([]item, 0, len(figureQueries))
+	if snap.HasDataset() {
+		for _, q := range figureQueries {
+			items = append(items, item{Key: q.Key, Title: q.Title})
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"has_dataset": snap.HasDataset(),
+		"figures":     items,
+	})
+}
+
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	snap := s.datasetSnap(w)
+	if snap == nil {
+		return
+	}
+	key := r.PathValue("key")
+	q := figureQueryByKey(key)
+	if q == nil {
+		writeJSON(w, http.StatusNotFound, map[string]any{"error": "unknown figure", "key": key})
+		return
+	}
+	series := q.Series(snap.Analysis)
+	out := make(map[string]seriesJSON, len(series))
+	for name, ser := range series {
+		out[name] = toSeriesJSON(ser)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"key":        q.Key,
+		"title":      q.Title,
+		"generation": snap.Generation,
+		"series":     out,
+	})
+}
+
+// handleDay is the per-day index query: every figure's value on one day,
+// one JSON object — the read path a dashboard polls.
+func (s *Server) handleDay(w http.ResponseWriter, r *http.Request) {
+	snap := s.datasetSnap(w)
+	if snap == nil {
+		return
+	}
+	day, err := strconv.Atoi(r.PathValue("day"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "day must be an integer"})
+		return
+	}
+	_, days := snap.Analysis.Window()
+	if day < 0 || day >= days {
+		writeJSON(w, http.StatusNotFound, map[string]any{
+			"error": "day out of window", "day": day, "window_days": days,
+		})
+		return
+	}
+	figures := make(map[string]map[string]*float64, len(figureQueries))
+	for _, q := range figureQueries {
+		series := q.Series(snap.Analysis)
+		vals := make(map[string]*float64, len(series))
+		for name, ser := range series {
+			vals[name] = pointJSON(ser, day)
+		}
+		figures[q.Key] = vals
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"day":        day,
+		"generation": snap.Generation,
+		"figures":    figures,
+	})
+}
+
+// handleReload verifies a candidate directory and hot-swaps it in. The
+// candidate defaults to the configured data dir; ?dir= or a JSON body
+// {"dir": "..."} selects another. Rejection leaves the old snapshot
+// serving and answers 422 with the verification failure.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	dir := r.URL.Query().Get("dir")
+	if dir == "" && r.Body != nil {
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		var body struct {
+			Dir string `json:"dir"`
+		}
+		// An empty or non-JSON body means "default dir"; a too-large or
+		// drip-fed body is bounded by MaxBytesReader + request timeout.
+		if err := json.NewDecoder(r.Body).Decode(&body); err == nil {
+			dir = body.Dir
+		}
+	}
+	if dir == "" {
+		dir = s.cfg.DataDir
+	}
+	snap, err := s.store.Reload(r.Context(), dir)
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, map[string]any{
+			"swapped": false,
+			"dir":     dir,
+			"error":   err.Error(),
+			"store":   s.store.Status(),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"swapped":    true,
+		"dir":        dir,
+		"generation": snap.Generation,
+		"artifacts":  len(snap.Manifest.Artifacts),
+	})
+}
+
+// --- lifecycle ---
+
+// Serve starts accepting on l and blocks until Drain (returns nil) or a
+// listener error. Slow-loris TCP behaviour is bounded at the server level:
+// header reads, whole-request reads and response writes all carry
+// deadlines derived from the request timeout.
+func (s *Server) Serve(l net.Listener) error {
+	s.listener = l
+	s.httpSrv = &http.Server{
+		Handler:           s.handler,
+		ReadHeaderTimeout: s.cfg.RequestTimeout,
+		ReadTimeout:       2 * s.cfg.RequestTimeout,
+		WriteTimeout:      2 * s.cfg.RequestTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
+	s.startPoller()
+	err := s.httpSrv.Serve(l)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// startPoller begins manifest-fingerprint polling when configured.
+func (s *Server) startPoller() {
+	s.pollOnce.Do(func() {
+		if s.cfg.ReloadPoll <= 0 {
+			close(s.pollDone)
+			return
+		}
+		go func() {
+			defer close(s.pollDone)
+			ticker := time.NewTicker(s.cfg.ReloadPoll)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-s.pollStop:
+					return
+				case <-ticker.C:
+					if s.store.ShouldPoll(s.cfg.DataDir) {
+						// Rejections are recorded in store status; the
+						// poller itself never crashes the daemon.
+						_, _ = s.store.Reload(context.Background(), s.cfg.DataDir)
+					}
+				}
+			}
+		}()
+	})
+}
+
+// Drain gracefully shuts the daemon down: the poller stops, the listener
+// closes (no new connections), in-flight requests run to completion, and
+// only then does Drain return. The error is non-nil when the deadline
+// expired with work still in flight — i.e. the drain was not clean.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainMu.Lock()
+	if s.draining {
+		s.drainMu.Unlock()
+		return nil
+	}
+	s.draining = true
+	s.drainMu.Unlock()
+
+	select {
+	case <-s.pollStop:
+	default:
+		close(s.pollStop)
+	}
+	s.startPoller() // ensure pollDone closes even if Serve never ran
+	<-s.pollDone
+
+	if s.httpSrv != nil {
+		if _, ok := ctx.Deadline(); !ok {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.DrainTimeout)
+			defer cancel()
+		}
+		if err := s.httpSrv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("serve: drain: %w", err)
+		}
+	}
+	if !s.adm.drainWait(s.cfg.DrainTimeout) {
+		return errors.New("serve: drain: in-flight requests outlived the drain timeout")
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+// Package serve is pbslab's serving plane: a long-running HTTP daemon
+// (cmd/pbslabd) that answers artifact downloads and per-day analysis-index
+// queries from a verified output directory, and stays correct under
+// overload, handler panics, slow clients, corrupt reload candidates, and
+// graceful shutdown.
+//
+// Robustness is structured as a degradation ladder (DESIGN.md §9):
+//
+//  1. Admission control — at most MaxInflight requests execute; up to
+//     Queue more wait, deadline-aware. Overflow is shed immediately with
+//     429 + Retry-After; a queue-wait timeout sheds with 503 + Retry-After
+//     (the same contract relayapi.Client honours on the client side).
+//  2. Per-request bounds — every admitted request runs under a timeout,
+//     and request bodies are size-capped.
+//  3. Panic isolation — a handler panic becomes that request's 500, never
+//     a process death.
+//  4. Snapshot integrity — the daemon only ever serves from an immutable,
+//     fully verified Snapshot; reloads build and verify a complete
+//     candidate before an atomic pointer swap, so a corrupt or
+//     half-written directory can degrade readiness but never the data on
+//     the wire.
+//  5. Graceful drain — shutdown stops accepting, lets in-flight requests
+//     finish (bounded), and reports a clean exit.
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/ethpbs/pbslab/internal/core"
+	"github.com/ethpbs/pbslab/internal/dataset"
+	"github.com/ethpbs/pbslab/internal/dsio"
+	"github.com/ethpbs/pbslab/internal/report"
+)
+
+// Snapshot is one immutable, fully verified serving state: the artifact
+// bytes of a manifest-covered output directory, plus (when the directory
+// carries a serialized corpus) the analysis built from it. All fields are
+// read-only after Load; the server swaps whole snapshots atomically and
+// never mutates one in place.
+type Snapshot struct {
+	// Dir is the directory this snapshot was loaded from.
+	Dir string
+	// Manifest is the directory's artifact inventory.
+	Manifest report.Manifest
+	// ManifestSum is the SHA-256 of the manifest file's bytes; the reload
+	// poller uses it as the directory's change fingerprint.
+	ManifestSum string
+	// Generation is assigned by the Store at swap time; 1 is the first
+	// snapshot ever served.
+	Generation uint64
+
+	files map[string][]byte
+
+	// Analysis is non-nil when the directory contained dataset.gob: the
+	// per-day index queries answer from it. Artifact-only directories
+	// still serve downloads but report HasDataset=false in /api/v1/meta.
+	Analysis *core.Analysis
+	// Counts is the corpus Table 1 inventory (zero when no dataset).
+	Counts dataset.Counts
+}
+
+// HasDataset reports whether per-day index queries are available.
+func (s *Snapshot) HasDataset() bool { return s.Analysis != nil }
+
+// Artifact returns one artifact's bytes and manifest entry.
+func (s *Snapshot) Artifact(name string) ([]byte, report.ManifestEntry, bool) {
+	data, ok := s.files[name]
+	if !ok {
+		return nil, report.ManifestEntry{}, false
+	}
+	for _, e := range s.Manifest.Artifacts {
+		if e.Name == name {
+			return data, e, true
+		}
+	}
+	return nil, report.ManifestEntry{}, false
+}
+
+// Names lists the snapshot's artifact names, sorted.
+func (s *Snapshot) Names() []string {
+	out := make([]string, 0, len(s.files))
+	for name := range s.files {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LoadOptions tunes snapshot loading.
+type LoadOptions struct {
+	// Workers bounds the analysis worker pool (0 = all CPUs).
+	Workers int
+}
+
+// Load builds a Snapshot from an output directory, rejecting anything that
+// is not provably intact. The gate has three rungs:
+//
+//  1. report.VerifyDir — the manifest must exist and every listed file
+//     must match its recorded size and SHA-256, with no stale debris.
+//  2. Re-hash on read — each artifact is hashed again as it is read into
+//     memory, so a writer racing the load cannot slip a torn file past
+//     the verification that just passed.
+//  3. core.Validate — when the directory ships its corpus (dataset.gob),
+//     every dataset invariant must hold before an analysis is built.
+//
+// Any failure returns an error and no snapshot; the caller keeps serving
+// whatever it served before.
+func Load(ctx context.Context, dir string, opts LoadOptions) (*Snapshot, error) {
+	problems, err := report.VerifyDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: verify %s: %w", dir, err)
+	}
+	if len(problems) > 0 {
+		max := 5
+		if len(problems) < max {
+			max = len(problems)
+		}
+		var b strings.Builder
+		for i := 0; i < max; i++ {
+			if i > 0 {
+				b.WriteString("; ")
+			}
+			b.WriteString(problems[i].String())
+		}
+		return nil, fmt.Errorf("serve: %s failed verification with %d problem(s): %s", dir, len(problems), b.String())
+	}
+
+	manifestBytes, err := os.ReadFile(filepath.Join(dir, report.ManifestName))
+	if err != nil {
+		return nil, fmt.Errorf("serve: read manifest: %w", err)
+	}
+	sum := sha256.Sum256(manifestBytes)
+	m, err := report.ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	snap := &Snapshot{
+		Dir:         dir,
+		Manifest:    m,
+		ManifestSum: hex.EncodeToString(sum[:]),
+		files:       make(map[string][]byte, len(m.Artifacts)),
+	}
+	for _, e := range m.Artifacts {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name))
+		if err != nil {
+			return nil, fmt.Errorf("serve: read artifact %s: %w", e.Name, err)
+		}
+		got := sha256.Sum256(data)
+		if hex.EncodeToString(got[:]) != e.SHA256 {
+			return nil, fmt.Errorf("serve: artifact %s changed between verification and read (torn writer?)", e.Name)
+		}
+		snap.files[e.Name] = data
+	}
+
+	if raw, ok := snap.files[dsio.DatasetName]; ok {
+		ds, labels, err := dsio.Decode(raw)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %s: %w", dsio.DatasetName, err)
+		}
+		if rep := core.Validate(ds); !rep.OK() {
+			return nil, fmt.Errorf("serve: %s: dataset fails validation: %d violation(s), first: %s",
+				dir, len(rep.Violations), rep.Violations[0])
+		}
+		copts := []core.Option{core.WithBuilderLabels(labels)}
+		if opts.Workers > 0 {
+			copts = append(copts, core.WithWorkers(opts.Workers))
+		}
+		a, err := core.NewWithContext(ctx, ds, copts...)
+		if err != nil {
+			return nil, fmt.Errorf("serve: build analysis: %w", err)
+		}
+		snap.Analysis = a
+		snap.Counts = ds.Count()
+	}
+	return snap, nil
+}

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check chaos soak crawl bench bench-sim bench-serve clean
+.PHONY: all build vet test race check chaos chaos-fleet soak crawl bench bench-sim bench-serve bench-fleet clean
 
 all: check
 
@@ -28,6 +28,7 @@ check:
 	$(GO) test -race ./internal/core/... ./internal/stats/...
 	$(GO) test ./...
 	$(MAKE) chaos
+	$(MAKE) chaos-fleet
 	$(MAKE) soak
 
 # Crash-safety suite under the race detector: kill-and-resume goldens
@@ -41,6 +42,18 @@ chaos:
 		./internal/sim/... ./internal/report/... ./internal/core/... \
 		./internal/faults/... ./internal/relayapi/... ./internal/stats/... \
 		./internal/cli/...
+
+# Fleet fault suite under the race detector: seeded process-level chaos
+# (workers killed mid-cell, wedged without exiting, corrupt cell output)
+# against real worker subprocesses, proving every grid cell ends
+# completed-and-verified or quarantined-with-cause; kill-and-resume merged
+# corpora byte-identical to uninterrupted runs; lease expiry edge cases
+# (stale heartbeats after reclaim, double completion, publish-without-
+# journal adoption); and journal torn-line replay.
+chaos-fleet:
+	$(GO) test -race -count=1 \
+		-run 'Fleet|Lease|Journal|Replay|Proc' \
+		./internal/fleet/... ./internal/faults/...
 
 # Serving-plane soak under the race detector: overload shedding with a
 # balanced admission ledger, zero-loss graceful drain, verified hot-swap
@@ -85,6 +98,17 @@ bench-serve:
 	mkdir -p out
 	$(GO) test -run '^$$' -bench 'ServeLoad' -benchtime 200x -timeout 1800s ./internal/serve | tee out/bench_pr5.txt
 	$(GO) run ./cmd/benchjson -o $(SERVE_BENCH_OUT) out/bench_pr5.txt
+
+# DESIGN.md §10 benchmark: fleet throughput (cells/min) at 1/4/8 worker
+# subprocesses, the fixed cost of -resume, and the chaos run's recovery
+# overhead + quarantine rate, recorded as derived.fleet_scaling_8x_vs_1x,
+# derived.fleet_resume_overhead, derived.fleet_chaos_overhead and
+# derived.fleet_quarantine_rate in BENCH_pr6.json.
+FLEET_BENCH_OUT ?= BENCH_pr6.json
+bench-fleet:
+	mkdir -p out
+	$(GO) test -run '^$$' -bench 'Fleet' -benchtime 3x -timeout 1800s ./internal/fleet | tee out/bench_pr6.txt
+	$(GO) run ./cmd/benchjson -o $(FLEET_BENCH_OUT) out/bench_pr6.txt
 
 clean:
 	$(GO) clean ./...

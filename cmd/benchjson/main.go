@@ -144,6 +144,37 @@ func derive(rec *Record) {
 			}
 		}
 	}
+	// DESIGN.md §10: the experiment fleet's throughput scaling across
+	// worker-subprocess counts, the fixed cost of -resume (journal replay +
+	// re-verification + merge rebuild, no new work), and the chaos run's
+	// recovery overhead and quarantine rate (0 means every injected fault
+	// was recovered by retry rather than quarantined).
+	f1, ok1 := rec.Benchmarks["FleetGrid/workers=1"]
+	f4, ok4 := rec.Benchmarks["FleetGrid/workers=4"]
+	f8, ok8 := rec.Benchmarks["FleetGrid/workers=8"]
+	if ok1 && ok8 && f8.NsPerOp > 0 {
+		if rec.Derived == nil {
+			rec.Derived = map[string]float64{}
+		}
+		rec.Derived["fleet_scaling_8x_vs_1x"] = f1.NsPerOp / f8.NsPerOp
+	}
+	if ok4 && f4.NsPerOp > 0 {
+		if res, ok := rec.Benchmarks["FleetResume"]; ok {
+			if rec.Derived == nil {
+				rec.Derived = map[string]float64{}
+			}
+			rec.Derived["fleet_resume_overhead"] = res.NsPerOp / f4.NsPerOp
+		}
+		if chaos, ok := rec.Benchmarks["FleetChaos"]; ok {
+			if rec.Derived == nil {
+				rec.Derived = map[string]float64{}
+			}
+			rec.Derived["fleet_chaos_overhead"] = chaos.NsPerOp / f4.NsPerOp
+			if q, ok := chaos.Metrics["quarantine_rate"]; ok {
+				rec.Derived["fleet_quarantine_rate"] = q
+			}
+		}
+	}
 }
 
 func main() {

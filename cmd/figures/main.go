@@ -12,7 +12,14 @@
 //
 //	figures -out DIR [-days N] [-blocks-per-day N] [-seed N]
 //	        [-workers N] [-sim-workers N] [-sequential]
+//	        [-private-flow F] [-small-builders N] [-relay-outages SPEC]
+//	        [-ofac-lag SPEC]
 //	        [-checkpoint-dir DIR] [-resume] [-timeout D]
+//
+// The scenario knobs (-private-flow, -small-builders, -relay-outages,
+// -ofac-lag) share syntax and validation with cmd/pbslab and the pbsfleet
+// experiment grid; a malformed value is an error before the simulation
+// starts.
 package main
 
 import (

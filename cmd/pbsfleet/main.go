@@ -1,0 +1,97 @@
+// pbsfleet runs a declarative experiment grid — seeds × scenario knobs —
+// across crash-isolated worker subprocesses, with per-cell leases, bounded
+// retries, poison-cell quarantine, and an fsynced journal that makes a
+// killed run resumable with -resume. The merged cross-scenario corpus
+// lands under a manifest in <out>/merged, servable by pbslabd.
+//
+// Usage:
+//
+//	pbsfleet -grid grid.json -out runs/sweep [-workers N] [-resume]
+//
+// The worker side is this same binary: the coordinator re-execs it with
+// the cell spec in the environment, so there is no separate worker binary
+// to deploy or version-skew against.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/ethpbs/pbslab/internal/faults"
+	"github.com/ethpbs/pbslab/internal/fleet"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	// Worker re-entry: when the coordinator execs us with the cell-spec
+	// environment set, this call runs the cell and never returns.
+	fleet.MaybeWorker()
+
+	fs := flag.NewFlagSet("pbsfleet", flag.ContinueOnError)
+	gridPath := fs.String("grid", "", "experiment grid JSON (required; see examples/fleet-grid.json)")
+	outDir := fs.String("out", "", "run directory (required; journal, cells, merged corpus)")
+	workers := fs.Int("workers", 4, "concurrent worker subprocesses")
+	resume := fs.Bool("resume", false, "continue a killed run from its journal instead of refusing")
+	retries := fs.Int("retries", 3, "failed attempts before a cell is quarantined")
+	lease := fs.Duration("lease", 30*time.Second, "heartbeat deadline before a worker is reclaimed")
+	heartbeat := fs.Duration("heartbeat", 0, "worker heartbeat period (default lease/5)")
+	chaos := fs.Bool("chaos", false, "inject seeded process faults (kill/wedge/corrupt) into first attempts")
+	chaosSeed := fs.Uint64("chaos-seed", 1, "seed for the chaos fault plan")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return 2
+	}
+	if *gridPath == "" || *outDir == "" {
+		fmt.Fprintln(os.Stderr, "pbsfleet: -grid and -out are required")
+		fs.Usage()
+		return 2
+	}
+	grid, err := fleet.LoadGrid(*gridPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pbsfleet: %v\n", err)
+		return 2
+	}
+
+	opts := fleet.Options{
+		Workers:     *workers,
+		MaxAttempts: *retries,
+		LeaseTTL:    *lease,
+		Heartbeat:   *heartbeat,
+		Log:         os.Stderr,
+	}
+	if *chaos {
+		seed := *chaosSeed
+		opts.WorkerEnv = func(cell fleet.Cell, attempt int) []string {
+			plan := faults.ProcPlan(seed, cell.ID, cell.Slots())
+			return []string{faults.ProcEnv + "=" + plan.String()}
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	coord, err := fleet.NewCoordinator(*outDir, grid, opts, *resume)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pbsfleet: %v\n", err)
+		return 2
+	}
+	sum, err := coord.Run(ctx)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pbsfleet: %v\n", err)
+		return 1
+	}
+	fmt.Printf("pbsfleet: %d/%d cells completed, %d quarantined; merged corpus at %s\n",
+		sum.Completed, sum.Cells, len(sum.Quarantined), sum.MergedDir)
+	for _, q := range sum.Quarantined {
+		fmt.Printf("pbsfleet: quarantined %s: %s\n", q.ID, q.Cause)
+	}
+	if sum.Completed == 0 {
+		return 1
+	}
+	return 0
+}

@@ -7,6 +7,8 @@
 //
 //	pbslab [-days N] [-blocks-per-day N] [-seed N] [-workers N]
 //	       [-sim-workers N] [-sequential] [-figures DIR] [-dump-dataset]
+//	       [-private-flow F] [-small-builders N] [-relay-outages SPEC]
+//	       [-ofac-lag SPEC]
 //	       [-quiet] [-checkpoint-dir DIR] [-resume] [-timeout D]
 //	pbslab -verify DIR
 //
@@ -16,6 +18,15 @@
 // -sim-workers sets the simulation slot engine's parallelism (0 = all
 // CPUs, 1 = the sequential legacy slot path); output is byte-identical
 // at every setting.
+//
+// The scenario knobs the pbsfleet experiment grid sweeps are also plain
+// flags here, with the same syntax and validation (internal/cli.Knobs):
+// -private-flow (private user-flow share in [0,1]), -small-builders
+// (long-tail builder population), -relay-outages
+// ("RELAY=FROM..TO[,...]" appended to the default calendar, or "none" to
+// clear it), and -ofac-lag ("WAVE=+Nd|never|on-time[,...]", "*" for every
+// designation wave). A malformed knob is a validation error before the
+// simulation starts, never a silently ignored default.
 //
 // The run is crash-safe: with -checkpoint-dir the simulation checkpoints at
 // every simulated day boundary and again on SIGINT/SIGTERM or -timeout
@@ -89,7 +100,11 @@ func run(cfg *cli.Config, figuresDir string, dumpDataset, quiet bool) int {
 	ctx, stop := cfg.Context()
 	defer stop()
 
-	sc := cfg.Scenario()
+	sc, err := cfg.Scenario()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pbslab: %v\n", err)
+		return 2
+	}
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "simulating %s → %s at %d blocks/day (seed %d)...\n",
 		sc.Start.Format("2006-01-02"), sc.End.Format("2006-01-02"), sc.BlocksPerDay, sc.Seed)

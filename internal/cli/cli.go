@@ -46,6 +46,10 @@ type Config struct {
 	// Timeout bounds the whole run (0 = no deadline). On expiry the run is
 	// cancelled exactly like a SIGINT: checkpoint, flush, exit.
 	Timeout time.Duration
+	// Knobs holds the grid-swept scenario overrides (relay outages, OFAC
+	// schedule, private-flow share, builder population). Invalid settings
+	// are validation errors from Scenario, never silent defaults.
+	Knobs Knobs
 }
 
 // Register declares the shared flags on fs and returns the bound Config.
@@ -60,6 +64,11 @@ func Register(fs *flag.FlagSet) *Config {
 	fs.StringVar(&c.CheckpointDir, "checkpoint-dir", "", "write per-day simulation checkpoints into this directory")
 	fs.BoolVar(&c.Resume, "resume", false, "resume from the newest checkpoint in -checkpoint-dir")
 	fs.DurationVar(&c.Timeout, "timeout", 0, "abort (with checkpoint) after this duration, e.g. 10m (0 = none)")
+	c.Knobs = DefaultKnobs()
+	fs.Float64Var(&c.Knobs.PrivateFlow, "private-flow", Unset, "private user-flow share in [0,1] (-1 = scenario default)")
+	fs.IntVar(&c.Knobs.SmallBuilders, "small-builders", Unset, "long-tail builder population (-1 = scenario default)")
+	fs.StringVar(&c.Knobs.RelayOutages, "relay-outages", "", "extra relay outages, RELAY=FROM..TO[,...] ('none' clears the default calendar)")
+	fs.StringVar(&c.Knobs.OFACLag, "ofac-lag", "", "OFAC blacklist schedule override, WAVE=+Nd|never|on-time[,...] ('*' = every wave)")
 	return c
 }
 
@@ -76,8 +85,10 @@ func (c *Config) Context() (context.Context, context.CancelFunc) {
 	return tctx, func() { cancel(); stop() }
 }
 
-// Scenario builds the simulation scenario from the config.
-func (c *Config) Scenario() sim.Scenario {
+// Scenario builds the simulation scenario from the config, applying and
+// validating the knob overrides. A bad knob value is an error here — before
+// any simulation work — never a silently ignored default.
+func (c *Config) Scenario() (sim.Scenario, error) {
 	sc := sim.DefaultScenario()
 	sc.Seed = c.Seed
 	sc.BlocksPerDay = c.BlocksPerDay
@@ -88,7 +99,10 @@ func (c *Config) Scenario() sim.Scenario {
 	if c.Days > 0 {
 		sc.End = sc.Start.Add(time.Duration(c.Days) * 24 * time.Hour)
 	}
-	return sc
+	if err := c.Knobs.Apply(&sc); err != nil {
+		return sim.Scenario{}, err
+	}
+	return sc, nil
 }
 
 // Simulate runs the scenario under ctx with the configured durability
@@ -99,7 +113,11 @@ func (c *Config) Simulate(ctx context.Context, onDay func(day int)) (*sim.Result
 	if c.Resume && c.CheckpointDir == "" {
 		return nil, errors.New("-resume requires -checkpoint-dir")
 	}
-	return sim.RunOpts(ctx, c.Scenario(), sim.RunOptions{
+	sc, err := c.Scenario()
+	if err != nil {
+		return nil, err
+	}
+	return sim.RunOpts(ctx, sc, sim.RunOptions{
 		CheckpointDir: c.CheckpointDir,
 		Resume:        c.Resume,
 		OnDay:         onDay,

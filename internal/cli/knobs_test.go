@@ -1,0 +1,134 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ethpbs/pbslab/internal/ofac"
+	"github.com/ethpbs/pbslab/internal/relay"
+	"github.com/ethpbs/pbslab/internal/sim"
+)
+
+func TestKnobsDefaultIsNoOp(t *testing.T) {
+	sc := sim.DefaultScenario()
+	want := sc.Demand.PrivateUserFraction
+	wantBuilders := sc.SmallBuilderCount
+	wantOutages := len(sc.RelayOutages)
+	if err := DefaultKnobs().Apply(&sc); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Demand.PrivateUserFraction != want || sc.SmallBuilderCount != wantBuilders ||
+		len(sc.RelayOutages) != wantOutages {
+		t.Error("default knobs mutated the scenario")
+	}
+}
+
+func TestKnobsApplyValues(t *testing.T) {
+	sc := sim.DefaultScenario()
+	k := DefaultKnobs()
+	k.PrivateFlow = 0.42
+	k.SmallBuilders = 7
+	k.RelayOutages = "Manifold=2022-11-16..2022-11-19"
+	k.OFACLag = "*=+5d"
+	if err := k.Apply(&sc); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Demand.PrivateUserFraction != 0.42 {
+		t.Errorf("private flow %v, want 0.42", sc.Demand.PrivateUserFraction)
+	}
+	if sc.SmallBuilderCount != 7 {
+		t.Errorf("small builders %d, want 7", sc.SmallBuilderCount)
+	}
+	found := false
+	for _, o := range sc.RelayOutages {
+		if o.Relay == "Manifold" && o.Window.From.Equal(time.Date(2022, 11, 16, 0, 0, 0, 0, time.UTC)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("declared outage missing from the scenario")
+	}
+	// Every OFAC-compliant relay's Tornado Cash application moved to +5d
+	// after the day-after rule.
+	wantAt := ofac.TornadoCashDate.Add(24 * time.Hour).Add(5 * 24 * time.Hour)
+	key := ofac.TornadoCashDate.Format("2006-01-02")
+	for _, p := range sc.Relays {
+		if !p.OFACCompliant {
+			continue
+		}
+		if got := p.Faults.BlacklistApplied[key]; !got.Equal(wantAt) {
+			t.Errorf("relay %s: wave %s applied %v, want %v", p.Name, key, got, wantAt)
+		}
+	}
+}
+
+func TestKnobsOutagesNoneClearsCalendar(t *testing.T) {
+	sc := sim.DefaultScenario()
+	if len(sc.RelayOutages) == 0 {
+		t.Skip("default scenario has no outages to clear")
+	}
+	k := DefaultKnobs()
+	k.RelayOutages = "none"
+	if err := k.Apply(&sc); err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.RelayOutages) != 0 {
+		t.Errorf("%d outages survive \"none\"", len(sc.RelayOutages))
+	}
+}
+
+func TestKnobsOFACNever(t *testing.T) {
+	sc := sim.DefaultScenario()
+	k := DefaultKnobs()
+	k.OFACLag = ofac.NovemberUpdateDate.Format("2006-01-02") + "=never"
+	if err := k.Apply(&sc); err != nil {
+		t.Fatal(err)
+	}
+	key := ofac.NovemberUpdateDate.Format("2006-01-02")
+	for _, p := range sc.Relays {
+		if !p.OFACCompliant {
+			continue
+		}
+		if got := p.Faults.BlacklistApplied[key]; !got.Equal(relay.NeverApplied) {
+			t.Errorf("relay %s: wave %s applied %v, want never", p.Name, key, got)
+		}
+	}
+}
+
+// TestKnobsValidationErrors checks that every malformed knob is a named
+// validation error before the simulation starts — never a silent default.
+func TestKnobsValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		set  func(*Knobs)
+		want string
+	}{
+		{"private flow above 1", func(k *Knobs) { k.PrivateFlow = 1.5 }, "private-flow"},
+		{"private flow below 0", func(k *Knobs) { k.PrivateFlow = -0.5 }, "private-flow"},
+		{"negative small builders", func(k *Knobs) { k.SmallBuilders = -3 }, "small-builders"},
+		{"outage missing span", func(k *Knobs) { k.RelayOutages = "Manifold" }, "relay-outages"},
+		{"outage unknown relay", func(k *Knobs) { k.RelayOutages = "NoSuchRelay=2022-11-01..2022-11-02" }, "unknown relay"},
+		{"outage bad date", func(k *Knobs) { k.RelayOutages = "Manifold=yesterday..2022-11-02" }, "relay-outages"},
+		{"outage inverted window", func(k *Knobs) { k.RelayOutages = "Manifold=2022-11-05..2022-11-02" }, "precede"},
+		{"ofac missing value", func(k *Knobs) { k.OFACLag = "2022-11-08" }, "ofac-lag"},
+		{"ofac unknown wave", func(k *Knobs) { k.OFACLag = "2021-01-01=+5d" }, "unknown wave"},
+		{"ofac bad lag", func(k *Knobs) { k.OFACLag = "*=+xd" }, "ofac-lag"},
+		{"ofac negative lag", func(k *Knobs) { k.OFACLag = "*=+-2d" }, "ofac-lag"},
+		{"ofac bad keyword", func(k *Knobs) { k.OFACLag = "*=sometimes" }, "ofac-lag"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := sim.DefaultScenario()
+			k := DefaultKnobs()
+			tc.set(&k)
+			err := k.Apply(&sc)
+			if err == nil {
+				t.Fatal("invalid knob accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,141 @@
+// Process-level fault injection for fleet worker subprocesses.
+//
+// The HTTP injector above models a flaky network; ProcConfig models a flaky
+// *machine*: a worker killed mid-cell (OOM killer, preemption), a worker
+// that wedges without exiting (deadlock, NFS stall), and a worker whose
+// output lands corrupted (torn disk). The fleet coordinator must survive
+// all three, and the chaos suite drives them deterministically: a Plan is a
+// pure function of (seed, cell ID), so the same chaos seed yields the same
+// kills against the same cells and therefore the same recovery history.
+//
+// Everything here is config-gated and uses its own seeded streams: no
+// pre-existing Injector stream is consumed, so every legacy golden output
+// stays byte-identical.
+package faults
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/ethpbs/pbslab/internal/rng"
+)
+
+// ProcConfig declares the process-level faults one worker attempt injects
+// against itself. The zero value injects nothing.
+type ProcConfig struct {
+	// KillAfterSlots exits the process with a kill-style status after N
+	// simulated slots (0 = never): the mid-cell crash case.
+	KillAfterSlots int
+	// WedgeAfterSlots stops heartbeating and blocks the simulation forever
+	// after N slots without exiting (0 = never): the hung-worker case that
+	// only a lease deadline can detect.
+	WedgeAfterSlots int
+	// CorruptOutput flips bytes in one finished artifact after a successful
+	// run, so the cell completes with output only a manifest check catches.
+	CorruptOutput bool
+	// MaxAttempt gates every fault to attempts <= MaxAttempt (0 means 1),
+	// so a retried cell can succeed and the run converges instead of
+	// quarantining everything.
+	MaxAttempt int
+}
+
+// Active reports whether the config injects anything at the given attempt.
+func (c ProcConfig) Active(attempt int) bool {
+	max := c.MaxAttempt
+	if max <= 0 {
+		max = 1
+	}
+	if attempt > max {
+		return false
+	}
+	return c.KillAfterSlots > 0 || c.WedgeAfterSlots > 0 || c.CorruptOutput
+}
+
+// String encodes the config in the ParseProc syntax ("" for the zero
+// config); the coordinator ships it to workers through an env var.
+func (c ProcConfig) String() string {
+	var parts []string
+	if c.KillAfterSlots > 0 {
+		parts = append(parts, fmt.Sprintf("kill-after-slots=%d", c.KillAfterSlots))
+	}
+	if c.WedgeAfterSlots > 0 {
+		parts = append(parts, fmt.Sprintf("wedge-after-slots=%d", c.WedgeAfterSlots))
+	}
+	if c.CorruptOutput {
+		parts = append(parts, "corrupt-output=1")
+	}
+	if c.MaxAttempt > 0 {
+		parts = append(parts, fmt.Sprintf("max-attempt=%d", c.MaxAttempt))
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseProc decodes a ProcConfig from its String form. "" is the zero
+// config.
+func ParseProc(s string) (ProcConfig, error) {
+	var c ProcConfig
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return c, nil
+	}
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(entry, "=")
+		if !ok {
+			return c, fmt.Errorf("faults: proc config %q: want key=value", entry)
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 0 {
+			return c, fmt.Errorf("faults: proc config %q: want a non-negative integer", entry)
+		}
+		switch key {
+		case "kill-after-slots":
+			c.KillAfterSlots = n
+		case "wedge-after-slots":
+			c.WedgeAfterSlots = n
+		case "corrupt-output":
+			c.CorruptOutput = n != 0
+		case "max-attempt":
+			c.MaxAttempt = n
+		default:
+			return c, fmt.Errorf("faults: proc config %q: unknown key", entry)
+		}
+	}
+	return c, nil
+}
+
+// ProcEnv is the environment variable carrying a worker's ProcConfig.
+const ProcEnv = "PBSFLEET_FAULT"
+
+// ProcFromEnv reads the worker-side config from ProcEnv ("" when unset).
+func ProcFromEnv() (ProcConfig, error) {
+	return ParseProc(os.Getenv(ProcEnv))
+}
+
+// ProcPlan draws the chaos-mode fault mix for one cell from a dedicated
+// seeded stream. Decisions depend only on (seed, cell), never on scheduling
+// order, so a chaos run's fault history is reproducible. Roughly a third of
+// cells get a kill, a sixth a wedge, a sixth corrupt output; every fault is
+// limited to the first attempt so the run always converges.
+func ProcPlan(seed uint64, cell string, slots int) ProcConfig {
+	r := rng.New(seed).Fork("proc/" + cell)
+	var c ProcConfig
+	if slots < 2 {
+		slots = 2
+	}
+	switch r.Intn(6) {
+	case 0, 1:
+		c.KillAfterSlots = 1 + r.Intn(slots-1)
+	case 2:
+		c.WedgeAfterSlots = 1 + r.Intn(slots-1)
+	case 3:
+		c.CorruptOutput = true
+	}
+	c.MaxAttempt = 1
+	return c
+}

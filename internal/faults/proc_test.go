@@ -1,0 +1,87 @@
+package faults
+
+import (
+	"testing"
+)
+
+func TestProcConfigStringParseRoundTrip(t *testing.T) {
+	cases := []ProcConfig{
+		{},
+		{KillAfterSlots: 7},
+		{WedgeAfterSlots: 3, MaxAttempt: 2},
+		{CorruptOutput: true},
+		{KillAfterSlots: 1, WedgeAfterSlots: 2, CorruptOutput: true, MaxAttempt: 4},
+	}
+	for _, want := range cases {
+		got, err := ParseProc(want.String())
+		if err != nil {
+			t.Fatalf("round-trip %q: %v", want.String(), err)
+		}
+		if got != want {
+			t.Errorf("round-trip %q: got %+v, want %+v", want.String(), got, want)
+		}
+	}
+}
+
+func TestParseProcRejectsBadInput(t *testing.T) {
+	for _, bad := range []string{
+		"kill-after-slots",       // no value
+		"kill-after-slots=x",     // not an integer
+		"kill-after-slots=-1",    // negative
+		"no-such-fault=1",        // unknown key
+		"kill-after-slots=1;x=2", // wrong separator
+	} {
+		if _, err := ParseProc(bad); err == nil {
+			t.Errorf("ParseProc(%q) accepted", bad)
+		}
+	}
+}
+
+func TestProcConfigActiveGatesOnAttempt(t *testing.T) {
+	c := ProcConfig{KillAfterSlots: 5} // MaxAttempt 0 means 1
+	if !c.Active(1) {
+		t.Error("fault inactive on attempt 1")
+	}
+	if c.Active(2) {
+		t.Error("fault active on attempt 2 with default MaxAttempt; retries could never converge")
+	}
+	c.MaxAttempt = 3
+	if !c.Active(3) || c.Active(4) {
+		t.Error("MaxAttempt=3 must gate exactly attempts 1..3")
+	}
+	if (ProcConfig{}).Active(1) {
+		t.Error("zero config reports active")
+	}
+}
+
+func TestProcPlanDeterministicPerCell(t *testing.T) {
+	a := ProcPlan(42, "s1-pf0", 48)
+	b := ProcPlan(42, "s1-pf0", 48)
+	if a != b {
+		t.Fatalf("same (seed, cell) produced different plans: %+v vs %+v", a, b)
+	}
+	// Different cells (and different seeds) draw independent plans; over a
+	// population some must differ and some must inject faults.
+	varied, active := false, 0
+	for i := 0; i < 32; i++ {
+		p := ProcPlan(42, "cell-"+string(rune('a'+i)), 48)
+		if p != a {
+			varied = true
+		}
+		if p.Active(1) {
+			active++
+		}
+		if p.MaxAttempt != 1 {
+			t.Fatalf("plan %+v not limited to the first attempt", p)
+		}
+		if p.KillAfterSlots > 48 || p.WedgeAfterSlots > 48 {
+			t.Fatalf("plan %+v aims beyond the cell's %d slots", p, 48)
+		}
+	}
+	if !varied {
+		t.Error("every cell drew the identical plan; stream not forked per cell")
+	}
+	if active == 0 {
+		t.Error("no cell drew a fault; chaos mode would prove nothing")
+	}
+}

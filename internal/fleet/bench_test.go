@@ -1,0 +1,130 @@
+package fleet
+
+import (
+	"context"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"github.com/ethpbs/pbslab/internal/faults"
+)
+
+// benchGrid is the BENCH_pr6 workload: 8 short but fully wired cells
+// (sim → analysis → 20 artifacts → manifest each), sized so per-cell
+// simulation work dominates subprocess spawn overhead. The workers axis
+// measures wall-clock scaling of the host: on a single-CPU machine it is
+// flat by construction (the cells are CPU-bound), and the row still
+// proves the grid pays no isolation penalty.
+func benchGrid() *Grid {
+	return &Grid{
+		Name:          "bench",
+		Seeds:         []uint64{1, 2},
+		Days:          2,
+		BlocksPerDay:  12,
+		Users:         120,
+		Validators:    150,
+		PrivateFlow:   []float64{0.06, 0.3},
+		SmallBuilders: []int{10, 40},
+	}
+}
+
+func benchOpts(b *testing.B, workers int) Options {
+	b.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return Options{
+		Workers:     workers,
+		MaxAttempts: 3,
+		LeaseTTL:    10 * time.Second,
+		Heartbeat:   50 * time.Millisecond,
+		BackoffBase: 10 * time.Millisecond,
+		Executable:  exe,
+	}
+}
+
+func benchRun(b *testing.B, dir string, g *Grid, opts Options, resume bool) *Summary {
+	b.Helper()
+	c, err := NewCoordinator(dir, g, opts, resume)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sum, err := c.Run(context.Background())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sum
+}
+
+// BenchmarkFleetGrid measures fleet throughput (cells/min) at 1, 4 and 8
+// worker subprocesses over the same grid; benchjson derives the scaling
+// ratio fleet_scaling_8x_vs_1x from the workers=1 and workers=8 rows.
+func BenchmarkFleetGrid(b *testing.B) {
+	for _, workers := range []int{1, 4, 8} {
+		b.Run("workers="+strconv.Itoa(workers), func(b *testing.B) {
+			g := benchGrid()
+			cells := 0
+			start := time.Now()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sum := benchRun(b, b.TempDir(), g, benchOpts(b, workers), false)
+				if sum.Completed != sum.Cells {
+					b.Fatalf("%d/%d completed", sum.Completed, sum.Cells)
+				}
+				cells += sum.Cells
+			}
+			b.StopTimer()
+			mins := time.Since(start).Minutes()
+			if mins > 0 {
+				b.ReportMetric(float64(cells)/mins, "cells/min")
+			}
+		})
+	}
+}
+
+// BenchmarkFleetResume measures the overhead of resuming an already
+// finished run: journal replay, re-verification of every published cell,
+// and the merge rebuild — the fixed cost -resume pays before any new work.
+func BenchmarkFleetResume(b *testing.B) {
+	g := benchGrid()
+	dir := b.TempDir()
+	benchRun(b, dir, g, benchOpts(b, 4), false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum := benchRun(b, dir, g, benchOpts(b, 4), true)
+		if sum.Completed != sum.Cells {
+			b.Fatalf("%d/%d completed", sum.Completed, sum.Cells)
+		}
+	}
+}
+
+// BenchmarkFleetChaos measures recovery overhead: the same grid as
+// BenchmarkFleetGrid/workers=4 but with the seeded chaos plan injecting
+// kills, wedges and corrupt output into first attempts. benchjson derives
+// fleet_chaos_overhead (chaos ÷ clean wall time) and records the
+// quarantine rate, which must be 0 for first-attempt-only faults.
+func BenchmarkFleetChaos(b *testing.B) {
+	g := benchGrid()
+	quarantined, cells := 0, 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := benchOpts(b, 4)
+		opts.LeaseTTL = 2 * time.Second
+		opts.WorkerEnv = func(cell Cell, attempt int) []string {
+			plan := faults.ProcPlan(99, cell.ID, cell.Slots())
+			return []string{faults.ProcEnv + "=" + plan.String()}
+		}
+		sum := benchRun(b, b.TempDir(), g, opts, false)
+		if sum.Completed+len(sum.Quarantined) != sum.Cells {
+			b.Fatalf("non-terminal cells: %+v", sum)
+		}
+		quarantined += len(sum.Quarantined)
+		cells += sum.Cells
+	}
+	b.StopTimer()
+	if cells > 0 {
+		b.ReportMetric(float64(quarantined)/float64(cells), "quarantine_rate")
+	}
+}

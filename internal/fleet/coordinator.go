@@ -1,0 +1,706 @@
+// The coordinator: expands the grid, fans cells across crash-isolated
+// worker subprocesses, and guarantees that every cell terminates either
+// completed-and-verified or quarantined-with-cause — whatever the workers
+// do. The mechanisms, in order of line of defense:
+//
+//   - leases: a running attempt must heartbeat (stdout lines) before its
+//     deadline; a silent worker — wedged, killed, or unplugged — is
+//     SIGKILLed by process group and its cell reclaimed for retry;
+//   - verification: an attempt that exits cleanly is accepted only if its
+//     artifact directory verifies against its manifest (report.VerifyDir);
+//     corrupt output is a failure, retried, never merged;
+//   - bounded retries: failures back off deterministically (base × 2^n)
+//     and a cell that keeps failing is quarantined with its cause and
+//     stderr tail, so one poison cell can never wedge the run;
+//   - the journal: every transition is fsynced append-only, so -resume
+//     continues a killed run without re-running completed cells — and a
+//     cell whose artifacts were published but whose completion record was
+//     lost (died between rename and append) is re-adopted by verification.
+
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"time"
+
+	"github.com/ethpbs/pbslab/internal/atomicio"
+	"github.com/ethpbs/pbslab/internal/report"
+)
+
+// Run-directory layout.
+const (
+	// GridName is the copy of the grid spec inside the run directory.
+	GridFileName = "grid.json"
+	// CellsDirName holds one verified artifact directory per completed cell.
+	CellsDirName = "cells"
+	// WorkDirName holds in-flight attempt scratch directories.
+	WorkDirName = "work"
+	// CheckpointsDirName holds per-cell simulation checkpoints, persisted
+	// across attempts so a retried cell resumes mid-simulation.
+	CheckpointsDirName = "checkpoints"
+	// MergedDirName is the merged cross-scenario corpus.
+	MergedDirName = "merged"
+)
+
+// Options tunes the coordinator. Zero values get sensible defaults.
+type Options struct {
+	// Workers is the number of concurrent worker subprocesses (default 4).
+	Workers int
+	// MaxAttempts quarantines a cell after this many failed attempts
+	// (default 3).
+	MaxAttempts int
+	// LeaseTTL is the heartbeat deadline: a running attempt that stays
+	// silent this long is reclaimed (default 30s).
+	LeaseTTL time.Duration
+	// Heartbeat is the period workers are told to beat at (default
+	// LeaseTTL/5).
+	Heartbeat time.Duration
+	// BackoffBase seeds the deterministic retry backoff base × 2^(fails-1),
+	// capped at 32×base (default 250ms).
+	BackoffBase time.Duration
+	// Executable is the worker binary (default: this binary, whose main
+	// must call MaybeWorker first).
+	Executable string
+	// WorkerEnv, when set, returns extra environment entries for an
+	// attempt — the chaos harness injects faults.ProcEnv through it.
+	WorkerEnv func(cell Cell, attempt int) []string
+	// Log receives progress lines (default: discard).
+	Log io.Writer
+}
+
+func (o *Options) fill() error {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 30 * time.Second
+	}
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = o.LeaseTTL / 5
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 250 * time.Millisecond
+	}
+	if o.Executable == "" {
+		exe, err := os.Executable()
+		if err != nil {
+			return fmt.Errorf("fleet: resolve worker executable: %w", err)
+		}
+		o.Executable = exe
+	}
+	if o.Log == nil {
+		o.Log = io.Discard
+	}
+	return nil
+}
+
+// lease tracks one running attempt's heartbeat state. It is its own type
+// so the expiry edge cases are unit-testable without subprocesses.
+type lease struct {
+	mu        sync.Mutex
+	attempt   int
+	lastBeat  time.Time
+	reclaimed bool
+}
+
+func newLease(attempt int, now time.Time) *lease {
+	return &lease{attempt: attempt, lastBeat: now}
+}
+
+// beat records a heartbeat for the given attempt. It reports false — and
+// records nothing — when the heartbeat is stale: from an older attempt, or
+// arriving just after the lease was reclaimed. A reclaimed lease stays
+// reclaimed; late heartbeats cannot resurrect it.
+func (l *lease) beat(attempt int, now time.Time) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.reclaimed || attempt != l.attempt {
+		return false
+	}
+	if now.After(l.lastBeat) {
+		l.lastBeat = now
+	}
+	return true
+}
+
+// expired reports whether the lease deadline has passed.
+func (l *lease) expired(now time.Time, ttl time.Duration) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return !l.reclaimed && now.Sub(l.lastBeat) > ttl
+}
+
+// reclaim marks the lease revoked; only the first caller gets true.
+func (l *lease) reclaim() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.reclaimed {
+		return false
+	}
+	l.reclaimed = true
+	return true
+}
+
+// cellRun is the coordinator's live state for one cell.
+type cellRun struct {
+	cell     Cell
+	status   CellStatus
+	attempts int
+	fails    int
+	readyAt  time.Time
+	running  bool
+	cause    string
+	tail     string
+}
+
+// Coordinator drives one fleet run directory.
+type Coordinator struct {
+	runDir  string
+	grid    *Grid
+	opts    Options
+	journal *Journal
+	cells   []*cellRun
+	byID    map[string]*cellRun
+	mu      sync.Mutex // guards accept's publish step
+}
+
+// QuarantinedCell is one permanently failed cell in the run summary.
+type QuarantinedCell struct {
+	ID         string `json:"id"`
+	Cause      string `json:"cause"`
+	StderrTail string `json:"stderr_tail,omitempty"`
+}
+
+// Summary is a finished (or resumed-to-finished) run.
+type Summary struct {
+	Cells       int
+	Completed   int
+	Quarantined []QuarantinedCell
+	MergedDir   string
+}
+
+// NewCoordinator opens (or resumes) a fleet run directory. With resume
+// false the directory must not already contain a journal; with resume true
+// the journal's grid fingerprint must match, completed cells are verified
+// and kept, and cells whose artifacts were published but never journaled
+// (a coordinator killed between rename and append) are adopted.
+func NewCoordinator(runDir string, grid *Grid, opts Options, resume bool) (*Coordinator, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	cells, err := grid.Expand()
+	if err != nil {
+		return nil, err
+	}
+	for _, sub := range []string{"", CellsDirName, WorkDirName, CheckpointsDirName} {
+		if err := os.MkdirAll(filepath.Join(runDir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("fleet: create run dir: %w", err)
+		}
+	}
+	recs, err := ReplayJournal(runDir)
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) > 0 && !resume {
+		return nil, fmt.Errorf("fleet: %s already holds a run journal; pass -resume to continue it", runDir)
+	}
+	if resume && len(recs) > 0 {
+		st := ReplayState(recs)
+		if st.Fingerprint != "" && st.Fingerprint != grid.Fingerprint() {
+			return nil, fmt.Errorf("fleet: resume grid mismatch: journal has %.12s.., grid is %.12s.. — the grid file changed since the run started",
+				st.Fingerprint, grid.Fingerprint())
+		}
+	}
+	gridData, err := jsonMarshalIndent(grid)
+	if err != nil {
+		return nil, err
+	}
+	if err := atomicio.WriteFile(filepath.Join(runDir, GridFileName), gridData, 0o644); err != nil {
+		return nil, err
+	}
+	j, err := OpenJournal(runDir)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{runDir: runDir, grid: grid, opts: opts, journal: j, byID: map[string]*cellRun{}}
+	if len(recs) == 0 {
+		if err := j.Append(Record{Event: EventGrid, GridName: grid.Name, Fingerprint: grid.Fingerprint()}); err != nil {
+			return nil, err
+		}
+	}
+	st := ReplayState(recs)
+	for _, cell := range cells {
+		cr := &cellRun{cell: cell, status: StatusPending}
+		if cs := st.Cells[cell.ID]; cs != nil {
+			cr.status = cs.Status
+			cr.attempts = cs.Attempts
+			cr.fails = cs.Fails
+			cr.cause = cs.Cause
+			cr.tail = cs.StderrTail
+		}
+		c.cells = append(c.cells, cr)
+		c.byID[cell.ID] = cr
+	}
+	if err := c.reconcile(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// reconcile squares the journal's verdicts with what is actually on disk:
+// journaled completions must still verify (a corrupt published cell is
+// demoted and re-run), and verified published cells missing their
+// completion record are adopted. Work-dir debris from killed attempts is
+// cleared.
+func (c *Coordinator) reconcile() error {
+	for _, cr := range c.cells {
+		final := filepath.Join(c.runDir, CellsDirName, cr.cell.ID)
+		verified := dirVerifies(final)
+		switch {
+		case cr.status == StatusCompleted && !verified:
+			fmt.Fprintf(c.opts.Log, "fleet: cell %s: journaled complete but artifacts do not verify; re-running\n", cr.cell.ID)
+			if err := os.RemoveAll(final); err != nil {
+				return err
+			}
+			cr.status = StatusPending
+		case cr.status == StatusPending && verified:
+			// Died between artifact rename and journal append: the work is
+			// done and provably intact — adopt it instead of re-running.
+			if err := c.journal.Append(Record{Event: EventComplete, Cell: cr.cell.ID, Attempt: cr.attempts,
+				Cause: "adopted on resume: artifacts verified"}); err != nil {
+				return err
+			}
+			fmt.Fprintf(c.opts.Log, "fleet: cell %s: adopted verified artifacts on resume\n", cr.cell.ID)
+			cr.status = StatusCompleted
+		}
+	}
+	work := filepath.Join(c.runDir, WorkDirName)
+	entries, err := os.ReadDir(work)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if err := os.RemoveAll(filepath.Join(work, e.Name())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func dirVerifies(dir string) bool {
+	problems, err := report.VerifyDir(dir)
+	return err == nil && len(problems) == 0
+}
+
+// attempt outcomes.
+type outcome int
+
+const (
+	outCompleted outcome = iota
+	outFailed
+	outReclaimed
+	outCanceled
+)
+
+type dispatch struct {
+	cr      *cellRun
+	attempt int
+}
+
+type result struct {
+	cr      *cellRun
+	attempt int
+	out     outcome
+	cause   string
+	tail    string
+}
+
+// Run drives the grid to termination: every cell completed-and-verified or
+// quarantined-with-cause, then the merged corpus is (re)built. On context
+// cancellation it kills running workers and returns the context error; the
+// run directory stays resumable.
+func (c *Coordinator) Run(ctx context.Context) (*Summary, error) {
+	ready := make(chan dispatch)
+	done := make(chan result)
+	var wg sync.WaitGroup
+	for i := 0; i < c.opts.Workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for d := range ready {
+				done <- c.runAttempt(ctx, d)
+			}
+		}()
+	}
+
+	inflight := 0
+	cancelled := false
+	for {
+		if inflight == 0 && (cancelled || c.allTerminal()) {
+			break
+		}
+		var sendCh chan dispatch
+		var d dispatch
+		var timerC <-chan time.Time
+		if !cancelled {
+			now := time.Now()
+			if cr := c.nextReady(now); cr != nil {
+				d = dispatch{cr: cr, attempt: cr.attempts + 1}
+				sendCh = ready
+			} else if wait, ok := c.nextReadyIn(now); ok {
+				t := time.NewTimer(wait)
+				defer t.Stop()
+				timerC = t.C
+			}
+		}
+		select {
+		case sendCh <- d:
+			d.cr.running = true
+			d.cr.attempts = d.attempt
+			inflight++
+			if err := c.journal.Append(Record{Event: EventLease, Cell: d.cr.cell.ID, Attempt: d.attempt}); err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(c.opts.Log, "fleet: cell %s: attempt %d leased\n", d.cr.cell.ID, d.attempt)
+		case r := <-done:
+			inflight--
+			r.cr.running = false
+			if err := c.settle(r); err != nil {
+				return nil, err
+			}
+		case <-timerC:
+		case <-ctx.Done():
+			cancelled = true
+		}
+	}
+	close(ready)
+	wg.Wait()
+	if cancelled {
+		return nil, fmt.Errorf("fleet: interrupted: %w", ctx.Err())
+	}
+
+	mergedDir, err := c.merge()
+	if err != nil {
+		return nil, err
+	}
+	sum := &Summary{Cells: len(c.cells), MergedDir: mergedDir}
+	for _, cr := range c.cells {
+		switch cr.status {
+		case StatusCompleted:
+			sum.Completed++
+		case StatusQuarantined:
+			sum.Quarantined = append(sum.Quarantined, QuarantinedCell{ID: cr.cell.ID, Cause: cr.cause, StderrTail: cr.tail})
+		}
+	}
+	return sum, nil
+}
+
+// settle applies one attempt's outcome to the cell state and journal.
+func (c *Coordinator) settle(r result) error {
+	cr := r.cr
+	switch r.out {
+	case outCompleted:
+		cr.status = StatusCompleted
+		fmt.Fprintf(c.opts.Log, "fleet: cell %s: completed and verified (attempt %d)\n", cr.cell.ID, r.attempt)
+		return c.journal.Append(Record{Event: EventComplete, Cell: cr.cell.ID, Attempt: r.attempt})
+	case outCanceled:
+		// Interrupted by shutdown, not by the cell: no failure charged;
+		// the open lease replays as pending.
+		return nil
+	case outFailed, outReclaimed:
+		cr.fails++
+		cr.cause = r.cause
+		cr.tail = r.tail
+		ev := EventFail
+		if r.out == outReclaimed {
+			ev = EventReclaim
+		}
+		if err := c.journal.Append(Record{Event: ev, Cell: cr.cell.ID, Attempt: r.attempt,
+			Cause: r.cause, StderrTail: r.tail}); err != nil {
+			return err
+		}
+		if cr.fails >= c.opts.MaxAttempts {
+			cr.status = StatusQuarantined
+			fmt.Fprintf(c.opts.Log, "fleet: cell %s: quarantined after %d failures: %s\n", cr.cell.ID, cr.fails, r.cause)
+			return c.journal.Append(Record{Event: EventQuarantine, Cell: cr.cell.ID, Attempt: r.attempt,
+				Cause: fmt.Sprintf("%d failed attempts; last: %s", cr.fails, r.cause), StderrTail: r.tail})
+		}
+		cr.readyAt = time.Now().Add(c.backoff(cr.fails))
+		fmt.Fprintf(c.opts.Log, "fleet: cell %s: attempt %d failed (%s); retrying\n", cr.cell.ID, r.attempt, r.cause)
+		return nil
+	}
+	return nil
+}
+
+// backoff is the deterministic retry delay: base × 2^(fails-1), capped.
+func (c *Coordinator) backoff(fails int) time.Duration {
+	d := c.opts.BackoffBase
+	for i := 1; i < fails && d < 32*c.opts.BackoffBase; i++ {
+		d *= 2
+	}
+	return d
+}
+
+func (c *Coordinator) allTerminal() bool {
+	for _, cr := range c.cells {
+		if cr.status == StatusPending {
+			return false
+		}
+	}
+	return true
+}
+
+// nextReady returns the first pending, non-running cell whose backoff has
+// elapsed, in deterministic grid order.
+func (c *Coordinator) nextReady(now time.Time) *cellRun {
+	for _, cr := range c.cells {
+		if cr.status == StatusPending && !cr.running && !now.Before(cr.readyAt) {
+			return cr
+		}
+	}
+	return nil
+}
+
+// nextReadyIn returns how long until some pending cell leaves backoff.
+func (c *Coordinator) nextReadyIn(now time.Time) (time.Duration, bool) {
+	var best time.Duration
+	found := false
+	for _, cr := range c.cells {
+		if cr.status != StatusPending || cr.running {
+			continue
+		}
+		d := cr.readyAt.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+		if !found || d < best {
+			best, found = d, true
+		}
+	}
+	return best, found
+}
+
+// runAttempt executes one worker subprocess for a cell and classifies the
+// result. It owns the full lease lifecycle: heartbeat intake from the
+// worker's stdout, the expiry watchdog, and the process-group kill that
+// backs both reclamation and shutdown.
+func (c *Coordinator) runAttempt(ctx context.Context, d dispatch) result {
+	cr, attempt := d.cr, d.attempt
+	id := cr.cell.ID
+	workDir := filepath.Join(c.runDir, WorkDirName, fmt.Sprintf("%s.attempt-%d", id, attempt))
+	cellFile := workDir + ".cell.json"
+	fail := func(cause string) result {
+		return result{cr: cr, attempt: attempt, out: outFailed, cause: cause}
+	}
+	if err := os.RemoveAll(workDir); err != nil {
+		return fail(err.Error())
+	}
+	if err := os.MkdirAll(workDir, 0o755); err != nil {
+		return fail(err.Error())
+	}
+	cellData, err := jsonMarshalIndent(cr.cell)
+	if err != nil {
+		return fail(err.Error())
+	}
+	if err := atomicio.WriteFile(cellFile, cellData, 0o644); err != nil {
+		return fail(err.Error())
+	}
+
+	cmd := exec.Command(c.opts.Executable)
+	cmd.Env = append(os.Environ(),
+		EnvCellFile+"="+cellFile,
+		EnvOutDir+"="+workDir,
+		EnvCheckpointDir+"="+filepath.Join(c.runDir, CheckpointsDirName, id),
+		EnvAttempt+"="+fmt.Sprint(attempt),
+		EnvHeartbeat+"="+c.opts.Heartbeat.String(),
+	)
+	if c.opts.WorkerEnv != nil {
+		cmd.Env = append(cmd.Env, c.opts.WorkerEnv(cr.cell, attempt)...)
+	}
+	// Each worker gets its own process group, so a reclaim kill reaps the
+	// worker and anything it spawned — a half-dead worker cannot linger.
+	cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return fail(err.Error())
+	}
+	tail := newTailBuffer(4096)
+	cmd.Stderr = tail
+	if err := cmd.Start(); err != nil {
+		return fail("start worker: " + err.Error())
+	}
+	kill := func() {
+		_ = syscall.Kill(-cmd.Process.Pid, syscall.SIGKILL)
+	}
+
+	ls := newLease(attempt, time.Now())
+	// Heartbeat intake. A heartbeat that arrives after the watchdog
+	// reclaimed the lease (pipe buffering, scheduling) is ignored: beat
+	// refuses to resurrect a reclaimed lease.
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		buf := make([]byte, 256)
+		for {
+			n, err := stdout.Read(buf)
+			if n > 0 {
+				ls.beat(attempt, time.Now())
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	// Watchdog: reclaim and kill on heartbeat silence. Shutdown: kill on
+	// context cancellation.
+	watchStop := make(chan struct{})
+	var watch sync.WaitGroup
+	watch.Add(1)
+	go func() {
+		defer watch.Done()
+		tick := time.NewTicker(c.opts.LeaseTTL / 4)
+		defer tick.Stop()
+		for {
+			select {
+			case <-watchStop:
+				return
+			case <-ctx.Done():
+				kill()
+				return
+			case <-tick.C:
+				if ls.expired(time.Now(), c.opts.LeaseTTL) && ls.reclaim() {
+					kill()
+					return
+				}
+			}
+		}
+	}()
+
+	waitErr := cmd.Wait()
+	close(watchStop)
+	watch.Wait()
+	<-hbDone
+
+	if ctx.Err() != nil {
+		_ = os.RemoveAll(workDir)
+		_ = os.Remove(cellFile)
+		return result{cr: cr, attempt: attempt, out: outCanceled}
+	}
+	ls.mu.Lock()
+	reclaimed := ls.reclaimed
+	ls.mu.Unlock()
+	if reclaimed {
+		_ = os.RemoveAll(workDir)
+		_ = os.Remove(cellFile)
+		return result{cr: cr, attempt: attempt, out: outReclaimed,
+			cause: "lease expired: no heartbeat within deadline", tail: tail.String()}
+	}
+	if waitErr != nil {
+		_ = os.RemoveAll(workDir)
+		_ = os.Remove(cellFile)
+		return result{cr: cr, attempt: attempt, out: outFailed,
+			cause: "worker " + waitErr.Error(), tail: tail.String()}
+	}
+	// Clean exit: acceptance is gated on the manifest check. Corrupt
+	// output is a retryable failure, never merged.
+	if problems, err := report.VerifyDir(workDir); err != nil || len(problems) > 0 {
+		cause := "output failed verification"
+		if err != nil {
+			cause += ": " + err.Error()
+		} else {
+			cause += fmt.Sprintf(": %d problem(s), first: %s", len(problems), problems[0])
+		}
+		_ = os.RemoveAll(workDir)
+		_ = os.Remove(cellFile)
+		return result{cr: cr, attempt: attempt, out: outFailed, cause: cause, tail: tail.String()}
+	}
+	if err := c.accept(id, workDir); err != nil {
+		_ = os.RemoveAll(workDir)
+		_ = os.Remove(cellFile)
+		return result{cr: cr, attempt: attempt, out: outFailed, cause: "accept: " + err.Error(), tail: tail.String()}
+	}
+	_ = os.Remove(cellFile)
+	// The cell is published; its checkpoints are no longer needed.
+	_ = os.RemoveAll(filepath.Join(c.runDir, CheckpointsDirName, id))
+	return result{cr: cr, attempt: attempt, out: outCompleted}
+}
+
+// accept atomically publishes a verified attempt directory as the cell's
+// final artifact directory. It is idempotent: if a verified directory is
+// already published (a double completion — the same cell accepted twice,
+// or an adoption racing a late attempt), the new copy is discarded and the
+// existing one stands.
+func (c *Coordinator) accept(id, workDir string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	final := filepath.Join(c.runDir, CellsDirName, id)
+	if _, err := os.Stat(final); err == nil {
+		if dirVerifies(final) {
+			return os.RemoveAll(workDir)
+		}
+		// A corrupt earlier publication loses to the freshly verified one.
+		if err := os.RemoveAll(final); err != nil {
+			return err
+		}
+	}
+	if err := os.Rename(workDir, final); err != nil {
+		return err
+	}
+	// Fsync the parent so the publish survives power loss, mirroring
+	// atomicio's rename rule.
+	dirf, err := os.Open(filepath.Join(c.runDir, CellsDirName))
+	if err != nil {
+		return err
+	}
+	defer dirf.Close()
+	return dirf.Sync()
+}
+
+// tailBuffer keeps the last cap bytes written — the stderr tail that goes
+// into fail and quarantine records.
+type tailBuffer struct {
+	mu  sync.Mutex
+	cap int
+	buf []byte
+}
+
+func newTailBuffer(capacity int) *tailBuffer {
+	return &tailBuffer{cap: capacity}
+}
+
+func (t *tailBuffer) Write(p []byte) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.buf = append(t.buf, p...)
+	if len(t.buf) > t.cap {
+		t.buf = t.buf[len(t.buf)-t.cap:]
+	}
+	return len(p), nil
+}
+
+func (t *tailBuffer) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return string(t.buf)
+}
+
+func jsonMarshalIndent(v any) ([]byte, error) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

@@ -1,0 +1,218 @@
+// Package fleet runs a declarative experiment grid — seeds × scenario
+// knobs — across crash-isolated worker subprocesses, and survives every way
+// a worker can die: a coordinator hands out per-cell leases with heartbeat
+// deadlines, reclaims and retries the cells of hung or killed workers with
+// bounded deterministic backoff, quarantines cells that keep failing
+// (recording the cause and stderr tail instead of wedging the run), and
+// journals every state change append-only so a killed run resumes without
+// re-running completed cells. Per-cell artifacts go through the existing
+// checkpoint + manifest machinery: report.VerifyDir gates acceptance, and
+// the final merge into a cross-scenario comparison corpus is deterministic
+// — a resumed run's merged output is byte-identical to an uninterrupted
+// one.
+package fleet
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/ethpbs/pbslab/internal/cli"
+	"github.com/ethpbs/pbslab/internal/sim"
+)
+
+// Grid is the declarative experiment specification: a base scenario shape
+// plus axes whose cross product forms the cells. Empty axes contribute the
+// scenario default. The knob syntaxes are exactly the CLI's (internal/cli
+// Knobs), so a grid axis value can always be reproduced by hand with
+// cmd/pbslab flags.
+type Grid struct {
+	// Name labels the run in the merged corpus.
+	Name string `json:"name"`
+	// Seeds is the scenario-seed axis (required, at least one).
+	Seeds []uint64 `json:"seeds"`
+	// Days truncates the paper window per cell (0 = full window).
+	Days int `json:"days"`
+	// BlocksPerDay scales slot cadence per cell (0 = the default 24).
+	BlocksPerDay int `json:"blocks_per_day"`
+	// Users overrides the demand population (0 = default).
+	Users int `json:"users,omitempty"`
+	// Validators overrides the consensus-set size (0 = default).
+	Validators int `json:"validators,omitempty"`
+
+	// PrivateFlow is the private user-flow share axis, values in [0, 1].
+	PrivateFlow []float64 `json:"private_flow,omitempty"`
+	// SmallBuilders is the long-tail builder population axis.
+	SmallBuilders []int `json:"small_builders,omitempty"`
+	// OFACLag is the blacklist-schedule axis ("" = calibrated lags;
+	// otherwise the -ofac-lag syntax, e.g. "*=+5d").
+	OFACLag []string `json:"ofac_lag,omitempty"`
+	// RelayOutages is the outage-calendar axis ("" = default calendar;
+	// "none" clears it; otherwise the -relay-outages syntax).
+	RelayOutages []string `json:"relay_outages,omitempty"`
+	// EPBS toggles the enshrined-PBS settlement replay metric per cell.
+	EPBS []bool `json:"epbs,omitempty"`
+}
+
+// Cell is one grid point: a fully resolved scenario assignment.
+type Cell struct {
+	ID            string  `json:"id"`
+	Seed          uint64  `json:"seed"`
+	Days          int     `json:"days"`
+	BlocksPerDay  int     `json:"blocks_per_day"`
+	Users         int     `json:"users,omitempty"`
+	Validators    int     `json:"validators,omitempty"`
+	PrivateFlow   float64 `json:"private_flow"` // cli.Unset = default
+	SmallBuilders int     `json:"small_builders"`
+	OFACLag       string  `json:"ofac_lag,omitempty"`
+	RelayOutages  string  `json:"relay_outages,omitempty"`
+	EPBS          bool    `json:"epbs,omitempty"`
+}
+
+// Scenario resolves the cell into a validated simulation scenario.
+func (c Cell) Scenario() (sim.Scenario, error) {
+	sc := sim.DefaultScenario()
+	sc.Seed = c.Seed
+	if c.BlocksPerDay > 0 {
+		sc.BlocksPerDay = c.BlocksPerDay
+	}
+	if c.Days > 0 {
+		sc.End = sc.Start.Add(time.Duration(c.Days) * 24 * time.Hour)
+	}
+	if c.Users > 0 {
+		sc.Demand.Users = c.Users
+	}
+	if c.Validators > 0 {
+		sc.Validators = c.Validators
+	}
+	// One cell = one worker process: keep each cell single-threaded and
+	// let the fleet's parallelism come from the process grid.
+	sc.CollectWorkers = 1
+	knobs := cli.Knobs{
+		PrivateFlow:   c.PrivateFlow,
+		SmallBuilders: c.SmallBuilders,
+		OFACLag:       c.OFACLag,
+		RelayOutages:  c.RelayOutages,
+	}
+	if err := knobs.Apply(&sc); err != nil {
+		return sim.Scenario{}, fmt.Errorf("fleet: cell %s: %w", c.ID, err)
+	}
+	return sc, nil
+}
+
+// Slots returns the number of slot iterations the cell simulates (the
+// chaos planner uses it to aim kills inside the run).
+func (c Cell) Slots() int {
+	days, bpd := c.Days, c.BlocksPerDay
+	if bpd <= 0 {
+		bpd = 24
+	}
+	if days <= 0 {
+		days = 198 // full paper window
+	}
+	return days * bpd
+}
+
+// LoadGrid reads and validates a grid file.
+func LoadGrid(path string) (*Grid, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: read grid: %w", err)
+	}
+	g := &Grid{}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(g); err != nil {
+		return nil, fmt.Errorf("fleet: parse grid %s: %w", path, err)
+	}
+	if _, err := g.Expand(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Fingerprint identifies the grid's full content; resume refuses to
+// continue a run directory whose journal recorded a different grid.
+func (g *Grid) Fingerprint() string {
+	data, err := json.Marshal(g)
+	if err != nil {
+		panic(err) // Grid is plain data; Marshal cannot fail
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// Expand validates the grid and produces its cells in a deterministic
+// order: the cross product seeds × private-flow × small-builders ×
+// ofac-lag × relay-outages × epbs, each axis in file order. Cell IDs are
+// built from axis indices, so they are stable for a fixed grid file.
+func (g *Grid) Expand() ([]Cell, error) {
+	if len(g.Seeds) == 0 {
+		return nil, fmt.Errorf("fleet: grid %q: seeds must list at least one seed", g.Name)
+	}
+	if g.Days < 0 || g.BlocksPerDay < 0 || g.Users < 0 || g.Validators < 0 {
+		return nil, fmt.Errorf("fleet: grid %q: days, blocks_per_day, users, validators must be >= 0", g.Name)
+	}
+	pf := g.PrivateFlow
+	if len(pf) == 0 {
+		pf = []float64{cli.Unset}
+	}
+	sb := g.SmallBuilders
+	if len(sb) == 0 {
+		sb = []int{cli.Unset}
+	}
+	lag := g.OFACLag
+	if len(lag) == 0 {
+		lag = []string{""}
+	}
+	out := g.RelayOutages
+	if len(out) == 0 {
+		out = []string{""}
+	}
+	ep := g.EPBS
+	if len(ep) == 0 {
+		ep = []bool{false}
+	}
+	var cells []Cell
+	for _, seed := range g.Seeds {
+		for pi, p := range pf {
+			for bi, b := range sb {
+				for li, l := range lag {
+					for oi, o := range out {
+						for _, e := range ep {
+							epbsTag := 0
+							if e {
+								epbsTag = 1
+							}
+							c := Cell{
+								ID: fmt.Sprintf("s%d-pf%d-sb%d-lag%d-out%d-epbs%d",
+									seed, pi, bi, li, oi, epbsTag),
+								Seed:          seed,
+								Days:          g.Days,
+								BlocksPerDay:  g.BlocksPerDay,
+								Users:         g.Users,
+								Validators:    g.Validators,
+								PrivateFlow:   p,
+								SmallBuilders: b,
+								OFACLag:       l,
+								RelayOutages:  o,
+								EPBS:          e,
+							}
+							// Validate every knob combination up front: a
+							// grid with one bad cell fails before any work.
+							if _, err := c.Scenario(); err != nil {
+								return nil, err
+							}
+							cells = append(cells, c)
+						}
+					}
+				}
+			}
+		}
+	}
+	return cells, nil
+}

@@ -1,0 +1,228 @@
+// The run journal: an append-only JSON-lines file of cell state
+// transitions, fsynced per record, so a killed coordinator loses at most
+// the record being written — and a torn final line is tolerated on replay.
+// The journal is the run's source of truth for resume: completed and
+// quarantined cells are never re-run, interrupted leases fall back to
+// pending with their failure count preserved.
+
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Journal event kinds.
+const (
+	// EventGrid opens a run: records the grid name and fingerprint.
+	EventGrid = "grid"
+	// EventLease marks an attempt handed to a worker.
+	EventLease = "lease"
+	// EventComplete marks a cell's artifacts verified and published.
+	EventComplete = "complete"
+	// EventFail marks an attempt that exited with an error or produced
+	// output that failed verification (the cell stays retryable).
+	EventFail = "fail"
+	// EventReclaim marks a lease revoked after its heartbeat deadline
+	// passed (hung or vanished worker); counts as a failure.
+	EventReclaim = "reclaim"
+	// EventQuarantine marks a cell permanently set aside after exhausting
+	// its retry budget, with the cause and last stderr tail.
+	EventQuarantine = "quarantine"
+)
+
+// Record is one journal line.
+type Record struct {
+	Seq         int    `json:"seq"`
+	Event       string `json:"event"`
+	Cell        string `json:"cell,omitempty"`
+	Attempt     int    `json:"attempt,omitempty"`
+	Cause       string `json:"cause,omitempty"`
+	StderrTail  string `json:"stderr_tail,omitempty"`
+	GridName    string `json:"grid_name,omitempty"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Time is wall-clock (RFC3339, for operators reading the journal); it
+	// never feeds the merged corpus, which must be time-independent.
+	Time string `json:"time,omitempty"`
+}
+
+// Journal appends fsynced records to a JSON-lines file; safe for
+// concurrent appenders (worker slots report results concurrently).
+type Journal struct {
+	mu  sync.Mutex
+	f   *os.File
+	seq int
+}
+
+// JournalName is the journal file inside a run directory.
+const JournalName = "journal.jsonl"
+
+// OpenJournal opens (creating if needed) the run journal for appending,
+// continuing the sequence numbering after the last replayable record.
+func OpenJournal(runDir string) (*Journal, error) {
+	path := filepath.Join(runDir, JournalName)
+	recs, err := ReplayJournal(runDir)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: open journal: %w", err)
+	}
+	seq := 0
+	if n := len(recs); n > 0 {
+		seq = recs[n-1].Seq
+	}
+	return &Journal{f: f, seq: seq}, nil
+}
+
+// Append writes one record (sequence number and timestamp filled in) and
+// fsyncs before returning: once Append returns, the transition survives a
+// crash.
+func (j *Journal) Append(rec Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.seq++
+	rec.Seq = j.seq
+	rec.Time = time.Now().UTC().Format(time.RFC3339Nano)
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("fleet: journal encode: %w", err)
+	}
+	data = append(data, '\n')
+	if _, err := j.f.Write(data); err != nil {
+		return fmt.Errorf("fleet: journal append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("fleet: journal sync: %w", err)
+	}
+	return nil
+}
+
+// Close closes the journal file.
+func (j *Journal) Close() error { return j.f.Close() }
+
+// ReplayJournal reads every replayable record from a run directory's
+// journal. A missing journal is an empty history. A torn final line — the
+// record a killed coordinator was writing — is ignored; torn or corrupt
+// content anywhere earlier is an error, because it means the file was not
+// written append-only.
+func ReplayJournal(runDir string) ([]Record, error) {
+	path := filepath.Join(runDir, JournalName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("fleet: read journal: %w", err)
+	}
+	var recs []Record
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	var torn bool
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if torn {
+			return nil, fmt.Errorf("fleet: journal %s: corrupt record at line %d (not the final line)", path, lineNo-1)
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// Possibly the torn final record; only acceptable if nothing
+			// follows.
+			torn = true
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("fleet: scan journal: %w", err)
+	}
+	return recs, nil
+}
+
+// CellStatus is a cell's replayed lifecycle state.
+type CellStatus string
+
+// Cell lifecycle states.
+const (
+	StatusPending     CellStatus = "pending"
+	StatusCompleted   CellStatus = "completed"
+	StatusQuarantined CellStatus = "quarantined"
+)
+
+// CellState is the per-cell summary of a journal replay.
+type CellState struct {
+	Status CellStatus
+	// Attempts is the highest attempt number leased so far.
+	Attempts int
+	// Fails counts recorded failures and reclaims (the quarantine budget).
+	Fails int
+	// Cause and StderrTail carry the quarantine diagnosis.
+	Cause      string
+	StderrTail string
+}
+
+// RunState is the full replayed state of a run directory.
+type RunState struct {
+	GridName    string
+	Fingerprint string
+	Cells       map[string]*CellState
+}
+
+// ReplayState folds a journal into per-cell states. Cells never mentioned
+// are absent (callers treat them as pending with zero attempts).
+func ReplayState(recs []Record) *RunState {
+	st := &RunState{Cells: map[string]*CellState{}}
+	get := func(cell string) *CellState {
+		cs := st.Cells[cell]
+		if cs == nil {
+			cs = &CellState{Status: StatusPending}
+			st.Cells[cell] = cs
+		}
+		return cs
+	}
+	for _, rec := range recs {
+		switch rec.Event {
+		case EventGrid:
+			st.GridName = rec.GridName
+			st.Fingerprint = rec.Fingerprint
+		case EventLease:
+			cs := get(rec.Cell)
+			if rec.Attempt > cs.Attempts {
+				cs.Attempts = rec.Attempt
+			}
+		case EventFail, EventReclaim:
+			cs := get(rec.Cell)
+			cs.Fails++
+			cs.Cause = rec.Cause
+			cs.StderrTail = rec.StderrTail
+		case EventComplete:
+			// Idempotent: later completions of an already-completed cell
+			// (a zombie attempt finishing after a reclaim) change nothing.
+			get(rec.Cell).Status = StatusCompleted
+		case EventQuarantine:
+			cs := get(rec.Cell)
+			if cs.Status != StatusCompleted {
+				cs.Status = StatusQuarantined
+			}
+			if rec.Cause != "" {
+				cs.Cause = rec.Cause
+			}
+			if rec.StderrTail != "" {
+				cs.StderrTail = rec.StderrTail
+			}
+		}
+	}
+	return st
+}

@@ -2,9 +2,13 @@ package relay
 
 import "time"
 
-// neverApplied marks an OFAC wave a relay never enforced during the
-// measurement window.
-var neverApplied = time.Date(9999, 1, 1, 0, 0, 0, 0, time.UTC)
+// NeverApplied marks an OFAC wave a relay never enforced during the
+// measurement window. Scenario knobs (internal/cli, the fleet grid) use it
+// to declare "this wave never reaches the blacklist" overrides.
+var NeverApplied = time.Date(9999, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// neverApplied is the historical internal alias.
+var neverApplied = NeverApplied
 
 // Incident timestamps from the paper.
 var (

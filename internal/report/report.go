@@ -251,3 +251,19 @@ func WriteAllExtraContext(ctx context.Context, a *core.Analysis, dir string, ext
 	}
 	return errors.Join(errs...)
 }
+
+// WriteArtifacts lands caller-assembled artifacts in dir under a covering
+// manifest, exactly like the rendered figure set: every file atomic, the
+// manifest last, the directory verifiable with VerifyDir. The fleet merge
+// uses it to publish the cross-scenario comparison corpus.
+func WriteArtifacts(dir string, arts []Artifact) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, art := range arts {
+		if art.Err != nil {
+			return fmt.Errorf("report: %s: %w", art.Name, art.Err)
+		}
+	}
+	return writeArtifacts(dir, arts)
+}

@@ -325,6 +325,7 @@ func TestServeDrainUnderConcurrentLoad(t *testing.T) {
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var complete, refused int
+	started := make(chan struct{}, clients)
 	for i := 0; i < clients; i++ {
 		wg.Add(1)
 		go func() {
@@ -335,6 +336,10 @@ func TestServeDrainUnderConcurrentLoad(t *testing.T) {
 				refused++ // dial/transport refusal: request never admitted
 				mu.Unlock()
 				return
+			}
+			select {
+			case started <- struct{}{}:
+			default:
 			}
 			defer resp.Body.Close()
 			body, err := io.ReadAll(resp.Body)
@@ -351,7 +356,10 @@ func TestServeDrainUnderConcurrentLoad(t *testing.T) {
 			mu.Unlock()
 		}()
 	}
-	time.Sleep(2 * time.Millisecond) // let the wave start arriving
+	// Drain only once at least one request has been answered: a fixed
+	// sleep races the dial wave on a slow or loaded host, and losing that
+	// race drains before anything was accepted (complete == 0).
+	<-started
 	if err := s.Drain(context.Background()); err != nil {
 		t.Fatalf("drain not clean: %v", err)
 	}

@@ -127,6 +127,11 @@ type RunOptions struct {
 	// boundary's checkpoint is written — with the zero-based day index
 	// being entered. Tests use it to interrupt at exact positions.
 	OnDay func(day int)
+	// OnSlot, when set, is called after every slot iteration (processed or
+	// missed) with the slot number just finished. The fleet worker uses it
+	// for heartbeat pacing and process-fault injection; it runs on the
+	// simulation goroutine and must not touch the scenario's RNG streams.
+	OnSlot func(slot uint64)
 	// Workers sets the slot-engine parallelism: builder block construction
 	// and relay block validations fan out over a bounded worker pool.
 	// 0 means GOMAXPROCS; 1 selects the sequential legacy path. Results are
@@ -259,6 +264,9 @@ func RunOpts(ctx context.Context, sc Scenario, opts RunOptions) (*Result, error)
 		now := time.Unix(int64(ts), 0).UTC()
 		if rs.slotRng.Bool(sc.MissedSlotProb) {
 			rs.truth.MissedSlots++
+			if opts.OnSlot != nil {
+				opts.OnSlot(rs.slot)
+			}
 			continue
 		}
 		view.reset()
@@ -406,6 +414,9 @@ func RunOpts(ctx context.Context, sc Scenario, opts RunOptions) (*Result, error)
 		}
 		for _, r := range w.Relays {
 			r.PruneSlot(rs.slot - 2)
+		}
+		if opts.OnSlot != nil {
+			opts.OnSlot(rs.slot)
 		}
 		rs.slotsSinceChurn++
 		if rs.slotsSinceChurn >= 200 {

@@ -89,6 +89,13 @@ func (o *Options) fill() error {
 	if o.Heartbeat <= 0 {
 		o.Heartbeat = o.LeaseTTL / 5
 	}
+	// A heartbeat period at or past half the lease TTL leaves no slack for
+	// scheduling jitter: every attempt would be reclaimed as hung and the
+	// whole grid would quarantine with a misleading no-heartbeat cause.
+	if o.Heartbeat >= o.LeaseTTL/2 {
+		return fmt.Errorf("fleet: heartbeat period %v must be under half the lease TTL %v, or every attempt will be reclaimed as hung",
+			o.Heartbeat, o.LeaseTTL)
+	}
 	if o.BackoffBase <= 0 {
 		o.BackoffBase = 250 * time.Millisecond
 	}
@@ -275,6 +282,17 @@ func (c *Coordinator) reconcile() error {
 			}
 			cr.status = StatusPending
 		case cr.status == StatusPending && verified:
+			// Cell IDs encode axis indices, not values: a verified directory
+			// left behind by a different grid (journal removed, cells/ kept)
+			// can carry the same ID for different knob settings. Only adopt
+			// artifacts whose recorded cell spec is exactly this cell.
+			if !publishedCellMatches(final, cr.cell) {
+				fmt.Fprintf(c.opts.Log, "fleet: cell %s: verified artifacts record a different cell spec; re-running\n", cr.cell.ID)
+				if err := os.RemoveAll(final); err != nil {
+					return err
+				}
+				continue
+			}
 			// Died between artifact rename and journal append: the work is
 			// done and provably intact — adopt it instead of re-running.
 			if err := c.journal.Append(Record{Event: EventComplete, Cell: cr.cell.ID, Attempt: cr.attempts,
@@ -301,6 +319,13 @@ func (c *Coordinator) reconcile() error {
 func dirVerifies(dir string) bool {
 	problems, err := report.VerifyDir(dir)
 	return err == nil && len(problems) == 0
+}
+
+// publishedCellMatches reports whether a published cell directory's
+// summary records exactly this cell spec.
+func publishedCellMatches(dir string, cell Cell) bool {
+	sum, err := readCellSummary(dir)
+	return err == nil && sum.Cell == cell
 }
 
 // attempt outcomes.
@@ -331,8 +356,15 @@ type result struct {
 // cancellation it kills running workers and returns the context error; the
 // run directory stays resumable.
 func (c *Coordinator) Run(ctx context.Context) (*Summary, error) {
+	// Run-scoped context: an error return mid-loop (journal append or
+	// settle failure) cancels it, so the watchdogs kill in-flight workers
+	// instead of leaking live subprocesses past Run.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	ready := make(chan dispatch)
-	done := make(chan result)
+	// Buffered to Workers so every worker can deposit its final result and
+	// observe the closed ready channel even after Run stops draining done.
+	done := make(chan result, c.opts.Workers)
 	var wg sync.WaitGroup
 	for i := 0; i < c.opts.Workers; i++ {
 		wg.Add(1)
@@ -343,9 +375,20 @@ func (c *Coordinator) Run(ctx context.Context) (*Summary, error) {
 			}
 		}()
 	}
+	readyOpen := true
+	shutdown := func() {
+		cancel()
+		if readyOpen {
+			close(ready)
+			readyOpen = false
+		}
+		wg.Wait()
+	}
+	defer shutdown()
 
 	inflight := 0
 	cancelled := false
+	var timer *time.Timer
 	for {
 		if inflight == 0 && (cancelled || c.allTerminal()) {
 			break
@@ -359,9 +402,8 @@ func (c *Coordinator) Run(ctx context.Context) (*Summary, error) {
 				d = dispatch{cr: cr, attempt: cr.attempts + 1}
 				sendCh = ready
 			} else if wait, ok := c.nextReadyIn(now); ok {
-				t := time.NewTimer(wait)
-				defer t.Stop()
-				timerC = t.C
+				timer = time.NewTimer(wait)
+				timerC = timer.C
 			}
 		}
 		select {
@@ -383,8 +425,13 @@ func (c *Coordinator) Run(ctx context.Context) (*Summary, error) {
 		case <-ctx.Done():
 			cancelled = true
 		}
+		if timer != nil {
+			timer.Stop()
+			timer = nil
+		}
 	}
 	close(ready)
+	readyOpen = false
 	wg.Wait()
 	if cancelled {
 		return nil, fmt.Errorf("fleet: interrupted: %w", ctx.Err())

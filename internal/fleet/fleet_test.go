@@ -105,6 +105,27 @@ func TestLeaseExpiry(t *testing.T) {
 	}
 }
 
+func TestOptionsRejectHeartbeatSlowerThanLease(t *testing.T) {
+	// -heartbeat >= -lease/2 would reclaim every attempt as hung and
+	// quarantine the whole grid; fill must refuse the pair up front.
+	for _, hb := range []time.Duration{time.Second, 2 * time.Second, 5 * time.Second} {
+		o := Options{LeaseTTL: 2 * time.Second, Heartbeat: hb}
+		if err := o.fill(); err == nil {
+			t.Errorf("heartbeat %v against lease 2s accepted; want an error", hb)
+		} else if !strings.Contains(err.Error(), "heartbeat") {
+			t.Errorf("error %q does not name the heartbeat", err)
+		}
+	}
+	ok := Options{LeaseTTL: 2 * time.Second, Heartbeat: 500 * time.Millisecond}
+	if err := ok.fill(); err != nil {
+		t.Errorf("heartbeat lease/4 rejected: %v", err)
+	}
+	def := Options{}
+	if err := def.fill(); err != nil {
+		t.Errorf("default options rejected: %v", err)
+	}
+}
+
 // --- journal replay ---
 
 func TestJournalTornFinalLineTolerated(t *testing.T) {
@@ -142,14 +163,63 @@ func TestJournalTornFinalLineTolerated(t *testing.T) {
 	if st.Cells["c1"].Status != StatusCompleted {
 		t.Errorf("c1 status %s, want completed", st.Cells["c1"].Status)
 	}
-	// And appending continues after the torn record's sequence point.
+	// And appending continues after the torn record's sequence point: the
+	// torn tail is truncated, so the new record starts on a clean line.
 	j2, err := OpenJournal(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer j2.Close()
 	if err := j2.Append(Record{Event: EventLease, Cell: "c2", Attempt: 1}); err != nil {
 		t.Fatal(err)
+	}
+	j2.Close()
+	// The double-crash scenario: a second resume after the post-torn append
+	// must replay clean and see the appended record — if the torn bytes were
+	// left in place, the append would have concatenated onto them and this
+	// replay would fail with a corrupt non-final line.
+	recs, err = ReplayJournal(dir)
+	if err != nil {
+		t.Fatalf("replay after post-torn append must be clean: %v", err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("replayed %d records after post-torn append, want 4", len(recs))
+	}
+	if last := recs[3]; last.Event != EventLease || last.Cell != "c2" || last.Seq != 4 {
+		t.Errorf("post-torn record replayed as %+v, want lease of c2 at seq 4", last)
+	}
+}
+
+func TestJournalUnterminatedFinalRecordDropped(t *testing.T) {
+	// A crash can tear the write so that exactly the JSON survives without
+	// its newline. That record's fsync never confirmed, so it is torn even
+	// though it parses — keeping it would make the next append concatenate.
+	dir := t.TempDir()
+	content := `{"seq":1,"event":"grid","grid_name":"g"}` + "\n" +
+		`{"seq":2,"event":"lease","cell":"c1","attempt":1}` // no trailing newline
+	if err := os.WriteFile(filepath.Join(dir, JournalName), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReplayJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("replayed %d records, want 1 (unterminated final record dropped)", len(recs))
+	}
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Event: EventLease, Cell: "c2", Attempt: 1}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	recs, err = ReplayJournal(dir)
+	if err != nil {
+		t.Fatalf("replay after append over unterminated tail: %v", err)
+	}
+	if len(recs) != 2 || recs[1].Cell != "c2" || recs[1].Seq != 2 {
+		t.Fatalf("replayed %+v, want grid then lease of c2 at seq 2", recs)
 	}
 }
 
@@ -499,6 +569,66 @@ func TestFleetAdoptsCellPublishedButNotJournaled(t *testing.T) {
 		if merged[name] != want {
 			t.Errorf("merged file %s changed across adoption resume", name)
 		}
+	}
+}
+
+// TestFleetAdoptionRejectsForeignCellSpec reuses a run directory whose
+// journal was removed but whose published cells survive, under a grid with
+// different knob values. Cell IDs encode axis indices (s5-pf0-...), so the
+// foreign artifacts collide on ID; adoption must compare the recorded cell
+// spec and re-run instead of merging another grid's numbers.
+func TestFleetAdoptionRejectsForeignCellSpec(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess fleet run")
+	}
+	dir := t.TempDir()
+	a := tinyGrid("foreign", 5)
+	a.PrivateFlow = []float64{0.06} // single cell: s5-pf0-...
+	runFleet(t, dir, a, testOpts(t), false)
+	if err := os.Remove(filepath.Join(dir, JournalName)); err != nil {
+		t.Fatal(err)
+	}
+
+	b := tinyGrid("foreign", 5)
+	b.PrivateFlow = []float64{0.3} // same cell ID, different knob value
+	sum := runFleet(t, dir, b, testOpts(t), false)
+	if sum.Completed != 1 {
+		t.Fatalf("completed %d cells, want 1", sum.Completed)
+	}
+	// The cell was re-run under grid B, not adopted from grid A's leftovers.
+	leases, adopted := 0, false
+	for _, rec := range journalEvents(t, dir) {
+		if rec.Event == EventLease {
+			leases++
+		}
+		if rec.Event == EventComplete && strings.Contains(rec.Cause, "adopted") {
+			adopted = true
+		}
+	}
+	if adopted {
+		t.Error("foreign artifacts with a different cell spec were adopted")
+	}
+	if leases == 0 {
+		t.Error("no lease recorded; the foreign cell was not re-run")
+	}
+	cells := mustExpand(t, b)
+	sumB, err := readCellSummary(filepath.Join(dir, CellsDirName, cells[0].ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sumB.Cell != cells[0] {
+		t.Errorf("published cell spec %+v, want grid B's %+v", sumB.Cell, cells[0])
+	}
+	var corpus FleetCorpus
+	data, err := os.ReadFile(filepath.Join(sum.MergedDir, FleetFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &corpus); err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus.Cells) != 1 || corpus.Cells[0].Cell.PrivateFlow != 0.3 {
+		t.Errorf("merged corpus carries %+v, want grid B's private_flow 0.3", corpus.Cells)
 	}
 }
 

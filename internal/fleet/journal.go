@@ -8,7 +8,6 @@
 package fleet
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -64,16 +63,35 @@ type Journal struct {
 const JournalName = "journal.jsonl"
 
 // OpenJournal opens (creating if needed) the run journal for appending,
-// continuing the sequence numbering after the last replayable record.
+// continuing the sequence numbering after the last replayable record. A
+// torn final line — the record a killed coordinator was writing — is
+// truncated away first, so the next append starts on a clean line; without
+// that, the appended record would concatenate onto the torn bytes and a
+// later replay would fail on a corrupt non-final line.
 func OpenJournal(runDir string) (*Journal, error) {
 	path := filepath.Join(runDir, JournalName)
-	recs, err := ReplayJournal(runDir)
+	recs, good, err := replayJournal(path)
 	if err != nil {
 		return nil, err
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("fleet: open journal: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("fleet: stat journal: %w", err)
+	}
+	if fi.Size() > good {
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("fleet: truncate torn journal tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("fleet: sync journal: %w", err)
+		}
 	}
 	seq := 0
 	if n := len(recs); n > 0 {
@@ -114,41 +132,59 @@ func (j *Journal) Close() error { return j.f.Close() }
 // content anywhere earlier is an error, because it means the file was not
 // written append-only.
 func ReplayJournal(runDir string) ([]Record, error) {
-	path := filepath.Join(runDir, JournalName)
+	recs, _, err := replayJournal(filepath.Join(runDir, JournalName))
+	return recs, err
+}
+
+// replayJournal additionally returns the byte offset just past the last
+// fully written record — the clean prefix OpenJournal keeps, truncating
+// whatever torn tail follows it. A final line missing its newline is torn
+// even when its bytes happen to parse: Append's fsync never confirmed it,
+// so dropping it is within the one-record loss budget, and keeping it
+// would let the next append concatenate onto an unterminated line.
+func replayJournal(path string) ([]Record, int64, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil, nil
+			return nil, 0, nil
 		}
-		return nil, fmt.Errorf("fleet: read journal: %w", err)
+		return nil, 0, fmt.Errorf("fleet: read journal: %w", err)
 	}
 	var recs []Record
-	sc := bufio.NewScanner(bytes.NewReader(data))
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	lineNo := 0
-	var torn bool
-	for sc.Scan() {
+	var good int64
+	lineNo, tornLine := 0, 0
+	off := 0
+	for off < len(data) {
 		lineNo++
-		line := bytes.TrimSpace(sc.Bytes())
+		end := bytes.IndexByte(data[off:], '\n')
+		if end < 0 {
+			// Unterminated final line: torn mid-write.
+			break
+		}
+		lineEnd := off + end
+		next := lineEnd + 1
+		line := bytes.TrimSpace(data[off:lineEnd])
+		off = next
 		if len(line) == 0 {
+			if tornLine == 0 {
+				good = int64(next)
+			}
 			continue
 		}
-		if torn {
-			return nil, fmt.Errorf("fleet: journal %s: corrupt record at line %d (not the final line)", path, lineNo-1)
+		if tornLine > 0 {
+			return nil, 0, fmt.Errorf("fleet: journal %s: corrupt record at line %d (not the final line)", path, tornLine)
 		}
 		var rec Record
 		if err := json.Unmarshal(line, &rec); err != nil {
 			// Possibly the torn final record; only acceptable if nothing
 			// follows.
-			torn = true
+			tornLine = lineNo
 			continue
 		}
 		recs = append(recs, rec)
+		good = int64(next)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("fleet: scan journal: %w", err)
-	}
-	return recs, nil
+	return recs, good, nil
 }
 
 // CellStatus is a cell's replayed lifecycle state.

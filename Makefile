@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check chaos chaos-fleet soak crawl bench bench-sim bench-serve bench-fleet clean
+.PHONY: all build vet test race check docs-lint chaos chaos-fleet soak crawl bench bench-sim bench-serve bench-fleet bench-scale clean
 
 all: check
 
@@ -25,11 +25,17 @@ race:
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
+	$(MAKE) docs-lint
 	$(GO) test -race ./internal/core/... ./internal/stats/...
 	$(GO) test ./...
 	$(MAKE) chaos
 	$(MAKE) chaos-fleet
 	$(MAKE) soak
+
+# Documentation gate: every package must carry a package comment (go/doc
+# is the contract for newcomers; a silent package is a lint failure).
+docs-lint:
+	$(GO) run ./cmd/docslint .
 
 # Crash-safety suite under the race detector: kill-and-resume goldens
 # (simulation checkpoints and byte-identical artifacts, on both the
@@ -77,6 +83,7 @@ bench:
 	mkdir -p out
 	$(GO) test -run '^$$' -bench . -benchtime 3x -timeout 1800s . | tee out/bench_pr2.txt
 	$(GO) run ./cmd/benchjson -o $(BENCH_OUT) out/bench_pr2.txt
+	$(MAKE) bench-scale
 
 # DESIGN.md §8 benchmark: the full-window simulation on the sequential path
 # (workers=1) vs the parallel slot engine (workers=4), recorded as
@@ -109,6 +116,17 @@ bench-fleet:
 	mkdir -p out
 	$(GO) test -run '^$$' -bench 'Fleet' -benchtime 3x -timeout 1800s ./internal/fleet | tee out/bench_pr6.txt
 	$(GO) run ./cmd/benchjson -o $(FLEET_BENCH_OUT) out/bench_pr6.txt
+
+# DESIGN.md §11 benchmark: the out-of-core corpus pipeline (chunked
+# day-segment ingest + streamed index build) at 1×/10×/100× the miniature
+# density — blocks/sec throughput and sampled peak heap, recorded as
+# derived.scale_rss_ratio_100x_vs_1x (acceptance: < 20) and
+# derived.scale_throughput_ratio_100x_vs_1x in BENCH_pr7.json.
+SCALE_BENCH_OUT ?= BENCH_pr7.json
+bench-scale:
+	mkdir -p out
+	$(GO) test -run '^$$' -bench 'CorpusScale' -timeout 1800s . | tee out/bench_pr7.txt
+	$(GO) run ./cmd/benchjson -o $(SCALE_BENCH_OUT) out/bench_pr7.txt
 
 clean:
 	$(GO) clean ./...

@@ -3,8 +3,9 @@
 // It parses the standard benchmark line format — name, iteration count,
 // ns/op, then any custom b.ReportMetric pairs — plus the goos/goarch/cpu
 // header, and derives the headline ratios the DESIGN.md experiments track:
-// figure_regen_speedup (§6), sim_speedup (§8), and the serving plane's
-// overload contract serve_shed_rate_16x / serve_p99_ratio_16x_vs_1x (§9).
+// figure_regen_speedup (§6), sim_speedup (§8), the serving plane's
+// overload contract serve_shed_rate_16x / serve_p99_ratio_16x_vs_1x (§9),
+// and the out-of-core scale contract scale_rss_ratio_100x_vs_1x (§11).
 //
 // Usage:
 //
@@ -157,6 +158,27 @@ func derive(rec *Record) {
 			rec.Derived = map[string]float64{}
 		}
 		rec.Derived["fleet_scaling_8x_vs_1x"] = f1.NsPerOp / f8.NsPerOp
+	}
+	// DESIGN.md §11: the out-of-core scale contract. The peak-RSS ratio at
+	// 100× the corpus density versus 1× must stay far below 100× (the
+	// acceptance gate is < 20), because the streamed index build never
+	// holds more than the common section plus one decoded day.
+	s1, okS1 := rec.Benchmarks["CorpusScale/scale=1x"]
+	s100, okS100 := rec.Benchmarks["CorpusScale/scale=100x"]
+	if okS1 && okS100 {
+		if rec.Derived == nil {
+			rec.Derived = map[string]float64{}
+		}
+		if r1, ok := s1.Metrics["peak_rss_mb"]; ok && r1 > 0 {
+			if r100, ok := s100.Metrics["peak_rss_mb"]; ok {
+				rec.Derived["scale_rss_ratio_100x_vs_1x"] = r100 / r1
+			}
+		}
+		if t1, ok := s1.Metrics["blocks_per_sec"]; ok && t1 > 0 {
+			if t100, ok := s100.Metrics["blocks_per_sec"]; ok {
+				rec.Derived["scale_throughput_ratio_100x_vs_1x"] = t100 / t1
+			}
+		}
 	}
 	if ok4 && f4.NsPerOp > 0 {
 		if res, ok := rec.Benchmarks["FleetResume"]; ok {

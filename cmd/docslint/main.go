@@ -1,0 +1,101 @@
+// Command docslint enforces the package-documentation contract: every Go
+// package in the tree must carry a package comment (a doc comment attached
+// to a `package` clause in at least one of its files, conventionally
+// doc.go). go/doc renders that comment as the package's front page; a
+// package without one is invisible to godoc readers, so `make check`
+// treats it as a lint failure.
+//
+// Usage:
+//
+//	go run ./cmd/docslint [root]
+//
+// Walks root (default ".") skipping hidden directories, testdata, and
+// scratch output; external test packages (package foo_test) are exempt.
+// Exits 1 listing every silent package.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// skipDir reports directories that never hold reviewable packages.
+func skipDir(name string) bool {
+	return strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+		name == "testdata" || name == "out" || name == "vendor"
+}
+
+// lintDir parses every non-test Go file in dir and reports the packages
+// that lack a package comment. Test files are excluded: the doc contract
+// is about the published API surface, and _test.go files of the package
+// under test share its clause anyway.
+func lintDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.PackageClauseOnly|parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var silent []string
+	for name, pkg := range pkgs {
+		if strings.HasSuffix(name, "_test") {
+			continue
+		}
+		documented := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				documented = true
+				break
+			}
+		}
+		if !documented {
+			silent = append(silent, fmt.Sprintf("%s: package %s has no package comment", dir, name))
+		}
+	}
+	return silent, nil
+}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var problems []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if path != root && skipDir(d.Name()) {
+			return filepath.SkipDir
+		}
+		found, err := lintDir(path)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		problems = append(problems, found...)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docslint: %v\n", err)
+		os.Exit(1)
+	}
+	sort.Strings(problems)
+	for _, p := range problems {
+		fmt.Fprintln(os.Stderr, "docslint: "+p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "docslint: %d undocumented package(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("docslint: every package carries a package comment")
+}

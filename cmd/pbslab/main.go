@@ -7,6 +7,7 @@
 //
 //	pbslab [-days N] [-blocks-per-day N] [-seed N] [-workers N]
 //	       [-sim-workers N] [-sequential] [-figures DIR] [-dump-dataset]
+//	       [-dataset-format chunked|blob] [-scale N]
 //	       [-private-flow F] [-small-builders N] [-relay-outages SPEC]
 //	       [-ofac-lag SPEC]
 //	       [-quiet] [-checkpoint-dir DIR] [-resume] [-timeout D]
@@ -26,7 +27,10 @@
 // ("RELAY=FROM..TO[,...]" appended to the default calendar, or "none" to
 // clear it), and -ofac-lag ("WAVE=+Nd|never|on-time[,...]", "*" for every
 // designation wave). A malformed knob is a validation error before the
-// simulation starts, never a silently ignored default.
+// simulation starts, never a silently ignored default. -scale multiplies
+// the corpus density (blocks/day, transaction volume, and the long-tail
+// builder population) for out-of-core runs at 10×–100× the calibrated
+// miniature (DESIGN.md §11).
 //
 // The run is crash-safe: with -checkpoint-dir the simulation checkpoints at
 // every simulated day boundary and again on SIGINT/SIGTERM or -timeout
@@ -36,8 +40,13 @@
 // missing, and stale files.
 //
 // -dump-dataset additionally serializes the collected corpus into the
-// figures directory (dataset.gob, covered by the same manifest), which lets
-// the pbslabd daemon re-validate the data and answer per-day index queries.
+// figures directory, covered by the same manifest, which lets the pbslabd
+// daemon re-validate the data and answer per-day index queries. The default
+// -dataset-format chunked writes the versioned per-day segment layout
+// (dataset/index.json + dataset/common.seg + dataset/day-NNNNNN.seg) that
+// downstream consumers can stream one day at a time; -dataset-format blob
+// writes the legacy monolithic dataset.gob, which remains readable
+// everywhere.
 package main
 
 import (
@@ -56,7 +65,8 @@ import (
 func main() {
 	cfg := cli.Register(flag.CommandLine)
 	figuresDir := flag.String("figures", "", "write per-figure CSVs into this directory")
-	dumpDataset := flag.Bool("dump-dataset", false, "also write the serialized corpus (dataset.gob) into the -figures directory, enabling pbslabd index queries")
+	dumpDataset := flag.Bool("dump-dataset", false, "also write the serialized corpus into the -figures directory, enabling pbslabd index queries")
+	datasetFormat := flag.String("dataset-format", "chunked", "corpus serialization for -dump-dataset: chunked (per-day dataset/ segments, streamable) or blob (legacy single dataset.gob)")
 	quiet := flag.Bool("quiet", false, "suppress the text report")
 	verifyDir := flag.String("verify", "", "verify an output directory against its manifest and exit")
 	flag.Parse()
@@ -68,7 +78,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pbslab: -dump-dataset requires -figures DIR")
 		os.Exit(2)
 	}
-	os.Exit(run(cfg, *figuresDir, *dumpDataset, *quiet))
+	if *datasetFormat != "chunked" && *datasetFormat != "blob" {
+		fmt.Fprintf(os.Stderr, "pbslab: -dataset-format %q: want chunked or blob\n", *datasetFormat)
+		os.Exit(2)
+	}
+	os.Exit(run(cfg, *figuresDir, *dumpDataset, *datasetFormat, *quiet))
 }
 
 // verify checks dir against its manifest: 0 = clean, 1 = problems found or
@@ -90,7 +104,7 @@ func verify(dir string) int {
 	return 1
 }
 
-func run(cfg *cli.Config, figuresDir string, dumpDataset, quiet bool) int {
+func run(cfg *cli.Config, figuresDir string, dumpDataset bool, datasetFormat string, quiet bool) int {
 	if figuresDir != "" {
 		if err := cli.EnsureOutDir(figuresDir); err != nil {
 			fmt.Fprintf(os.Stderr, "pbslab: %v\n", err)
@@ -137,13 +151,27 @@ func run(cfg *cli.Config, figuresDir string, dumpDataset, quiet bool) int {
 		if dumpDataset {
 			// Ship the corpus under the same manifest as the figures, so a
 			// serving daemon can re-verify and re-validate everything it
-			// loads (and answer per-day index queries).
-			data, err := dsio.Encode(res.Dataset, res.World.BuilderLabels())
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "pbslab: encode dataset: %v\n", err)
-				return 1
+			// loads (and answer per-day index queries). The chunked layout
+			// lets pbslabd stream one day at a time; the legacy blob is kept
+			// for consumers that predate the segment format.
+			switch datasetFormat {
+			case "chunked":
+				files, err := dsio.EncodeChunked(res.Dataset, res.World.BuilderLabels())
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "pbslab: encode dataset: %v\n", err)
+					return 1
+				}
+				for _, f := range files {
+					extra = append(extra, report.Artifact{Name: f.Name, Data: f.Data})
+				}
+			case "blob":
+				data, err := dsio.Encode(res.Dataset, res.World.BuilderLabels())
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "pbslab: encode dataset: %v\n", err)
+					return 1
+				}
+				extra = append(extra, report.Artifact{Name: dsio.DatasetName, Data: data})
 			}
-			extra = append(extra, report.Artifact{Name: dsio.DatasetName, Data: data})
 		}
 		// Even on cancellation mid-render, every completed artifact is
 		// flushed and covered by the manifest: the directory stays

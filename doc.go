@@ -16,12 +16,29 @@
 //     fused pass builds a per-day index, and all artifacts render from it
 //     byte-identically to the legacy sequential scans (golden-tested).
 //
+// Package map (each package carries its own doc; `make docs-lint`
+// enforces that):
+//
+//	internal/sim      scenario DSL, slot engine, day-sharded checkpoints
+//	internal/core     analysis engine; NewStreaming builds the index
+//	                  out-of-core from chunked corpora (DESIGN.md §11)
+//	internal/dsio     corpus serialization: chunked per-day dataset/
+//	                  segments (primary) and the legacy single blob
+//	internal/report   artifact rendering, manifests, VerifyDir
+//	internal/serve    the pbslabd serving plane (degradation ladder)
+//	internal/fleet    crash-tolerant experiment grid with scale axes
+//	internal/cli      shared flag/knob wiring (-scale and friends)
+//	internal/faults   seeded fault injection: HTTP, disk, subprocess
+//	internal/stats    parallel descriptive statistics
+//
 // Entry points: cmd/pbslab runs the study end-to-end; cmd/figures emits
 // every figure as CSV; cmd/relaycrawl demonstrates the relay data-API crawl
-// over real HTTP. The examples directory holds runnable walkthroughs,
-// bench_test.go regenerates each of the paper's tables and figures as a
-// benchmark target, and `make bench` records the engine's performance
-// baseline as BENCH_pr2.json. See DESIGN.md for the full system inventory
-// (§6 for the engine) and EXPERIMENTS.md for paper-vs-measured results and
-// the performance tables.
+// over real HTTP; cmd/pbslabd serves a verified output directory;
+// cmd/pbsfleet runs experiment grids. The examples directory holds runnable
+// walkthroughs, bench_test.go regenerates each of the paper's tables and
+// figures as a benchmark target, `make bench` records the engine's
+// performance baseline as BENCH_pr2.json, and `make bench-scale` records
+// the out-of-core scale contract as BENCH_pr7.json. See DESIGN.md for the
+// full system inventory (§6 for the engine, §11 for corpus scale) and
+// EXPERIMENTS.md for paper-vs-measured results and the performance tables.
 package pbslab

@@ -1,8 +1,3 @@
-// Package cli holds the scenario and flag wiring shared by cmd/pbslab and
-// cmd/figures, which previously duplicated it. It also validates output
-// directories up front: a figure run simulates for minutes before writing
-// anything, so an unwritable -figures/-out path must fail before the
-// simulation starts, not after.
 package cli
 
 import (
@@ -69,6 +64,7 @@ func Register(fs *flag.FlagSet) *Config {
 	fs.IntVar(&c.Knobs.SmallBuilders, "small-builders", Unset, "long-tail builder population (-1 = scenario default)")
 	fs.StringVar(&c.Knobs.RelayOutages, "relay-outages", "", "extra relay outages, RELAY=FROM..TO[,...] ('none' clears the default calendar)")
 	fs.StringVar(&c.Knobs.OFACLag, "ofac-lag", "", "OFAC blacklist schedule override, WAVE=+Nd|never|on-time[,...] ('*' = every wave)")
+	fs.IntVar(&c.Knobs.Scale, "scale", Unset, "corpus scale factor: multiplies blocks/day, tx volume and builder population (-1 or 1 = calibrated 1×)")
 	return c
 }
 

@@ -41,11 +41,16 @@ type Knobs struct {
 	// "never", "on-time". Applies to every OFAC-compliant relay. "" =
 	// the calibrated per-relay lags.
 	OFACLag string
+	// Scale multiplies the corpus density via sim.Scenario.Scale:
+	// blocks/day (and with it tx volume), the demand population, and the
+	// long-tail builder population. Unset, 0 and 1 all mean the
+	// calibrated 1× miniature; anything else must be >= 1.
+	Scale int
 }
 
 // DefaultKnobs returns a Knobs with every numeric field at Unset.
 func DefaultKnobs() Knobs {
-	return Knobs{PrivateFlow: Unset, SmallBuilders: Unset}
+	return Knobs{PrivateFlow: Unset, SmallBuilders: Unset, Scale: Unset}
 }
 
 // Apply validates the knobs against sc and mutates it in place. The first
@@ -67,7 +72,20 @@ func (k Knobs) Apply(sc *sim.Scenario) error {
 	if err := applyOutages(sc, k.RelayOutages); err != nil {
 		return err
 	}
-	return applyOFACLag(sc, k.OFACLag)
+	if err := applyOFACLag(sc, k.OFACLag); err != nil {
+		return err
+	}
+	// Scale applies last so it multiplies the population a -small-builders
+	// override selected, not the default it replaced. Zero means unset so
+	// a zero-valued Knobs changes nothing.
+	if k.Scale != Unset && k.Scale != 0 {
+		scaled, err := sc.Scale(k.Scale)
+		if err != nil {
+			return err
+		}
+		*sc = scaled
+	}
+	return nil
 }
 
 // applyOutages parses and applies the relay-outage knob.

@@ -133,8 +133,33 @@ type Analysis struct {
 	sequential bool
 	noMemo     bool
 
+	// preDelay, when non-nil, is the inclusion-delay report the streaming
+	// build accumulated during its one transaction-level pass; buildIndex
+	// uses it instead of re-walking transactions (which a streamed corpus
+	// no longer holds).
+	preDelay *DelayReport
+	// streamCounts, when non-nil, replaces the dataset's memoized Count()
+	// walk for the same reason.
+	streamCounts *dataset.Counts
+
 	idx  *Index
 	memo figMemo
+}
+
+// Counts returns the corpus Table 1 inventory. The in-memory path defers
+// to the dataset's memoized walk; the streaming build accumulated the
+// block-level tallies during its pass, since the transactions are no
+// longer resident afterwards.
+func (a *Analysis) Counts() dataset.Counts {
+	if a.streamCounts == nil {
+		return a.ds.Count()
+	}
+	c := *a.streamCounts
+	c.MEVBySource = make(map[string]int, len(a.streamCounts.MEVBySource))
+	for name, n := range a.streamCounts.MEVBySource {
+		c.MEVBySource[name] = n
+	}
+	return c
 }
 
 // Option configures an Analysis.

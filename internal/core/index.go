@@ -323,11 +323,18 @@ func buildIndex(ctx context.Context, a *Analysis) (*Index, error) {
 	}
 	dst.profit.Workers = a.workers
 	dst.gas.Workers = a.workers
-	delay, err := a.idxInclusionDelay(ctx)
-	if err != nil {
-		return nil, err
+	if a.preDelay != nil {
+		// The streaming build accumulated the delay samples while the
+		// transactions were still resident; a re-walk here would find
+		// only stripped headers.
+		dst.delay = *a.preDelay
+	} else {
+		delay, err := a.idxInclusionDelay(ctx)
+		if err != nil {
+			return nil, err
+		}
+		dst.delay = delay
 	}
-	dst.delay = delay
 	return dst, nil
 }
 

@@ -152,7 +152,7 @@ func RenderCoverage(w io.Writer, rep CoverageReport) {
 // prints it after a run, and EXPERIMENTS.md quotes it.
 func (a *Analysis) Summary(w io.Writer) {
 	fmt.Fprintf(w, "=== pbslab analysis summary ===\n")
-	counts := a.ds.Count()
+	counts := a.Counts()
 	fmt.Fprintf(w, "blocks=%d txs=%d logs=%d traces=%d days=%d\n",
 		counts.Blocks, counts.Transactions, counts.Logs, counts.Traces, a.ds.Days())
 

@@ -1,20 +1,3 @@
-// Package dsio serializes a measurement corpus so a finished run can ship
-// its dataset alongside the rendered artifacts. The serving plane
-// (internal/serve) loads the file back, re-validates every corpus invariant
-// with core.Validate, and answers per-day index queries from the same data
-// the figures were rendered from — without re-running the simulation.
-//
-// The encoding is deterministic: maps are flattened into sorted slices
-// before gob sees them, so the same corpus always encodes to the same bytes
-// and the enclosing manifest digest is stable. Transactions travel as DTOs
-// without their cached hash; decoding rebuilds them through
-// types.NewTransaction, so hashes are recomputed rather than trusted from
-// disk (the same rule the simulation checkpoints follow).
-//
-// Builder labels ride in the same envelope. They are deliberately not part
-// of dataset.Dataset — the dataset package holds only what a real crawl
-// could produce — but the CLIs analyze with sim-provided labels, and a
-// server answering the same queries needs the same attribution.
 package dsio
 
 import (
@@ -79,6 +62,32 @@ type blockDTO struct {
 	Tips         types.Wei
 }
 
+func blockToDTO(b *dataset.Block) blockDTO {
+	d := blockDTO{
+		Number: b.Number, Hash: b.Hash, Slot: b.Slot, Time: b.Time,
+		FeeRecipient: b.FeeRecipient, GasUsed: b.GasUsed, GasLimit: b.GasLimit,
+		BaseFee: b.BaseFee, Txs: make([]txDTO, len(b.Txs)),
+		Receipts: b.Receipts, Traces: b.Traces, Burned: b.Burned, Tips: b.Tips,
+	}
+	for j, tx := range b.Txs {
+		d.Txs[j] = toTxDTO(tx)
+	}
+	return d
+}
+
+func (d blockDTO) block() *dataset.Block {
+	b := &dataset.Block{
+		Number: d.Number, Hash: d.Hash, Slot: d.Slot, Time: d.Time,
+		FeeRecipient: d.FeeRecipient, GasUsed: d.GasUsed, GasLimit: d.GasLimit,
+		BaseFee: d.BaseFee, Txs: make([]*types.Transaction, len(d.Txs)),
+		Receipts: d.Receipts, Traces: d.Traces, Burned: d.Burned, Tips: d.Tips,
+	}
+	for j, t := range d.Txs {
+		b.Txs[j] = t.tx()
+	}
+	return b
+}
+
 // sourceDTO is one MEV provider's label set, sorted by source name so the
 // MEVBySource map encodes deterministically.
 type sourceDTO struct {
@@ -92,7 +101,77 @@ type labelDTO struct {
 	Name string
 }
 
-// envelope is the full serialized corpus.
+// commonDTO is the corpus minus its blocks — the "common section" every
+// reader needs regardless of which days it opens — with every map
+// flattened into a sorted slice so the encoding is deterministic. Both the
+// legacy single-blob envelope and the chunked common segment are built
+// from it.
+type commonDTO struct {
+	Start, End time.Time
+
+	MEVLabels   []mev.Label
+	MEVBySource []sourceDTO
+	Arrivals    []p2p.Observation
+	Relays      []dataset.RelayData
+	Sanctions   []ofac.Designation
+
+	BuilderLabels []labelDTO
+}
+
+func toCommonDTO(ds *dataset.Dataset, labels map[types.Address]string) commonDTO {
+	c := commonDTO{
+		Start:     ds.Start,
+		End:       ds.End,
+		MEVLabels: ds.MEVLabels,
+		Relays:    ds.Relays,
+	}
+	for source, ls := range ds.MEVBySource {
+		c.MEVBySource = append(c.MEVBySource, sourceDTO{Source: source, Labels: ls})
+	}
+	sort.Slice(c.MEVBySource, func(i, j int) bool { return c.MEVBySource[i].Source < c.MEVBySource[j].Source })
+	for _, obs := range ds.Arrivals {
+		c.Arrivals = append(c.Arrivals, obs)
+	}
+	sort.Slice(c.Arrivals, func(i, j int) bool {
+		return bytes.Compare(c.Arrivals[i].TxHash[:], c.Arrivals[j].TxHash[:]) < 0
+	})
+	if ds.Sanctions != nil {
+		c.Sanctions = ds.Sanctions.All()
+	}
+	for addr, name := range labels {
+		c.BuilderLabels = append(c.BuilderLabels, labelDTO{Addr: addr, Name: name})
+	}
+	sort.Slice(c.BuilderLabels, func(i, j int) bool {
+		return bytes.Compare(c.BuilderLabels[i].Addr[:], c.BuilderLabels[j].Addr[:]) < 0
+	})
+	return c
+}
+
+// dataset rebuilds the blocks-free corpus shell and the builder labels.
+func (c commonDTO) dataset() (*dataset.Dataset, map[types.Address]string) {
+	ds := &dataset.Dataset{
+		Start:       c.Start,
+		End:         c.End,
+		MEVLabels:   c.MEVLabels,
+		MEVBySource: make(map[string][]mev.Label, len(c.MEVBySource)),
+		Arrivals:    make(map[types.Hash]p2p.Observation, len(c.Arrivals)),
+		Relays:      c.Relays,
+		Sanctions:   ofac.NewRegistry(c.Sanctions),
+	}
+	for _, s := range c.MEVBySource {
+		ds.MEVBySource[s.Source] = s.Labels
+	}
+	for _, obs := range c.Arrivals {
+		ds.Arrivals[obs.TxHash] = obs
+	}
+	labels := make(map[types.Address]string, len(c.BuilderLabels))
+	for _, l := range c.BuilderLabels {
+		labels[l.Addr] = l.Name
+	}
+	return ds, labels
+}
+
+// envelope is the full serialized corpus (the legacy single-blob format).
 type envelope struct {
 	Version    int
 	Start, End time.Time
@@ -108,47 +187,26 @@ type envelope struct {
 }
 
 // Encode serializes ds plus the builder attribution labels into a
-// deterministic byte stream.
+// deterministic byte stream (the legacy single-blob format; new writers
+// should prefer the chunked layout, see WriteDays/EncodeChunked).
 func Encode(ds *dataset.Dataset, labels map[types.Address]string) ([]byte, error) {
+	c := toCommonDTO(ds, labels)
 	env := envelope{
 		Version: version,
-		Start:   ds.Start,
-		End:     ds.End,
+		Start:   c.Start,
+		End:     c.End,
 
-		MEVLabels: ds.MEVLabels,
-		Relays:    ds.Relays,
+		MEVLabels:     c.MEVLabels,
+		MEVBySource:   c.MEVBySource,
+		Arrivals:      c.Arrivals,
+		Relays:        c.Relays,
+		Sanctions:     c.Sanctions,
+		BuilderLabels: c.BuilderLabels,
 	}
 	env.Blocks = make([]blockDTO, len(ds.Blocks))
 	for i, b := range ds.Blocks {
-		env.Blocks[i] = blockDTO{
-			Number: b.Number, Hash: b.Hash, Slot: b.Slot, Time: b.Time,
-			FeeRecipient: b.FeeRecipient, GasUsed: b.GasUsed, GasLimit: b.GasLimit,
-			BaseFee: b.BaseFee, Txs: make([]txDTO, len(b.Txs)),
-			Receipts: b.Receipts, Traces: b.Traces, Burned: b.Burned, Tips: b.Tips,
-		}
-		for j, tx := range b.Txs {
-			env.Blocks[i].Txs[j] = toTxDTO(tx)
-		}
+		env.Blocks[i] = blockToDTO(b)
 	}
-	for source, ls := range ds.MEVBySource {
-		env.MEVBySource = append(env.MEVBySource, sourceDTO{Source: source, Labels: ls})
-	}
-	sort.Slice(env.MEVBySource, func(i, j int) bool { return env.MEVBySource[i].Source < env.MEVBySource[j].Source })
-	for _, obs := range ds.Arrivals {
-		env.Arrivals = append(env.Arrivals, obs)
-	}
-	sort.Slice(env.Arrivals, func(i, j int) bool {
-		return bytes.Compare(env.Arrivals[i].TxHash[:], env.Arrivals[j].TxHash[:]) < 0
-	})
-	if ds.Sanctions != nil {
-		env.Sanctions = ds.Sanctions.All()
-	}
-	for addr, name := range labels {
-		env.BuilderLabels = append(env.BuilderLabels, labelDTO{Addr: addr, Name: name})
-	}
-	sort.Slice(env.BuilderLabels, func(i, j int) bool {
-		return bytes.Compare(env.BuilderLabels[i].Addr[:], env.BuilderLabels[j].Addr[:]) < 0
-	})
 
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
@@ -167,37 +225,16 @@ func Decode(data []byte) (*dataset.Dataset, map[types.Address]string, error) {
 	if env.Version != version {
 		return nil, nil, fmt.Errorf("dsio: dataset format version %d, want %d", env.Version, version)
 	}
-	ds := &dataset.Dataset{
-		Start:       env.Start,
-		End:         env.End,
-		MEVLabels:   env.MEVLabels,
-		MEVBySource: make(map[string][]mev.Label, len(env.MEVBySource)),
-		Arrivals:    make(map[types.Hash]p2p.Observation, len(env.Arrivals)),
-		Relays:      env.Relays,
-		Sanctions:   ofac.NewRegistry(env.Sanctions),
+	c := commonDTO{
+		Start: env.Start, End: env.End,
+		MEVLabels: env.MEVLabels, MEVBySource: env.MEVBySource,
+		Arrivals: env.Arrivals, Relays: env.Relays, Sanctions: env.Sanctions,
+		BuilderLabels: env.BuilderLabels,
 	}
+	ds, labels := c.dataset()
 	ds.Blocks = make([]*dataset.Block, len(env.Blocks))
 	for i, d := range env.Blocks {
-		b := &dataset.Block{
-			Number: d.Number, Hash: d.Hash, Slot: d.Slot, Time: d.Time,
-			FeeRecipient: d.FeeRecipient, GasUsed: d.GasUsed, GasLimit: d.GasLimit,
-			BaseFee: d.BaseFee, Txs: make([]*types.Transaction, len(d.Txs)),
-			Receipts: d.Receipts, Traces: d.Traces, Burned: d.Burned, Tips: d.Tips,
-		}
-		for j, t := range d.Txs {
-			b.Txs[j] = t.tx()
-		}
-		ds.Blocks[i] = b
-	}
-	for _, s := range env.MEVBySource {
-		ds.MEVBySource[s.Source] = s.Labels
-	}
-	for _, obs := range env.Arrivals {
-		ds.Arrivals[obs.TxHash] = obs
-	}
-	labels := make(map[types.Address]string, len(env.BuilderLabels))
-	for _, l := range env.BuilderLabels {
-		labels[l.Addr] = l.Name
+		ds.Blocks[i] = d.block()
 	}
 	return ds, labels, nil
 }

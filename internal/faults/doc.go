@@ -1,0 +1,20 @@
+// Package faults injects deterministic failures into pbslab's I/O planes.
+//
+// The paper's "realities" half is a catalogue of relay failures: the
+// 2022-11-10 bad-timestamp incident, data APIs that stall or vanish
+// mid-crawl, and relays that promise what they never deliver. This package
+// makes those failure modes first-class and reproducible: an Injector draws
+// per-relay fault decisions from a seeded rng stream, so the same seed
+// yields the same sequence of drops, delays, errors and truncations — and
+// therefore the same retry counters and the same final harvest.
+//
+// The injector plugs in at either end of a connection: Transport wraps an
+// http.RoundTripper on the client side, Middleware wraps a relay's
+// http.Handler on the server side. Both consult the same Decide method, so
+// tests and demos can pick whichever end is convenient.
+//
+// Beyond the relay plane, CorruptDir applies seeded filesystem corruption
+// (truncation, bit flips, deletion, stale debris) to artifact directories
+// for the verifier's chaos tests, and the proc helpers kill, wedge, and
+// sabotage worker subprocesses for the fleet's process-level chaos suite.
+package faults

@@ -1,0 +1,19 @@
+// Package fleet runs a declarative experiment grid — seeds × scenario
+// knobs — across crash-isolated worker subprocesses, and survives every way
+// a worker can die: a coordinator hands out per-cell leases with heartbeat
+// deadlines, reclaims and retries the cells of hung or killed workers with
+// bounded deterministic backoff, quarantines cells that keep failing
+// (recording the cause and stderr tail instead of wedging the run), and
+// journals every state change append-only so a killed run resumes without
+// re-running completed cells. Per-cell artifacts go through the existing
+// checkpoint + manifest machinery: report.VerifyDir gates acceptance, and
+// the final merge into a cross-scenario comparison corpus is deterministic
+// — a resumed run's merged output is byte-identical to an uninterrupted
+// one.
+//
+// A grid may declare a scale axis (Grid.Scale, the -scale knob's values)
+// to sweep corpus density, and may set DumpDataset to have every cell
+// emit its dataset as chunked day segments (internal/dsio) under the cell
+// manifest; the merge re-verifies each segment's digest and republishes
+// them under datasets/<cellID>/ in the merged output.
+package fleet

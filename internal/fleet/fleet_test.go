@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/ethpbs/pbslab/internal/dsio"
 	"github.com/ethpbs/pbslab/internal/faults"
 )
 
@@ -903,5 +904,77 @@ func TestFleetGridRoundTrip(t *testing.T) {
 	}
 	if len(cells) != 3*3*2*3*2*2 {
 		t.Errorf("example grid expands to %d cells, want 216 (README documents the arithmetic)", len(cells))
+	}
+}
+
+// TestFleetScaleAxisShipsChunkedCorpus drives the PR 7 surface end to end:
+// a grid with a scale axis and DumpDataset set has workers emit their
+// datasets as chunked day segments under the cell manifest, and the merge
+// republishes them — digest-reverified — under datasets/<cellID>/ in the
+// merged output, where they open as ordinary chunked corpora.
+func TestFleetScaleAxisShipsChunkedCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess fleet run")
+	}
+	dir := t.TempDir()
+	g := &Grid{
+		Name:         "scaled",
+		Seeds:        []uint64{7},
+		Days:         2,
+		BlocksPerDay: 6,
+		Users:        80,
+		Validators:   120,
+		Scale:        []int{1, 2},
+		DumpDataset:  true,
+	}
+	cells, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("expanded %d cells, want 2", len(cells))
+	}
+	for i, want := range []string{"-x1", "-x2"} {
+		if !strings.HasSuffix(cells[i].ID, want) {
+			t.Fatalf("cell %d id %q lacks scale suffix %q", i, cells[i].ID, want)
+		}
+	}
+
+	sum := runFleet(t, dir, g, testOpts(t), false)
+	if sum.Completed != sum.Cells || len(sum.Quarantined) != 0 {
+		t.Fatalf("scaled run: %d/%d completed, %d quarantined", sum.Completed, sum.Cells, len(sum.Quarantined))
+	}
+	if !dirVerifies(sum.MergedDir) {
+		t.Fatal("merged corpus with shipped datasets does not verify against its manifest")
+	}
+
+	blocks := map[string]int{}
+	days := map[string]int{}
+	for _, c := range cells {
+		corpusDir := filepath.Join(sum.MergedDir, "datasets", c.ID)
+		r, err := dsio.Open(corpusDir)
+		if err != nil {
+			t.Fatalf("open merged corpus for %s: %v", c.ID, err)
+		}
+		// The window is not midnight-aligned, so g.Days simulated days can
+		// span g.Days+1 calendar day segments; every cell shares the window.
+		if got := r.Days(); got < g.Days || got > g.Days+1 {
+			t.Errorf("%s: %d day segments for a %d-day window", c.ID, got, g.Days)
+		}
+		days[c.ID] = r.Days()
+		ds, _, err := r.ReadAll()
+		if err != nil {
+			t.Fatalf("read merged corpus for %s: %v", c.ID, err)
+		}
+		blocks[c.ID] = len(ds.Blocks)
+	}
+	// The scale axis must actually reach the scenario: 2× density means
+	// 2× the blocks over the same window.
+	if days[cells[0].ID] != days[cells[1].ID] {
+		t.Errorf("scale changed the window: %d vs %d day segments", days[cells[0].ID], days[cells[1].ID])
+	}
+	x1, x2 := blocks[cells[0].ID], blocks[cells[1].ID]
+	if x2 != 2*x1 {
+		t.Errorf("scale axis not reaching the scenario: %d blocks at x2, want %d (2 × %d)", x2, 2*x1, x1)
 	}
 }

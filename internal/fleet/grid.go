@@ -1,15 +1,3 @@
-// Package fleet runs a declarative experiment grid — seeds × scenario
-// knobs — across crash-isolated worker subprocesses, and survives every way
-// a worker can die: a coordinator hands out per-cell leases with heartbeat
-// deadlines, reclaims and retries the cells of hung or killed workers with
-// bounded deterministic backoff, quarantines cells that keep failing
-// (recording the cause and stderr tail instead of wedging the run), and
-// journals every state change append-only so a killed run resumes without
-// re-running completed cells. Per-cell artifacts go through the existing
-// checkpoint + manifest machinery: report.VerifyDir gates acceptance, and
-// the final merge into a cross-scenario comparison corpus is deterministic
-// — a resumed run's merged output is byte-identical to an uninterrupted
-// one.
 package fleet
 
 import (
@@ -56,6 +44,15 @@ type Grid struct {
 	RelayOutages []string `json:"relay_outages,omitempty"`
 	// EPBS toggles the enshrined-PBS settlement replay metric per cell.
 	EPBS []bool `json:"epbs,omitempty"`
+	// Scale is the corpus-density axis (the -scale knob): each value
+	// multiplies blocks/day, tx volume, and the long-tail builder
+	// population. Values must be >= 1; empty means the calibrated 1×.
+	Scale []int `json:"scale,omitempty"`
+	// DumpDataset makes every worker serialize its cell's corpus as
+	// chunked per-day segments beside the figures, and the merge re-emit
+	// them under datasets/CELL-ID/ in the merged directory, so the whole
+	// grid's corpora stay streamable from one verified tree.
+	DumpDataset bool `json:"dump_dataset,omitempty"`
 }
 
 // Cell is one grid point: a fully resolved scenario assignment.
@@ -71,6 +68,8 @@ type Cell struct {
 	OFACLag       string  `json:"ofac_lag,omitempty"`
 	RelayOutages  string  `json:"relay_outages,omitempty"`
 	EPBS          bool    `json:"epbs,omitempty"`
+	Scale         int     `json:"scale,omitempty"` // cli.Unset or 0 = 1×
+	DumpDataset   bool    `json:"dump_dataset,omitempty"`
 }
 
 // Scenario resolves the cell into a validated simulation scenario.
@@ -97,6 +96,7 @@ func (c Cell) Scenario() (sim.Scenario, error) {
 		SmallBuilders: c.SmallBuilders,
 		OFACLag:       c.OFACLag,
 		RelayOutages:  c.RelayOutages,
+		Scale:         c.Scale,
 	}
 	if err := knobs.Apply(&sc); err != nil {
 		return sim.Scenario{}, fmt.Errorf("fleet: cell %s: %w", c.ID, err)
@@ -113,6 +113,9 @@ func (c Cell) Slots() int {
 	}
 	if days <= 0 {
 		days = 198 // full paper window
+	}
+	if c.Scale > 1 {
+		bpd *= c.Scale
 	}
 	return days * bpd
 }
@@ -148,14 +151,22 @@ func (g *Grid) Fingerprint() string {
 
 // Expand validates the grid and produces its cells in a deterministic
 // order: the cross product seeds × private-flow × small-builders ×
-// ofac-lag × relay-outages × epbs, each axis in file order. Cell IDs are
-// built from axis indices, so they are stable for a fixed grid file.
+// ofac-lag × relay-outages × epbs × scale, each axis in file order. Cell
+// IDs are built from axis indices, so they are stable for a fixed grid
+// file; the scale tag is appended only when the grid declares a scale
+// axis, so pre-scale grids keep their historical IDs and journals resume
+// cleanly.
 func (g *Grid) Expand() ([]Cell, error) {
 	if len(g.Seeds) == 0 {
 		return nil, fmt.Errorf("fleet: grid %q: seeds must list at least one seed", g.Name)
 	}
 	if g.Days < 0 || g.BlocksPerDay < 0 || g.Users < 0 || g.Validators < 0 {
 		return nil, fmt.Errorf("fleet: grid %q: days, blocks_per_day, users, validators must be >= 0", g.Name)
+	}
+	for _, x := range g.Scale {
+		if x < 1 {
+			return nil, fmt.Errorf("fleet: grid %q: scale %d: must be >= 1", g.Name, x)
+		}
 	}
 	pf := g.PrivateFlow
 	if len(pf) == 0 {
@@ -177,6 +188,10 @@ func (g *Grid) Expand() ([]Cell, error) {
 	if len(ep) == 0 {
 		ep = []bool{false}
 	}
+	sx := g.Scale
+	if len(sx) == 0 {
+		sx = []int{cli.Unset}
+	}
 	var cells []Cell
 	for _, seed := range g.Seeds {
 		for pi, p := range pf {
@@ -184,30 +199,38 @@ func (g *Grid) Expand() ([]Cell, error) {
 				for li, l := range lag {
 					for oi, o := range out {
 						for _, e := range ep {
-							epbsTag := 0
-							if e {
-								epbsTag = 1
+							for _, x := range sx {
+								epbsTag := 0
+								if e {
+									epbsTag = 1
+								}
+								id := fmt.Sprintf("s%d-pf%d-sb%d-lag%d-out%d-epbs%d",
+									seed, pi, bi, li, oi, epbsTag)
+								if len(g.Scale) > 0 {
+									id = fmt.Sprintf("%s-x%d", id, x)
+								}
+								c := Cell{
+									ID:            id,
+									Seed:          seed,
+									Days:          g.Days,
+									BlocksPerDay:  g.BlocksPerDay,
+									Users:         g.Users,
+									Validators:    g.Validators,
+									PrivateFlow:   p,
+									SmallBuilders: b,
+									OFACLag:       l,
+									RelayOutages:  o,
+									EPBS:          e,
+									Scale:         x,
+									DumpDataset:   g.DumpDataset,
+								}
+								// Validate every knob combination up front: a
+								// grid with one bad cell fails before any work.
+								if _, err := c.Scenario(); err != nil {
+									return nil, err
+								}
+								cells = append(cells, c)
 							}
-							c := Cell{
-								ID: fmt.Sprintf("s%d-pf%d-sb%d-lag%d-out%d-epbs%d",
-									seed, pi, bi, li, oi, epbsTag),
-								Seed:          seed,
-								Days:          g.Days,
-								BlocksPerDay:  g.BlocksPerDay,
-								Users:         g.Users,
-								Validators:    g.Validators,
-								PrivateFlow:   p,
-								SmallBuilders: b,
-								OFACLag:       l,
-								RelayOutages:  o,
-								EPBS:          e,
-							}
-							// Validate every knob combination up front: a
-							// grid with one bad cell fails before any work.
-							if _, err := c.Scenario(); err != nil {
-								return nil, err
-							}
-							cells = append(cells, c)
 						}
 					}
 				}

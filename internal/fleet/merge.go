@@ -11,12 +11,16 @@ package fleet
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 
+	"github.com/ethpbs/pbslab/internal/dsio"
 	"github.com/ethpbs/pbslab/internal/report"
 )
 
@@ -40,14 +44,23 @@ type FleetCorpus struct {
 // merge rebuilds the merged corpus from the published cell directories.
 func (c *Coordinator) merge() (string, error) {
 	corpus := FleetCorpus{GridName: c.grid.Name, Fingerprint: c.grid.Fingerprint()}
+	var segments []report.Artifact
 	for _, cr := range c.cells {
 		switch cr.status {
 		case StatusCompleted:
-			sum, err := readCellSummary(filepath.Join(c.runDir, CellsDirName, cr.cell.ID))
+			cellDir := filepath.Join(c.runDir, CellsDirName, cr.cell.ID)
+			sum, err := readCellSummary(cellDir)
 			if err != nil {
 				return "", fmt.Errorf("fleet: merge cell %s: %w", cr.cell.ID, err)
 			}
 			corpus.Cells = append(corpus.Cells, *sum)
+			if cr.cell.DumpDataset {
+				segs, err := readCellSegments(cellDir, cr.cell.ID)
+				if err != nil {
+					return "", fmt.Errorf("fleet: merge cell %s: %w", cr.cell.ID, err)
+				}
+				segments = append(segments, segs...)
+			}
 		case StatusQuarantined:
 			corpus.Quarantined = append(corpus.Quarantined, QuarantinedCell{
 				ID: cr.cell.ID, Cause: cr.cause, StderrTail: cr.tail,
@@ -55,7 +68,7 @@ func (c *Coordinator) merge() (string, error) {
 		}
 	}
 	mergedDir := filepath.Join(c.runDir, MergedDirName)
-	if err := WriteCorpus(mergedDir, &corpus); err != nil {
+	if err := WriteCorpus(mergedDir, &corpus, segments...); err != nil {
 		return "", err
 	}
 	fmt.Fprintf(c.opts.Log, "fleet: merged %d cell(s) (%d quarantined) into %s\n",
@@ -75,10 +88,40 @@ func readCellSummary(cellDir string) (*CellSummary, error) {
 	return sum, nil
 }
 
+// readCellSegments re-reads a completed cell's chunked corpus files —
+// verified against the cell manifest's digests, so a cell directory that
+// rotted between acceptance and merge is caught here — and renames them
+// under datasets/CELL-ID/ for the merged tree. The cell manifest lists
+// names sorted, so the emitted order is deterministic.
+func readCellSegments(cellDir, cellID string) ([]report.Artifact, error) {
+	m, err := report.ReadManifest(cellDir)
+	if err != nil {
+		return nil, err
+	}
+	var out []report.Artifact
+	for _, e := range m.Artifacts {
+		if !strings.HasPrefix(e.Name, dsio.DirName+"/") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(cellDir, filepath.FromSlash(e.Name)))
+		if err != nil {
+			return nil, err
+		}
+		sum := sha256.Sum256(data)
+		if hex.EncodeToString(sum[:]) != e.SHA256 {
+			return nil, fmt.Errorf("segment %s changed since the cell was accepted", e.Name)
+		}
+		out = append(out, report.Artifact{Name: "datasets/" + cellID + "/" + e.Name, Data: data})
+	}
+	return out, nil
+}
+
 // WriteCorpus lands the merged corpus in dir under a manifest, replacing
-// any previous merge. Cells and quarantine entries are sorted by ID first,
-// so the bytes depend only on the set, not on completion order.
-func WriteCorpus(dir string, corpus *FleetCorpus) error {
+// any previous merge: the summary artifacts plus any extra files (cell
+// corpus segments re-emitted by the merge). Cells and quarantine entries
+// are sorted by ID first, so the bytes depend only on the set, not on
+// completion order.
+func WriteCorpus(dir string, corpus *FleetCorpus, extra ...report.Artifact) error {
 	sort.Slice(corpus.Cells, func(i, j int) bool {
 		return corpus.Cells[i].Cell.ID < corpus.Cells[j].Cell.ID
 	})
@@ -94,10 +137,11 @@ func WriteCorpus(dir string, corpus *FleetCorpus) error {
 	if err := os.RemoveAll(dir); err != nil {
 		return err
 	}
-	return report.WriteArtifacts(dir, []report.Artifact{
+	arts := []report.Artifact{
 		{Name: FleetFileName, Data: jsonData},
 		{Name: FleetCSVName, Data: corpusCSV(corpus)},
-	})
+	}
+	return report.WriteArtifacts(dir, append(arts, extra...))
 }
 
 // corpusCSV renders the flat comparison table: one row per completed cell.

@@ -23,6 +23,7 @@ import (
 
 	"github.com/ethpbs/pbslab/internal/core"
 	"github.com/ethpbs/pbslab/internal/crypto"
+	"github.com/ethpbs/pbslab/internal/dsio"
 	"github.com/ethpbs/pbslab/internal/epbs"
 	"github.com/ethpbs/pbslab/internal/faults"
 	"github.com/ethpbs/pbslab/internal/report"
@@ -201,8 +202,20 @@ func RunWorker(ctx context.Context, spec WorkerSpec, hb io.Writer) error {
 		return fmt.Errorf("fleet: worker: cell %s: summary: %w", cell.ID, err)
 	}
 	sumData = append(sumData, '\n')
-	if err := report.WriteAllExtraContext(ctx, a, spec.OutDir,
-		report.Artifact{Name: SummaryName, Data: sumData}); err != nil {
+	extra := []report.Artifact{{Name: SummaryName, Data: sumData}}
+	if cell.DumpDataset {
+		// Chunked per-day segments under the same manifest as the figures:
+		// the merge re-emits them into the merged tree, and any consumer
+		// can stream the cell's corpus one day at a time.
+		files, err := dsio.EncodeChunked(res.Dataset, res.World.BuilderLabels())
+		if err != nil {
+			return fmt.Errorf("fleet: worker: cell %s: encode dataset: %w", cell.ID, err)
+		}
+		for _, f := range files {
+			extra = append(extra, report.Artifact{Name: f.Name, Data: f.Data})
+		}
+	}
+	if err := report.WriteAllExtraContext(ctx, a, spec.OutDir, extra...); err != nil {
 		return fmt.Errorf("fleet: worker: cell %s: write: %w", cell.ID, err)
 	}
 	if injecting && fault.CorruptOutput {

@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -59,10 +60,18 @@ func buildManifest(arts []Artifact) Manifest {
 
 // writeArtifacts lands every artifact and the covering manifest in dir,
 // each file via atomic temp + rename. The manifest goes last: its presence
-// certifies the files it lists.
+// certifies the files it lists. Artifact names may contain slashes (the
+// chunked dataset lives under dataset/); parent directories are created as
+// needed.
 func writeArtifacts(dir string, arts []Artifact) error {
 	for _, art := range arts {
-		if err := atomicio.WriteFile(filepath.Join(dir, art.Name), art.Data, 0o644); err != nil {
+		path := filepath.Join(dir, filepath.FromSlash(art.Name))
+		if parent := filepath.Dir(path); parent != dir {
+			if err := os.MkdirAll(parent, 0o755); err != nil {
+				return fmt.Errorf("report: %s: %w", art.Name, err)
+			}
+		}
+		if err := atomicio.WriteFile(path, art.Data, 0o644); err != nil {
 			return fmt.Errorf("report: %s: %w", art.Name, err)
 		}
 	}
@@ -129,7 +138,7 @@ func VerifyDir(dir string) ([]Problem, error) {
 	listed := make(map[string]bool, len(m.Artifacts))
 	for _, e := range m.Artifacts {
 		listed[e.Name] = true
-		data, err := os.ReadFile(filepath.Join(dir, e.Name))
+		data, err := os.ReadFile(filepath.Join(dir, filepath.FromSlash(e.Name)))
 		if err != nil {
 			if os.IsNotExist(err) {
 				problems = append(problems, Problem{Name: e.Name, Kind: ProblemMissing, Detail: "listed in manifest, not on disk"})
@@ -149,20 +158,34 @@ func VerifyDir(dir string) ([]Problem, error) {
 				Detail: fmt.Sprintf("sha256 %.12s.., manifest says %.12s..", got, e.SHA256)})
 		}
 	}
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, fmt.Errorf("report: verify: %w", err)
-	}
-	for _, ent := range entries {
-		name := ent.Name()
-		if name == ManifestName || listed[name] || ent.IsDir() {
-			continue
+	// The stale sweep walks subdirectories too: a chunked dataset's
+	// segments live under dataset/ with slash-joined manifest names, and a
+	// file in a subdirectory is held to exactly the same rules as one at
+	// the top level.
+	err = filepath.WalkDir(dir, func(path string, ent fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if ent.IsDir() {
+			return nil
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		name := filepath.ToSlash(rel)
+		if name == ManifestName || listed[name] {
+			return nil
 		}
 		detail := "not covered by manifest"
-		if atomicio.IsTemp(name) {
+		if atomicio.IsTemp(ent.Name()) {
 			detail = "temp debris from an interrupted write"
 		}
 		problems = append(problems, Problem{Name: name, Kind: ProblemStale, Detail: detail})
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("report: verify: %w", err)
 	}
 	sort.Slice(problems, func(i, j int) bool {
 		if problems[i].Name != problems[j].Name {

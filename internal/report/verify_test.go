@@ -133,6 +133,98 @@ func TestVerifyDirTempDebrisOnlyClassifiesAsNoManifest(t *testing.T) {
 	}
 }
 
+// TestVerifyDirClassifiesSubdirectoryFiles is the regression test for the
+// chunked-dataset layout: files under dataset/ (or any subdirectory) are
+// held to exactly the same manifest rules as top-level artifacts —
+// slash-joined names verify clean, a corrupted segment is corrupt, a
+// deleted one missing, and an unlisted one (or temp debris) stale.
+func TestVerifyDirClassifiesSubdirectoryFiles(t *testing.T) {
+	newDir := func(t *testing.T) string {
+		dir := t.TempDir()
+		arts := []Artifact{
+			{Name: "fig01_alpha.csv", Data: []byte("day,value\n1,2\n")},
+			{Name: "dataset/index.json", Data: []byte(`{"version":1}` + "\n")},
+			{Name: "dataset/day-000000.seg", Data: bytes.Repeat([]byte{0xAB}, 64)},
+			{Name: "dataset/day-000001.seg", Data: bytes.Repeat([]byte{0xCD}, 64)},
+		}
+		if err := writeArtifacts(dir, arts); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+
+	t.Run("clean", func(t *testing.T) {
+		problems, err := VerifyDir(newDir(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(problems) != 0 {
+			t.Fatalf("clean chunked dir reported problems: %v", problems)
+		}
+	})
+
+	t.Run("corrupt segment", func(t *testing.T) {
+		dir := newDir(t)
+		path := filepath.Join(dir, "dataset", "day-000000.seg")
+		if err := os.WriteFile(path, bytes.Repeat([]byte{0xEE}, 64), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		problems, err := VerifyDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(problems) != 1 || problems[0].Kind != ProblemCorrupt || problems[0].Name != "dataset/day-000000.seg" {
+			t.Fatalf("problems = %v, want one corrupt finding for dataset/day-000000.seg", problems)
+		}
+	})
+
+	t.Run("missing segment", func(t *testing.T) {
+		dir := newDir(t)
+		if err := os.Remove(filepath.Join(dir, "dataset", "day-000001.seg")); err != nil {
+			t.Fatal(err)
+		}
+		problems, err := VerifyDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(problems) != 1 || problems[0].Kind != ProblemMissing || problems[0].Name != "dataset/day-000001.seg" {
+			t.Fatalf("problems = %v, want one missing finding for dataset/day-000001.seg", problems)
+		}
+	})
+
+	t.Run("stale subdirectory file", func(t *testing.T) {
+		dir := newDir(t)
+		if err := os.WriteFile(filepath.Join(dir, "dataset", "day-000002.seg"), []byte("orphan"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "dataset", ".tmp-day-000000.seg99"), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		problems, err := VerifyDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(problems) != 2 {
+			t.Fatalf("problems = %v, want two stale findings", problems)
+		}
+		for _, p := range problems {
+			if p.Kind != ProblemStale {
+				t.Errorf("%s: kind %s, want stale", p.Name, p.Kind)
+			}
+		}
+		byName := map[string]Problem{}
+		for _, p := range problems {
+			byName[p.Name] = p
+		}
+		if p, ok := byName["dataset/.tmp-day-000000.seg99"]; !ok || p.Detail != "temp debris from an interrupted write" {
+			t.Errorf("temp debris in subdirectory not flagged distinctly: %v", problems)
+		}
+		if _, ok := byName["dataset/day-000002.seg"]; !ok {
+			t.Errorf("orphan segment not flagged stale: %v", problems)
+		}
+	})
+}
+
 func TestWriteAllExtraCoversExtraArtifacts(t *testing.T) {
 	dir := t.TempDir()
 	arts := []Artifact{

@@ -133,7 +133,9 @@ func (s *Server) buildHandler() http.Handler {
 	mux.HandleFunc("GET /api/v1/meta", s.handleMeta)
 	mux.HandleFunc("GET /api/v1/stats", s.handleStats)
 	mux.HandleFunc("GET /api/v1/artifacts", s.handleArtifactList)
-	mux.HandleFunc("GET /artifacts/{name}", s.handleArtifact)
+	// {name...}: chunked corpus segments live under dataset/, so artifact
+	// names can span path segments.
+	mux.HandleFunc("GET /artifacts/{name...}", s.handleArtifact)
 	mux.HandleFunc("GET /api/v1/figures", s.handleFigureList)
 	mux.HandleFunc("GET /api/v1/figure/{key}", s.handleFigure)
 	mux.HandleFunc("GET /api/v1/day/{day}", s.handleDay)
@@ -278,8 +280,10 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 	switch path.Ext(name) {
 	case ".csv":
 		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
-	case ".gob":
+	case ".gob", ".seg":
 		w.Header().Set("Content-Type", "application/octet-stream")
+	case ".json":
+		w.Header().Set("Content-Type", "application/json")
 	default:
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	}

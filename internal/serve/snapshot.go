@@ -1,26 +1,3 @@
-// Package serve is pbslab's serving plane: a long-running HTTP daemon
-// (cmd/pbslabd) that answers artifact downloads and per-day analysis-index
-// queries from a verified output directory, and stays correct under
-// overload, handler panics, slow clients, corrupt reload candidates, and
-// graceful shutdown.
-//
-// Robustness is structured as a degradation ladder (DESIGN.md §9):
-//
-//  1. Admission control — at most MaxInflight requests execute; up to
-//     Queue more wait, deadline-aware. Overflow is shed immediately with
-//     429 + Retry-After; a queue-wait timeout sheds with 503 + Retry-After
-//     (the same contract relayapi.Client honours on the client side).
-//  2. Per-request bounds — every admitted request runs under a timeout,
-//     and request bodies are size-capped.
-//  3. Panic isolation — a handler panic becomes that request's 500, never
-//     a process death.
-//  4. Snapshot integrity — the daemon only ever serves from an immutable,
-//     fully verified Snapshot; reloads build and verify a complete
-//     candidate before an atomic pointer swap, so a corrupt or
-//     half-written directory can degrade readiness but never the data on
-//     the wire.
-//  5. Graceful drain — shutdown stops accepting, lets in-flight requests
-//     finish (bounded), and reports a clean exit.
 package serve
 
 import (
@@ -57,10 +34,17 @@ type Snapshot struct {
 	Generation uint64
 
 	files map[string][]byte
+	// lazy lists manifest-covered files served from disk on demand rather
+	// than held in memory: the chunked corpus segments, which at 10×–100×
+	// scale would dwarf the artifacts proper. Each lazy read re-verifies
+	// the manifest digest, so a torn file turns into a miss, never wrong
+	// bytes on the wire.
+	lazy map[string]report.ManifestEntry
 
-	// Analysis is non-nil when the directory contained dataset.gob: the
-	// per-day index queries answer from it. Artifact-only directories
-	// still serve downloads but report HasDataset=false in /api/v1/meta.
+	// Analysis is non-nil when the directory contained a corpus (chunked
+	// dataset/ segments or the legacy dataset.gob): the per-day index
+	// queries answer from it. Artifact-only directories still serve
+	// downloads but report HasDataset=false in /api/v1/meta.
 	Analysis *core.Analysis
 	// Counts is the corpus Table 1 inventory (zero when no dataset).
 	Counts dataset.Counts
@@ -69,24 +53,42 @@ type Snapshot struct {
 // HasDataset reports whether per-day index queries are available.
 func (s *Snapshot) HasDataset() bool { return s.Analysis != nil }
 
-// Artifact returns one artifact's bytes and manifest entry.
+// Artifact returns one artifact's bytes and manifest entry. Corpus
+// segments are read from disk lazily, verified against the manifest on
+// every request; a file that no longer matches is reported absent rather
+// than served wrong.
 func (s *Snapshot) Artifact(name string) ([]byte, report.ManifestEntry, bool) {
-	data, ok := s.files[name]
+	if data, ok := s.files[name]; ok {
+		for _, e := range s.Manifest.Artifacts {
+			if e.Name == name {
+				return data, e, true
+			}
+		}
+		return nil, report.ManifestEntry{}, false
+	}
+	e, ok := s.lazy[name]
 	if !ok {
 		return nil, report.ManifestEntry{}, false
 	}
-	for _, e := range s.Manifest.Artifacts {
-		if e.Name == name {
-			return data, e, true
-		}
+	data, err := os.ReadFile(filepath.Join(s.Dir, filepath.FromSlash(name)))
+	if err != nil || int64(len(data)) != e.Size {
+		return nil, report.ManifestEntry{}, false
 	}
-	return nil, report.ManifestEntry{}, false
+	sum := sha256.Sum256(data)
+	if hex.EncodeToString(sum[:]) != e.SHA256 {
+		return nil, report.ManifestEntry{}, false
+	}
+	return data, e, true
 }
 
-// Names lists the snapshot's artifact names, sorted.
+// Names lists the snapshot's artifact names, sorted (lazily served corpus
+// segments included).
 func (s *Snapshot) Names() []string {
-	out := make([]string, 0, len(s.files))
+	out := make([]string, 0, len(s.files)+len(s.lazy))
 	for name := range s.files {
+		out = append(out, name)
+	}
+	for name := range s.lazy {
 		out = append(out, name)
 	}
 	sort.Strings(out)
@@ -103,12 +105,17 @@ type LoadOptions struct {
 // is not provably intact. The gate has three rungs:
 //
 //  1. report.VerifyDir — the manifest must exist and every listed file
-//     must match its recorded size and SHA-256, with no stale debris.
+//     must match its recorded size and SHA-256, with no stale debris
+//     (chunked corpus segments under dataset/ included).
 //  2. Re-hash on read — each artifact is hashed again as it is read into
 //     memory, so a writer racing the load cannot slip a torn file past
-//     the verification that just passed.
-//  3. core.Validate — when the directory ships its corpus (dataset.gob),
-//     every dataset invariant must hold before an analysis is built.
+//     the verification that just passed. Corpus segments are not slurped:
+//     they stay on disk, re-verified lazily per request.
+//  3. core.Validate / core.ValidateStream — when the directory ships its
+//     corpus (chunked dataset/ layout or legacy dataset.gob), every
+//     dataset invariant must hold before an analysis is built. The
+//     chunked path streams: validation and the analysis build hold one
+//     day of blocks at a time.
 //
 // Any failure returns an error and no snapshot; the caller keeps serving
 // whatever it served before.
@@ -147,8 +154,15 @@ func Load(ctx context.Context, dir string, opts LoadOptions) (*Snapshot, error) 
 		Manifest:    m,
 		ManifestSum: hex.EncodeToString(sum[:]),
 		files:       make(map[string][]byte, len(m.Artifacts)),
+		lazy:        map[string]report.ManifestEntry{},
 	}
 	for _, e := range m.Artifacts {
+		if strings.HasPrefix(e.Name, dsio.DirName+"/") {
+			// Chunked corpus segments: verified already (rung 1), kept on
+			// disk and re-verified per request instead of held in memory.
+			snap.lazy[e.Name] = e
+			continue
+		}
 		data, err := os.ReadFile(filepath.Join(dir, e.Name))
 		if err != nil {
 			return nil, fmt.Errorf("serve: read artifact %s: %w", e.Name, err)
@@ -160,7 +174,32 @@ func Load(ctx context.Context, dir string, opts LoadOptions) (*Snapshot, error) 
 		snap.files[e.Name] = data
 	}
 
-	if raw, ok := snap.files[dsio.DatasetName]; ok {
+	copts := []core.Option{}
+	if opts.Workers > 0 {
+		copts = append(copts, core.WithWorkers(opts.Workers))
+	}
+	if _, ok := snap.lazy[dsio.IndexName]; ok {
+		// Chunked corpus: stream the validation and the analysis build so
+		// the daemon's resident set stays bounded by one day of blocks.
+		r, err := dsio.Open(dir)
+		if err != nil {
+			return nil, fmt.Errorf("serve: open chunked corpus: %w", err)
+		}
+		rep, err := core.ValidateStream(r)
+		if err != nil {
+			return nil, fmt.Errorf("serve: validate chunked corpus: %w", err)
+		}
+		if !rep.OK() {
+			return nil, fmt.Errorf("serve: %s: dataset fails validation: %d violation(s), first: %s",
+				dir, len(rep.Violations), rep.Violations[0])
+		}
+		a, err := core.NewStreaming(ctx, r, copts...)
+		if err != nil {
+			return nil, fmt.Errorf("serve: build analysis: %w", err)
+		}
+		snap.Analysis = a
+		snap.Counts = a.Counts()
+	} else if raw, ok := snap.files[dsio.DatasetName]; ok {
 		ds, labels, err := dsio.Decode(raw)
 		if err != nil {
 			return nil, fmt.Errorf("serve: %s: %w", dsio.DatasetName, err)
@@ -169,11 +208,7 @@ func Load(ctx context.Context, dir string, opts LoadOptions) (*Snapshot, error) 
 			return nil, fmt.Errorf("serve: %s: dataset fails validation: %d violation(s), first: %s",
 				dir, len(rep.Violations), rep.Violations[0])
 		}
-		copts := []core.Option{core.WithBuilderLabels(labels)}
-		if opts.Workers > 0 {
-			copts = append(copts, core.WithWorkers(opts.Workers))
-		}
-		a, err := core.NewWithContext(ctx, ds, copts...)
+		a, err := core.NewWithContext(ctx, ds, append(copts, core.WithBuilderLabels(labels))...)
 		if err != nil {
 			return nil, fmt.Errorf("serve: build analysis: %w", err)
 		}

@@ -23,7 +23,9 @@ import (
 
 // checkpointVersion gates the on-disk format; bump it on any change to the
 // checkpoint struct so stale files are skipped rather than misdecoded.
-const checkpointVersion = 1
+// Version 2 day-shards the chain: sealed days live in immutable shard
+// files and the head checkpoint carries only the open day's blocks.
+const checkpointVersion = 2
 
 // defaultCheckpointKeep bounds retained checkpoint files per directory.
 const defaultCheckpointKeep = 3
@@ -100,11 +102,38 @@ func (d blockDTO) stored() *chain.StoredBlock {
 	}
 }
 
-// checkpoint is the full serialized run position: everything the slot loop
+// shardRef points the head checkpoint at one immutable day shard: the
+// sealed day's blocks, written once at the day boundary and never
+// re-encoded by later checkpoints.
+type shardRef struct {
+	// Day is the UTC day number (unix time / 86400) the shard covers.
+	Day int
+	// Name is the shard's file name inside the checkpoint directory.
+	Name string
+	// SHA256 covers the shard file's bytes; resume verifies it before
+	// trusting the head checkpoint that references it.
+	SHA256 string
+	// Blocks is the shard's block count, informational.
+	Blocks int
+}
+
+// ckptShard is the on-disk envelope of one sealed day's blocks.
+type ckptShard struct {
+	Version     int
+	Fingerprint string
+	Day         int
+	Blocks      []blockDTO
+}
+
+// checkpoint is the serialized run position: everything the slot loop
 // mutates between day boundaries. Structure that NewWorld rebuilds
 // deterministically (keys, contracts, topology, relay wiring) is absent on
 // purpose; so is per-slot relay escrow, which never outlives the slot that
-// created it.
+// created it. The chain itself is day-sharded: days before SealedThrough
+// live in the immutable shard files SealedDays references, and Blocks
+// holds only the open day — so the per-boundary checkpoint write (and the
+// resume decode) stays bounded by one day of blocks however long the run,
+// instead of re-encoding the whole chain every day.
 type checkpoint struct {
 	Version     int
 	Fingerprint string
@@ -114,6 +143,12 @@ type checkpoint struct {
 	// Day is the UTC day number of the next slot, informational.
 	Day             int
 	SlotsSinceChurn int
+
+	// SealedDays references the immutable day shards, in day order.
+	SealedDays []shardRef
+	// SealedThrough is the UTC day number below which every block lives in
+	// a shard; Blocks holds only blocks of later days.
+	SealedThrough int
 
 	Blocks []blockDTO
 	State  state.Snapshot
@@ -192,8 +227,16 @@ func capture(w *World, rs *runState) *checkpoint {
 
 		Arrivals: rs.arrivals,
 		Truth:    rs.truth,
+
+		SealedDays:    append([]shardRef(nil), rs.sealed...),
+		SealedThrough: rs.sealedThrough,
 	}
+	// Already-sealed days are referenced, not re-captured: only blocks the
+	// shard files don't cover are converted and re-encoded.
 	for _, b := range w.Chain.Blocks()[1:] {
+		if int(b.Block.Header.Timestamp/86_400) < rs.sealedThrough {
+			continue
+		}
 		cp.Blocks = append(cp.Blocks, toBlockDTO(b))
 	}
 	for addr, n := range rs.ds.nonces {
@@ -214,9 +257,11 @@ func capture(w *World, rs *runState) *checkpoint {
 }
 
 // restore rewinds a freshly built world and loop state to the checkpointed
-// position. The world must already have gone through the Run-start relay
-// rebuild and builder registration.
-func restore(w *World, rs *runState, cp *checkpoint) error {
+// position, rehydrating sealed days shard by shard from dir — at no point
+// is more than one sealed day's DTO buffer decoded at once, the head
+// checkpoint carrying only the open day. The world must already have gone
+// through the Run-start relay rebuild and builder registration.
+func restore(w *World, rs *runState, cp *checkpoint, dir string) error {
 	if cp.Version != checkpointVersion {
 		return fmt.Errorf("sim: checkpoint version %d, want %d", cp.Version, checkpointVersion)
 	}
@@ -227,9 +272,18 @@ func restore(w *World, rs *runState, cp *checkpoint) error {
 		return fmt.Errorf("sim: checkpoint builder count mismatch")
 	}
 
-	blocks := make([]*chain.StoredBlock, len(cp.Blocks))
-	for i, d := range cp.Blocks {
-		blocks[i] = d.stored()
+	var blocks []*chain.StoredBlock
+	for _, ref := range cp.SealedDays {
+		shard, err := readShard(dir, ref, cp.Fingerprint)
+		if err != nil {
+			return err
+		}
+		for _, d := range shard.Blocks {
+			blocks = append(blocks, d.stored())
+		}
+	}
+	for _, d := range cp.Blocks {
+		blocks = append(blocks, d.stored())
 	}
 	w.Chain.Restore(blocks, state.FromSnapshot(cp.State))
 
@@ -283,6 +337,8 @@ func restore(w *World, rs *runState, cp *checkpoint) error {
 	rs.truth = cp.Truth
 	rs.slot = cp.Slot
 	rs.slotsSinceChurn = cp.SlotsSinceChurn
+	rs.sealed = append([]shardRef(nil), cp.SealedDays...)
+	rs.sealedThrough = cp.SealedThrough
 	return nil
 }
 
@@ -291,13 +347,89 @@ func checkpointName(slot uint64) string {
 	return fmt.Sprintf("ckpt-%012d.gob", slot)
 }
 
-// saveCheckpoint encodes and atomically writes cp into dir, then prunes old
-// files beyond keep. A crash mid-write leaves the previous checkpoint
-// intact and at worst a .tmp- fragment beside it.
+// shardName renders the file name for a sealed day's shard. Its length
+// differs from checkpointName's on purpose: checkpointFiles' filter keeps
+// treating only head checkpoints as resume candidates.
+func shardName(day int) string {
+	return fmt.Sprintf("day-%06d.ckpt.gob", day)
+}
+
+// writeShard seals one finished day into an immutable shard file. A
+// resumed run re-seals the same day to byte-identical content (the run is
+// deterministic), so overwriting an existing shard is harmless.
+func writeShard(dir, fingerprint string, day int, blocks []blockDTO) (shardRef, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(ckptShard{
+		Version: checkpointVersion, Fingerprint: fingerprint, Day: day, Blocks: blocks,
+	})
+	if err != nil {
+		return shardRef{}, fmt.Errorf("sim: encode day shard %d: %w", day, err)
+	}
+	name := shardName(day)
+	if err := atomicio.WriteFile(filepath.Join(dir, name), buf.Bytes(), 0o644); err != nil {
+		return shardRef{}, fmt.Errorf("sim: write day shard %d: %w", day, err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return shardRef{Day: day, Name: name, SHA256: hex.EncodeToString(sum[:]), Blocks: len(blocks)}, nil
+}
+
+// readShard loads and decodes one referenced day shard, holding the caller
+// to the reference's digest and the scenario fingerprint.
+func readShard(dir string, ref shardRef, fingerprint string) (*ckptShard, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ref.Name))
+	if err != nil {
+		return nil, fmt.Errorf("sim: day shard %d: %w", ref.Day, err)
+	}
+	sum := sha256.Sum256(data)
+	if hex.EncodeToString(sum[:]) != ref.SHA256 {
+		return nil, fmt.Errorf("sim: day shard %d: digest mismatch (torn write?)", ref.Day)
+	}
+	shard := &ckptShard{}
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(shard); err != nil {
+		return nil, fmt.Errorf("sim: decode day shard %d: %w", ref.Day, err)
+	}
+	if shard.Version != checkpointVersion || shard.Fingerprint != fingerprint || shard.Day != ref.Day {
+		return nil, fmt.Errorf("sim: day shard %d: envelope mismatch", ref.Day)
+	}
+	return shard, nil
+}
+
+// saveCheckpoint seals every finished day among cp.Blocks into its own
+// shard file, then encodes and atomically writes the head checkpoint (open
+// day only) into dir and prunes old heads beyond keep. On success
+// cp.SealedDays/SealedThrough reflect the sealing, so the caller can carry
+// them into the next capture. A crash mid-write leaves the previous
+// checkpoint intact and at worst a .tmp- fragment beside it; shard files
+// are only referenced by heads written after them.
 func saveCheckpoint(dir string, cp *checkpoint, keep int) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("sim: checkpoint dir: %w", err)
 	}
+	var open []blockDTO
+	byDay := map[int][]blockDTO{}
+	var sealDays []int
+	for _, d := range cp.Blocks {
+		day := int(d.Header.Timestamp / 86_400)
+		if day >= cp.Day {
+			open = append(open, d)
+			continue
+		}
+		if _, ok := byDay[day]; !ok {
+			sealDays = append(sealDays, day)
+		}
+		byDay[day] = append(byDay[day], d)
+	}
+	sort.Ints(sealDays)
+	for _, day := range sealDays {
+		ref, err := writeShard(dir, cp.Fingerprint, day, byDay[day])
+		if err != nil {
+			return err
+		}
+		cp.SealedDays = append(cp.SealedDays, ref)
+	}
+	cp.Blocks = open
+	cp.SealedThrough = cp.Day
+
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(cp); err != nil {
 		return fmt.Errorf("sim: encode checkpoint: %w", err)
@@ -360,16 +492,19 @@ func pruneCheckpoints(dir string, keep int) error {
 	return nil
 }
 
-// loadLatestCheckpoint scans dir newest-first for a checkpoint that decodes
-// cleanly and matches the scenario fingerprint. Corrupt or mismatched files
-// are skipped — a truncated newest file falls back to the one before it.
-// Returns (nil, nil) when nothing usable exists.
+// loadLatestCheckpoint scans dir newest-first for a head checkpoint that
+// decodes cleanly, matches the scenario fingerprint, and whose referenced
+// day shards all verify against their recorded digests. Corrupt or
+// mismatched files are skipped — a truncated newest head (or one whose
+// shard rotted) falls back to the one before it. Returns (nil, nil) when
+// nothing usable exists.
 func loadLatestCheckpoint(dir string, sc Scenario) (*checkpoint, error) {
 	names, err := checkpointFiles(dir)
 	if err != nil {
 		return nil, fmt.Errorf("sim: scan checkpoints: %w", err)
 	}
 	fp := scenarioFingerprint(sc)
+next:
 	for _, name := range names {
 		data, err := os.ReadFile(filepath.Join(dir, name))
 		if err != nil {
@@ -381,6 +516,16 @@ func loadLatestCheckpoint(dir string, sc Scenario) (*checkpoint, error) {
 		}
 		if cp.Version != checkpointVersion || cp.Fingerprint != fp {
 			continue
+		}
+		for _, ref := range cp.SealedDays {
+			shardData, err := os.ReadFile(filepath.Join(dir, ref.Name))
+			if err != nil {
+				continue next
+			}
+			sum := sha256.Sum256(shardData)
+			if hex.EncodeToString(sum[:]) != ref.SHA256 {
+				continue next
+			}
 		}
 		return cp, nil
 	}

@@ -158,6 +158,10 @@ type runState struct {
 	// privatePool holds protected (never-broadcast) user transactions until
 	// a builder lands them — protection services retry across slots.
 	privatePool []*types.Transaction
+	// sealed and sealedThrough mirror the last saved checkpoint's day
+	// shards, so capture never re-converts blocks a shard already covers.
+	sealed        []shardRef
+	sealedThrough int
 }
 
 // Run executes the scenario and collects the Table 1 datasets. The context
@@ -217,7 +221,7 @@ func RunOpts(ctx context.Context, sc Scenario, opts RunOptions) (*Result, error)
 			return nil, err
 		}
 		if cp != nil {
-			if err := restore(w, rs, cp); err != nil {
+			if err := restore(w, rs, cp, opts.CheckpointDir); err != nil {
 				return nil, err
 			}
 		}
@@ -240,12 +244,16 @@ func RunOpts(ctx context.Context, sc Scenario, opts RunOptions) (*Result, error)
 			curDay = day
 			if opts.CheckpointDir != "" {
 				// rs.slot is not yet processed: the checkpoint records the
-				// previous slot as the last completed one.
+				// previous slot as the last completed one, and seals days
+				// strictly before the day of the next slot to process.
 				cp := capture(w, rs)
 				cp.Slot = rs.slot - 1
+				cp.Day = int(ts / 86_400)
 				if err := saveCheckpoint(opts.CheckpointDir, cp, opts.Keep); err != nil {
 					return nil, err
 				}
+				rs.sealed = cp.SealedDays
+				rs.sealedThrough = cp.SealedThrough
 			}
 			if opts.OnDay != nil {
 				opts.OnDay(day - startDay)
@@ -255,9 +263,12 @@ func RunOpts(ctx context.Context, sc Scenario, opts RunOptions) (*Result, error)
 			if opts.CheckpointDir != "" {
 				cp := capture(w, rs)
 				cp.Slot = rs.slot - 1
+				cp.Day = int(w.Chain.SlotTime(rs.slot) / 86_400)
 				if saveErr := saveCheckpoint(opts.CheckpointDir, cp, opts.Keep); saveErr != nil {
 					return nil, fmt.Errorf("sim: interrupted at slot %d and checkpoint failed: %v: %w", rs.slot, saveErr, err)
 				}
+				rs.sealed = cp.SealedDays
+				rs.sealedThrough = cp.SealedThrough
 			}
 			return nil, fmt.Errorf("sim: interrupted at slot %d: %w", rs.slot, err)
 		}

@@ -14,6 +14,7 @@
 package sim
 
 import (
+	"fmt"
 	"time"
 
 	"github.com/ethpbs/pbslab/internal/builder"
@@ -192,6 +193,37 @@ type Scenario struct {
 	// headers and payload fetches against it fail, exercising the
 	// fallback paths the paper's incident calendar documents.
 	RelayOutages []RelayOutage
+
+	// ScaleFactor records the corpus-density multiplier Scale applied: 0
+	// and 1 both mean the calibrated 1× miniature. It is provenance, not a
+	// live setting — the multiplied fields (BlocksPerDay, Demand.Users,
+	// SmallBuilderCount) already carry the scaled values, and checkpoints
+	// fingerprint it so a resume at a different scale is rejected.
+	ScaleFactor int
+}
+
+// Scale returns a copy of sc with the corpus density multiplied by factor:
+// BlocksPerDay (and with it total tx volume, which is per-block), the
+// demand population (Demand.Users, so nonce diversity keeps pace with
+// volume), and the long-tail builder population (SmallBuilderCount). A
+// factor of 1 returns sc unchanged — the 1× output stays byte-identical —
+// and the applied factor is recorded in ScaleFactor. Scaling an
+// already-scaled scenario is rejected so the multiplier can never compound.
+func (sc Scenario) Scale(factor int) (Scenario, error) {
+	if factor < 1 {
+		return sc, fmt.Errorf("scale %d: must be >= 1", factor)
+	}
+	if sc.ScaleFactor > 1 {
+		return sc, fmt.Errorf("scale %d: scenario already scaled %d×", factor, sc.ScaleFactor)
+	}
+	if factor == 1 {
+		return sc, nil
+	}
+	sc.BlocksPerDay *= factor
+	sc.Demand.Users *= factor
+	sc.SmallBuilderCount *= factor
+	sc.ScaleFactor = factor
+	return sc, nil
 }
 
 // RelayOutage is one relay's downtime window.

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check docs-lint chaos chaos-fleet soak crawl bench bench-sim bench-serve bench-fleet bench-scale clean
+.PHONY: all build vet test race check docs-lint chaos chaos-fleet chaos-agent soak crawl bench bench-sim bench-serve bench-fleet bench-scale bench-agent clean
 
 all: check
 
@@ -30,6 +30,7 @@ check:
 	$(GO) test ./...
 	$(MAKE) chaos
 	$(MAKE) chaos-fleet
+	$(MAKE) chaos-agent
 	$(MAKE) soak
 
 # Documentation gate: every package must carry a package comment (go/doc
@@ -60,6 +61,20 @@ chaos-fleet:
 	$(GO) test -race -count=1 \
 		-run 'Fleet|Lease|Journal|Replay|Proc' \
 		./internal/fleet/... ./internal/faults/...
+
+# Multi-host fleet fault suite under the race detector: the agent's
+# epoch-fence protocol (stale dispatch/watch/result all 409, abort raises
+# the floor), the flagship chaos convergence run (local + remote agents
+# under seeded network faults, a partition, an agent kill/restart and an
+# injected straggler, merging byte-identical to an undisturbed single-host
+# run), straggler double-dispatch idempotence, coordinator kill/resume
+# re-attaching open remote leases, stale-publication rejection after a
+# partitioned attempt is reclaimed, and the seeded network fault plan
+# itself.
+chaos-agent:
+	$(GO) test -race -count=1 \
+		-run 'Agent|Straggler|StalePublish|Epoch|Net|Partition|Transport|Hosts|KillResume' \
+		./internal/agent/... ./internal/fleet/... ./internal/faults/... ./internal/cli/...
 
 # Serving-plane soak under the race detector: overload shedding with a
 # balanced admission ledger, zero-loss graceful drain, verified hot-swap
@@ -127,6 +142,17 @@ bench-scale:
 	mkdir -p out
 	$(GO) test -run '^$$' -bench 'CorpusScale' -timeout 1800s . | tee out/bench_pr7.txt
 	$(GO) run ./cmd/benchjson -o $(SCALE_BENCH_OUT) out/bench_pr7.txt
+
+# DESIGN.md §12 benchmark: the multi-host dispatch plane — one local
+# worker vs four loopback agent slots, the same agent fleet under the
+# seeded chaos network plan, and a straggler-rescue run — recorded as
+# derived.agent_scaling_4x_vs_local, derived.agent_chaos_overhead and
+# derived.agent_straggler_rescue_rate in BENCH_pr8.json.
+AGENT_BENCH_OUT ?= BENCH_pr8.json
+bench-agent:
+	mkdir -p out
+	$(GO) test -run '^$$' -bench 'FleetAgents' -benchtime 1x -timeout 1800s ./internal/agent | tee out/bench_pr8.txt
+	$(GO) run ./cmd/benchjson -o $(AGENT_BENCH_OUT) out/bench_pr8.txt
 
 clean:
 	$(GO) clean ./...

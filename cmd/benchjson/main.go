@@ -197,6 +197,34 @@ func derive(rec *Record) {
 			}
 		}
 	}
+	// DESIGN.md §12: the multi-host dispatch plane. Four loopback agent
+	// slots versus one local worker bounds the HTTP hop's cost (the grid
+	// is CPU-bound, so on a single-CPU host the ratio is throughput-
+	// neutral at best); the chaos row prices the seeded network fault
+	// plan; the rescue rate records how often straggler re-dispatch, not
+	// the original attempt, completed a cell.
+	local, okLoc := rec.Benchmarks["FleetAgents/mode=local"]
+	agents4, okA4 := rec.Benchmarks["FleetAgents/mode=agents-4x"]
+	if okLoc && okA4 && agents4.NsPerOp > 0 {
+		if rec.Derived == nil {
+			rec.Derived = map[string]float64{}
+		}
+		rec.Derived["agent_scaling_4x_vs_local"] = local.NsPerOp / agents4.NsPerOp
+	}
+	if chaos, ok := rec.Benchmarks["FleetAgents/mode=agents-4x-chaos"]; ok && okA4 && agents4.NsPerOp > 0 {
+		if rec.Derived == nil {
+			rec.Derived = map[string]float64{}
+		}
+		rec.Derived["agent_chaos_overhead"] = chaos.NsPerOp / agents4.NsPerOp
+	}
+	if strag, ok := rec.Benchmarks["FleetAgents/mode=straggler"]; ok {
+		if r, ok := strag.Metrics["rescue_rate"]; ok {
+			if rec.Derived == nil {
+				rec.Derived = map[string]float64{}
+			}
+			rec.Derived["agent_straggler_rescue_rate"] = r
+		}
+	}
 }
 
 func main() {

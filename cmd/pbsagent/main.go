@@ -1,0 +1,93 @@
+// pbsagent is the fleet's remote worker agent: a thin HTTP server that
+// accepts cell assignments from a pbsfleet coordinator, runs them as
+// crash-isolated subprocesses of this same binary, streams heartbeats
+// back, and serves the finished artifacts for digest-verified download.
+// Agents hold no coordinator address and initiate nothing; a coordinator
+// reaches them via the grid's "agents" stanza or the -agents flag.
+//
+// Usage:
+//
+//	pbsagent -listen :9070 -scratch /tmp/agent1 [-capacity N]
+//
+// SIGINT/SIGTERM drains: new assignments are refused with 503, running
+// cells get a bounded grace period to finish, then the server exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/ethpbs/pbslab/internal/agent"
+	"github.com/ethpbs/pbslab/internal/fleet"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	// Worker re-entry: when the agent execs us with the cell-spec
+	// environment set, this call runs the cell and never returns.
+	fleet.MaybeWorker()
+
+	fs := flag.NewFlagSet("pbsagent", flag.ContinueOnError)
+	listen := fs.String("listen", ":9070", "listen address")
+	scratch := fs.String("scratch", "", "scratch directory for staging and checkpoints (required)")
+	capacity := fs.Int("capacity", 2, "concurrent cell runs before shedding 429")
+	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint sent with 429/503 sheds")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "grace period for running cells on shutdown")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return 2
+	}
+	if *scratch == "" {
+		fmt.Fprintln(os.Stderr, "pbsagent: -scratch is required")
+		fs.Usage()
+		return 2
+	}
+	ag, err := agent.New(agent.Config{
+		Scratch:      *scratch,
+		Capacity:     *capacity,
+		RetryAfter:   *retryAfter,
+		DrainTimeout: *drainTimeout,
+		Log:          os.Stderr,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pbsagent: %v\n", err)
+		return 2
+	}
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pbsagent: %v\n", err)
+		return 2
+	}
+	srv := &http.Server{Handler: ag.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	fmt.Fprintf(os.Stderr, "pbsagent: serving on %s (capacity %d, scratch %s)\n", l.Addr(), *capacity, *scratch)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "pbsagent: %v\n", err)
+		return 1
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "pbsagent: %v: draining\n", s)
+	}
+	if !ag.Drain() {
+		fmt.Fprintln(os.Stderr, "pbsagent: drain timed out; running cells killed")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "pbsagent: shutdown: %v\n", err)
+		return 1
+	}
+	return 0
+}

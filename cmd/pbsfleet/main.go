@@ -7,10 +7,13 @@
 // Usage:
 //
 //	pbsfleet -grid grid.json -out runs/sweep [-workers N] [-resume]
+//	pbsfleet -grid grid.json -out runs/sweep -agents host1:9070=2,host2:9070=4
 //
 // The worker side is this same binary: the coordinator re-execs it with
 // the cell spec in the environment, so there is no separate worker binary
-// to deploy or version-skew against.
+// to deploy or version-skew against. With -agents (or an "agents" stanza
+// in the grid), cells also dispatch to remote pbsagent workers over HTTP;
+// -workers 0 makes the run agents-only.
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/ethpbs/pbslab/internal/cli"
 	"github.com/ethpbs/pbslab/internal/faults"
 	"github.com/ethpbs/pbslab/internal/fleet"
 )
@@ -41,6 +45,8 @@ func run() int {
 	retries := fs.Int("retries", 3, "failed attempts before a cell is quarantined")
 	lease := fs.Duration("lease", 30*time.Second, "heartbeat deadline before a worker is reclaimed")
 	heartbeat := fs.Duration("heartbeat", 0, "worker heartbeat period (default lease/5)")
+	agents := fs.String("agents", "", "remote pbsagent endpoints, addr[=capacity] comma-separated (overrides the grid's agents stanza)")
+	straggler := fs.Duration("straggler-after", 0, "re-dispatch a still-running cell on a second transport after this long (0 = off)")
 	chaos := fs.Bool("chaos", false, "inject seeded process faults (kill/wedge/corrupt) into first attempts")
 	chaosSeed := fs.Uint64("chaos-seed", 1, "seed for the chaos fault plan")
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -58,11 +64,22 @@ func run() int {
 	}
 
 	opts := fleet.Options{
-		Workers:     *workers,
-		MaxAttempts: *retries,
-		LeaseTTL:    *lease,
-		Heartbeat:   *heartbeat,
-		Log:         os.Stderr,
+		Workers:        *workers,
+		MaxAttempts:    *retries,
+		LeaseTTL:       *lease,
+		Heartbeat:      *heartbeat,
+		StragglerAfter: *straggler,
+		Log:            os.Stderr,
+	}
+	if *agents != "" {
+		hosts, err := cli.ParseHosts(*agents)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pbsfleet: -agents: %v\n", err)
+			return 2
+		}
+		for _, h := range hosts {
+			opts.Agents = append(opts.Agents, fleet.AgentSpec{Addr: h.Addr, Capacity: h.Capacity})
+		}
 	}
 	if *chaos {
 		seed := *chaosSeed

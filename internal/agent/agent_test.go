@@ -1,0 +1,301 @@
+package agent
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ethpbs/pbslab/internal/fleet"
+	"github.com/ethpbs/pbslab/internal/report"
+)
+
+// TestMain gives the test binary the worker re-entry point: when an agent
+// under test re-execs this binary with the cell environment set,
+// MaybeWorker runs the cell and exits before any test would run.
+func TestMain(m *testing.M) {
+	fleet.MaybeWorker()
+	os.Exit(m.Run())
+}
+
+// tinyCells expands a fast but fully wired grid (real sim → analysis →
+// artifacts per cell).
+func tinyCells(t *testing.T, name string, seeds ...uint64) []fleet.Cell {
+	t.Helper()
+	g := &fleet.Grid{
+		Name:         name,
+		Seeds:        seeds,
+		Days:         2,
+		BlocksPerDay: 6,
+		Users:        80,
+		Validators:   120,
+		PrivateFlow:  []float64{0.06},
+	}
+	cells, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cells
+}
+
+func testExecutable(t testing.TB) string {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exe
+}
+
+// startAgent brings up an agent over a real HTTP server and returns it
+// with its host:port address.
+func startAgent(t *testing.T, capacity int) (*Agent, *httptest.Server, string) {
+	t.Helper()
+	a, err := New(Config{
+		Executable: testExecutable(t),
+		Scratch:    t.TempDir(),
+		Capacity:   capacity,
+		RetryAfter: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(a.Handler())
+	t.Cleanup(srv.Close)
+	return a, srv, strings.TrimPrefix(srv.URL, "http://")
+}
+
+func postRun(t *testing.T, addr string, cell fleet.Cell, epoch int) *http.Response {
+	t.Helper()
+	body, _ := json.Marshal(fleet.RunRequest{Cell: cell, Epoch: epoch, Heartbeat: 50 * time.Millisecond})
+	resp, err := http.Post("http://"+addr+fleet.AgentPathRun, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// waitDone polls the agent's status endpoint until the (cell, epoch) run
+// reports done.
+func waitDone(t *testing.T, addr, cell string, epoch int) fleet.AgentRunStatus {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + fleet.AgentPathStatus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var reply fleet.AgentStatusReply
+		if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		for _, st := range reply.Runs {
+			if st.Cell == cell && st.Epoch == epoch && st.Done {
+				return st
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("cell %s epoch %d never finished", cell, epoch)
+	return fleet.AgentRunStatus{}
+}
+
+// TestAgentRunWatchFetchAck drives the full happy path through the real
+// client: dispatch, heartbeat stream, digest-verified fetch, ack.
+func TestAgentRunWatchFetchAck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess agent run")
+	}
+	_, _, addr := startAgent(t, 2)
+	cell := tinyCells(t, "happy", 7)[0]
+	tr := fleet.NewAgentTransport(fleet.AgentSpec{Addr: addr, Capacity: 2})
+	workDir := filepath.Join(t.TempDir(), "stage")
+	if err := os.MkdirAll(workDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	beats := 0
+	err := tr.Run(context.Background(), fleet.Attempt{Cell: cell, Epoch: 1, Heartbeat: 50 * time.Millisecond},
+		workDir, func() { beats++ })
+	if err != nil {
+		t.Fatalf("agent run: %v", err)
+	}
+	if beats < 2 {
+		t.Fatalf("watch stream relayed %d heartbeats, want several", beats)
+	}
+	problems, err := report.VerifyDir(workDir)
+	if err != nil || len(problems) > 0 {
+		t.Fatalf("staged artifacts do not verify: %v %v", err, problems)
+	}
+	// The ack released the agent's hold on the run.
+	st, err := tr.Status(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Runs) != 0 {
+		t.Fatalf("agent still holds %d runs after ack", len(st.Runs))
+	}
+}
+
+// TestAgentEpochFencing proves the partition-tolerance invariant: every
+// request below the highest epoch the agent has seen for a cell is
+// fenced with 409, including after an abort raised the floor.
+func TestAgentEpochFencing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess agent run")
+	}
+	_, _, addr := startAgent(t, 2)
+	cell := tinyCells(t, "fence", 9)[0]
+
+	if resp := postRun(t, addr, cell, 2); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("epoch 2 dispatch: got %d, want 202", resp.StatusCode)
+	}
+	// A stale (reclaimed, reconnecting) epoch must be rejected while the
+	// newer one runs — and its watch stream must be refused, too.
+	if resp := postRun(t, addr, cell, 1); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("stale epoch 1 dispatch: got %d, want 409", resp.StatusCode)
+	}
+	watch, err := http.Get(fmt.Sprintf("http://%s%s%s/1", addr, fleet.AgentPathWatch, cell.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	watch.Body.Close()
+	if watch.StatusCode != http.StatusConflict {
+		t.Fatalf("stale epoch 1 watch: got %d, want 409", watch.StatusCode)
+	}
+	waitDone(t, addr, cell.ID, 2)
+
+	// Abort epoch 2: the floor rises past it, so even the aborted epoch
+	// itself can never be re-dispatched or fetched again.
+	ref, _ := json.Marshal(fleet.AgentCellRef{Cell: cell.ID, Epoch: 2})
+	resp, err := http.Post("http://"+addr+fleet.AgentPathAbort, "application/json", bytes.NewReader(ref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("abort: got %d, want 200", resp.StatusCode)
+	}
+	if resp := postRun(t, addr, cell, 2); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("aborted epoch 2 re-dispatch: got %d, want 409", resp.StatusCode)
+	}
+	res, err := http.Get(fmt.Sprintf("http://%s%s%s/2/%s", addr, fleet.AgentPathResult, cell.ID, report.ManifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusConflict && res.StatusCode != http.StatusNotFound {
+		t.Fatalf("aborted epoch 2 result fetch: got %d, want 409/404 — a fenced epoch must never publish", res.StatusCode)
+	}
+	// A newer epoch is still welcome.
+	if resp := postRun(t, addr, cell, 3); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("epoch 3 dispatch after abort: got %d, want 202", resp.StatusCode)
+	}
+	waitDone(t, addr, cell.ID, 3)
+}
+
+// TestAgentIdempotentJoin: duplicate deliveries of the same (cell, epoch)
+// join the running attempt instead of forking a second worker.
+func TestAgentIdempotentJoin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess agent run")
+	}
+	a, _, addr := startAgent(t, 2)
+	cell := tinyCells(t, "join", 11)[0]
+	if resp := postRun(t, addr, cell, 1); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first dispatch: got %d, want 202", resp.StatusCode)
+	}
+	if resp := postRun(t, addr, cell, 1); resp.StatusCode != http.StatusOK {
+		t.Fatalf("duplicate dispatch: got %d, want 200 (join)", resp.StatusCode)
+	}
+	a.mu.Lock()
+	held := len(a.runs)
+	a.mu.Unlock()
+	if held != 1 {
+		t.Fatalf("agent holds %d runs after duplicate dispatch, want 1", held)
+	}
+	st := waitDone(t, addr, cell.ID, 1)
+	if !st.OK {
+		t.Fatalf("run failed: %s", st.Cause)
+	}
+	// Joining a finished run reports its result immediately.
+	resp := postRun(t, addr, cell, 1)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("join after done: got %d, want 200", resp.StatusCode)
+	}
+	var got fleet.AgentRunStatus
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Done || !got.OK {
+		t.Fatalf("join after done reported %+v, want done+ok", got)
+	}
+}
+
+// TestAgentShedsAtCapacity: a full agent sheds with 429 + Retry-After
+// instead of queueing unbounded work.
+func TestAgentShedsAtCapacity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess agent run")
+	}
+	_, _, addr := startAgent(t, 1)
+	cells := tinyCells(t, "shed", 13, 14)
+	if resp := postRun(t, addr, cells[0], 1); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first dispatch: got %d, want 202", resp.StatusCode)
+	}
+	resp := postRun(t, addr, cells[1], 1)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity dispatch: got %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 shed carries no Retry-After hint")
+	}
+	waitDone(t, addr, cells[0].ID, 1)
+}
+
+// TestAgentDrainRefusesNewWork: a draining agent sheds dispatches with
+// 503 so a coordinator re-places the cell elsewhere.
+func TestAgentDrainRefusesNewWork(t *testing.T) {
+	a, _, addr := startAgent(t, 2)
+	a.draining.Store(true)
+	cell := tinyCells(t, "drain", 15)[0]
+	resp := postRun(t, addr, cell, 1)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("dispatch to draining agent: got %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 shed carries no Retry-After hint")
+	}
+}
+
+// TestAgentResultPathSanitized: artifact paths cannot escape the staging
+// directory.
+func TestAgentResultPathSanitized(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess agent run")
+	}
+	_, _, addr := startAgent(t, 2)
+	cell := tinyCells(t, "paths", 17)[0]
+	if resp := postRun(t, addr, cell, 1); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("dispatch: got %d, want 202", resp.StatusCode)
+	}
+	waitDone(t, addr, cell.ID, 1)
+	for _, evil := range []string{"../../etc/passwd", "..%2f..%2fsecret", "a/../../b"} {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s%s/1/%s", addr, fleet.AgentPathResult, cell.ID, evil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest && resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("path %q: got %d, want 400/404", evil, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package agent
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/ethpbs/pbslab/internal/faults"
+	"github.com/ethpbs/pbslab/internal/fleet"
+)
+
+// benchGrid is the BENCH_pr8 workload: 8 fully wired cells, the same
+// shape the chaos tests run, sized so per-cell simulation work dominates
+// dispatch overhead on either transport.
+func benchGrid() *fleet.Grid {
+	return &fleet.Grid{
+		Name:         "agentbench",
+		Seeds:        []uint64{1, 2, 3, 4},
+		Days:         2,
+		BlocksPerDay: 6,
+		Users:        80,
+		Validators:   120,
+		PrivateFlow:  []float64{0.06, 0.3},
+	}
+}
+
+func benchRun(b *testing.B, dir string, g *fleet.Grid, opts fleet.Options) *fleet.Summary {
+	b.Helper()
+	c, err := fleet.NewCoordinator(dir, g, opts, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sum, err := c.Run(context.Background())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if sum.Completed != sum.Cells {
+		b.Fatalf("%d/%d cells completed, %d quarantined", sum.Completed, sum.Cells, len(sum.Quarantined))
+	}
+	return sum
+}
+
+// BenchmarkFleetAgents measures the multi-host dispatch plane on one
+// grid: a single local worker as the baseline, four loopback agent slots
+// (two agents × capacity 2), the same agent fleet under the seeded chaos
+// network plan, and a straggler run where slow first attempts are rescued
+// by re-dispatch onto a second transport. benchjson derives
+// agent_scaling_4x_vs_local and agent_chaos_overhead from the row wall
+// times, and agent_straggler_rescue_rate from the rescue_rate metric.
+func BenchmarkFleetAgents(b *testing.B) {
+	run := func(b *testing.B, opts func(b *testing.B) fleet.Options, metric func(*fleet.Summary, *testing.B)) {
+		for i := 0; i < b.N; i++ {
+			sum := benchRun(b, b.TempDir(), benchGrid(), opts(b))
+			if metric != nil {
+				metric(sum, b)
+			}
+		}
+	}
+
+	b.Run("mode=local", func(b *testing.B) {
+		run(b, func(b *testing.B) fleet.Options {
+			opts := chaosOpts(b)
+			opts.Workers = 1
+			return opts
+		}, nil)
+	})
+
+	b.Run("mode=agents-4x", func(b *testing.B) {
+		run(b, func(b *testing.B) fleet.Options {
+			opts := chaosOpts(b)
+			opts.Workers = 0
+			for _, la := range []*liveAgent{
+				startLiveAgent(b, "127.0.0.1:0", 2),
+				startLiveAgent(b, "127.0.0.1:0", 2),
+			} {
+				opts.Agents = append(opts.Agents, fleet.AgentSpec{Addr: la.addr, Capacity: 2})
+			}
+			return opts
+		}, nil)
+	})
+
+	b.Run("mode=agents-4x-chaos", func(b *testing.B) {
+		run(b, func(b *testing.B) fleet.Options {
+			opts := chaosOpts(b)
+			opts.Workers = 0
+			opts.MaxAttempts = 5
+			inj := faults.NewInjector(7)
+			for _, la := range []*liveAgent{
+				startLiveAgent(b, "127.0.0.1:0", 2),
+				startLiveAgent(b, "127.0.0.1:0", 2),
+			} {
+				inj.SetConfig(la.addr, faults.NetPlan(7, la.addr))
+				opts.Transports = append(opts.Transports,
+					faultyTransport(fleet.AgentSpec{Addr: la.addr, Capacity: 2}, inj, 7))
+			}
+			return opts
+		}, nil)
+	})
+
+	b.Run("mode=straggler", func(b *testing.B) {
+		cells, rescues := 0, 0
+		run(b, func(b *testing.B) fleet.Options {
+			opts := chaosOpts(b)
+			opts.StragglerAfter = 700 * time.Millisecond
+			opts.Transports = []fleet.Transport{
+				&fleet.LocalTransport{Executable: testExecutable(b), Slots: 2},
+				fleet.NewAgentTransport(fleet.AgentSpec{Addr: startLiveAgent(b, "127.0.0.1:0", 2).addr, Capacity: 2}),
+			}
+			opts.WorkerEnv = func(cell fleet.Cell, attempt int) []string {
+				pc := faults.ProcConfig{SlowMSPerSlot: 600, MaxAttempt: 1}
+				return []string{faults.ProcEnv + "=" + pc.String()}
+			}
+			return opts
+		}, func(sum *fleet.Summary, b *testing.B) {
+			cells += sum.Cells
+			rescues += sum.StragglerRescues
+		})
+		if cells > 0 {
+			b.ReportMetric(float64(rescues)/float64(cells), "rescue_rate")
+		}
+	})
+}

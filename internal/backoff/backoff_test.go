@@ -1,0 +1,71 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDelayExponentialAndCapped(t *testing.T) {
+	p := Policy{Base: 50 * time.Millisecond, Max: 2 * time.Second}
+	wants := []time.Duration{
+		50 * time.Millisecond,
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1600 * time.Millisecond,
+		2 * time.Second, // capped
+		2 * time.Second,
+	}
+	for i, want := range wants {
+		if got := p.Delay(i+1, 0, nil); got != want {
+			t.Fatalf("attempt %d: delay = %v, want %v", i+1, got, want)
+		}
+	}
+	// Shift overflow clamps to Max instead of going negative.
+	if got := p.Delay(70, 0, nil); got != 2*time.Second {
+		t.Fatalf("overflow attempt: delay = %v, want cap", got)
+	}
+}
+
+func TestDelayHonoursRetryAfter(t *testing.T) {
+	p := Policy{Base: 50 * time.Millisecond, Max: 2 * time.Second}
+	if got := p.Delay(1, 700*time.Millisecond, nil); got != 700*time.Millisecond {
+		t.Fatalf("retry-after floor: delay = %v, want 700ms", got)
+	}
+	// A hint shorter than the computed backoff does not shrink it.
+	if got := p.Delay(4, 10*time.Millisecond, nil); got != 400*time.Millisecond {
+		t.Fatalf("short hint: delay = %v, want 400ms", got)
+	}
+}
+
+func TestDelayJitterDeterministicAndBounded(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Max: 2 * time.Second}
+	a := NewJitter(7, "test/retry/a")
+	b := NewJitter(7, "test/retry/a")
+	for i := 1; i <= 16; i++ {
+		da := p.Delay(i, 0, a)
+		db := p.Delay(i, 0, b)
+		if da != db {
+			t.Fatalf("attempt %d: same seed/stream diverged: %v vs %v", i, da, db)
+		}
+		full := p.Delay(i, 0, nil)
+		if da < full/2 || da >= full {
+			t.Fatalf("attempt %d: jittered delay %v outside [%v, %v)", i, da, full/2, full)
+		}
+	}
+	// Different streams draw different factors (overwhelmingly likely
+	// somewhere in 16 draws).
+	c := NewJitter(7, "test/retry/c")
+	same := true
+	a2 := NewJitter(7, "test/retry/a")
+	for i := 1; i <= 16; i++ {
+		if p.Delay(i, 0, a2) != p.Delay(i, 0, c) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("distinct streams produced identical delay sequences")
+	}
+}

@@ -1,0 +1,52 @@
+package cli
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Host is one remote worker endpoint parsed from a -agents style flag.
+type Host struct {
+	// Addr is the host:port endpoint.
+	Addr string
+	// Capacity is the concurrent-work budget for the host (>= 1).
+	Capacity int
+}
+
+// ParseHosts parses a comma-separated host list of the form
+// "addr[=capacity],addr[=capacity],...". A bare addr gets capacity 1.
+// Addresses must be unique; an empty string parses to no hosts.
+func ParseHosts(s string) ([]Host, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var hosts []Host
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("cli: hosts: empty entry in %q", s)
+		}
+		addr, capStr, hasCap := strings.Cut(part, "=")
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			return nil, fmt.Errorf("cli: hosts: entry %q has no address", part)
+		}
+		if seen[addr] {
+			return nil, fmt.Errorf("cli: hosts: duplicate address %q", addr)
+		}
+		seen[addr] = true
+		capacity := 1
+		if hasCap {
+			n, err := strconv.Atoi(strings.TrimSpace(capStr))
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("cli: hosts: %q: capacity must be a positive integer", part)
+			}
+			capacity = n
+		}
+		hosts = append(hosts, Host{Addr: addr, Capacity: capacity})
+	}
+	return hosts, nil
+}

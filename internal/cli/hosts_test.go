@@ -1,0 +1,50 @@
+package cli
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseHosts(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []Host
+		err  string
+	}{
+		{in: "", want: nil},
+		{in: "   ", want: nil},
+		{in: "h1:9070", want: []Host{{Addr: "h1:9070", Capacity: 1}}},
+		{in: "h1:9070=4", want: []Host{{Addr: "h1:9070", Capacity: 4}}},
+		{
+			in: "h1:9070=2, h2:9070 ,h3:9070=8",
+			want: []Host{
+				{Addr: "h1:9070", Capacity: 2},
+				{Addr: "h2:9070", Capacity: 1},
+				{Addr: "h3:9070", Capacity: 8},
+			},
+		},
+		{in: "h1:9070,,h2:9070", err: "empty entry"},
+		{in: "=4", err: "no address"},
+		{in: "h1:9070,h1:9070=2", err: "duplicate address"},
+		{in: "h1:9070=0", err: "capacity"},
+		{in: "h1:9070=-1", err: "capacity"},
+		{in: "h1:9070=lots", err: "capacity"},
+	}
+	for _, tc := range cases {
+		got, err := ParseHosts(tc.in)
+		if tc.err != "" {
+			if err == nil || !strings.Contains(err.Error(), tc.err) {
+				t.Errorf("ParseHosts(%q) err = %v, want containing %q", tc.in, err, tc.err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseHosts(%q): %v", tc.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("ParseHosts(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"io"
 	"sort"
 	"time"
 
@@ -13,6 +14,24 @@ import (
 	"github.com/ethpbs/pbslab/internal/p2p"
 	"github.com/ethpbs/pbslab/internal/types"
 )
+
+// gob allocates type descriptor IDs from a process-global counter in
+// first-use order, so the same corpus would encode to value-equal but
+// byte-different streams depending on what the process gob-encoded or
+// -decoded earlier — a worker that restored a checkpoint before dumping
+// its dataset, for example. Walking the full DTO closure here pins those
+// IDs at init, before any runtime gob traffic, making chunk and envelope
+// bytes canonical: equal corpora hash equal in every binary linking this
+// package, which manifest digests and byte-level corpus comparison rely
+// on.
+func init() {
+	enc := gob.NewEncoder(io.Discard)
+	for _, v := range []any{&segCommon{}, &segDay{}, &envelope{}} {
+		if err := enc.Encode(v); err != nil {
+			panic(fmt.Sprintf("dsio: pin gob type IDs: %v", err))
+		}
+	}
+}
 
 // DatasetName is the file name the encoded corpus is stored under inside an
 // output directory, beside the figure CSVs and covered by the same manifest.

@@ -381,6 +381,31 @@ func (r *Reader) ReadAll() (*dataset.Dataset, map[types.Address]string, error) {
 	return full, r.labels, nil
 }
 
+// CheckDir eagerly verifies any chunked corpus under dir: the index
+// decodes, and the common section plus every day segment match their
+// recorded sizes and digests. A directory without a segment index passes
+// trivially. The fleet coordinator runs this before accepting a
+// dataset-dumping cell, so a segment torn in transit is rejected at
+// acceptance instead of failing an analysis weeks later.
+func CheckDir(dir string) error {
+	if _, err := os.Stat(filepath.Join(dir, filepath.FromSlash(IndexName))); err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("dsio: check %s: %w", dir, err)
+	}
+	r, err := Open(dir)
+	if err != nil {
+		return err
+	}
+	for day := 0; day < r.Days(); day++ {
+		if _, err := r.OpenDay(day); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Load opens whichever corpus format dir holds: the chunked layout when a
 // segment index is present, else the legacy single-blob dataset.gob. The
 // whole dataset is rehydrated; use Open for streamed access.

@@ -37,6 +37,13 @@ type Config struct {
 	// TruncateProb is the chance the response body is cut in half
 	// mid-stream.
 	TruncateProb float64
+	// DuplicateProb is the chance the request is delivered twice: the
+	// round-trip is performed, its response discarded, and the request
+	// re-sent — the at-least-once delivery failure that flushes out
+	// non-idempotent endpoints. Drawn only when configured (like the
+	// server-plane modes), so legacy configs keep their exact streams.
+	// Transport-only; Middleware ignores it (a server cannot re-deliver).
+	DuplicateProb float64
 
 	// The three server-plane modes below are drawn only when at least one
 	// of them is configured, so legacy configs keep their exact historical
@@ -78,6 +85,7 @@ type Counters struct {
 	Errors        int
 	RateLimits    int
 	Truncates     int
+	Duplicates    int
 	OutageHits    int
 	SlowBodies    int
 	PartialWrites int
@@ -86,8 +94,8 @@ type Counters struct {
 
 // Injected sums every injected fault.
 func (c Counters) Injected() int {
-	return c.Drops + c.Delays + c.Errors + c.RateLimits + c.Truncates + c.OutageHits +
-		c.SlowBodies + c.PartialWrites + c.Resets
+	return c.Drops + c.Delays + c.Errors + c.RateLimits + c.Truncates + c.Duplicates +
+		c.OutageHits + c.SlowBodies + c.PartialWrites + c.Resets
 }
 
 // Stats aggregates fault counters per relay; safe for concurrent use.
@@ -140,6 +148,7 @@ type Action struct {
 	Status     int // 0 = no synthetic status; otherwise 503 or 429
 	RetryAfter time.Duration
 	Truncate   bool
+	Duplicate  bool
 
 	// Middleware-only modes (Transport never sets them).
 	SlowBody      bool
@@ -226,6 +235,10 @@ func (inj *Injector) Decide(relay string, at time.Time) Action {
 		partial = stream.Bool(cfg.PartialWriteProb)
 		reset = stream.Bool(cfg.ResetProb)
 	}
+	var dup bool
+	if cfg.DuplicateProb > 0 {
+		dup = stream.Bool(cfg.DuplicateProb)
+	}
 	inj.mu.Unlock()
 
 	switch {
@@ -247,6 +260,10 @@ func (inj *Injector) Decide(relay string, at time.Time) Action {
 	if trunc {
 		inj.stats.bump(relay, func(c *Counters) { c.Truncates++ })
 		act.Truncate = true
+	}
+	if dup {
+		inj.stats.bump(relay, func(c *Counters) { c.Duplicates++ })
+		act.Duplicate = true
 	}
 	if slow {
 		inj.stats.bump(relay, func(c *Counters) { c.SlowBodies++ })
@@ -307,6 +324,21 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 	if base == nil {
 		base = http.DefaultTransport
 	}
+	if act.Duplicate {
+		// At-least-once delivery: the request reaches the server twice and
+		// the caller sees only the second response. Requests with a
+		// non-replayable body cannot be duplicated and pass through.
+		if redo, rerr := duplicateRequest(req); rerr == nil {
+			first, ferr := base.RoundTrip(req)
+			if ferr != nil {
+				// The lone delivery failed; nothing left to duplicate.
+				return first, ferr
+			}
+			_, _ = io.Copy(io.Discard, first.Body)
+			first.Body.Close()
+			req = redo
+		}
+	}
 	resp, err := base.RoundTrip(req)
 	if err != nil || !act.Truncate {
 		return resp, err
@@ -318,6 +350,25 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 	}
 	resp.Body = io.NopCloser(bytes.NewReader(body[:len(body)/2]))
 	return resp, nil
+}
+
+// duplicateRequest clones req for a second delivery, replaying the body via
+// GetBody. Bodyless requests clone trivially; a request whose body cannot be
+// replayed returns an error and is not duplicated.
+func duplicateRequest(req *http.Request) (*http.Request, error) {
+	redo := req.Clone(req.Context())
+	if req.Body == nil || req.Body == http.NoBody {
+		return redo, nil
+	}
+	if req.GetBody == nil {
+		return nil, fmt.Errorf("faults: %s request body is not replayable", req.Method)
+	}
+	body, err := req.GetBody()
+	if err != nil {
+		return nil, err
+	}
+	redo.Body = body
+	return redo, nil
 }
 
 func syntheticResponse(req *http.Request, act Action) *http.Response {

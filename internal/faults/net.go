@@ -1,0 +1,53 @@
+// Network fault plans for the multi-host fleet's coordinator↔agent links.
+//
+// The Injector already models a flaky relay network; the agent plane reuses
+// it with one stream per agent address, so one agent's RPC count never
+// perturbs another's draws. NetPlan adds the fleet-chaos analogue of
+// ProcPlan: a pure function of (seed, agent) that deals each agent a fault
+// mix — dropped and delayed RPCs (heartbeat loss), 429s with Retry-After
+// (an overloaded agent shedding), truncated downloads (torn uploads the
+// digest check must catch), and duplicate deliveries (at-least-once
+// dispatch) — so a chaos run's network history is reproducible.
+package faults
+
+import (
+	"time"
+
+	"github.com/ethpbs/pbslab/internal/rng"
+)
+
+// NetPlan draws the chaos-mode network fault mix for one coordinator→agent
+// link from a dedicated seeded stream ("net/<agent>"). Every agent gets a
+// baseline of transient loss; roughly a third get a lossier link, a third a
+// shedding (rate-limited) agent, and a third torn/duplicated deliveries.
+// Probabilities are kept below the coordinator's RPC retry budget so a
+// chaos run converges instead of quarantining cells.
+func NetPlan(seed uint64, agent string) Config {
+	r := rng.New(seed).Fork("net/" + agent)
+	cfg := Config{
+		DropProb:   0.05,
+		DelayProb:  0.10,
+		Delay:      5 * time.Millisecond,
+		RetryAfter: time.Second,
+	}
+	switch r.Intn(3) {
+	case 0: // lossy link: more drops and delays
+		cfg.DropProb = 0.15
+		cfg.DelayProb = 0.25
+	case 1: // shedding agent: rate limits with a backoff hint
+		cfg.RateLimitProb = 0.10
+	case 2: // torn and duplicated deliveries
+		cfg.TruncateProb = 0.10
+		cfg.DuplicateProb = 0.10
+	}
+	return cfg
+}
+
+// Partition returns an outage window [from, from+d) for splicing a
+// network partition into an agent's Config.Outages: every RPC inside the
+// window is dropped, which is indistinguishable from a switch failure to
+// the coordinator — heartbeats stop flowing, watch streams die, and only
+// reconnection (or lease expiry) resolves it.
+func Partition(from time.Time, d time.Duration) Window {
+	return Window{From: from, To: from.Add(d)}
+}

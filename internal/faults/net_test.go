@@ -1,0 +1,146 @@
+package faults
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestNetPlanDeterministicPerAgent: the chaos network plan is a pure
+// function of (seed, agent) — re-deriving it yields the same fault mix, a
+// different agent draws an independent stream, and the baseline transient
+// loss is always present so no link is perfectly reliable.
+func TestNetPlanDeterministicPerAgent(t *testing.T) {
+	a := NetPlan(7, "10.0.0.12:9070")
+	b := NetPlan(7, "10.0.0.12:9070")
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("NetPlan not deterministic: %+v vs %+v", a, b)
+	}
+	if a.DropProb <= 0 || a.DelayProb <= 0 {
+		t.Fatalf("NetPlan lost its baseline transient loss: %+v", a)
+	}
+	seedsDiffer := false
+	for seed := uint64(8); seed < 16 && !seedsDiffer; seed++ {
+		seedsDiffer = !reflect.DeepEqual(NetPlan(seed, "10.0.0.12:9070"), a)
+	}
+	if !seedsDiffer {
+		t.Fatalf("NetPlan ignores the seed: every seed drew %+v", a)
+	}
+	// Across many agents every third of the fault mix must appear;
+	// per-agent streams that all collapsed to one mode would make chaos
+	// runs exercise a single failure class.
+	var lossy, shedding, torn int
+	for i := 0; i < 60; i++ {
+		cfg := NetPlan(7, string(rune('a'+i%26))+"-agent")
+		switch {
+		case cfg.DropProb > 0.05:
+			lossy++
+		case cfg.RateLimitProb > 0:
+			shedding++
+		case cfg.TruncateProb > 0:
+			torn++
+		}
+	}
+	if lossy == 0 || shedding == 0 || torn == 0 {
+		t.Fatalf("fault mix collapsed: lossy=%d shedding=%d torn=%d", lossy, shedding, torn)
+	}
+}
+
+// TestPartitionWindow: a partition is a half-open outage window.
+func TestPartitionWindow(t *testing.T) {
+	from := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	w := Partition(from, time.Minute)
+	if !w.Contains(from) {
+		t.Error("partition excludes its start")
+	}
+	if !w.Contains(from.Add(59 * time.Second)) {
+		t.Error("partition excludes its interior")
+	}
+	if w.Contains(from.Add(time.Minute)) {
+		t.Error("partition includes its end (window is half-open)")
+	}
+	if w.Contains(from.Add(-time.Nanosecond)) {
+		t.Error("partition includes time before its start")
+	}
+}
+
+// TestTransportPartitionDropsEverything: inside an outage window every
+// RPC fails at the client; outside the window the link heals.
+func TestTransportPartitionDropsEverything(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	now := base
+	inj := NewInjector(1)
+	inj.SetConfig("agent", Config{Outages: []Window{Partition(base, time.Second)}})
+	client := &http.Client{Transport: &Transport{
+		Inj: inj, Relay: "agent", Clock: func() time.Time { return now },
+	}}
+	if _, err := client.Get(srv.URL); err == nil {
+		t.Fatal("request inside the partition succeeded")
+	}
+	now = base.Add(2 * time.Second)
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("request after the partition healed failed: %v", err)
+	}
+	resp.Body.Close()
+}
+
+// TestTransportDuplicateDelivery: with DuplicateProb 1 every replayable
+// request reaches the server twice while the caller sees one response —
+// the at-least-once behavior the agent's idempotent join must absorb.
+func TestTransportDuplicateDelivery(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+	inj := NewInjector(1)
+	inj.SetConfig("agent", Config{DuplicateProb: 1})
+	client := &http.Client{Transport: &Transport{Inj: inj, Relay: "agent"}}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok" {
+		t.Fatalf("caller saw %q, want the second delivery's response", body)
+	}
+	if got := hits.Load(); got != 2 {
+		t.Fatalf("server saw %d deliveries, want 2", got)
+	}
+}
+
+// TestTransportTruncationHalvesBody: a truncated download yields half the
+// payload with no transport error — damage only a digest check catches.
+func TestTransportTruncationHalvesBody(t *testing.T) {
+	payload := "0123456789abcdef"
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, payload)
+	}))
+	defer srv.Close()
+	inj := NewInjector(1)
+	inj.SetConfig("agent", Config{TruncateProb: 1})
+	client := &http.Client{Transport: &Transport{Inj: inj, Relay: "agent"}}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("truncation surfaced a read error, want silent short body: %v", err)
+	}
+	if len(body) != len(payload)/2 {
+		t.Fatalf("truncated body is %d bytes, want %d", len(body), len(payload)/2)
+	}
+}

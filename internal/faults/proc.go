@@ -35,6 +35,11 @@ type ProcConfig struct {
 	// CorruptOutput flips bytes in one finished artifact after a successful
 	// run, so the cell completes with output only a manifest check catches.
 	CorruptOutput bool
+	// SlowMSPerSlot sleeps N milliseconds at every slot boundary while still
+	// heartbeating (0 = full speed): the straggler case — a worker that is
+	// alive and correct but much slower than its peers, detectable only by
+	// relative progress, never by a lease deadline.
+	SlowMSPerSlot int
 	// MaxAttempt gates every fault to attempts <= MaxAttempt (0 means 1),
 	// so a retried cell can succeed and the run converges instead of
 	// quarantining everything.
@@ -50,7 +55,7 @@ func (c ProcConfig) Active(attempt int) bool {
 	if attempt > max {
 		return false
 	}
-	return c.KillAfterSlots > 0 || c.WedgeAfterSlots > 0 || c.CorruptOutput
+	return c.KillAfterSlots > 0 || c.WedgeAfterSlots > 0 || c.CorruptOutput || c.SlowMSPerSlot > 0
 }
 
 // String encodes the config in the ParseProc syntax ("" for the zero
@@ -65,6 +70,9 @@ func (c ProcConfig) String() string {
 	}
 	if c.CorruptOutput {
 		parts = append(parts, "corrupt-output=1")
+	}
+	if c.SlowMSPerSlot > 0 {
+		parts = append(parts, fmt.Sprintf("slow-ms-per-slot=%d", c.SlowMSPerSlot))
 	}
 	if c.MaxAttempt > 0 {
 		parts = append(parts, fmt.Sprintf("max-attempt=%d", c.MaxAttempt))
@@ -100,6 +108,8 @@ func ParseProc(s string) (ProcConfig, error) {
 			c.WedgeAfterSlots = n
 		case "corrupt-output":
 			c.CorruptOutput = n != 0
+		case "slow-ms-per-slot":
+			c.SlowMSPerSlot = n
 		case "max-attempt":
 			c.MaxAttempt = n
 		default:

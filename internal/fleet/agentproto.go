@@ -1,0 +1,105 @@
+// The coordinator↔agent wire protocol (v1). These types are shared by the
+// coordinator's AgentTransport (the client) and internal/agent (the
+// server); keeping them here, next to Cell and the journal, means the
+// agent package depends on fleet and never the reverse.
+//
+// The protocol is a pull design: agents are plain HTTP servers that hold
+// no coordinator address and initiate nothing. The coordinator POSTs a
+// cell assignment, follows its heartbeats over a reconnectable watch
+// stream, fetches the finished artifacts file-by-file against the
+// manifest's digests, and acks to release the agent's scratch. Every
+// request carries the attempt's epoch, and agents fence requests whose
+// epoch is below the highest they have seen for that cell — a
+// reclaimed-then-reconnecting coordinator attempt cannot resurrect a
+// stale run or publish over a newer one.
+
+package fleet
+
+import (
+	"time"
+
+	"github.com/ethpbs/pbslab/internal/serve"
+)
+
+// AgentWatchHeartbeat is the plain heartbeat line on a watch stream,
+// interleaved before the final JSON WatchEvent. It is the worker stdout
+// heartbeat line relayed verbatim.
+const AgentWatchHeartbeat = heartbeatLine
+
+// Agent HTTP endpoints. Watch and result take path suffixes:
+// watch/{cell}/{epoch} and result/{cell}/{epoch}/{artifact-path}.
+const (
+	AgentPathRun    = "/api/v1/run"
+	AgentPathWatch  = "/api/v1/watch/"
+	AgentPathResult = "/api/v1/result/"
+	AgentPathAck    = "/api/v1/ack"
+	AgentPathAbort  = "/api/v1/abort"
+	AgentPathStatus = "/api/v1/status"
+	AgentPathHealth = "/healthz"
+)
+
+// AgentSpec places one remote agent in a grid file's "agents" stanza or a
+// -agents flag: where to reach it and how many cells it runs at once.
+type AgentSpec struct {
+	// Addr is the agent's host:port. It must be unique within a grid.
+	Addr string `json:"addr"`
+	// Capacity is the number of concurrent cell attempts the coordinator
+	// will hold open against this agent (>= 1).
+	Capacity int `json:"capacity"`
+}
+
+// RunRequest is the body of POST /api/v1/run: one cell attempt
+// assignment. Re-POSTing the same (cell, epoch) is an idempotent join —
+// duplicate deliveries and coordinator restarts land on the already
+// running (or already finished) attempt instead of forking a second one.
+type RunRequest struct {
+	Cell Cell `json:"cell"`
+	// Epoch is the coordinator's 1-based attempt number, the lease fencing
+	// key: an agent never accepts work for a (cell, epoch) below the
+	// highest epoch it has seen for that cell.
+	Epoch int `json:"epoch"`
+	// Heartbeat is the worker heartbeat period in nanoseconds.
+	Heartbeat time.Duration `json:"heartbeat_ns"`
+	// Env is extra environment for the worker subprocess (fault plans).
+	Env []string `json:"env,omitempty"`
+}
+
+// AgentRunStatus describes one run held by an agent: the answer to a run
+// POST and one row of the status reply.
+type AgentRunStatus struct {
+	Cell       string `json:"cell"`
+	Epoch      int    `json:"epoch"`
+	Done       bool   `json:"done"`
+	OK         bool   `json:"ok"`
+	Cause      string `json:"cause,omitempty"`
+	StderrTail string `json:"stderr_tail,omitempty"`
+}
+
+// WatchEvent is the final line of a watch stream (preceded by zero or
+// more plain "hb" heartbeat lines). Superseded means a newer epoch fenced
+// the watched attempt mid-run.
+type WatchEvent struct {
+	Done       bool   `json:"done"`
+	OK         bool   `json:"ok"`
+	Cause      string `json:"cause,omitempty"`
+	StderrTail string `json:"stderr_tail,omitempty"`
+	Superseded bool   `json:"superseded,omitempty"`
+}
+
+// AgentCellRef names one (cell, epoch) attempt: the body of ack and
+// abort.
+type AgentCellRef struct {
+	Cell  string `json:"cell"`
+	Epoch int    `json:"epoch"`
+}
+
+// AgentStatusReply is GET /api/v1/status: what the agent is holding. The
+// coordinator probes it on resume to tell "cell still running remotely"
+// from "cell lost with the agent".
+type AgentStatusReply struct {
+	Draining  bool                 `json:"draining"`
+	Capacity  int                  `json:"capacity"`
+	Admission serve.AdmissionStats `json:"admission"`
+	Panics    uint64               `json:"panics"`
+	Runs      []AgentRunStatus     `json:"runs"`
+}

@@ -1,0 +1,448 @@
+// AgentTransport: the coordinator's client for one remote pbsagent. One
+// attempt is a four-step conversation — dispatch (POST run, idempotent
+// join), follow (a reconnectable heartbeat watch stream; a partition
+// that heals within the lease TTL costs nothing), fetch (manifest first,
+// then every artifact digest-verified byte-for-byte, so a truncated
+// upload is re-pulled, never accepted), ack (release the agent's
+// scratch). Every RPC retries with the shared deterministic backoff and
+// honours Retry-After hints from a shedding agent.
+
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/ethpbs/pbslab/internal/atomicio"
+	"github.com/ethpbs/pbslab/internal/backoff"
+	"github.com/ethpbs/pbslab/internal/report"
+)
+
+// AgentTransport runs attempts on one remote agent over HTTP.
+type AgentTransport struct {
+	// Spec is the agent's address and concurrent-attempt budget.
+	Spec AgentSpec
+	// HTTP is the client for every RPC; the chaos suite swaps in a
+	// fault-injecting round tripper. It must not set Client.Timeout (the
+	// watch stream is long-lived); per-RPC deadlines come from Timeout.
+	HTTP *http.Client
+	// Retry is the per-RPC backoff policy (default 50ms base, 2s cap).
+	Retry backoff.Policy
+	// Attempts is the per-RPC try budget (default 4).
+	Attempts int
+	// Timeout bounds each non-watch RPC (default 10s).
+	Timeout time.Duration
+	// Seed feeds the deterministic retry jitter.
+	Seed uint64
+
+	jmu    sync.Mutex
+	jitter *backoff.Jitter
+}
+
+// NewAgentTransport returns a transport for one agent with defaults
+// suitable for a LAN fleet.
+func NewAgentTransport(spec AgentSpec) *AgentTransport {
+	return &AgentTransport{Spec: spec}
+}
+
+// Name implements Transport.
+func (t *AgentTransport) Name() string { return "agent:" + t.Spec.Addr }
+
+// AgentAddr is the agent identity recorded in journal lease records.
+func (t *AgentTransport) AgentAddr() string { return t.Spec.Addr }
+
+// Capacity implements Transport.
+func (t *AgentTransport) Capacity() int {
+	if t.Spec.Capacity < 1 {
+		return 1
+	}
+	return t.Spec.Capacity
+}
+
+func (t *AgentTransport) client() *http.Client {
+	if t.HTTP != nil {
+		return t.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (t *AgentTransport) tries() int {
+	if t.Attempts > 0 {
+		return t.Attempts
+	}
+	return 4
+}
+
+func (t *AgentTransport) rpcTimeout() time.Duration {
+	if t.Timeout > 0 {
+		return t.Timeout
+	}
+	return 10 * time.Second
+}
+
+// delay is the shared deterministic backoff with Retry-After honoured as
+// a floor, jittered per agent so a fleet of retries never synchronizes.
+func (t *AgentTransport) delay(attempt int, retryAfter time.Duration) time.Duration {
+	t.jmu.Lock()
+	if t.jitter == nil {
+		t.jitter = backoff.NewJitter(t.Seed, "fleet/agent/"+t.Spec.Addr)
+	}
+	j := t.jitter
+	t.jmu.Unlock()
+	p := t.Retry
+	if p.Base <= 0 {
+		p.Base = 50 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 2 * time.Second
+	}
+	return p.Delay(attempt, retryAfter, j)
+}
+
+// rpcError is a non-2xx agent reply; permanent codes (404, 409) are
+// classified by callers, everything else retries.
+type rpcError struct {
+	code int
+	msg  string
+}
+
+func (e *rpcError) Error() string {
+	return fmt.Sprintf("agent replied %d: %s", e.code, e.msg)
+}
+
+func retryable(err error) bool {
+	var re *rpcError
+	if errors.As(err, &re) {
+		switch {
+		case re.code == http.StatusTooManyRequests || re.code == http.StatusServiceUnavailable:
+			return true
+		case re.code >= 500:
+			return true
+		default:
+			return false
+		}
+	}
+	// Transport-level errors (refused, reset, truncated, timed out).
+	return true
+}
+
+func errCode(err error) int {
+	var re *rpcError
+	if errors.As(err, &re) {
+		return re.code
+	}
+	return 0
+}
+
+// retryAfterHint extracts a Retry-After: N header as a duration.
+func retryAfterHint(h http.Header) time.Duration {
+	if secs, err := strconv.Atoi(strings.TrimSpace(h.Get("Retry-After"))); err == nil && secs > 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return 0
+}
+
+// doJSON runs one retrying JSON RPC against the agent.
+func (t *AgentTransport) doJSON(ctx context.Context, method, pth string, in, out any) error {
+	var lastErr error
+	for i := 1; ; i++ {
+		retryAfter, err := t.doOnce(ctx, method, pth, in, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable(err) || i >= t.tries() || ctx.Err() != nil {
+			return lastErr
+		}
+		if !sleepCtx(ctx, t.delay(i, retryAfter)) {
+			return lastErr
+		}
+	}
+}
+
+func (t *AgentTransport) doOnce(ctx context.Context, method, pth string, in, out any) (time.Duration, error) {
+	rctx, cancel := context.WithTimeout(ctx, t.rpcTimeout())
+	defer cancel()
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return 0, err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(rctx, method, "http://"+t.Spec.Addr+pth, body)
+	if err != nil {
+		return 0, err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := t.client().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return retryAfterHint(resp.Header), &rpcError{code: resp.StatusCode, msg: strings.TrimSpace(string(msg))}
+	}
+	if out == nil {
+		return 0, nil
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(out); err != nil {
+		return 0, fmt.Errorf("decode agent reply: %w", err)
+	}
+	return 0, nil
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	tm := time.NewTimer(d)
+	defer tm.Stop()
+	select {
+	case <-tm.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// Run implements Transport: dispatch the attempt to the agent, follow it
+// to completion, and stage the verified artifacts into workDir.
+func (t *AgentTransport) Run(ctx context.Context, a Attempt, workDir string, beat func()) error {
+	rr := RunRequest{Cell: a.Cell, Epoch: a.Epoch, Heartbeat: a.Heartbeat, Env: a.Env}
+	var st AgentRunStatus
+	if err := t.doJSON(ctx, http.MethodPost, AgentPathRun, rr, &st); err != nil {
+		if errCode(err) == http.StatusConflict {
+			return &AttemptError{Cause: fmt.Sprintf("agent %s fenced the dispatch as stale: %v", t.Spec.Addr, err)}
+		}
+		// Never accepted anywhere: the cell lost nothing, so no failure
+		// is charged — the coordinator re-places it.
+		return fmt.Errorf("%w: %s: %v", ErrUndispatched, t.Name(), err)
+	}
+	beat() // the accepted dispatch is the first liveness signal
+
+	ev, err := t.follow(ctx, a, beat)
+	if err != nil {
+		return err
+	}
+	if ev.Superseded {
+		return &AttemptError{Cause: fmt.Sprintf("agent %s superseded the attempt with a newer epoch", t.Spec.Addr)}
+	}
+	if !ev.OK {
+		return &AttemptError{Cause: ev.Cause, Tail: ev.StderrTail}
+	}
+	if err := t.fetch(ctx, a, workDir, beat); err != nil {
+		return err
+	}
+	// Best-effort scratch release; a lost ack only costs agent disk until
+	// the next epoch for this cell fences it.
+	_ = t.doJSON(ctx, http.MethodPost, AgentPathAck, AgentCellRef{Cell: a.Cell.ID, Epoch: a.Epoch}, nil)
+	return nil
+}
+
+// follow tails the attempt's watch stream until its final event,
+// reconnecting through partitions for as long as the attempt's lease
+// context stays alive — the coordinator's lease deadline, fed by the
+// heartbeats this stream relays, is the real failure detector.
+func (t *AgentTransport) follow(ctx context.Context, a Attempt, beat func()) (*WatchEvent, error) {
+	for i := 1; ; i++ {
+		ev, err := t.watchOnce(ctx, a, beat)
+		if ev != nil {
+			return ev, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		switch errCode(err) {
+		case http.StatusNotFound:
+			// The agent no longer knows the run: it restarted and lost
+			// its state. The attempt is gone; charge it and retry fresh.
+			return nil, &AttemptError{Cause: fmt.Sprintf("agent %s lost the attempt (agent restarted): %v", t.Spec.Addr, err)}
+		case http.StatusConflict:
+			return nil, &AttemptError{Cause: fmt.Sprintf("agent %s superseded the attempt: %v", t.Spec.Addr, err)}
+		}
+		if !sleepCtx(ctx, t.delay(min(i, t.tries()), 0)) {
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// watchOnce runs one watch connection: heartbeat lines feed beat, the
+// final JSON line is the verdict. No per-RPC timeout — the stream lives
+// as long as the run; a silent wedged connection is broken by the lease
+// reclaim cancelling ctx.
+func (t *AgentTransport) watchOnce(ctx context.Context, a Attempt, beat func()) (*WatchEvent, error) {
+	url := fmt.Sprintf("http://%s%s%s/%d", t.Spec.Addr, AgentPathWatch, a.Cell.ID, a.Epoch)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := t.client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, &rpcError{code: resp.StatusCode, msg: strings.TrimSpace(string(msg))}
+	}
+	beat() // a live stream is itself a liveness signal
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == heartbeatLine:
+			beat()
+		default:
+			var ev WatchEvent
+			if err := json.Unmarshal([]byte(line), &ev); err != nil {
+				return nil, fmt.Errorf("parse watch event: %w", err)
+			}
+			if ev.Done {
+				beat()
+				return &ev, nil
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	// Stream ended without a final event: the connection died mid-run.
+	return nil, io.ErrUnexpectedEOF
+}
+
+// fetch stages the finished attempt into workDir: manifest first, then
+// every artifact re-verified against its manifest digest as it lands. A
+// truncated or corrupted transfer retries; the manifest itself is
+// written last, so a partially fetched directory can never verify.
+func (t *AgentTransport) fetch(ctx context.Context, a Attempt, workDir string, beat func()) error {
+	manData, err := t.fetchFile(ctx, a, report.ManifestName, "")
+	if err != nil {
+		return &AttemptError{Cause: fmt.Sprintf("fetch manifest from agent %s: %v", t.Spec.Addr, err)}
+	}
+	var man report.Manifest
+	if err := json.Unmarshal(manData, &man); err != nil {
+		return &AttemptError{Cause: fmt.Sprintf("parse manifest from agent %s: %v", t.Spec.Addr, err)}
+	}
+	for _, e := range man.Artifacts {
+		clean := path.Clean(e.Name)
+		if clean != e.Name || path.IsAbs(clean) || clean == ".." || strings.HasPrefix(clean, "../") {
+			return &AttemptError{Cause: fmt.Sprintf("agent %s manifest lists unsafe artifact path %q", t.Spec.Addr, e.Name)}
+		}
+		data, err := t.fetchFile(ctx, a, e.Name, e.SHA256)
+		if err != nil {
+			return &AttemptError{Cause: fmt.Sprintf("fetch %s from agent %s: %v", e.Name, t.Spec.Addr, err)}
+		}
+		dst := filepath.Join(workDir, filepath.FromSlash(clean))
+		if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+			return &AttemptError{Cause: "stage artifact: " + err.Error()}
+		}
+		if err := atomicio.WriteFile(dst, data, 0o644); err != nil {
+			return &AttemptError{Cause: "stage artifact: " + err.Error()}
+		}
+		beat() // downloading is progress; keep the lease fresh
+	}
+	if err := atomicio.WriteFile(filepath.Join(workDir, report.ManifestName), manData, 0o644); err != nil {
+		return &AttemptError{Cause: "stage manifest: " + err.Error()}
+	}
+	return nil
+}
+
+// fetchFile downloads one artifact, retrying until its content matches
+// wantSum ("" skips the digest check — only the manifest itself, which
+// the coordinator's VerifyDir re-checks against every staged file).
+func (t *AgentTransport) fetchFile(ctx context.Context, a Attempt, name, wantSum string) ([]byte, error) {
+	url := fmt.Sprintf("http://%s%s%s/%d/%s", t.Spec.Addr, AgentPathResult, a.Cell.ID, a.Epoch, name)
+	var lastErr error
+	for i := 1; ; i++ {
+		data, retryAfter, err := t.getOnce(ctx, url)
+		if err == nil && wantSum != "" {
+			sum := sha256.Sum256(data)
+			if got := hex.EncodeToString(sum[:]); got != wantSum {
+				// A truncated or torn upload: the bytes are wrong even
+				// though the HTTP exchange looked clean. Retry the pull.
+				err = fmt.Errorf("digest %s does not match manifest %s (truncated transfer?)", got, wantSum)
+			}
+		}
+		if err == nil {
+			return data, nil
+		}
+		lastErr = err
+		if !retryable(err) || i >= t.tries() || ctx.Err() != nil {
+			return nil, lastErr
+		}
+		if !sleepCtx(ctx, t.delay(i, retryAfter)) {
+			return nil, lastErr
+		}
+	}
+}
+
+func (t *AgentTransport) getOnce(ctx context.Context, url string) ([]byte, time.Duration, error) {
+	rctx, cancel := context.WithTimeout(ctx, t.rpcTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := t.client().Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, retryAfterHint(resp.Header), &rpcError{code: resp.StatusCode, msg: strings.TrimSpace(string(msg))}
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	if resp.ContentLength >= 0 && int64(len(data)) != resp.ContentLength {
+		return nil, 0, fmt.Errorf("short body: %d of %d bytes", len(data), resp.ContentLength)
+	}
+	return data, 0, nil
+}
+
+// Abort tells the agent to kill and discard a (cell, epoch) attempt and
+// to fence that epoch. Fire-and-forget: the reclaim that triggers it
+// already charged the attempt, and an unreachable agent's run is fenced
+// anyway the next time any RPC for a newer epoch lands.
+func (t *AgentTransport) Abort(cell string, epoch int) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = t.doJSON(ctx, http.MethodPost, AgentPathAbort, AgentCellRef{Cell: cell, Epoch: epoch}, nil)
+}
+
+// Status probes the agent's held runs — the resume path uses it to tell
+// "cell still running remotely" from "cell lost with the agent".
+func (t *AgentTransport) Status(ctx context.Context) (*AgentStatusReply, error) {
+	var reply AgentStatusReply
+	if err := t.doJSON(ctx, http.MethodGet, AgentPathStatus, nil, &reply); err != nil {
+		return nil, err
+	}
+	return &reply, nil
+}

@@ -1,43 +1,57 @@
-// The coordinator: expands the grid, fans cells across crash-isolated
-// worker subprocesses, and guarantees that every cell terminates either
-// completed-and-verified or quarantined-with-cause — whatever the workers
-// do. The mechanisms, in order of line of defense:
+// The coordinator: expands the grid, fans cells across transports — local
+// crash-isolated subprocesses and remote HTTP agents — and guarantees
+// that every cell terminates either completed-and-verified or
+// quarantined-with-cause, whatever the workers, agents, or the network
+// between them do. The mechanisms, in order of line of defense:
 //
-//   - leases: a running attempt must heartbeat (stdout lines) before its
-//     deadline; a silent worker — wedged, killed, or unplugged — is
-//     SIGKILLed by process group and its cell reclaimed for retry;
-//   - verification: an attempt that exits cleanly is accepted only if its
-//     artifact directory verifies against its manifest (report.VerifyDir);
-//     corrupt output is a failure, retried, never merged;
-//   - bounded retries: failures back off deterministically (base × 2^n)
-//     and a cell that keeps failing is quarantined with its cause and
-//     stderr tail, so one poison cell can never wedge the run;
-//   - the journal: every transition is fsynced append-only, so -resume
-//     continues a killed run without re-running completed cells — and a
-//     cell whose artifacts were published but whose completion record was
-//     lost (died between rename and append) is re-adopted by verification.
+//   - leases: a running attempt must signal liveness (subprocess stdout,
+//     agent watch-stream heartbeats) before its deadline; a silent
+//     attempt — wedged, killed, partitioned, or unplugged — is cancelled
+//     and its cell reclaimed for retry. Each attempt's 1-based number is
+//     its epoch: agents fence every request below the highest epoch they
+//     have seen per cell, so a reclaimed attempt reconnecting late can
+//     never publish over a newer one;
+//   - verification: an attempt is accepted only if its staged artifact
+//     directory verifies against its manifest (report.VerifyDir), its
+//     recorded cell spec matches, and any chunked dataset passes
+//     dsio.CheckDir — remote artifacts are digest-checked once per file
+//     in flight and re-verified here before acceptance;
+//   - scheduling: cheapest cells dispatch first across the healthiest
+//     free transport; a transport that keeps failing dispatches cools
+//     down; an attempt that outlives StragglerAfter gets a rescue
+//     dispatch on a different transport, first verified result wins and
+//     the loser is superseded without charge;
+//   - bounded retries: failures back off deterministically and a cell
+//     that keeps failing is quarantined with its cause and stderr tail,
+//     so one poison cell can never wedge the run;
+//   - the journal: every transition is fsynced append-only with its
+//     transport and agent identity, so -resume can re-attach to cells
+//     still running on live agents at the same epoch, discard stale
+//     agent-held results, and never re-run completed cells.
 
 package fleet
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
-	"os/exec"
 	"path/filepath"
+	"sort"
 	"sync"
-	"syscall"
+	"sync/atomic"
 	"time"
 
 	"github.com/ethpbs/pbslab/internal/atomicio"
+	"github.com/ethpbs/pbslab/internal/dsio"
 	"github.com/ethpbs/pbslab/internal/report"
 )
 
 // Run-directory layout.
 const (
-	// GridName is the copy of the grid spec inside the run directory.
+	// GridFileName is the copy of the grid spec inside the run directory.
 	GridFileName = "grid.json"
 	// CellsDirName holds one verified artifact directory per completed cell.
 	CellsDirName = "cells"
@@ -52,12 +66,14 @@ const (
 
 // Options tunes the coordinator. Zero values get sensible defaults.
 type Options struct {
-	// Workers is the number of concurrent worker subprocesses (default 4).
+	// Workers is the number of concurrent local worker subprocesses
+	// (default 4 when no agents are configured; 0 with agents configured
+	// means agents-only).
 	Workers int
 	// MaxAttempts quarantines a cell after this many failed attempts
 	// (default 3).
 	MaxAttempts int
-	// LeaseTTL is the heartbeat deadline: a running attempt that stays
+	// LeaseTTL is the liveness deadline: a running attempt that stays
 	// silent this long is reclaimed (default 30s).
 	LeaseTTL time.Duration
 	// Heartbeat is the period workers are told to beat at (default
@@ -66,9 +82,19 @@ type Options struct {
 	// BackoffBase seeds the deterministic retry backoff base × 2^(fails-1),
 	// capped at 32×base (default 250ms).
 	BackoffBase time.Duration
+	// StragglerAfter re-dispatches a cell still running after this long on
+	// a second, different transport; the first verified result wins (0 =
+	// disabled). It needs at least two transports to act.
+	StragglerAfter time.Duration
 	// Executable is the worker binary (default: this binary, whose main
 	// must call MaybeWorker first).
 	Executable string
+	// Agents lists remote pbsagent workers to dispatch to, alongside (or
+	// instead of, with Workers 0) the local subprocess pool.
+	Agents []AgentSpec
+	// Transports, when set, overrides Workers/Agents entirely — the chaos
+	// suite injects fault-wrapped transports here.
+	Transports []Transport
 	// WorkerEnv, when set, returns extra environment entries for an
 	// attempt — the chaos harness injects faults.ProcEnv through it.
 	WorkerEnv func(cell Cell, attempt int) []string
@@ -77,9 +103,6 @@ type Options struct {
 }
 
 func (o *Options) fill() error {
-	if o.Workers <= 0 {
-		o.Workers = 4
-	}
 	if o.MaxAttempts <= 0 {
 		o.MaxAttempts = 3
 	}
@@ -108,6 +131,28 @@ func (o *Options) fill() error {
 	}
 	if o.Log == nil {
 		o.Log = io.Discard
+	}
+	if err := ValidateAgents(o.Agents); err != nil {
+		return err
+	}
+	if len(o.Transports) == 0 {
+		if o.Workers > 0 || len(o.Agents) == 0 {
+			w := o.Workers
+			if w <= 0 {
+				w = 4
+			}
+			o.Transports = append(o.Transports, &LocalTransport{Executable: o.Executable, Slots: w})
+		}
+		for _, a := range o.Agents {
+			o.Transports = append(o.Transports, NewAgentTransport(a))
+		}
+	}
+	seen := map[string]bool{}
+	for _, tr := range o.Transports {
+		if seen[tr.Name()] {
+			return fmt.Errorf("fleet: duplicate transport %q", tr.Name())
+		}
+		seen[tr.Name()] = true
 	}
 	return nil
 }
@@ -159,27 +204,84 @@ func (l *lease) reclaim() bool {
 	return true
 }
 
+func (l *lease) wasReclaimed() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.reclaimed
+}
+
+// transportState is the scheduler's per-transport health and slot book.
+type transportState struct {
+	t             Transport
+	free          int
+	consecFails   int
+	cooldownUntil time.Time
+}
+
+// noteFailure records a dispatch-level failure (unreachable, reclaimed):
+// consecutive failures cool the transport down exponentially so a dead
+// agent stops eating dispatch attempts while the rest of the fleet works.
+func (ts *transportState) noteFailure(now time.Time, base time.Duration) {
+	ts.consecFails++
+	d := base << uint(ts.consecFails-1)
+	if d > 32*base || d <= 0 {
+		d = 32 * base
+	}
+	ts.cooldownUntil = now.Add(d)
+}
+
+func (ts *transportState) noteSuccess() {
+	ts.consecFails = 0
+	ts.cooldownUntil = time.Time{}
+}
+
+// liveAttempt is one in-flight dispatch of a cell.
+type liveAttempt struct {
+	epoch      int
+	ts         *transportState
+	started    time.Time
+	lease      *lease
+	cancel     context.CancelFunc
+	rescue     bool
+	superseded atomic.Bool
+}
+
+// pinnedLease re-attaches a resumed cell to the agent still holding its
+// open lease: the next dispatch joins that agent at the same epoch
+// instead of charging the cell a failure and starting over.
+type pinnedLease struct {
+	epoch int
+	ts    *transportState
+}
+
 // cellRun is the coordinator's live state for one cell.
 type cellRun struct {
-	cell     Cell
-	status   CellStatus
-	attempts int
-	fails    int
-	readyAt  time.Time
-	running  bool
-	cause    string
-	tail     string
+	cell       Cell
+	status     CellStatus
+	attempts   int
+	fails      int
+	noDispatch int
+	readyAt    time.Time
+	rescued    bool
+	live       map[int]*liveAttempt
+	pin        *pinnedLease
+	cause      string
+	tail       string
 }
 
 // Coordinator drives one fleet run directory.
 type Coordinator struct {
-	runDir  string
-	grid    *Grid
-	opts    Options
-	journal *Journal
-	cells   []*cellRun
-	byID    map[string]*cellRun
-	mu      sync.Mutex // guards accept's publish step
+	runDir     string
+	grid       *Grid
+	opts       Options
+	journal    *Journal
+	cells      []*cellRun // grid order (the merge order)
+	order      []*cellRun // dispatch order: cheapest cells first
+	byID       map[string]*cellRun
+	transports []*transportState
+	totalCap   int
+	rescues    int
+	mu         sync.Mutex // guards accept's publish step
 }
 
 // QuarantinedCell is one permanently failed cell in the run summary.
@@ -195,14 +297,34 @@ type Summary struct {
 	Completed   int
 	Quarantined []QuarantinedCell
 	MergedDir   string
+	// StragglerRescues counts cells completed by a rescue dispatch after
+	// their first attempt outlived StragglerAfter.
+	StragglerRescues int
+}
+
+// aborter is the optional transport hook to fence and discard a remote
+// attempt (fire-and-forget).
+type aborter interface {
+	Abort(cell string, epoch int)
+}
+
+// statusProber is the optional transport hook resume uses to ask an agent
+// what it is still holding.
+type statusProber interface {
+	Status(ctx context.Context) (*AgentStatusReply, error)
 }
 
 // NewCoordinator opens (or resumes) a fleet run directory. With resume
 // false the directory must not already contain a journal; with resume true
 // the journal's grid fingerprint must match, completed cells are verified
-// and kept, and cells whose artifacts were published but never journaled
-// (a coordinator killed between rename and append) are adopted.
+// and kept, cells whose artifacts were published but never journaled (a
+// coordinator killed between rename and append) are adopted, and cells
+// with an open lease on a still-configured agent are pinned for re-attach
+// at the same epoch.
 func NewCoordinator(runDir string, grid *Grid, opts Options, resume bool) (*Coordinator, error) {
+	if len(opts.Agents) == 0 {
+		opts.Agents = grid.Agents
+	}
 	if err := opts.fill(); err != nil {
 		return nil, err
 	}
@@ -241,6 +363,11 @@ func NewCoordinator(runDir string, grid *Grid, opts Options, resume bool) (*Coor
 		return nil, err
 	}
 	c := &Coordinator{runDir: runDir, grid: grid, opts: opts, journal: j, byID: map[string]*cellRun{}}
+	for _, tr := range opts.Transports {
+		ts := &transportState{t: tr, free: tr.Capacity()}
+		c.transports = append(c.transports, ts)
+		c.totalCap += ts.free
+	}
 	if len(recs) == 0 {
 		if err := j.Append(Record{Event: EventGrid, GridName: grid.Name, Fingerprint: grid.Fingerprint()}); err != nil {
 			return nil, err
@@ -248,21 +375,113 @@ func NewCoordinator(runDir string, grid *Grid, opts Options, resume bool) (*Coor
 	}
 	st := ReplayState(recs)
 	for _, cell := range cells {
-		cr := &cellRun{cell: cell, status: StatusPending}
+		cr := &cellRun{cell: cell, status: StatusPending, live: map[int]*liveAttempt{}}
 		if cs := st.Cells[cell.ID]; cs != nil {
 			cr.status = cs.Status
 			cr.attempts = cs.Attempts
 			cr.fails = cs.Fails
 			cr.cause = cs.Cause
 			cr.tail = cs.StderrTail
+			if cr.status == StatusPending {
+				cr.pin = c.pinFor(cs)
+			}
 		}
 		c.cells = append(c.cells, cr)
 		c.byID[cell.ID] = cr
 	}
+	// Dispatch order: cheapest cells first (fewest simulated slots), ties
+	// broken by ID for determinism. The merge keeps grid order.
+	c.order = append([]*cellRun(nil), c.cells...)
+	sort.SliceStable(c.order, func(i, j int) bool {
+		si, sj := c.order[i].cell.Slots(), c.order[j].cell.Slots()
+		if si != sj {
+			return si < sj
+		}
+		return c.order[i].cell.ID < c.order[j].cell.ID
+	})
 	if err := c.reconcile(); err != nil {
 		return nil, err
 	}
+	if err := c.reconcileAgents(); err != nil {
+		return nil, err
+	}
 	return c, nil
+}
+
+// pinFor maps a replayed cell's highest open lease to a configured agent
+// transport. Local leases died with the coordinator; an open agent lease
+// may still be running (or finished, held) remotely, so the cell is
+// pinned to rejoin it at the same epoch.
+func (c *Coordinator) pinFor(cs *CellState) *pinnedLease {
+	best := 0
+	var bestTS *transportState
+	for epoch, place := range cs.Open {
+		if place.Agent == "" || epoch < best {
+			continue
+		}
+		for _, ts := range c.transports {
+			if ts.t.Name() == place.Transport {
+				best, bestTS = epoch, ts
+				break
+			}
+		}
+	}
+	if bestTS == nil {
+		return nil
+	}
+	return &pinnedLease{epoch: best, ts: bestTS}
+}
+
+// reconcileAgents probes every configured agent for runs it still holds.
+// A held run matching a cell's pinned open lease is left alone (the
+// dispatcher rejoins it); anything else for our cells — a fenced earlier
+// epoch, a result for an already-completed cell — is a stale publication:
+// journaled as such, aborted, and never fetched.
+func (c *Coordinator) reconcileAgents() error {
+	for _, ts := range c.transports {
+		prober, ok := ts.t.(statusProber)
+		if !ok {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		reply, err := prober.Status(ctx)
+		cancel()
+		if err != nil {
+			// An unreachable agent is tolerated: if it holds a pinned
+			// lease the rejoin dispatch will settle it one way or the
+			// other.
+			fmt.Fprintf(c.opts.Log, "fleet: agent %s: status probe failed (tolerated): %v\n", ts.t.Name(), err)
+			continue
+		}
+		for _, run := range reply.Runs {
+			cr := c.byID[run.Cell]
+			if cr == nil {
+				continue // not ours to manage
+			}
+			keep := cr.status == StatusPending && cr.pin != nil &&
+				cr.pin.ts == ts && cr.pin.epoch == run.Epoch
+			if keep {
+				continue
+			}
+			cause := fmt.Sprintf("agent holds epoch %d; newest journaled attempt is %d", run.Epoch, cr.attempts)
+			if cr.status == StatusCompleted {
+				cause = fmt.Sprintf("cell already completed; agent-held epoch %d discarded", run.Epoch)
+			}
+			rec := Record{Event: EventStalePublish, Cell: run.Cell, Attempt: run.Epoch,
+				Transport: ts.t.Name(), Cause: cause}
+			if aa, ok := ts.t.(interface{ AgentAddr() string }); ok {
+				rec.Agent = aa.AgentAddr()
+			}
+			if err := c.journal.Append(rec); err != nil {
+				return err
+			}
+			fmt.Fprintf(c.opts.Log, "fleet: cell %s: stale publication fenced on %s: %s\n", run.Cell, ts.t.Name(), cause)
+			if ab, ok := ts.t.(aborter); ok {
+				ab.Abort(run.Cell, run.Epoch)
+			}
+		}
+	}
+	return nil
 }
 
 // reconcile squares the journal's verdicts with what is actually on disk:
@@ -301,6 +520,7 @@ func (c *Coordinator) reconcile() error {
 			}
 			fmt.Fprintf(c.opts.Log, "fleet: cell %s: adopted verified artifacts on resume\n", cr.cell.ID)
 			cr.status = StatusCompleted
+			cr.pin = nil
 		}
 	}
 	work := filepath.Join(c.runDir, WorkDirName)
@@ -336,55 +556,43 @@ const (
 	outFailed
 	outReclaimed
 	outCanceled
+	outSuperseded
+	outUndispatched
 )
 
 type dispatch struct {
-	cr      *cellRun
-	attempt int
+	cr     *cellRun
+	epoch  int
+	ts     *transportState
+	rescue bool
+	rejoin bool
 }
 
 type result struct {
-	cr      *cellRun
-	attempt int
-	out     outcome
-	cause   string
-	tail    string
+	cr     *cellRun
+	epoch  int
+	ts     *transportState
+	rescue bool
+	out    outcome
+	cause  string
+	tail   string
 }
 
 // Run drives the grid to termination: every cell completed-and-verified or
 // quarantined-with-cause, then the merged corpus is (re)built. On context
-// cancellation it kills running workers and returns the context error; the
+// cancellation it kills running attempts and returns the context error; the
 // run directory stays resumable.
 func (c *Coordinator) Run(ctx context.Context) (*Summary, error) {
 	// Run-scoped context: an error return mid-loop (journal append or
-	// settle failure) cancels it, so the watchdogs kill in-flight workers
-	// instead of leaking live subprocesses past Run.
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	ready := make(chan dispatch)
-	// Buffered to Workers so every worker can deposit its final result and
-	// observe the closed ready channel even after Run stops draining done.
-	done := make(chan result, c.opts.Workers)
+	// settle failure) cancels it, so in-flight attempts are killed instead
+	// of leaking live subprocesses or remote runs past Run.
+	rctx, cancel := context.WithCancel(ctx)
 	var wg sync.WaitGroup
-	for i := 0; i < c.opts.Workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for d := range ready {
-				done <- c.runAttempt(ctx, d)
-			}
-		}()
-	}
-	readyOpen := true
-	shutdown := func() {
-		cancel()
-		if readyOpen {
-			close(ready)
-			readyOpen = false
-		}
-		wg.Wait()
-	}
-	defer shutdown()
+	defer wg.Wait()
+	defer cancel()
+	// Buffered to the fleet's total capacity so every attempt goroutine
+	// can deposit its result and exit even after Run stops draining.
+	done := make(chan result, c.totalCap+1)
 
 	inflight := 0
 	cancelled := false
@@ -393,46 +601,41 @@ func (c *Coordinator) Run(ctx context.Context) (*Summary, error) {
 		if inflight == 0 && (cancelled || c.allTerminal()) {
 			break
 		}
-		var sendCh chan dispatch
-		var d dispatch
+		if !cancelled {
+			for {
+				d, ok := c.pickDispatch(time.Now())
+				if !ok {
+					break
+				}
+				if err := c.launch(rctx, ctx, d, done, &wg); err != nil {
+					return nil, err
+				}
+				inflight++
+			}
+		}
 		var timerC <-chan time.Time
 		if !cancelled {
-			now := time.Now()
-			if cr := c.nextReady(now); cr != nil {
-				d = dispatch{cr: cr, attempt: cr.attempts + 1}
-				sendCh = ready
-			} else if wait, ok := c.nextReadyIn(now); ok {
+			if wait, ok := c.nextWakeIn(time.Now()); ok {
 				timer = time.NewTimer(wait)
 				timerC = timer.C
 			}
 		}
 		select {
-		case sendCh <- d:
-			d.cr.running = true
-			d.cr.attempts = d.attempt
-			inflight++
-			if err := c.journal.Append(Record{Event: EventLease, Cell: d.cr.cell.ID, Attempt: d.attempt}); err != nil {
-				return nil, err
-			}
-			fmt.Fprintf(c.opts.Log, "fleet: cell %s: attempt %d leased\n", d.cr.cell.ID, d.attempt)
 		case r := <-done:
 			inflight--
-			r.cr.running = false
 			if err := c.settle(r); err != nil {
 				return nil, err
 			}
 		case <-timerC:
 		case <-ctx.Done():
 			cancelled = true
+			cancel()
 		}
 		if timer != nil {
 			timer.Stop()
 			timer = nil
 		}
 	}
-	close(ready)
-	readyOpen = false
-	wg.Wait()
 	if cancelled {
 		return nil, fmt.Errorf("fleet: interrupted: %w", ctx.Err())
 	}
@@ -441,7 +644,7 @@ func (c *Coordinator) Run(ctx context.Context) (*Summary, error) {
 	if err != nil {
 		return nil, err
 	}
-	sum := &Summary{Cells: len(c.cells), MergedDir: mergedDir}
+	sum := &Summary{Cells: len(c.cells), MergedDir: mergedDir, StragglerRescues: c.rescues}
 	for _, cr := range c.cells {
 		switch cr.status {
 		case StatusCompleted:
@@ -453,40 +656,254 @@ func (c *Coordinator) Run(ctx context.Context) (*Summary, error) {
 	return sum, nil
 }
 
+// pickDispatch chooses the next attempt to start, or reports none is
+// startable right now. Pass one places fresh (or pinned-rejoin) attempts
+// for idle pending cells, cheapest first; pass two rescues stragglers — a
+// cell whose only live attempt has outlived StragglerAfter gets a second
+// dispatch on a different transport.
+func (c *Coordinator) pickDispatch(now time.Time) (dispatch, bool) {
+	for _, cr := range c.order {
+		if cr.status != StatusPending || len(cr.live) > 0 || now.Before(cr.readyAt) {
+			continue
+		}
+		if cr.pin != nil {
+			if cr.pin.ts.free > 0 {
+				d := dispatch{cr: cr, epoch: cr.pin.epoch, ts: cr.pin.ts, rejoin: true}
+				cr.pin = nil
+				return d, true
+			}
+			continue // wait for the pinned agent's slot
+		}
+		ts := c.pickTransport(now, nil)
+		if ts == nil {
+			break // no transport free for anyone right now
+		}
+		return dispatch{cr: cr, epoch: cr.attempts + 1, ts: ts}, true
+	}
+	if c.opts.StragglerAfter > 0 {
+		for _, cr := range c.order {
+			if cr.status != StatusPending || cr.rescued || len(cr.live) != 1 {
+				continue
+			}
+			var la *liveAttempt
+			for _, v := range cr.live {
+				la = v
+			}
+			if now.Sub(la.started) < c.opts.StragglerAfter {
+				continue
+			}
+			// Strictly a different transport: re-dispatching to the same
+			// agent would fence (kill) the straggling attempt instead of
+			// racing it.
+			ts := c.pickTransport(now, la.ts)
+			if ts == nil {
+				continue
+			}
+			cr.rescued = true
+			return dispatch{cr: cr, epoch: cr.attempts + 1, ts: ts, rescue: true}, true
+		}
+	}
+	return dispatch{}, false
+}
+
+// pickTransport returns the healthiest transport with a free slot: not
+// cooling down, fewest consecutive failures, then most free capacity,
+// then configuration order.
+func (c *Coordinator) pickTransport(now time.Time, avoid *transportState) *transportState {
+	var best *transportState
+	for _, ts := range c.transports {
+		if ts == avoid || ts.free <= 0 || now.Before(ts.cooldownUntil) {
+			continue
+		}
+		if best == nil || ts.consecFails < best.consecFails ||
+			(ts.consecFails == best.consecFails && ts.free > best.free) {
+			best = ts
+		}
+	}
+	return best
+}
+
+// launch journals the lease and starts the attempt goroutine.
+func (c *Coordinator) launch(rctx, parent context.Context, d dispatch, done chan<- result, wg *sync.WaitGroup) error {
+	cr, ts := d.cr, d.ts
+	actx, acancel := context.WithCancel(rctx)
+	la := &liveAttempt{
+		epoch:   d.epoch,
+		ts:      ts,
+		started: time.Now(),
+		lease:   newLease(d.epoch, time.Now()),
+		cancel:  acancel,
+		rescue:  d.rescue,
+	}
+	cr.live[d.epoch] = la
+	if d.epoch > cr.attempts {
+		cr.attempts = d.epoch
+	}
+	ts.free--
+	rec := Record{Event: EventLease, Cell: cr.cell.ID, Attempt: d.epoch, Transport: ts.t.Name()}
+	if aa, ok := ts.t.(interface{ AgentAddr() string }); ok {
+		rec.Agent = aa.AgentAddr()
+	}
+	if d.rejoin {
+		rec.Cause = "re-attached to open agent lease on resume"
+	}
+	if err := c.journal.Append(rec); err != nil {
+		acancel()
+		return err
+	}
+	verb := "leased"
+	if d.rescue {
+		verb = "rescue-dispatched"
+	} else if d.rejoin {
+		verb = "re-attached"
+	}
+	fmt.Fprintf(c.opts.Log, "fleet: cell %s: attempt %d %s on %s\n", cr.cell.ID, d.epoch, verb, ts.t.Name())
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer acancel()
+		done <- c.runAttempt(actx, parent, d, la)
+	}()
+	return nil
+}
+
+// nextWakeIn is how long the scheduler can sleep before something could
+// become dispatchable: a cell leaving backoff, a transport leaving
+// cooldown, or a live attempt crossing the straggler deadline.
+func (c *Coordinator) nextWakeIn(now time.Time) (time.Duration, bool) {
+	var best time.Duration
+	found := false
+	consider := func(d time.Duration) {
+		if d < 0 {
+			d = 0
+		}
+		if !found || d < best {
+			best, found = d, true
+		}
+	}
+	pendingIdle := false
+	for _, cr := range c.cells {
+		if cr.status != StatusPending {
+			continue
+		}
+		if len(cr.live) == 0 {
+			pendingIdle = true
+			if cr.readyAt.After(now) {
+				consider(cr.readyAt.Sub(now))
+			}
+		}
+		if c.opts.StragglerAfter > 0 && !cr.rescued && len(cr.live) == 1 {
+			for _, la := range cr.live {
+				consider(la.started.Add(c.opts.StragglerAfter).Sub(now))
+			}
+		}
+	}
+	if pendingIdle {
+		for _, ts := range c.transports {
+			if ts.free > 0 && ts.cooldownUntil.After(now) {
+				consider(ts.cooldownUntil.Sub(now))
+			}
+		}
+	}
+	return best, found
+}
+
 // settle applies one attempt's outcome to the cell state and journal.
 func (c *Coordinator) settle(r result) error {
 	cr := r.cr
+	delete(cr.live, r.epoch)
+	r.ts.free++
+	now := time.Now()
+	place := func(rec Record) Record {
+		rec.Transport = r.ts.t.Name()
+		if aa, ok := r.ts.t.(interface{ AgentAddr() string }); ok {
+			rec.Agent = aa.AgentAddr()
+		}
+		return rec
+	}
 	switch r.out {
 	case outCompleted:
+		r.ts.noteSuccess()
+		if cr.status == StatusCompleted {
+			// A sibling already won; the idempotent accept discarded this
+			// copy. Nothing to journal, nothing to charge.
+			return nil
+		}
 		cr.status = StatusCompleted
-		fmt.Fprintf(c.opts.Log, "fleet: cell %s: completed and verified (attempt %d)\n", cr.cell.ID, r.attempt)
-		return c.journal.Append(Record{Event: EventComplete, Cell: cr.cell.ID, Attempt: r.attempt})
-	case outCanceled:
-		// Interrupted by shutdown, not by the cell: no failure charged;
-		// the open lease replays as pending.
+		if r.rescue {
+			c.rescues++
+		}
+		// First verified result wins: supersede any sibling attempts.
+		for _, other := range cr.live {
+			other.superseded.Store(true)
+			other.cancel()
+		}
+		fmt.Fprintf(c.opts.Log, "fleet: cell %s: completed and verified (attempt %d on %s)\n", cr.cell.ID, r.epoch, r.ts.t.Name())
+		return c.journal.Append(place(Record{Event: EventComplete, Cell: cr.cell.ID, Attempt: r.epoch}))
+	case outCanceled, outSuperseded:
+		// Interrupted by shutdown or beaten by a sibling, not the cell's
+		// fault: no failure charged; the open lease replays as pending
+		// (shutdown) or is cleared by the sibling's completion record.
+		return nil
+	case outUndispatched:
+		// The attempt never started anywhere: re-place without charging a
+		// failed attempt, cool the transport down, and cap the free
+		// re-placements so an unplaceable cell cannot livelock the run.
+		r.ts.noteFailure(now, c.opts.BackoffBase)
+		cr.noDispatch++
+		if err := c.journal.Append(place(Record{Event: EventUndispatched, Cell: cr.cell.ID, Attempt: r.epoch,
+			Cause: r.cause})); err != nil {
+			return err
+		}
+		fmt.Fprintf(c.opts.Log, "fleet: cell %s: attempt %d undispatched (%s); re-placing\n", cr.cell.ID, r.epoch, r.cause)
+		if cr.noDispatch >= 3*c.opts.MaxAttempts {
+			cr.noDispatch = 0
+			return c.charge(r, now, "dispatch failed repeatedly: "+r.cause, "")
+		}
+		cr.readyAt = now.Add(c.backoff(cr.fails + 1))
 		return nil
 	case outFailed, outReclaimed:
-		cr.fails++
-		cr.cause = r.cause
-		cr.tail = r.tail
+		if r.out == outReclaimed {
+			r.ts.noteFailure(now, c.opts.BackoffBase)
+		}
+		if cr.status == StatusCompleted {
+			// A sibling won while this attempt was failing; the cell is
+			// done and the journal already says so.
+			return nil
+		}
 		ev := EventFail
 		if r.out == outReclaimed {
 			ev = EventReclaim
 		}
-		if err := c.journal.Append(Record{Event: ev, Cell: cr.cell.ID, Attempt: r.attempt,
-			Cause: r.cause, StderrTail: r.tail}); err != nil {
+		if err := c.journal.Append(place(Record{Event: ev, Cell: cr.cell.ID, Attempt: r.epoch,
+			Cause: r.cause, StderrTail: r.tail})); err != nil {
 			return err
 		}
-		if cr.fails >= c.opts.MaxAttempts {
-			cr.status = StatusQuarantined
-			fmt.Fprintf(c.opts.Log, "fleet: cell %s: quarantined after %d failures: %s\n", cr.cell.ID, cr.fails, r.cause)
-			return c.journal.Append(Record{Event: EventQuarantine, Cell: cr.cell.ID, Attempt: r.attempt,
-				Cause: fmt.Sprintf("%d failed attempts; last: %s", cr.fails, r.cause), StderrTail: r.tail})
-		}
-		cr.readyAt = time.Now().Add(c.backoff(cr.fails))
-		fmt.Fprintf(c.opts.Log, "fleet: cell %s: attempt %d failed (%s); retrying\n", cr.cell.ID, r.attempt, r.cause)
-		return nil
+		return c.charge(r, now, r.cause, r.tail)
 	}
+	return nil
+}
+
+// charge books one failed attempt: quarantine when the budget is spent
+// and no sibling attempt is still running, else schedule the retry.
+func (c *Coordinator) charge(r result, now time.Time, cause, tail string) error {
+	cr := r.cr
+	cr.fails++
+	cr.cause = cause
+	cr.tail = tail
+	if cr.fails >= c.opts.MaxAttempts {
+		if len(cr.live) > 0 {
+			// A rescue attempt is still in flight; it gets to finish. If
+			// it also fails, its settle lands here with no siblings left.
+			return nil
+		}
+		cr.status = StatusQuarantined
+		fmt.Fprintf(c.opts.Log, "fleet: cell %s: quarantined after %d failures: %s\n", cr.cell.ID, cr.fails, cause)
+		return c.journal.Append(Record{Event: EventQuarantine, Cell: cr.cell.ID, Attempt: r.epoch,
+			Cause: fmt.Sprintf("%d failed attempts; last: %s", cr.fails, cause), StderrTail: tail})
+	}
+	cr.readyAt = now.Add(c.backoff(cr.fails))
+	fmt.Fprintf(c.opts.Log, "fleet: cell %s: attempt %d failed (%s); retrying\n", cr.cell.ID, r.epoch, cause)
 	return nil
 }
 
@@ -508,111 +925,38 @@ func (c *Coordinator) allTerminal() bool {
 	return true
 }
 
-// nextReady returns the first pending, non-running cell whose backoff has
-// elapsed, in deterministic grid order.
-func (c *Coordinator) nextReady(now time.Time) *cellRun {
-	for _, cr := range c.cells {
-		if cr.status == StatusPending && !cr.running && !now.Before(cr.readyAt) {
-			return cr
-		}
-	}
-	return nil
-}
-
-// nextReadyIn returns how long until some pending cell leaves backoff.
-func (c *Coordinator) nextReadyIn(now time.Time) (time.Duration, bool) {
-	var best time.Duration
-	found := false
-	for _, cr := range c.cells {
-		if cr.status != StatusPending || cr.running {
-			continue
-		}
-		d := cr.readyAt.Sub(now)
-		if d < 0 {
-			d = 0
-		}
-		if !found || d < best {
-			best, found = d, true
-		}
-	}
-	return best, found
-}
-
-// runAttempt executes one worker subprocess for a cell and classifies the
-// result. It owns the full lease lifecycle: heartbeat intake from the
-// worker's stdout, the expiry watchdog, and the process-group kill that
-// backs both reclamation and shutdown.
-func (c *Coordinator) runAttempt(ctx context.Context, d dispatch) result {
-	cr, attempt := d.cr, d.attempt
+// runAttempt executes one attempt on its transport and classifies the
+// result. It owns the lease watchdog: the transport feeds liveness
+// signals into the lease via beat, and heartbeat silence past the TTL
+// reclaims the attempt by cancelling its context — which kills a local
+// subprocess's process group or abandons (and aborts) a remote run.
+func (c *Coordinator) runAttempt(ctx, parent context.Context, d dispatch, la *liveAttempt) result {
+	cr, epoch, ts := d.cr, d.epoch, d.ts
 	id := cr.cell.ID
-	workDir := filepath.Join(c.runDir, WorkDirName, fmt.Sprintf("%s.attempt-%d", id, attempt))
-	cellFile := workDir + ".cell.json"
-	fail := func(cause string) result {
-		return result{cr: cr, attempt: attempt, out: outFailed, cause: cause}
+	res := func(out outcome, cause, tail string) result {
+		return result{cr: cr, epoch: epoch, ts: ts, rescue: d.rescue, out: out, cause: cause, tail: tail}
 	}
+	workDir := filepath.Join(c.runDir, WorkDirName, fmt.Sprintf("%s.attempt-%d", id, epoch))
+	discard := func() { _ = os.RemoveAll(workDir) }
 	if err := os.RemoveAll(workDir); err != nil {
-		return fail(err.Error())
+		return res(outFailed, err.Error(), "")
 	}
 	if err := os.MkdirAll(workDir, 0o755); err != nil {
-		return fail(err.Error())
+		return res(outFailed, err.Error(), "")
 	}
-	cellData, err := jsonMarshalIndent(cr.cell)
-	if err != nil {
-		return fail(err.Error())
+	a := Attempt{
+		Cell:          cr.cell,
+		Epoch:         epoch,
+		Heartbeat:     c.opts.Heartbeat,
+		CheckpointDir: filepath.Join(c.runDir, CheckpointsDirName, id),
 	}
-	if err := atomicio.WriteFile(cellFile, cellData, 0o644); err != nil {
-		return fail(err.Error())
-	}
-
-	cmd := exec.Command(c.opts.Executable)
-	cmd.Env = append(os.Environ(),
-		EnvCellFile+"="+cellFile,
-		EnvOutDir+"="+workDir,
-		EnvCheckpointDir+"="+filepath.Join(c.runDir, CheckpointsDirName, id),
-		EnvAttempt+"="+fmt.Sprint(attempt),
-		EnvHeartbeat+"="+c.opts.Heartbeat.String(),
-	)
 	if c.opts.WorkerEnv != nil {
-		cmd.Env = append(cmd.Env, c.opts.WorkerEnv(cr.cell, attempt)...)
+		a.Env = c.opts.WorkerEnv(cr.cell, epoch)
 	}
-	// Each worker gets its own process group, so a reclaim kill reaps the
-	// worker and anything it spawned — a half-dead worker cannot linger.
-	cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+	ls := la.lease
+	beat := func() { ls.beat(epoch, time.Now()) }
 
-	stdout, err := cmd.StdoutPipe()
-	if err != nil {
-		return fail(err.Error())
-	}
-	tail := newTailBuffer(4096)
-	cmd.Stderr = tail
-	if err := cmd.Start(); err != nil {
-		return fail("start worker: " + err.Error())
-	}
-	kill := func() {
-		_ = syscall.Kill(-cmd.Process.Pid, syscall.SIGKILL)
-	}
-
-	ls := newLease(attempt, time.Now())
-	// Heartbeat intake. A heartbeat that arrives after the watchdog
-	// reclaimed the lease (pipe buffering, scheduling) is ignored: beat
-	// refuses to resurrect a reclaimed lease.
-	hbDone := make(chan struct{})
-	go func() {
-		defer close(hbDone)
-		buf := make([]byte, 256)
-		for {
-			n, err := stdout.Read(buf)
-			if n > 0 {
-				ls.beat(attempt, time.Now())
-			}
-			if err != nil {
-				return
-			}
-		}
-	}()
-
-	// Watchdog: reclaim and kill on heartbeat silence. Shutdown: kill on
-	// context cancellation.
+	// Watchdog: reclaim on liveness silence by cancelling the attempt.
 	watchStop := make(chan struct{})
 	var watch sync.WaitGroup
 	watch.Add(1)
@@ -625,44 +969,50 @@ func (c *Coordinator) runAttempt(ctx context.Context, d dispatch) result {
 			case <-watchStop:
 				return
 			case <-ctx.Done():
-				kill()
 				return
 			case <-tick.C:
 				if ls.expired(time.Now(), c.opts.LeaseTTL) && ls.reclaim() {
-					kill()
+					la.cancel()
 					return
 				}
 			}
 		}
 	}()
 
-	waitErr := cmd.Wait()
+	err := ts.t.Run(ctx, a, workDir, beat)
 	close(watchStop)
 	watch.Wait()
-	<-hbDone
 
-	if ctx.Err() != nil {
-		_ = os.RemoveAll(workDir)
-		_ = os.Remove(cellFile)
-		return result{cr: cr, attempt: attempt, out: outCanceled}
+	abortRemote := func() {
+		if ab, ok := ts.t.(aborter); ok {
+			ab.Abort(id, epoch)
+		}
 	}
-	ls.mu.Lock()
-	reclaimed := ls.reclaimed
-	ls.mu.Unlock()
-	if reclaimed {
-		_ = os.RemoveAll(workDir)
-		_ = os.Remove(cellFile)
-		return result{cr: cr, attempt: attempt, out: outReclaimed,
-			cause: "lease expired: no heartbeat within deadline", tail: tail.String()}
+	if err != nil {
+		discard()
+		switch {
+		case la.superseded.Load():
+			abortRemote()
+			return res(outSuperseded, "", "")
+		case ls.wasReclaimed():
+			abortRemote()
+			return res(outReclaimed, "lease expired: no heartbeat within deadline", "")
+		case parent.Err() != nil:
+			return res(outCanceled, "", "")
+		case errors.Is(err, ErrUndispatched):
+			return res(outUndispatched, err.Error(), "")
+		default:
+			var ae *AttemptError
+			if errors.As(err, &ae) {
+				return res(outFailed, ae.Cause, ae.Tail)
+			}
+			return res(outFailed, err.Error(), "")
+		}
 	}
-	if waitErr != nil {
-		_ = os.RemoveAll(workDir)
-		_ = os.Remove(cellFile)
-		return result{cr: cr, attempt: attempt, out: outFailed,
-			cause: "worker " + waitErr.Error(), tail: tail.String()}
-	}
-	// Clean exit: acceptance is gated on the manifest check. Corrupt
-	// output is a retryable failure, never merged.
+
+	// Clean return: acceptance is gated on the coordinator's own checks,
+	// whoever staged the directory. Corrupt output is a retryable
+	// failure, never merged.
 	if problems, err := report.VerifyDir(workDir); err != nil || len(problems) > 0 {
 		cause := "output failed verification"
 		if err != nil {
@@ -670,19 +1020,28 @@ func (c *Coordinator) runAttempt(ctx context.Context, d dispatch) result {
 		} else {
 			cause += fmt.Sprintf(": %d problem(s), first: %s", len(problems), problems[0])
 		}
-		_ = os.RemoveAll(workDir)
-		_ = os.Remove(cellFile)
-		return result{cr: cr, attempt: attempt, out: outFailed, cause: cause, tail: tail.String()}
+		discard()
+		return res(outFailed, cause, "")
+	}
+	// The staged summary must record exactly this cell: a stale agent
+	// scratch dir for a same-ID cell of another grid must not slip in.
+	if !publishedCellMatches(workDir, cr.cell) {
+		discard()
+		return res(outFailed, "staged artifacts record a different cell spec", "")
+	}
+	if cr.cell.DumpDataset {
+		if err := dsio.CheckDir(workDir); err != nil {
+			discard()
+			return res(outFailed, "dataset failed verification: "+err.Error(), "")
+		}
 	}
 	if err := c.accept(id, workDir); err != nil {
-		_ = os.RemoveAll(workDir)
-		_ = os.Remove(cellFile)
-		return result{cr: cr, attempt: attempt, out: outFailed, cause: "accept: " + err.Error(), tail: tail.String()}
+		discard()
+		return res(outFailed, "accept: "+err.Error(), "")
 	}
-	_ = os.Remove(cellFile)
-	// The cell is published; its checkpoints are no longer needed.
+	// The cell is published; its local checkpoints are no longer needed.
 	_ = os.RemoveAll(filepath.Join(c.runDir, CheckpointsDirName, id))
-	return result{cr: cr, attempt: attempt, out: outCompleted}
+	return res(outCompleted, "", "")
 }
 
 // accept atomically publishes a verified attempt directory as the cell's
@@ -714,34 +1073,6 @@ func (c *Coordinator) accept(id, workDir string) error {
 	}
 	defer dirf.Close()
 	return dirf.Sync()
-}
-
-// tailBuffer keeps the last cap bytes written — the stderr tail that goes
-// into fail and quarantine records.
-type tailBuffer struct {
-	mu  sync.Mutex
-	cap int
-	buf []byte
-}
-
-func newTailBuffer(capacity int) *tailBuffer {
-	return &tailBuffer{cap: capacity}
-}
-
-func (t *tailBuffer) Write(p []byte) (int, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.buf = append(t.buf, p...)
-	if len(t.buf) > t.cap {
-		t.buf = t.buf[len(t.buf)-t.cap:]
-	}
-	return len(p), nil
-}
-
-func (t *tailBuffer) String() string {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return string(t.buf)
 }
 
 func jsonMarshalIndent(v any) ([]byte, error) {

@@ -1,0 +1,91 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/ethpbs/pbslab/internal/faults"
+)
+
+// TestWorkerKillResumeByteIdentical is the reproducibility contract behind
+// every "merged corpus is byte-identical" chaos assertion: an attempt that
+// is killed mid-run and then resumed from its checkpoint must publish
+// exactly the bytes an uninterrupted attempt would have published —
+// dataset segments included. The dataset half of that contract is what
+// dsio's init-time gob type-ID pinning buys; without it, the resumed
+// worker's checkpoint decode reorders the process-global gob type IDs and
+// every segment hashes differently while decoding to an equal corpus.
+func TestWorkerKillResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess sim runs")
+	}
+	g := tinyGrid("dsdet", 22)
+	g.DumpDataset = true
+	cells, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := cells[1]
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt := &LocalTransport{Executable: exe}
+	runOnce := func(dir, ckpt string, attempt int, fault string) error {
+		a := Attempt{Cell: cell, Epoch: attempt, Heartbeat: 1e9, CheckpointDir: ckpt}
+		if fault != "" {
+			a.Env = []string{faults.ProcEnv + "=" + fault}
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		return lt.Run(context.Background(), a, dir, func() {})
+	}
+	read := func(dir string) map[string][]byte {
+		out := map[string][]byte{}
+		err := filepath.Walk(dir, func(p string, info os.FileInfo, err error) error {
+			if err != nil || info.IsDir() {
+				return err
+			}
+			b, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			rel, _ := filepath.Rel(dir, p)
+			out[rel] = b
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	fresh := t.TempDir()
+	if err := runOnce(fresh, "", 1, ""); err != nil {
+		t.Fatal(err)
+	}
+	ckpt := t.TempDir()
+	if err := runOnce(t.TempDir(), ckpt, 1, "kill-after-slots=7"); err == nil {
+		t.Fatal("killed attempt reported success")
+	}
+	resumed := t.TempDir()
+	if err := runOnce(resumed, ckpt, 2, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	a, b := read(fresh), read(resumed)
+	for k, v := range a {
+		if !bytes.Equal(v, b[k]) {
+			t.Errorf("fresh vs kill-resumed differs at %s", k)
+		}
+	}
+	for k := range b {
+		if _, ok := a[k]; !ok {
+			t.Errorf("kill-resumed published extra file %s", k)
+		}
+	}
+}

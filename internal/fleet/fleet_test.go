@@ -905,6 +905,47 @@ func TestFleetGridRoundTrip(t *testing.T) {
 	if len(cells) != 3*3*2*3*2*2 {
 		t.Errorf("example grid expands to %d cells, want 216 (README documents the arithmetic)", len(cells))
 	}
+	if len(g.Agents) != 2 || g.Agents[0].Addr == "" || g.Agents[0].Capacity < 1 {
+		t.Errorf("example grid agents stanza parsed to %+v, want 2 placed agents", g.Agents)
+	}
+}
+
+// TestGridAgentsStanzaValidated: the agents stanza is validated at parse
+// time, and — being infrastructure placement, not experiment identity —
+// is excluded from the resume fingerprint, so a grid can move to new
+// hosts across a resume.
+func TestGridAgentsStanzaValidated(t *testing.T) {
+	base := `{"name":"t","seeds":[1],"days":2,"blocks_per_day":6,"private_flow":[0.1]`
+	for _, tc := range []struct{ stanza, wantErr string }{
+		{`,"agents":[{"addr":"h1:9070","capacity":2}]`, ""},
+		{`,"agents":[{"addr":"","capacity":2}]`, "empty addr"},
+		{`,"agents":[{"addr":"h1:9070","capacity":1},{"addr":"h1:9070","capacity":2}]`, "duplicate agent address"},
+		{`,"agents":[{"addr":"h1:9070","capacity":0}]`, "capacity"},
+		{`,"agents":[{"addr":"h1:9070","capacity":1,"rack":"a"}]`, "unknown field"},
+	} {
+		_, err := ParseGrid([]byte(base + tc.stanza + "}"))
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("agents stanza %s rejected: %v", tc.stanza, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("agents stanza %s: err = %v, want containing %q", tc.stanza, err, tc.wantErr)
+		}
+	}
+
+	with, err := ParseGrid([]byte(base + `,"agents":[{"addr":"h1:9070","capacity":2}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := ParseGrid([]byte(base + "}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Fingerprint() != without.Fingerprint() {
+		t.Error("agents stanza changes the grid fingerprint; placement must not block resume")
+	}
 }
 
 // TestFleetScaleAxisShipsChunkedCorpus drives the PR 7 surface end to end:

@@ -53,6 +53,12 @@ type Grid struct {
 	// them under datasets/CELL-ID/ in the merged directory, so the whole
 	// grid's corpora stay streamable from one verified tree.
 	DumpDataset bool `json:"dump_dataset,omitempty"`
+
+	// Agents lists remote pbsagent workers to dispatch cells to, each
+	// "addr" + "capacity". Agents place work, they do not define it:
+	// Fingerprint excludes this stanza, so a resumed run may add, remove
+	// or move agents freely.
+	Agents []AgentSpec `json:"agents,omitempty"`
 }
 
 // Cell is one grid point: a fully resolved scenario assignment.
@@ -126,11 +132,25 @@ func LoadGrid(path string) (*Grid, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fleet: read grid: %w", err)
 	}
+	g, err := ParseGrid(data)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: grid %s: %w", path, err)
+	}
+	return g, nil
+}
+
+// ParseGrid decodes and validates a grid spec: unknown fields are
+// rejected, the agents stanza is checked (unique addresses, positive
+// capacities), and every cell's knob combination must resolve.
+func ParseGrid(data []byte) (*Grid, error) {
 	g := &Grid{}
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(g); err != nil {
-		return nil, fmt.Errorf("fleet: parse grid %s: %w", path, err)
+		return nil, fmt.Errorf("fleet: parse grid: %w", err)
+	}
+	if err := ValidateAgents(g.Agents); err != nil {
+		return nil, err
 	}
 	if _, err := g.Expand(); err != nil {
 		return nil, err
@@ -138,10 +158,34 @@ func LoadGrid(path string) (*Grid, error) {
 	return g, nil
 }
 
-// Fingerprint identifies the grid's full content; resume refuses to
-// continue a run directory whose journal recorded a different grid.
+// ValidateAgents checks an agent placement list: every entry needs an
+// address, addresses must be unique (one lease table per agent), and a
+// zero-capacity agent is a typo, not a no-op.
+func ValidateAgents(agents []AgentSpec) error {
+	seen := map[string]bool{}
+	for _, a := range agents {
+		if a.Addr == "" {
+			return fmt.Errorf("fleet: agents: entry with empty addr")
+		}
+		if seen[a.Addr] {
+			return fmt.Errorf("fleet: agents: duplicate agent address %q", a.Addr)
+		}
+		seen[a.Addr] = true
+		if a.Capacity < 1 {
+			return fmt.Errorf("fleet: agents: agent %q: capacity %d must be >= 1", a.Addr, a.Capacity)
+		}
+	}
+	return nil
+}
+
+// Fingerprint identifies the grid's experiment content; resume refuses to
+// continue a run directory whose journal recorded a different grid. The
+// agents stanza is excluded: where cells run is infrastructure placement,
+// not experiment identity, so agents can change across a resume.
 func (g *Grid) Fingerprint() string {
-	data, err := json.Marshal(g)
+	clone := *g
+	clone.Agents = nil
+	data, err := json.Marshal(&clone)
 	if err != nil {
 		panic(err) // Grid is plain data; Marshal cannot fail
 	}

@@ -34,6 +34,15 @@ const (
 	// EventQuarantine marks a cell permanently set aside after exhausting
 	// its retry budget, with the cause and last stderr tail.
 	EventQuarantine = "quarantine"
+	// EventUndispatched marks an attempt that never started anywhere (the
+	// target transport refused or was unreachable). The cell is re-placed
+	// without charging a failure: no work was lost.
+	EventUndispatched = "undispatched"
+	// EventStalePublish marks a fenced publication attempt: an agent still
+	// holding results for an epoch the coordinator has since superseded or
+	// completed tried to surface them (or was found holding them on
+	// resume). The stale copy is discarded, never accepted.
+	EventStalePublish = "stale_publish"
 )
 
 // Record is one journal line.
@@ -46,6 +55,12 @@ type Record struct {
 	StderrTail  string `json:"stderr_tail,omitempty"`
 	GridName    string `json:"grid_name,omitempty"`
 	Fingerprint string `json:"fingerprint,omitempty"`
+	// Transport and Agent place an attempt: which transport ran it
+	// ("local", "agent:host:port") and, for agent transports, the agent
+	// address — so -resume can tell "cell running remotely on a live
+	// agent" from "cell lost with its worker".
+	Transport string `json:"transport,omitempty"`
+	Agent     string `json:"agent,omitempty"`
 	// Time is wall-clock (RFC3339, for operators reading the journal); it
 	// never feeds the merged corpus, which must be time-independent.
 	Time string `json:"time,omitempty"`
@@ -197,6 +212,12 @@ const (
 	StatusQuarantined CellStatus = "quarantined"
 )
 
+// LeasePlace records where an open lease was dispatched.
+type LeasePlace struct {
+	Transport string
+	Agent     string
+}
+
 // CellState is the per-cell summary of a journal replay.
 type CellState struct {
 	Status CellStatus
@@ -207,6 +228,11 @@ type CellState struct {
 	// Cause and StderrTail carry the quarantine diagnosis.
 	Cause      string
 	StderrTail string
+	// Open maps attempt number → placement for leases with no settled
+	// outcome. After a coordinator crash these are the attempts that may
+	// still be running remotely: resume re-attaches to an open agent
+	// lease at the same epoch instead of charging the cell a failure.
+	Open map[int]LeasePlace
 }
 
 // RunState is the full replayed state of a run directory.
@@ -238,19 +264,31 @@ func ReplayState(recs []Record) *RunState {
 			if rec.Attempt > cs.Attempts {
 				cs.Attempts = rec.Attempt
 			}
+			if cs.Open == nil {
+				cs.Open = map[int]LeasePlace{}
+			}
+			cs.Open[rec.Attempt] = LeasePlace{Transport: rec.Transport, Agent: rec.Agent}
 		case EventFail, EventReclaim:
 			cs := get(rec.Cell)
 			cs.Fails++
 			cs.Cause = rec.Cause
 			cs.StderrTail = rec.StderrTail
+			delete(cs.Open, rec.Attempt)
+		case EventUndispatched:
+			// The attempt never started: its lease settles without a
+			// failure charge.
+			delete(get(rec.Cell).Open, rec.Attempt)
 		case EventComplete:
 			// Idempotent: later completions of an already-completed cell
 			// (a zombie attempt finishing after a reclaim) change nothing.
-			get(rec.Cell).Status = StatusCompleted
+			cs := get(rec.Cell)
+			cs.Status = StatusCompleted
+			cs.Open = nil
 		case EventQuarantine:
 			cs := get(rec.Cell)
 			if cs.Status != StatusCompleted {
 				cs.Status = StatusQuarantined
+				cs.Open = nil
 			}
 			if rec.Cause != "" {
 				cs.Cause = rec.Cause

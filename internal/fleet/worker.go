@@ -180,6 +180,10 @@ func RunWorker(ctx context.Context, spec WorkerSpec, hb io.Writer) error {
 			silence()
 			select {}
 		}
+		if fault.SlowMSPerSlot > 0 {
+			// A straggler: alive, correct, heartbeating — just slow.
+			time.Sleep(time.Duration(fault.SlowMSPerSlot) * time.Millisecond)
+		}
 	}
 
 	res, err := sim.RunOpts(ctx, sc, sim.RunOptions{

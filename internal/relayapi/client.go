@@ -17,9 +17,9 @@ import (
 	"sync"
 	"time"
 
+	"github.com/ethpbs/pbslab/internal/backoff"
 	"github.com/ethpbs/pbslab/internal/crypto"
 	"github.com/ethpbs/pbslab/internal/pbs"
-	"github.com/ethpbs/pbslab/internal/rng"
 	"github.com/ethpbs/pbslab/internal/types"
 )
 
@@ -85,7 +85,7 @@ type Client struct {
 
 	statsMu sync.Mutex
 	retries int
-	jitter  *rng.RNG
+	jitter  *backoff.Jitter
 }
 
 // NewClient builds a client for a relay endpoint with default fault
@@ -165,25 +165,18 @@ func (c *Client) sleep(d time.Duration) {
 	time.Sleep(d)
 }
 
-// backoffDelay computes the wait before retry number attempt (1-based):
-// capped exponential backoff scaled by a deterministic jitter factor in
-// [0.5, 1), never shorter than the server's Retry-After hint.
+// backoffDelay computes the wait before retry number attempt (1-based) by
+// delegating to the shared backoff policy: capped exponential backoff scaled
+// by a deterministic jitter factor in [0.5, 1), never shorter than the
+// server's Retry-After hint.
 func (c *Client) backoffDelay(attempt int, retryAfter time.Duration) time.Duration {
-	d := c.baseDelay() << uint(attempt-1)
-	if max := c.maxDelay(); d > max || d <= 0 {
-		d = max
-	}
 	c.statsMu.Lock()
 	if c.jitter == nil {
-		c.jitter = rng.New(c.Retry.Seed).Fork("relayapi/retry/" + c.Name)
+		c.jitter = backoff.NewJitter(c.Retry.Seed, "relayapi/retry/"+c.Name)
 	}
-	factor := 0.5 + 0.5*c.jitter.Float64()
+	j := c.jitter
 	c.statsMu.Unlock()
-	d = time.Duration(float64(d) * factor)
-	if retryAfter > d {
-		d = retryAfter
-	}
-	return d
+	return backoff.Policy{Base: c.baseDelay(), Max: c.maxDelay()}.Delay(attempt, retryAfter, j)
 }
 
 func (c *Client) countRetry() {

@@ -9,14 +9,19 @@ import (
 	"time"
 )
 
-// admission is the first rung of the degradation ladder: a bounded
+// Admission is the first rung of the degradation ladder: a bounded
 // in-flight semaphore with a bounded, deadline-aware wait queue in front of
 // it. Load beyond capacity+queue is shed immediately with 429; a queued
 // request that cannot get a slot before its wait budget (or its own
 // deadline) expires is shed with 503. Every shed response carries
 // Retry-After, mirroring the backoff contract relayapi.Client honours when
 // it is the one being shed.
-type admission struct {
+//
+// It is exported because it gates two different planes: pbslabd wraps HTTP
+// requests with Wrap (slot held for the request's lifetime), and pbsagent
+// claims slots explicitly with TryAcquire/Release around whole cell
+// subprocess runs that outlive the dispatch request.
+type Admission struct {
 	maxInflight int
 	queueCap    int
 	queueWait   time.Duration
@@ -35,7 +40,9 @@ type admission struct {
 	inflight atomic.Int64
 }
 
-func newAdmission(maxInflight, queueCap int, queueWait, retryAfter time.Duration) *admission {
+// NewAdmission builds an admission controller; non-positive arguments take
+// conservative defaults (1 slot, no queue, 1s waits and hints).
+func NewAdmission(maxInflight, queueCap int, queueWait, retryAfter time.Duration) *Admission {
 	if maxInflight < 1 {
 		maxInflight = 1
 	}
@@ -48,7 +55,7 @@ func newAdmission(maxInflight, queueCap int, queueWait, retryAfter time.Duration
 	if retryAfter <= 0 {
 		retryAfter = time.Second
 	}
-	return &admission{
+	return &Admission{
 		maxInflight: maxInflight,
 		queueCap:    queueCap,
 		queueWait:   queueWait,
@@ -68,7 +75,8 @@ type AdmissionStats struct {
 	Queued   int64  `json:"queued"`
 }
 
-func (ad *admission) stats() AdmissionStats {
+// Stats snapshots the counters.
+func (ad *Admission) Stats() AdmissionStats {
 	return AdmissionStats{
 		Total:    ad.total.Load(),
 		Accepted: ad.accepted.Load(),
@@ -79,8 +87,11 @@ func (ad *admission) stats() AdmissionStats {
 	}
 }
 
-// shed writes a load-shedding response with the Retry-After hint.
-func (ad *admission) shed(w http.ResponseWriter, status int, reason string) {
+// Capacity reports the in-flight slot count.
+func (ad *Admission) Capacity() int { return ad.maxInflight }
+
+// Shed writes a load-shedding response with the Retry-After hint.
+func (ad *Admission) Shed(w http.ResponseWriter, status int, reason string) {
 	secs := int(ad.retryAfter / time.Second)
 	if ad.retryAfter%time.Second != 0 {
 		secs++ // round up: never invite an earlier retry than intended
@@ -94,8 +105,33 @@ func (ad *admission) shed(w http.ResponseWriter, status int, reason string) {
 	})
 }
 
+// TryAcquire claims an execution slot without queueing, for work whose
+// lifetime is not a single HTTP request (an agent's cell subprocess). It
+// reports false — counting a 429-class shed — when capacity is saturated;
+// a true return must be paired with exactly one Release.
+func (ad *Admission) TryAcquire() bool {
+	ad.total.Add(1)
+	select {
+	case ad.slots <- struct{}{}:
+		ad.accepted.Add(1)
+		ad.inflight.Add(1)
+		ad.wg.Add(1)
+		return true
+	default:
+		ad.shed429.Add(1)
+		return false
+	}
+}
+
+// Release returns a slot claimed by TryAcquire.
+func (ad *Admission) Release() {
+	<-ad.slots
+	ad.inflight.Add(-1)
+	ad.wg.Done()
+}
+
 // Wrap gates next behind the admission controller.
-func (ad *admission) Wrap(next http.Handler) http.Handler {
+func (ad *Admission) Wrap(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		ad.total.Add(1)
 		select {
@@ -106,7 +142,7 @@ func (ad *admission) Wrap(next http.Handler) http.Handler {
 			if ad.queued.Add(1) > int64(ad.queueCap) {
 				ad.queued.Add(-1)
 				ad.shed429.Add(1)
-				ad.shed(w, http.StatusTooManyRequests, "in-flight capacity and wait queue are full")
+				ad.Shed(w, http.StatusTooManyRequests, "in-flight capacity and wait queue are full")
 				return
 			}
 			wait := ad.queueWait
@@ -123,14 +159,14 @@ func (ad *admission) Wrap(next http.Handler) http.Handler {
 			case <-timer.C:
 				ad.queued.Add(-1)
 				ad.shed503.Add(1)
-				ad.shed(w, http.StatusServiceUnavailable, "queue wait budget exhausted")
+				ad.Shed(w, http.StatusServiceUnavailable, "queue wait budget exhausted")
 				return
 			case <-r.Context().Done():
 				timer.Stop()
 				ad.queued.Add(-1)
 				ad.shed503.Add(1)
 				// The client is gone; the status is for the log line.
-				ad.shed(w, http.StatusServiceUnavailable, "client left the queue")
+				ad.Shed(w, http.StatusServiceUnavailable, "client left the queue")
 				return
 			}
 		}
@@ -146,9 +182,10 @@ func (ad *admission) Wrap(next http.Handler) http.Handler {
 	})
 }
 
-// drainWait blocks until every admitted request has finished, or the
-// timeout elapses; it reports whether the drain was clean.
-func (ad *admission) drainWait(timeout time.Duration) bool {
+// DrainWait blocks until every admitted request (and every TryAcquire'd
+// slot) has finished, or the timeout elapses; it reports whether the drain
+// was clean.
+func (ad *Admission) DrainWait(timeout time.Duration) bool {
 	done := make(chan struct{})
 	go func() {
 		ad.wg.Wait()

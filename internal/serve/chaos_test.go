@@ -26,7 +26,7 @@ import (
 // rung by hand: one slot, one queue seat, and a third request that must be
 // shed immediately.
 func TestAdmissionShedsDeterministically(t *testing.T) {
-	ad := newAdmission(1, 1, 80*time.Millisecond, 3*time.Second)
+	ad := NewAdmission(1, 1, 80*time.Millisecond, 3*time.Second)
 	release := make(chan struct{})
 	entered := make(chan struct{}, 8)
 	h := ad.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -51,11 +51,11 @@ func TestAdmissionShedsDeterministically(t *testing.T) {
 	go func() { secondDone <- do() }()
 	// Give it a moment to reach the queue (it cannot signal from inside).
 	deadline := time.Now().Add(time.Second)
-	for ad.stats().Queued == 0 && time.Now().Before(deadline) {
+	for ad.Stats().Queued == 0 && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
-	if ad.stats().Queued != 1 {
-		t.Fatalf("second request not queued: %+v", ad.stats())
+	if ad.Stats().Queued != 1 {
+		t.Fatalf("second request not queued: %+v", ad.Stats())
 	}
 
 	// Third request: slot busy, queue full -> immediate 429.
@@ -81,14 +81,14 @@ func TestAdmissionShedsDeterministically(t *testing.T) {
 		t.Fatalf("admitted request: status %d, want 200", first.Code)
 	}
 
-	st := ad.stats()
+	st := ad.Stats()
 	if st.Total != 3 || st.Accepted != 1 || st.Shed429 != 1 || st.Shed503 != 1 {
 		t.Fatalf("ledger wrong: %+v", st)
 	}
 	if st.Inflight != 0 || st.Queued != 0 {
 		t.Fatalf("gauges not back to zero: %+v", st)
 	}
-	if !ad.drainWait(time.Second) {
+	if !ad.DrainWait(time.Second) {
 		t.Fatal("drainWait timed out with no work in flight")
 	}
 }
@@ -96,7 +96,7 @@ func TestAdmissionShedsDeterministically(t *testing.T) {
 // TestAdmissionQueuedRequestPromotedWhenSlotFrees is the happy queue path:
 // a queued request must be admitted (not shed) once capacity frees in time.
 func TestAdmissionQueuedRequestPromotedWhenSlotFrees(t *testing.T) {
-	ad := newAdmission(1, 4, 2*time.Second, time.Second)
+	ad := NewAdmission(1, 4, 2*time.Second, time.Second)
 	release := make(chan struct{})
 	entered := make(chan struct{}, 8)
 	h := ad.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -114,7 +114,7 @@ func TestAdmissionQueuedRequestPromotedWhenSlotFrees(t *testing.T) {
 	}
 	<-entered // one in, one queued
 	deadline := time.Now().Add(time.Second)
-	for ad.stats().Queued == 0 && time.Now().Before(deadline) {
+	for ad.Stats().Queued == 0 && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
 	close(release) // first finishes, queued one is promoted
@@ -122,7 +122,7 @@ func TestAdmissionQueuedRequestPromotedWhenSlotFrees(t *testing.T) {
 	if a, b := <-done, <-done; a != http.StatusOK || b != http.StatusOK {
 		t.Fatalf("statuses %d/%d, want both 200", a, b)
 	}
-	if st := ad.stats(); st.Accepted != 2 || st.Shed429+st.Shed503 != 0 {
+	if st := ad.Stats(); st.Accepted != 2 || st.Shed429+st.Shed503 != 0 {
 		t.Fatalf("ledger wrong: %+v", st)
 	}
 }
@@ -246,11 +246,11 @@ func TestServeDrainLosesNoInflightResponses(t *testing.T) {
 	// The handler is now blocked reading the rest of the body: the request
 	// is admitted and in flight. Wait until admission agrees, then drain.
 	deadline := time.Now().Add(2 * time.Second)
-	for s.adm.stats().Inflight == 0 && time.Now().Before(deadline) {
+	for s.adm.Stats().Inflight == 0 && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
-	if s.adm.stats().Inflight != 1 {
-		t.Fatalf("request not in flight: %+v", s.adm.stats())
+	if s.adm.Stats().Inflight != 1 {
+		t.Fatalf("request not in flight: %+v", s.adm.Stats())
 	}
 
 	drainDone := make(chan error, 1)
@@ -293,7 +293,7 @@ func TestServeDrainLosesNoInflightResponses(t *testing.T) {
 	if err := <-serveDone; err != nil {
 		t.Fatalf("Serve returned error after drain: %v", err)
 	}
-	if st := s.adm.stats(); st.Inflight != 0 {
+	if st := s.adm.Stats(); st.Inflight != 0 {
 		t.Fatalf("in-flight gauge nonzero after drain: %+v", st)
 	}
 }

@@ -78,7 +78,7 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg     Config
 	store   *Store
-	adm     *admission
+	adm     *Admission
 	handler http.Handler
 
 	httpSrv  *http.Server
@@ -101,7 +101,7 @@ func NewServer(cfg Config) *Server {
 	s := &Server{
 		cfg:      cfg,
 		store:    NewStore(LoadOptions{Workers: cfg.Workers}),
-		adm:      newAdmission(cfg.MaxInflight, cfg.Queue, cfg.QueueWait, cfg.RetryAfter),
+		adm:      NewAdmission(cfg.MaxInflight, cfg.Queue, cfg.QueueWait, cfg.RetryAfter),
 		pollStop: make(chan struct{}),
 		pollDone: make(chan struct{}),
 	}
@@ -152,11 +152,17 @@ func (s *Server) buildHandler() http.Handler {
 	return s.recoverWrap(outer)
 }
 
-// recoverWrap converts a handler panic into that request's 500 and a
-// counter bump, keeping the process (and every other in-flight request)
-// alive. http.ErrAbortHandler passes through: it is the sanctioned way to
-// abort a connection and net/http handles it quietly.
+// recoverWrap is Recover with the server's panic counter attached.
 func (s *Server) recoverWrap(next http.Handler) http.Handler {
+	return Recover(next, func() { s.panics.Add(1) })
+}
+
+// Recover converts a handler panic into that request's 500 and an onPanic
+// callback, keeping the process (and every other in-flight request) alive.
+// http.ErrAbortHandler passes through: it is the sanctioned way to abort a
+// connection and net/http handles it quietly. Exported so pbsagent's
+// dispatch plane shares the same containment behaviour as pbslabd.
+func Recover(next http.Handler, onPanic func()) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			rec := recover()
@@ -169,7 +175,9 @@ func (s *Server) recoverWrap(next http.Handler) http.Handler {
 			if rec == http.ErrAbortHandler {
 				panic(rec)
 			}
-			s.panics.Add(1)
+			if onPanic != nil {
+				onPanic()
+			}
 			// Headers may already be out; this is best-effort.
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(http.StatusInternalServerError)
@@ -193,7 +201,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":    "ok",
-		"admission": s.adm.stats(),
+		"admission": s.adm.Stats(),
 		"panics":    s.panics.Load(),
 	})
 }
@@ -239,7 +247,7 @@ func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"admission": s.adm.stats(),
+		"admission": s.adm.Stats(),
 		"panics":    s.panics.Load(),
 		"store":     s.store.Status(),
 	})
@@ -509,7 +517,7 @@ func (s *Server) Drain(ctx context.Context) error {
 			return fmt.Errorf("serve: drain: %w", err)
 		}
 	}
-	if !s.adm.drainWait(s.cfg.DrainTimeout) {
+	if !s.adm.DrainWait(s.cfg.DrainTimeout) {
 		return errors.New("serve: drain: in-flight requests outlived the drain timeout")
 	}
 	return nil

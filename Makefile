@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check docs-lint chaos chaos-fleet chaos-agent soak crawl bench bench-sim bench-serve bench-fleet bench-scale bench-agent clean
+.PHONY: all build vet test race check docs-lint chaos chaos-fleet chaos-agent soak crawl bench bench-sim bench-serve bench-serve-sustained bench-fleet bench-scale bench-agent clean
 
 all: check
 
@@ -80,10 +80,13 @@ chaos-agent:
 # balanced admission ledger, zero-loss graceful drain, verified hot-swap
 # reloads (corrupt directory and corrupt dataset both rejected while the
 # old snapshot keeps serving), panic isolation, slow-loris bounding, seeded
-# server-side fault injection, and kill-and-restart byte-identity.
+# server-side fault injection, kill-and-restart byte-identity, the response
+# cache's consistency chaos (reload-under-load mixed-fingerprint check,
+# singleflight herd collapse, failed/abandoned fills never poisoning), and
+# the replica set's coordinated-swap and proxy-retry contracts.
 soak:
 	$(GO) test -race -count=1 \
-		-run 'Admission|ServeOverload|Drain|Reload|ServePanic|SlowLoris|FaultInjection|Poller|KillAndRestart|WriteFile|Decode' \
+		-run 'Admission|ServeOverload|Drain|Reload|ServePanic|SlowLoris|FaultInjection|Poller|KillAndRestart|WriteFile|Decode|Cache|Replica|Singleflight' \
 		./internal/serve/... ./internal/atomicio/... ./internal/dsio/...
 
 # The fault-injected crawl demo (byte-identical stdout per -seed).
@@ -120,6 +123,21 @@ bench-serve:
 	mkdir -p out
 	$(GO) test -run '^$$' -bench 'ServeLoad' -benchtime 200x -timeout 1800s ./internal/serve | tee out/bench_pr5.txt
 	$(GO) run ./cmd/benchjson -o $(SERVE_BENCH_OUT) out/bench_pr5.txt
+
+# DESIGN.md §13 benchmark: the sustained-load serving tier. Re-measures the
+# burst baseline (ServeLoad) and runs the closed-loop harness (32 clients,
+# 1ms think) over nocache / cached / replicas-4x arms in one record, so the
+# derived ratios compare numbers from the same machine and run:
+# derived.sustained_speedup_vs_pr5 (acceptance: >= 10),
+# derived.sustained_p99_ratio_vs_pr5 (acceptance: <= 2),
+# derived.sustained_cache_hit_rate and derived.sustained_cache_speedup in
+# BENCH_pr9.json.
+SUSTAIN_BENCH_OUT ?= BENCH_pr9.json
+bench-serve-sustained:
+	mkdir -p out
+	$(GO) test -run '^$$' -bench 'ServeLoad' -benchtime 200x -timeout 1800s ./internal/serve | tee out/bench_pr9.txt
+	$(GO) test -run '^$$' -bench 'ServeSustained' -benchtime 3x -timeout 1800s ./internal/serve | tee -a out/bench_pr9.txt
+	$(GO) run ./cmd/benchjson -o $(SUSTAIN_BENCH_OUT) out/bench_pr9.txt
 
 # DESIGN.md §10 benchmark: fleet throughput (cells/min) at 1/4/8 worker
 # subprocesses, the fixed cost of -resume, and the chaos run's recovery

@@ -1,0 +1,91 @@
+package faults
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/ethpbs/pbslab/internal/rng"
+)
+
+// ErrInjectedFill is the error CacheChaos injects into failed cache fills.
+// Tests assert on it with errors.Is to distinguish injected failures from
+// organic ones.
+var ErrInjectedFill = errors.New("faults: injected cache fill failure")
+
+// CacheConfig declares the fault mix for a serving-plane response cache.
+// Probabilities are drawn independently per fill; zero values inject
+// nothing.
+type CacheConfig struct {
+	// SlowFillProb is the chance a fill is held for SlowFillDelay before
+	// computing — widening the singleflight window so herds actually pile
+	// onto an in-flight fill instead of racing past it.
+	SlowFillProb  float64
+	SlowFillDelay time.Duration
+	// FailFillProb is the chance a fill fails outright with
+	// ErrInjectedFill: nothing may be cached, every waiter must see the
+	// error, and the next request must retry from scratch.
+	FailFillProb float64
+}
+
+// CacheCounters tallies injected cache-fill faults.
+type CacheCounters struct {
+	Fills     uint64 `json:"fills"`
+	SlowFills uint64 `json:"slow_fills"`
+	FailFills uint64 `json:"fail_fills"`
+}
+
+// CacheChaos injects faults into a response cache's fill path. Its Hook
+// method matches serve's FillHook signature (func(route string) error)
+// without importing serve, so the dependency points the same way as the
+// rest of the chaos suite: serve takes the hook as plain data.
+//
+// Decisions come from a seeded stream forked per chaos instance; like the
+// relay Injector, the decision sequence is a pure function of (seed,
+// ordinal). Fills triggered by concurrent requests race for ordinals, so
+// chaos tests assert on counters and invariants, not on which specific
+// fill failed.
+type CacheChaos struct {
+	mu  sync.Mutex
+	r   *rng.RNG
+	cfg CacheConfig
+
+	fills     atomic.Uint64
+	slowFills atomic.Uint64
+	failFills atomic.Uint64
+}
+
+// NewCacheChaos seeds a cache-fill fault injector.
+func NewCacheChaos(seed uint64, cfg CacheConfig) *CacheChaos {
+	return &CacheChaos{r: rng.New(seed).Fork("faults/cache"), cfg: cfg}
+}
+
+// Hook is the fill interceptor: pass it to serve.Config.CacheFillHook.
+// route identifies the entry being filled; the draw order (slow, then
+// fail) is fixed so the stream advances identically whatever the outcome.
+func (cc *CacheChaos) Hook(route string) error {
+	cc.fills.Add(1)
+	cc.mu.Lock()
+	slow := cc.r.Bool(cc.cfg.SlowFillProb)
+	fail := cc.r.Bool(cc.cfg.FailFillProb)
+	cc.mu.Unlock()
+	if slow && cc.cfg.SlowFillDelay > 0 {
+		cc.slowFills.Add(1)
+		time.Sleep(cc.cfg.SlowFillDelay)
+	}
+	if fail {
+		cc.failFills.Add(1)
+		return ErrInjectedFill
+	}
+	return nil
+}
+
+// Counters snapshots the injection tallies.
+func (cc *CacheChaos) Counters() CacheCounters {
+	return CacheCounters{
+		Fills:     cc.fills.Load(),
+		SlowFills: cc.slowFills.Load(),
+		FailFills: cc.failFills.Load(),
+	}
+}

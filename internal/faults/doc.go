@@ -17,4 +17,7 @@
 // (truncation, bit flips, deletion, stale debris) to artifact directories
 // for the verifier's chaos tests, and the proc helpers kill, wedge, and
 // sabotage worker subprocesses for the fleet's process-level chaos suite.
+// CacheChaos does the same for the serving plane's response cache: a
+// seeded hook slows or fails cache fills so the soak suite can prove
+// that failed or abandoned fills never poison a key.
 package faults

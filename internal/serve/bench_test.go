@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -125,4 +126,169 @@ func BenchmarkServeLoad(b *testing.B) {
 			b.ReportMetric(float64(served)/b.Elapsed().Seconds(), "served_per_sec")
 		})
 	}
+}
+
+// BenchmarkServeSustained is the response-cache acceptance benchmark: a
+// closed-loop load harness (fixed client count, fixed think time — offered
+// load tracks capacity instead of running open-loop ahead of it) sustained
+// over a realistic route mix: per-day index queries, figure series, listing
+// endpoints and artifact bytes.
+//
+// Three arms:
+//
+//   - nocache: the cache disabled — every request recomputes and
+//     re-marshals its response. The control.
+//   - cached: the production default. Steady-state traffic is ~all hits:
+//     one map lookup plus one memcpy per response.
+//   - replicas-4x: four full serving planes behind the least-inflight
+//     proxy, driven through real loopback HTTP. On a single-CPU host this
+//     arm prices the proxy hop rather than showing scaling; it exists to
+//     keep the replica path measured by the same harness.
+//
+// The nocache/cached arms drive the full production middleware chain
+// in-process (recover → admission → timeout → mux → cache): on this
+// harness's single-CPU machine, kernel TCP would otherwise dominate the
+// numbers and the cache's effect would be unmeasurable. The burst benchmark
+// above (ServeLoad) is run alongside in the same record; cmd/benchjson
+// derives sustained_speedup_vs_pr5 = cached served/sec over the 1× burst
+// baseline (acceptance: >= 10 at p99 <= 2× the baseline's).
+func BenchmarkServeSustained(b *testing.B) {
+	const (
+		clients = 32
+		think   = time.Millisecond
+	)
+	routes := []string{
+		"/api/v1/meta",
+		"/api/v1/figures",
+		"/api/v1/figure/fig04_pbs_share",
+		"/api/v1/figure/fig06_hhi",
+		"/api/v1/day/0",
+		"/api/v1/day/1",
+		"/api/v1/day/2",
+		"/api/v1/artifacts",
+		"/artifacts/fig04_pbs_share.csv",
+		"/artifacts/fig06_hhi.csv",
+	}
+
+	run := func(b *testing.B, reqsPerClient int, do func(path string) (int, int), cacheStats func() CacheStats) {
+		var mu sync.Mutex
+		var served, failed, bodyBytes int
+		var latencies []time.Duration
+		before := cacheStats()
+
+		b.ResetTimer()
+		for round := 0; round < b.N; round++ {
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					lServed, lFailed, lBytes := 0, 0, 0
+					lLat := make([]time.Duration, 0, reqsPerClient)
+					for i := 0; i < reqsPerClient; i++ {
+						path := routes[(c+i)%len(routes)]
+						t0 := time.Now()
+						status, n := do(path)
+						elapsed := time.Since(t0)
+						if status == http.StatusOK {
+							lServed++
+							lBytes += n
+							lLat = append(lLat, elapsed)
+						} else {
+							lFailed++
+						}
+						time.Sleep(think)
+					}
+					mu.Lock()
+					served += lServed
+					failed += lFailed
+					bodyBytes += lBytes
+					latencies = append(latencies, lLat...)
+					mu.Unlock()
+				}(c)
+			}
+			wg.Wait()
+		}
+		b.StopTimer()
+
+		if failed > 0 {
+			b.Errorf("%d of %d closed-loop requests failed", failed, served+failed)
+		}
+		after := cacheStats()
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		quantile := func(q float64) float64 {
+			if len(latencies) == 0 {
+				return 0
+			}
+			return float64(latencies[int(q*float64(len(latencies)-1))]) / float64(time.Millisecond)
+		}
+		hitRate := 0.0
+		dHits := after.Hits - before.Hits
+		if dLookups := dHits + (after.Misses - before.Misses); dLookups > 0 {
+			hitRate = float64(dHits) / float64(dLookups)
+		}
+		secs := b.Elapsed().Seconds()
+		b.ReportMetric(float64(clients), "clients")
+		b.ReportMetric(float64(served)/secs, "served_per_sec")
+		b.ReportMetric(quantile(0.50), "p50_ms")
+		b.ReportMetric(quantile(0.99), "p99_ms")
+		b.ReportMetric(hitRate, "hit_rate")
+		b.ReportMetric(float64(bodyBytes)/(1<<20)/secs, "served_mb_per_sec")
+		// Bytes computed by fills vs served from cache hits: the copied-
+		// not-recomputed ledger.
+		b.ReportMetric(float64(after.FillBytes-before.FillBytes)/(1<<20), "fill_mb")
+		b.ReportMetric(float64(after.HitBytes-before.HitBytes)/(1<<20), "hit_mb")
+	}
+
+	inProcess := func(h http.Handler) func(path string) (int, int) {
+		return func(path string) (int, int) {
+			r := httptest.NewRequest(http.MethodGet, path, nil)
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, r)
+			return w.Code, w.Body.Len()
+		}
+	}
+
+	b.Run("mode=nocache", func(b *testing.B) {
+		s, _ := newTestServer(b, func(c *Config) { c.CacheBytes = -1 })
+		// Fewer requests per client: every one recomputes a full response.
+		run(b, 40, inProcess(s.Handler()), s.CacheStats)
+	})
+
+	b.Run("mode=cached", func(b *testing.B) {
+		s, _ := newTestServer(b, nil)
+		run(b, 300, inProcess(s.Handler()), s.CacheStats)
+	})
+
+	b.Run("mode=replicas-4x", func(b *testing.B) {
+		dir := b.TempDir()
+		buildDataDir(b, dir)
+		rs := NewReplicaSet(Config{DataDir: dir, RequestTimeout: 10 * time.Second}, 4, 1)
+		if err := rs.Init(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		h, err := rs.Start()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_ = rs.Drain(ctx)
+		})
+		stats := func() CacheStats {
+			var tot CacheStats
+			for _, srv := range rs.Replicas() {
+				cs := srv.CacheStats()
+				tot.Hits += cs.Hits
+				tot.Misses += cs.Misses
+				tot.HitBytes += cs.HitBytes
+				tot.FillBytes += cs.FillBytes
+			}
+			return tot
+		}
+		// The proxy handler runs in-process; each attempt is a real HTTP
+		// round trip to a replica's loopback listener.
+		run(b, 100, inProcess(h), stats)
+	})
 }

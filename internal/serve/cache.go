@@ -1,0 +1,311 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// FillHook is an optional interception point on the cache-fill path, called
+// once per fill attempt with the entry's route before the response is
+// computed. A non-nil return fails the fill: nothing is cached, the waiting
+// requests get the error, and the next request retries from scratch.
+// internal/faults provides a seeded implementation (slow fills, injected
+// fill failures) for the cache chaos suite.
+type FillHook func(route string) error
+
+// cacheEntry is one precomputed response: immutable bytes plus the headers
+// that frame them. Entries are keyed by (snapshot fingerprint, route), and
+// a snapshot's data never changes under its fingerprint, so an entry is
+// valid for as long as its key is reachable — there is no TTL, only LRU
+// eviction under the byte budget and purging at snapshot swaps.
+type cacheEntry struct {
+	fingerprint string
+	route       string
+	contentType string
+	etag        string
+	body        []byte
+}
+
+// cost is the entry's budget charge: body bytes plus a flat overhead for
+// the key, headers and bookkeeping.
+func (e *cacheEntry) cost() int64 { return int64(len(e.body)) + 256 }
+
+// fillCall is one in-flight singleflight fill. Waiters block on done; the
+// fill itself runs in its own goroutine detached from any request context,
+// so a client that disconnects mid-fill neither cancels nor poisons the
+// entry — the fill completes, caches, and serves everyone still waiting.
+type fillCall struct {
+	done  chan struct{}
+	entry *cacheEntry
+	err   error
+}
+
+// cacheShard is one lock domain: an LRU list of entries plus the
+// singleflight table for keys currently being filled.
+type cacheShard struct {
+	mu       sync.Mutex
+	entries  map[string]*list.Element // key -> *list.Element holding *cacheEntry
+	lru      *list.List               // front = most recent
+	bytes    int64
+	inflight map[string]*fillCall
+}
+
+// Cache is the serving plane's response cache: a sharded, byte-budgeted
+// LRU keyed by (snapshot manifest fingerprint, route). Every cacheable
+// route resolves through GetOrFill, which collapses a thundering herd into
+// exactly one fill per key and serves every hit as a single memcpy of
+// precomputed bytes. Entries are immutable per fingerprint (a snapshot
+// never changes under its manifest sum), so the only invalidation is the
+// purge at snapshot swap time.
+type Cache struct {
+	shards      []*cacheShard
+	shardBudget int64
+	hook        FillHook
+	disabled    bool
+
+	hits       atomic.Uint64
+	misses     atomic.Uint64
+	fills      atomic.Uint64
+	fillErrors atomic.Uint64
+	collapsed  atomic.Uint64 // requests that waited on another's fill
+	evictions  atomic.Uint64
+	purged     atomic.Uint64
+	oversize   atomic.Uint64 // fills too large for a shard budget, served uncached
+	hitBytes   atomic.Uint64 // body bytes served from hits (the memcpy path)
+	fillBytes  atomic.Uint64 // body bytes computed by fills
+}
+
+// CacheStats is a point-in-time counter snapshot, surfaced by /healthz and
+// /api/v1/stats. HitRate is hits over lookups once traffic has flowed.
+type CacheStats struct {
+	Hits       uint64  `json:"hits"`
+	Misses     uint64  `json:"misses"`
+	Fills      uint64  `json:"fills"`
+	FillErrors uint64  `json:"fill_errors"`
+	Collapsed  uint64  `json:"collapsed"`
+	Evictions  uint64  `json:"evictions"`
+	Purged     uint64  `json:"purged"`
+	Oversize   uint64  `json:"oversize"`
+	Entries    int     `json:"entries"`
+	Bytes      int64   `json:"bytes"`
+	HitBytes   uint64  `json:"hit_bytes"`
+	FillBytes  uint64  `json:"fill_bytes"`
+	HitRate    float64 `json:"hit_rate"`
+}
+
+// newCache builds a cache with the given total byte budget spread across
+// shards. budget <= 0 disables caching: GetOrFill degrades to a direct
+// fill per request (no singleflight, no storage), which is the control arm
+// the sustained-load benchmark measures against.
+func newCache(budget int64, shards int, hook FillHook) *Cache {
+	if shards <= 0 {
+		shards = 16
+	}
+	c := &Cache{hook: hook}
+	if budget <= 0 {
+		c.disabled = true
+		return c
+	}
+	c.shards = make([]*cacheShard, shards)
+	for i := range c.shards {
+		c.shards[i] = &cacheShard{
+			entries:  map[string]*list.Element{},
+			lru:      list.New(),
+			inflight: map[string]*fillCall{},
+		}
+	}
+	c.shardBudget = budget / int64(shards)
+	if c.shardBudget < 1 {
+		c.shardBudget = 1
+	}
+	return c
+}
+
+// key builds the cache key. The fingerprint comes first so entries from a
+// replaced snapshot are unreachable the instant the swap lands, even
+// before the purge sweeps them out.
+func cacheKey(fingerprint, route string) string {
+	return fingerprint + "\x00" + route
+}
+
+// shardFor hashes the key (FNV-1a) onto a shard.
+func (c *Cache) shardFor(key string) *cacheShard {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return c.shards[h%uint64(len(c.shards))]
+}
+
+// GetOrFill resolves (fingerprint, route) to a precomputed response. A hit
+// is returned immediately. On a miss, exactly one caller runs fill (in a
+// detached goroutine, so the filling client's disconnect cannot poison the
+// result); concurrent callers for the same key wait for that fill instead
+// of duplicating it. ctx bounds only this caller's wait — an abandoned
+// wait does not abandon the fill. The bool reports whether the response
+// came from cache (a hit).
+func (c *Cache) GetOrFill(ctx context.Context, fingerprint, route string, fill func() (*cacheEntry, error)) (*cacheEntry, bool, error) {
+	if c.disabled {
+		c.misses.Add(1)
+		entry, err := c.runFill(route, fill)
+		if err != nil {
+			return nil, false, err
+		}
+		return entry, false, nil
+	}
+	key := cacheKey(fingerprint, route)
+	sh := c.shardFor(key)
+
+	sh.mu.Lock()
+	if el, ok := sh.entries[key]; ok {
+		sh.lru.MoveToFront(el)
+		entry := el.Value.(*cacheEntry)
+		sh.mu.Unlock()
+		c.hits.Add(1)
+		c.hitBytes.Add(uint64(len(entry.body)))
+		return entry, true, nil
+	}
+	c.misses.Add(1)
+	if call, ok := sh.inflight[key]; ok {
+		sh.mu.Unlock()
+		c.collapsed.Add(1)
+		select {
+		case <-call.done:
+			return call.entry, false, call.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	call := &fillCall{done: make(chan struct{})}
+	sh.inflight[key] = call
+	sh.mu.Unlock()
+
+	go func() {
+		entry, err := c.runFill(route, fill)
+		sh.mu.Lock()
+		delete(sh.inflight, key)
+		if err == nil {
+			c.store(sh, key, entry)
+		}
+		sh.mu.Unlock()
+		call.entry, call.err = entry, err
+		close(call.done)
+	}()
+
+	select {
+	case <-call.done:
+		return call.entry, false, call.err
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+}
+
+// runFill executes one fill attempt: the chaos hook first, then the real
+// computation. Counters distinguish clean fills from injected or organic
+// failures.
+func (c *Cache) runFill(route string, fill func() (*cacheEntry, error)) (*cacheEntry, error) {
+	if c.hook != nil {
+		if err := c.hook(route); err != nil {
+			c.fillErrors.Add(1)
+			return nil, err
+		}
+	}
+	entry, err := fill()
+	if err != nil {
+		c.fillErrors.Add(1)
+		return nil, err
+	}
+	c.fills.Add(1)
+	c.fillBytes.Add(uint64(len(entry.body)))
+	return entry, nil
+}
+
+// store inserts an entry and evicts from the LRU tail until the shard is
+// back under budget. An entry larger than the whole shard budget is not
+// cached at all — caching it would evict everything else for a key that
+// will immediately be evicted in turn. Caller holds sh.mu.
+func (c *Cache) store(sh *cacheShard, key string, entry *cacheEntry) {
+	cost := entry.cost()
+	if cost > c.shardBudget {
+		c.oversize.Add(1)
+		return
+	}
+	if el, ok := sh.entries[key]; ok {
+		// A racing fill for the same key already stored: keep the existing
+		// entry (identical by construction — same fingerprint, same route).
+		sh.lru.MoveToFront(el)
+		return
+	}
+	el := sh.lru.PushFront(entry)
+	sh.entries[key] = el
+	sh.bytes += cost
+	for sh.bytes > c.shardBudget && sh.lru.Len() > 1 {
+		c.evict(sh, sh.lru.Back())
+	}
+}
+
+// evict removes one element from the shard. Caller holds sh.mu.
+func (c *Cache) evict(sh *cacheShard, el *list.Element) {
+	entry := el.Value.(*cacheEntry)
+	sh.lru.Remove(el)
+	delete(sh.entries, cacheKey(entry.fingerprint, entry.route))
+	sh.bytes -= entry.cost()
+	c.evictions.Add(1)
+}
+
+// Purge drops every cached entry. Called at snapshot swap time: entries of
+// the old fingerprint are unreachable already (the key embeds the
+// fingerprint), but their memory must not outlive the snapshot that backs
+// them, and a same-fingerprint re-swap must not serve stale generation
+// metadata.
+func (c *Cache) Purge() {
+	if c.disabled {
+		return
+	}
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		n := len(sh.entries)
+		sh.entries = map[string]*list.Element{}
+		sh.lru.Init()
+		sh.bytes = 0
+		sh.mu.Unlock()
+		c.purged.Add(uint64(n))
+	}
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	s := CacheStats{
+		Hits:       c.hits.Load(),
+		Misses:     c.misses.Load(),
+		Fills:      c.fills.Load(),
+		FillErrors: c.fillErrors.Load(),
+		Collapsed:  c.collapsed.Load(),
+		Evictions:  c.evictions.Load(),
+		Purged:     c.purged.Load(),
+		Oversize:   c.oversize.Load(),
+		HitBytes:   c.hitBytes.Load(),
+		FillBytes:  c.fillBytes.Load(),
+	}
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		s.Entries += len(sh.entries)
+		s.Bytes += sh.bytes
+		sh.mu.Unlock()
+	}
+	if lookups := s.Hits + s.Misses; lookups > 0 {
+		s.HitRate = float64(s.Hits) / float64(lookups)
+	}
+	return s
+}
+
+// etagFor builds the strong ETag for a fingerprint-derived response. The
+// manifest fingerprint prefix means the tag changes whenever the snapshot
+// does, so a conditional GET carrying a pre-swap tag can never be answered
+// with a stale 304.
+func etagFor(fingerprint, route string) string {
+	return `"` + fingerprint[:min(32, len(fingerprint))] + "/" + route + `"`
+}

@@ -37,6 +37,12 @@ func pointJSON(s stats.Series, day int) *float64 {
 	return &v
 }
 
+// figureItem is one row of the figure listing, precomputed per snapshot.
+type figureItem struct {
+	Key   string `json:"key"`
+	Title string `json:"title"`
+}
+
 // figureQuery maps one query key to the index-backed series behind the
 // matching artifact. The keys intentionally equal the artifact file stems,
 // so /artifacts/fig04_pbs_share.csv and /api/v1/figure/fig04_pbs_share are

@@ -1,0 +1,220 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/ethpbs/pbslab/internal/backoff"
+	"github.com/ethpbs/pbslab/internal/report"
+)
+
+// newTestReplicaSet builds an n-replica set over a fresh fixture dir, runs
+// the coordinated initial load, and mounts the front handler.
+func newTestReplicaSet(t *testing.T, n int) (*ReplicaSet, *httptest.Server) {
+	t.Helper()
+	dir := t.TempDir()
+	buildDataDir(t, dir)
+	rs := NewReplicaSet(Config{DataDir: dir, RequestTimeout: 10 * time.Second}, n, 1)
+	if err := rs.Init(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	h, err := rs.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = rs.Drain(ctx)
+	})
+	return rs, ts
+}
+
+// TestReplicaSetCoordinatedSwapAllOrNothing is the swap protocol's core
+// promise: a candidate one replica rejects is swapped in by no replica, and
+// a candidate everyone verifies is swapped in by all of them.
+func TestReplicaSetCoordinatedSwapAllOrNothing(t *testing.T) {
+	dirA := t.TempDir()
+	buildDataDir(t, dirA)
+	rs := NewReplicaSet(Config{DataDir: dirA}, 3, 1)
+	if err := rs.Init(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// A good candidate commits everywhere, same fingerprint.
+	dirB := t.TempDir()
+	buildDataDir(t, dirB, report.Artifact{Name: "release_note.txt", Data: []byte("v2\n")})
+	snap, err := rs.CoordinatedReload(context.Background(), dirB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, srv := range rs.Replicas() {
+		cur := srv.Store().Current()
+		if cur == nil || cur.ManifestSum != snap.ManifestSum {
+			t.Fatalf("replica %d not on the committed fingerprint", i)
+		}
+	}
+	fpB := snap.ManifestSum
+
+	// A corrupt candidate: tamper one artifact after the manifest is
+	// written, so verification must reject it.
+	dirC := t.TempDir()
+	buildDataDir(t, dirC)
+	tampered := filepath.Join(dirC, "fig04_pbs_share.csv")
+	if err := os.WriteFile(tampered, []byte("tampered\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.CoordinatedReload(context.Background(), dirC); err == nil {
+		t.Fatal("coordinated reload accepted a tampered directory")
+	}
+	for i, srv := range rs.Replicas() {
+		cur := srv.Store().Current()
+		if cur == nil || cur.ManifestSum != fpB {
+			t.Fatalf("replica %d moved off the old snapshot after a vetoed swap", i)
+		}
+		st := srv.Store().Status()
+		if !st.Degraded || st.Rejects == 0 {
+			t.Fatalf("replica %d did not record the fleet rejection: %+v", i, st)
+		}
+	}
+
+	// The rejected candidate must be deduped: the poll predicate says no.
+	if rs.Replicas()[0].Store().ShouldPoll(dirC) {
+		t.Fatal("rejected candidate would be re-verified every poll tick")
+	}
+}
+
+// TestReplicaSetServesConsistentFingerprintAcrossReplicas drives traffic
+// through the front proxy and checks every response carries the fleet's one
+// fingerprint, before and after a coordinated swap via the admin endpoint.
+func TestReplicaSetServesConsistentFingerprintAcrossReplicas(t *testing.T) {
+	rs, ts := newTestReplicaSet(t, 3)
+	fpA := rs.Fingerprint()
+
+	seenReplica := map[string]bool{}
+	for i := 0; i < 12; i++ {
+		status, _, hdr := get(t, ts.URL+"/api/v1/meta")
+		if status != http.StatusOK {
+			t.Fatalf("meta via proxy = %d", status)
+		}
+		if fp := hdr.Get(FingerprintHeader); fp != fpA {
+			t.Fatalf("response fingerprint %.12s, fleet serves %.12s", fp, fpA)
+		}
+		seenReplica[hdr.Get("X-Pbslab-Replica")] = true
+	}
+	if len(seenReplica) == 0 || seenReplica[""] {
+		t.Fatalf("proxy did not tag serving replicas: %v", seenReplica)
+	}
+
+	var ready struct {
+		Ready       bool     `json:"ready"`
+		Fingerprint string   `json:"fingerprint"`
+		Replicas    []Status `json:"replicas"`
+	}
+	if status := getJSON(t, ts.URL+"/readyz", &ready); status != http.StatusOK {
+		t.Fatalf("readyz = %d", status)
+	}
+	if !ready.Ready || ready.Fingerprint != fpA || len(ready.Replicas) != 3 {
+		t.Fatalf("unexpected readiness: %+v", ready)
+	}
+
+	// Coordinated swap through the front door.
+	next := t.TempDir()
+	buildDataDir(t, next, report.Artifact{Name: "release_note.txt", Data: []byte("v2\n")})
+	resp, err := http.Post(ts.URL+"/admin/reload?dir="+next, "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("coordinated reload via proxy = %d", resp.StatusCode)
+	}
+	fpB := rs.Fingerprint()
+	if fpB == fpA {
+		t.Fatal("swap did not change the fleet fingerprint")
+	}
+	for i := 0; i < 6; i++ {
+		_, _, hdr := get(t, ts.URL+"/api/v1/meta")
+		if fp := hdr.Get(FingerprintHeader); fp != fpB {
+			t.Fatalf("post-swap response on %.12s, fleet is on %.12s", fp, fpB)
+		}
+	}
+}
+
+// TestReplicaProxyServesAndRetriesSheddingReplica pits the proxy against a
+// replica that always sheds: the request must land on the healthy replica
+// within the same sweep, and when the whole fleet sheds, the client gets
+// the fleet's own 429 with its Retry-After hint relayed intact.
+func TestReplicaProxyServesAndRetriesSheddingReplica(t *testing.T) {
+	var shedHits atomic.Int64
+	shed := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		shedHits.Add(1)
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":"Too Many Requests"}`))
+	}))
+	defer shed.Close()
+	ok := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("healthy"))
+	}))
+	defer ok.Close()
+
+	addr := func(ts *httptest.Server) string { return strings.TrimPrefix(ts.URL, "http://") }
+
+	p := NewProxy([]string{addr(shed), addr(ok)}, 1)
+	p.Retry = backoff.Policy{Base: time.Millisecond, Max: 2 * time.Millisecond}
+	front := httptest.NewServer(p)
+	defer front.Close()
+
+	status, body, _ := get(t, front.URL+"/api/v1/meta")
+	if status != http.StatusOK || string(body) != "healthy" {
+		t.Fatalf("proxy answered %d %q, want 200 healthy", status, body)
+	}
+	stats := p.Stats()
+	if stats.Forwarded != 1 {
+		t.Fatalf("forwarded = %d, want 1", stats.Forwarded)
+	}
+	if stats.Retried == 0 && shedHits.Load() > 0 {
+		t.Fatalf("shed replica was hit %d times but no retry recorded", shedHits.Load())
+	}
+
+	// All replicas shedding: the proxy sweeps Sweeps times, then relays the
+	// shed response itself — status, body and Retry-After hint intact.
+	all := NewProxy([]string{addr(shed)}, 1)
+	all.Retry = backoff.Policy{Base: time.Millisecond, Max: 2 * time.Millisecond}
+	all.Sweeps = 3
+	before := shedHits.Load()
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodGet, "/api/v1/meta", nil)
+	all.ServeHTTP(rec, req)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("all-shed proxy answered %d, want 429 relayed", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") != "0" {
+		t.Fatal("downstream Retry-After hint was not relayed")
+	}
+	if got := shedHits.Load() - before; got != 3 {
+		t.Fatalf("shed replica saw %d attempts, want one per sweep (3)", got)
+	}
+	if all.Stats().AllShed != 1 {
+		t.Fatalf("all_shed = %d, want 1", all.Stats().AllShed)
+	}
+
+	// An unreachable fleet is a 502, not a hang.
+	down := NewProxy([]string{"127.0.0.1:1"}, 1)
+	down.Retry = backoff.Policy{Base: time.Millisecond, Max: time.Millisecond}
+	rec = httptest.NewRecorder()
+	down.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/v1/meta", nil))
+	if rec.Code != http.StatusBadGateway {
+		t.Fatalf("unreachable fleet answered %d, want 502", rec.Code)
+	}
+}

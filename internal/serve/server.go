@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -44,6 +45,18 @@ type Config struct {
 	Workers int
 	// DrainTimeout bounds graceful shutdown (default 10s).
 	DrainTimeout time.Duration
+	// CacheBytes bounds the response cache's total byte budget
+	// (default 64 MiB; negative disables caching — every request then
+	// recomputes its response, the control arm of the sustained-load
+	// benchmark).
+	CacheBytes int64
+	// CacheShards splits the cache into independently locked shards
+	// (default 16).
+	CacheShards int
+	// CacheFillHook, when non-nil, intercepts every cache fill before the
+	// response is computed — the injection point the cache chaos suite
+	// uses (see faults.CacheChaos).
+	CacheFillHook FillHook
 }
 
 func (c Config) withDefaults() Config {
@@ -70,6 +83,12 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 10 * time.Second
 	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.CacheShards <= 0 {
+		c.CacheShards = 16
+	}
 	return c
 }
 
@@ -79,6 +98,7 @@ type Server struct {
 	cfg     Config
 	store   *Store
 	adm     *Admission
+	cache   *Cache
 	handler http.Handler
 
 	httpSrv  *http.Server
@@ -105,9 +125,21 @@ func NewServer(cfg Config) *Server {
 		pollStop: make(chan struct{}),
 		pollDone: make(chan struct{}),
 	}
+	budget := cfg.CacheBytes
+	if budget < 0 {
+		budget = 0 // newCache treats a non-positive budget as disabled
+	}
+	s.cache = newCache(budget, cfg.CacheShards, cfg.CacheFillHook)
+	// Any snapshot swap purges the whole cache: old-fingerprint entries are
+	// unreachable by key already, but their memory must not outlive the
+	// snapshot backing them.
+	s.store.SetOnSwap(func(*Snapshot) { s.cache.Purge() })
 	s.handler = s.buildHandler()
 	return s
 }
+
+// CacheStats exposes the response-cache counters (benchmarks, replicas).
+func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
 
 // Store exposes the snapshot store (reload triggers, status).
 func (s *Server) Store() *Store { return s.store }
@@ -190,18 +222,96 @@ func Recover(next http.Handler, onPanic func()) http.Handler {
 
 // --- handlers ---
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
+// FingerprintHeader tags every snapshot-derived response with the manifest
+// fingerprint of the snapshot that produced it. The replica proxy and the
+// reload-under-load chaos suite use it to prove no response ever mixes
+// data from two snapshots.
+const FingerprintHeader = "X-Pbslab-Fingerprint"
+
+var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// marshalJSON renders v as indented JSON through a pooled buffer and
+// returns a copy of the bytes. Encoding before any status line is written
+// is what turns a failed marshal into a clean 500 instead of a torn 200
+// body — and what gives the cache layer reusable response bytes.
+func marshalJSON(v any) ([]byte, error) {
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	defer func() { buf.Reset(); jsonBufPool.Put(buf) }()
+	enc := json.NewEncoder(buf)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := marshalJSON(v)
+	if err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(w, `{"error":"Internal Server Error","reason":%q}`+"\n", err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+// writeEntry serves one precomputed response: headers, the strong-ETag 304
+// fast path, then the body in a single Write.
+func writeEntry(w http.ResponseWriter, r *http.Request, e *cacheEntry) {
+	h := w.Header()
+	h.Set("Content-Type", e.contentType)
+	h.Set("ETag", e.etag)
+	h.Set(FingerprintHeader, e.fingerprint)
+	if match := r.Header.Get("If-None-Match"); match != "" && strings.Contains(match, e.etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	h.Set("Content-Length", strconv.Itoa(len(e.body)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(e.body)
+}
+
+// serveCachedJSON resolves one immutable-per-snapshot JSON route through
+// the response cache: a hit is a memcpy, a miss runs build exactly once
+// under singleflight no matter how many requests pile onto the key.
+func (s *Server) serveCachedJSON(w http.ResponseWriter, r *http.Request, snap *Snapshot, route string, build func() (any, error)) {
+	entry, _, err := s.cache.GetOrFill(r.Context(), snap.ManifestSum, route, func() (*cacheEntry, error) {
+		v, err := build()
+		if err != nil {
+			return nil, err
+		}
+		body, err := marshalJSON(v)
+		if err != nil {
+			return nil, err
+		}
+		return &cacheEntry{
+			fingerprint: snap.ManifestSum,
+			route:       route,
+			contentType: "application/json",
+			etag:        etagFor(snap.ManifestSum, route),
+			body:        body,
+		}, nil
+	})
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]any{
+			"error": "Internal Server Error", "reason": err.Error(),
+		})
+		return
+	}
+	writeEntry(w, r, entry)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":    "ok",
 		"admission": s.adm.Stats(),
+		"cache":     s.cache.Stats(),
 		"panics":    s.panics.Load(),
 	})
 }
@@ -222,32 +332,37 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleMeta serves snapshot provenance. The body is immutable per
+// snapshot and cached; the volatile store/admission counters live on
+// /api/v1/stats and /readyz, which are never cached.
 func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
 	snap := s.store.Current()
 	if snap == nil {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": "no snapshot loaded"})
 		return
 	}
-	meta := map[string]any{
-		"dir":          snap.Dir,
-		"generation":   snap.Generation,
-		"manifest_sum": snap.ManifestSum,
-		"artifacts":    len(snap.Manifest.Artifacts),
-		"has_dataset":  snap.HasDataset(),
-		"store":        s.store.Status(),
-	}
-	if snap.HasDataset() {
-		start, days := snap.Analysis.Window()
-		meta["window_start"] = start.UTC().Format("2006-01-02")
-		meta["window_days"] = days
-		meta["counts"] = snap.Counts
-	}
-	writeJSON(w, http.StatusOK, meta)
+	s.serveCachedJSON(w, r, snap, "meta", func() (any, error) {
+		meta := map[string]any{
+			"dir":          snap.Dir,
+			"generation":   snap.Generation,
+			"manifest_sum": snap.ManifestSum,
+			"artifacts":    len(snap.Manifest.Artifacts),
+			"has_dataset":  snap.HasDataset(),
+		}
+		if snap.HasDataset() {
+			start, days := snap.Analysis.Window()
+			meta["window_start"] = start.UTC().Format("2006-01-02")
+			meta["window_days"] = days
+			meta["counts"] = snap.Counts
+		}
+		return meta, nil
+	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"admission": s.adm.Stats(),
+		"cache":     s.cache.Stats(),
 		"panics":    s.panics.Load(),
 		"store":     s.store.Status(),
 	})
@@ -259,14 +374,34 @@ func (s *Server) handleArtifactList(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": "no snapshot loaded"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"generation": snap.Generation,
-		"artifacts":  snap.Manifest.Artifacts,
+	s.serveCachedJSON(w, r, snap, "artifacts", func() (any, error) {
+		return map[string]any{
+			"generation": snap.Generation,
+			"artifacts":  snap.Manifest.Artifacts,
+		}, nil
 	})
 }
 
+// artifactContentType maps an artifact name to its media type.
+func artifactContentType(name string) string {
+	switch path.Ext(name) {
+	case ".csv":
+		return "text/csv; charset=utf-8"
+	case ".gob", ".seg":
+		return "application/octet-stream"
+	case ".json":
+		return "application/json"
+	default:
+		return "text/plain; charset=utf-8"
+	}
+}
+
 // handleArtifact serves raw artifact bytes, byte-identical to disk, with
-// the manifest digest as a strong ETag.
+// the manifest digest as a strong ETag. Bytes resolve through the response
+// cache: in-memory artifacts cost one map hit to fill, and lazily served
+// corpus segments have their disk read + digest re-check amortized to once
+// per snapshot entry (per refill after eviction) instead of once per
+// request.
 func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 	snap := s.store.Current()
 	if snap == nil {
@@ -274,30 +409,38 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	name := r.PathValue("name")
-	data, entry, ok := snap.Artifact(name)
+	// Existence is checked against the manifest index before any fill, so
+	// unknown names 404 without ever occupying cache or singleflight state.
+	meta, ok := snap.Entry(name)
 	if !ok {
 		writeJSON(w, http.StatusNotFound, map[string]any{"error": "unknown artifact", "name": name})
 		return
 	}
-	etag := `"` + entry.SHA256 + `"`
-	w.Header().Set("ETag", etag)
-	if match := r.Header.Get("If-None-Match"); match != "" && strings.Contains(match, etag) {
-		w.WriteHeader(http.StatusNotModified)
+	route := "artifact/" + name
+	entry, _, err := s.cache.GetOrFill(r.Context(), snap.ManifestSum, route, func() (*cacheEntry, error) {
+		data, _, ok := snap.Artifact(name)
+		if !ok {
+			// Manifest-listed but unreadable or digest-mismatched on disk
+			// (torn writer on a lazy segment): a miss, never wrong bytes.
+			return nil, fmt.Errorf("artifact %s failed digest verification", name)
+		}
+		return &cacheEntry{
+			fingerprint: snap.ManifestSum,
+			route:       route,
+			contentType: artifactContentType(name),
+			// Content-addressed ETag: unchanged bytes stay 304-able across
+			// snapshot swaps and daemon restarts.
+			etag: `"` + meta.SHA256 + `"`,
+			body: data,
+		}, nil
+	})
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, map[string]any{
+			"error": "artifact unavailable", "name": name, "reason": err.Error(),
+		})
 		return
 	}
-	switch path.Ext(name) {
-	case ".csv":
-		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
-	case ".gob", ".seg":
-		w.Header().Set("Content-Type", "application/octet-stream")
-	case ".json":
-		w.Header().Set("Content-Type", "application/json")
-	default:
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	}
-	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
-	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write(data)
+	writeEntry(w, r, entry)
 }
 
 // datasetSnap returns the snapshot if it can answer index queries, or
@@ -323,19 +466,11 @@ func (s *Server) handleFigureList(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": "no snapshot loaded"})
 		return
 	}
-	type item struct {
-		Key   string `json:"key"`
-		Title string `json:"title"`
-	}
-	items := make([]item, 0, len(figureQueries))
-	if snap.HasDataset() {
-		for _, q := range figureQueries {
-			items = append(items, item{Key: q.Key, Title: q.Title})
-		}
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"has_dataset": snap.HasDataset(),
-		"figures":     items,
+	s.serveCachedJSON(w, r, snap, "figures", func() (any, error) {
+		return map[string]any{
+			"has_dataset": snap.HasDataset(),
+			"figures":     snap.figureItems,
+		}, nil
 	})
 }
 
@@ -350,21 +485,24 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, map[string]any{"error": "unknown figure", "key": key})
 		return
 	}
-	series := q.Series(snap.Analysis)
-	out := make(map[string]seriesJSON, len(series))
-	for name, ser := range series {
-		out[name] = toSeriesJSON(ser)
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"key":        q.Key,
-		"title":      q.Title,
-		"generation": snap.Generation,
-		"series":     out,
+	s.serveCachedJSON(w, r, snap, "figure/"+key, func() (any, error) {
+		series := q.Series(snap.Analysis)
+		out := make(map[string]seriesJSON, len(series))
+		for name, ser := range series {
+			out[name] = toSeriesJSON(ser)
+		}
+		return map[string]any{
+			"key":        q.Key,
+			"title":      q.Title,
+			"generation": snap.Generation,
+			"series":     out,
+		}, nil
 	})
 }
 
 // handleDay is the per-day index query: every figure's value on one day,
-// one JSON object — the read path a dashboard polls.
+// one JSON object — the read path a dashboard polls (and, being immutable
+// per snapshot, the cache's best customer).
 func (s *Server) handleDay(w http.ResponseWriter, r *http.Request) {
 	snap := s.datasetSnap(w)
 	if snap == nil {
@@ -382,20 +520,43 @@ func (s *Server) handleDay(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	figures := make(map[string]map[string]*float64, len(figureQueries))
-	for _, q := range figureQueries {
-		series := q.Series(snap.Analysis)
-		vals := make(map[string]*float64, len(series))
-		for name, ser := range series {
-			vals[name] = pointJSON(ser, day)
+	s.serveCachedJSON(w, r, snap, "day/"+strconv.Itoa(day), func() (any, error) {
+		figures := make(map[string]map[string]*float64, len(figureQueries))
+		for _, q := range figureQueries {
+			series := q.Series(snap.Analysis)
+			vals := make(map[string]*float64, len(series))
+			for name, ser := range series {
+				vals[name] = pointJSON(ser, day)
+			}
+			figures[q.Key] = vals
 		}
-		figures[q.Key] = vals
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"day":        day,
-		"generation": snap.Generation,
-		"figures":    figures,
+		return map[string]any{
+			"day":        day,
+			"generation": snap.Generation,
+			"figures":    figures,
+		}, nil
 	})
+}
+
+// reloadDir extracts the reload candidate directory from a reload request:
+// ?dir= wins, then a JSON body {"dir": "..."}, else the configured default.
+// An empty or non-JSON body means "default dir"; a too-large or drip-fed
+// body is bounded by MaxBytesReader + the request timeout.
+func reloadDir(w http.ResponseWriter, r *http.Request, maxBody int64, def string) string {
+	dir := r.URL.Query().Get("dir")
+	if dir == "" && r.Body != nil {
+		r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+		var body struct {
+			Dir string `json:"dir"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err == nil {
+			dir = body.Dir
+		}
+	}
+	if dir == "" {
+		dir = def
+	}
+	return dir
 }
 
 // handleReload verifies a candidate directory and hot-swaps it in. The
@@ -403,21 +564,7 @@ func (s *Server) handleDay(w http.ResponseWriter, r *http.Request) {
 // {"dir": "..."} selects another. Rejection leaves the old snapshot
 // serving and answers 422 with the verification failure.
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
-	dir := r.URL.Query().Get("dir")
-	if dir == "" && r.Body != nil {
-		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-		var body struct {
-			Dir string `json:"dir"`
-		}
-		// An empty or non-JSON body means "default dir"; a too-large or
-		// drip-fed body is bounded by MaxBytesReader + request timeout.
-		if err := json.NewDecoder(r.Body).Decode(&body); err == nil {
-			dir = body.Dir
-		}
-	}
-	if dir == "" {
-		dir = s.cfg.DataDir
-	}
+	dir := reloadDir(w, r, s.cfg.MaxBodyBytes, s.cfg.DataDir)
 	snap, err := s.store.Reload(r.Context(), dir)
 	if err != nil {
 		writeJSON(w, http.StatusUnprocessableEntity, map[string]any{

@@ -38,8 +38,20 @@ type Snapshot struct {
 	// than held in memory: the chunked corpus segments, which at 10×–100×
 	// scale would dwarf the artifacts proper. Each lazy read re-verifies
 	// the manifest digest, so a torn file turns into a miss, never wrong
-	// bytes on the wire.
+	// bytes on the wire. (The response cache amortizes that re-check to
+	// once per snapshot entry: a cached segment is verified at fill time
+	// and served from memory until evicted or the snapshot swaps.)
 	lazy map[string]report.ManifestEntry
+
+	// entries indexes every manifest entry (in-memory and lazy alike) by
+	// name, so per-request artifact lookups never scan the manifest.
+	entries map[string]report.ManifestEntry
+	// names is the sorted artifact inventory, built once at load time;
+	// listing endpoints serve it without re-sorting per request.
+	names []string
+	// figureItems is the precomputed figure listing (empty without a
+	// dataset), again built once instead of per request.
+	figureItems []figureItem
 
 	// Analysis is non-nil when the directory contained a corpus (chunked
 	// dataset/ segments or the legacy dataset.gob): the per-day index
@@ -59,10 +71,8 @@ func (s *Snapshot) HasDataset() bool { return s.Analysis != nil }
 // than served wrong.
 func (s *Snapshot) Artifact(name string) ([]byte, report.ManifestEntry, bool) {
 	if data, ok := s.files[name]; ok {
-		for _, e := range s.Manifest.Artifacts {
-			if e.Name == name {
-				return data, e, true
-			}
+		if e, ok := s.entries[name]; ok {
+			return data, e, true
 		}
 		return nil, report.ManifestEntry{}, false
 	}
@@ -82,17 +92,19 @@ func (s *Snapshot) Artifact(name string) ([]byte, report.ManifestEntry, bool) {
 }
 
 // Names lists the snapshot's artifact names, sorted (lazily served corpus
-// segments included).
+// segments included). The list is precomputed at load; the returned slice
+// is a copy the caller may keep or mutate.
 func (s *Snapshot) Names() []string {
-	out := make([]string, 0, len(s.files)+len(s.lazy))
-	for name := range s.files {
-		out = append(out, name)
-	}
-	for name := range s.lazy {
-		out = append(out, name)
-	}
-	sort.Strings(out)
+	out := make([]string, len(s.names))
+	copy(out, s.names)
 	return out
+}
+
+// Entry returns one artifact's manifest entry without touching its bytes —
+// the existence check the cache layer runs before committing to a fill.
+func (s *Snapshot) Entry(name string) (report.ManifestEntry, bool) {
+	e, ok := s.entries[name]
+	return e, ok
 }
 
 // LoadOptions tunes snapshot loading.
@@ -155,6 +167,10 @@ func Load(ctx context.Context, dir string, opts LoadOptions) (*Snapshot, error) 
 		ManifestSum: hex.EncodeToString(sum[:]),
 		files:       make(map[string][]byte, len(m.Artifacts)),
 		lazy:        map[string]report.ManifestEntry{},
+		entries:     make(map[string]report.ManifestEntry, len(m.Artifacts)),
+	}
+	for _, e := range m.Artifacts {
+		snap.entries[e.Name] = e
 	}
 	for _, e := range m.Artifacts {
 		if strings.HasPrefix(e.Name, dsio.DirName+"/") {
@@ -214,6 +230,23 @@ func Load(ctx context.Context, dir string, opts LoadOptions) (*Snapshot, error) 
 		}
 		snap.Analysis = a
 		snap.Counts = ds.Count()
+	}
+
+	// Precompute the listings the list endpoints serve: building them once
+	// here means a request for them is a cache fill at worst, never a
+	// re-sort.
+	snap.names = make([]string, 0, len(snap.entries))
+	for name := range snap.entries {
+		snap.names = append(snap.names, name)
+	}
+	sort.Strings(snap.names)
+	if snap.HasDataset() {
+		snap.figureItems = make([]figureItem, len(figureQueries))
+		for i, q := range figureQueries {
+			snap.figureItems[i] = figureItem{Key: q.Key, Title: q.Title}
+		}
+	} else {
+		snap.figureItems = []figureItem{}
 	}
 	return snap, nil
 }

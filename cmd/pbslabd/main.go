@@ -9,7 +9,7 @@
 //	pbslabd -data DIR [-addr HOST:PORT] [-max-inflight N] [-queue N]
 //	        [-queue-wait D] [-request-timeout D] [-retry-after D]
 //	        [-reload-poll D] [-workers N] [-drain-timeout D]
-//	        [-cache-mb N] [-replicas N]
+//	        [-cache-mb N] [-replicas N] [-admin-secret-file F]
 //
 // The data directory must verify clean against its manifest (pbslab
 // -figures DIR writes one; add -dump-dataset to enable index queries).
@@ -69,12 +69,21 @@ func run() int {
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "max time to wait for in-flight requests on shutdown")
 	cacheMB := flag.Int("cache-mb", 64, "response cache byte budget per replica in MiB (0 = disable caching)")
 	replicas := flag.Int("replicas", 1, "serving replicas behind a least-inflight front proxy (1 = single daemon)")
+	adminSecretFile := flag.String("admin-secret-file", "", "shared-secret file; POST /admin/reload then requires its HMAC signature")
 	flag.Parse()
 
 	if *data == "" {
 		fmt.Fprintln(os.Stderr, "pbslabd: -data DIR is required")
 		flag.Usage()
 		return 2
+	}
+	var adminSecret []byte
+	if *adminSecretFile != "" {
+		var err error
+		if adminSecret, err = serve.LoadSecretFile(*adminSecretFile); err != nil {
+			fmt.Fprintf(os.Stderr, "pbslabd: %v\n", err)
+			return 2
+		}
 	}
 
 	cacheBytes := int64(*cacheMB) << 20
@@ -92,6 +101,7 @@ func run() int {
 		Workers:        *workers,
 		DrainTimeout:   *drainTimeout,
 		CacheBytes:     cacheBytes,
+		AdminSecret:    adminSecret,
 	}
 
 	if *replicas > 1 {

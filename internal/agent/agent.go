@@ -59,6 +59,11 @@ type Config struct {
 	// DrainTimeout bounds how long Drain waits for running cells
 	// (default 30s).
 	DrainTimeout time.Duration
+	// Secret, when set, requires every API request (everything except
+	// /healthz) to carry the fleet's HMAC signature, and scrubs the secret
+	// from every free-text reply field (Cause, StderrTail) so a worker
+	// error that echoes its environment cannot leak it over the wire.
+	Secret []byte
 	// Log receives progress lines (default: discard).
 	Log io.Writer
 }
@@ -178,6 +183,16 @@ type Agent struct {
 	draining atomic.Bool
 	panics   atomic.Uint64
 	handler  http.Handler
+	redact   func(string) string
+}
+
+// scrub redacts the fleet secret from a status reply's free-text fields.
+func (a *Agent) scrub(st fleet.AgentRunStatus) fleet.AgentRunStatus {
+	if a.redact != nil {
+		st.Cause = a.redact(st.Cause)
+		st.StderrTail = a.redact(st.StderrTail)
+	}
+	return st
 }
 
 // New builds an agent; Handler serves its API.
@@ -196,13 +211,22 @@ func New(cfg Config) (*Agent, error) {
 		runs:   map[string]*run{},
 		epochs: map[string]int{},
 	}
+	api := http.NewServeMux()
+	api.HandleFunc(fleet.AgentPathRun, a.handleRun)
+	api.HandleFunc(fleet.AgentPathWatch, a.handleWatch)
+	api.HandleFunc(fleet.AgentPathResult, a.handleResult)
+	api.HandleFunc(fleet.AgentPathAck, a.handleAck)
+	api.HandleFunc(fleet.AgentPathAbort, a.handleAbort)
+	api.HandleFunc(fleet.AgentPathStatus, a.handleStatus)
+	var apiH http.Handler = api
+	if len(cfg.Secret) > 0 {
+		// Every API request must carry a valid fleet signature; only the
+		// liveness probe stays open.
+		apiH = serve.NewAuthenticator(cfg.Secret, 0).Middleware(1<<20, apiH)
+		a.redact = func(s string) string { return serve.RedactSecret(s, cfg.Secret) }
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc(fleet.AgentPathRun, a.handleRun)
-	mux.HandleFunc(fleet.AgentPathWatch, a.handleWatch)
-	mux.HandleFunc(fleet.AgentPathResult, a.handleResult)
-	mux.HandleFunc(fleet.AgentPathAck, a.handleAck)
-	mux.HandleFunc(fleet.AgentPathAbort, a.handleAbort)
-	mux.HandleFunc(fleet.AgentPathStatus, a.handleStatus)
+	mux.Handle("/api/v1/", apiH)
 	mux.HandleFunc(fleet.AgentPathHealth, a.handleHealth)
 	a.handler = serve.Recover(mux, func() { a.panics.Add(1) })
 	return a, nil
@@ -244,11 +268,6 @@ func (a *Agent) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := req.Cell.ID
-	if a.draining.Load() {
-		a.adm.Shed(w, http.StatusServiceUnavailable, "draining")
-		return
-	}
-
 	a.mu.Lock()
 	if floor := a.epochs[id]; req.Epoch < floor {
 		a.mu.Unlock()
@@ -258,9 +277,10 @@ func (a *Agent) handleRun(w http.ResponseWriter, r *http.Request) {
 	if cur := a.runs[id]; cur != nil {
 		if cur.epoch == req.Epoch {
 			// Idempotent join: duplicate delivery or coordinator restart.
+			// Joins are answered even mid-drain — the work is already here.
 			st := cur.status()
 			a.mu.Unlock()
-			writeJSON(w, http.StatusOK, st)
+			writeJSON(w, http.StatusOK, a.scrub(st))
 			return
 		}
 		if cur.epoch > req.Epoch {
@@ -271,6 +291,15 @@ func (a *Agent) handleRun(w http.ResponseWriter, r *http.Request) {
 		// A newer epoch supersedes the held run: kill it now so its slot
 		// frees, clean its scratch once it exits.
 		a.supersedeLocked(cur)
+	}
+	if a.draining.Load() {
+		// New work only is refused. The draining marker tells the
+		// coordinator not to retry here: re-place the cell elsewhere at
+		// once, nothing charged.
+		a.mu.Unlock()
+		w.Header().Set(fleet.AgentDrainingHeader, "1")
+		a.adm.Shed(w, http.StatusServiceUnavailable, "draining")
+		return
 	}
 	if !a.adm.TryAcquire() {
 		a.mu.Unlock()
@@ -292,7 +321,7 @@ func (a *Agent) handleRun(w http.ResponseWriter, r *http.Request) {
 
 	fmt.Fprintf(a.cfg.Log, "agent: cell %s: accepted epoch %d\n", id, req.Epoch)
 	go a.execute(ctx, rn, req)
-	writeJSON(w, http.StatusAccepted, rn.status())
+	writeJSON(w, http.StatusAccepted, a.scrub(rn.status()))
 }
 
 // supersedeLocked (a.mu held) evicts a run: marks it superseded, kills
@@ -433,7 +462,7 @@ func (a *Agent) handleWatch(w http.ResponseWriter, r *http.Request) {
 	for {
 		select {
 		case <-rn.done:
-			st := rn.status()
+			st := a.scrub(rn.status())
 			ev := fleet.WatchEvent{Done: true, OK: st.OK, Cause: st.Cause,
 				StderrTail: st.StderrTail, Superseded: rn.superseded.Load()}
 			data, _ := json.Marshal(ev)
@@ -466,7 +495,7 @@ func (a *Agent) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusConflict, "cell %s epoch %d is still running", cell, epoch)
 		return
 	}
-	if st := rn.status(); !st.OK {
+	if st := a.scrub(rn.status()); !st.OK {
 		writeErr(w, http.StatusConflict, "cell %s epoch %d failed: %s", cell, epoch, st.Cause)
 		return
 	}
@@ -546,7 +575,7 @@ func (a *Agent) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Panics:    a.panics.Load(),
 	}
 	for _, rn := range runs {
-		reply.Runs = append(reply.Runs, rn.status())
+		reply.Runs = append(reply.Runs, a.scrub(rn.status()))
 	}
 	writeJSON(w, http.StatusOK, reply)
 }

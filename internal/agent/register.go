@@ -1,0 +1,144 @@
+// Agent auto-registration: the client side of the coordinator's registry.
+// A Registrar announces the agent's capability (address, capacity, TLS,
+// per-boot fingerprint) and keeps re-announcing at the cadence the
+// coordinator replies with — registration doubles as the liveness
+// heartbeat, so there is no separate keepalive protocol. On shutdown a
+// final draining announcement deregisters immediately instead of waiting
+// out the registry TTL.
+
+package agent
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/ethpbs/pbslab/internal/fleet"
+	"github.com/ethpbs/pbslab/internal/serve"
+)
+
+// Registrar announces one agent to one coordinator registry.
+type Registrar struct {
+	// Coordinator is the registry's base URL, e.g. "http://host:9301".
+	Coordinator string
+	// Self is the capability announced. Boot is filled with a random
+	// per-boot fingerprint when empty.
+	Self fleet.RegisterRequest
+	// Auth, when set, signs every announcement with the fleet secret.
+	Auth *serve.Authenticator
+	// HTTP is the client (default http.DefaultClient).
+	HTTP *http.Client
+	// Log receives progress lines (default: discard).
+	Log io.Writer
+}
+
+// NewBootID returns a random per-boot fingerprint: a changed Boot under
+// the same address tells the coordinator the agent restarted and lost its
+// held runs.
+func NewBootID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("pid-%d", os.Getpid())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+func (rg *Registrar) client() *http.Client {
+	if rg.HTTP != nil {
+		return rg.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (rg *Registrar) logw() io.Writer {
+	if rg.Log != nil {
+		return rg.Log
+	}
+	return io.Discard
+}
+
+// announce posts one registration (or, with draining, a deregistration)
+// and returns the heartbeat cadence the coordinator wants.
+func (rg *Registrar) announce(ctx context.Context, draining bool) (time.Duration, error) {
+	req := rg.Self
+	req.Draining = draining
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, err
+	}
+	url := strings.TrimSuffix(rg.Coordinator, "/") + fleet.RegistryPathRegister
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if rg.Auth != nil {
+		// Signed per announcement: every heartbeat draws a fresh nonce.
+		if err := rg.Auth.Sign(hreq, body); err != nil {
+			return 0, err
+		}
+	}
+	resp, err := rg.client().Do(hreq)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return 0, fmt.Errorf("coordinator replied %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	var reply fleet.RegisterReply
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&reply); err != nil {
+		return 0, fmt.Errorf("decode register reply: %w", err)
+	}
+	return reply.HeartbeatEvery, nil
+}
+
+// Run announces until ctx is cancelled, then deregisters. Failed
+// announcements are retried at the same cadence — the registry's TTL
+// (three missed heartbeats) is the real liveness arbiter, so transient
+// registration failures cost nothing as long as one in three lands.
+func (rg *Registrar) Run(ctx context.Context) {
+	if rg.Self.Boot == "" {
+		rg.Self.Boot = NewBootID()
+	}
+	period := fleet.DefaultRegistryHeartbeat
+	for {
+		actx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		hb, err := rg.announce(actx, false)
+		cancel()
+		if err != nil {
+			if ctx.Err() != nil {
+				rg.Deregister()
+				return
+			}
+			fmt.Fprintf(rg.logw(), "agent: register with %s failed: %v (retrying)\n", rg.Coordinator, err)
+		} else if hb > 0 {
+			period = hb
+		}
+		select {
+		case <-ctx.Done():
+			rg.Deregister()
+			return
+		case <-time.After(period):
+		}
+	}
+}
+
+// Deregister sends a best-effort draining announcement so the coordinator
+// drops the member now; when it is lost, the registration simply expires.
+func (rg *Registrar) Deregister() {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := rg.announce(ctx, true); err != nil {
+		fmt.Fprintf(rg.logw(), "agent: deregister from %s failed: %v (registration will expire)\n", rg.Coordinator, err)
+	}
+}

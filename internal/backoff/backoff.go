@@ -8,11 +8,43 @@
 package backoff
 
 import (
+	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"github.com/ethpbs/pbslab/internal/rng"
 )
+
+// ParseRetryAfter interprets a Retry-After header value per RFC 9110
+// §10.2.3: either a non-negative delta-seconds integer or an HTTP-date.
+// Dates are resolved against now; a date in the past, a negative delta, or
+// garbage all parse to 0 (no hint), so a malformed server header can never
+// stall a client.
+func ParseRetryAfter(value string, now time.Time) time.Duration {
+	value = strings.TrimSpace(value)
+	if value == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(value); err == nil {
+		if secs <= 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	// http.ParseTime tries the three RFC 9110 date layouts (IMF-fixdate,
+	// RFC 850, asctime).
+	when, err := http.ParseTime(value)
+	if err != nil {
+		return 0
+	}
+	d := when.Sub(now)
+	if d <= 0 {
+		return 0
+	}
+	return d
+}
 
 // Policy is a capped exponential backoff: the first retry waits Base, each
 // further retry doubles it, clamped to Max (overflow also clamps to Max).

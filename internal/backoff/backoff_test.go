@@ -1,6 +1,7 @@
 package backoff
 
 import (
+	"net/http"
 	"testing"
 	"time"
 )
@@ -36,6 +37,35 @@ func TestDelayHonoursRetryAfter(t *testing.T) {
 	// A hint shorter than the computed backoff does not shrink it.
 	if got := p.Delay(4, 10*time.Millisecond, nil); got != 400*time.Millisecond {
 		t.Fatalf("short hint: delay = %v, want 400ms", got)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name  string
+		value string
+		want  time.Duration
+	}{
+		{"empty", "", 0},
+		{"delta seconds", "7", 7 * time.Second},
+		{"delta with spaces", "  120  ", 2 * time.Minute},
+		{"zero delta", "0", 0},
+		{"negative delta", "-3", 0},
+		{"imf-fixdate future", now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second},
+		{"imf-fixdate past", now.Add(-time.Hour).Format(http.TimeFormat), 0},
+		{"rfc850 future", now.Add(30 * time.Second).Format("Monday, 02-Jan-06 15:04:05 GMT"), 30 * time.Second},
+		{"asctime future", now.Add(45 * time.Second).Format(time.ANSIC), 45 * time.Second},
+		{"garbage words", "soonish", 0},
+		{"garbage float", "1.5", 0},
+		{"garbage date", "Feb 30 25:61:00", 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := ParseRetryAfter(tc.value, now); got != tc.want {
+				t.Fatalf("ParseRetryAfter(%q) = %v, want %v", tc.value, got, tc.want)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,26 @@
+package cli
+
+import (
+	"net"
+	"strings"
+)
+
+// LoopbackAddr reports whether a listen address binds only the loopback
+// interface. An empty host ("", ":9070") binds every interface and is NOT
+// loopback. The secure-by-default rule rides on this: serving plaintext,
+// unauthenticated endpoints beyond loopback requires an explicit opt-in.
+func LoopbackAddr(addr string) bool {
+	host := addr
+	if h, _, err := net.SplitHostPort(addr); err == nil {
+		host = h
+	}
+	host = strings.TrimSpace(host)
+	if host == "" {
+		return false
+	}
+	if strings.EqualFold(host, "localhost") {
+		return true
+	}
+	ip := net.ParseIP(host)
+	return ip != nil && ip.IsLoopback()
+}

@@ -45,6 +45,27 @@ type Config struct {
 	// Transport-only; Middleware ignores it (a server cannot re-deliver).
 	DuplicateProb float64
 
+	// The two WAN modes below model long flaky transfers between real
+	// hosts. Like the server-plane modes they are drawn only when
+	// configured, so legacy configs keep their exact streams. They are
+	// Transport-only: both model damage on the client's side of the wire.
+
+	// CutProb is the chance the connection is severed mid-transfer: the
+	// response streams normally up to a seeded byte offset drawn in
+	// [1, CutAfterBytes] (default 64 KiB) and then dies with a read error —
+	// the failure ranged resume exists for. A cut link differs from
+	// TruncateProb in that the client observes an explicit error partway
+	// through a known-length body, not a silently short one.
+	CutProb       float64
+	CutAfterBytes int64
+	// ThrottleProb is the chance the response body is drip-fed at
+	// ThrottleChunk bytes (default 1 KiB) per read with ThrottleDelay
+	// between chunks — a congested WAN path that makes big single-shot
+	// transfers time out where chunked ranged transfers survive.
+	ThrottleProb  float64
+	ThrottleChunk int
+	ThrottleDelay time.Duration
+
 	// The three server-plane modes below are drawn only when at least one
 	// of them is configured, so legacy configs keep their exact historical
 	// draw sequences (and their golden outputs). They only take effect in
@@ -90,12 +111,14 @@ type Counters struct {
 	SlowBodies    int
 	PartialWrites int
 	Resets        int
+	Cuts          int
+	Throttles     int
 }
 
 // Injected sums every injected fault.
 func (c Counters) Injected() int {
 	return c.Drops + c.Delays + c.Errors + c.RateLimits + c.Truncates + c.Duplicates +
-		c.OutageHits + c.SlowBodies + c.PartialWrites + c.Resets
+		c.OutageHits + c.SlowBodies + c.PartialWrites + c.Resets + c.Cuts + c.Throttles
 }
 
 // Stats aggregates fault counters per relay; safe for concurrent use.
@@ -149,6 +172,12 @@ type Action struct {
 	RetryAfter time.Duration
 	Truncate   bool
 	Duplicate  bool
+
+	// Transport-only WAN modes (Middleware never sets them).
+	CutAfter      int64 // > 0: sever the response body after this many bytes
+	Throttle      bool
+	ThrottleChunk int
+	ThrottleDelay time.Duration
 
 	// Middleware-only modes (Transport never sets them).
 	SlowBody      bool
@@ -239,6 +268,24 @@ func (inj *Injector) Decide(relay string, at time.Time) Action {
 	if cfg.DuplicateProb > 0 {
 		dup = stream.Bool(cfg.DuplicateProb)
 	}
+	var cutAt int64
+	if cfg.CutProb > 0 {
+		cut := stream.Bool(cfg.CutProb)
+		maxOff := cfg.CutAfterBytes
+		if maxOff <= 0 {
+			maxOff = 64 << 10
+		}
+		// The offset is drawn every request (not just when the cut fires),
+		// so the stream advances identically whatever the outcome.
+		off := int64(stream.Intn(int(maxOff))) + 1
+		if cut {
+			cutAt = off
+		}
+	}
+	var throttle bool
+	if cfg.ThrottleProb > 0 {
+		throttle = stream.Bool(cfg.ThrottleProb)
+	}
 	inj.mu.Unlock()
 
 	switch {
@@ -264,6 +311,22 @@ func (inj *Injector) Decide(relay string, at time.Time) Action {
 	if dup {
 		inj.stats.bump(relay, func(c *Counters) { c.Duplicates++ })
 		act.Duplicate = true
+	}
+	// A full truncation subsumes a cut: only one of the two mangles the
+	// body, and truncation (read-all-then-halve) would defeat the cut's
+	// streaming offset anyway.
+	if cutAt > 0 && !act.Truncate {
+		inj.stats.bump(relay, func(c *Counters) { c.Cuts++ })
+		act.CutAfter = cutAt
+	}
+	if throttle {
+		inj.stats.bump(relay, func(c *Counters) { c.Throttles++ })
+		act.Throttle = true
+		act.ThrottleChunk = cfg.ThrottleChunk
+		if act.ThrottleChunk <= 0 {
+			act.ThrottleChunk = 1 << 10
+		}
+		act.ThrottleDelay = cfg.ThrottleDelay
 	}
 	if slow {
 		inj.stats.bump(relay, func(c *Counters) { c.SlowBodies++ })
@@ -340,17 +403,62 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 		}
 	}
 	resp, err := base.RoundTrip(req)
-	if err != nil || !act.Truncate {
+	if err != nil {
 		return resp, err
 	}
-	body, readErr := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if readErr != nil {
-		return nil, readErr
+	if act.Truncate {
+		body, readErr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if readErr != nil {
+			return nil, readErr
+		}
+		resp.Body = io.NopCloser(bytes.NewReader(body[:len(body)/2]))
+		return resp, nil
 	}
-	resp.Body = io.NopCloser(bytes.NewReader(body[:len(body)/2]))
+	// WAN damage wraps the streaming body: a cut severs it at the seeded
+	// offset, a throttle drips it. Both compose (a slow link can also die).
+	if act.CutAfter > 0 {
+		resp.Body = &cutReader{src: resp.Body, relay: t.Relay, left: act.CutAfter}
+	}
+	if act.Throttle {
+		resp.Body = &dripReader{
+			src:   resp.Body,
+			chunk: act.ThrottleChunk,
+			delay: act.ThrottleDelay,
+			done:  req.Context().Done(),
+		}
+	}
 	return resp, nil
 }
+
+// cutReader delivers the first left bytes of src, then fails the read —
+// the client-side view of a connection severed mid-transfer.
+type cutReader struct {
+	src   io.ReadCloser
+	relay string
+	left  int64
+}
+
+func (c *cutReader) Read(p []byte) (int, error) {
+	if c.left <= 0 {
+		return 0, fmt.Errorf("faults: %s: connection cut mid-transfer", c.relay)
+	}
+	if int64(len(p)) > c.left {
+		p = p[:c.left]
+	}
+	n, err := c.src.Read(p)
+	c.left -= int64(n)
+	if err == io.EOF {
+		// The body ended before the cut offset: the transfer completed.
+		return n, err
+	}
+	if c.left <= 0 && err == nil {
+		err = fmt.Errorf("faults: %s: connection cut mid-transfer", c.relay)
+	}
+	return n, err
+}
+
+func (c *cutReader) Close() error { return c.src.Close() }
 
 // duplicateRequest clones req for a second delivery, replaying the body via
 // GetBody. Bodyless requests clone trivially; a request whose body cannot be

@@ -43,6 +43,52 @@ func NetPlan(seed uint64, agent string) Config {
 	return cfg
 }
 
+// WANPlan draws the wide-area chaos fault mix for one coordinator→agent
+// link from its own seeded stream ("wan/<agent>"), leaving NetPlan's
+// streams — and every golden that depends on them — untouched. On top of a
+// baseline of transient loss, roughly a third of agents sit behind a
+// cutting link (mid-transfer severs at seeded byte offsets, the failure
+// ranged resume exists for), a third behind a congested one (throttled
+// drip-fed bodies), and a third see duplicated deliveries (replay pressure
+// on the request authenticator) plus extra drops.
+func WANPlan(seed uint64, agent string) Config {
+	r := rng.New(seed).Fork("wan/" + agent)
+	cfg := Config{
+		DropProb:   0.05,
+		DelayProb:  0.10,
+		Delay:      5 * time.Millisecond,
+		RetryAfter: time.Second,
+	}
+	switch r.Intn(3) {
+	case 0: // cutting link: transfers die partway and must resume
+		cfg.CutProb = 0.30
+		cfg.CutAfterBytes = 48 << 10
+	case 1: // congested link: drip-fed bodies
+		cfg.ThrottleProb = 0.20
+		cfg.ThrottleChunk = 8 << 10
+		cfg.ThrottleDelay = 2 * time.Millisecond
+	case 2: // at-least-once delivery plus extra loss
+		cfg.DuplicateProb = 0.15
+		cfg.DropProb = 0.10
+	}
+	return cfg
+}
+
+// Flap builds the outage windows of a flapping agent: cycles dead windows
+// of length dead, separated by alive gaps of length alive, starting at
+// from. Spliced into Config.Outages it reproduces the dead→alive→dead
+// pattern of a host rebooting in a loop — each recovery lures the
+// coordinator into re-dispatching, each relapse kills the lease again.
+func Flap(from time.Time, dead, alive time.Duration, cycles int) []Window {
+	out := make([]Window, 0, cycles)
+	at := from
+	for i := 0; i < cycles; i++ {
+		out = append(out, Window{From: at, To: at.Add(dead)})
+		at = at.Add(dead + alive)
+	}
+	return out
+}
+
 // Partition returns an outage window [from, from+d) for splicing a
 // network partition into an agent's Config.Outages: every RPC inside the
 // window is dropped, which is indistinguishable from a switch failure to

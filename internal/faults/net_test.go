@@ -144,3 +144,162 @@ func TestTransportTruncationHalvesBody(t *testing.T) {
 		t.Fatalf("truncated body is %d bytes, want %d", len(body), len(payload)/2)
 	}
 }
+
+// TestWANPlanDeterministicAndIndependent: WANPlan is a pure function of
+// (seed, agent), draws from its own stream (NetPlan's draws are untouched),
+// and deals every WAN mode across a fleet of agents.
+func TestWANPlanDeterministicAndIndependent(t *testing.T) {
+	a := WANPlan(7, "10.0.0.12:9070")
+	if !reflect.DeepEqual(a, WANPlan(7, "10.0.0.12:9070")) {
+		t.Fatalf("WANPlan not deterministic")
+	}
+	if a.DropProb <= 0 || a.DelayProb <= 0 {
+		t.Fatalf("WANPlan lost its baseline transient loss: %+v", a)
+	}
+	// Adding WANPlan must not perturb NetPlan's stream for the same agent.
+	before := NetPlan(7, "10.0.0.12:9070")
+	_ = WANPlan(7, "10.0.0.12:9070")
+	if !reflect.DeepEqual(NetPlan(7, "10.0.0.12:9070"), before) {
+		t.Fatal("WANPlan perturbed NetPlan's draws")
+	}
+	var cutting, throttled, duplicated int
+	for i := 0; i < 60; i++ {
+		cfg := WANPlan(7, string(rune('a'+i%26))+"-agent")
+		switch {
+		case cfg.CutProb > 0:
+			cutting++
+		case cfg.ThrottleProb > 0:
+			throttled++
+		case cfg.DuplicateProb > 0:
+			duplicated++
+		}
+	}
+	if cutting == 0 || throttled == 0 || duplicated == 0 {
+		t.Fatalf("WAN mix collapsed: cut=%d throttle=%d dup=%d", cutting, throttled, duplicated)
+	}
+}
+
+// TestFlapWindows: a flapping agent alternates dead and alive spans.
+func TestFlapWindows(t *testing.T) {
+	from := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	ws := Flap(from, time.Second, 2*time.Second, 3)
+	if len(ws) != 3 {
+		t.Fatalf("Flap produced %d windows, want 3", len(ws))
+	}
+	for i, w := range ws {
+		start := from.Add(time.Duration(i) * 3 * time.Second)
+		if !w.From.Equal(start) || !w.To.Equal(start.Add(time.Second)) {
+			t.Fatalf("window %d = %v..%v, want %v..%v", i, w.From, w.To, start, start.Add(time.Second))
+		}
+	}
+	// Alive gaps are really alive: a probe halfway into the gap is outside
+	// every window.
+	probe := from.Add(2 * time.Second)
+	for _, w := range ws {
+		if w.Contains(probe) {
+			t.Fatalf("alive gap probe %v falls inside window %v..%v", probe, w.From, w.To)
+		}
+	}
+}
+
+// TestTransportCutSeversMidTransfer: a cut link streams the prefix before
+// the seeded offset and then fails the read — unlike truncation, the
+// client sees an explicit error and knows how many bytes it banked.
+func TestTransportCutSeversMidTransfer(t *testing.T) {
+	payload := make([]byte, 1<<16)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(payload)
+	}))
+	defer srv.Close()
+	inj := NewInjector(1)
+	inj.SetConfig("agent", Config{CutProb: 1, CutAfterBytes: 4 << 10})
+	client := &http.Client{Transport: &Transport{Inj: inj, Relay: "agent"}}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err == nil {
+		t.Fatal("cut transfer completed without error")
+	}
+	if len(body) == 0 || len(body) > 4<<10 {
+		t.Fatalf("cut delivered %d bytes, want a non-empty prefix <= 4096", len(body))
+	}
+	if got := inj.Stats().For("agent").Cuts; got != 1 {
+		t.Fatalf("Cuts counter = %d, want 1", got)
+	}
+	// A body shorter than the cut offset completes normally: the link died
+	// after the transfer already finished.
+	short := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "tiny")
+	}))
+	defer short.Close()
+	inj2 := NewInjector(1)
+	inj2.SetConfig("agent", Config{CutProb: 1, CutAfterBytes: 1 << 20})
+	client2 := &http.Client{Transport: &Transport{Inj: inj2, Relay: "agent"}}
+	resp2, err := client2.Get(short.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if err != nil || string(b2) != "tiny" {
+		t.Fatalf("short body under a late cut: %q, %v; want clean read", b2, err)
+	}
+}
+
+// TestTransportThrottleDripsBody: a throttled link still delivers every
+// byte, just slowly in small chunks.
+func TestTransportThrottleDripsBody(t *testing.T) {
+	payload := "0123456789abcdef0123456789abcdef"
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, payload)
+	}))
+	defer srv.Close()
+	inj := NewInjector(1)
+	inj.SetConfig("agent", Config{ThrottleProb: 1, ThrottleChunk: 4, ThrottleDelay: time.Millisecond})
+	client := &http.Client{Transport: &Transport{Inj: inj, Relay: "agent"}}
+	start := time.Now()
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || string(body) != payload {
+		t.Fatalf("throttled body = %q, %v; want full payload", body, err)
+	}
+	if elapsed := time.Since(start); elapsed < 8*time.Millisecond {
+		t.Fatalf("throttled transfer finished in %v, too fast for 8 chunks at 1ms", elapsed)
+	}
+	if got := inj.Stats().For("agent").Throttles; got != 1 {
+		t.Fatalf("Throttles counter = %d, want 1", got)
+	}
+}
+
+// TestLegacyStreamsUnchangedByWANModeAddition: a config with no WAN modes
+// draws the same action sequence it always did — adding CutProb and
+// ThrottleProb cannot shift goldens for existing chaos suites.
+func TestLegacyStreamsUnchangedByWANModeAddition(t *testing.T) {
+	legacy := Config{DropProb: 0.2, DelayProb: 0.2, Delay: time.Millisecond,
+		ErrorProb: 0.1, RateLimitProb: 0.1, TruncateProb: 0.1, RetryAfter: time.Second}
+	a := NewInjector(99)
+	a.SetConfig("r", legacy)
+	b := NewInjector(99)
+	b.SetConfig("r", legacy)
+	at := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 200; i++ {
+		x := a.Decide("r", at)
+		y := b.Decide("r", at)
+		if !reflect.DeepEqual(x, y) {
+			t.Fatalf("draw %d diverged: %+v vs %+v", i, x, y)
+		}
+		if x.CutAfter != 0 || x.Throttle {
+			t.Fatalf("draw %d produced a WAN action from a legacy config: %+v", i, x)
+		}
+	}
+}

@@ -38,6 +38,51 @@ const (
 	AgentPathHealth = "/healthz"
 )
 
+// Coordinator registry endpoints (served by pbsfleet -listen): agents
+// announce themselves and heartbeat here. Registration is the one place
+// the pull design inverts — an agent that knows the coordinator's address
+// can join the fleet without being in the static -agents list.
+const (
+	RegistryPathRegister   = "/api/v1/register"
+	RegistryPathDeregister = "/api/v1/deregister"
+)
+
+// AgentDrainingHeader marks a 503 dispatch rejection as "agent is
+// draining" rather than "agent is momentarily overloaded". The
+// coordinator stops retrying that dispatch immediately and re-places the
+// cell elsewhere without charging a failure — retrying into a drain can
+// only waste the retry budget.
+const AgentDrainingHeader = "X-Pbslab-Draining"
+
+// RegisterRequest is the body of POST /api/v1/register: an agent
+// announcing (or re-announcing — registration doubles as the liveness
+// heartbeat) its capability to the coordinator.
+type RegisterRequest struct {
+	// Addr is the dialable host:port the agent serves on.
+	Addr string `json:"addr"`
+	// Capacity is the concurrent-attempt budget the agent offers.
+	Capacity int `json:"capacity"`
+	// TLS reports whether the agent serves HTTPS.
+	TLS bool `json:"tls,omitempty"`
+	// Version is the agent's build/protocol version string.
+	Version string `json:"version,omitempty"`
+	// Boot is a random per-boot fingerprint: a changed Boot under the same
+	// Addr means the agent restarted and lost its runs.
+	Boot string `json:"boot,omitempty"`
+	// Draining, when true, deregisters: the agent is shutting down and
+	// wants no further dispatches.
+	Draining bool `json:"draining,omitempty"`
+}
+
+// RegisterReply acknowledges a registration with the coordinator's view.
+type RegisterReply struct {
+	// OK confirms the agent is (still) a fleet member.
+	OK bool `json:"ok"`
+	// HeartbeatEvery is how often the agent should re-register to stay
+	// live, in nanoseconds.
+	HeartbeatEvery time.Duration `json:"heartbeat_every_ns"`
+}
+
 // AgentSpec places one remote agent in a grid file's "agents" stanza or a
 // -agents flag: where to reach it and how many cells it runs at once.
 type AgentSpec struct {
@@ -46,6 +91,10 @@ type AgentSpec struct {
 	// Capacity is the number of concurrent cell attempts the coordinator
 	// will hold open against this agent (>= 1).
 	Capacity int `json:"capacity"`
+	// TLS makes the coordinator dial the agent over HTTPS. The grid
+	// fingerprint excludes the agents stanza, so flipping TLS on an
+	// existing journal stays resumable.
+	TLS bool `json:"tls,omitempty"`
 }
 
 // RunRequest is the body of POST /api/v1/run: one cell attempt

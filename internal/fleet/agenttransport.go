@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	gohash "hash"
 	"io"
 	"net/http"
 	"os"
@@ -31,9 +32,17 @@ import (
 	"github.com/ethpbs/pbslab/internal/atomicio"
 	"github.com/ethpbs/pbslab/internal/backoff"
 	"github.com/ethpbs/pbslab/internal/report"
+	"github.com/ethpbs/pbslab/internal/serve"
 )
 
-// AgentTransport runs attempts on one remote agent over HTTP.
+// ErrAuthRejected marks an agent that refused the coordinator's
+// credentials outright (401 with a terminal marker): a configuration
+// error, not a lease failure. The coordinator disables the transport —
+// dispatching into a wrong secret can never succeed — and re-places the
+// cell elsewhere without charging a failure.
+var ErrAuthRejected = errors.New("agent rejected credentials")
+
+// AgentTransport runs attempts on one remote agent over HTTP(S).
 type AgentTransport struct {
 	// Spec is the agent's address and concurrent-attempt budget.
 	Spec AgentSpec
@@ -41,6 +50,14 @@ type AgentTransport struct {
 	// fault-injecting round tripper. It must not set Client.Timeout (the
 	// watch stream is long-lived); per-RPC deadlines come from Timeout.
 	HTTP *http.Client
+	// Auth, when non-nil, signs every RPC with the fleet's shared secret.
+	// Replay-rejected requests (a duplicated delivery consuming the nonce)
+	// are re-signed and retried; terminal rejections surface as
+	// ErrAuthRejected.
+	Auth *serve.Authenticator
+	// Ledger, when non-nil, tallies transfer bytes — the chaos suite's
+	// proof that a resumed fetch re-transfers only the missing tail.
+	Ledger *TransferLedger
 	// Retry is the per-RPC backoff policy (default 50ms base, 2s cap).
 	Retry backoff.Policy
 	// Attempts is the per-RPC try budget (default 4).
@@ -52,6 +69,74 @@ type AgentTransport struct {
 
 	jmu    sync.Mutex
 	jitter *backoff.Jitter
+}
+
+// TransferLedger counts artifact-fetch bytes on the wire. WireBytes is
+// every body byte actually received; ResumedBytes is bytes skipped
+// because a ranged request resumed past an already-verified prefix;
+// Restarts counts transfers that had to start over from byte zero.
+type TransferLedger struct {
+	mu           sync.Mutex
+	wireBytes    int64
+	resumedBytes int64
+	ranged       int
+	restarts     int
+}
+
+func (l *TransferLedger) addWire(n int64) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.wireBytes += n
+	l.mu.Unlock()
+}
+
+func (l *TransferLedger) noteResume(off int64) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.resumedBytes += off
+	l.ranged++
+	l.mu.Unlock()
+}
+
+func (l *TransferLedger) noteRestart() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.restarts++
+	l.mu.Unlock()
+}
+
+// TransferStats is a TransferLedger snapshot.
+type TransferStats struct {
+	// WireBytes is the total body bytes received across all fetches.
+	WireBytes int64
+	// ResumedBytes is the bytes *not* re-transferred thanks to ranged
+	// resume: the sum of the offsets granted by 206 responses.
+	ResumedBytes int64
+	// RangedRequests counts 206-resumed requests; Restarts counts
+	// transfers forced back to byte zero.
+	RangedRequests int
+	Restarts       int
+}
+
+// Stats snapshots the ledger.
+func (l *TransferLedger) Stats() TransferStats {
+	if l == nil {
+		return TransferStats{}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return TransferStats{
+		WireBytes:      l.wireBytes,
+		ResumedBytes:   l.resumedBytes,
+		RangedRequests: l.ranged,
+		Restarts:       l.restarts,
+	}
 }
 
 // NewAgentTransport returns a transport for one agent with defaults
@@ -79,6 +164,23 @@ func (t *AgentTransport) client() *http.Client {
 		return t.HTTP
 	}
 	return http.DefaultClient
+}
+
+// baseURL is the agent's scheme://addr root, honouring Spec.TLS.
+func (t *AgentTransport) baseURL() string {
+	if t.Spec.TLS {
+		return "https://" + t.Spec.Addr
+	}
+	return "http://" + t.Spec.Addr
+}
+
+// sign stamps req with the fleet secret when auth is configured. body must
+// be the exact request body bytes (nil for bodyless requests).
+func (t *AgentTransport) sign(req *http.Request, body []byte) error {
+	if t.Auth == nil {
+		return nil
+	}
+	return t.Auth.SignRequest(req, body)
 }
 
 func (t *AgentTransport) tries() int {
@@ -115,10 +217,13 @@ func (t *AgentTransport) delay(attempt int, retryAfter time.Duration) time.Durat
 }
 
 // rpcError is a non-2xx agent reply; permanent codes (404, 409) are
-// classified by callers, everything else retries.
+// classified by callers, everything else retries. authMarker carries the
+// 401 rejection cause; draining marks a 503 from a shutting-down agent.
 type rpcError struct {
-	code int
-	msg  string
+	code       int
+	msg        string
+	authMarker string
+	draining   bool
 }
 
 func (e *rpcError) Error() string {
@@ -129,6 +234,17 @@ func retryable(err error) bool {
 	var re *rpcError
 	if errors.As(err, &re) {
 		switch {
+		case re.code == http.StatusUnauthorized:
+			// Replay/stale rejections mean the secret is right but the
+			// nonce or timestamp was consumed (a duplicated delivery, a
+			// clock blip): re-signing fixes it. Everything else is a wrong
+			// secret — no retry can help.
+			return serve.AuthRetryable(re.authMarker)
+		case re.code == http.StatusServiceUnavailable && re.draining:
+			// A draining agent refuses all new work until it exits;
+			// retrying into it wastes the budget. Callers re-place the
+			// work elsewhere.
+			return false
 		case re.code == http.StatusTooManyRequests || re.code == http.StatusServiceUnavailable:
 			return true
 		case re.code >= 500:
@@ -141,6 +257,24 @@ func retryable(err error) bool {
 	return true
 }
 
+// authRejected reports a terminal credentials rejection.
+func authRejected(err error) bool {
+	var re *rpcError
+	return errors.As(err, &re) && re.code == http.StatusUnauthorized &&
+		!serve.AuthRetryable(re.authMarker)
+}
+
+// rpcErrorFrom builds the classified error for a non-2xx response.
+func rpcErrorFrom(resp *http.Response) *rpcError {
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	return &rpcError{
+		code:       resp.StatusCode,
+		msg:        strings.TrimSpace(string(msg)),
+		authMarker: resp.Header.Get(serve.AuthErrorHeader),
+		draining:   resp.Header.Get(AgentDrainingHeader) != "",
+	}
+}
+
 func errCode(err error) int {
 	var re *rpcError
 	if errors.As(err, &re) {
@@ -149,12 +283,10 @@ func errCode(err error) int {
 	return 0
 }
 
-// retryAfterHint extracts a Retry-After: N header as a duration.
+// retryAfterHint extracts a Retry-After header — delta-seconds or
+// HTTP-date — as a duration.
 func retryAfterHint(h http.Header) time.Duration {
-	if secs, err := strconv.Atoi(strings.TrimSpace(h.Get("Retry-After"))); err == nil && secs > 0 {
-		return time.Duration(secs) * time.Second
-	}
-	return 0
+	return backoff.ParseRetryAfter(h.Get("Retry-After"), time.Now())
 }
 
 // doJSON runs one retrying JSON RPC against the agent.
@@ -178,20 +310,28 @@ func (t *AgentTransport) doJSON(ctx context.Context, method, pth string, in, out
 func (t *AgentTransport) doOnce(ctx context.Context, method, pth string, in, out any) (time.Duration, error) {
 	rctx, cancel := context.WithTimeout(ctx, t.rpcTimeout())
 	defer cancel()
+	var data []byte
 	var body io.Reader
 	if in != nil {
-		data, err := json.Marshal(in)
+		var err error
+		data, err = json.Marshal(in)
 		if err != nil {
 			return 0, err
 		}
 		body = bytes.NewReader(data)
 	}
-	req, err := http.NewRequestWithContext(rctx, method, "http://"+t.Spec.Addr+pth, body)
+	req, err := http.NewRequestWithContext(rctx, method, t.baseURL()+pth, body)
 	if err != nil {
 		return 0, err
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	// Signed inside the retry loop: every retry draws a fresh nonce, so a
+	// replay rejection (a duplicated delivery consumed the nonce) heals on
+	// the next try.
+	if err := t.sign(req, data); err != nil {
+		return 0, err
 	}
 	resp, err := t.client().Do(req)
 	if err != nil {
@@ -202,8 +342,7 @@ func (t *AgentTransport) doOnce(ctx context.Context, method, pth string, in, out
 		resp.Body.Close()
 	}()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return retryAfterHint(resp.Header), &rpcError{code: resp.StatusCode, msg: strings.TrimSpace(string(msg))}
+		return retryAfterHint(resp.Header), rpcErrorFrom(resp)
 	}
 	if out == nil {
 		return 0, nil
@@ -237,8 +376,15 @@ func (t *AgentTransport) Run(ctx context.Context, a Attempt, workDir string, bea
 		if errCode(err) == http.StatusConflict {
 			return &AttemptError{Cause: fmt.Sprintf("agent %s fenced the dispatch as stale: %v", t.Spec.Addr, err)}
 		}
-		// Never accepted anywhere: the cell lost nothing, so no failure
-		// is charged — the coordinator re-places it.
+		if authRejected(err) {
+			// Wrong secret: a config error, not a lease failure. The
+			// coordinator disables this transport and never dispatches to
+			// it again.
+			return fmt.Errorf("%w: %s: %v", ErrAuthRejected, t.Name(), err)
+		}
+		// Never accepted anywhere (including a draining agent's immediate
+		// 503 refusal): the cell lost nothing, so no failure is charged —
+		// the coordinator re-places it.
 		return fmt.Errorf("%w: %s: %v", ErrUndispatched, t.Name(), err)
 	}
 	beat() // the accepted dispatch is the first liveness signal
@@ -283,6 +429,9 @@ func (t *AgentTransport) follow(ctx context.Context, a Attempt, beat func()) (*W
 		case http.StatusConflict:
 			return nil, &AttemptError{Cause: fmt.Sprintf("agent %s superseded the attempt: %v", t.Spec.Addr, err)}
 		}
+		if authRejected(err) {
+			return nil, fmt.Errorf("%w: %s: %v", ErrAuthRejected, t.Name(), err)
+		}
 		if !sleepCtx(ctx, t.delay(min(i, t.tries()), 0)) {
 			return nil, ctx.Err()
 		}
@@ -294,9 +443,12 @@ func (t *AgentTransport) follow(ctx context.Context, a Attempt, beat func()) (*W
 // as long as the run; a silent wedged connection is broken by the lease
 // reclaim cancelling ctx.
 func (t *AgentTransport) watchOnce(ctx context.Context, a Attempt, beat func()) (*WatchEvent, error) {
-	url := fmt.Sprintf("http://%s%s%s/%d", t.Spec.Addr, AgentPathWatch, a.Cell.ID, a.Epoch)
+	url := fmt.Sprintf("%s%s%s/%d", t.baseURL(), AgentPathWatch, a.Cell.ID, a.Epoch)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
+		return nil, err
+	}
+	if err := t.sign(req, nil); err != nil {
 		return nil, err
 	}
 	resp, err := t.client().Do(req)
@@ -305,8 +457,7 @@ func (t *AgentTransport) watchOnce(ctx context.Context, a Attempt, beat func()) 
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return nil, &rpcError{code: resp.StatusCode, msg: strings.TrimSpace(string(msg))}
+		return nil, rpcErrorFrom(resp)
 	}
 	beat() // a live stream is itself a liveness signal
 	sc := bufio.NewScanner(resp.Body)
@@ -336,9 +487,11 @@ func (t *AgentTransport) watchOnce(ctx context.Context, a Attempt, beat func()) 
 }
 
 // fetch stages the finished attempt into workDir: manifest first, then
-// every artifact re-verified against its manifest digest as it lands. A
-// truncated or corrupted transfer retries; the manifest itself is
-// written last, so a partially fetched directory can never verify.
+// every artifact over the ranged resumable path, re-verified against its
+// manifest digest as it lands. A cut link resumes from the last fsynced
+// byte instead of byte zero; a corrupted transfer restarts; the manifest
+// itself is written last, so a partially fetched directory can never
+// verify.
 func (t *AgentTransport) fetch(ctx context.Context, a Attempt, workDir string, beat func()) error {
 	manData, err := t.fetchFile(ctx, a, report.ManifestName, "")
 	if err != nil {
@@ -353,16 +506,12 @@ func (t *AgentTransport) fetch(ctx context.Context, a Attempt, workDir string, b
 		if clean != e.Name || path.IsAbs(clean) || clean == ".." || strings.HasPrefix(clean, "../") {
 			return &AttemptError{Cause: fmt.Sprintf("agent %s manifest lists unsafe artifact path %q", t.Spec.Addr, e.Name)}
 		}
-		data, err := t.fetchFile(ctx, a, e.Name, e.SHA256)
-		if err != nil {
-			return &AttemptError{Cause: fmt.Sprintf("fetch %s from agent %s: %v", e.Name, t.Spec.Addr, err)}
-		}
 		dst := filepath.Join(workDir, filepath.FromSlash(clean))
 		if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
 			return &AttemptError{Cause: "stage artifact: " + err.Error()}
 		}
-		if err := atomicio.WriteFile(dst, data, 0o644); err != nil {
-			return &AttemptError{Cause: "stage artifact: " + err.Error()}
+		if err := t.fetchFileTo(ctx, a, e.Name, e.SHA256, dst, beat); err != nil {
+			return &AttemptError{Cause: fmt.Sprintf("fetch %s from agent %s: %v", e.Name, t.Spec.Addr, err)}
 		}
 		beat() // downloading is progress; keep the lease fresh
 	}
@@ -372,19 +521,18 @@ func (t *AgentTransport) fetch(ctx context.Context, a Attempt, workDir string, b
 	return nil
 }
 
-// fetchFile downloads one artifact, retrying until its content matches
-// wantSum ("" skips the digest check — only the manifest itself, which
-// the coordinator's VerifyDir re-checks against every staged file).
+// fetchFile downloads one small control file into memory, retrying until
+// the exchange is clean. Only the manifest travels this path (wantSum "" —
+// the coordinator's VerifyDir re-checks it against every staged file);
+// artifacts go through fetchFileTo, which can resume.
 func (t *AgentTransport) fetchFile(ctx context.Context, a Attempt, name, wantSum string) ([]byte, error) {
-	url := fmt.Sprintf("http://%s%s%s/%d/%s", t.Spec.Addr, AgentPathResult, a.Cell.ID, a.Epoch, name)
+	url := fmt.Sprintf("%s%s%s/%d/%s", t.baseURL(), AgentPathResult, a.Cell.ID, a.Epoch, name)
 	var lastErr error
 	for i := 1; ; i++ {
 		data, retryAfter, err := t.getOnce(ctx, url)
 		if err == nil && wantSum != "" {
 			sum := sha256.Sum256(data)
 			if got := hex.EncodeToString(sum[:]); got != wantSum {
-				// A truncated or torn upload: the bytes are wrong even
-				// though the HTTP exchange looked clean. Retry the pull.
 				err = fmt.Errorf("digest %s does not match manifest %s (truncated transfer?)", got, wantSum)
 			}
 		}
@@ -408,14 +556,16 @@ func (t *AgentTransport) getOnce(ctx context.Context, url string) ([]byte, time.
 	if err != nil {
 		return nil, 0, err
 	}
+	if err := t.sign(req, nil); err != nil {
+		return nil, 0, err
+	}
 	resp, err := t.client().Do(req)
 	if err != nil {
 		return nil, 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return nil, retryAfterHint(resp.Header), &rpcError{code: resp.StatusCode, msg: strings.TrimSpace(string(msg))}
+		return nil, retryAfterHint(resp.Header), rpcErrorFrom(resp)
 	}
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
@@ -425,6 +575,213 @@ func (t *AgentTransport) getOnce(ctx context.Context, url string) ([]byte, time.
 		return nil, 0, fmt.Errorf("short body: %d of %d bytes", len(data), resp.ContentLength)
 	}
 	return data, 0, nil
+}
+
+// fetchFileTo downloads one artifact into dst via a fsynced staging file
+// (dst + ".partial"), resuming with ranged requests from the last banked
+// byte after a cut. A running SHA-256 accumulates as chunks land — on
+// (re)entry the already-staged prefix is re-hashed from disk — and the
+// whole-file digest against wantSum stays the final arbiter: a clean-
+// looking transfer with wrong bytes restarts from zero. Forward progress
+// refunds the retry budget, so a link that keeps cutting but keeps moving
+// converges instead of giving up.
+func (t *AgentTransport) fetchFileTo(ctx context.Context, a Attempt, name, wantSum, dst string, beat func()) error {
+	url := fmt.Sprintf("%s%s%s/%d/%s", t.baseURL(), AgentPathResult, a.Cell.ID, a.Epoch, name)
+	staging := dst + ".partial"
+	f, err := os.OpenFile(staging, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	hash := sha256.New()
+	off, err := io.Copy(hash, f) // re-hash any banked prefix; leaves the write position at off
+	if err != nil {
+		return err
+	}
+
+	var lastErr error
+	digestFails := 0
+	for i := 1; ; i++ {
+		n, retryAfter, err := t.getRange(ctx, url, f, hash, &off)
+		if n > 0 {
+			beat() // banked bytes are progress; keep the lease fresh
+		}
+		if err == nil {
+			if wantSum != "" {
+				if got := hex.EncodeToString(hash.Sum(nil)); got != wantSum {
+					// Clean exchange, wrong bytes (torn upload, corrupt
+					// staging): restart from zero. Digest failures never
+					// refund the budget — a server that keeps serving
+					// garbage must not loop forever.
+					err = fmt.Errorf("digest %s does not match manifest %s (corrupt transfer)", got, wantSum)
+					digestFails++
+					if rerr := truncateReset(f, hash, &off); rerr != nil {
+						return rerr
+					}
+					t.Ledger.noteRestart()
+				}
+			}
+			if err == nil {
+				if serr := f.Sync(); serr != nil {
+					return serr
+				}
+				return os.Rename(staging, dst)
+			}
+		}
+		lastErr = err
+		if n > 0 && digestFails == 0 {
+			i = 0 // forward progress refunds the try budget
+		}
+		if !retryable(err) || i >= t.tries() || digestFails >= t.tries() || ctx.Err() != nil {
+			return lastErr
+		}
+		if !sleepCtx(ctx, t.delay(max(i, 1), retryAfter)) {
+			return lastErr
+		}
+	}
+}
+
+// truncateReset rewinds the staging file and running hash to byte zero.
+func truncateReset(f *os.File, hash gohash.Hash, off *int64) error {
+	if err := f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	hash.Reset()
+	*off = 0
+	return nil
+}
+
+// parseContentRange extracts start and total from a 206's
+// "bytes <start>-<end>/<total>" header (total may be "*").
+func parseContentRange(v string) (start, total int64, err error) {
+	rest, ok := strings.CutPrefix(v, "bytes ")
+	if !ok {
+		return 0, 0, fmt.Errorf("unparseable Content-Range %q", v)
+	}
+	span, tot, ok := strings.Cut(rest, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("unparseable Content-Range %q", v)
+	}
+	first, _, ok := strings.Cut(span, "-")
+	if !ok {
+		return 0, 0, fmt.Errorf("unparseable Content-Range %q", v)
+	}
+	start, err = strconv.ParseInt(first, 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("unparseable Content-Range %q: %v", v, err)
+	}
+	total = -1
+	if tot != "*" {
+		total, err = strconv.ParseInt(tot, 10, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("unparseable Content-Range %q: %v", v, err)
+		}
+	}
+	return start, total, nil
+}
+
+// parseUnsatisfiedRange extracts the total from a 416's "bytes */<total>".
+func parseUnsatisfiedRange(v string) (int64, error) {
+	rest, ok := strings.CutPrefix(v, "bytes */")
+	if !ok {
+		return 0, fmt.Errorf("unparseable Content-Range %q", v)
+	}
+	return strconv.ParseInt(rest, 10, 64)
+}
+
+// getRange performs one transfer leg: a full GET at offset zero, a ranged
+// GET past a banked prefix. Whatever bytes arrive are appended to the
+// staging file, hashed, and fsynced chunk by chunk before the leg's error
+// (if any) is reported, so every banked byte survives the next cut. A nil
+// error means the body was read to EOF — transfer believed complete,
+// subject to the caller's digest gate.
+func (t *AgentTransport) getRange(ctx context.Context, url string, f *os.File, hash gohash.Hash, off *int64) (int64, time.Duration, error) {
+	rctx, cancel := context.WithTimeout(ctx, t.rpcTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	if *off > 0 {
+		req.Header.Set("Range", fmt.Sprintf("bytes=%d-", *off))
+	}
+	if err := t.sign(req, nil); err != nil {
+		return 0, 0, err
+	}
+	resp, err := t.client().Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		// Full body: either we asked from zero, or the server ignored the
+		// range — restart to stay correct.
+		if *off > 0 {
+			if err := truncateReset(f, hash, off); err != nil {
+				return 0, 0, err
+			}
+			t.Ledger.noteRestart()
+		}
+	case http.StatusPartialContent:
+		start, _, err := parseContentRange(resp.Header.Get("Content-Range"))
+		if err != nil {
+			return 0, 0, err
+		}
+		if start != *off {
+			// The server resumed somewhere unexpected; bank nothing.
+			want := *off
+			if rerr := truncateReset(f, hash, off); rerr != nil {
+				return 0, 0, rerr
+			}
+			t.Ledger.noteRestart()
+			return 0, 0, fmt.Errorf("agent resumed range at %d, want %d", start, want)
+		}
+		t.Ledger.noteResume(*off)
+	case http.StatusRequestedRangeNotSatisfiable:
+		// Asking past the end: the staged prefix already covers the whole
+		// file (the link died exactly at the final byte). The digest gate
+		// arbitrates; an overlong or unparseable prefix restarts.
+		if total, perr := parseUnsatisfiedRange(resp.Header.Get("Content-Range")); perr == nil && total == *off {
+			return 0, 0, nil
+		}
+		if rerr := truncateReset(f, hash, off); rerr != nil {
+			return 0, 0, rerr
+		}
+		t.Ledger.noteRestart()
+		return 0, 0, fmt.Errorf("agent range reply unsatisfiable: %s", resp.Header.Get("Content-Range"))
+	default:
+		return 0, retryAfterHint(resp.Header), rpcErrorFrom(resp)
+	}
+
+	buf := make([]byte, 128<<10)
+	var n int64
+	for {
+		m, rerr := resp.Body.Read(buf)
+		if m > 0 {
+			if _, werr := f.Write(buf[:m]); werr != nil {
+				return n, 0, werr
+			}
+			hash.Write(buf[:m])
+			// fsync per chunk: a banked byte is a byte never re-transferred,
+			// even across a process crash mid-fetch.
+			if serr := f.Sync(); serr != nil {
+				return n, 0, serr
+			}
+			*off += int64(m)
+			n += int64(m)
+			t.Ledger.addWire(int64(m))
+		}
+		if rerr == io.EOF {
+			return n, 0, nil
+		}
+		if rerr != nil {
+			return n, 0, rerr
+		}
+	}
 }
 
 // Abort tells the agent to kill and discard a (cell, epoch) attempt and

@@ -37,6 +37,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
@@ -47,6 +48,7 @@ import (
 	"github.com/ethpbs/pbslab/internal/atomicio"
 	"github.com/ethpbs/pbslab/internal/dsio"
 	"github.com/ethpbs/pbslab/internal/report"
+	"github.com/ethpbs/pbslab/internal/serve"
 )
 
 // Run-directory layout.
@@ -98,6 +100,18 @@ type Options struct {
 	// WorkerEnv, when set, returns extra environment entries for an
 	// attempt — the chaos harness injects faults.ProcEnv through it.
 	WorkerEnv func(cell Cell, attempt int) []string
+	// Secret, when set, signs every agent RPC with the fleet's shared
+	// HMAC authenticator and scrubs the secret from journal records. An
+	// agent that rejects the credentials outright is disabled — never
+	// dispatched to again this run.
+	Secret []byte
+	// Registry, when set, merges self-registered agents into the fleet
+	// each scheduling pass, journaling joins and leaves.
+	Registry *Registry
+	// AgentHTTP, when set, supplies the HTTP client for agent transports
+	// the coordinator builds itself (dynamic members, -agents specs): the
+	// hook for TLS root pools and the chaos suite's fault injection.
+	AgentHTTP func(AgentSpec) *http.Client
 	// Log receives progress lines (default: discard).
 	Log io.Writer
 }
@@ -136,7 +150,10 @@ func (o *Options) fill() error {
 		return err
 	}
 	if len(o.Transports) == 0 {
-		if o.Workers > 0 || len(o.Agents) == 0 {
+		// Workers 0 with a remote fleet (static agents or a registration
+		// endpoint) means agents-only; with neither, a local pool is the
+		// only way to make progress, so one is always created.
+		if o.Workers > 0 || (len(o.Agents) == 0 && o.Registry == nil) {
 			w := o.Workers
 			if w <= 0 {
 				w = 4
@@ -216,7 +233,18 @@ type transportState struct {
 	free          int
 	consecFails   int
 	cooldownUntil time.Time
+	// disabled marks a transport whose agent rejected the fleet's
+	// credentials: a config error no retry fixes, so it never receives
+	// another dispatch this run.
+	disabled bool
+	// dynamic marks a transport built from a registry member; gone marks a
+	// dynamic member whose registration lapsed (it may return).
+	dynamic bool
+	gone    bool
 }
+
+// usable reports whether the scheduler may place work here.
+func (ts *transportState) usable() bool { return !ts.disabled && !ts.gone }
 
 // noteFailure records a dispatch-level failure (unreachable, reclaimed):
 // consecutive failures cool the transport down exponentially so a dead
@@ -281,8 +309,18 @@ type Coordinator struct {
 	transports []*transportState
 	totalCap   int
 	rescues    int
-	mu         sync.Mutex // guards accept's publish step
+	auth       *serve.Authenticator
+	ledger     *TransferLedger
+	// dynGraceUntil suppresses "member left" verdicts right after start:
+	// journaled dynamic members get one registry TTL to re-announce before
+	// resume declares them gone.
+	dynGraceUntil time.Time
+	mu            sync.Mutex // guards accept's publish step
 }
+
+// Ledger exposes the fleet-wide transfer-byte ledger (nil-safe to read via
+// Stats when no agent transports exist).
+func (c *Coordinator) Ledger() *TransferLedger { return c.ledger }
 
 // QuarantinedCell is one permanently failed cell in the run summary.
 type QuarantinedCell struct {
@@ -362,8 +400,16 @@ func NewCoordinator(runDir string, grid *Grid, opts Options, resume bool) (*Coor
 	if err != nil {
 		return nil, err
 	}
-	c := &Coordinator{runDir: runDir, grid: grid, opts: opts, journal: j, byID: map[string]*cellRun{}}
+	c := &Coordinator{runDir: runDir, grid: grid, opts: opts, journal: j, byID: map[string]*cellRun{}, ledger: &TransferLedger{}}
+	if len(opts.Secret) > 0 {
+		c.auth = serve.NewAuthenticator(opts.Secret, 0)
+		// Any free-text field a worker or agent error flows into is
+		// scrubbed before it lands on disk: the journal must stay
+		// grep-proof for the secret.
+		j.SetRedact(func(s string) string { return serve.RedactSecret(s, opts.Secret) })
+	}
 	for _, tr := range opts.Transports {
+		c.equipAgentTransport(tr)
 		ts := &transportState{t: tr, free: tr.Capacity()}
 		c.transports = append(c.transports, ts)
 		c.totalCap += ts.free
@@ -374,6 +420,25 @@ func NewCoordinator(runDir string, grid *Grid, opts Options, resume bool) (*Coor
 		}
 	}
 	st := ReplayState(recs)
+	// Rebuild journaled dynamic members (latest membership record is a
+	// join) so leases pinned to self-registered agents stay re-attachable.
+	// They get one registry TTL of grace to re-announce before the merge
+	// pass declares them gone.
+	{
+		addrs := make([]string, 0, len(st.Agents))
+		for addr := range st.Agents {
+			addrs = append(addrs, addr)
+		}
+		sort.Strings(addrs)
+		for _, addr := range addrs {
+			if c.findTransport("agent:"+addr) == nil {
+				c.addDynamicTransport(st.Agents[addr])
+			}
+		}
+	}
+	if opts.Registry != nil {
+		c.dynGraceUntil = time.Now().Add(opts.Registry.ttl())
+	}
 	for _, cell := range cells {
 		cr := &cellRun{cell: cell, status: StatusPending, live: map[int]*liveAttempt{}}
 		if cs := st.Cells[cell.ID]; cs != nil {
@@ -430,6 +495,116 @@ func (c *Coordinator) pinFor(cs *CellState) *pinnedLease {
 		return nil
 	}
 	return &pinnedLease{epoch: best, ts: bestTS}
+}
+
+// equipAgentTransport wires the coordinator's shared plumbing into an
+// agent transport — the fleet authenticator, the transfer-byte ledger,
+// and the AgentHTTP client hook — leaving anything the caller already set
+// (the chaos suite's fault-injecting clients) alone.
+func (c *Coordinator) equipAgentTransport(tr Transport) {
+	at, ok := tr.(*AgentTransport)
+	if !ok {
+		return
+	}
+	if at.Auth == nil {
+		at.Auth = c.auth
+	}
+	if at.Ledger == nil {
+		at.Ledger = c.ledger
+	}
+	if at.HTTP == nil && c.opts.AgentHTTP != nil {
+		at.HTTP = c.opts.AgentHTTP(at.Spec)
+	}
+}
+
+func (c *Coordinator) findTransport(name string) *transportState {
+	for _, ts := range c.transports {
+		if ts.t.Name() == name {
+			return ts
+		}
+	}
+	return nil
+}
+
+// addDynamicTransport books a transport for a self-registered agent.
+// Callers journal the join; resume-rebuilds (the join is already on disk)
+// do not.
+func (c *Coordinator) addDynamicTransport(spec AgentSpec) *transportState {
+	tr := NewAgentTransport(spec)
+	c.equipAgentTransport(tr)
+	ts := &transportState{t: tr, free: tr.Capacity(), dynamic: true}
+	c.transports = append(c.transports, ts)
+	c.totalCap += ts.free
+	return ts
+}
+
+func (c *Coordinator) anyUsable() bool {
+	for _, ts := range c.transports {
+		if ts.usable() {
+			return true
+		}
+	}
+	return false
+}
+
+// syncMembers merges the registry's live roster into the transport set
+// each scheduling pass: new members join (journaled, so -resume can
+// rebuild them), members whose registration lapsed are marked gone
+// (journaled leave) once the startup grace passes, and a returning member
+// revives its existing transport — keeping any pinned leases valid.
+// Static transports are never touched.
+func (c *Coordinator) syncMembers(now time.Time) error {
+	if c.opts.Registry == nil {
+		return nil
+	}
+	roster := c.opts.Registry.Snapshot()
+	live := make(map[string]bool, len(roster))
+	for _, m := range roster {
+		addr := m.Spec.Addr
+		live[addr] = true
+		ts := c.findTransport("agent:" + addr)
+		switch {
+		case ts == nil:
+			c.addDynamicTransport(m.Spec)
+			if err := c.journal.Append(Record{Event: EventAgentJoin, Agent: addr,
+				Capacity: m.Spec.Capacity, TLSAgent: m.Spec.TLS}); err != nil {
+				return err
+			}
+			fmt.Fprintf(c.opts.Log, "fleet: agent %s joined (capacity %d)\n", addr, m.Spec.Capacity)
+		case ts.dynamic && ts.gone:
+			// Back from the dead: revive the same transport so pinned
+			// leases and in-flight bookkeeping stay attached. Re-journal
+			// the join so the roster's latest membership record is a join.
+			ts.gone = false
+			ts.noteSuccess()
+			if err := c.journal.Append(Record{Event: EventAgentJoin, Agent: addr,
+				Capacity: m.Spec.Capacity, TLSAgent: m.Spec.TLS, Cause: "re-registered"}); err != nil {
+				return err
+			}
+			fmt.Fprintf(c.opts.Log, "fleet: agent %s re-registered\n", addr)
+		}
+	}
+	// Lapsed members. Journaled members rebuilt on resume get one registry
+	// TTL of grace to re-announce before they are declared gone.
+	if now.Before(c.dynGraceUntil) {
+		return nil
+	}
+	for _, ts := range c.transports {
+		if !ts.dynamic || ts.gone {
+			continue
+		}
+		aa, ok := ts.t.(interface{ AgentAddr() string })
+		if !ok || live[aa.AgentAddr()] {
+			continue
+		}
+		ts.gone = true
+		if err := c.journal.Append(Record{Event: EventAgentLeave, Agent: aa.AgentAddr(),
+			Cause: "registration expired or agent deregistered"}); err != nil {
+			return err
+		}
+		fmt.Fprintf(c.opts.Log, "fleet: agent %s left the fleet (registration lapsed)\n", aa.AgentAddr())
+	}
+	return nil
 }
 
 // reconcileAgents probes every configured agent for runs it still holds.
@@ -558,6 +733,10 @@ const (
 	outCanceled
 	outSuperseded
 	outUndispatched
+	// outAuthRejected: the agent refused the fleet's credentials outright —
+	// a configuration error no retry fixes. The transport is disabled for
+	// the rest of the run and the cell re-placed without charge.
+	outAuthRejected
 )
 
 type dispatch struct {
@@ -590,9 +769,11 @@ func (c *Coordinator) Run(ctx context.Context) (*Summary, error) {
 	var wg sync.WaitGroup
 	defer wg.Wait()
 	defer cancel()
-	// Buffered to the fleet's total capacity so every attempt goroutine
-	// can deposit its result and exit even after Run stops draining.
-	done := make(chan result, c.totalCap+1)
+	// Buffered so every attempt goroutine can deposit its result and exit
+	// even after Run stops draining. The headroom past the starting
+	// capacity covers members that self-register mid-run; the dispatch
+	// guard below keeps inflight strictly under the buffer size.
+	done := make(chan result, c.totalCap+64)
 
 	inflight := 0
 	cancelled := false
@@ -602,7 +783,10 @@ func (c *Coordinator) Run(ctx context.Context) (*Summary, error) {
 			break
 		}
 		if !cancelled {
-			for {
+			if err := c.syncMembers(time.Now()); err != nil {
+				return nil, err
+			}
+			for inflight < cap(done)-1 {
 				d, ok := c.pickDispatch(time.Now())
 				if !ok {
 					break
@@ -611,6 +795,13 @@ func (c *Coordinator) Run(ctx context.Context) (*Summary, error) {
 					return nil, err
 				}
 				inflight++
+			}
+			if inflight == 0 && !c.allTerminal() && !c.anyUsable() && c.opts.Registry == nil {
+				// Every transport is disabled (wrong credentials) or gone,
+				// nothing is running, and no registry can admit new members:
+				// waiting would livelock. The journal keeps the run resumable
+				// with fixed credentials.
+				return nil, fmt.Errorf("fleet: no usable transports remain (agents rejected the fleet credentials or left); fix the secret and -resume")
 			}
 		}
 		var timerC <-chan time.Time
@@ -666,6 +857,11 @@ func (c *Coordinator) pickDispatch(now time.Time) (dispatch, bool) {
 		if cr.status != StatusPending || len(cr.live) > 0 || now.Before(cr.readyAt) {
 			continue
 		}
+		if cr.pin != nil && !cr.pin.ts.usable() {
+			// The pinned agent was disabled or left the fleet; the open
+			// lease cannot be rejoined. Fall through to a fresh dispatch.
+			cr.pin = nil
+		}
 		if cr.pin != nil {
 			if cr.pin.ts.free > 0 {
 				d := dispatch{cr: cr, epoch: cr.pin.epoch, ts: cr.pin.ts, rejoin: true}
@@ -712,7 +908,7 @@ func (c *Coordinator) pickDispatch(now time.Time) (dispatch, bool) {
 func (c *Coordinator) pickTransport(now time.Time, avoid *transportState) *transportState {
 	var best *transportState
 	for _, ts := range c.transports {
-		if ts == avoid || ts.free <= 0 || now.Before(ts.cooldownUntil) {
+		if ts == avoid || !ts.usable() || ts.free <= 0 || now.Before(ts.cooldownUntil) {
 			continue
 		}
 		if best == nil || ts.consecFails < best.consecFails ||
@@ -800,9 +996,14 @@ func (c *Coordinator) nextWakeIn(now time.Time) (time.Duration, bool) {
 	}
 	if pendingIdle {
 		for _, ts := range c.transports {
-			if ts.free > 0 && ts.cooldownUntil.After(now) {
+			if ts.usable() && ts.free > 0 && ts.cooldownUntil.After(now) {
 				consider(ts.cooldownUntil.Sub(now))
 			}
+		}
+		if c.opts.Registry != nil {
+			// A new member may register while cells wait; wake to merge the
+			// roster at the heartbeat cadence.
+			consider(c.opts.Registry.HeartbeatEvery())
 		}
 	}
 	return best, found
@@ -844,6 +1045,18 @@ func (c *Coordinator) settle(r result) error {
 		// Interrupted by shutdown or beaten by a sibling, not the cell's
 		// fault: no failure charged; the open lease replays as pending
 		// (shutdown) or is cleared by the sibling's completion record.
+		return nil
+	case outAuthRejected:
+		// Wrong fleet secret on this agent: disable the transport for the
+		// rest of the run (no retry can fix a config error) and re-place
+		// the cell elsewhere, nothing charged — no work was started.
+		r.ts.disabled = true
+		if err := c.journal.Append(place(Record{Event: EventUndispatched, Cell: cr.cell.ID, Attempt: r.epoch,
+			Cause: r.cause})); err != nil {
+			return err
+		}
+		fmt.Fprintf(c.opts.Log, "fleet: transport %s disabled: agent rejected fleet credentials (%s)\n", r.ts.t.Name(), r.cause)
+		cr.readyAt = now
 		return nil
 	case outUndispatched:
 		// The attempt never started anywhere: re-place without charging a
@@ -999,6 +1212,8 @@ func (c *Coordinator) runAttempt(ctx, parent context.Context, d dispatch, la *li
 			return res(outReclaimed, "lease expired: no heartbeat within deadline", "")
 		case parent.Err() != nil:
 			return res(outCanceled, "", "")
+		case errors.Is(err, ErrAuthRejected):
+			return res(outAuthRejected, err.Error(), "")
 		case errors.Is(err, ErrUndispatched):
 			return res(outUndispatched, err.Error(), "")
 		default:

@@ -43,6 +43,13 @@ const (
 	// completed tried to surface them (or was found holding them on
 	// resume). The stale copy is discarded, never accepted.
 	EventStalePublish = "stale_publish"
+	// EventAgentJoin marks a self-registered agent merged into the fleet
+	// (Agent carries the address, Capacity/TLSAgent its capability), so
+	// -resume can rebuild the dynamic roster and re-attach to its leases.
+	EventAgentJoin = "agent_join"
+	// EventAgentLeave marks a dynamic member dropped: it deregistered
+	// (draining) or its registration expired unrenewed.
+	EventAgentLeave = "agent_leave"
 )
 
 // Record is one journal line.
@@ -61,6 +68,10 @@ type Record struct {
 	// agent" from "cell lost with its worker".
 	Transport string `json:"transport,omitempty"`
 	Agent     string `json:"agent,omitempty"`
+	// Capacity and TLSAgent carry a dynamic member's capability on
+	// agent_join records, enough to rebuild its transport on resume.
+	Capacity int  `json:"capacity,omitempty"`
+	TLSAgent bool `json:"tls_agent,omitempty"`
 	// Time is wall-clock (RFC3339, for operators reading the journal); it
 	// never feeds the merged corpus, which must be time-independent.
 	Time string `json:"time,omitempty"`
@@ -69,9 +80,20 @@ type Record struct {
 // Journal appends fsynced records to a JSON-lines file; safe for
 // concurrent appenders (worker slots report results concurrently).
 type Journal struct {
-	mu  sync.Mutex
-	f   *os.File
-	seq int
+	mu     sync.Mutex
+	f      *os.File
+	seq    int
+	redact func(string) string
+}
+
+// SetRedact installs a scrubber applied to every record's free-text
+// fields (Cause, StderrTail) before it is written. The coordinator wires
+// the fleet secret's redactor here so a worker error echoing its
+// environment can never land the secret on disk.
+func (j *Journal) SetRedact(f func(string) string) {
+	j.mu.Lock()
+	j.redact = f
+	j.mu.Unlock()
 }
 
 // JournalName is the journal file inside a run directory.
@@ -124,6 +146,10 @@ func (j *Journal) Append(rec Record) error {
 	j.seq++
 	rec.Seq = j.seq
 	rec.Time = time.Now().UTC().Format(time.RFC3339Nano)
+	if j.redact != nil {
+		rec.Cause = j.redact(rec.Cause)
+		rec.StderrTail = j.redact(rec.StderrTail)
+	}
 	data, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("fleet: journal encode: %w", err)
@@ -240,12 +266,16 @@ type RunState struct {
 	GridName    string
 	Fingerprint string
 	Cells       map[string]*CellState
+	// Agents is the dynamic roster as of the journal's end: members whose
+	// latest membership record is a join. Resume rebuilds their transports
+	// so leases held on self-registered agents stay re-attachable.
+	Agents map[string]AgentSpec
 }
 
 // ReplayState folds a journal into per-cell states. Cells never mentioned
 // are absent (callers treat them as pending with zero attempts).
 func ReplayState(recs []Record) *RunState {
-	st := &RunState{Cells: map[string]*CellState{}}
+	st := &RunState{Cells: map[string]*CellState{}, Agents: map[string]AgentSpec{}}
 	get := func(cell string) *CellState {
 		cs := st.Cells[cell]
 		if cs == nil {
@@ -296,6 +326,10 @@ func ReplayState(recs []Record) *RunState {
 			if rec.StderrTail != "" {
 				cs.StderrTail = rec.StderrTail
 			}
+		case EventAgentJoin:
+			st.Agents[rec.Agent] = AgentSpec{Addr: rec.Agent, Capacity: rec.Capacity, TLS: rec.TLSAgent}
+		case EventAgentLeave:
+			delete(st.Agents, rec.Agent)
 		}
 	}
 	return st

@@ -1,0 +1,243 @@
+// White-box tests for the real-network hardening layer: dynamic
+// membership folding into the scheduler, ranged resumable artifact fetch
+// (the transfer-byte ledger proves only the missing tail is re-pulled),
+// and journal secret redaction.
+
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ethpbs/pbslab/internal/serve"
+)
+
+func TestCoordinatorSyncMembersJoinLeaveReviveResume(t *testing.T) {
+	g := tinyGrid("members", 1)
+	reg := NewRegistry(nil, 50*time.Millisecond)
+	cur := time.Unix(1_700_000_000, 0)
+	reg.now = func() time.Time { return cur }
+
+	dir := t.TempDir()
+	opts := testOpts(t)
+	opts.Workers = 1
+	opts.Registry = reg
+	c, err := NewCoordinator(dir, g, opts, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Join: a registered member grows the transport set and is journaled.
+	postRegister(t, reg, nil, RegistryPathRegister, RegisterRequest{Addr: "h1:7", Capacity: 2, TLS: true})
+	if err := c.syncMembers(time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	ts := c.findTransport("agent:h1:7")
+	if ts == nil || !ts.dynamic || !ts.usable() {
+		t.Fatalf("dynamic member transport = %+v", ts)
+	}
+	at, ok := ts.t.(*AgentTransport)
+	if !ok || !at.Spec.TLS || at.Spec.Capacity != 2 {
+		t.Fatalf("dynamic transport spec = %+v", at.Spec)
+	}
+	if at.Ledger != c.ledger {
+		t.Error("dynamic transport not wired to the coordinator's ledger")
+	}
+
+	// Leave: the member stops heartbeating; after the startup grace it is
+	// marked gone and journaled, and the scheduler stops placing work there.
+	cur = cur.Add(time.Second) // past the 150ms TTL
+	c.dynGraceUntil = time.Time{}
+	if err := c.syncMembers(time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if !ts.gone || ts.usable() {
+		t.Fatalf("lapsed member still usable: %+v", ts)
+	}
+	if got := c.pickTransport(time.Now(), nil); got == ts {
+		t.Fatal("scheduler picked a gone transport")
+	}
+
+	// Revive: re-registration revives the same transport (pins stay valid).
+	postRegister(t, reg, nil, RegistryPathRegister, RegisterRequest{Addr: "h1:7", Capacity: 2, TLS: true})
+	if err := c.syncMembers(time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if ts.gone || !ts.usable() {
+		t.Fatalf("re-registered member not revived: %+v", ts)
+	}
+
+	recs, err := ReplayJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []string
+	for _, rec := range recs {
+		if rec.Event == EventAgentJoin || rec.Event == EventAgentLeave {
+			events = append(events, rec.Event)
+		}
+	}
+	want := []string{EventAgentJoin, EventAgentLeave, EventAgentJoin}
+	if strings.Join(events, ",") != strings.Join(want, ",") {
+		t.Fatalf("membership events = %v, want %v", events, want)
+	}
+
+	// Resume: the journaled roster (latest record a join) rebuilds the
+	// dynamic transport even before the agent re-announces.
+	c2, err := NewCoordinator(dir, g, testOpts(t), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := c2.findTransport("agent:h1:7")
+	if ts2 == nil || !ts2.dynamic {
+		t.Fatalf("resume did not rebuild the dynamic member: %+v", ts2)
+	}
+}
+
+func TestCoordinatorDisabledTransportNeverPicked(t *testing.T) {
+	g := tinyGrid("disabled", 1)
+	opts := testOpts(t)
+	opts.Workers = 1
+	c, err := NewCoordinator(t.TempDir(), g, opts, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.transports[0].disabled = true
+	if got := c.pickTransport(time.Now(), nil); got != nil {
+		t.Fatalf("picked disabled transport %v", got.t.Name())
+	}
+	if c.anyUsable() {
+		t.Fatal("anyUsable true with every transport disabled")
+	}
+}
+
+// TestFetchFileToResumesOnlyMissingTail cuts the first transfer leg after
+// `cut` bytes; the retry must issue a ranged request from the banked
+// offset and the ledger must account a single resume of exactly `cut`
+// bytes, zero restarts — the wire carried every payload byte exactly once.
+func TestFetchFileToResumesOnlyMissingTail(t *testing.T) {
+	payload := make([]byte, 200<<10)
+	for i := range payload {
+		payload[i] = byte(i*7 + i>>9)
+	}
+	sum := sha256.Sum256(payload)
+	const cut = 64 << 10
+
+	firstLeg := true
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if firstLeg && r.Header.Get("Range") == "" {
+			firstLeg = false
+			w.Header().Set("Content-Length", "204800")
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write(payload[:cut])
+			if fl, ok := w.(http.Flusher); ok {
+				fl.Flush()
+			}
+			// Sever the connection mid-body: the client has a known length
+			// and an explicit transport error partway through.
+			panic(http.ErrAbortHandler)
+		}
+		http.ServeContent(w, r, "artifact.bin", time.Time{}, bytes.NewReader(payload))
+	}))
+	defer srv.Close()
+
+	tr := NewAgentTransport(AgentSpec{Addr: strings.TrimPrefix(srv.URL, "http://")})
+	tr.Ledger = &TransferLedger{}
+	tr.Retry.Base = time.Millisecond
+	dst := filepath.Join(t.TempDir(), "artifact.bin")
+	err := tr.fetchFileTo(context.Background(), Attempt{Cell: Cell{ID: "c"}, Epoch: 1},
+		"artifact.bin", hex.EncodeToString(sum[:]), dst, func() {})
+	if err != nil {
+		t.Fatalf("fetchFileTo: %v", err)
+	}
+	got, err := os.ReadFile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("fetched file differs from payload")
+	}
+	st := tr.Ledger.Stats()
+	if st.RangedRequests != 1 || st.ResumedBytes != cut {
+		t.Errorf("ledger resumed %d bytes over %d ranged requests, want %d over 1", st.ResumedBytes, st.RangedRequests, int64(cut))
+	}
+	if st.Restarts != 0 {
+		t.Errorf("ledger counted %d restarts, want 0", st.Restarts)
+	}
+	if st.WireBytes != int64(len(payload)) {
+		t.Errorf("wire carried %d bytes, want exactly %d (tail-only re-transfer)", st.WireBytes, len(payload))
+	}
+}
+
+// TestFetchFileToRestartsOnCorruptTransfer: a clean-looking transfer with
+// wrong bytes must restart from zero (digest gate), and a server that
+// keeps serving garbage must exhaust the bounded budget, not loop.
+func TestFetchFileToRestartsOnCorruptTransfer(t *testing.T) {
+	payload := bytes.Repeat([]byte("pbs"), 4<<10)
+	sum := sha256.Sum256(payload)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		bad := bytes.ToUpper(payload) // right length, wrong bytes
+		http.ServeContent(w, r, "artifact.bin", time.Time{}, bytes.NewReader(bad))
+	}))
+	defer srv.Close()
+
+	tr := NewAgentTransport(AgentSpec{Addr: strings.TrimPrefix(srv.URL, "http://")})
+	tr.Ledger = &TransferLedger{}
+	tr.Retry.Base = time.Millisecond
+	tr.Attempts = 3
+	dst := filepath.Join(t.TempDir(), "artifact.bin")
+	err := tr.fetchFileTo(context.Background(), Attempt{Cell: Cell{ID: "c"}, Epoch: 1},
+		"artifact.bin", hex.EncodeToString(sum[:]), dst, func() {})
+	if err == nil || !strings.Contains(err.Error(), "does not match manifest") {
+		t.Fatalf("corrupt transfer returned %v, want digest mismatch", err)
+	}
+	if _, serr := os.Stat(dst); serr == nil {
+		t.Error("corrupt transfer landed at the destination path")
+	}
+	if st := tr.Ledger.Stats(); st.Restarts < 2 {
+		t.Errorf("ledger counted %d restarts, want >= 2 (each corrupt pass restarts)", st.Restarts)
+	}
+}
+
+func TestJournalRedactsSecretEverywhere(t *testing.T) {
+	secret := []byte("super-sekrit-fleet-token")
+	hexSecret := hex.EncodeToString(secret)
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.SetRedact(func(s string) string { return serve.RedactSecret(s, secret) })
+	if err := j.Append(Record{Event: EventFail, Cell: "c", Attempt: 1,
+		Cause:      "worker died: env PBS_SECRET=" + string(secret),
+		StderrTail: "dumping hex " + hexSecret + " and raw " + string(secret)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(filepath.Join(dir, JournalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(raw, secret) || bytes.Contains(raw, []byte(hexSecret)) {
+		t.Fatalf("journal bytes leak the secret: %s", raw)
+	}
+	recs, err := ReplayJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || !strings.Contains(recs[0].Cause, "[redacted]") || !strings.Contains(recs[0].StderrTail, "[redacted]") {
+		t.Fatalf("replayed record not redacted: %+v", recs)
+	}
+}

@@ -218,11 +218,7 @@ func (c *Client) getOnce(ctx context.Context, path string, out interface{}) (err
 	case resp.StatusCode == http.StatusNoContent:
 		return errNoContent, false, 0
 	case resp.StatusCode == http.StatusTooManyRequests:
-		if ras := resp.Header.Get("Retry-After"); ras != "" {
-			if secs, perr := strconv.Atoi(ras); perr == nil && secs >= 0 {
-				retryAfter = time.Duration(secs) * time.Second
-			}
-		}
+		retryAfter = backoff.ParseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
 		return fmt.Errorf("relayapi: GET %s: status 429", path), true, retryAfter
 	case resp.StatusCode >= 500:
 		return fmt.Errorf("relayapi: GET %s: status %d", path, resp.StatusCode), true, 0

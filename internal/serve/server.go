@@ -57,6 +57,10 @@ type Config struct {
 	// response is computed — the injection point the cache chaos suite
 	// uses (see faults.CacheChaos).
 	CacheFillHook FillHook
+	// AdminSecret, when non-empty, gates POST /admin/reload behind the
+	// shared-secret HMAC authenticator (see auth.go). Empty leaves the
+	// admin plane open — acceptable only on loopback deployments.
+	AdminSecret []byte
 }
 
 func (c Config) withDefaults() Config {
@@ -171,7 +175,12 @@ func (s *Server) buildHandler() http.Handler {
 	mux.HandleFunc("GET /api/v1/figures", s.handleFigureList)
 	mux.HandleFunc("GET /api/v1/figure/{key}", s.handleFigure)
 	mux.HandleFunc("GET /api/v1/day/{day}", s.handleDay)
-	mux.HandleFunc("POST /admin/reload", s.handleReload)
+	var reload http.Handler = http.HandlerFunc(s.handleReload)
+	if len(s.cfg.AdminSecret) > 0 {
+		auth := NewAuthenticator(s.cfg.AdminSecret, 0)
+		reload = auth.Middleware(s.cfg.MaxBodyBytes, reload)
+	}
+	mux.Handle("POST /admin/reload", reload)
 
 	admitted := s.adm.Wrap(http.TimeoutHandler(mux, s.cfg.RequestTimeout,
 		`{"error":"Service Unavailable","reason":"request timeout"}`))
